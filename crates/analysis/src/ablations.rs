@@ -1,0 +1,336 @@
+//! Ablation studies on COMPAS's design choices.
+//!
+//! The paper's constructions bundle four decisions; each is isolated
+//! here so its contribution can be measured:
+//!
+//! 1. **Interleaved placement** (§3.2) — states ordered `0, k−1, 1, …`
+//!    on the line so every CSWAP touches adjacent QPUs. Ablation:
+//!    natural placement `0, 1, …, k−1`, which forces entanglement
+//!    swapping for the long-range pairs of the cyclic shift.
+//! 2. **Constant-depth Fanout** (§3.5) — ablation: the CNOT cascade,
+//!    trading the gadget's measurement noise for linear depth.
+//! 3. **Qubit reuse** (§3.6) — ablation: no communication-qubit
+//!    recycling, exposing the register footprint reuse avoids.
+//! 4. **Line topology sufficiency** — COMPAS needs only a line; richer
+//!    topologies (ring/star/full) change the swapping overhead of the
+//!    *naive* baseline far more than COMPAS's.
+
+use circuit::circuit::Circuit;
+use circuit::noise::NoiseModel;
+use compas::cswap::CswapScheme;
+use compas::fanout::{fanout_cascade, fanout_gadget};
+use compas::swap_test::{cswap_schedule, interleaved_order, CompasProtocol};
+use network::topology::Topology;
+use rand::Rng;
+use stabilizer::frame::FrameSimulator;
+
+use crate::table_io::ResultTable;
+
+/// Raw Bell pairs for one protocol run when the states are placed on the
+/// line in the given order (`placement[p]` = state at line position `p`),
+/// computed from the schedule and hop distances.
+///
+/// With the interleaved placement every CSWAP spans one hop; any other
+/// placement pays `distance` raw pairs per end-to-end pair (§2.5).
+pub fn placement_raw_bell_pairs(k: usize, n: usize, placement: &[usize]) -> usize {
+    assert_eq!(placement.len(), k, "placement must cover all k states");
+    // position on the line of each state index
+    let mut pos_of = vec![0usize; k];
+    for (p, &i) in placement.iter().enumerate() {
+        pos_of[i] = p;
+    }
+    // The schedule is defined over *interleaved positions*; translate a
+    // scheduled pair of interleaved positions to actual line nodes.
+    let order = interleaved_order(k);
+    let node_of_ipos = |ipos: usize| pos_of[order[ipos]];
+    let (r1, r2) = cswap_schedule(k);
+    let mut raw = 0usize;
+    for op in r1.iter().chain(&r2) {
+        let (a, b) = (node_of_ipos(op.pos_a), node_of_ipos(op.pos_b));
+        let d = Topology::Line.distance(a, b, k);
+        // Teledata: 2n end-to-end pairs per CSWAP, each needing d raw.
+        raw += 2 * n * d;
+    }
+    // GHZ links between consecutive controls (at interleaved positions
+    // 0, 2, 4, …).
+    let g = k.div_ceil(2);
+    for i in 1..g {
+        let (a, b) = (node_of_ipos(2 * (i - 1)), node_of_ipos(2 * i));
+        raw += Topology::Line.distance(a, b, k);
+    }
+    raw
+}
+
+/// The interleaved-vs-natural placement ablation.
+pub fn ordering_ablation(ks: &[usize], n: usize) -> ResultTable {
+    let mut t = ResultTable::new(
+        "Ablation placement ordering",
+        &["k", "n", "interleaved_raw", "natural_raw", "overhead"],
+    );
+    for &k in ks {
+        let interleaved = placement_raw_bell_pairs(k, n, &interleaved_order(k));
+        let natural: Vec<usize> = (0..k).collect();
+        let natural_raw = placement_raw_bell_pairs(k, n, &natural);
+        t.push_row(vec![
+            k.to_string(),
+            n.to_string(),
+            interleaved.to_string(),
+            natural_raw.to_string(),
+            format!("{:.2}x", natural_raw as f64 / interleaved as f64),
+        ]);
+    }
+    t
+}
+
+/// Depth and residual-error-rate comparison of the constant-depth Fanout
+/// gadget against the CNOT cascade at equal noise.
+pub fn fanout_ablation(
+    target_counts: &[usize],
+    p: f64,
+    shots: usize,
+    rng: &mut impl Rng,
+) -> ResultTable {
+    let mut t = ResultTable::new(
+        "Ablation fanout vs cascade",
+        &[
+            "targets",
+            "gadget_depth",
+            "cascade_depth",
+            "gadget_err",
+            "cascade_err",
+        ],
+    );
+    for &m in target_counts {
+        let total = 1 + 2 * m;
+        let targets: Vec<usize> = (1..=m).collect();
+        let ancillas: Vec<usize> = (1 + m..total).collect();
+
+        let mut gadget = Circuit::new(total, 0);
+        fanout_gadget(&mut gadget, 0, &targets, &ancillas);
+        let mut cascade = Circuit::new(1 + m, 0);
+        fanout_cascade(&mut cascade, 0, &targets);
+
+        let err_rate = |circ: &Circuit, data: &[usize], rng: &mut dyn rand::RngCore| {
+            let noisy = NoiseModel::standard(p).apply(circ);
+            let mut shim = crate::primitive_errors::dyn_rng(rng);
+            let hist = FrameSimulator::residual_histogram(&noisy, data, shots, &mut shim);
+            let id = stabilizer::pauli::PauliString::identity(data.len());
+            1.0 - hist.get(&id).copied().unwrap_or(0) as f64 / shots as f64
+        };
+        let data: Vec<usize> = (0..=m).collect();
+        let ge = err_rate(&gadget, &data, rng);
+        let ce = err_rate(&cascade, &data, rng);
+        t.push_row(vec![
+            m.to_string(),
+            gadget.depth().to_string(),
+            cascade.depth().to_string(),
+            ResultTable::fmt_f64(ge),
+            ResultTable::fmt_f64(ce),
+        ]);
+    }
+    t
+}
+
+/// Register footprint with and without communication-qubit recycling.
+pub fn qubit_reuse_ablation(ks: &[usize], n: usize) -> ResultTable {
+    use compas::ghz::distributed_ghz;
+    use network::machine::DistributedMachine;
+    let mut t = ResultTable::new(
+        "Ablation qubit reuse",
+        &["k", "n", "qubits_with_reuse", "qubits_without_reuse"],
+    );
+    for &k in ks {
+        let build = |reuse: bool| {
+            let mut m = DistributedMachine::new(k, n + 1, Topology::Line);
+            if !reuse {
+                m = m.without_qubit_reuse();
+            }
+            let parties: Vec<(usize, usize)> = (0..k.div_ceil(2))
+                .map(|i| (2 * i, m.data_qubit(2 * i, n)))
+                .collect();
+            distributed_ghz(&mut m, &parties);
+            let (r1, r2) = cswap_schedule(k);
+            for op in r1.iter().chain(&r2) {
+                let rho_a: Vec<usize> = (0..n).map(|l| m.data_qubit(op.pos_a, l)).collect();
+                let rho_b: Vec<usize> = (0..n).map(|l| m.data_qubit(op.pos_b, l)).collect();
+                let control = m.data_qubit(2 * op.control, n);
+                compas::cswap::teledata_cswap(&mut m, control, &rho_a, &rho_b);
+            }
+            m.circuit().num_qubits()
+        };
+        t.push_row(vec![
+            k.to_string(),
+            n.to_string(),
+            build(true).to_string(),
+            build(false).to_string(),
+        ]);
+    }
+    t
+}
+
+/// The Fig 2 four-way comparison: GHZ width and circuit depth of every
+/// multi-party SWAP test realisation, including the §2.3 Hadamard-test
+/// baseline, for `k` parties as the state width sweeps.
+pub fn fig2_comparison(k: usize, widths: &[usize]) -> ResultTable {
+    use compas::swap_test::{HadamardTestSwapTest, MonolithicSwapTest, MonolithicVariant};
+    let mut t = ResultTable::new(
+        "Fig 2 variant comparison",
+        &["variant", "k", "n", "ghz_width", "depth"],
+    );
+    for &n in widths {
+        let h = HadamardTestSwapTest::new(k, n);
+        t.push_row(vec![
+            "hadamard-test (2.3)".into(),
+            k.to_string(),
+            n.to_string(),
+            "1".into(),
+            h.circuit().depth().to_string(),
+        ]);
+        for (label, variant) in [
+            ("sequential (2b)", MonolithicVariant::Sequential),
+            ("wide-ghz (2c)", MonolithicVariant::WideGhz),
+            ("fanout (2d)", MonolithicVariant::Fanout),
+        ] {
+            let test = MonolithicSwapTest::new(k, n, variant);
+            t.push_row(vec![
+                label.into(),
+                k.to_string(),
+                n.to_string(),
+                test.ghz_width().to_string(),
+                test.circuit().depth().to_string(),
+            ]);
+        }
+    }
+    t
+}
+
+/// COMPAS Bell consumption across topologies (it only needs a line; the
+/// others should cost the same or less since they add links).
+pub fn topology_ablation(k: usize, n: usize) -> ResultTable {
+    let mut t = ResultTable::new(
+        "Ablation topology",
+        &["topology", "k", "n", "end_to_end", "raw"],
+    );
+    for topo in [
+        Topology::Line,
+        Topology::Ring,
+        Topology::Star,
+        Topology::Full,
+    ] {
+        let proto = CompasProtocol::with_config(k, n, CswapScheme::Teledata, 0.0, topo);
+        t.push_row(vec![
+            topo.to_string(),
+            k.to_string(),
+            n.to_string(),
+            proto.ledger().bell_pairs().to_string(),
+            proto.ledger().raw_bell_pairs().to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn interleaving_is_strictly_cheaper_than_natural_order() {
+        for k in [4usize, 6, 8, 12] {
+            let interleaved = placement_raw_bell_pairs(k, 2, &interleaved_order(k));
+            let natural: Vec<usize> = (0..k).collect();
+            let nat = placement_raw_bell_pairs(k, 2, &natural);
+            assert!(
+                nat > interleaved,
+                "k={k}: natural {nat} should exceed interleaved {interleaved}"
+            );
+        }
+    }
+
+    #[test]
+    fn interleaved_cost_is_all_single_hop() {
+        // Every CSWAP pair adjacent ⇒ raw = end-to-end = (k−1)·2n + GHZ
+        // links at distance 2.
+        let k = 6;
+        let n = 3;
+        let raw = placement_raw_bell_pairs(k, n, &interleaved_order(k));
+        let want = (k - 1) * 2 * n + 2 * (k.div_ceil(2) - 1);
+        assert_eq!(raw, want);
+    }
+
+    #[test]
+    fn gadget_depth_beats_cascade_beyond_the_crossover() {
+        // The gadget's ~9-moment constant cost crosses the cascade's
+        // linear depth between m = 8 and m = 16.
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = fanout_ablation(&[8, 16, 32], 0.003, 4_000, &mut rng);
+        let depth = |row: &Vec<String>, col: usize| row[col].parse::<usize>().unwrap();
+        // At m = 16 and 32 the gadget wins.
+        assert!(depth(&t.rows[1], 1) < depth(&t.rows[1], 2));
+        assert!(depth(&t.rows[2], 1) < depth(&t.rows[2], 2));
+        // The cascade's depth grows linearly; the gadget's does not.
+        assert_eq!(depth(&t.rows[2], 2), 32);
+        assert!(depth(&t.rows[2], 1) <= depth(&t.rows[1], 1) + 1);
+        // The price of constant depth: the gadget's extra measurement
+        // sites make it noisier per use than the bare cascade.
+        let err = |row: &Vec<String>, col: usize| row[col].parse::<f64>().unwrap();
+        assert!(err(&t.rows[1], 3) > err(&t.rows[1], 4) * 0.5);
+    }
+
+    #[test]
+    fn reuse_shrinks_the_register() {
+        let t = qubit_reuse_ablation(&[4, 6], 2);
+        for row in &t.rows {
+            let with: usize = row[2].parse().unwrap();
+            let without: usize = row[3].parse().unwrap();
+            assert!(with < without, "reuse must shrink the register: {row:?}");
+        }
+    }
+
+    #[test]
+    fn fig2_comparison_shows_the_tradeoffs() {
+        let t = fig2_comparison(4, &[2, 4, 8]);
+        let row = |variant: &str, n: &str| {
+            t.rows
+                .iter()
+                .find(|r| r[0].starts_with(variant) && r[2] == n)
+                .unwrap()
+                .clone()
+        };
+        // Wide-GHZ trades width for depth: width 2n·? = ⌈k/2⌉·n.
+        assert_eq!(row("wide-ghz", "8")[3], "16");
+        assert_eq!(row("fanout", "8")[3], "2");
+        // Sequential depth grows with n; fanout's does not.
+        let d = |v: &str, n: &str| row(v, n)[4].parse::<i64>().unwrap();
+        assert!(d("sequential (2b)", "8") > d("sequential (2b)", "2") + 6);
+        // The fanout gadget saturates at n = 4; beyond that it is flat.
+        assert!((d("fanout (2d)", "8") - d("fanout (2d)", "4")).abs() <= 1);
+        // The Hadamard-test baseline has the smallest control register.
+        assert_eq!(row("hadamard", "2")[3], "1");
+    }
+
+    #[test]
+    fn full_topology_never_needs_swapping_for_cswaps() {
+        let t = topology_ablation(5, 1);
+        let find = |name: &str| {
+            t.rows
+                .iter()
+                .find(|r| r[0] == name)
+                .map(|r| {
+                    (
+                        r[3].parse::<usize>().unwrap(),
+                        r[4].parse::<usize>().unwrap(),
+                    )
+                })
+                .unwrap()
+        };
+        let (line_e2e, line_raw) = find("line");
+        let (full_e2e, full_raw) = find("full");
+        assert_eq!(line_e2e, full_e2e, "end-to-end count is topology-free");
+        assert!(
+            full_raw <= line_raw,
+            "full graph cannot cost more raw pairs"
+        );
+    }
+}

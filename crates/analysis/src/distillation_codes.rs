@@ -1,0 +1,136 @@
+//! Entanglement-distillation codes for Fig 10 (paper refs \[5, 46\]).
+//!
+//! **Substitution (see DESIGN.md):** the paper plots specific codes from
+//! Bonilla Ataides et al. \[5\] at their published logical error rates.
+//! Those rates come from that paper's decoder simulations, which are out
+//! of scope here; we reproduce the same `[[n, k, d]]` catalogue and model
+//! the logical Bell-pair error with the standard phenomenological ansatz
+//! `p_L = A · (p_phys / p_th)^⌈d/2⌉` (A = 0.1, p_th = 0.1 — constant-rate
+//! distillation tolerates percent-level input infidelity), which
+//! reproduces the headline behaviours the paper relies on: LP codes reach
+//! `p_L < 10⁻⁶` from percent-level physical infidelity, higher-distance
+//! codes sit further left on Fig 10, and the LP-code rate is ≈ 1/7.
+
+use std::fmt;
+
+/// An `[[n, k, d]]` entanglement-distillation code point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DistillationCode {
+    /// Family label as printed in Fig 10.
+    pub name: &'static str,
+    /// Physical qubits per block.
+    pub n: usize,
+    /// Logical (distilled) Bell pairs per block.
+    pub k: usize,
+    /// Code distance.
+    pub d: usize,
+}
+
+impl DistillationCode {
+    /// The code rate `k/n` (the paper quotes ≈ 1/7 for the LP family).
+    pub fn rate(&self) -> f64 {
+        self.k as f64 / self.n as f64
+    }
+
+    /// Phenomenological logical error rate at physical infidelity
+    /// `p_phys`: `A (p/p_th)^⌈d/2⌉` with `A = 0.1`, `p_th = 0.1`.
+    pub fn logical_error_rate(&self, p_phys: f64) -> f64 {
+        let exponent = self.d.div_ceil(2) as i32;
+        0.1 * (p_phys / 0.1).powi(exponent)
+    }
+
+    /// Physical Bell pairs consumed per distilled pair (`1/rate`),
+    /// the paper's ≈ 3-to-1 memory factor for the LP family sits between
+    /// these values and the protocol overheads.
+    pub fn physical_per_logical(&self) -> f64 {
+        1.0 / self.rate()
+    }
+}
+
+impl fmt::Display for DistillationCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [[{}, {}, {}]]", self.name, self.n, self.k, self.d)
+    }
+}
+
+/// The code catalogue plotted in Fig 10.
+pub fn catalog() -> Vec<DistillationCode> {
+    vec![
+        DistillationCode {
+            name: "HGP",
+            n: 1225,
+            k: 49,
+            d: 8,
+        },
+        DistillationCode {
+            name: "LP",
+            n: 544,
+            k: 80,
+            d: 12,
+        },
+        DistillationCode {
+            name: "LP",
+            n: 714,
+            k: 100,
+            d: 16,
+        },
+        DistillationCode {
+            name: "LP",
+            n: 1020,
+            k: 136,
+            d: 20,
+        },
+        DistillationCode {
+            name: "SC",
+            n: 5800,
+            k: 1624,
+            d: 20,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalogue_matches_fig10_labels() {
+        let codes = catalog();
+        assert_eq!(codes.len(), 5);
+        assert_eq!(codes[0].to_string(), "HGP [[1225, 49, 8]]");
+        assert_eq!(codes[3].to_string(), "LP [[1020, 136, 20]]");
+    }
+
+    #[test]
+    fn lp_rate_is_about_one_seventh() {
+        // The paper: "a lifted product (LP) code that has a rate of
+        // roughly 1/7".
+        let lp = DistillationCode {
+            name: "LP",
+            n: 714,
+            k: 100,
+            d: 16,
+        };
+        assert!((lp.rate() - 1.0 / 7.14).abs() < 0.01);
+        assert!(lp.physical_per_logical() > 7.0 && lp.physical_per_logical() < 7.3);
+    }
+
+    #[test]
+    fn lp_codes_reach_below_1e6_from_percent_level_noise() {
+        // The paper: LP distillation reduces logical Bell infidelity
+        // below 10⁻⁶ from the experimental ~1–3 % entanglement
+        // infidelities.
+        for code in catalog().into_iter().filter(|c| c.d >= 12) {
+            let p_l = code.logical_error_rate(0.013); // trapped-ion 0.970(4)
+            assert!(p_l < 1e-6, "{code}: {p_l}");
+        }
+    }
+
+    #[test]
+    fn higher_distance_means_lower_logical_error() {
+        let codes = catalog();
+        let hgp = codes[0].logical_error_rate(0.01);
+        let lp20 = codes[3].logical_error_rate(0.01);
+        assert!(lp20 < hgp);
+    }
+}

@@ -1,0 +1,175 @@
+//! Table 4: residual Pauli errors of the noisy constant-depth Fanout.
+//!
+//! Reproduces the paper's §5.1 methodology: the Fanout gadget is Clifford
+//! with feed-forward, so the noisy gadget equals the ideal gadget followed
+//! by a Pauli error `E = U_noisy · U_ideal⁻¹` drawn from a distribution.
+//! We sample that distribution with the Pauli-frame simulator
+//! ([`stabilizer::frame::FrameSimulator`], our Stim stand-in) under the
+//! standard circuit-level model: depolarizing `p/10` after one-qubit
+//! gates, `p` after two-qubit gates, measurement flip `p`.
+//!
+//! The qualitative claims checked against the paper: the dominant error
+//! is **Z on the control** (a flipped release measurement corrupts the
+//! Pauli-frame Z correction), followed by **X blocks on the targets**
+//! (flipped fusion measurements corrupt blocks of X corrections).
+
+use circuit::circuit::Circuit;
+use circuit::noise::NoiseModel;
+use compas::fanout::fanout_gadget;
+use rand::Rng;
+use stabilizer::frame::FrameSimulator;
+use stabilizer::pauli::PauliString;
+
+use crate::table_io::ResultTable;
+
+/// One Table 4 row: a noise level, a target count, and the most probable
+/// non-identity residual errors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FanoutNoiseRow {
+    /// Physical two-qubit error rate `p`.
+    pub p: f64,
+    /// Number of Fanout targets.
+    pub targets: usize,
+    /// `(pattern, probability)` for the top non-identity residuals; the
+    /// leftmost letter is the control qubit, as in the paper.
+    pub top_errors: Vec<(PauliString, f64)>,
+    /// Probability of no residual error at all.
+    pub identity_probability: f64,
+}
+
+/// The noisy Fanout gadget circuit on `[control, targets…, ancillas…]`.
+pub fn noisy_fanout_circuit(targets: usize, p: f64) -> Circuit {
+    let total = 1 + 2 * targets;
+    let tqs: Vec<usize> = (1..=targets).collect();
+    let anc: Vec<usize> = (1 + targets..total).collect();
+    let mut ideal = Circuit::new(total, 0);
+    fanout_gadget(&mut ideal, 0, &tqs, &anc);
+    NoiseModel::standard(p).apply(&ideal)
+}
+
+/// Samples the residual-error distribution of the Fanout gadget on
+/// `[control, t_1…t_m]` and returns the `top` most probable non-identity
+/// patterns.
+pub fn fanout_error_distribution(
+    targets: usize,
+    p: f64,
+    shots: usize,
+    top: usize,
+    rng: &mut impl Rng,
+) -> FanoutNoiseRow {
+    let circ = noisy_fanout_circuit(targets, p);
+    let data: Vec<usize> = (0..=targets).collect();
+    let hist = FrameSimulator::residual_histogram(&circ, &data, shots, rng);
+    let identity = PauliString::identity(targets + 1);
+    let identity_probability = hist.get(&identity).copied().unwrap_or(0) as f64 / shots as f64;
+    let mut entries: Vec<(PauliString, f64)> = hist
+        .into_iter()
+        .filter(|(pauli, _)| !pauli.is_identity())
+        .map(|(pauli, count)| (pauli, count as f64 / shots as f64))
+        .collect();
+    entries.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    entries.truncate(top);
+    FanoutNoiseRow {
+        p,
+        targets,
+        top_errors: entries,
+        identity_probability,
+    }
+}
+
+/// Regenerates Table 4: the grid of noise levels × target counts.
+pub fn table4(
+    noise_levels: &[f64],
+    target_counts: &[usize],
+    shots: usize,
+    rng: &mut impl Rng,
+) -> Vec<FanoutNoiseRow> {
+    let mut rows = Vec::new();
+    for &m in target_counts {
+        for &p in noise_levels {
+            rows.push(fanout_error_distribution(m, p, shots, 4, rng));
+        }
+    }
+    rows
+}
+
+/// Formats Table 4 rows in the paper's layout.
+pub fn table4_result(rows: &[FanoutNoiseRow]) -> ResultTable {
+    let mut t = ResultTable::new(
+        "Table 4 fanout residual errors",
+        &["p_phy", "targets", "1st", "2nd", "3rd", "4th"],
+    );
+    for row in rows {
+        let mut cells = vec![format!("{}", row.p), format!("{}", row.targets)];
+        for i in 0..4 {
+            cells.push(match row.top_errors.get(i) {
+                Some((pat, prob)) => format!("{pat}: {:.2}%", 100.0 * prob),
+                None => "-".to_string(),
+            });
+        }
+        t.push_row(cells);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_noise_leaves_identity_only() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let row = fanout_error_distribution(4, 0.0, 200, 4, &mut rng);
+        assert!(row.top_errors.is_empty());
+        assert!((row.identity_probability - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dominant_error_is_z_on_control() {
+        // The paper's headline observation (Table 4, "1st Error" column).
+        let mut rng = StdRng::seed_from_u64(2);
+        for m in [4usize, 6] {
+            let row = fanout_error_distribution(m, 0.003, 30_000, 4, &mut rng);
+            let (top, _) = &row.top_errors[0];
+            let mut want = PauliString::identity(m + 1);
+            want.set(0, stabilizer::pauli::Pauli::Z);
+            assert_eq!(top, &want, "m={m}: top error {top}");
+        }
+    }
+
+    #[test]
+    fn x_blocks_appear_on_targets() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let row = fanout_error_distribution(4, 0.005, 30_000, 4, &mut rng);
+        // Among the top-4 errors, at least one must be an X-only pattern
+        // on targets with identity control (the paper's IIIXX family).
+        let has_x_block = row.top_errors.iter().any(|(p, _)| {
+            p.get(0) == stabilizer::pauli::Pauli::I
+                && p.iter()
+                    .skip(1)
+                    .all(|q| matches!(q, stabilizer::pauli::Pauli::I | stabilizer::pauli::Pauli::X))
+                && !p.is_identity()
+        });
+        assert!(has_x_block, "top errors: {:?}", row.top_errors);
+    }
+
+    #[test]
+    fn error_rate_grows_with_p() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let low = fanout_error_distribution(4, 0.001, 20_000, 4, &mut rng);
+        let high = fanout_error_distribution(4, 0.005, 20_000, 4, &mut rng);
+        assert!(high.identity_probability < low.identity_probability);
+    }
+
+    #[test]
+    fn table4_grid_and_rendering() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let rows = table4(&[0.001, 0.005], &[4], 2_000, &mut rng);
+        assert_eq!(rows.len(), 2);
+        let text = table4_result(&rows).to_text();
+        assert!(text.contains("p_phy"));
+        assert!(text.contains('%'));
+    }
+}

@@ -1,0 +1,138 @@
+//! Fig 9c: overall fidelity estimate of the full COMPAS protocol.
+//!
+//! Exactly the paper's §5.4 composition: one protocol run prepares a
+//! `⌈k/2⌉`-party GHZ state and performs `k−1` CSWAPs in two layers, so
+//! the worst-case fidelity is
+//!
+//! `F(n, k) = (1 − p_GHZ(⌈k/2⌉)) · (1 − p_CSWAP(n))^(k−1)`,
+//!
+//! with `p_GHZ` from the Fig 9a analysis and `p_CSWAP` from the Fig 9b
+//! analysis.
+
+use compas::cswap::CswapScheme;
+use rand::Rng;
+
+use crate::cswap_fidelity::{cswap_classical_fidelity, fig9b_inputs, CswapNoiseModel};
+use crate::ghz_fidelity::ghz_fidelity_sampled;
+use crate::table_io::ResultTable;
+
+/// One Fig 9c series: estimated protocol fidelity vs state width.
+#[derive(Debug, Clone)]
+pub struct OverallFidelitySeries {
+    /// CSWAP scheme.
+    pub scheme: CswapScheme,
+    /// QPU count.
+    pub k: usize,
+    /// Two-qubit error rate.
+    pub p: f64,
+    /// `(n, fidelity estimate)` points.
+    pub points: Vec<(usize, f64)>,
+}
+
+/// Composes the §5.4 lower bound from component error rates.
+pub fn overall_fidelity(p_ghz: f64, p_cswap: f64, k: usize) -> f64 {
+    (1.0 - p_ghz) * (1.0 - p_cswap).powi(k as i32 - 1)
+}
+
+/// Sweeps Fig 9c: fidelity estimate vs `n` for each `(scheme, k, p)`.
+pub fn fig9c(
+    widths: &[usize],
+    qpu_counts: &[usize],
+    noise_levels: &[f64],
+    characterize_shots: usize,
+    shots_per_input: usize,
+    rng: &mut impl Rng,
+) -> Vec<OverallFidelitySeries> {
+    let mut out = Vec::new();
+    for scheme in [CswapScheme::Teledata, CswapScheme::Telegate] {
+        for &k in qpu_counts {
+            for &p in noise_levels {
+                let ghz_f = ghz_fidelity_sampled(k.div_ceil(2), p, characterize_shots, rng);
+                let p_ghz = 1.0 - ghz_f;
+                let mut points = Vec::new();
+                for &n in widths {
+                    let model = CswapNoiseModel::characterize(n, p, characterize_shots, rng);
+                    let inputs = fig9b_inputs(n, rng);
+                    let f_cswap =
+                        cswap_classical_fidelity(scheme, &model, &inputs, shots_per_input, rng);
+                    points.push((n, overall_fidelity(p_ghz, 1.0 - f_cswap, k)));
+                }
+                out.push(OverallFidelitySeries {
+                    scheme,
+                    k,
+                    p,
+                    points,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Renders Fig 9c series as a table.
+pub fn fig9c_result(series: &[OverallFidelitySeries]) -> ResultTable {
+    let mut t = ResultTable::new(
+        "Fig 9c overall fidelity estimate",
+        &["scheme", "k", "p2q", "n", "fidelity"],
+    );
+    for s in series {
+        for &(n, f) in &s.points {
+            t.push_row(vec![
+                s.scheme.to_string(),
+                format!("{}", s.k),
+                format!("{}", s.p),
+                format!("{n}"),
+                ResultTable::fmt_f64(f),
+            ]);
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn composition_formula() {
+        assert!((overall_fidelity(0.0, 0.0, 8) - 1.0).abs() < 1e-15);
+        let f = overall_fidelity(0.1, 0.05, 3);
+        assert!((f - 0.9 * 0.95 * 0.95).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fidelity_decreases_with_k() {
+        assert!(overall_fidelity(0.01, 0.02, 12) < overall_fidelity(0.01, 0.02, 8));
+    }
+
+    #[test]
+    fn fig9c_shapes_hold_on_a_small_grid() {
+        // Fidelity falls with n and with k; teledata ≥ telegate on
+        // average (the paper's observations for Fig 9c).
+        let mut rng = StdRng::seed_from_u64(9);
+        let series = fig9c(&[1, 3], &[4, 8], &[0.005], 4_000, 40, &mut rng);
+        for s in &series {
+            assert!(
+                s.points[1].1 < s.points[0].1 + 0.02,
+                "{} k={}: fidelity should fall with n: {:?}",
+                s.scheme,
+                s.k,
+                s.points
+            );
+        }
+        // Compare k = 4 vs k = 8 for teledata at n = 3.
+        let f = |k: usize| {
+            series
+                .iter()
+                .find(|s| s.k == k && s.scheme == CswapScheme::Teledata)
+                .unwrap()
+                .points[1]
+                .1
+        };
+        assert!(f(8) < f(4) + 0.02, "k=8 {} vs k=4 {}", f(8), f(4));
+        let text = fig9c_result(&series).to_text();
+        assert!(text.contains("fidelity"));
+    }
+}

@@ -1,0 +1,206 @@
+//! Primitive-level Pauli error models (paper §5.2's "blackboxing").
+//!
+//! Simulating the full distributed CSWAP with every communication qubit
+//! is intractable, so — exactly as the paper does with Stim — each
+//! Clifford primitive (state teleportation, telegate CNOT, cat-copy
+//! round trip, Fanout) is characterised once by frame-sampling its
+//! residual-error distribution under circuit-level noise; the resulting
+//! empirical samplers are then injected at the corresponding locations of
+//! the *logical* CSWAP circuit in [`crate::cswap_fidelity`].
+
+use circuit::circuit::Circuit;
+use circuit::noise::NoiseModel;
+use network::teleop;
+use rand::Rng;
+use stabilizer::frame::FrameSimulator;
+use stabilizer::pauli::PauliString;
+use std::collections::HashMap;
+
+/// An empirical distribution over residual Pauli errors, sampled in O(1).
+#[derive(Debug, Clone)]
+pub struct PauliErrorSampler {
+    /// `(pattern, cumulative probability)` in increasing cumulative order.
+    cumulative: Vec<(PauliString, f64)>,
+    width: usize,
+    error_rate: f64,
+}
+
+impl PauliErrorSampler {
+    /// Builds a sampler from a residual histogram over `width` qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty histogram.
+    pub fn from_histogram(hist: HashMap<PauliString, usize>, width: usize) -> Self {
+        assert!(!hist.is_empty(), "cannot sample an empty histogram");
+        let total: usize = hist.values().sum();
+        let mut entries: Vec<(PauliString, f64)> = hist
+            .into_iter()
+            .map(|(p, c)| (p, c as f64 / total as f64))
+            .collect();
+        // Most probable first keeps expected lookup short.
+        entries.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        let error_rate = entries
+            .iter()
+            .filter(|(p, _)| !p.is_identity())
+            .map(|(_, q)| q)
+            .sum();
+        let mut acc = 0.0;
+        let cumulative = entries
+            .into_iter()
+            .map(|(p, q)| {
+                acc += q;
+                (p, acc)
+            })
+            .collect();
+        PauliErrorSampler {
+            cumulative,
+            width,
+            error_rate,
+        }
+    }
+
+    /// Characterises a noisy Clifford `circuit` by `shots` frame samples
+    /// restricted to `data_qubits`.
+    pub fn from_circuit(
+        circuit: &Circuit,
+        data_qubits: &[usize],
+        shots: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let hist = FrameSimulator::residual_histogram(circuit, data_qubits, shots, rng);
+        Self::from_histogram(hist, data_qubits.len())
+    }
+
+    /// Number of qubits a sample covers.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Probability of a non-identity residual.
+    pub fn error_rate(&self) -> f64 {
+        self.error_rate
+    }
+
+    /// Draws one residual error.
+    pub fn sample(&self, rng: &mut impl Rng) -> &PauliString {
+        let u: f64 = rng.random();
+        for (p, acc) in &self.cumulative {
+            if u <= *acc {
+                return p;
+            }
+        }
+        &self.cumulative.last().expect("non-empty").0
+    }
+}
+
+/// Characterises one state teleportation (Fig 1a) including Bell-pair
+/// preparation: the returned sampler covers the **destination qubit**.
+pub fn teleport_sampler(p: f64, shots: usize, rng: &mut impl Rng) -> PauliErrorSampler {
+    // Register: 0 = src, 1 = ebit_src, 2 = dst.
+    let mut c = Circuit::new(3, 2);
+    teleop::prepare_bell(&mut c, 1, 2);
+    teleop::teledata(&mut c, 0, 1, 2, 0, 1);
+    let noisy = NoiseModel::standard(p).apply(&c);
+    PauliErrorSampler::from_circuit(&noisy, &[2], shots, rng)
+}
+
+/// Characterises one telegate CNOT (Fig 1b) including Bell-pair
+/// preparation: the sampler covers `(control, target)`.
+pub fn telegate_cnot_sampler(p: f64, shots: usize, rng: &mut impl Rng) -> PauliErrorSampler {
+    // Register: 0 = control, 1 = target, 2 = ebit_ctl, 3 = ebit_tgt.
+    let mut c = Circuit::new(4, 2);
+    teleop::prepare_bell(&mut c, 2, 3);
+    teleop::telegate_cx(&mut c, 0, 1, 2, 3, 0, 1);
+    let noisy = NoiseModel::standard(p).apply(&c);
+    PauliErrorSampler::from_circuit(&noisy, &[0, 1], shots, rng)
+}
+
+/// Characterises the cat-copy/uncopy round trip used by the teleported
+/// Toffoli (Fig 6d), excluding the local CCZ itself (which is simulated
+/// explicitly): the sampler covers the **remote data qubit**.
+pub fn cat_roundtrip_sampler(p: f64, shots: usize, rng: &mut impl Rng) -> PauliErrorSampler {
+    // Register: 0 = src (remote data), 1 = ebit_src, 2 = ebit_dst (copy).
+    let mut c = Circuit::new(3, 2);
+    teleop::prepare_bell(&mut c, 1, 2);
+    c.h(0);
+    teleop::cat_copy(&mut c, 0, 1, 2, 0);
+    teleop::cat_uncopy(&mut c, 2, 0, 1);
+    c.h(0);
+    let noisy = NoiseModel::standard(p).apply(&c);
+    PauliErrorSampler::from_circuit(&noisy, &[0], shots, rng)
+}
+
+/// Characterises the constant-depth Fanout over `m` targets: the sampler
+/// covers `[control, t_1…t_m]`. (Identical to the Table 4 distribution.)
+pub fn fanout_sampler(m: usize, p: f64, shots: usize, rng: &mut impl Rng) -> PauliErrorSampler {
+    let circ = crate::fanout_noise::noisy_fanout_circuit(m, p);
+    let data: Vec<usize> = (0..=m).collect();
+    PauliErrorSampler::from_circuit(&circ, &data, shots, rng)
+}
+
+/// Wraps an unsized `&mut dyn RngCore` so APIs taking `impl Rng` accept it.
+pub fn dyn_rng(rng: &mut dyn rand::RngCore) -> impl rand::RngCore + '_ {
+    struct Shim<'a>(&'a mut dyn rand::RngCore);
+    impl rand::RngCore for Shim<'_> {
+        fn next_u32(&mut self) -> u32 {
+            self.0.next_u32()
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            self.0.fill_bytes(dest)
+        }
+    }
+    Shim(rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sampler_respects_distribution() {
+        let mut hist = HashMap::new();
+        hist.insert(PauliString::identity(1), 900usize);
+        hist.insert("X".parse().unwrap(), 100usize);
+        let s = PauliErrorSampler::from_histogram(hist, 1);
+        assert!((s.error_rate() - 0.1).abs() < 1e-12);
+        let mut rng = StdRng::seed_from_u64(0);
+        let draws = 20_000;
+        let xs = (0..draws)
+            .filter(|_| !s.sample(&mut rng).is_identity())
+            .count();
+        let f = xs as f64 / draws as f64;
+        assert!((f - 0.1).abs() < 0.01, "sampled X rate {f}");
+    }
+
+    #[test]
+    fn noiseless_primitives_have_zero_error_rate() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(teleport_sampler(0.0, 100, &mut rng).error_rate(), 0.0);
+        assert_eq!(telegate_cnot_sampler(0.0, 100, &mut rng).error_rate(), 0.0);
+        assert_eq!(cat_roundtrip_sampler(0.0, 100, &mut rng).error_rate(), 0.0);
+    }
+
+    #[test]
+    fn error_rates_scale_with_p() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let lo = teleport_sampler(0.001, 20_000, &mut rng).error_rate();
+        let hi = teleport_sampler(0.005, 20_000, &mut rng).error_rate();
+        assert!(hi > lo, "{hi} !> {lo}");
+        // Roughly linear in p at these rates.
+        assert!(hi / lo > 2.0 && hi / lo < 10.0, "ratio {}", hi / lo);
+    }
+
+    #[test]
+    fn widths_are_correct() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(teleport_sampler(0.001, 500, &mut rng).width(), 1);
+        assert_eq!(telegate_cnot_sampler(0.001, 500, &mut rng).width(), 2);
+        assert_eq!(fanout_sampler(3, 0.001, 500, &mut rng).width(), 4);
+    }
+}

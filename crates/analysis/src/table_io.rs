@@ -1,0 +1,167 @@
+//! Plain-text and CSV emission for experiment results.
+//!
+//! The benchmark binaries print every reproduced table/figure as aligned
+//! text (mirroring the paper's layout) and optionally persist the raw
+//! series as CSV under a results directory, keeping the workspace free of
+//! serialisation dependencies.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// A rectangular result table with named columns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultTable {
+    /// Table title (used as the default file stem).
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Rows of cells, each row the same length as `columns`.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl ResultTable {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
+        ResultTable {
+            title: title.into(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the column count.
+    pub fn push_row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.columns.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Formats a float cell compactly.
+    pub fn fmt_f64(v: f64) -> String {
+        if v == 0.0 {
+            "0".to_string()
+        } else if v.abs() >= 0.01 && v.abs() < 1e6 {
+            format!("{v:.4}")
+        } else {
+            format!("{v:.3e}")
+        }
+    }
+
+    /// Renders the aligned text form.
+    pub fn to_text(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect();
+        out.push_str(&header.join("  "));
+        out.push('\n');
+        for row in &self.rows {
+            let line: Vec<String> = row
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect();
+            out.push_str(&line.join("  "));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders CSV (headers + rows, comma-separated, no quoting — cells
+    /// are numeric or simple labels).
+    pub fn to_csv(&self) -> String {
+        let mut out = self.columns.join(",");
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the CSV next to other results in `dir`, returning the path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_csv(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        fs::create_dir_all(dir)?;
+        let stem: String = self
+            .title
+            .to_lowercase()
+            .chars()
+            .map(|c| if c.is_alphanumeric() { c } else { '_' })
+            .collect();
+        let path = dir.join(format!("{stem}.csv"));
+        let mut f = fs::File::create(&path)?;
+        f.write_all(self.to_csv().as_bytes())?;
+        Ok(path)
+    }
+}
+
+/// The default results directory used by the benchmark binaries.
+pub fn default_results_dir() -> PathBuf {
+    PathBuf::from("results")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_rendering_aligns_columns() {
+        let mut t = ResultTable::new("Demo", &["a", "long_column"]);
+        t.push_row(vec!["1".into(), "2".into()]);
+        let text = t.to_text();
+        assert!(text.contains("== Demo =="));
+        assert!(text.contains("long_column"));
+    }
+
+    #[test]
+    fn csv_roundtrip_shape() {
+        let mut t = ResultTable::new("x", &["p", "f"]);
+        t.push_row(vec!["0.001".into(), "0.99".into()]);
+        let csv = t.to_csv();
+        assert_eq!(csv.lines().count(), 2);
+        assert_eq!(csv.lines().next().unwrap(), "p,f");
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(ResultTable::fmt_f64(0.0), "0");
+        assert_eq!(ResultTable::fmt_f64(0.5), "0.5000");
+        assert!(ResultTable::fmt_f64(1e-7).contains('e'));
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn row_width_checked() {
+        let mut t = ResultTable::new("x", &["a", "b"]);
+        t.push_row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn write_csv_creates_file() {
+        let dir = std::env::temp_dir().join("compas_table_io_test");
+        let mut t = ResultTable::new("Tiny Table", &["v"]);
+        t.push_row(vec!["3".into()]);
+        let path = t.write_csv(&dir).unwrap();
+        assert!(path.exists());
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,207 @@
+//! Transverse-field Ising chains and thermal states.
+//!
+//! The virtual-cooling experiment (§6.3) needs a many-body Hamiltonian
+//! whose thermal states have interesting temperature dependence; the
+//! paper's references realise virtual cooling on ultracold-atom Hubbard
+//! systems \[13\]. We use the transverse-field Ising model (TFIM)
+//! `H = −J Σ Z_i Z_{i+1} − h Σ X_i` as the standard laptop-scale stand-in:
+//! it is exactly diagonalisable at our sizes and crosses a quantum
+//! critical point at `h/J = 1`, giving the cooling curves structure.
+
+use mathkit::eigen::hermitian_fn;
+use mathkit::matrix::Matrix;
+use stabilizer::pauli::{Pauli, PauliString};
+
+use crate::observable::Observable;
+
+/// A transverse-field Ising chain `H = −J Σ Z_i Z_{i+1} − h Σ X_i` on `n`
+/// sites with open boundaries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IsingChain {
+    /// Number of sites (qubits).
+    pub sites: usize,
+    /// Coupling strength `J`.
+    pub coupling: f64,
+    /// Transverse field `h`.
+    pub field: f64,
+}
+
+impl IsingChain {
+    /// A chain with the given parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sites == 0`.
+    pub fn new(sites: usize, coupling: f64, field: f64) -> Self {
+        assert!(sites >= 1, "a chain needs at least one site");
+        IsingChain {
+            sites,
+            coupling,
+            field,
+        }
+    }
+
+    /// The Hamiltonian as an [`Observable`] (sum of Pauli strings).
+    pub fn observable(&self) -> Observable {
+        let n = self.sites;
+        let mut h = Observable::zero(n);
+        for i in 0..n.saturating_sub(1) {
+            let mut zz = PauliString::identity(n);
+            zz.set(i, Pauli::Z);
+            zz.set(i + 1, Pauli::Z);
+            h.add_term(-self.coupling, zz);
+        }
+        for i in 0..n {
+            h.add_term(-self.field, PauliString::single(n, i, Pauli::X));
+        }
+        h
+    }
+
+    /// Dense Hamiltonian matrix.
+    pub fn hamiltonian(&self) -> Matrix {
+        self.observable().matrix()
+    }
+
+    /// The Gibbs state `ρ_β = e^{−βH} / tr e^{−βH}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `beta` is not finite.
+    pub fn thermal_state(&self, beta: f64) -> Matrix {
+        assert!(beta.is_finite(), "inverse temperature must be finite");
+        thermal_state(&self.hamiltonian(), beta)
+    }
+
+    /// Exact thermal expectation `⟨O⟩_β = tr(O ρ_β)`.
+    pub fn thermal_expectation(&self, obs: &Observable, beta: f64) -> f64 {
+        let rho = self.thermal_state(beta);
+        (&obs.matrix() * &rho).trace().re
+    }
+
+    /// Exact ground-state energy (smallest eigenvalue).
+    pub fn ground_energy(&self) -> f64 {
+        let eig = mathkit::eigen::eigh(&self.hamiltonian());
+        eig.values.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// The exact ground-state vector (eigenvector of the smallest
+    /// eigenvalue), as amplitudes over the computational basis.
+    pub fn ground_state(&self) -> Vec<mathkit::complex::Complex> {
+        let eig = mathkit::eigen::eigh(&self.hamiltonian());
+        let (idx, _) = eig
+            .values
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| a.partial_cmp(b).unwrap())
+            .expect("non-empty spectrum");
+        let dim = eig.vectors.rows();
+        (0..dim).map(|r| eig.vectors[(r, idx)]).collect()
+    }
+
+    /// The reduced density matrix of the first `left` sites of the ground
+    /// state — the input to entanglement spectroscopy (§6.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `left` is 0 or ≥ the chain length.
+    pub fn ground_state_reduction(&self, left: usize) -> Matrix {
+        assert!(left >= 1 && left < self.sites, "need a proper bipartition");
+        let psi = qsim::statevector::StateVector::from_amplitudes(self.ground_state());
+        let rho = psi.to_density();
+        rho.partial_trace(
+            1 << left,
+            1 << (self.sites - left),
+            mathkit::matrix::TraceKeep::A,
+        )
+    }
+}
+
+/// The Gibbs state of an arbitrary Hermitian `h` at inverse temperature
+/// `beta`, computed by exact diagonalisation with a spectral shift for numerical
+/// stability.
+pub fn thermal_state(h: &Matrix, beta: f64) -> Matrix {
+    let eig = mathkit::eigen::eigh(h);
+    let min_e = eig.values.iter().copied().fold(f64::INFINITY, f64::min);
+    let unnorm = hermitian_fn(h, |e| (-beta * (e - min_e)).exp());
+    let z = unnorm.trace().re;
+    unnorm.scale(mathkit::complex::c64(1.0 / z, 0.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thermal_state_is_valid_density_matrix() {
+        let chain = IsingChain::new(3, 1.0, 0.7);
+        for beta in [0.0, 0.5, 2.0] {
+            let rho = chain.thermal_state(beta);
+            assert!((rho.trace().re - 1.0).abs() < 1e-10);
+            assert!(rho.is_hermitian(1e-10));
+            let eig = mathkit::eigen::eigh(&rho);
+            assert!(eig.values.iter().all(|&e| e > -1e-12));
+        }
+    }
+
+    #[test]
+    fn infinite_temperature_is_maximally_mixed() {
+        let chain = IsingChain::new(2, 1.0, 0.3);
+        let rho = chain.thermal_state(0.0);
+        for i in 0..4 {
+            assert!((rho[(i, i)].re - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn energy_decreases_with_beta() {
+        let chain = IsingChain::new(3, 1.0, 0.5);
+        let h = chain.observable();
+        let e_hot = chain.thermal_expectation(&h, 0.2);
+        let e_cold = chain.thermal_expectation(&h, 3.0);
+        assert!(e_cold < e_hot, "{e_cold} !< {e_hot}");
+        assert!(e_cold >= chain.ground_energy() - 1e-9);
+    }
+
+    #[test]
+    fn single_site_field_ground_state() {
+        // H = −h X on one site: ground energy −h.
+        let chain = IsingChain::new(1, 1.0, 2.0);
+        assert!((chain.ground_energy() + 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn ground_state_is_normalised_eigenvector() {
+        let chain = IsingChain::new(3, 1.0, 0.8);
+        let psi = chain.ground_state();
+        let norm: f64 = psi.iter().map(|a| a.norm_sqr()).sum();
+        assert!((norm - 1.0).abs() < 1e-10);
+        // H|ψ⟩ = E₀|ψ⟩.
+        let h = chain.hamiltonian();
+        let hpsi = h.mul_vec(&psi);
+        let e0 = chain.ground_energy();
+        for (a, b) in hpsi.iter().zip(&psi) {
+            assert!((*a - b.scale(e0)).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn ground_state_reduction_is_a_density_matrix() {
+        let chain = IsingChain::new(4, 1.0, 1.0); // critical point
+        let rho = chain.ground_state_reduction(2);
+        assert_eq!(rho.rows(), 4);
+        assert!((rho.trace().re - 1.0).abs() < 1e-10);
+        assert!(rho.is_hermitian(1e-10));
+        // At criticality the half-chain is genuinely mixed.
+        let purity = (&rho * &rho).trace().re;
+        assert!(purity < 0.999, "purity {purity}");
+    }
+
+    #[test]
+    fn hamiltonian_matches_observable_terms() {
+        let chain = IsingChain::new(2, 1.3, 0.4);
+        let h = chain.hamiltonian();
+        assert!(h.is_hermitian(1e-12));
+        // ⟨00|H|00⟩ = −J (ZZ term) since ⟨00|X_i|00⟩ = 0.
+        assert!((h[(0, 0)].re + 1.3).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,43 @@
+//! Applications of the COMPAS distributed multi-party SWAP test
+//! (paper §6).
+//!
+//! Every application reduces to multivariate trace estimation and runs on
+//! any [`compas::estimator::TraceBackend`] — the monolithic reference,
+//! the COMPAS distributed protocol, or the exact linear-algebra backend:
+//!
+//! * [`renyi`] — Rényi entropies `S_m(ρ)` from `tr(ρᵐ)` (§6.1);
+//! * [`spectroscopy`] — entanglement spectra via Newton–Girard (§6.2);
+//! * [`cooling`] — virtual cooling of thermal states, `⟨O⟩_{ρᵐ/tr ρᵐ}`
+//!   on the [`ising::IsingChain`] substrate (§6.3);
+//! * [`distillation`] — virtual distillation for error mitigation (§6.3);
+//! * [`qsp`] — parallel quantum signal processing by polynomial
+//!   factorisation (§6.4);
+//! * [`observable`] — Pauli-sum observables shared by the above.
+
+pub mod cooling;
+pub mod distillation;
+pub mod ising;
+pub mod observable;
+pub mod qsp;
+pub mod renyi;
+pub mod spectroscopy;
+
+/// Convenient re-exports of the main types.
+pub mod prelude {
+    pub use crate::cooling::{
+        estimate_virtual_expectation, virtual_expectation_exact, VirtualExpectation,
+    };
+    pub use crate::distillation::NoisyPreparation;
+    pub use crate::ising::{thermal_state, IsingChain};
+    pub use crate::observable::{pauli_string_matrix, Observable};
+    pub use crate::qsp::{
+        estimate_poly_trace_by_sums, factor_polynomial, poly_trace_exact, ParallelQsp, QspError,
+    };
+    pub use crate::renyi::{
+        estimate_renyi_entropy, renyi_entropy_exact, renyi_trace_exact, RenyiEstimate,
+    };
+    pub use crate::spectroscopy::{
+        estimate_spectrum, exact_power_traces, spectrum_error, spectrum_from_traces,
+        SpectroscopyResult,
+    };
+}

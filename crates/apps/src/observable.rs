@@ -1,0 +1,162 @@
+//! Hermitian observables as weighted sums of Pauli strings.
+//!
+//! The virtual-cooling and virtual-distillation applications (§6.3)
+//! estimate `tr(O·ρᵐ)` term by term: each Pauli term rides through one
+//! observable-weighted SWAP test
+//! ([`compas::swap_test::MonolithicSwapTest::with_observable`]), and the
+//! coefficients recombine classically.
+
+use mathkit::complex::c64;
+use mathkit::matrix::Matrix;
+use stabilizer::pauli::{Pauli, PauliString};
+use std::fmt;
+
+/// A Hermitian observable `O = Σ c_i P_i` with real coefficients.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Observable {
+    terms: Vec<(f64, PauliString)>,
+    num_qubits: usize,
+}
+
+impl Observable {
+    /// An empty (zero) observable on `n` qubits.
+    pub fn zero(n: usize) -> Self {
+        Observable {
+            terms: Vec::new(),
+            num_qubits: n,
+        }
+    }
+
+    /// A single weighted Pauli term.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the string is empty.
+    pub fn from_pauli(coeff: f64, p: PauliString) -> Self {
+        assert!(!p.is_empty(), "observable needs at least one qubit");
+        let n = p.len();
+        Observable {
+            terms: vec![(coeff, p)],
+            num_qubits: n,
+        }
+    }
+
+    /// Adds a term (merging is not attempted; terms are kept as given).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the term's width differs from the observable's.
+    pub fn add_term(&mut self, coeff: f64, p: PauliString) -> &mut Self {
+        assert_eq!(p.len(), self.num_qubits, "term width mismatch");
+        self.terms.push((coeff, p));
+        self
+    }
+
+    /// Single-qubit Pauli `P` on qubit `q` of an `n`-qubit register.
+    pub fn single(n: usize, q: usize, p: Pauli, coeff: f64) -> Self {
+        Observable::from_pauli(coeff, PauliString::single(n, q, p))
+    }
+
+    /// The weighted terms.
+    pub fn terms(&self) -> &[(f64, PauliString)] {
+        &self.terms
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Dense matrix representation (dimension `2^n`).
+    pub fn matrix(&self) -> Matrix {
+        let dim = 1usize << self.num_qubits;
+        let mut acc = Matrix::zeros(dim, dim);
+        for (coeff, p) in &self.terms {
+            let m = pauli_string_matrix(p);
+            acc = &acc + &m.scale(c64(*coeff, 0.0));
+        }
+        acc
+    }
+}
+
+impl fmt::Display for Observable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.terms.is_empty() {
+            return write!(f, "0");
+        }
+        for (i, (c, p)) in self.terms.iter().enumerate() {
+            if i > 0 {
+                write!(f, " + ")?;
+            }
+            write!(f, "{c}·{p}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Dense matrix of a Pauli string (qubit 0 as the most significant
+/// factor, matching the simulators).
+pub fn pauli_string_matrix(p: &PauliString) -> Matrix {
+    let one = Matrix::identity(1);
+    p.iter().fold(one, |acc, letter| {
+        let m = match letter {
+            Pauli::I => Matrix::identity(2),
+            Pauli::X => Matrix::from_real(2, 2, &[0.0, 1.0, 1.0, 0.0]),
+            Pauli::Y => Matrix::from_vec(
+                2,
+                2,
+                vec![c64(0.0, 0.0), c64(0.0, -1.0), c64(0.0, 1.0), c64(0.0, 0.0)],
+            ),
+            Pauli::Z => Matrix::from_real(2, 2, &[1.0, 0.0, 0.0, -1.0]),
+        };
+        acc.kron(&m)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zz_matrix_is_diagonal_signs() {
+        let p: PauliString = "ZZ".parse().unwrap();
+        let m = pauli_string_matrix(&p);
+        for (i, want) in [1.0, -1.0, -1.0, 1.0].iter().enumerate() {
+            assert!((m[(i, i)].re - want).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn observable_matrix_sums_terms() {
+        let mut o = Observable::zero(1);
+        o.add_term(0.5, "X".parse().unwrap());
+        o.add_term(-1.0, "Z".parse().unwrap());
+        let m = o.matrix();
+        assert!((m[(0, 0)].re + 1.0).abs() < 1e-15);
+        assert!((m[(0, 1)].re - 0.5).abs() < 1e-15);
+        assert!(m.is_hermitian(1e-12));
+    }
+
+    #[test]
+    fn single_embeds_on_correct_qubit() {
+        let o = Observable::single(2, 1, Pauli::Z, 2.0);
+        let m = o.matrix();
+        // Z on qubit 1 (least significant): diag(2, −2, 2, −2).
+        assert!((m[(0, 0)].re - 2.0).abs() < 1e-15);
+        assert!((m[(1, 1)].re + 2.0).abs() < 1e-15);
+        assert!((m[(2, 2)].re - 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn display_shows_terms() {
+        let o = Observable::single(2, 0, Pauli::X, 1.5);
+        assert_eq!(o.to_string(), "1.5·XI");
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn mismatched_term_panics() {
+        let mut o = Observable::zero(2);
+        o.add_term(1.0, "X".parse().unwrap());
+    }
+}

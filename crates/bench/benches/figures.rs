@@ -1,0 +1,52 @@
+//! Criterion benches timing the figure regenerators at reduced scale
+//! (the full-scale runs live in the `table4`/`fig9*`/`fig10` binaries).
+
+use analysis::cswap_fidelity::{cswap_classical_fidelity, fig9b_inputs, CswapNoiseModel};
+use analysis::fanout_noise::fanout_error_distribution;
+use analysis::ghz_fidelity::ghz_fidelity_sampled;
+use analysis::network_bounds::{fig10, remote_cnot_fidelity};
+use compas::cswap::CswapScheme;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure_kernels");
+    group.sample_size(10);
+
+    group.bench_function("table4_point_2k_shots", |b| {
+        let mut rng = StdRng::seed_from_u64(11);
+        b.iter(|| fanout_error_distribution(6, 0.003, 2_000, 4, &mut rng));
+    });
+
+    group.bench_function("fig9a_point_2k_shots", |b| {
+        let mut rng = StdRng::seed_from_u64(12);
+        b.iter(|| ghz_fidelity_sampled(8, 0.003, 2_000, &mut rng));
+    });
+
+    group.bench_function("fig9b_point_n3", |b| {
+        let mut rng = StdRng::seed_from_u64(13);
+        let model = CswapNoiseModel::characterize(3, 0.003, 2_000, &mut rng);
+        let inputs = fig9b_inputs(3, &mut rng);
+        b.iter(|| cswap_classical_fidelity(CswapScheme::Teledata, &model, &inputs, 10, &mut rng));
+    });
+
+    group.bench_function("appendix_b_cnot_exact", |b| {
+        let h = std::f64::consts::FRAC_1_SQRT_2;
+        let phi = vec![mathkit::complex::c64(h, 0.0), mathkit::complex::c64(h, 0.0)];
+        let psi = vec![
+            mathkit::complex::c64(0.0, 0.0),
+            mathkit::complex::c64(1.0, 0.0),
+        ];
+        b.iter(|| remote_cnot_fidelity(&phi, &psi, 0.1));
+    });
+
+    group.bench_function("fig10_sweep", |b| {
+        let p_grid: Vec<f64> = (0..50).map(|i| 1e-8 * 1.3f64.powi(i)).collect();
+        b.iter(|| fig10(&[1e-1, 1e-2, 1e-3, 1e-4], &p_grid, 100));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion benches for protocol compilation and execution: monolithic
+//! vs COMPAS-distributed multi-party SWAP tests.
+
+use compas::cswap::CswapScheme;
+use compas::swap_test::{CompasProtocol, MonolithicSwapTest, MonolithicVariant};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qsim::qrand::random_density_matrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocol_compile");
+    for k in [4usize, 8, 16] {
+        group.bench_with_input(BenchmarkId::new("compas_teledata", k), &k, |b, &k| {
+            b.iter(|| CompasProtocol::new(k, 2, CswapScheme::Teledata));
+        });
+        group.bench_with_input(BenchmarkId::new("monolithic_fanout", k), &k, |b, &k| {
+            b.iter(|| MonolithicSwapTest::new(k, 2, MonolithicVariant::Fanout));
+        });
+    }
+    group.finish();
+}
+
+fn bench_estimate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_estimate_100shots");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(5);
+    let states: Vec<_> = (0..3).map(|_| random_density_matrix(1, &mut rng)).collect();
+
+    let mono = MonolithicSwapTest::new(3, 1, MonolithicVariant::Fanout);
+    group.bench_function("monolithic_k3_n1", |b| {
+        let mut rng = StdRng::seed_from_u64(6);
+        b.iter(|| mono.estimate(&states, 100, &mut rng));
+    });
+
+    let compas = CompasProtocol::new(3, 1, CswapScheme::Teledata);
+    group.bench_function("compas_teledata_k3_n1", |b| {
+        let mut rng = StdRng::seed_from_u64(7);
+        b.iter(|| compas.estimate(&states, 100, &mut rng));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_compile, bench_estimate);
+criterion_main!(benches);

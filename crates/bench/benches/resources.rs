@@ -1,0 +1,40 @@
+//! Criterion benches for the resource accounting paths (Tables 1–3 and
+//! the §2.5 ledgers).
+
+use compas::cswap::CswapScheme;
+use compas::naive::NaiveDistribution;
+use compas::resources::{scheme_comparison, teledata_costs, telegate_costs};
+use compas::swap_test::CompasProtocol;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_tables(c: &mut Criterion) {
+    c.bench_function("tables_1_2_3_closed_form", |b| {
+        b.iter(|| {
+            let t1 = telegate_costs(100);
+            let t2 = teledata_costs(100);
+            let t3 = scheme_comparison(100, 8);
+            (t1.total_depth, t2.total_depth, t3.len())
+        });
+    });
+}
+
+fn bench_ledgers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("measured_ledgers");
+    group.sample_size(10);
+    for n in [4usize, 8] {
+        group.bench_with_input(BenchmarkId::new("naive_distribution", n), &n, |b, &n| {
+            b.iter(|| NaiveDistribution::new(n, n).distribution_ledger());
+        });
+        group.bench_with_input(BenchmarkId::new("compas_protocol", n), &n, |b, &n| {
+            b.iter(|| {
+                CompasProtocol::new(n, n, CswapScheme::Teledata)
+                    .ledger()
+                    .raw_bell_pairs()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tables, bench_ledgers);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Criterion benches for the simulation substrates: statevector,
+//! density-matrix, stabilizer tableau, and Pauli-frame throughput.
+
+use circuit::circuit::Circuit;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qsim::density::DensityMatrix;
+use qsim::runner::run_shot;
+use qsim::statevector::StateVector;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use stabilizer::frame::FrameSimulator;
+use stabilizer::tableau::Tableau;
+
+/// A layered random-ish Clifford circuit: H column + CX ladder, repeated.
+fn clifford_layers(n: usize, layers: usize) -> Circuit {
+    let mut c = Circuit::new(n, n);
+    for _ in 0..layers {
+        for q in 0..n {
+            c.h(q);
+        }
+        for q in 0..n - 1 {
+            c.cx(q, q + 1);
+        }
+    }
+    for q in 0..n {
+        c.measure(q, q);
+    }
+    c
+}
+
+fn bench_statevector(c: &mut Criterion) {
+    let mut group = c.benchmark_group("statevector_shot");
+    for n in [8usize, 12, 16] {
+        let circ = clifford_layers(n, 4);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut rng = StdRng::seed_from_u64(1);
+            let init = StateVector::new(circ.num_qubits());
+            b.iter(|| run_shot(&circ, &init, &mut rng));
+        });
+    }
+    group.finish();
+}
+
+fn bench_density_matrix(c: &mut Criterion) {
+    let mut group = c.benchmark_group("density_depolarize");
+    for n in [4usize, 6] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut rho = DensityMatrix::new(n);
+            b.iter(|| {
+                for q in 0..n {
+                    rho.depolarize_1q(q, 0.01);
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_tableau(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tableau_shot");
+    for n in [16usize, 64, 256] {
+        let circ = clifford_layers(n, 4);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut rng = StdRng::seed_from_u64(2);
+            b.iter(|| Tableau::run(&circ, &mut rng));
+        });
+    }
+    group.finish();
+}
+
+fn bench_frame(c: &mut Criterion) {
+    let mut group = c.benchmark_group("frame_residual");
+    for n in [16usize, 64, 256] {
+        let ideal = clifford_layers(n, 4);
+        let circ = circuit::noise::NoiseModel::standard(0.005).apply(&ideal);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut rng = StdRng::seed_from_u64(3);
+            b.iter(|| FrameSimulator::sample_residual(&circ, &mut rng));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_statevector,
+    bench_density_matrix,
+    bench_tableau,
+    bench_frame
+);
+criterion_main!(benches);

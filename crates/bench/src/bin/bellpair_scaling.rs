@@ -1,0 +1,44 @@
+//! Regenerates the §2.5 comparison: Bell pairs consumed by the naive
+//! sliced distribution (O(n²) worst case) versus COMPAS (O(n) per QPU),
+//! both measured from the machine ledger and from the closed forms.
+
+use analysis::table_io::ResultTable;
+use compas::cswap::CswapScheme;
+use compas::naive::{naive_bell_pair_cost, NaiveDistribution};
+use compas::swap_test::CompasProtocol;
+
+fn main() {
+    let mut t = ResultTable::new(
+        "Bell pair scaling naive vs COMPAS",
+        &[
+            "n",
+            "k",
+            "naive_closed_form",
+            "naive_measured_raw",
+            "compas_teledata",
+            "compas_telegate",
+        ],
+    );
+    for n in [2usize, 4, 6, 8, 12, 16] {
+        let k = n; // the worst case of §2.5 has distances growing with n
+        let naive_formula = naive_bell_pair_cost(n, k, true);
+        let naive_measured = NaiveDistribution::new(k, n)
+            .distribution_ledger()
+            .raw_bell_pairs();
+        let teledata = CompasProtocol::new(k, n, CswapScheme::Teledata)
+            .ledger()
+            .raw_bell_pairs();
+        let telegate = CompasProtocol::new(k, n, CswapScheme::Telegate)
+            .ledger()
+            .raw_bell_pairs();
+        t.push_row(vec![
+            n.to_string(),
+            k.to_string(),
+            ResultTable::fmt_f64(naive_formula),
+            naive_measured.to_string(),
+            teledata.to_string(),
+            telegate.to_string(),
+        ]);
+    }
+    bench::emit(&t);
+}

@@ -1,0 +1,19 @@
+//! Regenerates Fig 10: upper bound on the QPU count k as a function of
+//! the Bell-pair logical error rate, for several error tolerances, with
+//! the distillation-code catalogue as markers (n = 100 qubits per QPU).
+
+use analysis::network_bounds::{fig10, fig10_result, k_upper_bound};
+
+fn main() {
+    let p_grid: Vec<f64> = (0..=50)
+        .map(|i| 10f64.powf(-8.0 + 5.0 * i as f64 / 50.0))
+        .collect();
+    let (curves, markers) = fig10(&[1e-1, 1e-2, 1e-3, 1e-4], &p_grid, 100);
+    bench::emit(&fig10_result(&curves, &markers));
+    for (code, rate) in &markers {
+        println!(
+            "{code}: logical rate {rate:.3e} -> k ≤ {:.1} at ε = 1e-3",
+            k_upper_bound(1e-3, 100, *rate)
+        );
+    }
+}

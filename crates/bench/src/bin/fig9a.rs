@@ -1,0 +1,20 @@
+//! Regenerates Fig 9a: distributed GHZ fidelity vs party count with
+//! linear fits, r ∈ 4..=12, p2q ∈ {1e-3, 3e-3, 5e-3}.
+
+use analysis::ghz_fidelity::{fig9a, fig9a_result};
+use bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    let shots = scale.pick(100_000, 4_000);
+    let mut rng = bench::bench_rng();
+    let parties: Vec<usize> = (4..=12).collect();
+    let series = fig9a(&parties, &[0.001, 0.003, 0.005], shots, &mut rng);
+    bench::emit(&fig9a_result(&series));
+    for s in &series {
+        println!(
+            "p2q={}: fidelity ≈ {:.4} + {:.4}·r (R² = {:.3})",
+            s.p, s.fit.intercept, s.fit.slope, s.fit.r_squared
+        );
+    }
+}

@@ -1,0 +1,30 @@
+//! Regenerates Table 1: per-QPU cost of the telegate scheme.
+
+use analysis::table_io::ResultTable;
+use compas::resources::telegate_costs;
+
+fn main() {
+    let mut t = ResultTable::new(
+        "Table 1 telegate cost per QPU",
+        &["step", "ancilla", "bell_pairs", "depth"],
+    );
+    for n in [1usize, 2, 4, 8, 16, 100] {
+        let table = telegate_costs(n);
+        for s in &table.steps {
+            t.push_row(vec![
+                format!("n={n} {}", s.label),
+                s.ancilla.to_string(),
+                (s.bell_pairs * s.repeats).to_string(),
+                (s.depth * s.repeats).to_string(),
+            ]);
+        }
+        t.push_row(vec![
+            format!("n={n} total"),
+            table.total_ancilla.to_string(),
+            table.total_bell_pairs.to_string(),
+            table.total_depth.to_string(),
+        ]);
+    }
+    bench::emit(&t);
+    println!("{}", telegate_costs(4));
+}

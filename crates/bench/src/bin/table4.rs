@@ -1,0 +1,14 @@
+//! Regenerates Table 4: top-4 residual Pauli errors of the noisy
+//! constant-depth Fanout gadget (paper settings: 100 000 shots per grid
+//! point, p ∈ {1e-3, 3e-3, 5e-3}, targets ∈ {4, 6, 8}).
+
+use analysis::fanout_noise::{table4, table4_result};
+use bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    let shots = scale.pick(100_000, 5_000);
+    let mut rng = bench::bench_rng();
+    let rows = table4(&[0.001, 0.003, 0.005], &[4, 6, 8], shots, &mut rng);
+    bench::emit(&table4_result(&rows));
+}

@@ -1,0 +1,74 @@
+//! Shared scaffolding for the table/figure regeneration binaries.
+//!
+//! Every binary accepts `--quick` (or the `COMPAS_QUICK=1` environment
+//! variable) to run a reduced-shot smoke version; the default parameters
+//! match the paper's settings (e.g. 100 000 shots for Table 4).
+
+use analysis::table_io::{default_results_dir, ResultTable};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Shot-count scale for the regeneration binaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// The paper's full settings.
+    Full,
+    /// A fast smoke-test scale for CI.
+    Quick,
+}
+
+impl Scale {
+    /// Reads the scale from CLI args and environment.
+    pub fn from_env() -> Self {
+        let quick_flag = std::env::args().any(|a| a == "--quick");
+        let quick_env = std::env::var("COMPAS_QUICK")
+            .map(|v| v != "0")
+            .unwrap_or(false);
+        if quick_flag || quick_env {
+            Scale::Quick
+        } else {
+            Scale::Full
+        }
+    }
+
+    /// Chooses between the full and quick value.
+    pub fn pick<T>(&self, full: T, quick: T) -> T {
+        match self {
+            Scale::Full => full,
+            Scale::Quick => quick,
+        }
+    }
+}
+
+/// The deterministic RNG used by all binaries.
+pub fn bench_rng() -> StdRng {
+    StdRng::seed_from_u64(0xC0_45)
+}
+
+/// Prints a result table and persists its CSV under `results/`.
+pub fn emit(table: &ResultTable) {
+    print!("{}", table.to_text());
+    match table.write_csv(&default_results_dir()) {
+        Ok(path) => println!("[csv] {}\n", path.display()),
+        Err(err) => println!("[csv] not written: {err}\n"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_pick() {
+        assert_eq!(Scale::Full.pick(10, 1), 10);
+        assert_eq!(Scale::Quick.pick(10, 1), 1);
+    }
+
+    #[test]
+    fn rng_is_deterministic() {
+        use rand::Rng;
+        let a: u64 = bench_rng().random();
+        let b: u64 = bench_rng().random();
+        assert_eq!(a, b);
+    }
+}

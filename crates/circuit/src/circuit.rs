@@ -1,0 +1,593 @@
+//! Circuit intermediate representation.
+//!
+//! A [`Circuit`] is an ordered list of [`Instruction`]s over a quantum
+//! register and a classical register. Beyond unitary gates it supports the
+//! dynamic-circuit features COMPAS depends on: basis measurements,
+//! mid-circuit resets (for ancilla reuse, paper §3.6), classically
+//! controlled Pauli corrections conditioned on the parity of measurement
+//! records (the Fanout gadget of Fig. 8 and every teleoperation of Fig. 1),
+//! and explicit depolarizing-noise sites.
+//!
+//! ```
+//! use circuit::circuit::Circuit;
+//!
+//! // Bell pair preparation and measurement.
+//! let mut c = Circuit::new(2, 2);
+//! c.h(0).cx(0, 1).measure(0, 0).measure(1, 1);
+//! // H; CX; the two measurements share the final moment.
+//! assert_eq!(c.depth(), 3);
+//! assert_eq!(c.two_qubit_gate_count(), 1);
+//! ```
+
+use crate::gate::{Gate, Qubit};
+use std::fmt;
+
+/// Index of a classical bit within a circuit's classical register.
+pub type Cbit = usize;
+
+/// Measurement basis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Basis {
+    /// Computational (Z) basis.
+    #[default]
+    Z,
+    /// Hadamard (X) basis.
+    X,
+    /// Y basis.
+    Y,
+}
+
+/// One step of a quantum program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Instruction {
+    /// A unitary gate.
+    Gate(Gate),
+    /// Projective measurement of `qubit` in `basis`, recorded into `cbit`.
+    ///
+    /// `flip_prob` is the probability that the *recorded* outcome is flipped
+    /// (a classical readout error); the post-measurement state follows the
+    /// true outcome. Noiseless circuits use `flip_prob = 0`.
+    Measure {
+        /// Measured qubit.
+        qubit: Qubit,
+        /// Classical bit receiving the outcome.
+        cbit: Cbit,
+        /// Measurement basis.
+        basis: Basis,
+        /// Readout flip probability.
+        flip_prob: f64,
+    },
+    /// Resets a qubit to `|0⟩` (measure + conditional X, as one step).
+    Reset(Qubit),
+    /// Applies `gate` iff the XOR of the classical bits in `parity_of` is 1.
+    ///
+    /// This is the feed-forward primitive: Pauli-frame corrections in
+    /// teleportation and in the constant-depth Fanout are all of this form.
+    Conditional {
+        /// Gate to apply when the parity is odd.
+        gate: Gate,
+        /// Classical bits whose XOR gates the application.
+        parity_of: Vec<Cbit>,
+    },
+    /// A depolarizing-noise site on one or two qubits with strength `p`.
+    ///
+    /// Inserted by [`crate::noise::NoiseModel::apply`]; simulators sample a
+    /// uniform non-identity Pauli on the listed qubits with probability `p`.
+    Depolarizing {
+        /// Affected qubits (length 1 or 2).
+        qubits: Vec<Qubit>,
+        /// Total error probability.
+        p: f64,
+    },
+}
+
+impl Instruction {
+    /// The qubits this instruction touches.
+    pub fn qubits(&self) -> Vec<Qubit> {
+        match self {
+            Instruction::Gate(g) => g.qubits(),
+            Instruction::Measure { qubit, .. } | Instruction::Reset(qubit) => vec![*qubit],
+            Instruction::Conditional { gate, .. } => gate.qubits(),
+            Instruction::Depolarizing { qubits, .. } => qubits.clone(),
+        }
+    }
+
+    /// Whether this instruction occupies a time step for depth accounting.
+    ///
+    /// Noise sites are zero-duration annotations.
+    pub fn takes_time(&self) -> bool {
+        !matches!(self, Instruction::Depolarizing { .. })
+    }
+}
+
+/// An ordered quantum program over `num_qubits` qubits and `num_cbits`
+/// classical bits.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Circuit {
+    num_qubits: usize,
+    num_cbits: usize,
+    instructions: Vec<Instruction>,
+}
+
+impl Circuit {
+    /// Creates an empty circuit with the given register sizes.
+    pub fn new(num_qubits: usize, num_cbits: usize) -> Self {
+        Circuit {
+            num_qubits,
+            num_cbits,
+            instructions: Vec::new(),
+        }
+    }
+
+    /// Number of qubits in the register.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Number of classical bits in the register.
+    pub fn num_cbits(&self) -> usize {
+        self.num_cbits
+    }
+
+    /// The instruction list in program order.
+    pub fn instructions(&self) -> &[Instruction] {
+        &self.instructions
+    }
+
+    /// Grows the quantum register by `count` qubits (initialised to `|0⟩`)
+    /// and returns the index of the first new qubit.
+    ///
+    /// Used by the distributed-machine builder to allocate communication
+    /// ancillas on demand.
+    pub fn add_qubits(&mut self, count: usize) -> Qubit {
+        let first = self.num_qubits;
+        self.num_qubits += count;
+        first
+    }
+
+    /// Grows the classical register by `count` bits and returns the index
+    /// of the first new bit.
+    pub fn add_cbits(&mut self, count: usize) -> Cbit {
+        let first = self.num_cbits;
+        self.num_cbits += count;
+        first
+    }
+
+    /// Appends a raw instruction after validating its indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any referenced qubit or classical bit is out of range.
+    pub fn push(&mut self, instr: Instruction) -> &mut Self {
+        for q in instr.qubits() {
+            assert!(
+                q < self.num_qubits,
+                "qubit {q} out of range (register has {})",
+                self.num_qubits
+            );
+        }
+        match &instr {
+            Instruction::Measure { cbit, .. } => {
+                assert!(*cbit < self.num_cbits, "classical bit {cbit} out of range");
+            }
+            Instruction::Conditional { parity_of, .. } => {
+                for c in parity_of {
+                    assert!(*c < self.num_cbits, "classical bit {c} out of range");
+                }
+                assert!(
+                    !parity_of.is_empty(),
+                    "conditional gate needs at least one classical bit"
+                );
+            }
+            Instruction::Depolarizing { qubits, p } => {
+                assert!(
+                    (1..=2).contains(&qubits.len()),
+                    "depolarizing sites cover one or two qubits"
+                );
+                assert!((0.0..=1.0).contains(p), "probability must be in [0,1]");
+            }
+            _ => {}
+        }
+        self.instructions.push(instr);
+        self
+    }
+
+    /// Appends all instructions of `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` uses more qubits or classical bits than `self` has.
+    pub fn extend(&mut self, other: &Circuit) -> &mut Self {
+        assert!(other.num_qubits <= self.num_qubits);
+        assert!(other.num_cbits <= self.num_cbits);
+        for instr in &other.instructions {
+            self.push(instr.clone());
+        }
+        self
+    }
+
+    /// Returns a copy with all qubit indices re-labelled through `f` into a
+    /// register of `new_num_qubits` qubits and classical bits shifted by
+    /// `cbit_offset` into a register of `new_num_cbits`.
+    pub fn relabelled(
+        &self,
+        new_num_qubits: usize,
+        mut f: impl FnMut(Qubit) -> Qubit,
+        new_num_cbits: usize,
+        cbit_offset: usize,
+    ) -> Circuit {
+        let mut out = Circuit::new(new_num_qubits, new_num_cbits);
+        for instr in &self.instructions {
+            let mapped = match instr {
+                Instruction::Gate(g) => Instruction::Gate(g.map_qubits(&mut f)),
+                Instruction::Measure {
+                    qubit,
+                    cbit,
+                    basis,
+                    flip_prob,
+                } => Instruction::Measure {
+                    qubit: f(*qubit),
+                    cbit: cbit + cbit_offset,
+                    basis: *basis,
+                    flip_prob: *flip_prob,
+                },
+                Instruction::Reset(q) => Instruction::Reset(f(*q)),
+                Instruction::Conditional { gate, parity_of } => Instruction::Conditional {
+                    gate: gate.map_qubits(&mut f),
+                    parity_of: parity_of.iter().map(|c| c + cbit_offset).collect(),
+                },
+                Instruction::Depolarizing { qubits, p } => Instruction::Depolarizing {
+                    qubits: qubits.iter().map(|&q| f(q)).collect(),
+                    p: *p,
+                },
+            };
+            out.push(mapped);
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Builder methods. Each returns `&mut Self` for chaining.
+    // ------------------------------------------------------------------
+
+    /// Hadamard on `q`.
+    pub fn h(&mut self, q: Qubit) -> &mut Self {
+        self.push(Instruction::Gate(Gate::H(q)))
+    }
+    /// Pauli X on `q`.
+    pub fn x(&mut self, q: Qubit) -> &mut Self {
+        self.push(Instruction::Gate(Gate::X(q)))
+    }
+    /// Pauli Y on `q`.
+    pub fn y(&mut self, q: Qubit) -> &mut Self {
+        self.push(Instruction::Gate(Gate::Y(q)))
+    }
+    /// Pauli Z on `q`.
+    pub fn z(&mut self, q: Qubit) -> &mut Self {
+        self.push(Instruction::Gate(Gate::Z(q)))
+    }
+    /// S gate on `q`.
+    pub fn s(&mut self, q: Qubit) -> &mut Self {
+        self.push(Instruction::Gate(Gate::S(q)))
+    }
+    /// S† gate on `q`.
+    pub fn sdg(&mut self, q: Qubit) -> &mut Self {
+        self.push(Instruction::Gate(Gate::Sdg(q)))
+    }
+    /// T gate on `q`.
+    pub fn t(&mut self, q: Qubit) -> &mut Self {
+        self.push(Instruction::Gate(Gate::T(q)))
+    }
+    /// T† gate on `q`.
+    pub fn tdg(&mut self, q: Qubit) -> &mut Self {
+        self.push(Instruction::Gate(Gate::Tdg(q)))
+    }
+    /// X rotation on `q`.
+    pub fn rx(&mut self, q: Qubit, angle: f64) -> &mut Self {
+        self.push(Instruction::Gate(Gate::Rx(q, angle)))
+    }
+    /// Y rotation on `q`.
+    pub fn ry(&mut self, q: Qubit, angle: f64) -> &mut Self {
+        self.push(Instruction::Gate(Gate::Ry(q, angle)))
+    }
+    /// Z rotation on `q`.
+    pub fn rz(&mut self, q: Qubit, angle: f64) -> &mut Self {
+        self.push(Instruction::Gate(Gate::Rz(q, angle)))
+    }
+    /// CNOT with the given control and target.
+    pub fn cx(&mut self, control: Qubit, target: Qubit) -> &mut Self {
+        self.push(Instruction::Gate(Gate::Cx { control, target }))
+    }
+    /// Controlled-Z.
+    pub fn cz(&mut self, a: Qubit, b: Qubit) -> &mut Self {
+        self.push(Instruction::Gate(Gate::Cz(a, b)))
+    }
+    /// SWAP.
+    pub fn swap(&mut self, a: Qubit, b: Qubit) -> &mut Self {
+        self.push(Instruction::Gate(Gate::Swap(a, b)))
+    }
+    /// Toffoli.
+    pub fn ccx(&mut self, control_a: Qubit, control_b: Qubit, target: Qubit) -> &mut Self {
+        self.push(Instruction::Gate(Gate::Ccx {
+            control_a,
+            control_b,
+            target,
+        }))
+    }
+    /// Controlled-SWAP (Fredkin).
+    pub fn cswap(&mut self, control: Qubit, swap_a: Qubit, swap_b: Qubit) -> &mut Self {
+        self.push(Instruction::Gate(Gate::Cswap {
+            control,
+            swap_a,
+            swap_b,
+        }))
+    }
+    /// Z-basis measurement of `qubit` into `cbit`.
+    pub fn measure(&mut self, qubit: Qubit, cbit: Cbit) -> &mut Self {
+        self.push(Instruction::Measure {
+            qubit,
+            cbit,
+            basis: Basis::Z,
+            flip_prob: 0.0,
+        })
+    }
+    /// X-basis measurement of `qubit` into `cbit`.
+    pub fn measure_x(&mut self, qubit: Qubit, cbit: Cbit) -> &mut Self {
+        self.push(Instruction::Measure {
+            qubit,
+            cbit,
+            basis: Basis::X,
+            flip_prob: 0.0,
+        })
+    }
+    /// Y-basis measurement of `qubit` into `cbit`.
+    pub fn measure_y(&mut self, qubit: Qubit, cbit: Cbit) -> &mut Self {
+        self.push(Instruction::Measure {
+            qubit,
+            cbit,
+            basis: Basis::Y,
+            flip_prob: 0.0,
+        })
+    }
+    /// Reset of `q` to `|0⟩`.
+    pub fn reset(&mut self, q: Qubit) -> &mut Self {
+        self.push(Instruction::Reset(q))
+    }
+    /// X on `q` conditioned on the parity of `parity_of`.
+    pub fn cond_x(&mut self, q: Qubit, parity_of: &[Cbit]) -> &mut Self {
+        self.push(Instruction::Conditional {
+            gate: Gate::X(q),
+            parity_of: parity_of.to_vec(),
+        })
+    }
+    /// Z on `q` conditioned on the parity of `parity_of`.
+    pub fn cond_z(&mut self, q: Qubit, parity_of: &[Cbit]) -> &mut Self {
+        self.push(Instruction::Conditional {
+            gate: Gate::Z(q),
+            parity_of: parity_of.to_vec(),
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Analysis.
+    // ------------------------------------------------------------------
+
+    /// Total number of gate instructions (unitary + conditional), excluding
+    /// measurements, resets, and noise sites.
+    pub fn gate_count(&self) -> usize {
+        self.instructions
+            .iter()
+            .filter(|i| matches!(i, Instruction::Gate(_) | Instruction::Conditional { .. }))
+            .count()
+    }
+
+    /// Number of two-qubit unitary gates.
+    pub fn two_qubit_gate_count(&self) -> usize {
+        self.instructions
+            .iter()
+            .filter(|i| matches!(i, Instruction::Gate(g) if g.arity() == 2))
+            .count()
+    }
+
+    /// Number of measurements.
+    pub fn measurement_count(&self) -> usize {
+        self.instructions
+            .iter()
+            .filter(|i| matches!(i, Instruction::Measure { .. }))
+            .count()
+    }
+
+    /// Whether every gate is Clifford (so the circuit is stabilizer-
+    /// simulable). Conditional gates must also be Clifford.
+    pub fn is_clifford(&self) -> bool {
+        self.instructions.iter().all(|i| match i {
+            Instruction::Gate(g) => g.is_clifford(),
+            Instruction::Conditional { gate, .. } => gate.is_clifford(),
+            _ => true,
+        })
+    }
+
+    /// Circuit depth: the number of moments after greedy ASAP scheduling.
+    ///
+    /// Two instructions can share a moment when they act on disjoint qubits
+    /// and respect classical dependencies: a conditional gate is scheduled
+    /// strictly after every measurement writing one of its classical bits.
+    /// Noise annotations take no time.
+    pub fn depth(&self) -> usize {
+        self.moments().len()
+    }
+
+    /// Greedy ASAP partition of the instruction list into moments.
+    ///
+    /// Each moment is a set of instruction indices that execute in parallel.
+    pub fn moments(&self) -> Vec<Vec<usize>> {
+        // earliest free moment per qubit / per classical bit writer
+        let mut qubit_free = vec![0usize; self.num_qubits];
+        let mut cbit_ready = vec![0usize; self.num_cbits];
+        let mut moments: Vec<Vec<usize>> = Vec::new();
+
+        for (idx, instr) in self.instructions.iter().enumerate() {
+            if !instr.takes_time() {
+                continue;
+            }
+            let mut start = 0usize;
+            for q in instr.qubits() {
+                start = start.max(qubit_free[q]);
+            }
+            if let Instruction::Conditional { parity_of, .. } = instr {
+                for &c in parity_of {
+                    start = start.max(cbit_ready[c]);
+                }
+            }
+            if moments.len() <= start {
+                moments.resize_with(start + 1, Vec::new);
+            }
+            moments[start].push(idx);
+            for q in instr.qubits() {
+                qubit_free[q] = start + 1;
+            }
+            if let Instruction::Measure { cbit, .. } = instr {
+                cbit_ready[*cbit] = start + 1;
+            }
+        }
+        moments
+    }
+}
+
+impl fmt::Display for Circuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "circuit: {} qubits, {} cbits, depth {}",
+            self.num_qubits,
+            self.num_cbits,
+            self.depth()
+        )?;
+        for instr in &self.instructions {
+            match instr {
+                Instruction::Gate(g) => writeln!(f, "  {g}")?,
+                Instruction::Measure {
+                    qubit, cbit, basis, ..
+                } => writeln!(f, "  measure[{basis:?}] q{qubit} -> c{cbit}")?,
+                Instruction::Reset(q) => writeln!(f, "  reset q{q}")?,
+                Instruction::Conditional { gate, parity_of } => {
+                    writeln!(f, "  if parity{parity_of:?} {gate}")?
+                }
+                Instruction::Depolarizing { qubits, p } => {
+                    writeln!(f, "  depolarize{qubits:?} p={p}")?
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chains_and_counts() {
+        let mut c = Circuit::new(3, 1);
+        c.h(0).cx(0, 1).ccx(0, 1, 2).measure(2, 0);
+        assert_eq!(c.gate_count(), 3);
+        assert_eq!(c.two_qubit_gate_count(), 1);
+        assert_eq!(c.measurement_count(), 1);
+    }
+
+    #[test]
+    fn depth_packs_parallel_gates() {
+        let mut c = Circuit::new(4, 0);
+        // H on all four qubits can share a single moment.
+        c.h(0).h(1).h(2).h(3);
+        assert_eq!(c.depth(), 1);
+        // A CX chain serializes.
+        c.cx(0, 1).cx(1, 2).cx(2, 3);
+        assert_eq!(c.depth(), 4);
+    }
+
+    #[test]
+    fn conditional_waits_for_measurement() {
+        let mut c = Circuit::new(2, 1);
+        c.h(0);
+        c.measure(0, 0);
+        c.cond_x(1, &[0]);
+        // Three sequential moments: H; measure; conditional X — the
+        // conditional acts on a *different* qubit but must still wait.
+        assert_eq!(c.depth(), 3);
+    }
+
+    #[test]
+    fn conditional_on_untouched_cbit_can_parallelize() {
+        let mut c = Circuit::new(2, 1);
+        // No measurement writes c0, so the conditional is ready at t=0.
+        c.h(0);
+        c.cond_x(1, &[0]);
+        assert_eq!(c.depth(), 1);
+    }
+
+    #[test]
+    fn noise_sites_take_no_time() {
+        let mut c = Circuit::new(1, 0);
+        c.h(0);
+        c.push(Instruction::Depolarizing {
+            qubits: vec![0],
+            p: 0.01,
+        });
+        c.h(0);
+        assert_eq!(c.depth(), 2);
+    }
+
+    #[test]
+    fn is_clifford_detects_t_gates() {
+        let mut c = Circuit::new(2, 0);
+        c.h(0).cx(0, 1).s(1);
+        assert!(c.is_clifford());
+        c.t(0);
+        assert!(!c.is_clifford());
+    }
+
+    #[test]
+    fn relabel_shifts_qubits_and_cbits() {
+        let mut c = Circuit::new(2, 1);
+        c.cx(0, 1).measure(1, 0).cond_z(0, &[0]);
+        let big = c.relabelled(10, |q| q + 4, 5, 2);
+        assert_eq!(big.num_qubits(), 10);
+        match &big.instructions()[1] {
+            Instruction::Measure { qubit, cbit, .. } => {
+                assert_eq!((*qubit, *cbit), (5, 2));
+            }
+            other => panic!("unexpected instruction {other:?}"),
+        }
+        match &big.instructions()[2] {
+            Instruction::Conditional { parity_of, .. } => assert_eq!(parity_of, &vec![2]),
+            other => panic!("unexpected instruction {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_qubit_panics() {
+        let mut c = Circuit::new(1, 0);
+        c.cx(0, 1);
+    }
+
+    #[test]
+    fn extend_appends_in_order() {
+        let mut a = Circuit::new(2, 0);
+        a.h(0);
+        let mut b = Circuit::new(2, 0);
+        b.cx(0, 1);
+        a.extend(&b);
+        assert_eq!(a.gate_count(), 2);
+    }
+
+    #[test]
+    fn display_lists_instructions() {
+        let mut c = Circuit::new(2, 1);
+        c.h(0).measure(0, 0);
+        let s = c.to_string();
+        assert!(s.contains("h 0"));
+        assert!(s.contains("measure"));
+    }
+}

@@ -1,0 +1,390 @@
+//! The gate set used by the COMPAS circuits.
+//!
+//! The set is intentionally small: exactly the gates appearing in the
+//! paper's constructions (Figs. 1, 4, 6–8) — Paulis, Hadamard, the phase
+//! family S/T, rotations, CNOT/CZ/SWAP, and the three-qubit Toffoli and
+//! controlled-SWAP (Fredkin). Every gate can report its qubits, whether it
+//! is Clifford, and its unitary matrix for verification against the dense
+//! simulators.
+
+use mathkit::complex::{c64, Complex};
+use mathkit::matrix::Matrix;
+use std::f64::consts::FRAC_1_SQRT_2;
+use std::fmt;
+
+/// Index of a qubit within a circuit's register.
+pub type Qubit = usize;
+
+/// A quantum gate bound to specific qubits.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Gate {
+    /// Hadamard.
+    H(Qubit),
+    /// Pauli X.
+    X(Qubit),
+    /// Pauli Y.
+    Y(Qubit),
+    /// Pauli Z.
+    Z(Qubit),
+    /// Phase gate S = diag(1, i).
+    S(Qubit),
+    /// Inverse phase gate S† = diag(1, −i).
+    Sdg(Qubit),
+    /// T = diag(1, e^{iπ/4}).
+    T(Qubit),
+    /// T† = diag(1, e^{−iπ/4}).
+    Tdg(Qubit),
+    /// Rotation about X by the given angle.
+    Rx(Qubit, f64),
+    /// Rotation about Y by the given angle.
+    Ry(Qubit, f64),
+    /// Rotation about Z by the given angle.
+    Rz(Qubit, f64),
+    /// Controlled-NOT with `control` and `target`.
+    Cx {
+        /// Control qubit.
+        control: Qubit,
+        /// Target qubit.
+        target: Qubit,
+    },
+    /// Controlled-Z (symmetric).
+    Cz(Qubit, Qubit),
+    /// SWAP of two qubits.
+    Swap(Qubit, Qubit),
+    /// Toffoli (CCX) with two controls and one target.
+    Ccx {
+        /// First control qubit.
+        control_a: Qubit,
+        /// Second control qubit.
+        control_b: Qubit,
+        /// Target qubit.
+        target: Qubit,
+    },
+    /// Controlled-SWAP (Fredkin): swaps `swap_a`/`swap_b` when `control` is 1.
+    Cswap {
+        /// Control qubit.
+        control: Qubit,
+        /// First swapped qubit.
+        swap_a: Qubit,
+        /// Second swapped qubit.
+        swap_b: Qubit,
+    },
+}
+
+impl Gate {
+    /// The qubits the gate acts on, in canonical order.
+    pub fn qubits(&self) -> Vec<Qubit> {
+        match *self {
+            Gate::H(q)
+            | Gate::X(q)
+            | Gate::Y(q)
+            | Gate::Z(q)
+            | Gate::S(q)
+            | Gate::Sdg(q)
+            | Gate::T(q)
+            | Gate::Tdg(q)
+            | Gate::Rx(q, _)
+            | Gate::Ry(q, _)
+            | Gate::Rz(q, _) => vec![q],
+            Gate::Cx { control, target } => vec![control, target],
+            Gate::Cz(a, b) | Gate::Swap(a, b) => vec![a, b],
+            Gate::Ccx {
+                control_a,
+                control_b,
+                target,
+            } => vec![control_a, control_b, target],
+            Gate::Cswap {
+                control,
+                swap_a,
+                swap_b,
+            } => vec![control, swap_a, swap_b],
+        }
+    }
+
+    /// Number of qubits the gate touches (1, 2, or 3).
+    pub fn arity(&self) -> usize {
+        self.qubits().len()
+    }
+
+    /// Whether the gate is a member of the Clifford group.
+    ///
+    /// `Rx/Ry/Rz` count as Clifford only at multiples of π/2; this method is
+    /// conservative and reports them as non-Clifford.
+    pub fn is_clifford(&self) -> bool {
+        !matches!(
+            self,
+            Gate::T(_) | Gate::Tdg(_) | Gate::Rx(..) | Gate::Ry(..) | Gate::Rz(..)
+        ) && !matches!(self, Gate::Ccx { .. } | Gate::Cswap { .. })
+    }
+
+    /// Re-indexes the gate's qubits through `f`.
+    ///
+    /// Used when embedding a locally-built circuit into the global register
+    /// of a distributed machine.
+    pub fn map_qubits(&self, mut f: impl FnMut(Qubit) -> Qubit) -> Gate {
+        match *self {
+            Gate::H(q) => Gate::H(f(q)),
+            Gate::X(q) => Gate::X(f(q)),
+            Gate::Y(q) => Gate::Y(f(q)),
+            Gate::Z(q) => Gate::Z(f(q)),
+            Gate::S(q) => Gate::S(f(q)),
+            Gate::Sdg(q) => Gate::Sdg(f(q)),
+            Gate::T(q) => Gate::T(f(q)),
+            Gate::Tdg(q) => Gate::Tdg(f(q)),
+            Gate::Rx(q, a) => Gate::Rx(f(q), a),
+            Gate::Ry(q, a) => Gate::Ry(f(q), a),
+            Gate::Rz(q, a) => Gate::Rz(f(q), a),
+            Gate::Cx { control, target } => Gate::Cx {
+                control: f(control),
+                target: f(target),
+            },
+            Gate::Cz(a, b) => Gate::Cz(f(a), f(b)),
+            Gate::Swap(a, b) => Gate::Swap(f(a), f(b)),
+            Gate::Ccx {
+                control_a,
+                control_b,
+                target,
+            } => Gate::Ccx {
+                control_a: f(control_a),
+                control_b: f(control_b),
+                target: f(target),
+            },
+            Gate::Cswap {
+                control,
+                swap_a,
+                swap_b,
+            } => Gate::Cswap {
+                control: f(control),
+                swap_a: f(swap_a),
+                swap_b: f(swap_b),
+            },
+        }
+    }
+
+    /// The gate's unitary matrix in the computational basis of its own
+    /// qubits, ordered as returned by [`Gate::qubits`] (first qubit is the
+    /// most significant bit).
+    pub fn unitary(&self) -> Matrix {
+        let h = FRAC_1_SQRT_2;
+        match *self {
+            Gate::H(_) => Matrix::from_real(2, 2, &[h, h, h, -h]),
+            Gate::X(_) => Matrix::from_real(2, 2, &[0.0, 1.0, 1.0, 0.0]),
+            Gate::Y(_) => Matrix::from_vec(
+                2,
+                2,
+                vec![Complex::ZERO, c64(0.0, -1.0), c64(0.0, 1.0), Complex::ZERO],
+            ),
+            Gate::Z(_) => Matrix::from_real(2, 2, &[1.0, 0.0, 0.0, -1.0]),
+            Gate::S(_) => Matrix::diag(&[Complex::ONE, Complex::I]),
+            Gate::Sdg(_) => Matrix::diag(&[Complex::ONE, -Complex::I]),
+            Gate::T(_) => Matrix::diag(&[
+                Complex::ONE,
+                Complex::from_polar(1.0, std::f64::consts::FRAC_PI_4),
+            ]),
+            Gate::Tdg(_) => Matrix::diag(&[
+                Complex::ONE,
+                Complex::from_polar(1.0, -std::f64::consts::FRAC_PI_4),
+            ]),
+            Gate::Rx(_, a) => {
+                let (c, s) = ((a / 2.0).cos(), (a / 2.0).sin());
+                Matrix::from_vec(
+                    2,
+                    2,
+                    vec![c64(c, 0.0), c64(0.0, -s), c64(0.0, -s), c64(c, 0.0)],
+                )
+            }
+            Gate::Ry(_, a) => {
+                let (c, s) = ((a / 2.0).cos(), (a / 2.0).sin());
+                Matrix::from_real(2, 2, &[c, -s, s, c])
+            }
+            Gate::Rz(_, a) => Matrix::diag(&[
+                Complex::from_polar(1.0, -a / 2.0),
+                Complex::from_polar(1.0, a / 2.0),
+            ]),
+            Gate::Cx { .. } => Matrix::from_real(
+                4,
+                4,
+                &[
+                    1.0, 0.0, 0.0, 0.0, //
+                    0.0, 1.0, 0.0, 0.0, //
+                    0.0, 0.0, 0.0, 1.0, //
+                    0.0, 0.0, 1.0, 0.0,
+                ],
+            ),
+            Gate::Cz(..) => {
+                Matrix::diag(&[Complex::ONE, Complex::ONE, Complex::ONE, -Complex::ONE])
+            }
+            Gate::Swap(..) => Matrix::from_real(
+                4,
+                4,
+                &[
+                    1.0, 0.0, 0.0, 0.0, //
+                    0.0, 0.0, 1.0, 0.0, //
+                    0.0, 1.0, 0.0, 0.0, //
+                    0.0, 0.0, 0.0, 1.0,
+                ],
+            ),
+            Gate::Ccx { .. } => {
+                let mut m = Matrix::identity(8);
+                // |110⟩ ↔ |111⟩
+                m[(6, 6)] = Complex::ZERO;
+                m[(7, 7)] = Complex::ZERO;
+                m[(6, 7)] = Complex::ONE;
+                m[(7, 6)] = Complex::ONE;
+                m
+            }
+            Gate::Cswap { .. } => {
+                let mut m = Matrix::identity(8);
+                // |101⟩ ↔ |110⟩
+                m[(5, 5)] = Complex::ZERO;
+                m[(6, 6)] = Complex::ZERO;
+                m[(5, 6)] = Complex::ONE;
+                m[(6, 5)] = Complex::ONE;
+                m
+            }
+        }
+    }
+
+    /// Short mnemonic used in diagnostics (`"h"`, `"cx"`, …).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Gate::H(_) => "h",
+            Gate::X(_) => "x",
+            Gate::Y(_) => "y",
+            Gate::Z(_) => "z",
+            Gate::S(_) => "s",
+            Gate::Sdg(_) => "sdg",
+            Gate::T(_) => "t",
+            Gate::Tdg(_) => "tdg",
+            Gate::Rx(..) => "rx",
+            Gate::Ry(..) => "ry",
+            Gate::Rz(..) => "rz",
+            Gate::Cx { .. } => "cx",
+            Gate::Cz(..) => "cz",
+            Gate::Swap(..) => "swap",
+            Gate::Ccx { .. } => "ccx",
+            Gate::Cswap { .. } => "cswap",
+        }
+    }
+}
+
+impl fmt::Display for Gate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let qubits: Vec<String> = self.qubits().iter().map(|q| q.to_string()).collect();
+        write!(f, "{} {}", self.name(), qubits.join(","))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_unitaries_are_unitary() {
+        let gates = [
+            Gate::H(0),
+            Gate::X(0),
+            Gate::Y(0),
+            Gate::Z(0),
+            Gate::S(0),
+            Gate::Sdg(0),
+            Gate::T(0),
+            Gate::Tdg(0),
+            Gate::Rx(0, 0.7),
+            Gate::Ry(0, 1.3),
+            Gate::Rz(0, -0.4),
+            Gate::Cx {
+                control: 0,
+                target: 1,
+            },
+            Gate::Cz(0, 1),
+            Gate::Swap(0, 1),
+            Gate::Ccx {
+                control_a: 0,
+                control_b: 1,
+                target: 2,
+            },
+            Gate::Cswap {
+                control: 0,
+                swap_a: 1,
+                swap_b: 2,
+            },
+        ];
+        for g in gates {
+            assert!(g.unitary().is_unitary(1e-12), "{g} is not unitary");
+            assert_eq!(g.unitary().rows(), 1 << g.arity());
+        }
+    }
+
+    #[test]
+    fn s_squared_is_z_and_t_squared_is_s() {
+        let s = Gate::S(0).unitary();
+        let z = Gate::Z(0).unitary();
+        assert!((&s * &s).max_abs_diff(&z) < 1e-15);
+        let t = Gate::T(0).unitary();
+        assert!((&t * &t).max_abs_diff(&s) < 1e-12);
+        let sdg = Gate::Sdg(0).unitary();
+        assert!((&s * &sdg).max_abs_diff(&Matrix::identity(2)) < 1e-15);
+    }
+
+    #[test]
+    fn cswap_permutes_basis_states_correctly() {
+        let u = Gate::Cswap {
+            control: 0,
+            swap_a: 1,
+            swap_b: 2,
+        }
+        .unitary();
+        // control=1: |1,0,1⟩ (index 5) → |1,1,0⟩ (index 6).
+        assert_eq!(u[(6, 5)], Complex::ONE);
+        // control=0: |0,0,1⟩ (index 1) stays.
+        assert_eq!(u[(1, 1)], Complex::ONE);
+    }
+
+    #[test]
+    fn clifford_classification() {
+        assert!(Gate::H(0).is_clifford());
+        assert!(Gate::Cx {
+            control: 0,
+            target: 1
+        }
+        .is_clifford());
+        assert!(Gate::S(3).is_clifford());
+        assert!(!Gate::T(0).is_clifford());
+        assert!(!Gate::Ccx {
+            control_a: 0,
+            control_b: 1,
+            target: 2
+        }
+        .is_clifford());
+        assert!(!Gate::Rz(0, 0.1).is_clifford());
+    }
+
+    #[test]
+    fn map_qubits_relabels() {
+        let g = Gate::Ccx {
+            control_a: 0,
+            control_b: 1,
+            target: 2,
+        };
+        let mapped = g.map_qubits(|q| q + 10);
+        assert_eq!(mapped.qubits(), vec![10, 11, 12]);
+    }
+
+    #[test]
+    fn rotation_at_pi_matches_pauli_up_to_phase() {
+        // Rx(π) = −iX.
+        let rx = Gate::Rx(0, std::f64::consts::PI).unitary();
+        let want = Gate::X(0).unitary().scale(c64(0.0, -1.0));
+        assert!(rx.max_abs_diff(&want) < 1e-12);
+    }
+
+    #[test]
+    fn display_mentions_qubits() {
+        let g = Gate::Cx {
+            control: 3,
+            target: 7,
+        };
+        assert_eq!(g.to_string(), "cx 3,7");
+    }
+}

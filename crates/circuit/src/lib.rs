@@ -1,0 +1,35 @@
+//! # circuit
+//!
+//! Quantum circuit intermediate representation for the COMPAS stack.
+//!
+//! Provides the gate set used throughout the paper (Paulis, H, S/T family,
+//! rotations, CNOT/CZ/SWAP, Toffoli, controlled-SWAP), an instruction list
+//! with the dynamic-circuit features the protocol relies on (basis
+//! measurements, mid-circuit reset for ancilla reuse, parity-conditioned
+//! Pauli corrections), ASAP depth analysis, and circuit-level noise
+//! annotation matching the paper's §5.1 convention.
+//!
+//! ```
+//! use circuit::prelude::*;
+//!
+//! // The Fig. 1(a) teleportation sender-side circuit.
+//! let mut c = Circuit::new(3, 2);
+//! c.h(1).cx(1, 2);            // Bell pair on qubits 1, 2
+//! c.cx(0, 1).h(0);            // Bell-basis rotation
+//! c.measure(0, 0).measure(1, 1);
+//! c.cond_x(2, &[1]).cond_z(2, &[0]);
+//! assert!(c.is_clifford());
+//! ```
+
+pub mod circuit;
+pub mod gate;
+pub mod noise;
+pub mod qasm;
+
+/// Convenient glob-import of the most used items.
+pub mod prelude {
+    pub use crate::circuit::{Basis, Cbit, Circuit, Instruction};
+    pub use crate::gate::{Gate, Qubit};
+    pub use crate::noise::NoiseModel;
+    pub use crate::qasm::to_qasm3;
+}

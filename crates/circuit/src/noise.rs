@@ -1,0 +1,215 @@
+//! Circuit-level noise models.
+//!
+//! Reproduces the noise convention of the paper's §5.1: for a base error
+//! rate `p`, single-qubit gates suffer depolarizing noise at rate `p/10`,
+//! two-qubit gates at rate `p`, and measurements are flipped with
+//! probability `p`. [`NoiseModel::apply`] rewrites an ideal circuit into a
+//! noisy one by inserting [`Instruction::Depolarizing`] sites and setting
+//! measurement flip probabilities; the simulators then sample those sites.
+//!
+//! ```
+//! use circuit::circuit::Circuit;
+//! use circuit::noise::NoiseModel;
+//!
+//! let mut ideal = Circuit::new(2, 1);
+//! ideal.h(0).cx(0, 1).measure(1, 0);
+//! let noisy = NoiseModel::standard(0.001).apply(&ideal);
+//! // One depolarizing site per gate was inserted.
+//! assert_eq!(noisy.instructions().len(), ideal.instructions().len() + 2);
+//! ```
+
+use crate::circuit::{Circuit, Instruction};
+
+/// A circuit-level stochastic Pauli noise model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseModel {
+    /// Depolarizing rate after each single-qubit gate.
+    pub p_1q: f64,
+    /// Depolarizing rate after each two-qubit gate.
+    pub p_2q: f64,
+    /// Depolarizing rate on the targets of each three-qubit gate
+    /// (applied pairwise; used only when simulating un-decomposed
+    /// Toffoli/CSWAP gates directly).
+    pub p_3q: f64,
+    /// Probability of flipping each recorded measurement outcome.
+    pub p_meas: f64,
+    /// Depolarizing rate after each reset.
+    pub p_reset: f64,
+}
+
+impl NoiseModel {
+    /// The paper's standard model for base two-qubit error rate `p`:
+    /// `p/10` on single-qubit gates, `p` on two-qubit gates, `p` on
+    /// measurement, nothing extra on resets.
+    pub fn standard(p: f64) -> Self {
+        NoiseModel {
+            p_1q: p / 10.0,
+            p_2q: p,
+            p_3q: p,
+            p_meas: p,
+            p_reset: 0.0,
+        }
+    }
+
+    /// A noiseless model (all rates zero).
+    pub fn noiseless() -> Self {
+        NoiseModel {
+            p_1q: 0.0,
+            p_2q: 0.0,
+            p_3q: 0.0,
+            p_meas: 0.0,
+            p_reset: 0.0,
+        }
+    }
+
+    /// Whether all rates are zero.
+    pub fn is_noiseless(&self) -> bool {
+        self.p_1q == 0.0
+            && self.p_2q == 0.0
+            && self.p_3q == 0.0
+            && self.p_meas == 0.0
+            && self.p_reset == 0.0
+    }
+
+    /// Rewrites `ideal` into a noisy circuit: a depolarizing site follows
+    /// every gate (conditional gates included — the correction hardware is
+    /// as noisy as any other gate), and every measurement's `flip_prob` is
+    /// raised to `p_meas`.
+    pub fn apply(&self, ideal: &Circuit) -> Circuit {
+        let mut out = Circuit::new(ideal.num_qubits(), ideal.num_cbits());
+        for instr in ideal.instructions() {
+            match instr {
+                Instruction::Gate(g) | Instruction::Conditional { gate: g, .. } => {
+                    out.push(instr.clone());
+                    let qubits = g.qubits();
+                    let p = match qubits.len() {
+                        1 => self.p_1q,
+                        2 => self.p_2q,
+                        _ => self.p_3q,
+                    };
+                    if p > 0.0 {
+                        if qubits.len() <= 2 {
+                            out.push(Instruction::Depolarizing { qubits, p });
+                        } else {
+                            // Three-qubit gates: depolarize each
+                            // control–target pair, mirroring a two-gate
+                            // decomposition cost.
+                            for pair in qubits.windows(2) {
+                                out.push(Instruction::Depolarizing {
+                                    qubits: pair.to_vec(),
+                                    p,
+                                });
+                            }
+                        }
+                    }
+                }
+                Instruction::Measure {
+                    qubit,
+                    cbit,
+                    basis,
+                    flip_prob,
+                } => {
+                    out.push(Instruction::Measure {
+                        qubit: *qubit,
+                        cbit: *cbit,
+                        basis: *basis,
+                        flip_prob: flip_prob.max(self.p_meas),
+                    });
+                }
+                Instruction::Reset(q) => {
+                    out.push(Instruction::Reset(*q));
+                    if self.p_reset > 0.0 {
+                        out.push(Instruction::Depolarizing {
+                            qubits: vec![*q],
+                            p: self.p_reset,
+                        });
+                    }
+                }
+                Instruction::Depolarizing { .. } => {
+                    out.push(instr.clone());
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::Basis;
+
+    #[test]
+    fn standard_model_rates() {
+        let m = NoiseModel::standard(0.005);
+        assert!((m.p_1q - 0.0005).abs() < 1e-15);
+        assert_eq!(m.p_2q, 0.005);
+        assert_eq!(m.p_meas, 0.005);
+    }
+
+    #[test]
+    fn noiseless_apply_only_rewrites_measure_flags() {
+        let mut c = Circuit::new(2, 1);
+        c.h(0).cx(0, 1).measure(0, 0);
+        let out = NoiseModel::noiseless().apply(&c);
+        assert_eq!(out, c);
+        assert!(NoiseModel::noiseless().is_noiseless());
+    }
+
+    #[test]
+    fn apply_inserts_depolarizing_after_each_gate() {
+        let mut c = Circuit::new(2, 1);
+        c.h(0).cx(0, 1).measure(1, 0);
+        let noisy = NoiseModel::standard(0.01).apply(&c);
+        let depol: Vec<_> = noisy
+            .instructions()
+            .iter()
+            .filter_map(|i| match i {
+                Instruction::Depolarizing { qubits, p } => Some((qubits.len(), *p)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(depol, vec![(1, 0.001), (2, 0.01)]);
+        // Measurement flip raised.
+        assert!(noisy.instructions().iter().any(|i| matches!(
+            i,
+            Instruction::Measure {
+                flip_prob,
+                basis: Basis::Z,
+                ..
+            } if *flip_prob == 0.01
+        )));
+    }
+
+    #[test]
+    fn conditional_gates_are_noisy_too() {
+        let mut c = Circuit::new(1, 1);
+        c.measure(0, 0).cond_x(0, &[0]);
+        let noisy = NoiseModel::standard(0.01).apply(&c);
+        assert!(noisy
+            .instructions()
+            .iter()
+            .any(|i| matches!(i, Instruction::Depolarizing { .. })));
+    }
+
+    #[test]
+    fn three_qubit_gate_gets_pairwise_sites() {
+        let mut c = Circuit::new(3, 0);
+        c.ccx(0, 1, 2);
+        let noisy = NoiseModel::standard(0.01).apply(&c);
+        let sites = noisy
+            .instructions()
+            .iter()
+            .filter(|i| matches!(i, Instruction::Depolarizing { .. }))
+            .count();
+        assert_eq!(sites, 2);
+    }
+
+    #[test]
+    fn noisy_depth_matches_ideal_depth() {
+        let mut c = Circuit::new(2, 0);
+        c.h(0).cx(0, 1);
+        let noisy = NoiseModel::standard(0.01).apply(&c);
+        assert_eq!(noisy.depth(), c.depth());
+    }
+}

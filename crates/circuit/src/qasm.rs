@@ -1,0 +1,199 @@
+//! OpenQASM 3 export.
+//!
+//! Serialises a [`Circuit`] — including the dynamic-circuit features
+//! COMPAS depends on (mid-circuit measurement, reset, parity-conditioned
+//! Pauli corrections) — into OpenQASM 3 text, so compiled COMPAS
+//! programs can be inspected or ported to other toolchains. Noise
+//! annotations have no QASM counterpart and are emitted as comments.
+//!
+//! ```
+//! use circuit::circuit::Circuit;
+//! use circuit::qasm::to_qasm3;
+//!
+//! let mut c = Circuit::new(2, 2);
+//! c.h(0).cx(0, 1).measure(0, 0).measure(1, 1).cond_x(0, &[0, 1]);
+//! let text = to_qasm3(&c);
+//! assert!(text.contains("OPENQASM 3.0"));
+//! assert!(text.contains("if (par0 == 1)"));
+//! ```
+
+use crate::circuit::{Basis, Circuit, Instruction};
+use crate::gate::Gate;
+use std::fmt::Write as _;
+
+/// Renders one gate as a QASM 3 statement (without trailing newline).
+fn gate_stmt(g: &Gate) -> String {
+    match *g {
+        Gate::H(q) => format!("h q[{q}];"),
+        Gate::X(q) => format!("x q[{q}];"),
+        Gate::Y(q) => format!("y q[{q}];"),
+        Gate::Z(q) => format!("z q[{q}];"),
+        Gate::S(q) => format!("s q[{q}];"),
+        Gate::Sdg(q) => format!("sdg q[{q}];"),
+        Gate::T(q) => format!("t q[{q}];"),
+        Gate::Tdg(q) => format!("tdg q[{q}];"),
+        Gate::Rx(q, a) => format!("rx({a}) q[{q}];"),
+        Gate::Ry(q, a) => format!("ry({a}) q[{q}];"),
+        Gate::Rz(q, a) => format!("rz({a}) q[{q}];"),
+        Gate::Cx { control, target } => format!("cx q[{control}], q[{target}];"),
+        Gate::Cz(a, b) => format!("cz q[{a}], q[{b}];"),
+        Gate::Swap(a, b) => format!("swap q[{a}], q[{b}];"),
+        Gate::Ccx {
+            control_a,
+            control_b,
+            target,
+        } => format!("ccx q[{control_a}], q[{control_b}], q[{target}];"),
+        Gate::Cswap {
+            control,
+            swap_a,
+            swap_b,
+        } => format!("cswap q[{control}], q[{swap_a}], q[{swap_b}];"),
+    }
+}
+
+/// Serialises the circuit as an OpenQASM 3 program.
+///
+/// Basis-rotated measurements are lowered to their standard gate
+/// prefixes; parity conditions become explicit XOR temporaries;
+/// depolarizing sites and readout-flip probabilities become comments
+/// (QASM has no noise statements).
+pub fn to_qasm3(circuit: &Circuit) -> String {
+    let mut out = String::new();
+    out.push_str("OPENQASM 3.0;\n");
+    out.push_str("include \"stdgates.inc\";\n");
+    let _ = writeln!(out, "qubit[{}] q;", circuit.num_qubits());
+    if circuit.num_cbits() > 0 {
+        let _ = writeln!(out, "bit[{}] c;", circuit.num_cbits());
+    }
+    let mut parity_tmp = 0usize;
+    for instr in circuit.instructions() {
+        match instr {
+            Instruction::Gate(g) => {
+                let _ = writeln!(out, "{}", gate_stmt(g));
+            }
+            Instruction::Measure {
+                qubit,
+                cbit,
+                basis,
+                flip_prob,
+            } => {
+                match basis {
+                    Basis::Z => {}
+                    Basis::X => {
+                        let _ = writeln!(out, "h q[{qubit}]; // X-basis readout");
+                    }
+                    Basis::Y => {
+                        let _ = writeln!(out, "sdg q[{qubit}];");
+                        let _ = writeln!(out, "h q[{qubit}]; // Y-basis readout");
+                    }
+                }
+                if *flip_prob > 0.0 {
+                    let _ = writeln!(out, "// readout flip probability {flip_prob}");
+                }
+                let _ = writeln!(out, "c[{cbit}] = measure q[{qubit}];");
+            }
+            Instruction::Reset(q) => {
+                let _ = writeln!(out, "reset q[{q}];");
+            }
+            Instruction::Conditional { gate, parity_of } => {
+                if parity_of.len() == 1 {
+                    let _ = writeln!(out, "if (c[{}] == 1) {}", parity_of[0], gate_stmt(gate));
+                } else {
+                    let expr = parity_of
+                        .iter()
+                        .map(|c| format!("c[{c}]"))
+                        .collect::<Vec<_>>()
+                        .join(" ^ ");
+                    let name = format!("par{parity_tmp}");
+                    parity_tmp += 1;
+                    let _ = writeln!(out, "bit {name} = {expr};");
+                    let _ = writeln!(out, "if ({name} == 1) {}", gate_stmt(gate));
+                }
+            }
+            Instruction::Depolarizing { qubits, p } => {
+                let _ = writeln!(out, "// depolarizing p={p} on {qubits:?}");
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_and_registers() {
+        let c = Circuit::new(3, 2);
+        let q = to_qasm3(&c);
+        assert!(q.starts_with("OPENQASM 3.0;\n"));
+        assert!(q.contains("qubit[3] q;"));
+        assert!(q.contains("bit[2] c;"));
+    }
+
+    #[test]
+    fn gates_render_standard_names() {
+        let mut c = Circuit::new(3, 0);
+        c.h(0).cx(0, 1).ccx(0, 1, 2).cswap(0, 1, 2).rz(2, 0.5);
+        let q = to_qasm3(&c);
+        for needle in [
+            "h q[0];",
+            "cx q[0], q[1];",
+            "ccx q[0], q[1], q[2];",
+            "cswap q[0], q[1], q[2];",
+            "rz(0.5) q[2];",
+        ] {
+            assert!(q.contains(needle), "missing {needle} in:\n{q}");
+        }
+    }
+
+    #[test]
+    fn basis_measurements_lower_to_rotations() {
+        let mut c = Circuit::new(1, 2);
+        c.measure_x(0, 0).measure_y(0, 1);
+        let q = to_qasm3(&c);
+        assert!(q.contains("h q[0]; // X-basis readout"));
+        assert!(q.contains("sdg q[0];"));
+        assert!(q.contains("c[0] = measure q[0];"));
+        assert!(q.contains("c[1] = measure q[0];"));
+    }
+
+    #[test]
+    fn parity_conditionals_use_xor_temporaries() {
+        let mut c = Circuit::new(2, 3);
+        c.measure(0, 0).measure(0, 1).measure(0, 2);
+        c.cond_z(1, &[0, 1, 2]);
+        c.cond_x(1, &[2]);
+        let q = to_qasm3(&c);
+        assert!(q.contains("bit par0 = c[0] ^ c[1] ^ c[2];"));
+        assert!(q.contains("if (par0 == 1) z q[1];"));
+        assert!(q.contains("if (c[2] == 1) x q[1];"));
+    }
+
+    #[test]
+    fn noise_sites_become_comments() {
+        let mut c = Circuit::new(1, 0);
+        c.h(0);
+        c.push(crate::circuit::Instruction::Depolarizing {
+            qubits: vec![0],
+            p: 0.01,
+        });
+        let q = to_qasm3(&c);
+        assert!(q.contains("// depolarizing p=0.01"));
+    }
+
+    #[test]
+    fn full_teleportation_roundtrips_textually() {
+        // A representative dynamic circuit: every instruction kind.
+        let mut c = Circuit::new(3, 2);
+        c.h(1).cx(1, 2); // Bell pair
+        c.cx(0, 1).h(0);
+        c.measure(0, 0).measure(1, 1);
+        c.cond_x(2, &[1]).cond_z(2, &[0]);
+        c.reset(0);
+        let q = to_qasm3(&c);
+        assert!(q.contains("reset q[0];"));
+        assert_eq!(q.matches("measure").count(), 2);
+        assert_eq!(q.matches("if (").count(), 2);
+    }
+}

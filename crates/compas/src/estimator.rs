@@ -1,0 +1,242 @@
+//! Shot-based multivariate-trace estimation (paper §2.3).
+//!
+//! The multi-party SWAP test turns `tr(ρ₁ρ₂…ρ_k)` into the expectation of
+//! a ±1 parity observable on the GHZ control register: measuring every
+//! control in the X basis estimates the real part, and rotating one
+//! control to the Y basis estimates the imaginary part. This module holds
+//! the estimate container and the exact linear-algebra reference used to
+//! validate every protocol.
+
+use mathkit::complex::{c64, Complex};
+use mathkit::matrix::Matrix;
+
+/// A Monte-Carlo estimate of a multivariate trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEstimate {
+    /// Estimated real part.
+    pub re: f64,
+    /// Estimated imaginary part.
+    pub im: f64,
+    /// Standard error of the real part.
+    pub re_std_err: f64,
+    /// Standard error of the imaginary part.
+    pub im_std_err: f64,
+    /// Shots per measurement channel.
+    pub shots: usize,
+}
+
+impl TraceEstimate {
+    /// Builds the estimate from the two channels' ±1 parity samples.
+    pub fn from_parity_samples(re_samples: &[f64], im_samples: &[f64]) -> Self {
+        TraceEstimate {
+            re: mathkit::stats::mean(re_samples),
+            im: mathkit::stats::mean(im_samples),
+            re_std_err: mathkit::stats::std_err(re_samples),
+            im_std_err: mathkit::stats::std_err(im_samples),
+            shots: re_samples.len().min(im_samples.len()),
+        }
+    }
+
+    /// The estimate as a complex number.
+    pub fn value(&self) -> Complex {
+        c64(self.re, self.im)
+    }
+
+    /// Magnitude of the estimated trace.
+    pub fn abs(&self) -> f64 {
+        self.value().abs()
+    }
+
+    /// Whether `target` lies within `sigmas` standard errors component-wise.
+    pub fn is_consistent_with(&self, target: Complex, sigmas: f64) -> bool {
+        let re_tol = sigmas * self.re_std_err.max(1e-12);
+        let im_tol = sigmas * self.im_std_err.max(1e-12);
+        (self.re - target.re).abs() <= re_tol && (self.im - target.im).abs() <= im_tol
+    }
+}
+
+/// Accumulates ±1 parity samples for the two measurement channels.
+#[derive(Debug, Clone, Default)]
+pub struct TraceEstimator {
+    re_samples: Vec<f64>,
+    im_samples: Vec<f64>,
+}
+
+impl TraceEstimator {
+    /// An empty estimator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one all-X-basis shot with GHZ outcome parity `parity`.
+    pub fn record_re(&mut self, parity: bool) {
+        self.re_samples.push(if parity { -1.0 } else { 1.0 });
+    }
+
+    /// Records one Y-on-first shot with GHZ outcome parity `parity`.
+    pub fn record_im(&mut self, parity: bool) {
+        self.im_samples.push(if parity { -1.0 } else { 1.0 });
+    }
+
+    /// Number of (re, im) samples recorded so far.
+    pub fn counts(&self) -> (usize, usize) {
+        (self.re_samples.len(), self.im_samples.len())
+    }
+
+    /// Finalises into a [`TraceEstimate`].
+    pub fn finish(&self) -> TraceEstimate {
+        TraceEstimate::from_parity_samples(&self.re_samples, &self.im_samples)
+    }
+}
+
+/// A protocol able to estimate multivariate traces — the interface the
+/// application layer (Rényi entropy, spectroscopy, virtual cooling,
+/// parallel QSP) programs against, so every application runs unchanged on
+/// the monolithic test, the COMPAS distributed protocol, or the exact
+/// reference backend.
+pub trait TraceBackend {
+    /// Number of parties `k` this backend was compiled for.
+    fn num_parties(&self) -> usize;
+
+    /// Qubits per state.
+    fn state_width(&self) -> usize;
+
+    /// Estimates `tr(ρ₁…ρ_k)` with `shots` per measurement channel.
+    fn estimate_trace(
+        &self,
+        states: &[Matrix],
+        shots: usize,
+        rng: &mut dyn rand::RngCore,
+    ) -> TraceEstimate;
+}
+
+/// A backend that evaluates traces exactly by linear algebra — the
+/// "infinite shots" reference, useful for fast application-level tests
+/// and for isolating sampling error from protocol error.
+#[derive(Debug, Clone, Copy)]
+pub struct ExactTraceBackend {
+    k: usize,
+    n: usize,
+}
+
+impl ExactTraceBackend {
+    /// An exact backend for `k` states of `n` qubits.
+    pub fn new(k: usize, n: usize) -> Self {
+        ExactTraceBackend { k, n }
+    }
+}
+
+impl TraceBackend for ExactTraceBackend {
+    fn num_parties(&self) -> usize {
+        self.k
+    }
+
+    fn state_width(&self) -> usize {
+        self.n
+    }
+
+    fn estimate_trace(
+        &self,
+        states: &[Matrix],
+        _shots: usize,
+        _rng: &mut dyn rand::RngCore,
+    ) -> TraceEstimate {
+        let t = exact_multivariate_trace(states);
+        TraceEstimate {
+            re: t.re,
+            im: t.im,
+            re_std_err: 0.0,
+            im_std_err: 0.0,
+            shots: 0,
+        }
+    }
+}
+
+/// Exact multivariate trace `tr(ρ₁ρ₂…ρ_k)` by dense matrix products — the
+/// ground truth every protocol is validated against.
+///
+/// # Panics
+///
+/// Panics if the matrices are not square of one common dimension.
+pub fn exact_multivariate_trace(states: &[Matrix]) -> Complex {
+    assert!(!states.is_empty(), "need at least one state");
+    let d = states[0].rows();
+    let mut acc = Matrix::identity(d);
+    for rho in states {
+        assert!(rho.is_square() && rho.rows() == d, "dimension mismatch");
+        acc = &acc * rho;
+    }
+    acc.trace()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsim::qrand::random_density_matrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exact_trace_of_single_state_is_one() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let rho = random_density_matrix(2, &mut rng);
+        let t = exact_multivariate_trace(&[rho]);
+        assert!((t.re - 1.0).abs() < 1e-10 && t.im.abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_trace_of_pure_overlaps() {
+        // tr(|a⟩⟨a| |b⟩⟨b|) = |⟨a|b⟩|².
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = qsim::qrand::random_pure_state(1, &mut rng);
+        let b = qsim::qrand::random_pure_state(1, &mut rng);
+        let rho_a = qsim::statevector::StateVector::from_amplitudes(a.clone()).to_density();
+        let rho_b = qsim::statevector::StateVector::from_amplitudes(b.clone()).to_density();
+        let overlap: Complex = a
+            .iter()
+            .zip(&b)
+            .map(|(x, y)| x.conj() * *y)
+            .fold(Complex::ZERO, |acc, v| acc + v);
+        let t = exact_multivariate_trace(&[rho_a, rho_b]);
+        assert!((t.re - overlap.norm_sqr()).abs() < 1e-12);
+        assert!(t.im.abs() < 1e-12);
+    }
+
+    #[test]
+    fn estimator_means_and_errors() {
+        let mut est = TraceEstimator::new();
+        for i in 0..100 {
+            est.record_re(i % 4 == 0); // 25% odd parity ⇒ mean 0.5
+            est.record_im(i % 2 == 0); // 50% ⇒ mean 0.0
+        }
+        let e = est.finish();
+        assert!((e.re - 0.5).abs() < 1e-12);
+        assert!(e.im.abs() < 1e-12);
+        assert!(e.re_std_err > 0.0 && e.im_std_err > 0.0);
+        assert_eq!(e.shots, 100);
+    }
+
+    #[test]
+    fn consistency_check_uses_std_err() {
+        let e = TraceEstimate {
+            re: 0.5,
+            im: 0.0,
+            re_std_err: 0.05,
+            im_std_err: 0.05,
+            shots: 100,
+        };
+        assert!(e.is_consistent_with(c64(0.55, 0.05), 2.0));
+        assert!(!e.is_consistent_with(c64(0.8, 0.0), 2.0));
+    }
+
+    #[test]
+    fn trace_is_cyclic() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = random_density_matrix(1, &mut rng);
+        let b = random_density_matrix(1, &mut rng);
+        let c = random_density_matrix(1, &mut rng);
+        let t1 = exact_multivariate_trace(&[a.clone(), b.clone(), c.clone()]);
+        let t2 = exact_multivariate_trace(&[c, a, b]);
+        assert!((t1 - t2).abs() < 1e-12);
+    }
+}

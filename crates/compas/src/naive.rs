@@ -1,0 +1,228 @@
+//! The naive sliced distribution baseline (paper §2.5, Fig 3).
+//!
+//! The obvious way to distribute the multi-party SWAP test: cut every
+//! state into single-qubit "slices", teleport all `k` slices of qubit `j`
+//! onto one QPU, and run `k`-party single-qubit SWAP tests locally. Two
+//! structural drawbacks motivate COMPAS:
+//!
+//! * **Quadratic Bell cost** — on a line topology the worst-case endpoint
+//!   QPU must push `n − n/k` qubits distances up to `n−1` hops, consuming
+//!   `(n/k + n − 1)(n − n/k)/2 = O(n²)` raw Bell pairs, doubled if the
+//!   qubits must return (§2.5). COMPAS needs only `O(n)` per QPU.
+//! * **Product inputs only** — the per-slice tests multiply as
+//!   `tr(Πᵢ ρᵢ) = Πⱼ tr(Πᵢ ρᵢ^{(j)})` **only** when every state factorises
+//!   across slices. Entangled inputs are silently mis-estimated, whereas
+//!   COMPAS keeps each state whole on one QPU.
+
+use mathkit::complex::Complex;
+use mathkit::matrix::Matrix;
+use network::ledger::ResourceLedger;
+use network::machine::DistributedMachine;
+use network::topology::Topology;
+use rand::Rng;
+
+use crate::estimator::TraceEstimate;
+use crate::swap_test::{MonolithicSwapTest, MonolithicVariant};
+
+/// Worst-case raw Bell pairs for the naive distribution on a line of `k`
+/// QPUs with `n`-qubit states (§2.5).
+///
+/// The endpoint QPU keeps `n/k` of its qubits and teleports the rest to
+/// QPUs at hop distances `n/k, n/k + 1, …, n − 1`; summing gives
+/// `(n/k + n − 1)·(n − n/k)/2`. With `round_trip`, qubits are teleported
+/// back afterwards, doubling the count.
+pub fn naive_bell_pair_cost(n: usize, k: usize, round_trip: bool) -> f64 {
+    let nf = n as f64;
+    let per = nf / k as f64;
+    let one_way = (per + nf - 1.0) * (nf - per) / 2.0;
+    if round_trip {
+        2.0 * one_way
+    } else {
+        one_way
+    }
+}
+
+/// The naive protocol: slice, redistribute, test per slice, multiply.
+#[derive(Debug)]
+pub struct NaiveDistribution {
+    k: usize,
+    n: usize,
+    slice_test: MonolithicSwapTest,
+}
+
+impl NaiveDistribution {
+    /// Sets up the baseline for `k` states of `n` qubits each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 2` or `n == 0`.
+    pub fn new(k: usize, n: usize) -> Self {
+        NaiveDistribution {
+            k,
+            n,
+            // Each QPU runs an ordinary k-party test on 1-qubit slices.
+            slice_test: MonolithicSwapTest::new(k, 1, MonolithicVariant::Fanout),
+        }
+    }
+
+    /// Number of parties.
+    pub fn num_parties(&self) -> usize {
+        self.k
+    }
+
+    /// Width of each state.
+    pub fn state_width(&self) -> usize {
+        self.n
+    }
+
+    /// Estimates `tr(Πᵢ ρᵢ)` for **slice-product** states:
+    /// `slices[i][j]` is the single-qubit density matrix of state `i`'s
+    /// qubit `j`, i.e. `ρᵢ = ⊗ⱼ slices[i][j]`.
+    ///
+    /// Runs one `k`-party single-qubit test per slice (`shots` per
+    /// channel each) and multiplies the complex per-slice estimates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice grid is not `k × n`.
+    pub fn estimate_sliced(
+        &self,
+        slices: &[Vec<Matrix>],
+        shots: usize,
+        rng: &mut impl Rng,
+    ) -> TraceEstimate {
+        assert_eq!(slices.len(), self.k, "need k states");
+        for row in slices {
+            assert_eq!(row.len(), self.n, "need n slices per state");
+        }
+        let mut product = Complex::ONE;
+        let mut worst_re_err: f64 = 0.0;
+        let mut worst_im_err: f64 = 0.0;
+        for j in 0..self.n {
+            let slice_states: Vec<Matrix> = slices.iter().map(|row| row[j].clone()).collect();
+            let e = self.slice_test.estimate(&slice_states, shots, rng);
+            product *= e.value();
+            worst_re_err = worst_re_err.max(e.re_std_err);
+            worst_im_err = worst_im_err.max(e.im_std_err);
+        }
+        // First-order error propagation: each factor has modulus ≤ 1, so
+        // the n per-slice errors add at worst linearly.
+        TraceEstimate {
+            re: product.re,
+            im: product.im,
+            re_std_err: worst_re_err * self.n as f64,
+            im_std_err: worst_im_err * self.n as f64,
+            shots,
+        }
+    }
+
+    /// Builds the redistribution phase on a line machine and returns its
+    /// ledger: QPU `i` starts with state `i`; slice `j` of every state is
+    /// teleported to QPU `j mod k` (uniform `n/k` tests per QPU).
+    pub fn distribution_ledger(&self) -> ResourceLedger {
+        let mut m = DistributedMachine::new(self.k, self.n, Topology::Line);
+        let mut moves = Vec::new();
+        for i in 0..self.k {
+            for j in 0..self.n {
+                let home = j % self.k;
+                if home != i {
+                    moves.push((m.data_qubit(i, j), home));
+                }
+            }
+        }
+        m.teleport_batch(&moves);
+        let (_, ledger) = m.finish();
+        ledger
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimator::exact_multivariate_trace;
+    use qsim::qrand::random_density_matrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn closed_form_matches_paper_example() {
+        // §2.5: the worst-case sum n/k + (n/k+1) + … + (n−1).
+        let direct: f64 = naive_bell_pair_cost(12, 4, false);
+        let manual: f64 = (3..12).map(|d| d as f64).sum();
+        assert!((direct - manual).abs() < 1e-9);
+        assert!((naive_bell_pair_cost(12, 4, true) - 2.0 * manual).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cost_is_quadratic_in_n() {
+        let c10 = naive_bell_pair_cost(10, 5, true);
+        let c100 = naive_bell_pair_cost(100, 5, true);
+        let ratio = c100 / c10;
+        assert!(ratio > 80.0 && ratio < 120.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn sliced_estimate_matches_exact_product_trace() {
+        let mut rng = StdRng::seed_from_u64(55);
+        let (k, n) = (3, 2);
+        let naive = NaiveDistribution::new(k, n);
+        let slices: Vec<Vec<Matrix>> = (0..k)
+            .map(|_| (0..n).map(|_| random_density_matrix(1, &mut rng)).collect())
+            .collect();
+        // Full states via Kronecker products for the exact reference.
+        let full: Vec<Matrix> = slices
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .skip(1)
+                    .fold(row[0].clone(), |acc, m| acc.kron(m))
+            })
+            .collect();
+        let exact = exact_multivariate_trace(&full);
+        let e = naive.estimate_sliced(&slices, 3000, &mut rng);
+        assert!(
+            e.is_consistent_with(exact, 6.0),
+            "estimate {e:?} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn measured_distribution_cost_is_quadratic() {
+        // The paper's quadratic worst case has hop distances growing with
+        // the network size, i.e. k ≈ n. With k fixed, distances are capped
+        // at k−1 and the measured cost is linear in n; with k = n it must
+        // grow super-linearly.
+        let cost = |n: usize| {
+            NaiveDistribution::new(n, n)
+                .distribution_ledger()
+                .raw_bell_pairs() as f64
+        };
+        let (c4, c12) = (cost(4), cost(12));
+        let ratio = c12 / c4;
+        assert!(
+            ratio > 6.0,
+            "expected super-linear growth, got {c4} -> {c12}"
+        );
+        // Fixed k: linear in n, demonstrating the cap.
+        let fixed = |n: usize| {
+            NaiveDistribution::new(4, n)
+                .distribution_ledger()
+                .raw_bell_pairs() as f64
+        };
+        assert!(fixed(16) / fixed(4) < 5.0);
+    }
+
+    #[test]
+    fn compas_cost_is_linear_in_n_by_contrast() {
+        use crate::cswap::CswapScheme;
+        use crate::swap_test::CompasProtocol;
+        let cost = |n: usize| {
+            CompasProtocol::new(4, n, CswapScheme::Teledata)
+                .ledger()
+                .raw_bell_pairs() as f64
+        };
+        let (c4, c16) = (cost(4), cost(16));
+        let ratio = c16 / c4;
+        assert!(ratio < 5.0, "expected ~linear growth, got {c4} -> {c16}");
+    }
+}

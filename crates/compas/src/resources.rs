@@ -1,0 +1,324 @@
+//! Closed-form per-QPU resource budgets (paper §4, Tables 1–3).
+//!
+//! These are the paper's own step-by-step cost ledgers, reproduced as
+//! functions of the state width `n` so the benchmark harness can print
+//! Tables 1–3 verbatim and the tests can pin every number (totals 99 and
+//! 91, Bell budgets `2+6n` and `2+4n`, memory estimates `19n+6` and
+//! `14n+6`). The *measured* costs of the executable implementation are
+//! tracked separately by [`network::ledger::ResourceLedger`]; DESIGN.md
+//! documents where the two accountings differ and why.
+
+use std::fmt;
+
+/// One row of Table 1 or Table 2.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StepCost {
+    /// Step label, e.g. `"(a) GHZ preparation"`.
+    pub label: String,
+    /// Ancilla qubits used by the step.
+    pub ancilla: usize,
+    /// Bell pairs consumed by the step.
+    pub bell_pairs: usize,
+    /// Circuit depth contributed by the step.
+    pub depth: usize,
+    /// How many times the step is repeated in the full protocol.
+    pub repeats: usize,
+}
+
+/// A full per-QPU cost table (Table 1 or Table 2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CostTable {
+    /// Scheme name (`"telegate"` / `"teledata"`).
+    pub scheme: &'static str,
+    /// The step rows in paper order.
+    pub steps: Vec<StepCost>,
+    /// Total ancillas with reuse (not the sum of rows; §3.6).
+    pub total_ancilla: usize,
+    /// Total Bell pairs.
+    pub total_bell_pairs: usize,
+    /// Total depth.
+    pub total_depth: usize,
+}
+
+impl fmt::Display for CostTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<42} {:>8} {:>10} {:>6}",
+            format!("{} scheme (per QPU)", self.scheme),
+            "ancilla",
+            "Bell",
+            "depth"
+        )?;
+        for s in &self.steps {
+            let label = if s.repeats > 1 {
+                format!("{} x{}", s.label, s.repeats)
+            } else {
+                s.label.clone()
+            };
+            writeln!(
+                f,
+                "{:<42} {:>8} {:>10} {:>6}",
+                label,
+                s.ancilla,
+                s.bell_pairs,
+                s.depth * s.repeats
+            )?;
+        }
+        writeln!(
+            f,
+            "{:<42} {:>8} {:>10} {:>6}",
+            "total", self.total_ancilla, self.total_bell_pairs, self.total_depth
+        )
+    }
+}
+
+/// Table 1: the telegate scheme for state width `n`, using 4 Fanout gates.
+pub fn telegate_costs(n: usize) -> CostTable {
+    let steps = vec![
+        StepCost {
+            label: "(a) GHZ preparation (Fig 4)".into(),
+            ancilla: 1,
+            bell_pairs: 2,
+            depth: 9,
+            repeats: 1,
+        },
+        StepCost {
+            label: "(b1) CNOT teleportation x2 (Fig 6b)".into(),
+            ancilla: 0,
+            bell_pairs: 2 * n,
+            depth: 3 * 2,
+            repeats: 2,
+        },
+        StepCost {
+            label: "(b2) Toffoli teleportation (Fig 6d)".into(),
+            ancilla: 0,
+            bell_pairs: n,
+            depth: 6,
+            repeats: 2,
+        },
+        StepCost {
+            label: "(b3) Toffolis, non-Fanout gates (Fig 7c)".into(),
+            ancilla: 0,
+            bell_pairs: 0,
+            depth: 4,
+            repeats: 2,
+        },
+        StepCost {
+            label: "(b4) Toffolis, Fanout gates x4 (Fig 7c)".into(),
+            ancilla: n,
+            bell_pairs: 0,
+            depth: 7 * 4,
+            repeats: 2,
+        },
+        StepCost {
+            label: "(c) Readout".into(),
+            ancilla: 0,
+            bell_pairs: 0,
+            depth: 2,
+            repeats: 1,
+        },
+    ];
+    // (a) + (b1..b4) x2 + (c): Bell 2 + (2n+n)*2 = 2+6n; depth 9+44*2+2.
+    CostTable {
+        scheme: "telegate",
+        steps,
+        total_ancilla: n,
+        total_bell_pairs: 2 + 6 * n,
+        total_depth: 99,
+    }
+}
+
+/// Table 2: the teledata scheme for state width `n`, using 4 Fanout gates.
+pub fn teledata_costs(n: usize) -> CostTable {
+    let steps = vec![
+        StepCost {
+            label: "(a) GHZ preparation (Fig 4)".into(),
+            ancilla: 1,
+            bell_pairs: 2,
+            depth: 9,
+            repeats: 1,
+        },
+        StepCost {
+            label: "(b1) Data teleportation (Fig 6c)".into(),
+            ancilla: n,
+            bell_pairs: 2 * n,
+            depth: 8,
+            repeats: 2,
+        },
+        StepCost {
+            label: "(b2) Toffolis, non-Fanout gates (Fig 7c)".into(),
+            ancilla: 0,
+            bell_pairs: 0,
+            depth: 4,
+            repeats: 2,
+        },
+        StepCost {
+            label: "(b3) Toffolis, Fanout gates x4 (Fig 7c)".into(),
+            ancilla: n,
+            bell_pairs: 0,
+            depth: 7 * 4,
+            repeats: 2,
+        },
+        StepCost {
+            label: "(c) Readout".into(),
+            ancilla: 0,
+            bell_pairs: 0,
+            depth: 2,
+            repeats: 1,
+        },
+    ];
+    // Bell 2 + 2n*2 = 2+4n; depth 9 + 40*2 + 2 = 91; ancilla 2n (reuse).
+    CostTable {
+        scheme: "teledata",
+        steps,
+        total_ancilla: 2 * n,
+        total_bell_pairs: 2 + 4 * n,
+        total_depth: 91,
+    }
+}
+
+/// The naive distribution's per-QPU costs (§2.5 and Table 3 row c).
+///
+/// `n` is the state width and `k` the QPU count. The Bell-pair count is
+/// the worst-case line-topology total `(n/k + n − 1)(n − n/k)/2` doubled
+/// for the return trip, expressed as in Table 3.
+pub fn naive_costs(n: usize, k: usize) -> SchemeCost {
+    let n_over_k = n as f64 / k as f64;
+    let nf = n as f64;
+    // Table 3(c): n(n+1) − (n/k)(n/k + 1), the closed form of the doubled
+    // worst-case teleport sum.
+    let bell = nf * (nf + 1.0) - n_over_k * (n_over_k + 1.0);
+    SchemeCost {
+        scheme: "naive",
+        ancilla: n,
+        bell_pairs: bell,
+        depth: 76,
+        memory_estimate: 3.0 * bell + n as f64,
+    }
+}
+
+/// One row of Table 3: aggregate per-QPU cost with the 3-to-1
+/// distillation memory factor of \[5, 46\].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchemeCost {
+    /// Scheme name.
+    pub scheme: &'static str,
+    /// Ancilla qubits (with reuse).
+    pub ancilla: usize,
+    /// Bell pairs (may be fractional for the naive closed form).
+    pub bell_pairs: f64,
+    /// Total circuit depth.
+    pub depth: usize,
+    /// Memory estimate: `3 × Bell pairs + ancilla`.
+    pub memory_estimate: f64,
+}
+
+impl fmt::Display for SchemeCost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<10} ancilla {:>6} bell {:>10.1} depth {:>4} memory {:>10.1}",
+            self.scheme, self.ancilla, self.bell_pairs, self.depth, self.memory_estimate
+        )
+    }
+}
+
+/// Table 3: all three schemes side by side for width `n` (and `k` QPUs
+/// for the naive row). The recommended scheme is teledata (bold in the
+/// paper): lowest memory estimate.
+pub fn scheme_comparison(n: usize, k: usize) -> Vec<SchemeCost> {
+    let tg = telegate_costs(n);
+    let td = teledata_costs(n);
+    vec![
+        SchemeCost {
+            scheme: "telegate",
+            ancilla: tg.total_ancilla,
+            bell_pairs: tg.total_bell_pairs as f64,
+            depth: tg.total_depth,
+            // 3(2+6n) + n = 19n + 6.
+            memory_estimate: (19 * n + 6) as f64,
+        },
+        SchemeCost {
+            scheme: "teledata",
+            ancilla: td.total_ancilla,
+            bell_pairs: td.total_bell_pairs as f64,
+            depth: td.total_depth,
+            // 3(2+4n) + 2n = 14n + 6.
+            memory_estimate: (14 * n + 6) as f64,
+        },
+        naive_costs(n, k),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn telegate_totals_match_table_1() {
+        for n in [1usize, 2, 5, 100] {
+            let t = telegate_costs(n);
+            assert_eq!(t.total_bell_pairs, 2 + 6 * n);
+            assert_eq!(t.total_depth, 99);
+            assert_eq!(t.total_ancilla, n);
+            // Depth total = (a) + (b-rows × repeats) + (c).
+            let recomputed: usize = t.steps.iter().map(|s| s.depth * s.repeats).sum();
+            assert_eq!(recomputed, 99);
+            let bell: usize = t.steps.iter().map(|s| s.bell_pairs * s.repeats).sum();
+            assert_eq!(bell, 2 + 6 * n);
+        }
+    }
+
+    #[test]
+    fn teledata_totals_match_table_2() {
+        for n in [1usize, 2, 5, 100] {
+            let t = teledata_costs(n);
+            assert_eq!(t.total_bell_pairs, 2 + 4 * n);
+            assert_eq!(t.total_depth, 91);
+            assert_eq!(t.total_ancilla, 2 * n);
+            let recomputed: usize = t.steps.iter().map(|s| s.depth * s.repeats).sum();
+            assert_eq!(recomputed, 91);
+        }
+    }
+
+    #[test]
+    fn memory_estimates_match_table_3() {
+        let rows = scheme_comparison(10, 4);
+        assert_eq!(rows[0].memory_estimate, 196.0); // 19·10+6
+        assert_eq!(rows[1].memory_estimate, 146.0); // 14·10+6
+                                                    // Teledata is the recommendation: strictly lower memory.
+        assert!(rows[1].memory_estimate < rows[0].memory_estimate);
+    }
+
+    #[test]
+    fn naive_bell_pairs_scale_quadratically() {
+        let small = naive_costs(10, 5).bell_pairs;
+        let big = naive_costs(100, 5).bell_pairs;
+        // ~3n² scaling ⇒ ×100 for ×10 width.
+        assert!(big / small > 80.0 && big / small < 120.0);
+        // Memory ≈ 3n² for large n (Table 3 note).
+        let m = naive_costs(100, 5).memory_estimate;
+        assert!(m > 2.5 * 100.0 * 100.0 && m < 3.5 * 100.0 * 100.0);
+    }
+
+    #[test]
+    fn linear_vs_quadratic_crossover() {
+        // COMPAS's O(n) budget beats the naive O(n²) once n ≥ 5 (at k=4).
+        for n in 5..50 {
+            let td = teledata_costs(n).total_bell_pairs as f64;
+            let naive = naive_costs(n, 4).bell_pairs;
+            assert!(td < naive, "n={n}: {td} !< {naive}");
+        }
+    }
+
+    #[test]
+    fn tables_render() {
+        let t = telegate_costs(3);
+        let s = t.to_string();
+        assert!(s.contains("GHZ preparation"));
+        assert!(s.contains("total"));
+        let row = naive_costs(4, 2);
+        assert!(row.to_string().contains("naive"));
+    }
+}

@@ -1,0 +1,152 @@
+//! Chebyshev approximation on `[−1, 1]`.
+//!
+//! Parallel quantum signal processing (paper §6.4) approximates a target
+//! function `F(x)` by a degree-`d` polynomial before factoring it into `k`
+//! low-degree factor polynomials. This module supplies the approximation
+//! step: coefficients in the Chebyshev basis, Clenshaw evaluation, and
+//! conversion to the monomial basis for factorization.
+//!
+//! ```
+//! use mathkit::cheb::ChebyshevApprox;
+//!
+//! let approx = ChebyshevApprox::fit(|x| x.exp(), 12);
+//! assert!((approx.eval(0.3) - 0.3f64.exp()).abs() < 1e-10);
+//! ```
+
+use crate::poly::Polynomial;
+use std::f64::consts::PI;
+
+/// A truncated Chebyshev series `Σₖ cₖ Tₖ(x)` on `[−1, 1]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChebyshevApprox {
+    coeffs: Vec<f64>,
+}
+
+impl ChebyshevApprox {
+    /// Fits a degree-`degree` Chebyshev series to `f` by interpolation at
+    /// the Chebyshev–Gauss nodes `cos(π(j+½)/(degree+1))`.
+    pub fn fit(f: impl Fn(f64) -> f64, degree: usize) -> Self {
+        let n = degree + 1;
+        let samples: Vec<f64> = (0..n)
+            .map(|j| f((PI * (j as f64 + 0.5) / n as f64).cos()))
+            .collect();
+        let mut coeffs = vec![0.0; n];
+        for (k, ck) in coeffs.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for (j, &s) in samples.iter().enumerate() {
+                acc += s * (PI * k as f64 * (j as f64 + 0.5) / n as f64).cos();
+            }
+            *ck = 2.0 * acc / n as f64;
+        }
+        coeffs[0] /= 2.0;
+        ChebyshevApprox { coeffs }
+    }
+
+    /// Builds directly from Chebyshev coefficients `c₀, c₁, …`.
+    pub fn from_coeffs(coeffs: Vec<f64>) -> Self {
+        ChebyshevApprox { coeffs }
+    }
+
+    /// The Chebyshev coefficients, `T₀` first.
+    pub fn coeffs(&self) -> &[f64] {
+        &self.coeffs
+    }
+
+    /// Evaluates the series at `x` by the Clenshaw recurrence.
+    pub fn eval(&self, x: f64) -> f64 {
+        let mut b1 = 0.0;
+        let mut b2 = 0.0;
+        for &c in self.coeffs.iter().rev() {
+            let b0 = 2.0 * x * b1 - b2 + c;
+            b2 = b1;
+            b1 = b0;
+        }
+        b1 - x * b2
+    }
+
+    /// Converts to the monomial basis.
+    ///
+    /// Chebyshev-to-monomial conversion is ill-conditioned at high degree;
+    /// the degrees used by parallel QSP here (≤ ~30) are safe in `f64`.
+    pub fn to_polynomial(&self) -> Polynomial {
+        // T₀ = 1, T₁ = x, T_{k+1} = 2x·T_k − T_{k−1}.
+        let mut t_prev = Polynomial::from_real(&[1.0]);
+        let mut t_curr = Polynomial::from_real(&[0.0, 1.0]);
+        let two_x = Polynomial::from_real(&[0.0, 2.0]);
+        let mut out = Polynomial::zero();
+        for (k, &c) in self.coeffs.iter().enumerate() {
+            let tk = match k {
+                0 => t_prev.clone(),
+                1 => t_curr.clone(),
+                _ => {
+                    let next = two_x.mul(&t_curr).add(&t_prev.scale((-1.0).into()));
+                    t_prev = std::mem::replace(&mut t_curr, next);
+                    t_curr.clone()
+                }
+            };
+            out = out.add(&tk.scale(c.into()));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_low_degree_polynomials_exactly() {
+        // f(x) = 2x² − 1 = T₂(x).
+        let approx = ChebyshevApprox::fit(|x| 2.0 * x * x - 1.0, 4);
+        let c = approx.coeffs();
+        assert!(c[0].abs() < 1e-12);
+        assert!(c[1].abs() < 1e-12);
+        assert!((c[2] - 1.0).abs() < 1e-12);
+        assert!(c[3].abs() < 1e-12);
+    }
+
+    #[test]
+    fn clenshaw_matches_function() {
+        let approx = ChebyshevApprox::fit(f64::sin, 15);
+        for i in 0..=20 {
+            let x = -1.0 + 0.1 * i as f64;
+            assert!(
+                (approx.eval(x) - x.sin()).abs() < 1e-10,
+                "mismatch at x={x}"
+            );
+        }
+    }
+
+    #[test]
+    fn monomial_conversion_preserves_values() {
+        let approx = ChebyshevApprox::fit(|x| 1.0 / (1.0 + 4.0 * x * x), 20);
+        let poly = approx.to_polynomial();
+        for i in 0..=10 {
+            let x = -1.0 + 0.2 * i as f64;
+            let via_cheb = approx.eval(x);
+            let via_poly = poly.eval_real(x).re;
+            assert!(
+                (via_cheb - via_poly).abs() < 1e-9,
+                "basis conversion mismatch at x={x}: {via_cheb} vs {via_poly}"
+            );
+        }
+    }
+
+    #[test]
+    fn even_function_has_no_odd_coefficients() {
+        let approx = ChebyshevApprox::fit(|x| x * x, 6);
+        for (k, &c) in approx.coeffs().iter().enumerate() {
+            if k % 2 == 1 {
+                assert!(c.abs() < 1e-12, "odd coefficient c{k}={c} should vanish");
+            }
+        }
+    }
+
+    #[test]
+    fn from_coeffs_round_trip() {
+        let cheb = ChebyshevApprox::from_coeffs(vec![0.5, 0.0, 0.25]);
+        // 0.5·T₀ + 0.25·T₂ = 0.5 + 0.25(2x²−1) = 0.25 + 0.5x².
+        assert!((cheb.eval(0.0) - 0.25).abs() < 1e-12);
+        assert!((cheb.eval(1.0) - 0.75).abs() < 1e-12);
+    }
+}

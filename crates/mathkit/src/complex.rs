@@ -1,0 +1,350 @@
+//! Complex double-precision arithmetic.
+//!
+//! The simulation stack stores amplitudes and density-matrix entries as
+//! [`Complex`] values. The type is a plain `Copy` pair of `f64`s with the
+//! full set of arithmetic operators, so expressions read like ordinary
+//! numeric code:
+//!
+//! ```
+//! use mathkit::complex::{c64, Complex};
+//!
+//! let a = c64(1.0, 2.0);
+//! let b = Complex::I;
+//! assert_eq!(a * b, c64(-2.0, 1.0));
+//! assert_eq!(a.conj() * a, c64(5.0, 0.0));
+//! ```
+
+use std::fmt;
+use std::iter::{Product, Sum};
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` real and imaginary parts.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+/// Shorthand constructor for a [`Complex`] value.
+///
+/// ```
+/// # use mathkit::complex::c64;
+/// assert_eq!(c64(3.0, -1.0).re, 3.0);
+/// ```
+#[inline]
+pub const fn c64(re: f64, im: f64) -> Complex {
+    Complex { re, im }
+}
+
+impl Complex {
+    /// The additive identity `0 + 0i`.
+    pub const ZERO: Complex = c64(0.0, 0.0);
+    /// The multiplicative identity `1 + 0i`.
+    pub const ONE: Complex = c64(1.0, 0.0);
+    /// The imaginary unit `i`.
+    pub const I: Complex = c64(0.0, 1.0);
+
+    /// Creates a complex number from real and imaginary parts.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        c64(re, im)
+    }
+
+    /// Creates a purely real complex number.
+    #[inline]
+    pub const fn from_real(re: f64) -> Self {
+        c64(re, 0.0)
+    }
+
+    /// Creates a complex number from polar coordinates `r·e^{iθ}`.
+    ///
+    /// ```
+    /// # use mathkit::complex::Complex;
+    /// let z = Complex::from_polar(2.0, std::f64::consts::FRAC_PI_2);
+    /// assert!((z.re).abs() < 1e-15 && (z.im - 2.0).abs() < 1e-15);
+    /// ```
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        c64(r * theta.cos(), r * theta.sin())
+    }
+
+    /// The complex conjugate `re − im·i`.
+    #[inline]
+    pub fn conj(self) -> Self {
+        c64(self.re, -self.im)
+    }
+
+    /// The squared modulus `|z|²`, cheaper than [`Complex::abs`].
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// The modulus `|z|`.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// The argument (phase angle) in radians, in `(−π, π]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// The multiplicative inverse `1/z`.
+    ///
+    /// Returns non-finite components when `z` is zero, matching `f64`
+    /// division semantics.
+    #[inline]
+    pub fn recip(self) -> Self {
+        let d = self.norm_sqr();
+        c64(self.re / d, -self.im / d)
+    }
+
+    /// The complex exponential `e^z`.
+    #[inline]
+    pub fn exp(self) -> Self {
+        Self::from_polar(self.re.exp(), self.im)
+    }
+
+    /// The principal square root.
+    #[inline]
+    pub fn sqrt(self) -> Self {
+        Self::from_polar(self.abs().sqrt(), self.arg() / 2.0)
+    }
+
+    /// Raises `z` to an integer power by repeated squaring.
+    pub fn powi(self, mut n: i32) -> Self {
+        if n < 0 {
+            return self.recip().powi(-n);
+        }
+        let mut base = self;
+        let mut acc = Complex::ONE;
+        while n > 0 {
+            if n & 1 == 1 {
+                acc *= base;
+            }
+            base *= base;
+            n >>= 1;
+        }
+        acc
+    }
+
+    /// Scales by a real factor.
+    #[inline]
+    pub fn scale(self, s: f64) -> Self {
+        c64(self.re * s, self.im * s)
+    }
+
+    /// Whether both components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+
+    /// Whether `|self − other| ≤ tol` component-wise distance in modulus.
+    #[inline]
+    pub fn approx_eq(self, other: Self, tol: f64) -> bool {
+        (self - other).abs() <= tol
+    }
+}
+
+impl From<f64> for Complex {
+    #[inline]
+    fn from(re: f64) -> Self {
+        Complex::from_real(re)
+    }
+}
+
+macro_rules! forward_binop {
+    ($trait:ident, $method:ident, |$a:ident, $b:ident| $body:expr) => {
+        impl $trait for Complex {
+            type Output = Complex;
+            #[inline]
+            fn $method(self, rhs: Complex) -> Complex {
+                let ($a, $b) = (self, rhs);
+                $body
+            }
+        }
+        impl $trait<f64> for Complex {
+            type Output = Complex;
+            #[inline]
+            fn $method(self, rhs: f64) -> Complex {
+                let ($a, $b) = (self, Complex::from_real(rhs));
+                $body
+            }
+        }
+        impl $trait<Complex> for f64 {
+            type Output = Complex;
+            #[inline]
+            fn $method(self, rhs: Complex) -> Complex {
+                let ($a, $b) = (Complex::from_real(self), rhs);
+                $body
+            }
+        }
+    };
+}
+
+forward_binop!(Add, add, |a, b| c64(a.re + b.re, a.im + b.im));
+forward_binop!(Sub, sub, |a, b| c64(a.re - b.re, a.im - b.im));
+forward_binop!(Mul, mul, |a, b| c64(
+    a.re * b.re - a.im * b.im,
+    a.re * b.im + a.im * b.re
+));
+#[allow(clippy::suspicious_arithmetic_impl)] // division via reciprocal multiply
+mod div_impl {
+    use super::*;
+    forward_binop!(Div, div, |a, b| a * b.recip());
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    #[inline]
+    fn neg(self) -> Complex {
+        c64(-self.re, -self.im)
+    }
+}
+
+impl AddAssign for Complex {
+    #[inline]
+    fn add_assign(&mut self, rhs: Complex) {
+        *self = *self + rhs;
+    }
+}
+impl SubAssign for Complex {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Complex) {
+        *self = *self - rhs;
+    }
+}
+impl MulAssign for Complex {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Complex) {
+        *self = *self * rhs;
+    }
+}
+impl DivAssign for Complex {
+    #[inline]
+    fn div_assign(&mut self, rhs: Complex) {
+        *self = *self / rhs;
+    }
+}
+impl MulAssign<f64> for Complex {
+    #[inline]
+    fn mul_assign(&mut self, rhs: f64) {
+        *self = *self * rhs;
+    }
+}
+
+impl Sum for Complex {
+    fn sum<I: Iterator<Item = Complex>>(iter: I) -> Complex {
+        iter.fold(Complex::ZERO, |a, b| a + b)
+    }
+}
+
+impl Product for Complex {
+    fn product<I: Iterator<Item = Complex>>(iter: I) -> Complex {
+        iter.fold(Complex::ONE, |a, b| a * b)
+    }
+}
+
+impl fmt::Display for Complex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    const TOL: f64 = 1e-12;
+
+    #[test]
+    fn arithmetic_identities() {
+        let z = c64(3.0, -4.0);
+        assert_eq!(z + Complex::ZERO, z);
+        assert_eq!(z * Complex::ONE, z);
+        assert_eq!(z - z, Complex::ZERO);
+        assert!((z / z).approx_eq(Complex::ONE, TOL));
+    }
+
+    #[test]
+    fn mul_matches_hand_computation() {
+        // (1+2i)(3+4i) = 3+4i+6i-8 = -5+10i
+        assert_eq!(c64(1.0, 2.0) * c64(3.0, 4.0), c64(-5.0, 10.0));
+    }
+
+    #[test]
+    fn conjugation_and_modulus() {
+        let z = c64(3.0, -4.0);
+        assert_eq!(z.conj(), c64(3.0, 4.0));
+        assert_eq!(z.abs(), 5.0);
+        assert_eq!(z.norm_sqr(), 25.0);
+        assert!((z * z.conj()).approx_eq(c64(25.0, 0.0), TOL));
+    }
+
+    #[test]
+    fn polar_round_trip() {
+        let z = c64(-1.0, 1.0);
+        let w = Complex::from_polar(z.abs(), z.arg());
+        assert!(w.approx_eq(z, TOL));
+    }
+
+    #[test]
+    fn exp_euler_identity() {
+        // e^{iπ} = −1
+        let z = (Complex::I * PI).exp();
+        assert!(z.approx_eq(c64(-1.0, 0.0), TOL));
+    }
+
+    #[test]
+    fn sqrt_squares_back() {
+        for &z in &[c64(2.0, 3.0), c64(-4.0, 0.0), c64(0.0, -9.0)] {
+            let r = z.sqrt();
+            assert!((r * r).approx_eq(z, 1e-10), "sqrt failed for {z}");
+        }
+    }
+
+    #[test]
+    fn powi_positive_and_negative() {
+        let z = c64(1.0, 1.0);
+        assert!(z.powi(4).approx_eq(c64(-4.0, 0.0), TOL));
+        assert!(z.powi(-2).approx_eq(c64(0.0, -0.5), TOL));
+        assert_eq!(z.powi(0), Complex::ONE);
+    }
+
+    #[test]
+    fn mixed_real_ops() {
+        let z = c64(1.0, 2.0);
+        assert_eq!(z * 2.0, c64(2.0, 4.0));
+        assert_eq!(2.0 * z, c64(2.0, 4.0));
+        assert_eq!(z + 1.0, c64(2.0, 2.0));
+        assert_eq!(1.0 - z, c64(0.0, -2.0));
+        assert!((z / 2.0).approx_eq(c64(0.5, 1.0), TOL));
+    }
+
+    #[test]
+    fn sum_and_product_of_iterators() {
+        let zs = [c64(1.0, 0.0), c64(0.0, 1.0), c64(2.0, 2.0)];
+        let s: Complex = zs.iter().copied().sum();
+        assert_eq!(s, c64(3.0, 3.0));
+        let p: Complex = zs.iter().copied().product();
+        // (1)(i)(2+2i) = i(2+2i) = -2+2i
+        assert!(p.approx_eq(c64(-2.0, 2.0), TOL));
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        assert_eq!(c64(1.0, 2.0).to_string(), "1+2i");
+        assert_eq!(c64(1.0, -2.0).to_string(), "1-2i");
+    }
+}

@@ -1,0 +1,298 @@
+//! Hermitian eigendecomposition and matrix functions.
+//!
+//! Implements a cyclic complex Jacobi eigensolver. Every matrix in this code
+//! base that needs a spectrum (density matrices, entanglement Hamiltonians,
+//! thermal states) is Hermitian and small, for which Jacobi is simple,
+//! numerically robust, and produces orthonormal eigenvectors by construction.
+//!
+//! ```
+//! use mathkit::matrix::Matrix;
+//! use mathkit::eigen::eigh;
+//!
+//! // Pauli X has eigenvalues ±1.
+//! let x = Matrix::from_real(2, 2, &[0.0, 1.0, 1.0, 0.0]);
+//! let eig = eigh(&x);
+//! assert!((eig.values[0] + 1.0).abs() < 1e-12);
+//! assert!((eig.values[1] - 1.0).abs() < 1e-12);
+//! ```
+
+use crate::complex::{c64, Complex};
+use crate::matrix::Matrix;
+
+/// Result of a Hermitian eigendecomposition `A = V Λ V†`.
+#[derive(Debug, Clone)]
+pub struct EigenDecomposition {
+    /// Eigenvalues in ascending order.
+    pub values: Vec<f64>,
+    /// Unitary matrix whose `i`-th column is the eigenvector for `values[i]`.
+    pub vectors: Matrix,
+}
+
+impl EigenDecomposition {
+    /// Reconstructs the original matrix `V Λ V†`.
+    pub fn reconstruct(&self) -> Matrix {
+        self.apply_fn(|x| x)
+    }
+
+    /// Computes `V f(Λ) V†` for a real function `f` of the eigenvalues.
+    pub fn apply_fn(&self, f: impl Fn(f64) -> f64) -> Matrix {
+        let n = self.values.len();
+        let mut out = Matrix::zeros(n, n);
+        for k in 0..n {
+            let fv = f(self.values[k]);
+            if fv == 0.0 {
+                continue;
+            }
+            for i in 0..n {
+                let vik = self.vectors[(i, k)];
+                for j in 0..n {
+                    out[(i, j)] += vik * self.vectors[(j, k)].conj() * fv;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Default convergence threshold on the off-diagonal Frobenius norm.
+const OFF_DIAG_TOL: f64 = 1e-13;
+/// Hard cap on Jacobi sweeps; convergence is quadratic so this is generous.
+const MAX_SWEEPS: usize = 100;
+
+/// Eigendecomposition of a Hermitian matrix by cyclic complex Jacobi.
+///
+/// Eigenvalues are returned in ascending order together with a unitary matrix
+/// of eigenvectors (as columns).
+///
+/// # Panics
+///
+/// Panics if `a` is not square or not Hermitian to within `1e-9`.
+pub fn eigh(a: &Matrix) -> EigenDecomposition {
+    assert!(a.is_square(), "eigh requires a square matrix");
+    assert!(
+        a.is_hermitian(1e-9),
+        "eigh requires a Hermitian matrix (‖A−A†‖∞ ≤ 1e-9)"
+    );
+    let n = a.rows();
+    let mut m = a.clone();
+    let mut v = Matrix::identity(n);
+
+    for _ in 0..MAX_SWEEPS {
+        let off: f64 = off_diag_norm(&m);
+        if off < OFF_DIAG_TOL * (1.0 + m.frobenius_norm()) {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                rotate(&mut m, &mut v, p, q);
+            }
+        }
+    }
+
+    // Extract and sort eigenpairs ascending.
+    let mut pairs: Vec<(f64, usize)> = (0..n).map(|i| (m[(i, i)].re, i)).collect();
+    pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let values: Vec<f64> = pairs.iter().map(|&(val, _)| val).collect();
+    let mut vectors = Matrix::zeros(n, n);
+    for (new_col, &(_, old_col)) in pairs.iter().enumerate() {
+        for i in 0..n {
+            vectors[(i, new_col)] = v[(i, old_col)];
+        }
+    }
+    EigenDecomposition { values, vectors }
+}
+
+fn off_diag_norm(m: &Matrix) -> f64 {
+    let n = m.rows();
+    let mut acc = 0.0;
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                acc += m[(i, j)].norm_sqr();
+            }
+        }
+    }
+    acc.sqrt()
+}
+
+/// One complex Jacobi rotation zeroing `m[(p, q)]`, accumulating into `v`.
+fn rotate(m: &mut Matrix, v: &mut Matrix, p: usize, q: usize) {
+    let apq = m[(p, q)];
+    let mag = apq.abs();
+    if mag < 1e-300 {
+        return;
+    }
+    let app = m[(p, p)].re;
+    let aqq = m[(q, q)].re;
+    let phase = apq.scale(1.0 / mag); // e^{iφ}
+
+    // Real 2×2 symmetric Jacobi on [[app, mag], [mag, aqq]].
+    let tau = (aqq - app) / (2.0 * mag);
+    let t = if tau >= 0.0 {
+        1.0 / (tau + (1.0 + tau * tau).sqrt())
+    } else {
+        -1.0 / (-tau + (1.0 + tau * tau).sqrt())
+    };
+    let c = 1.0 / (1.0 + t * t).sqrt();
+    let s = t * c;
+
+    // Unitary U = diag(1, e^{-iφ}) · [[c, s], [−s, c]] acting on (p, q).
+    // Column update: A ← A·U, row update: A ← U†·A, accumulate V ← V·U.
+    let upp = c64(c, 0.0);
+    let upq = c64(s, 0.0);
+    let uqp = phase.conj().scale(-s);
+    let uqq = phase.conj().scale(c);
+
+    let n = m.rows();
+    // A ← A·U (columns p and q).
+    for i in 0..n {
+        let aip = m[(i, p)];
+        let aiq = m[(i, q)];
+        m[(i, p)] = aip * upp + aiq * uqp;
+        m[(i, q)] = aip * upq + aiq * uqq;
+    }
+    // A ← U†·A (rows p and q).
+    for j in 0..n {
+        let apj = m[(p, j)];
+        let aqj = m[(q, j)];
+        m[(p, j)] = upp.conj() * apj + uqp.conj() * aqj;
+        m[(q, j)] = upq.conj() * apj + uqq.conj() * aqj;
+    }
+    // Clean up round-off on the eliminated pair.
+    m[(p, q)] = Complex::ZERO;
+    m[(q, p)] = Complex::ZERO;
+    // V ← V·U.
+    for i in 0..n {
+        let vip = v[(i, p)];
+        let viq = v[(i, q)];
+        v[(i, p)] = vip * upp + viq * uqp;
+        v[(i, q)] = vip * upq + viq * uqq;
+    }
+}
+
+/// Computes `f(A)` for Hermitian `A` via its eigendecomposition.
+///
+/// # Panics
+///
+/// Panics if `a` is not Hermitian.
+pub fn hermitian_fn(a: &Matrix, f: impl Fn(f64) -> f64) -> Matrix {
+    eigh(a).apply_fn(f)
+}
+
+/// The matrix exponential `e^{s·A}` for Hermitian `A` and real `s`.
+///
+/// Useful for thermal (Gibbs) states `e^{−βH}/Z`.
+pub fn expm_hermitian(a: &Matrix, s: f64) -> Matrix {
+    hermitian_fn(a, |x| (s * x).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_hermitian(n: usize, rng: &mut StdRng) -> Matrix {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = c64(rng.random_range(-1.0..1.0), 0.0);
+            for j in (i + 1)..n {
+                let z = c64(rng.random_range(-1.0..1.0), rng.random_range(-1.0..1.0));
+                m[(i, j)] = z;
+                m[(j, i)] = z.conj();
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn pauli_z_eigenvalues() {
+        let z = Matrix::from_real(2, 2, &[1.0, 0.0, 0.0, -1.0]);
+        let eig = eigh(&z);
+        assert!((eig.values[0] + 1.0).abs() < 1e-12);
+        assert!((eig.values[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pauli_y_eigenvectors_are_unitary() {
+        let y = Matrix::from_vec(
+            2,
+            2,
+            vec![Complex::ZERO, c64(0.0, -1.0), c64(0.0, 1.0), Complex::ZERO],
+        );
+        let eig = eigh(&y);
+        assert!(eig.vectors.is_unitary(1e-10));
+        assert!((eig.values[0] + 1.0).abs() < 1e-12);
+        assert!((eig.values[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_hermitian_reconstruction() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for n in [2, 3, 5, 8] {
+            let a = random_hermitian(n, &mut rng);
+            let eig = eigh(&a);
+            assert!(eig.vectors.is_unitary(1e-9), "V not unitary for n={n}");
+            let recon = eig.reconstruct();
+            assert!(
+                recon.max_abs_diff(&a) < 1e-9,
+                "reconstruction failed for n={n}: err={}",
+                recon.max_abs_diff(&a)
+            );
+            // Eigenvalues ascending.
+            for w in eig.values.windows(2) {
+                assert!(w[0] <= w[1] + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn eigenvalue_equation_holds() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let a = random_hermitian(6, &mut rng);
+        let eig = eigh(&a);
+        for k in 0..6 {
+            let col: Vec<Complex> = (0..6).map(|i| eig.vectors[(i, k)]).collect();
+            let av = a.mul_vec(&col);
+            for i in 0..6 {
+                let want = col[i].scale(eig.values[k]);
+                assert!(av[i].approx_eq(want, 1e-8), "A·v ≠ λ·v at k={k}, i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn trace_is_sum_of_eigenvalues() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let a = random_hermitian(7, &mut rng);
+        let eig = eigh(&a);
+        let sum: f64 = eig.values.iter().sum();
+        assert!((a.trace().re - sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn expm_of_pauli_z_is_diagonal_exponential() {
+        let z = Matrix::from_real(2, 2, &[1.0, 0.0, 0.0, -1.0]);
+        let m = expm_hermitian(&z, -0.5);
+        assert!((m[(0, 0)].re - (-0.5f64).exp()).abs() < 1e-12);
+        assert!((m[(1, 1)].re - 0.5f64.exp()).abs() < 1e-12);
+        assert!(m[(0, 1)].abs() < 1e-12);
+    }
+
+    #[test]
+    fn matrix_power_via_hermitian_fn() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = random_hermitian(4, &mut rng);
+        // A² via eigen vs direct product.
+        let sq_eig = hermitian_fn(&a, |x| x * x);
+        let sq_direct = &a * &a;
+        assert!(sq_eig.max_abs_diff(&sq_direct) < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "Hermitian")]
+    fn non_hermitian_input_panics() {
+        let m = Matrix::from_real(2, 2, &[0.0, 1.0, 0.0, 0.0]);
+        let _ = eigh(&m);
+    }
+}

@@ -1,0 +1,39 @@
+//! # mathkit
+//!
+//! Self-contained numerical kernel for the COMPAS reproduction: complex
+//! arithmetic, dense complex matrices, a Hermitian eigensolver, polynomial
+//! machinery (including the Newton–Girard identities used by entanglement
+//! spectroscopy and the Chebyshev approximation used by parallel QSP), and
+//! the statistics helpers used when reporting shot-based experiments.
+//!
+//! The crate deliberately has **no dependencies**: everything the quantum
+//! simulation stack needs numerically is implemented here so the whole
+//! workspace builds offline.
+//!
+//! ```
+//! use mathkit::prelude::*;
+//!
+//! // Build ρ = ½(|0⟩⟨0| + |1⟩⟨1|) and confirm tr(ρ²) = ½.
+//! let rho = Matrix::from_real(2, 2, &[0.5, 0.0, 0.0, 0.5]);
+//! let purity = (&rho * &rho).trace();
+//! assert!((purity.re - 0.5).abs() < 1e-12);
+//! ```
+
+pub mod cheb;
+pub mod complex;
+pub mod eigen;
+pub mod matrix;
+pub mod poly;
+pub mod stats;
+
+/// Convenient glob-import of the most used items.
+pub mod prelude {
+    pub use crate::cheb::ChebyshevApprox;
+    pub use crate::complex::{c64, Complex};
+    pub use crate::eigen::{eigh, expm_hermitian, hermitian_fn, EigenDecomposition};
+    pub use crate::matrix::{Matrix, TraceKeep};
+    pub use crate::poly::{
+        char_poly_from_elementary, power_sums_to_elementary, spectrum_from_power_sums, Polynomial,
+    };
+    pub use crate::stats::{binomial_std_err, linear_fit, mean, std_err, LinearFit};
+}

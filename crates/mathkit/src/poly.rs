@@ -1,0 +1,415 @@
+//! Polynomials over the complex numbers.
+//!
+//! Provides the polynomial machinery used by entanglement spectroscopy
+//! (characteristic polynomials via Newton–Girard, root extraction) and by
+//! parallel quantum signal processing (factoring a target polynomial into
+//! low-degree factors).
+//!
+//! ```
+//! use mathkit::poly::Polynomial;
+//! use mathkit::complex::c64;
+//!
+//! // p(x) = x² − 1 = (x−1)(x+1)
+//! let p = Polynomial::from_real(&[-1.0, 0.0, 1.0]);
+//! let mut roots: Vec<f64> = p.roots().iter().map(|r| r.re).collect();
+//! roots.sort_by(f64::total_cmp);
+//! assert!((roots[0] + 1.0).abs() < 1e-9 && (roots[1] - 1.0).abs() < 1e-9);
+//! ```
+
+use crate::complex::{c64, Complex};
+use std::fmt;
+
+/// A polynomial `c₀ + c₁x + c₂x² + …` with complex coefficients.
+///
+/// Coefficients are stored from the constant term upward. The zero
+/// polynomial is represented by an empty coefficient vector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Polynomial {
+    coeffs: Vec<Complex>,
+}
+
+impl Polynomial {
+    /// Builds a polynomial from coefficients, constant term first.
+    ///
+    /// Trailing (highest-degree) zero coefficients are trimmed.
+    pub fn new(coeffs: Vec<Complex>) -> Self {
+        let mut p = Polynomial { coeffs };
+        p.trim();
+        p
+    }
+
+    /// Builds a polynomial with real coefficients, constant term first.
+    pub fn from_real(coeffs: &[f64]) -> Self {
+        Polynomial::new(coeffs.iter().map(|&x| c64(x, 0.0)).collect())
+    }
+
+    /// The zero polynomial.
+    pub fn zero() -> Self {
+        Polynomial { coeffs: Vec::new() }
+    }
+
+    /// The constant polynomial `1`.
+    pub fn one() -> Self {
+        Polynomial {
+            coeffs: vec![Complex::ONE],
+        }
+    }
+
+    /// The monic polynomial `∏ᵢ (x − rᵢ)` with the given roots.
+    pub fn from_roots(roots: &[Complex]) -> Self {
+        let mut p = Polynomial::one();
+        for &r in roots {
+            p = p.mul(&Polynomial::new(vec![-r, Complex::ONE]));
+        }
+        p
+    }
+
+    /// Degree of the polynomial; `None` for the zero polynomial.
+    pub fn degree(&self) -> Option<usize> {
+        if self.coeffs.is_empty() {
+            None
+        } else {
+            Some(self.coeffs.len() - 1)
+        }
+    }
+
+    /// Coefficients from the constant term upward.
+    pub fn coeffs(&self) -> &[Complex] {
+        &self.coeffs
+    }
+
+    /// Whether this is the zero polynomial.
+    pub fn is_zero(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    fn trim(&mut self) {
+        while let Some(last) = self.coeffs.last() {
+            if last.abs() == 0.0 {
+                self.coeffs.pop();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Evaluates the polynomial at `x` by Horner's rule.
+    pub fn eval(&self, x: Complex) -> Complex {
+        let mut acc = Complex::ZERO;
+        for &c in self.coeffs.iter().rev() {
+            acc = acc * x + c;
+        }
+        acc
+    }
+
+    /// Evaluates at a real point.
+    pub fn eval_real(&self, x: f64) -> Complex {
+        self.eval(c64(x, 0.0))
+    }
+
+    /// Sum of two polynomials.
+    pub fn add(&self, other: &Polynomial) -> Polynomial {
+        let n = self.coeffs.len().max(other.coeffs.len());
+        let mut out = vec![Complex::ZERO; n];
+        for (i, &c) in self.coeffs.iter().enumerate() {
+            out[i] += c;
+        }
+        for (i, &c) in other.coeffs.iter().enumerate() {
+            out[i] += c;
+        }
+        Polynomial::new(out)
+    }
+
+    /// Product of two polynomials.
+    pub fn mul(&self, other: &Polynomial) -> Polynomial {
+        if self.is_zero() || other.is_zero() {
+            return Polynomial::zero();
+        }
+        let mut out = vec![Complex::ZERO; self.coeffs.len() + other.coeffs.len() - 1];
+        for (i, &a) in self.coeffs.iter().enumerate() {
+            for (j, &b) in other.coeffs.iter().enumerate() {
+                out[i + j] += a * b;
+            }
+        }
+        Polynomial::new(out)
+    }
+
+    /// Multiplies all coefficients by a scalar.
+    pub fn scale(&self, s: Complex) -> Polynomial {
+        Polynomial::new(self.coeffs.iter().map(|&c| c * s).collect())
+    }
+
+    /// Formal derivative.
+    pub fn derivative(&self) -> Polynomial {
+        if self.coeffs.len() <= 1 {
+            return Polynomial::zero();
+        }
+        Polynomial::new(
+            self.coeffs
+                .iter()
+                .enumerate()
+                .skip(1)
+                .map(|(i, &c)| c.scale(i as f64))
+                .collect(),
+        )
+    }
+
+    /// Makes the leading coefficient `1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the zero polynomial.
+    pub fn monic(&self) -> Polynomial {
+        let lead = *self
+            .coeffs
+            .last()
+            .expect("cannot normalize the zero polynomial");
+        self.scale(lead.recip())
+    }
+
+    /// All complex roots via the Durand–Kerner (Weierstrass) iteration.
+    ///
+    /// Converges for the well-conditioned low-degree polynomials produced by
+    /// Newton–Girard and QSP factorization (degree ≤ ~50). Roots are returned
+    /// in no particular order.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the zero polynomial.
+    pub fn roots(&self) -> Vec<Complex> {
+        let deg = self.degree().expect("zero polynomial has no defined roots");
+        if deg == 0 {
+            return Vec::new();
+        }
+        let p = self.monic();
+        if deg == 1 {
+            return vec![-p.coeffs[0]];
+        }
+
+        // Initial guesses: powers of a non-real point on a circle whose
+        // radius upper-bounds the root moduli (Cauchy bound).
+        let radius = 1.0
+            + p.coeffs[..deg]
+                .iter()
+                .map(|c| c.abs())
+                .fold(0.0_f64, f64::max);
+        let seed = c64(0.4, 0.9);
+        let mut zs: Vec<Complex> = (0..deg)
+            .map(|k| seed.powi(k as i32 + 1).scale(radius / seed.abs()))
+            .collect();
+
+        const MAX_ITERS: usize = 500;
+        const TOL: f64 = 1e-13;
+        for _ in 0..MAX_ITERS {
+            let mut max_step = 0.0_f64;
+            for i in 0..deg {
+                let mut denom = Complex::ONE;
+                for j in 0..deg {
+                    if i != j {
+                        denom *= zs[i] - zs[j];
+                    }
+                }
+                let step = p.eval(zs[i]) / denom;
+                zs[i] -= step;
+                max_step = max_step.max(step.abs());
+            }
+            if max_step < TOL {
+                break;
+            }
+        }
+        zs
+    }
+}
+
+impl fmt::Display for Polynomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        let terms: Vec<String> = self
+            .coeffs
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.abs() > 0.0)
+            .map(|(i, c)| match i {
+                0 => format!("({c})"),
+                1 => format!("({c})x"),
+                _ => format!("({c})x^{i}"),
+            })
+            .collect();
+        write!(f, "{}", terms.join(" + "))
+    }
+}
+
+/// Converts power sums `pⱼ = Σᵢ λᵢʲ` (for `j = 1..=n`) into elementary
+/// symmetric polynomials `e₁..=eₙ` via the Newton–Girard recurrence
+/// `k·e_k = Σ_{i=1..k} (−1)^{i−1} e_{k−i} p_i`.
+///
+/// This is the identity used for entanglement spectroscopy (paper §6.2):
+/// the multi-party SWAP test measures `p_j = tr(ρʲ)` and the spectrum is
+/// recovered as the roots of the characteristic polynomial built from the
+/// `e_k`.
+pub fn power_sums_to_elementary(power_sums: &[f64]) -> Vec<f64> {
+    let n = power_sums.len();
+    let mut e = vec![0.0; n + 1];
+    e[0] = 1.0;
+    for k in 1..=n {
+        let mut acc = 0.0;
+        for i in 1..=k {
+            let sign = if i % 2 == 1 { 1.0 } else { -1.0 };
+            acc += sign * e[k - i] * power_sums[i - 1];
+        }
+        e[k] = acc / k as f64;
+    }
+    e.remove(0);
+    e
+}
+
+/// Builds the monic characteristic polynomial `∏ᵢ (x − λᵢ)` from elementary
+/// symmetric polynomials of the `λᵢ`:
+/// `xⁿ − e₁xⁿ⁻¹ + e₂xⁿ⁻² − …`.
+pub fn char_poly_from_elementary(elementary: &[f64]) -> Polynomial {
+    let n = elementary.len();
+    let mut coeffs = vec![Complex::ZERO; n + 1];
+    coeffs[n] = Complex::ONE;
+    for (k, &ek) in elementary.iter().enumerate() {
+        let sign = if (k + 1) % 2 == 1 { -1.0 } else { 1.0 };
+        coeffs[n - k - 1] = c64(sign * ek, 0.0);
+    }
+    Polynomial::new(coeffs)
+}
+
+/// Recovers a spectrum `{λᵢ}` of size `power_sums.len()` from its power sums
+/// `pⱼ = Σ λᵢʲ`. Returns eigenvalue estimates sorted in descending order.
+///
+/// Imaginary parts of the recovered roots (which appear only through noise)
+/// are discarded.
+pub fn spectrum_from_power_sums(power_sums: &[f64]) -> Vec<f64> {
+    let e = power_sums_to_elementary(power_sums);
+    let cp = char_poly_from_elementary(&e);
+    let mut vals: Vec<f64> = cp.roots().iter().map(|r| r.re).collect();
+    vals.sort_by(|a, b| b.total_cmp(a));
+    vals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_horner_matches_direct() {
+        let p = Polynomial::from_real(&[1.0, -3.0, 2.0]); // 1 − 3x + 2x²
+        let x = c64(2.0, 1.0);
+        let want = c64(1.0, 0.0) - c64(3.0, 0.0) * x + c64(2.0, 0.0) * x * x;
+        assert!(p.eval(x).approx_eq(want, 1e-12));
+    }
+
+    #[test]
+    fn add_and_mul() {
+        let p = Polynomial::from_real(&[1.0, 1.0]); // 1 + x
+        let q = Polynomial::from_real(&[-1.0, 1.0]); // −1 + x
+        let sum = p.add(&q);
+        assert_eq!(sum, Polynomial::from_real(&[0.0, 2.0]));
+        let prod = p.mul(&q); // x² − 1
+        assert_eq!(prod, Polynomial::from_real(&[-1.0, 0.0, 1.0]));
+    }
+
+    #[test]
+    fn trim_removes_leading_zeros() {
+        let p = Polynomial::from_real(&[1.0, 2.0, 0.0, 0.0]);
+        assert_eq!(p.degree(), Some(1));
+    }
+
+    #[test]
+    fn derivative_rule() {
+        let p = Polynomial::from_real(&[5.0, 3.0, 2.0, 1.0]); // 5+3x+2x²+x³
+        assert_eq!(p.derivative(), Polynomial::from_real(&[3.0, 4.0, 3.0]));
+        assert_eq!(
+            Polynomial::from_real(&[7.0]).derivative(),
+            Polynomial::zero()
+        );
+    }
+
+    #[test]
+    fn from_roots_round_trip() {
+        let roots = [c64(1.0, 0.0), c64(-2.0, 0.0), c64(0.5, 0.0)];
+        let p = Polynomial::from_roots(&roots);
+        for &r in &roots {
+            assert!(p.eval(r).abs() < 1e-12);
+        }
+        let mut found: Vec<f64> = p.roots().iter().map(|z| z.re).collect();
+        found.sort_by(f64::total_cmp);
+        let mut want: Vec<f64> = roots.iter().map(|z| z.re).collect();
+        want.sort_by(f64::total_cmp);
+        for (a, b) in found.iter().zip(&want) {
+            assert!((a - b).abs() < 1e-8, "root mismatch: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn complex_roots_of_x_squared_plus_one() {
+        let p = Polynomial::from_real(&[1.0, 0.0, 1.0]);
+        let roots = p.roots();
+        assert_eq!(roots.len(), 2);
+        for r in roots {
+            assert!((r.norm_sqr() - 1.0).abs() < 1e-8);
+            assert!(r.re.abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn high_degree_roots_converge() {
+        // (x−0.1)(x−0.2)…(x−1.0): clustered real roots up to degree 10.
+        let want: Vec<Complex> = (1..=10).map(|i| c64(i as f64 / 10.0, 0.0)).collect();
+        let p = Polynomial::from_roots(&want);
+        let mut got: Vec<f64> = p.roots().iter().map(|z| z.re).collect();
+        got.sort_by(f64::total_cmp);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w.re).abs() < 1e-6, "{g} vs {}", w.re);
+        }
+    }
+
+    #[test]
+    fn newton_girard_three_values() {
+        // λ = {0.5, 0.3, 0.2}: p1 = 1.0, p2 = 0.38, p3 = 0.16
+        let lambda = [0.5, 0.3, 0.2];
+        let p: Vec<f64> = (1..=3)
+            .map(|j| lambda.iter().map(|l: &f64| l.powi(j)).sum())
+            .collect();
+        let e = power_sums_to_elementary(&p);
+        // e1 = 1.0, e2 = 0.31, e3 = 0.03
+        assert!((e[0] - 1.0).abs() < 1e-12);
+        assert!((e[1] - 0.31).abs() < 1e-12);
+        assert!((e[2] - 0.03).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spectrum_recovery_round_trip() {
+        let lambda = [0.6, 0.25, 0.1, 0.05];
+        let p: Vec<f64> = (1..=4)
+            .map(|j| lambda.iter().map(|l: &f64| l.powi(j)).sum())
+            .collect();
+        let got = spectrum_from_power_sums(&p);
+        for (g, w) in got.iter().zip(&lambda) {
+            assert!((g - w).abs() < 1e-8, "{g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn char_poly_signs() {
+        // Roots {2, 3}: x² − 5x + 6.
+        let e = power_sums_to_elementary(&[5.0, 13.0]);
+        let cp = char_poly_from_elementary(&e);
+        assert!(cp.eval_real(2.0).abs() < 1e-9);
+        assert!(cp.eval_real(3.0).abs() < 1e-9);
+        assert!((cp.coeffs()[0].re - 6.0).abs() < 1e-9);
+        assert!((cp.coeffs()[1].re + 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let p = Polynomial::from_real(&[1.0, 0.0, 2.0]);
+        let s = p.to_string();
+        assert!(s.contains("x^2"), "{s}");
+    }
+}

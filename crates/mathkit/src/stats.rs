@@ -1,0 +1,163 @@
+//! Basic statistics: summary estimators, least-squares line fits, and
+//! binomial error bars for shot-based quantum experiments.
+//!
+//! The paper's figures (Fig 9a in particular) overlay a linear fit on
+//! fidelity-vs-size data; [`linear_fit`] reproduces that.
+//!
+//! ```
+//! use mathkit::stats::linear_fit;
+//!
+//! let xs = [0.0, 1.0, 2.0, 3.0];
+//! let ys = [1.0, 3.0, 5.0, 7.0];
+//! let fit = linear_fit(&xs, &ys);
+//! assert!((fit.slope - 2.0).abs() < 1e-12);
+//! assert!((fit.intercept - 1.0).abs() < 1e-12);
+//! ```
+
+/// Arithmetic mean. Returns `0.0` for empty input.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Unbiased sample variance. Returns `0.0` for fewer than two samples.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Sample standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Standard error of the mean.
+pub fn std_err(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    std_dev(xs) / (xs.len() as f64).sqrt()
+}
+
+/// Standard error of a binomial proportion estimate `p̂` from `shots` trials:
+/// `√(p̂(1−p̂)/shots)`.
+pub fn binomial_std_err(p_hat: f64, shots: usize) -> f64 {
+    if shots == 0 {
+        return 0.0;
+    }
+    (p_hat * (1.0 - p_hat) / shots as f64).max(0.0).sqrt()
+}
+
+/// Result of an ordinary least-squares line fit `y ≈ slope·x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination R² ∈ [0, 1].
+    pub r_squared: f64,
+}
+
+impl LinearFit {
+    /// Predicted value at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.slope * x + self.intercept
+    }
+}
+
+/// Ordinary least-squares fit of a line through `(xs[i], ys[i])`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or fewer than two points,
+/// or if all `xs` are identical (the fit is then degenerate).
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> LinearFit {
+    assert_eq!(xs.len(), ys.len(), "x and y must have equal length");
+    assert!(xs.len() >= 2, "need at least two points for a line fit");
+    let mx = mean(xs);
+    let my = mean(ys);
+    let sxx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
+    assert!(sxx > 0.0, "all x values identical; line fit is degenerate");
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+
+    let ss_tot: f64 = ys.iter().map(|y| (y - my) * (y - my)).sum();
+    let ss_res: f64 = xs
+        .iter()
+        .zip(ys)
+        .map(|(x, y)| {
+            let e = y - (slope * x + intercept);
+            e * e
+        })
+        .sum();
+    let r_squared = if ss_tot > 0.0 {
+        1.0 - ss_res / ss_tot
+    } else {
+        1.0
+    };
+    LinearFit {
+        slope,
+        intercept,
+        r_squared,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance_of_known_data() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        // Sample variance of this classic data set is 32/7.
+        assert!((variance(&xs) - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_singleton_edge_cases() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[1.0]), 0.0);
+        assert_eq!(std_err(&[]), 0.0);
+    }
+
+    #[test]
+    fn perfect_line_has_unit_r_squared() {
+        let xs: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| -0.3 * x + 2.0).collect();
+        let fit = linear_fit(&xs, &ys);
+        assert!((fit.slope + 0.3).abs() < 1e-12);
+        assert!((fit.intercept - 2.0).abs() < 1e-12);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+        assert!((fit.predict(20.0) - (-4.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_line_r_squared_below_one() {
+        let xs = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let ys = [0.1, 0.9, 2.2, 2.8, 4.1];
+        let fit = linear_fit(&xs, &ys);
+        assert!(fit.r_squared > 0.95 && fit.r_squared < 1.0);
+        assert!((fit.slope - 1.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn binomial_error_bounds() {
+        assert!((binomial_std_err(0.5, 100) - 0.05).abs() < 1e-12);
+        assert_eq!(binomial_std_err(0.5, 0), 0.0);
+        assert_eq!(binomial_std_err(1.0, 100), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn constant_x_fit_panics() {
+        let _ = linear_fit(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]);
+    }
+}

@@ -1,0 +1,169 @@
+//! Property-based tests for the numerical kernel: the eigensolver,
+//! polynomial machinery, and Chebyshev approximation that every layer
+//! above (simulators, spectroscopy, parallel QSP) leans on.
+
+use mathkit::cheb::ChebyshevApprox;
+use mathkit::complex::{c64, Complex};
+use mathkit::eigen::{eigh, hermitian_fn};
+use mathkit::matrix::Matrix;
+use mathkit::poly::Polynomial;
+use proptest::prelude::*;
+
+/// A random Hermitian matrix of dimension `dim` from flat parameters.
+fn hermitian_from(seed: &[f64], dim: usize) -> Matrix {
+    let mut m = Matrix::zeros(dim, dim);
+    let mut it = seed.iter().cycle();
+    let mut next = || *it.next().unwrap();
+    for i in 0..dim {
+        m[(i, i)] = c64(next(), 0.0);
+        for j in i + 1..dim {
+            let v = c64(next(), next());
+            m[(i, j)] = v;
+            m[(j, i)] = v.conj();
+        }
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// `eigh` reconstructs its input: `V Λ V† = A`, with orthonormal `V`
+    /// and real eigenvalues in ascending order.
+    #[test]
+    fn eigh_reconstructs_hermitian_input(
+        seed in proptest::collection::vec(-2.0f64..2.0, 16),
+        dim in 2usize..5,
+    ) {
+        let a = hermitian_from(&seed, dim);
+        let e = eigh(&a);
+        let recon = e.reconstruct();
+        prop_assert!(recon.max_abs_diff(&a) < 1e-8, "{}", recon.max_abs_diff(&a));
+        prop_assert!(e.vectors.is_unitary(1e-8));
+        for w in e.values.windows(2) {
+            prop_assert!(w[0] <= w[1] + 1e-10, "eigenvalues must ascend");
+        }
+    }
+
+    /// The trace equals the eigenvalue sum; the Frobenius norm squared
+    /// equals the eigenvalue square sum (Hermitian case).
+    #[test]
+    fn spectral_invariants(
+        seed in proptest::collection::vec(-2.0f64..2.0, 16),
+        dim in 2usize..5,
+    ) {
+        let a = hermitian_from(&seed, dim);
+        let e = eigh(&a);
+        let tr = a.trace().re;
+        let sum: f64 = e.values.iter().sum();
+        prop_assert!((tr - sum).abs() < 1e-8);
+        let fro2 = a.frobenius_norm().powi(2);
+        let sq: f64 = e.values.iter().map(|v| v * v).sum();
+        prop_assert!((fro2 - sq).abs() < 1e-6 * fro2.max(1.0));
+    }
+
+    /// `hermitian_fn` respects composition: applying `x ↦ x²` matches
+    /// the matrix product.
+    #[test]
+    fn hermitian_fn_square_matches_product(
+        seed in proptest::collection::vec(-1.5f64..1.5, 16),
+        dim in 2usize..5,
+    ) {
+        let a = hermitian_from(&seed, dim);
+        let sq_fn = hermitian_fn(&a, |x| x * x);
+        let sq_mul = &a * &a;
+        prop_assert!(sq_fn.max_abs_diff(&sq_mul) < 1e-7);
+    }
+
+    /// `from_roots` then `roots` recovers well-separated real roots.
+    #[test]
+    fn roots_roundtrip_for_separated_reals(base in 0.1f64..0.5, gap in 0.7f64..1.5) {
+        let rs = [base, base + gap, base + 2.0 * gap];
+        let roots: Vec<Complex> = rs.iter().map(|&r| c64(r, 0.0)).collect();
+        let poly = Polynomial::from_roots(&roots);
+        let mut found: Vec<f64> = poly.roots().iter().map(|r| r.re).collect();
+        found.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for (f, want) in found.iter().zip(&rs) {
+            prop_assert!((f - want).abs() < 1e-6, "{f} vs {want}");
+        }
+    }
+
+    /// Polynomial arithmetic is consistent with evaluation:
+    /// `(p·q)(x) = p(x)·q(x)` and `(p+q)(x) = p(x)+q(x)`.
+    #[test]
+    fn poly_arithmetic_matches_pointwise(
+        a in proptest::collection::vec(-2.0f64..2.0, 1..5),
+        b in proptest::collection::vec(-2.0f64..2.0, 1..5),
+        x in -1.5f64..1.5,
+    ) {
+        let p = Polynomial::from_real(&a);
+        let q = Polynomial::from_real(&b);
+        let prod = p.mul(&q);
+        let sum = p.add(&q);
+        let px = p.eval_real(x);
+        let qx = q.eval_real(x);
+        prop_assert!((prod.eval_real(x) - px * qx).abs() < 1e-9);
+        prop_assert!((sum.eval_real(x) - (px + qx)).abs() < 1e-9);
+    }
+
+    /// The derivative obeys the product rule at a point (numerically).
+    #[test]
+    fn poly_derivative_product_rule(
+        a in proptest::collection::vec(-1.0f64..1.0, 2..5),
+        b in proptest::collection::vec(-1.0f64..1.0, 2..5),
+        x in -1.0f64..1.0,
+    ) {
+        let p = Polynomial::from_real(&a);
+        let q = Polynomial::from_real(&b);
+        let lhs = p.mul(&q).derivative().eval_real(x);
+        let rhs = p.derivative().eval_real(x) * q.eval_real(x)
+            + p.eval_real(x) * q.derivative().eval_real(x);
+        prop_assert!((lhs - rhs).abs() < 1e-8);
+    }
+
+    /// Chebyshev fits of smooth functions converge: a degree-12 fit of
+    /// `exp(s·x)` is pointwise accurate on the domain.
+    #[test]
+    fn chebyshev_fits_exponentials(s in -1.5f64..1.5, x in -0.99f64..0.99) {
+        let fit = ChebyshevApprox::fit(|t| (s * t).exp(), 12);
+        let want = (s * x).exp();
+        prop_assert!((fit.eval(x) - want).abs() < 1e-6 * want.abs().max(1.0));
+    }
+
+    /// Converting a Chebyshev series to monomial form preserves values.
+    #[test]
+    fn chebyshev_to_polynomial_is_faithful(s in -1.2f64..1.2, x in -0.95f64..0.95) {
+        let fit = ChebyshevApprox::fit(|t| (s * t).sin() + t * t, 10);
+        let poly = fit.to_polynomial();
+        prop_assert!((fit.eval(x) - poly.eval_real(x).re).abs() < 1e-7);
+    }
+
+    /// Kronecker products respect the mixed-product property
+    /// `(A⊗B)(C⊗D) = (AC)⊗(BD)` on small random Hermitians.
+    #[test]
+    fn kron_mixed_product(
+        s1 in proptest::collection::vec(-1.0f64..1.0, 8),
+        s2 in proptest::collection::vec(-1.0f64..1.0, 8),
+    ) {
+        let a = hermitian_from(&s1, 2);
+        let b = hermitian_from(&s2, 2);
+        let c = hermitian_from(&s2, 2);
+        let d = hermitian_from(&s1, 2);
+        let lhs = &a.kron(&b) * &c.kron(&d);
+        let rhs = (&a * &c).kron(&(&b * &d));
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-9);
+    }
+
+    /// Partial trace is trace-preserving and linear in its argument.
+    #[test]
+    fn partial_trace_preserves_trace(
+        s in proptest::collection::vec(-1.0f64..1.0, 40),
+    ) {
+        let m = hermitian_from(&s, 4);
+        use mathkit::matrix::TraceKeep;
+        let ta = m.partial_trace(2, 2, TraceKeep::A);
+        let tb = m.partial_trace(2, 2, TraceKeep::B);
+        prop_assert!((ta.trace() - m.trace()).abs() < 1e-9);
+        prop_assert!((tb.trace() - m.trace()).abs() < 1e-9);
+    }
+}

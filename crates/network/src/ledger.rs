@@ -1,0 +1,194 @@
+//! Resource accounting for distributed protocols.
+//!
+//! Every teleoperation in the paper consumes pre-shared Bell pairs and
+//! classical communication (§2.2). The [`ResourceLedger`] records what a
+//! protocol actually used so that the measured costs can be compared
+//! against the closed-form per-QPU budgets of Tables 1–3.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::topology::NodeId;
+
+/// The kind of a teleoperation, for per-kind accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TeleopKind {
+    /// State teleportation (teledata, Fig 1a).
+    Teledata,
+    /// Remote CNOT via gate teleportation (telegate, Fig 1b).
+    TelegateCnot,
+    /// Remote Toffoli via cat-copy gate teleportation (Fig 6d).
+    TelegateToffoli,
+    /// Entanglement swapping used to stitch a long-range Bell pair.
+    EntanglementSwap,
+}
+
+impl fmt::Display for TeleopKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            TeleopKind::Teledata => "teledata",
+            TeleopKind::TelegateCnot => "telegate-cnot",
+            TeleopKind::TelegateToffoli => "telegate-toffoli",
+            TeleopKind::EntanglementSwap => "entanglement-swap",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// Mutable record of the network resources a protocol consumed.
+#[derive(Debug, Clone, Default)]
+pub struct ResourceLedger {
+    end_to_end_bell_pairs: usize,
+    raw_bell_pairs: usize,
+    classical_bits: usize,
+    teleops: HashMap<TeleopKind, usize>,
+    per_node_bell_pairs: HashMap<NodeId, usize>,
+}
+
+impl ResourceLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one end-to-end Bell pair between `a` and `b` that required
+    /// `raw` nearest-neighbour pairs (`raw > 1` means entanglement
+    /// swapping was used).
+    pub fn record_bell_pair(&mut self, a: NodeId, b: NodeId, raw: usize) {
+        self.end_to_end_bell_pairs += 1;
+        self.raw_bell_pairs += raw;
+        *self.per_node_bell_pairs.entry(a).or_insert(0) += 1;
+        *self.per_node_bell_pairs.entry(b).or_insert(0) += 1;
+        if raw > 1 {
+            *self
+                .teleops
+                .entry(TeleopKind::EntanglementSwap)
+                .or_insert(0) += raw - 1;
+        }
+    }
+
+    /// Records a teleoperation of the given kind.
+    pub fn record_teleop(&mut self, kind: TeleopKind) {
+        *self.teleops.entry(kind).or_insert(0) += 1;
+    }
+
+    /// Records `count` teleoperations of the given kind.
+    pub fn record_teleop_times(&mut self, kind: TeleopKind, count: usize) {
+        *self.teleops.entry(kind).or_insert(0) += count;
+    }
+
+    /// Records `bits` classical bits sent between nodes.
+    pub fn record_classical_bits(&mut self, bits: usize) {
+        self.classical_bits += bits;
+    }
+
+    /// End-to-end Bell pairs consumed (after any swapping).
+    pub fn bell_pairs(&self) -> usize {
+        self.end_to_end_bell_pairs
+    }
+
+    /// Raw nearest-neighbour Bell pairs consumed, counting the pairs
+    /// burned by entanglement swapping.
+    pub fn raw_bell_pairs(&self) -> usize {
+        self.raw_bell_pairs
+    }
+
+    /// Classical bits transmitted.
+    pub fn classical_bits(&self) -> usize {
+        self.classical_bits
+    }
+
+    /// Number of teleoperations of `kind`.
+    pub fn teleop_count(&self, kind: TeleopKind) -> usize {
+        self.teleops.get(&kind).copied().unwrap_or(0)
+    }
+
+    /// Bell-pair endpoints touching `node` (the per-QPU load of Tables
+    /// 1–2 counts each pair once per endpoint).
+    pub fn bell_pairs_at(&self, node: NodeId) -> usize {
+        self.per_node_bell_pairs.get(&node).copied().unwrap_or(0)
+    }
+
+    /// The maximum per-node Bell-pair load — the paper's "cost per QPU".
+    pub fn max_bell_pairs_per_node(&self) -> usize {
+        self.per_node_bell_pairs
+            .values()
+            .copied()
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Merges another ledger into this one (per-node loads add).
+    pub fn absorb(&mut self, other: &ResourceLedger) {
+        self.end_to_end_bell_pairs += other.end_to_end_bell_pairs;
+        self.raw_bell_pairs += other.raw_bell_pairs;
+        self.classical_bits += other.classical_bits;
+        for (kind, count) in &other.teleops {
+            *self.teleops.entry(*kind).or_insert(0) += count;
+        }
+        for (node, count) in &other.per_node_bell_pairs {
+            *self.per_node_bell_pairs.entry(*node).or_insert(0) += count;
+        }
+    }
+}
+
+impl fmt::Display for ResourceLedger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "bell pairs: {} end-to-end ({} raw), classical bits: {}",
+            self.end_to_end_bell_pairs, self.raw_bell_pairs, self.classical_bits
+        )?;
+        let mut kinds: Vec<_> = self.teleops.iter().collect();
+        kinds.sort_by_key(|(k, _)| format!("{k}"));
+        for (kind, count) in kinds {
+            writeln!(f, "  {kind}: {count}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bell_pair_accounting() {
+        let mut l = ResourceLedger::new();
+        l.record_bell_pair(0, 1, 1);
+        l.record_bell_pair(0, 3, 3); // swapped over 3 raw pairs
+        assert_eq!(l.bell_pairs(), 2);
+        assert_eq!(l.raw_bell_pairs(), 4);
+        assert_eq!(l.bell_pairs_at(0), 2);
+        assert_eq!(l.bell_pairs_at(1), 1);
+        assert_eq!(l.teleop_count(TeleopKind::EntanglementSwap), 2);
+        assert_eq!(l.max_bell_pairs_per_node(), 2);
+    }
+
+    #[test]
+    fn absorb_adds_everything() {
+        let mut a = ResourceLedger::new();
+        a.record_bell_pair(0, 1, 1);
+        a.record_classical_bits(2);
+        a.record_teleop(TeleopKind::Teledata);
+        let mut b = ResourceLedger::new();
+        b.record_bell_pair(1, 2, 1);
+        b.record_classical_bits(4);
+        b.record_teleop(TeleopKind::Teledata);
+        a.absorb(&b);
+        assert_eq!(a.bell_pairs(), 2);
+        assert_eq!(a.classical_bits(), 6);
+        assert_eq!(a.teleop_count(TeleopKind::Teledata), 2);
+        assert_eq!(a.bell_pairs_at(1), 2);
+    }
+
+    #[test]
+    fn display_reports_counts() {
+        let mut l = ResourceLedger::new();
+        l.record_bell_pair(0, 1, 1);
+        l.record_teleop(TeleopKind::TelegateCnot);
+        let s = l.to_string();
+        assert!(s.contains("bell pairs: 1"));
+        assert!(s.contains("telegate-cnot: 1"));
+    }
+}

@@ -1,0 +1,32 @@
+//! Distributed-QPU network model.
+//!
+//! The substrate COMPAS compiles onto (paper §2.2, §2.5, §3): QPU nodes on
+//! a connectivity [`topology::Topology`], pre-shared Bell pairs with
+//! depolarizing link noise (Eq. 5), the teledata/telegate primitives of
+//! Fig. 1 ([`teleop`]), entanglement swapping for long-range pairs, and a
+//! [`ledger::ResourceLedger`] recording what a protocol consumed.
+//!
+//! The central type is [`machine::DistributedMachine`], which assembles a
+//! single global [`circuit::circuit::Circuit`] from locality-checked local
+//! gates and Bell-pair-consuming teleoperations:
+//!
+//! ```
+//! use network::prelude::*;
+//!
+//! let mut m = DistributedMachine::new(2, 1, Topology::Line);
+//! let (control, target) = (m.data_qubit(0, 0), m.data_qubit(1, 0));
+//! m.remote_cx(control, target); // CNOT across nodes via one Bell pair
+//! assert_eq!(m.ledger().bell_pairs(), 1);
+//! ```
+
+pub mod ledger;
+pub mod machine;
+pub mod teleop;
+pub mod topology;
+
+/// Convenient re-exports of the main types.
+pub mod prelude {
+    pub use crate::ledger::{ResourceLedger, TeleopKind};
+    pub use crate::machine::DistributedMachine;
+    pub use crate::topology::{NodeId, Topology};
+}

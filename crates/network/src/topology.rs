@@ -1,0 +1,193 @@
+//! Inter-QPU connectivity graphs.
+//!
+//! The paper assumes a **line** of QPUs for its worst-case analysis (§2.5,
+//! Fig 3c) and notes that COMPAS itself only ever talks to adjacent
+//! neighbours in the interleaved ordering, so a line suffices (§3.2). Other
+//! standard topologies are provided for the network-level experiments and
+//! for ablations on entanglement-swapping cost.
+
+use std::fmt;
+
+/// Identifier of a QPU node in the network.
+pub type NodeId = usize;
+
+/// Connectivity between `k` QPUs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Topology {
+    /// Nodes `0 — 1 — … — k−1` in a chain.
+    Line,
+    /// A chain closed into a cycle.
+    Ring,
+    /// Node 0 is a hub connected to every other node.
+    Star,
+    /// Every pair of nodes is directly connected.
+    Full,
+}
+
+impl Topology {
+    /// Whether `a` and `b` share a direct link in a `k`-node network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b` or either node is out of range.
+    pub fn are_adjacent(self, a: NodeId, b: NodeId, k: usize) -> bool {
+        assert!(a < k && b < k, "node out of range");
+        assert_ne!(a, b, "adjacency of a node with itself is undefined");
+        match self {
+            Topology::Line => a.abs_diff(b) == 1,
+            Topology::Ring => {
+                let d = a.abs_diff(b);
+                d == 1 || d == k - 1
+            }
+            Topology::Star => a == 0 || b == 0,
+            Topology::Full => true,
+        }
+    }
+
+    /// Hop distance between `a` and `b` in a `k`-node network.
+    ///
+    /// This is the number of nearest-neighbour Bell pairs that must be
+    /// stitched by entanglement swapping to form one long-range pair
+    /// (§2.5: "this requires `d` Bell pairs").
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is out of range.
+    pub fn distance(self, a: NodeId, b: NodeId, k: usize) -> usize {
+        assert!(a < k && b < k, "node out of range");
+        if a == b {
+            return 0;
+        }
+        match self {
+            Topology::Line => a.abs_diff(b),
+            Topology::Ring => {
+                let d = a.abs_diff(b);
+                d.min(k - d)
+            }
+            Topology::Star => {
+                if a == 0 || b == 0 {
+                    1
+                } else {
+                    2
+                }
+            }
+            Topology::Full => 1,
+        }
+    }
+
+    /// The nodes along a shortest path from `a` to `b`, inclusive.
+    pub fn path(self, a: NodeId, b: NodeId, k: usize) -> Vec<NodeId> {
+        assert!(a < k && b < k, "node out of range");
+        if a == b {
+            return vec![a];
+        }
+        match self {
+            Topology::Line => {
+                if a < b {
+                    (a..=b).collect()
+                } else {
+                    (b..=a).rev().collect()
+                }
+            }
+            Topology::Ring => {
+                let fwd = (b + k - a) % k;
+                let bwd = (a + k - b) % k;
+                if fwd <= bwd {
+                    (0..=fwd).map(|i| (a + i) % k).collect()
+                } else {
+                    (0..=bwd).map(|i| (a + k - i) % k).collect()
+                }
+            }
+            Topology::Star => {
+                if a == 0 || b == 0 {
+                    vec![a, b]
+                } else {
+                    vec![a, 0, b]
+                }
+            }
+            Topology::Full => vec![a, b],
+        }
+    }
+}
+
+impl fmt::Display for Topology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Topology::Line => "line",
+            Topology::Ring => "ring",
+            Topology::Star => "star",
+            Topology::Full => "full",
+        };
+        write!(f, "{name}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_distances() {
+        assert_eq!(Topology::Line.distance(0, 4, 5), 4);
+        assert_eq!(Topology::Line.distance(3, 1, 5), 2);
+        assert!(Topology::Line.are_adjacent(2, 3, 5));
+        assert!(!Topology::Line.are_adjacent(0, 2, 5));
+    }
+
+    #[test]
+    fn ring_wraps_around() {
+        assert_eq!(Topology::Ring.distance(0, 5, 6), 1);
+        assert_eq!(Topology::Ring.distance(0, 3, 6), 3);
+        assert!(Topology::Ring.are_adjacent(0, 5, 6));
+    }
+
+    #[test]
+    fn star_routes_through_hub() {
+        assert_eq!(Topology::Star.distance(1, 2, 5), 2);
+        assert_eq!(Topology::Star.distance(0, 4, 5), 1);
+        assert_eq!(Topology::Star.path(1, 2, 5), vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn full_is_always_adjacent() {
+        for a in 0..4 {
+            for b in 0..4 {
+                if a != b {
+                    assert!(Topology::Full.are_adjacent(a, b, 4));
+                    assert_eq!(Topology::Full.distance(a, b, 4), 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paths_have_distance_plus_one_nodes() {
+        for topo in [
+            Topology::Line,
+            Topology::Ring,
+            Topology::Star,
+            Topology::Full,
+        ] {
+            for a in 0..6 {
+                for b in 0..6 {
+                    if a == b {
+                        continue;
+                    }
+                    let d = topo.distance(a, b, 6);
+                    let p = topo.path(a, b, 6);
+                    assert_eq!(p.len(), d + 1, "{topo} {a}->{b}");
+                    assert_eq!(p[0], a);
+                    assert_eq!(*p.last().unwrap(), b);
+                    for w in p.windows(2) {
+                        assert!(topo.are_adjacent(w[0], w[1], 6));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ring_path_takes_short_way() {
+        assert_eq!(Topology::Ring.path(5, 0, 6), vec![5, 0]);
+    }
+}

@@ -1,0 +1,42 @@
+//! # qsim
+//!
+//! Quantum simulators for the COMPAS reproduction:
+//!
+//! * [`statevector`] — pure-state simulation with mid-circuit measurement,
+//!   reset, feed-forward, and stochastic Pauli noise (the workhorse behind
+//!   the paper's shot-based CSWAP fidelity experiments, §5.2);
+//! * [`density`] — exact density-matrix simulation with depolarizing /
+//!   readout / reset channels and deferred-measurement execution of
+//!   feed-forward circuits (the reference used for GHZ fidelity, §5.3, and
+//!   the network-noise bounds of §5.5 / Appendix B);
+//! * [`runner`] — shot sampling over circuits;
+//! * [`qrand`] — random states, random density matrices, and the
+//!   eigen-ensembles used for trajectory simulation of mixed states.
+//!
+//! ```
+//! use circuit::circuit::Circuit;
+//! use qsim::prelude::*;
+//! use rand::SeedableRng;
+//!
+//! let mut c = Circuit::new(2, 2);
+//! c.h(0).cx(0, 1).measure(0, 0).measure(1, 1);
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let out = run_shot(&c, &StateVector::new(2), &mut rng);
+//! assert_eq!(out.cbits[0], out.cbits[1]); // Bell correlations
+//! ```
+
+pub mod density;
+pub mod qrand;
+pub mod runner;
+pub mod statevector;
+
+/// Convenient glob-import of the most used items.
+pub mod prelude {
+    pub use crate::density::{run_deferred, DensityMatrix};
+    pub use crate::qrand::{
+        random_density_matrix, random_density_matrix_of_rank, random_pauli_on, random_pure_state,
+        PureEnsemble,
+    };
+    pub use crate::runner::{run_shot, run_unitary, sample_shots, ShotOutcome};
+    pub use crate::statevector::StateVector;
+}

@@ -1,0 +1,237 @@
+//! Shot-based execution of circuits on the statevector simulator.
+//!
+//! [`run_shot`] plays one circuit through once, sampling measurements and
+//! noise sites; [`sample_shots`] repeats that and tallies classical
+//! records. This is the Rust counterpart of the paper's use of Qiskit's
+//! shot-based simulator (§5.2).
+//!
+//! ```
+//! use circuit::circuit::Circuit;
+//! use qsim::runner::sample_shots;
+//! use qsim::statevector::StateVector;
+//! use rand::SeedableRng;
+//!
+//! let mut c = Circuit::new(1, 1);
+//! c.h(0).measure(0, 0);
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let counts = sample_shots(&c, &StateVector::new(1), 200, &mut rng);
+//! assert_eq!(counts.values().sum::<usize>(), 200);
+//! ```
+
+use circuit::circuit::{Circuit, Instruction};
+use qrand::random_pauli_on;
+use rand::Rng;
+use std::collections::HashMap;
+
+use crate::qrand;
+use crate::statevector::StateVector;
+
+/// Result of playing a circuit once.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShotOutcome {
+    /// Final pure state after all collapses.
+    pub state: StateVector,
+    /// Classical register contents (index = classical bit).
+    pub cbits: Vec<bool>,
+}
+
+impl ShotOutcome {
+    /// Packs the classical bits into an integer, bit 0 least significant.
+    pub fn cbits_as_usize(&self) -> usize {
+        self.cbits
+            .iter()
+            .enumerate()
+            .fold(0, |acc, (i, &b)| acc | (usize::from(b) << i))
+    }
+}
+
+/// Plays `circuit` once starting from `initial`, sampling measurement
+/// outcomes, readout flips, and depolarizing sites with `rng`.
+///
+/// # Panics
+///
+/// Panics if the circuit needs more qubits than `initial` has.
+pub fn run_shot(circuit: &Circuit, initial: &StateVector, rng: &mut impl Rng) -> ShotOutcome {
+    assert!(
+        circuit.num_qubits() <= initial.num_qubits(),
+        "circuit needs {} qubits but the state has {}",
+        circuit.num_qubits(),
+        initial.num_qubits()
+    );
+    let mut state = initial.clone();
+    let mut cbits = vec![false; circuit.num_cbits()];
+    for instr in circuit.instructions() {
+        match instr {
+            Instruction::Gate(g) => state.apply_gate(g),
+            Instruction::Measure {
+                qubit,
+                cbit,
+                basis,
+                flip_prob,
+            } => {
+                let outcome = state.measure(*qubit, *basis, rng);
+                let flipped = *flip_prob > 0.0 && rng.random::<f64>() < *flip_prob;
+                cbits[*cbit] = outcome ^ flipped;
+            }
+            Instruction::Reset(q) => state.reset(*q, rng),
+            Instruction::Conditional { gate, parity_of } => {
+                let parity = parity_of.iter().fold(false, |acc, &c| acc ^ cbits[c]);
+                if parity {
+                    state.apply_gate(gate);
+                }
+            }
+            Instruction::Depolarizing { qubits, p } => {
+                if rng.random::<f64>() < *p {
+                    for gate in random_pauli_on(qubits, rng) {
+                        state.apply_gate(&gate);
+                    }
+                }
+            }
+        }
+    }
+    ShotOutcome { state, cbits }
+}
+
+/// Runs `shots` repetitions and histograms the classical register,
+/// keyed by the packed integer of [`ShotOutcome::cbits_as_usize`].
+pub fn sample_shots(
+    circuit: &Circuit,
+    initial: &StateVector,
+    shots: usize,
+    rng: &mut impl Rng,
+) -> HashMap<usize, usize> {
+    let mut counts = HashMap::new();
+    for _ in 0..shots {
+        let outcome = run_shot(circuit, initial, rng);
+        *counts.entry(outcome.cbits_as_usize()).or_insert(0) += 1;
+    }
+    counts
+}
+
+/// Runs a measurement-free circuit and returns the final state. A
+/// convenience for preparing states with noiseless sub-circuits.
+///
+/// # Panics
+///
+/// Panics if the circuit contains measurements, resets, conditionals, or
+/// noise sites (anything needing randomness).
+pub fn run_unitary(circuit: &Circuit, initial: &StateVector) -> StateVector {
+    let mut state = initial.clone();
+    for instr in circuit.instructions() {
+        match instr {
+            Instruction::Gate(g) => state.apply_gate(g),
+            other => panic!("run_unitary cannot execute {other:?}"),
+        }
+    }
+    state
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use circuit::circuit::Basis;
+    use circuit::gate::Gate;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn teleportation_circuit_moves_state() {
+        // Teleport Ry(0.9)|0⟩ from qubit 0 to qubit 2 (Fig. 1a).
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..25 {
+            let mut prep = Circuit::new(3, 0);
+            prep.ry(0, 0.9);
+            let mut c = Circuit::new(3, 2);
+            c.h(1).cx(1, 2); // Bell pair (1,2)
+            c.cx(0, 1).h(0);
+            c.measure(0, 0).measure(1, 1);
+            c.cond_x(2, &[1]).cond_z(2, &[0]);
+
+            let init = run_unitary(&prep, &StateVector::new(3));
+            let out = run_shot(&c, &init, &mut rng);
+
+            // Expected state on qubit 2.
+            let mut want = StateVector::new(1);
+            want.apply_gate(&Gate::Ry(0, 0.9));
+            // Compare conditional probabilities on qubit 2.
+            let p1 = out.state.probability_of_one(2);
+            let want_p1 = want.probability_of_one(0);
+            assert!(
+                (p1 - want_p1).abs() < 1e-10,
+                "teleported probability mismatch: {p1} vs {want_p1}"
+            );
+        }
+    }
+
+    #[test]
+    fn conditional_parity_of_two_bits() {
+        // Flip qubit 1 iff c0 XOR c1 = 1. Prepare |10⟩ measurement pattern.
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut c = Circuit::new(3, 2);
+        c.x(0);
+        c.measure(0, 0).measure(1, 1); // c = (1, 0) ⇒ parity 1
+        c.cond_x(2, &[0, 1]);
+        c.measure(2, 0); // reuse c0 for the check
+        let out = run_shot(&c, &StateVector::new(3), &mut rng);
+        assert!(out.cbits[0], "parity-conditioned X must fire");
+    }
+
+    #[test]
+    fn readout_flip_probability_is_respected() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut c = Circuit::new(1, 1);
+        c.push(Instruction::Measure {
+            qubit: 0,
+            cbit: 0,
+            basis: Basis::Z,
+            flip_prob: 1.0,
+        });
+        // State |0⟩ but the record always flips to 1.
+        let out = run_shot(&c, &StateVector::new(1), &mut rng);
+        assert!(out.cbits[0]);
+        // The *state* still collapsed to the true outcome |0⟩.
+        assert!(out.state.probability_of_one(0) < 1e-12);
+    }
+
+    #[test]
+    fn depolarizing_with_p_one_changes_state() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut c = Circuit::new(1, 0);
+        c.push(Instruction::Depolarizing {
+            qubits: vec![0],
+            p: 1.0,
+        });
+        // With p = 1, a uniform non-identity Pauli is applied; Z leaves
+        // |0⟩ fixed, X and Y flip it. Over many shots, ~2/3 flip.
+        let mut flips = 0;
+        for _ in 0..900 {
+            let out = run_shot(&c, &StateVector::new(1), &mut rng);
+            if out.state.probability_of_one(0) > 0.5 {
+                flips += 1;
+            }
+        }
+        let frac = flips as f64 / 900.0;
+        assert!((frac - 2.0 / 3.0).abs() < 0.06, "flip fraction {frac}");
+    }
+
+    #[test]
+    fn sample_shots_total_is_conserved() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut c = Circuit::new(2, 2);
+        c.h(0).cx(0, 1).measure(0, 0).measure(1, 1);
+        let counts = sample_shots(&c, &StateVector::new(2), 500, &mut rng);
+        assert_eq!(counts.values().sum::<usize>(), 500);
+        // Bell state: only records 00 (=0) and 11 (=3).
+        for key in counts.keys() {
+            assert!(*key == 0 || *key == 3, "unexpected record {key}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot execute")]
+    fn run_unitary_rejects_measurement() {
+        let mut c = Circuit::new(1, 1);
+        c.measure(0, 0);
+        let _ = run_unitary(&c, &StateVector::new(1));
+    }
+}

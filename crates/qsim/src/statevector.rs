@@ -1,0 +1,684 @@
+//! Pure-state (statevector) simulation.
+//!
+//! [`StateVector`] stores the `2ⁿ` complex amplitudes of an `n`-qubit pure
+//! state and applies the gate set of the [`circuit`] crate in place.
+//!
+//! **Bit convention.** Qubit 0 is the *most significant* bit of the basis
+//! index, so for 3 qubits the basis state `|q₀q₁q₂⟩ = |110⟩` is index 6.
+//! This matches [`circuit::gate::Gate::unitary`].
+//!
+//! ```
+//! use qsim::statevector::StateVector;
+//! use circuit::gate::Gate;
+//!
+//! let mut psi = StateVector::new(2);
+//! psi.apply_gate(&Gate::H(0));
+//! psi.apply_gate(&Gate::Cx { control: 0, target: 1 });
+//! // Bell state: equal weight on |00⟩ and |11⟩.
+//! assert!((psi.probability(0) - 0.5).abs() < 1e-12);
+//! assert!((psi.probability(3) - 0.5).abs() < 1e-12);
+//! ```
+
+use circuit::circuit::Basis;
+use circuit::gate::Gate;
+use mathkit::complex::{c64, Complex};
+use mathkit::matrix::Matrix;
+use rand::Rng;
+use std::f64::consts::FRAC_1_SQRT_2;
+
+/// A pure quantum state on `n` qubits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateVector {
+    num_qubits: usize,
+    amps: Vec<Complex>,
+}
+
+impl StateVector {
+    /// The all-zeros state `|0…0⟩`.
+    pub fn new(num_qubits: usize) -> Self {
+        assert!(num_qubits <= 26, "statevector limited to 26 qubits");
+        let mut amps = vec![Complex::ZERO; 1 << num_qubits];
+        amps[0] = Complex::ONE;
+        StateVector { num_qubits, amps }
+    }
+
+    /// Builds a state from explicit amplitudes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length is not a power of two or the norm differs from
+    /// one by more than `1e-6`.
+    pub fn from_amplitudes(amps: Vec<Complex>) -> Self {
+        assert!(amps.len().is_power_of_two(), "length must be a power of 2");
+        let num_qubits = amps.len().trailing_zeros() as usize;
+        let norm: f64 = amps.iter().map(|a| a.norm_sqr()).sum();
+        assert!(
+            (norm - 1.0).abs() < 1e-6,
+            "state must be normalized (got ‖ψ‖² = {norm})"
+        );
+        StateVector { num_qubits, amps }
+    }
+
+    /// The computational basis state `|index⟩`.
+    pub fn basis_state(num_qubits: usize, index: usize) -> Self {
+        assert!(index < (1 << num_qubits), "basis index out of range");
+        let mut amps = vec![Complex::ZERO; 1 << num_qubits];
+        amps[index] = Complex::ONE;
+        StateVector { num_qubits, amps }
+    }
+
+    /// Builds a product state by placing each group's pure state on the
+    /// listed qubits; qubits not covered by any group start in `|0⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a qubit is claimed twice, is out of range, or a group's
+    /// amplitude count does not match its qubit count.
+    #[allow(clippy::needless_range_loop)] // index arithmetic over bit-packed registers
+    pub fn product_state(num_qubits: usize, groups: &[(Vec<Complex>, Vec<usize>)]) -> Self {
+        let mut owner: Vec<Option<usize>> = vec![None; num_qubits];
+        for (gi, (amps, qubits)) in groups.iter().enumerate() {
+            assert_eq!(
+                amps.len(),
+                1 << qubits.len(),
+                "group {gi}: amplitude count must be 2^(qubit count)"
+            );
+            for &q in qubits {
+                assert!(q < num_qubits, "group {gi}: qubit {q} out of range");
+                assert!(owner[q].is_none(), "qubit {q} claimed by two groups");
+                owner[q] = Some(gi);
+            }
+        }
+        let dim = 1usize << num_qubits;
+        let mut amps = vec![Complex::ZERO; dim];
+        for (i, amp) in amps.iter_mut().enumerate() {
+            let mut val = Complex::ONE;
+            // Uncovered qubits must be 0 in the basis index.
+            let mut valid = true;
+            for q in 0..num_qubits {
+                if owner[q].is_none() && bit(i, q, num_qubits) == 1 {
+                    valid = false;
+                    break;
+                }
+            }
+            if !valid {
+                continue;
+            }
+            for (g_amps, g_qubits) in groups {
+                let mut sub = 0usize;
+                for &q in g_qubits {
+                    sub = (sub << 1) | bit(i, q, num_qubits);
+                }
+                val *= g_amps[sub];
+            }
+            *amp = val;
+        }
+        let sv = StateVector { num_qubits, amps };
+        debug_assert!((sv.norm_sqr() - 1.0).abs() < 1e-9);
+        sv
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// The amplitude vector in basis order.
+    pub fn amplitudes(&self) -> &[Complex] {
+        &self.amps
+    }
+
+    /// Squared norm (should be 1 up to round-off).
+    pub fn norm_sqr(&self) -> f64 {
+        self.amps.iter().map(|a| a.norm_sqr()).sum()
+    }
+
+    /// Probability of observing basis state `index` on full measurement.
+    pub fn probability(&self, index: usize) -> f64 {
+        self.amps[index].norm_sqr()
+    }
+
+    /// Inner product `⟨self|other⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if qubit counts differ.
+    pub fn inner(&self, other: &StateVector) -> Complex {
+        assert_eq!(self.num_qubits, other.num_qubits);
+        self.amps
+            .iter()
+            .zip(&other.amps)
+            .map(|(a, b)| a.conj() * *b)
+            .sum()
+    }
+
+    /// Fidelity `|⟨self|other⟩|²` with another pure state.
+    pub fn fidelity(&self, other: &StateVector) -> f64 {
+        self.inner(other).norm_sqr()
+    }
+
+    // ------------------------------------------------------------------
+    // Gate application.
+    // ------------------------------------------------------------------
+
+    /// Applies a gate in place.
+    pub fn apply_gate(&mut self, gate: &Gate) {
+        match *gate {
+            Gate::H(q) => {
+                let h = FRAC_1_SQRT_2;
+                self.map_pairs(q, |a0, a1| ((a0 + a1).scale(h), (a0 - a1).scale(h)));
+            }
+            Gate::X(q) => self.map_pairs(q, |a0, a1| (a1, a0)),
+            Gate::Y(q) => self.map_pairs(q, |a0, a1| (a1 * c64(0.0, -1.0), a0 * Complex::I)),
+            Gate::Z(q) => self.map_pairs(q, |a0, a1| (a0, -a1)),
+            Gate::S(q) => self.map_pairs(q, |a0, a1| (a0, a1 * Complex::I)),
+            Gate::Sdg(q) => self.map_pairs(q, |a0, a1| (a0, a1 * -Complex::I)),
+            Gate::T(q) => {
+                let w = Complex::from_polar(1.0, std::f64::consts::FRAC_PI_4);
+                self.map_pairs(q, |a0, a1| (a0, a1 * w));
+            }
+            Gate::Tdg(q) => {
+                let w = Complex::from_polar(1.0, -std::f64::consts::FRAC_PI_4);
+                self.map_pairs(q, |a0, a1| (a0, a1 * w));
+            }
+            Gate::Rx(q, ang) => {
+                let (c, s) = ((ang / 2.0).cos(), (ang / 2.0).sin());
+                let is = c64(0.0, -s);
+                self.map_pairs(q, |a0, a1| (a0.scale(c) + a1 * is, a0 * is + a1.scale(c)));
+            }
+            Gate::Ry(q, ang) => {
+                let (c, s) = ((ang / 2.0).cos(), (ang / 2.0).sin());
+                self.map_pairs(q, |a0, a1| {
+                    (a0.scale(c) - a1.scale(s), a0.scale(s) + a1.scale(c))
+                });
+            }
+            Gate::Rz(q, ang) => {
+                let (m, p) = (
+                    Complex::from_polar(1.0, -ang / 2.0),
+                    Complex::from_polar(1.0, ang / 2.0),
+                );
+                self.map_pairs(q, |a0, a1| (a0 * m, a1 * p));
+            }
+            Gate::Cx { control, target } => {
+                self.permute_indices(|i, n| {
+                    if bit(i, control, n) == 1 {
+                        flip(i, target, n)
+                    } else {
+                        i
+                    }
+                });
+            }
+            Gate::Cz(a, b) => {
+                let n = self.num_qubits;
+                for (i, amp) in self.amps.iter_mut().enumerate() {
+                    if bit(i, a, n) == 1 && bit(i, b, n) == 1 {
+                        *amp = -*amp;
+                    }
+                }
+            }
+            Gate::Swap(a, b) => {
+                self.permute_indices(|i, n| {
+                    if bit(i, a, n) != bit(i, b, n) {
+                        flip(flip(i, a, n), b, n)
+                    } else {
+                        i
+                    }
+                });
+            }
+            Gate::Ccx {
+                control_a,
+                control_b,
+                target,
+            } => {
+                self.permute_indices(|i, n| {
+                    if bit(i, control_a, n) == 1 && bit(i, control_b, n) == 1 {
+                        flip(i, target, n)
+                    } else {
+                        i
+                    }
+                });
+            }
+            Gate::Cswap {
+                control,
+                swap_a,
+                swap_b,
+            } => {
+                self.permute_indices(|i, n| {
+                    if bit(i, control, n) == 1 && bit(i, swap_a, n) != bit(i, swap_b, n) {
+                        flip(flip(i, swap_a, n), swap_b, n)
+                    } else {
+                        i
+                    }
+                });
+            }
+        }
+    }
+
+    /// Applies an arbitrary unitary on the listed qubits (≤ 13 of them).
+    ///
+    /// `u` must be `2^k × 2^k` where `k = qubits.len()`; `qubits[0]` is the
+    /// most significant bit of `u`'s basis ordering.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch or repeated qubits.
+    #[allow(clippy::needless_range_loop)] // index arithmetic over bit-packed registers
+    pub fn apply_unitary(&mut self, u: &Matrix, qubits: &[usize]) {
+        let k = qubits.len();
+        assert_eq!(u.rows(), 1 << k, "unitary dimension mismatch");
+        assert!(u.is_square());
+        let n = self.num_qubits;
+        let mut seen = vec![false; n];
+        for &q in qubits {
+            assert!(q < n, "qubit {q} out of range");
+            assert!(!seen[q], "repeated qubit {q}");
+            seen[q] = true;
+        }
+        let dim_sub = 1usize << k;
+        let mut scratch = vec![Complex::ZERO; dim_sub];
+        // Iterate over all assignments of the other qubits.
+        let rest: Vec<usize> = (0..n).filter(|q| !qubits.contains(q)).collect();
+        let rest_count = 1usize << rest.len();
+        for r in 0..rest_count {
+            // Base index with the "rest" qubits set per r, target qubits 0.
+            let mut base = 0usize;
+            for (bi, &q) in rest.iter().enumerate() {
+                if (r >> (rest.len() - 1 - bi)) & 1 == 1 {
+                    base |= 1 << (n - 1 - q);
+                }
+            }
+            // Gather.
+            for s in 0..dim_sub {
+                let mut idx = base;
+                for (bi, &q) in qubits.iter().enumerate() {
+                    if (s >> (k - 1 - bi)) & 1 == 1 {
+                        idx |= 1 << (n - 1 - q);
+                    }
+                }
+                scratch[s] = self.amps[idx];
+            }
+            // Multiply.
+            let transformed = u.mul_vec(&scratch);
+            // Scatter.
+            for (s, &val) in transformed.iter().enumerate() {
+                let mut idx = base;
+                for (bi, &q) in qubits.iter().enumerate() {
+                    if (s >> (k - 1 - bi)) & 1 == 1 {
+                        idx |= 1 << (n - 1 - q);
+                    }
+                }
+                self.amps[idx] = val;
+            }
+        }
+    }
+
+    fn map_pairs(&mut self, q: usize, f: impl Fn(Complex, Complex) -> (Complex, Complex)) {
+        let n = self.num_qubits;
+        let stride = 1usize << (n - 1 - q);
+        let mut i = 0;
+        while i < self.amps.len() {
+            if i & stride == 0 {
+                let j = i | stride;
+                let (a0, a1) = (self.amps[i], self.amps[j]);
+                let (b0, b1) = f(a0, a1);
+                self.amps[i] = b0;
+                self.amps[j] = b1;
+            }
+            i += 1;
+        }
+    }
+
+    fn permute_indices(&mut self, perm: impl Fn(usize, usize) -> usize) {
+        let n = self.num_qubits;
+        let mut out = vec![Complex::ZERO; self.amps.len()];
+        for (i, &a) in self.amps.iter().enumerate() {
+            out[perm(i, n)] = a;
+        }
+        self.amps = out;
+    }
+
+    // ------------------------------------------------------------------
+    // Measurement.
+    // ------------------------------------------------------------------
+
+    /// Probability that measuring qubit `q` in the Z basis yields 1.
+    pub fn probability_of_one(&self, q: usize) -> f64 {
+        let n = self.num_qubits;
+        self.amps
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| bit(*i, q, n) == 1)
+            .map(|(_, a)| a.norm_sqr())
+            .sum()
+    }
+
+    /// Projects qubit `q` onto `outcome` (Z basis) and renormalizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the outcome has (near-)zero probability.
+    pub fn collapse(&mut self, q: usize, outcome: bool) {
+        let n = self.num_qubits;
+        let p = if outcome {
+            self.probability_of_one(q)
+        } else {
+            1.0 - self.probability_of_one(q)
+        };
+        assert!(p > 1e-15, "collapse onto a zero-probability outcome");
+        let scale = 1.0 / p.sqrt();
+        for (i, a) in self.amps.iter_mut().enumerate() {
+            if bit(i, q, n) == usize::from(outcome) {
+                *a = a.scale(scale);
+            } else {
+                *a = Complex::ZERO;
+            }
+        }
+    }
+
+    /// Measures qubit `q` in `basis`, sampling the outcome with `rng` and
+    /// collapsing the state. Returns the outcome.
+    pub fn measure(&mut self, q: usize, basis: Basis, rng: &mut impl Rng) -> bool {
+        self.rotate_basis_in(q, basis);
+        let p1 = self.probability_of_one(q);
+        let outcome = rng.random::<f64>() < p1;
+        self.collapse(q, outcome);
+        self.rotate_basis_out(q, basis);
+        outcome
+    }
+
+    /// Resets qubit `q` to `|0⟩` by measuring and flipping if needed.
+    pub fn reset(&mut self, q: usize, rng: &mut impl Rng) {
+        let outcome = self.measure(q, Basis::Z, rng);
+        if outcome {
+            self.apply_gate(&Gate::X(q));
+        }
+    }
+
+    fn rotate_basis_in(&mut self, q: usize, basis: Basis) {
+        match basis {
+            Basis::Z => {}
+            Basis::X => self.apply_gate(&Gate::H(q)),
+            Basis::Y => {
+                self.apply_gate(&Gate::Sdg(q));
+                self.apply_gate(&Gate::H(q));
+            }
+        }
+    }
+
+    fn rotate_basis_out(&mut self, q: usize, basis: Basis) {
+        match basis {
+            Basis::Z => {}
+            Basis::X => self.apply_gate(&Gate::H(q)),
+            Basis::Y => {
+                self.apply_gate(&Gate::H(q));
+                self.apply_gate(&Gate::S(q));
+            }
+        }
+    }
+
+    /// Samples a full Z-basis measurement outcome *without* collapsing.
+    pub fn sample_bits(&self, rng: &mut impl Rng) -> usize {
+        let mut r = rng.random::<f64>();
+        for (i, a) in self.amps.iter().enumerate() {
+            r -= a.norm_sqr();
+            if r <= 0.0 {
+                return i;
+            }
+        }
+        self.amps.len() - 1
+    }
+
+    /// The density matrix `|ψ⟩⟨ψ|` of this state.
+    pub fn to_density(&self) -> Matrix {
+        let dim = self.amps.len();
+        let mut rho = Matrix::zeros(dim, dim);
+        for i in 0..dim {
+            for j in 0..dim {
+                rho[(i, j)] = self.amps[i] * self.amps[j].conj();
+            }
+        }
+        rho
+    }
+}
+
+/// Value of qubit `q`'s bit within basis index `i` of an `n`-qubit register.
+#[inline]
+pub fn bit(i: usize, q: usize, n: usize) -> usize {
+    (i >> (n - 1 - q)) & 1
+}
+
+/// Basis index `i` with qubit `q`'s bit flipped.
+#[inline]
+pub fn flip(i: usize, q: usize, n: usize) -> usize {
+    i ^ (1 << (n - 1 - q))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const TOL: f64 = 1e-12;
+
+    #[test]
+    fn initial_state_is_all_zero() {
+        let psi = StateVector::new(3);
+        assert_eq!(psi.probability(0), 1.0);
+        assert!((psi.norm_sqr() - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn x_flips_msb_convention() {
+        let mut psi = StateVector::new(3);
+        psi.apply_gate(&Gate::X(0));
+        // Qubit 0 is the most significant bit: |100⟩ = index 4.
+        assert_eq!(psi.probability(4), 1.0);
+    }
+
+    #[test]
+    fn ghz_state_from_h_and_cnots() {
+        let mut psi = StateVector::new(3);
+        psi.apply_gate(&Gate::H(0));
+        psi.apply_gate(&Gate::Cx {
+            control: 0,
+            target: 1,
+        });
+        psi.apply_gate(&Gate::Cx {
+            control: 1,
+            target: 2,
+        });
+        assert!((psi.probability(0) - 0.5).abs() < TOL);
+        assert!((psi.probability(7) - 0.5).abs() < TOL);
+    }
+
+    #[test]
+    fn every_gate_matches_its_unitary() {
+        let gates = [
+            Gate::H(1),
+            Gate::X(0),
+            Gate::Y(2),
+            Gate::Z(1),
+            Gate::S(0),
+            Gate::Sdg(2),
+            Gate::T(1),
+            Gate::Tdg(0),
+            Gate::Rx(1, 0.37),
+            Gate::Ry(2, -1.1),
+            Gate::Rz(0, 2.2),
+            Gate::Cx {
+                control: 2,
+                target: 0,
+            },
+            Gate::Cz(0, 2),
+            Gate::Swap(1, 2),
+            Gate::Ccx {
+                control_a: 2,
+                control_b: 0,
+                target: 1,
+            },
+            Gate::Cswap {
+                control: 1,
+                swap_a: 2,
+                swap_b: 0,
+            },
+        ];
+        let mut rng = StdRng::seed_from_u64(42);
+        for g in gates {
+            // Random-ish initial state built from rotations.
+            let mut fast = StateVector::new(3);
+            for q in 0..3 {
+                fast.apply_gate(&Gate::Ry(q, rng.random_range(0.0..3.0)));
+                fast.apply_gate(&Gate::Rz(q, rng.random_range(0.0..3.0)));
+            }
+            fast.apply_gate(&Gate::Cx {
+                control: 0,
+                target: 2,
+            });
+            let mut slow = fast.clone();
+            fast.apply_gate(&g);
+            slow.apply_unitary(&g.unitary(), &g.qubits());
+            let fid = fast.fidelity(&slow);
+            assert!(
+                (fid - 1.0).abs() < 1e-10,
+                "gate {g} disagrees with its unitary (fidelity {fid})"
+            );
+        }
+    }
+
+    #[test]
+    fn measurement_statistics_of_plus_state() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut ones = 0;
+        for _ in 0..2000 {
+            let mut psi = StateVector::new(1);
+            psi.apply_gate(&Gate::H(0));
+            if psi.measure(0, Basis::Z, &mut rng) {
+                ones += 1;
+            }
+        }
+        let frac = ones as f64 / 2000.0;
+        assert!((frac - 0.5).abs() < 0.05, "got {frac}");
+    }
+
+    #[test]
+    fn x_basis_measurement_of_plus_state_is_deterministic() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..20 {
+            let mut psi = StateVector::new(1);
+            psi.apply_gate(&Gate::H(0));
+            assert!(!psi.measure(0, Basis::X, &mut rng), "|+⟩ must give +1 in X");
+        }
+    }
+
+    #[test]
+    fn y_basis_measurement_of_i_state_is_deterministic() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..20 {
+            // |+i⟩ = S|+⟩.
+            let mut psi = StateVector::new(1);
+            psi.apply_gate(&Gate::H(0));
+            psi.apply_gate(&Gate::S(0));
+            assert!(!psi.measure(0, Basis::Y, &mut rng));
+        }
+    }
+
+    #[test]
+    fn collapse_renormalizes() {
+        let mut psi = StateVector::new(2);
+        psi.apply_gate(&Gate::H(0));
+        psi.apply_gate(&Gate::Cx {
+            control: 0,
+            target: 1,
+        });
+        psi.collapse(0, true);
+        assert!((psi.probability(3) - 1.0).abs() < TOL);
+        assert!((psi.norm_sqr() - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn reset_sends_to_zero() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut psi = StateVector::new(2);
+        psi.apply_gate(&Gate::H(0));
+        psi.apply_gate(&Gate::Cx {
+            control: 0,
+            target: 1,
+        });
+        psi.reset(0, &mut rng);
+        assert!(psi.probability_of_one(0) < TOL);
+        assert!((psi.norm_sqr() - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn product_state_places_groups() {
+        // Qubit 1 gets |1⟩, qubit 0 and 2 stay |0⟩.
+        let one = vec![Complex::ZERO, Complex::ONE];
+        let psi = StateVector::product_state(3, &[(one, vec![1])]);
+        assert_eq!(psi.probability(0b010), 1.0);
+    }
+
+    #[test]
+    fn product_state_with_entangled_group_on_scattered_qubits() {
+        // Bell pair on qubits (2, 0) of a 3-qubit register; qubit 1 in |0⟩.
+        let h = FRAC_1_SQRT_2;
+        let bell = vec![c64(h, 0.0), Complex::ZERO, Complex::ZERO, c64(h, 0.0)];
+        let psi = StateVector::product_state(3, &[(bell, vec![2, 0])]);
+        // |q2 q0⟩ ∈ {00, 11} ⇒ indices 000 and 101.
+        assert!((psi.probability(0b000) - 0.5).abs() < TOL);
+        assert!((psi.probability(0b101) - 0.5).abs() < TOL);
+    }
+
+    #[test]
+    fn inner_product_orthogonality() {
+        let a = StateVector::basis_state(2, 1);
+        let b = StateVector::basis_state(2, 2);
+        assert_eq!(a.inner(&b), Complex::ZERO);
+        assert_eq!(a.inner(&a), Complex::ONE);
+    }
+
+    #[test]
+    fn sample_bits_respects_distribution() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut psi = StateVector::new(2);
+        psi.apply_gate(&Gate::H(0));
+        psi.apply_gate(&Gate::Cx {
+            control: 0,
+            target: 1,
+        });
+        let mut count3 = 0;
+        for _ in 0..1000 {
+            let s = psi.sample_bits(&mut rng);
+            assert!(s == 0 || s == 3, "Bell state sampled {s}");
+            if s == 3 {
+                count3 += 1;
+            }
+        }
+        assert!((count3 as f64 / 1000.0 - 0.5).abs() < 0.07);
+    }
+
+    #[test]
+    fn apply_unitary_on_non_adjacent_qubits() {
+        // CX with control 2, target 0 applied as a matrix.
+        let mut a = StateVector::basis_state(3, 0b001); // q2 = 1
+        a.apply_unitary(
+            &Gate::Cx {
+                control: 0,
+                target: 1,
+            }
+            .unitary(),
+            &[2, 0],
+        );
+        // q2 controls, q0 flips: |101⟩.
+        assert_eq!(a.probability(0b101), 1.0);
+    }
+
+    #[test]
+    fn to_density_is_projector() {
+        let mut psi = StateVector::new(1);
+        psi.apply_gate(&Gate::H(0));
+        let rho = psi.to_density();
+        assert!((rho.trace().re - 1.0).abs() < TOL);
+        assert!((&rho * &rho).max_abs_diff(&rho) < 1e-10);
+    }
+}

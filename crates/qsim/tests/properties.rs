@@ -1,0 +1,144 @@
+//! Property-based tests for the simulators: unitarity, trace
+//! preservation, measurement statistics, and ensemble reconstruction.
+
+use circuit::gate::Gate;
+use mathkit::complex::c64;
+use mathkit::matrix::Matrix;
+use proptest::prelude::*;
+use qsim::density::DensityMatrix;
+use qsim::qrand::{random_density_matrix, random_pure_state, PureEnsemble};
+use qsim::statevector::StateVector;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A gate drawn from the full set, bound to qubits of an `n`-register.
+fn arbitrary_gate(code: u8, q: usize, angle: f64, n: usize) -> Gate {
+    let a = q % n;
+    let b = (a + 1) % n;
+    let c = (a + 2) % n;
+    match code % 12 {
+        0 => Gate::H(a),
+        1 => Gate::X(a),
+        2 => Gate::Y(a),
+        3 => Gate::Z(a),
+        4 => Gate::S(a),
+        5 => Gate::T(a),
+        6 => Gate::Rx(a, angle),
+        7 => Gate::Ry(a, angle),
+        8 => Gate::Rz(a, angle),
+        9 => Gate::Cx {
+            control: a,
+            target: b,
+        },
+        10 => Gate::Cz(a, b),
+        _ => Gate::Ccx {
+            control_a: a,
+            control_b: b,
+            target: c,
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every gate preserves the statevector norm.
+    #[test]
+    fn gates_preserve_norm(
+        codes in proptest::collection::vec((0u8..12, 0usize..4, -3.0f64..3.0), 1..12),
+        seed in 0u64..10_000,
+    ) {
+        let n = 4usize;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sv = StateVector::from_amplitudes(random_pure_state(n, &mut rng));
+        for (code, q, angle) in codes {
+            sv.apply_gate(&arbitrary_gate(code, q, angle, n));
+        }
+        prop_assert!((sv.norm_sqr() - 1.0).abs() < 1e-9);
+    }
+
+    /// `apply_gate` agrees with `apply_unitary` on the gate's own matrix.
+    #[test]
+    fn gate_application_matches_unitary_path(
+        code in 0u8..12, q in 0usize..3, angle in -3.0f64..3.0, seed in 0u64..10_000,
+    ) {
+        let n = 3usize;
+        let g = arbitrary_gate(code, q, angle, n);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let amps = random_pure_state(n, &mut rng);
+        let mut by_gate = StateVector::from_amplitudes(amps.clone());
+        by_gate.apply_gate(&g);
+        let mut by_unitary = StateVector::from_amplitudes(amps);
+        by_unitary.apply_unitary(&g.unitary(), &g.qubits());
+        prop_assert!((by_gate.fidelity(&by_unitary) - 1.0).abs() < 1e-9);
+    }
+
+    /// Measurement probabilities are a distribution; collapse
+    /// renormalises onto the observed branch.
+    #[test]
+    fn measurement_statistics_are_consistent(seed in 0u64..10_000, q in 0usize..3) {
+        let n = 3usize;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sv = StateVector::from_amplitudes(random_pure_state(n, &mut rng));
+        let p1 = sv.probability_of_one(q);
+        prop_assert!((-1e-12..=1.0 + 1e-12).contains(&p1));
+        if p1 > 1e-9 {
+            let mut collapsed = sv.clone();
+            collapsed.collapse(q, true);
+            prop_assert!((collapsed.norm_sqr() - 1.0).abs() < 1e-9);
+            prop_assert!((collapsed.probability_of_one(q) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    /// Depolarizing channels keep the density matrix a state and shrink
+    /// purity toward the maximally mixed value.
+    #[test]
+    fn depolarizing_is_a_channel(seed in 0u64..10_000, p in 0.0f64..1.0) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rho = random_density_matrix(2, &mut rng);
+        let mut dm = DensityMatrix::from_matrix(rho);
+        let before = dm.purity();
+        dm.depolarize_1q(0, p);
+        dm.depolarize_2q(0, 1, p);
+        prop_assert!((dm.trace() - 1.0).abs() < 1e-9);
+        prop_assert!(dm.matrix().is_hermitian(1e-9));
+        prop_assert!(dm.purity() <= before + 1e-9);
+        prop_assert!(dm.purity() >= 0.25 - 1e-9); // two-qubit floor
+    }
+
+    /// The eigen-ensemble reconstructs its density matrix:
+    /// `E[|ψ⟩⟨ψ|] = ρ` (checked by weighted exact average, not sampling).
+    #[test]
+    fn pure_ensemble_reconstructs_density(seed in 0u64..10_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rho = random_density_matrix(1, &mut rng);
+        let ens = PureEnsemble::from_density(&rho);
+        // Sample many draws and average projectors; with a fixed seed and
+        // 4000 draws the empirical mixture is close entrywise.
+        let mut acc = Matrix::zeros(2, 2);
+        let draws = 4000;
+        for _ in 0..draws {
+            let psi = ens.sample(&mut rng).to_vec();
+            let proj = StateVector::from_amplitudes(psi).to_density();
+            acc = &acc + &proj;
+        }
+        let avg = acc.scale(c64(1.0 / draws as f64, 0.0));
+        prop_assert!(avg.max_abs_diff(&rho) < 0.06, "{}", avg.max_abs_diff(&rho));
+    }
+
+    /// Unitary evolution of a density matrix preserves its spectrum.
+    #[test]
+    fn unitary_preserves_density_spectrum(seed in 0u64..10_000, code in 0u8..12) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rho = random_density_matrix(2, &mut rng);
+        let mut before = mathkit::eigen::eigh(&rho).values;
+        let mut dm = DensityMatrix::from_matrix(rho);
+        dm.apply_gate(&arbitrary_gate(code, 0, 0.7, 2));
+        let mut after = mathkit::eigen::eigh(dm.matrix()).values;
+        before.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        after.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for (x, y) in before.iter().zip(&after) {
+            prop_assert!((x - y).abs() < 1e-8);
+        }
+    }
+}

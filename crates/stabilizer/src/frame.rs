@@ -1,0 +1,405 @@
+//! Pauli-frame simulation of noisy Clifford circuits with feedback.
+//!
+//! The paper's §5.1 characterises the constant-depth Fanout gadget by the
+//! *residual Pauli error* `E = U_noisy · U_ideal⁻¹` left on the data qubits
+//! after the gadget's mid-circuit measurements and conditional corrections.
+//! Because the gadget is Clifford and the noise is stochastic Pauli, the
+//! deviation between the noisy and ideal executions is itself always a
+//! Pauli operator, which a *frame* tracks in `O(n)` per gate — the same
+//! technique Stim \[20\] uses.
+//!
+//! Semantics per instruction:
+//!
+//! * **Clifford gate** — the frame is conjugated through the gate.
+//! * **Depolarizing site** — with its probability, a uniform non-identity
+//!   Pauli is multiplied into the frame.
+//! * **Measurement** — the recorded outcome differs from the ideal run iff
+//!   the frame anticommutes with the measured observable (plus an
+//!   independent readout flip). The flip is stored per classical bit.
+//! * **Conditional Pauli** — if the parity of the *flips* of its classical
+//!   bits is odd, the noisy run's correction differs from the ideal run's
+//!   by exactly one application of the gate, which is multiplied into the
+//!   frame. (Only Pauli conditionals are supported; arbitrary Clifford
+//!   feedback would require the unknown ideal outcome.)
+//! * **Reset** — both runs re-prepare `|0⟩`, so the frame is cleared there.
+//!
+//! ```
+//! use circuit::circuit::Circuit;
+//! use circuit::circuit::Instruction;
+//! use rand::SeedableRng;
+//! use stabilizer::frame::FrameSimulator;
+//!
+//! // A single guaranteed X fault propagates through a CNOT.
+//! let mut c = Circuit::new(2, 0);
+//! c.push(Instruction::Depolarizing { qubits: vec![0], p: 0.0 });
+//! c.cx(0, 1);
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let residual = FrameSimulator::sample_residual(&c, &mut rng);
+//! assert!(residual.is_identity()); // p = 0 ⇒ no fault
+//! ```
+
+use circuit::circuit::{Basis, Circuit, Instruction};
+use circuit::gate::Gate;
+use rand::Rng;
+use std::collections::HashMap;
+
+use crate::pauli::{Pauli, PauliString};
+
+/// Tracks the Pauli deviation of a noisy run from the ideal run.
+#[derive(Debug, Clone)]
+pub struct FrameSimulator {
+    frame: PauliString,
+    cbit_flips: Vec<bool>,
+}
+
+impl FrameSimulator {
+    /// A clean frame for a circuit with the given register sizes.
+    pub fn new(num_qubits: usize, num_cbits: usize) -> Self {
+        FrameSimulator {
+            frame: PauliString::identity(num_qubits),
+            cbit_flips: vec![false; num_cbits],
+        }
+    }
+
+    /// The current deviation operator.
+    pub fn frame(&self) -> &PauliString {
+        &self.frame
+    }
+
+    /// Whether the recorded value of `cbit` differs from the ideal run.
+    pub fn cbit_flipped(&self, cbit: usize) -> bool {
+        self.cbit_flips[cbit]
+    }
+
+    /// Conjugates the frame through one Clifford gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-Clifford gates.
+    pub fn apply_gate(&mut self, gate: &Gate) {
+        let f = &mut self.frame;
+        match *gate {
+            // Paulis commute with Paulis up to phase: no frame change.
+            Gate::X(_) | Gate::Y(_) | Gate::Z(_) => {}
+            Gate::H(q) => {
+                let (x, z) = (f.x_bit(q), f.z_bit(q));
+                f.set_x_bit(q, z);
+                f.set_z_bit(q, x);
+            }
+            Gate::S(q) | Gate::Sdg(q) => {
+                // S X S† = Y, S Z S† = Z: z ^= x (same pattern for S†,
+                // phase-free).
+                let x = f.x_bit(q);
+                let z = f.z_bit(q);
+                f.set_z_bit(q, z ^ x);
+            }
+            Gate::Cx { control, target } => {
+                // X_c → X_c X_t, Z_t → Z_c Z_t.
+                let xc = f.x_bit(control);
+                let zt = f.z_bit(target);
+                f.set_x_bit(target, f.x_bit(target) ^ xc);
+                f.set_z_bit(control, f.z_bit(control) ^ zt);
+            }
+            Gate::Cz(a, b) => {
+                // X_a → X_a Z_b, X_b → X_b Z_a.
+                let xa = f.x_bit(a);
+                let xb = f.x_bit(b);
+                f.set_z_bit(b, f.z_bit(b) ^ xa);
+                f.set_z_bit(a, f.z_bit(a) ^ xb);
+            }
+            Gate::Swap(a, b) => {
+                let pa = f.get(a);
+                let pb = f.get(b);
+                f.set(a, pb);
+                f.set(b, pa);
+            }
+            ref other => panic!("frame simulator cannot conjugate through {other}"),
+        }
+    }
+
+    /// Multiplies a fault Pauli into the frame.
+    pub fn inject(&mut self, qubit: usize, p: Pauli) {
+        let single = PauliString::single(self.frame.len(), qubit, p);
+        self.frame = self.frame.mul(&single);
+    }
+
+    /// Processes one instruction, sampling noise and readout flips.
+    pub fn step(&mut self, instr: &Instruction, rng: &mut impl Rng) {
+        match instr {
+            Instruction::Gate(g) => self.apply_gate(g),
+            Instruction::Depolarizing { qubits, p } => {
+                if *p > 0.0 && rng.random::<f64>() < *p {
+                    let options = 4usize.pow(qubits.len() as u32) - 1;
+                    let mut code = rng.random_range(1..=options);
+                    for &q in qubits {
+                        match code % 4 {
+                            1 => self.inject(q, Pauli::X),
+                            2 => self.inject(q, Pauli::Y),
+                            3 => self.inject(q, Pauli::Z),
+                            _ => {}
+                        }
+                        code /= 4;
+                    }
+                }
+            }
+            Instruction::Measure {
+                qubit,
+                cbit,
+                basis,
+                flip_prob,
+            } => {
+                let anticommutes = match basis {
+                    Basis::Z => self.frame.x_bit(*qubit),
+                    Basis::X => self.frame.z_bit(*qubit),
+                    Basis::Y => self.frame.x_bit(*qubit) ^ self.frame.z_bit(*qubit),
+                };
+                let readout_flip = *flip_prob > 0.0 && rng.random::<f64>() < *flip_prob;
+                self.cbit_flips[*cbit] = anticommutes ^ readout_flip;
+            }
+            Instruction::Reset(q) => {
+                self.frame.set(*q, Pauli::I);
+            }
+            Instruction::Conditional { gate, parity_of } => {
+                let flip_parity = parity_of
+                    .iter()
+                    .fold(false, |acc, &c| acc ^ self.cbit_flips[c]);
+                if flip_parity {
+                    let p = match *gate {
+                        Gate::X(q) => (q, Pauli::X),
+                        Gate::Y(q) => (q, Pauli::Y),
+                        Gate::Z(q) => (q, Pauli::Z),
+                        ref other => {
+                            panic!("frame simulator supports only Pauli conditionals, got {other}")
+                        }
+                    };
+                    self.inject(p.0, p.1);
+                }
+            }
+        }
+    }
+
+    /// Runs the whole circuit once and returns the final frame — the
+    /// residual error `E = U_noisy · U_ideal⁻¹` on the full register.
+    pub fn sample_residual(circuit: &Circuit, rng: &mut impl Rng) -> PauliString {
+        let mut sim = FrameSimulator::new(circuit.num_qubits(), circuit.num_cbits());
+        for instr in circuit.instructions() {
+            sim.step(instr, rng);
+        }
+        sim.frame
+    }
+
+    /// Runs `shots` independent noisy executions and histograms the
+    /// residual error restricted to `data_qubits` (in the given order).
+    pub fn residual_histogram(
+        circuit: &Circuit,
+        data_qubits: &[usize],
+        shots: usize,
+        rng: &mut impl Rng,
+    ) -> HashMap<PauliString, usize> {
+        let mut hist = HashMap::new();
+        for _ in 0..shots {
+            let residual = Self::sample_residual(circuit, rng).restricted_to(data_qubits);
+            *hist.entry(residual).or_insert(0) += 1;
+        }
+        hist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn frame_on(n: usize, setup: impl FnOnce(&mut FrameSimulator)) -> PauliString {
+        let mut sim = FrameSimulator::new(n, 4);
+        setup(&mut sim);
+        sim.frame().clone()
+    }
+
+    #[test]
+    fn h_exchanges_x_and_z() {
+        let f = frame_on(1, |sim| {
+            sim.inject(0, Pauli::X);
+            sim.apply_gate(&Gate::H(0));
+        });
+        assert_eq!(f.to_string(), "Z");
+    }
+
+    #[test]
+    fn s_maps_x_to_y() {
+        let f = frame_on(1, |sim| {
+            sim.inject(0, Pauli::X);
+            sim.apply_gate(&Gate::S(0));
+        });
+        assert_eq!(f.to_string(), "Y");
+    }
+
+    #[test]
+    fn cx_propagates_x_forward_z_backward() {
+        let f = frame_on(2, |sim| {
+            sim.inject(0, Pauli::X);
+            sim.apply_gate(&Gate::Cx {
+                control: 0,
+                target: 1,
+            });
+        });
+        assert_eq!(f.to_string(), "XX");
+
+        let f = frame_on(2, |sim| {
+            sim.inject(1, Pauli::Z);
+            sim.apply_gate(&Gate::Cx {
+                control: 0,
+                target: 1,
+            });
+        });
+        assert_eq!(f.to_string(), "ZZ");
+    }
+
+    #[test]
+    fn cz_propagates_x_to_remote_z() {
+        let f = frame_on(2, |sim| {
+            sim.inject(0, Pauli::X);
+            sim.apply_gate(&Gate::Cz(0, 1));
+        });
+        assert_eq!(f.to_string(), "XZ");
+    }
+
+    #[test]
+    fn swap_exchanges_frames() {
+        let f = frame_on(2, |sim| {
+            sim.inject(0, Pauli::Y);
+            sim.apply_gate(&Gate::Swap(0, 1));
+        });
+        assert_eq!(f.to_string(), "IY");
+    }
+
+    #[test]
+    fn x_frame_flips_z_measurement() {
+        let mut sim = FrameSimulator::new(1, 1);
+        sim.inject(0, Pauli::X);
+        let mut rng = StdRng::seed_from_u64(0);
+        sim.step(
+            &Instruction::Measure {
+                qubit: 0,
+                cbit: 0,
+                basis: Basis::Z,
+                flip_prob: 0.0,
+            },
+            &mut rng,
+        );
+        assert!(sim.cbit_flipped(0));
+    }
+
+    #[test]
+    fn z_frame_flips_x_measurement_only() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut sim = FrameSimulator::new(1, 2);
+        sim.inject(0, Pauli::Z);
+        sim.step(
+            &Instruction::Measure {
+                qubit: 0,
+                cbit: 0,
+                basis: Basis::Z,
+                flip_prob: 0.0,
+            },
+            &mut rng,
+        );
+        sim.step(
+            &Instruction::Measure {
+                qubit: 0,
+                cbit: 1,
+                basis: Basis::X,
+                flip_prob: 0.0,
+            },
+            &mut rng,
+        );
+        assert!(!sim.cbit_flipped(0));
+        assert!(sim.cbit_flipped(1));
+    }
+
+    #[test]
+    fn flipped_conditional_injects_correction() {
+        // A flipped measurement record makes the noisy run mis-apply the
+        // conditional X, leaving an X in the frame.
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut c = Circuit::new(2, 1);
+        c.push(Instruction::Depolarizing {
+            qubits: vec![0],
+            p: 1.0,
+        });
+        // With p = 1 a uniform X/Y/Z lands on qubit 0; to make the test
+        // deterministic we instead drive the flip by hand below.
+        let mut sim = FrameSimulator::new(2, 1);
+        sim.inject(0, Pauli::X);
+        sim.step(
+            &Instruction::Measure {
+                qubit: 0,
+                cbit: 0,
+                basis: Basis::Z,
+                flip_prob: 0.0,
+            },
+            &mut rng,
+        );
+        sim.step(
+            &Instruction::Conditional {
+                gate: Gate::X(1),
+                parity_of: vec![0],
+            },
+            &mut rng,
+        );
+        assert_eq!(sim.frame().to_string(), "XX");
+    }
+
+    #[test]
+    fn reset_clears_frame() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut sim = FrameSimulator::new(1, 0);
+        sim.inject(0, Pauli::Y);
+        sim.step(&Instruction::Reset(0), &mut rng);
+        assert!(sim.frame().is_identity());
+    }
+
+    #[test]
+    fn noiseless_circuit_has_identity_residual() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut c = Circuit::new(3, 3);
+        c.h(0).cx(0, 1).cx(1, 2);
+        c.measure(2, 2).cond_x(0, &[2]);
+        let r = FrameSimulator::sample_residual(&c, &mut rng);
+        assert!(r.is_identity());
+    }
+
+    #[test]
+    fn histogram_sums_to_shots() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut c = Circuit::new(2, 0);
+        c.push(Instruction::Depolarizing {
+            qubits: vec![0, 1],
+            p: 0.3,
+        });
+        let hist = FrameSimulator::residual_histogram(&c, &[0, 1], 500, &mut rng);
+        let total: usize = hist.values().sum();
+        assert_eq!(total, 500);
+        // Identity should dominate at p = 0.3.
+        let id = PauliString::identity(2);
+        assert!(hist[&id] > 250);
+    }
+
+    #[test]
+    fn readout_error_flips_record_not_frame() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut sim = FrameSimulator::new(1, 1);
+        sim.step(
+            &Instruction::Measure {
+                qubit: 0,
+                cbit: 0,
+                basis: Basis::Z,
+                flip_prob: 1.0,
+            },
+            &mut rng,
+        );
+        assert!(sim.cbit_flipped(0));
+        assert!(sim.frame().is_identity());
+    }
+}

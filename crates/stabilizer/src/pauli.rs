@@ -1,0 +1,301 @@
+//! Phase-free Pauli strings.
+//!
+//! A [`PauliString`] records, for each qubit, whether the operator has an X
+//! component and/or a Z component (`X·Z ∝ Y`). Phases are deliberately not
+//! tracked: the paper's Table 4 reports *residual error patterns* such as
+//! `ZIIIX`, for which only the pattern matters, and the Pauli-frame
+//! simulator ([`crate::frame`]) is insensitive to global phase.
+//!
+//! ```
+//! use stabilizer::pauli::PauliString;
+//!
+//! let e: PauliString = "ZIIX".parse().unwrap();
+//! assert_eq!(e.weight(), 2);
+//! assert_eq!(e.to_string(), "ZIIX");
+//! ```
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A single-qubit Pauli operator, phase-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Pauli {
+    /// Identity.
+    #[default]
+    I,
+    /// Pauli X.
+    X,
+    /// Pauli Y (`= iXZ`, tracked phase-free).
+    Y,
+    /// Pauli Z.
+    Z,
+}
+
+impl Pauli {
+    /// Builds a Pauli from its X/Z component bits.
+    pub fn from_bits(x: bool, z: bool) -> Pauli {
+        match (x, z) {
+            (false, false) => Pauli::I,
+            (true, false) => Pauli::X,
+            (true, true) => Pauli::Y,
+            (false, true) => Pauli::Z,
+        }
+    }
+
+    /// The (x, z) component bits.
+    pub fn bits(self) -> (bool, bool) {
+        match self {
+            Pauli::I => (false, false),
+            Pauli::X => (true, false),
+            Pauli::Y => (true, true),
+            Pauli::Z => (false, true),
+        }
+    }
+
+    /// Single-letter name.
+    pub fn letter(self) -> char {
+        match self {
+            Pauli::I => 'I',
+            Pauli::X => 'X',
+            Pauli::Y => 'Y',
+            Pauli::Z => 'Z',
+        }
+    }
+}
+
+/// A phase-free multi-qubit Pauli operator, stored as X/Z bit vectors.
+///
+/// Qubit 0 is written first in the string form, matching the paper's
+/// convention of listing the control qubit leftmost in Table 4.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PauliString {
+    x: Vec<bool>,
+    z: Vec<bool>,
+}
+
+impl PauliString {
+    /// The identity on `n` qubits.
+    pub fn identity(n: usize) -> Self {
+        PauliString {
+            x: vec![false; n],
+            z: vec![false; n],
+        }
+    }
+
+    /// Builds a string from per-qubit Paulis.
+    pub fn from_paulis(paulis: &[Pauli]) -> Self {
+        let mut s = PauliString::identity(paulis.len());
+        for (q, p) in paulis.iter().enumerate() {
+            s.set(q, *p);
+        }
+        s
+    }
+
+    /// A single-qubit Pauli embedded in an `n`-qubit identity.
+    pub fn single(n: usize, qubit: usize, p: Pauli) -> Self {
+        let mut s = PauliString::identity(n);
+        s.set(qubit, p);
+        s
+    }
+
+    /// Number of qubits.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// Whether the string acts on zero qubits.
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// Whether every factor is the identity.
+    pub fn is_identity(&self) -> bool {
+        self.x.iter().all(|&b| !b) && self.z.iter().all(|&b| !b)
+    }
+
+    /// The Pauli on `qubit`.
+    pub fn get(&self, qubit: usize) -> Pauli {
+        Pauli::from_bits(self.x[qubit], self.z[qubit])
+    }
+
+    /// Sets the Pauli on `qubit`.
+    pub fn set(&mut self, qubit: usize, p: Pauli) {
+        let (x, z) = p.bits();
+        self.x[qubit] = x;
+        self.z[qubit] = z;
+    }
+
+    /// Direct access to the X-component bit of `qubit`.
+    pub fn x_bit(&self, qubit: usize) -> bool {
+        self.x[qubit]
+    }
+
+    /// Direct access to the Z-component bit of `qubit`.
+    pub fn z_bit(&self, qubit: usize) -> bool {
+        self.z[qubit]
+    }
+
+    /// Sets the X-component bit of `qubit`.
+    pub fn set_x_bit(&mut self, qubit: usize, v: bool) {
+        self.x[qubit] = v;
+    }
+
+    /// Sets the Z-component bit of `qubit`.
+    pub fn set_z_bit(&mut self, qubit: usize, v: bool) {
+        self.z[qubit] = v;
+    }
+
+    /// Number of non-identity factors.
+    pub fn weight(&self) -> usize {
+        (0..self.len()).filter(|&q| self.x[q] || self.z[q]).count()
+    }
+
+    /// Phase-free product `self · other` (component-wise XOR).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operands act on different numbers of qubits.
+    pub fn mul(&self, other: &PauliString) -> PauliString {
+        assert_eq!(self.len(), other.len(), "length mismatch in Pauli product");
+        PauliString {
+            x: self.x.iter().zip(&other.x).map(|(a, b)| a ^ b).collect(),
+            z: self.z.iter().zip(&other.z).map(|(a, b)| a ^ b).collect(),
+        }
+    }
+
+    /// Whether `self` commutes with `other`.
+    ///
+    /// Two Pauli strings commute iff the symplectic form
+    /// `Σ_q (x_q z'_q + z_q x'_q)` is even.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operands act on different numbers of qubits.
+    pub fn commutes_with(&self, other: &PauliString) -> bool {
+        assert_eq!(self.len(), other.len(), "length mismatch in commutator");
+        let mut parity = false;
+        for q in 0..self.len() {
+            parity ^= (self.x[q] & other.z[q]) ^ (self.z[q] & other.x[q]);
+        }
+        !parity
+    }
+
+    /// The restriction of the string to `qubits`, in the given order.
+    pub fn restricted_to(&self, qubits: &[usize]) -> PauliString {
+        PauliString {
+            x: qubits.iter().map(|&q| self.x[q]).collect(),
+            z: qubits.iter().map(|&q| self.z[q]).collect(),
+        }
+    }
+
+    /// Iterates over the per-qubit Paulis.
+    pub fn iter(&self) -> impl Iterator<Item = Pauli> + '_ {
+        (0..self.len()).map(|q| self.get(q))
+    }
+}
+
+impl fmt::Display for PauliString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for p in self.iter() {
+            write!(f, "{}", p.letter())?;
+        }
+        Ok(())
+    }
+}
+
+/// Error produced when parsing a Pauli string from text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePauliError {
+    bad_char: char,
+}
+
+impl fmt::Display for ParsePauliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid Pauli letter '{}', expected one of I, X, Y, Z",
+            self.bad_char
+        )
+    }
+}
+
+impl std::error::Error for ParsePauliError {}
+
+impl FromStr for PauliString {
+    type Err = ParsePauliError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut paulis = Vec::with_capacity(s.len());
+        for ch in s.chars() {
+            paulis.push(match ch {
+                'I' | 'i' => Pauli::I,
+                'X' | 'x' => Pauli::X,
+                'Y' | 'y' => Pauli::Y,
+                'Z' | 'z' => Pauli::Z,
+                other => return Err(ParsePauliError { bad_char: other }),
+            });
+        }
+        Ok(PauliString::from_paulis(&paulis))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_parse_display() {
+        for s in ["IIII", "ZIIX", "XYZI", "Y"] {
+            let p: PauliString = s.parse().unwrap();
+            assert_eq!(p.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("ZQX".parse::<PauliString>().is_err());
+    }
+
+    #[test]
+    fn product_is_componentwise() {
+        let a: PauliString = "XZI".parse().unwrap();
+        let b: PauliString = "ZZX".parse().unwrap();
+        // X·Z = Y (phase-free), Z·Z = I, I·X = X.
+        assert_eq!(a.mul(&b).to_string(), "YIX");
+    }
+
+    #[test]
+    fn product_with_self_is_identity() {
+        let a: PauliString = "XYZIX".parse().unwrap();
+        assert!(a.mul(&a).is_identity());
+    }
+
+    #[test]
+    fn commutation_matches_symplectic_rule() {
+        let x: PauliString = "XI".parse().unwrap();
+        let z: PauliString = "ZI".parse().unwrap();
+        let zz: PauliString = "ZZ".parse().unwrap();
+        let xx: PauliString = "XX".parse().unwrap();
+        assert!(!x.commutes_with(&z)); // X vs Z on same qubit anticommute
+        assert!(zz.commutes_with(&xx)); // two overlaps cancel
+        assert!(x.commutes_with(&zz.mul(&zz))); // identity commutes
+    }
+
+    #[test]
+    fn weight_counts_non_identity() {
+        let p: PauliString = "ZIIXY".parse().unwrap();
+        assert_eq!(p.weight(), 3);
+    }
+
+    #[test]
+    fn restriction_reorders() {
+        let p: PauliString = "ZIX".parse().unwrap();
+        assert_eq!(p.restricted_to(&[2, 0]).to_string(), "XZ");
+    }
+
+    #[test]
+    fn single_embeds() {
+        let p = PauliString::single(4, 2, Pauli::Y);
+        assert_eq!(p.to_string(), "IIYI");
+    }
+}

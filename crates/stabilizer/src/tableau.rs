@@ -1,0 +1,482 @@
+//! Aaronson–Gottesman stabilizer tableau.
+//!
+//! [`Tableau`] simulates Clifford circuits in `O(n²)` per gate and
+//! measurement, replacing the paper's use of Stim \[20\] for the noise
+//! analysis of §5.1. It supports the full dynamic-circuit feature set used
+//! by COMPAS gadgets: X/Y/Z-basis measurements, resets, classically
+//! conditioned Pauli corrections, and stochastic depolarizing noise sites.
+//!
+//! ```
+//! use circuit::circuit::Circuit;
+//! use rand::SeedableRng;
+//! use stabilizer::tableau::Tableau;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let mut bell = Circuit::new(2, 2);
+//! bell.h(0).cx(0, 1).measure(0, 0).measure(1, 1);
+//! let cbits = Tableau::run(&bell, &mut rng);
+//! assert_eq!(cbits[0], cbits[1]); // perfectly correlated
+//! ```
+
+use circuit::circuit::{Basis, Circuit, Instruction};
+use circuit::gate::Gate;
+use rand::Rng;
+
+use crate::pauli::{Pauli, PauliString};
+
+/// Stabilizer tableau over `n` qubits.
+///
+/// Rows `0..n` are destabilizers, rows `n..2n` are stabilizers, and one
+/// scratch row is kept for deterministic-measurement accumulation, following
+/// Aaronson & Gottesman's CHP layout.
+#[derive(Debug, Clone)]
+pub struct Tableau {
+    n: usize,
+    /// `x[row][col]`, rows `0..=2n` (last row is scratch).
+    x: Vec<Vec<bool>>,
+    z: Vec<Vec<bool>>,
+    /// Sign bit per row (`true` ⇒ −1).
+    r: Vec<bool>,
+}
+
+impl Tableau {
+    /// The tableau stabilizing `|0…0⟩`.
+    pub fn new(n: usize) -> Self {
+        let rows = 2 * n + 1;
+        let mut t = Tableau {
+            n,
+            x: vec![vec![false; n]; rows],
+            z: vec![vec![false; n]; rows],
+            r: vec![false; rows],
+        };
+        for q in 0..n {
+            t.x[q][q] = true; // destabilizer X_q
+            t.z[n + q][q] = true; // stabilizer Z_q
+        }
+        t
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    // ------------------------------------------------------------------
+    // Clifford gates. Update rules from Aaronson & Gottesman (2004).
+    // ------------------------------------------------------------------
+
+    /// Hadamard on `q`.
+    pub fn h(&mut self, q: usize) {
+        for row in 0..2 * self.n {
+            let (xq, zq) = (self.x[row][q], self.z[row][q]);
+            self.r[row] ^= xq & zq;
+            self.x[row][q] = zq;
+            self.z[row][q] = xq;
+        }
+    }
+
+    /// Phase gate S on `q`.
+    pub fn s(&mut self, q: usize) {
+        for row in 0..2 * self.n {
+            let (xq, zq) = (self.x[row][q], self.z[row][q]);
+            self.r[row] ^= xq & zq;
+            self.z[row][q] = zq ^ xq;
+        }
+    }
+
+    /// Inverse phase gate S† on `q`.
+    pub fn sdg(&mut self, q: usize) {
+        // S† = S·S·S for tableau purposes (S⁴ = I on Paulis).
+        self.s(q);
+        self.s(q);
+        self.s(q);
+    }
+
+    /// Pauli X on `q` (flips signs of rows with a Z component).
+    pub fn x_gate(&mut self, q: usize) {
+        for row in 0..2 * self.n {
+            self.r[row] ^= self.z[row][q];
+        }
+    }
+
+    /// Pauli Y on `q`.
+    pub fn y_gate(&mut self, q: usize) {
+        for row in 0..2 * self.n {
+            self.r[row] ^= self.x[row][q] ^ self.z[row][q];
+        }
+    }
+
+    /// Pauli Z on `q` (flips signs of rows with an X component).
+    pub fn z_gate(&mut self, q: usize) {
+        for row in 0..2 * self.n {
+            self.r[row] ^= self.x[row][q];
+        }
+    }
+
+    /// CNOT with `control` and `target`.
+    pub fn cx(&mut self, control: usize, target: usize) {
+        assert_ne!(control, target, "cx needs distinct qubits");
+        for row in 0..2 * self.n {
+            let (xc, zc) = (self.x[row][control], self.z[row][control]);
+            let (xt, zt) = (self.x[row][target], self.z[row][target]);
+            self.r[row] ^= xc & zt & (xt ^ zc ^ true);
+            self.x[row][target] = xt ^ xc;
+            self.z[row][control] = zc ^ zt;
+        }
+    }
+
+    /// Controlled-Z (decomposed as `H(t)·CX·H(t)`).
+    pub fn cz(&mut self, a: usize, b: usize) {
+        self.h(b);
+        self.cx(a, b);
+        self.h(b);
+    }
+
+    /// SWAP of `a` and `b`.
+    pub fn swap(&mut self, a: usize, b: usize) {
+        self.cx(a, b);
+        self.cx(b, a);
+        self.cx(a, b);
+    }
+
+    /// Applies a Clifford [`Gate`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-Clifford gates (T, rotations, Toffoli, CSWAP).
+    pub fn apply_gate(&mut self, gate: &Gate) {
+        match *gate {
+            Gate::H(q) => self.h(q),
+            Gate::X(q) => self.x_gate(q),
+            Gate::Y(q) => self.y_gate(q),
+            Gate::Z(q) => self.z_gate(q),
+            Gate::S(q) => self.s(q),
+            Gate::Sdg(q) => self.sdg(q),
+            Gate::Cx { control, target } => self.cx(control, target),
+            Gate::Cz(a, b) => self.cz(a, b),
+            Gate::Swap(a, b) => self.swap(a, b),
+            ref other => panic!("tableau cannot apply non-Clifford gate {other}"),
+        }
+    }
+
+    /// Applies a phase-free Pauli string as a gate layer.
+    pub fn apply_pauli(&mut self, p: &PauliString) {
+        assert_eq!(p.len(), self.n);
+        for q in 0..self.n {
+            match p.get(q) {
+                Pauli::I => {}
+                Pauli::X => self.x_gate(q),
+                Pauli::Y => self.y_gate(q),
+                Pauli::Z => self.z_gate(q),
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Measurement.
+    // ------------------------------------------------------------------
+
+    /// Aaronson–Gottesman phase-accumulation function for the product of two
+    /// single-qubit Pauli factors; returns the exponent of `i` (mod 4) as an
+    /// element of {−1, 0, 1}.
+    fn g(x1: bool, z1: bool, x2: bool, z2: bool) -> i32 {
+        match (x1, z1) {
+            (false, false) => 0,
+            (true, true) => (z2 as i32) - (x2 as i32),
+            (true, false) => (z2 as i32) * (2 * (x2 as i32) - 1),
+            (false, true) => (x2 as i32) * (1 - 2 * (z2 as i32)),
+        }
+    }
+
+    /// Row `h` ← row `i` · row `h` with correct sign tracking.
+    fn rowsum(&mut self, h: usize, i: usize) {
+        let mut phase = 2 * (self.r[h] as i32) + 2 * (self.r[i] as i32);
+        for q in 0..self.n {
+            phase += Self::g(self.x[i][q], self.z[i][q], self.x[h][q], self.z[h][q]);
+        }
+        phase = phase.rem_euclid(4);
+        debug_assert!(
+            phase == 0 || phase == 2,
+            "rowsum produced non-Hermitian row"
+        );
+        self.r[h] = phase == 2;
+        for q in 0..self.n {
+            self.x[h][q] ^= self.x[i][q];
+            self.z[h][q] ^= self.z[i][q];
+        }
+    }
+
+    /// Measures `q` in the Z basis, collapsing the state.
+    pub fn measure_z(&mut self, q: usize, rng: &mut impl Rng) -> bool {
+        let n = self.n;
+        // A stabilizer row with an X component on q ⇒ random outcome.
+        if let Some(p) = (n..2 * n).find(|&row| self.x[row][q]) {
+            let outcome: bool = rng.random();
+            for row in 0..2 * n {
+                if row != p && self.x[row][q] {
+                    self.rowsum(row, p);
+                }
+            }
+            // Destabilizer p−n becomes the old stabilizer row p.
+            self.x[p - n] = self.x[p].clone();
+            self.z[p - n] = self.z[p].clone();
+            self.r[p - n] = self.r[p];
+            // Stabilizer p becomes ±Z_q.
+            self.x[p] = vec![false; n];
+            self.z[p] = vec![false; n];
+            self.z[p][q] = true;
+            self.r[p] = outcome;
+            outcome
+        } else {
+            // Deterministic: accumulate into the scratch row.
+            let scratch = 2 * n;
+            self.x[scratch] = vec![false; n];
+            self.z[scratch] = vec![false; n];
+            self.r[scratch] = false;
+            for i in 0..n {
+                if self.x[i][q] {
+                    self.rowsum(scratch, i + n);
+                }
+            }
+            self.r[scratch]
+        }
+    }
+
+    /// Measures `q` in the given basis (X/Y via basis rotation).
+    pub fn measure(&mut self, q: usize, basis: Basis, rng: &mut impl Rng) -> bool {
+        match basis {
+            Basis::Z => self.measure_z(q, rng),
+            Basis::X => {
+                self.h(q);
+                let m = self.measure_z(q, rng);
+                self.h(q);
+                m
+            }
+            Basis::Y => {
+                self.sdg(q);
+                self.h(q);
+                let m = self.measure_z(q, rng);
+                self.h(q);
+                self.s(q);
+                m
+            }
+        }
+    }
+
+    /// Resets `q` to `|0⟩` (measure, then flip on outcome 1).
+    pub fn reset(&mut self, q: usize, rng: &mut impl Rng) {
+        if self.measure_z(q, rng) {
+            self.x_gate(q);
+        }
+    }
+
+    /// Whether measuring `q` in the Z basis would be deterministic.
+    pub fn is_deterministic_z(&self, q: usize) -> bool {
+        (self.n..2 * self.n).all(|row| !self.x[row][q])
+    }
+
+    /// The sign-carrying stabilizer generators as `(negated, string)` pairs.
+    pub fn stabilizers(&self) -> Vec<(bool, PauliString)> {
+        (self.n..2 * self.n)
+            .map(|row| {
+                let mut p = PauliString::identity(self.n);
+                for q in 0..self.n {
+                    p.set(q, Pauli::from_bits(self.x[row][q], self.z[row][q]));
+                }
+                (self.r[row], p)
+            })
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Circuit execution.
+    // ------------------------------------------------------------------
+
+    /// Runs a full Clifford circuit (one shot) and returns the classical
+    /// register.
+    ///
+    /// Conditional gates fire on the recorded parity; depolarizing sites
+    /// sample a uniform non-identity Pauli with their probability; readout
+    /// errors flip recorded (not physical) outcomes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit contains a non-Clifford gate.
+    pub fn run(circuit: &Circuit, rng: &mut impl Rng) -> Vec<bool> {
+        let mut t = Tableau::new(circuit.num_qubits());
+        let mut cbits = vec![false; circuit.num_cbits()];
+        for instr in circuit.instructions() {
+            match instr {
+                Instruction::Gate(g) => t.apply_gate(g),
+                Instruction::Measure {
+                    qubit,
+                    cbit,
+                    basis,
+                    flip_prob,
+                } => {
+                    let mut m = t.measure(*qubit, *basis, rng);
+                    if *flip_prob > 0.0 && rng.random::<f64>() < *flip_prob {
+                        m = !m;
+                    }
+                    cbits[*cbit] = m;
+                }
+                Instruction::Reset(q) => t.reset(*q, rng),
+                Instruction::Conditional { gate, parity_of } => {
+                    let parity = parity_of.iter().fold(false, |acc, &c| acc ^ cbits[c]);
+                    if parity {
+                        t.apply_gate(gate);
+                    }
+                }
+                Instruction::Depolarizing { qubits, p } => {
+                    if rng.random::<f64>() < *p {
+                        for g in qsim_free_random_pauli(qubits, rng) {
+                            t.apply_gate(&g);
+                        }
+                    }
+                }
+            }
+        }
+        cbits
+    }
+}
+
+/// Samples a uniform non-identity Pauli layer on `qubits` (1 or 2 of them),
+/// mirroring `qsim::qrand::random_pauli_on` without the dense-matrix
+/// dependency.
+fn qsim_free_random_pauli(qubits: &[usize], rng: &mut impl Rng) -> Vec<Gate> {
+    let options = 4usize.pow(qubits.len() as u32) - 1;
+    let draw = rng.random_range(1..=options);
+    let mut gates = Vec::new();
+    let mut code = draw;
+    for &q in qubits {
+        match code % 4 {
+            1 => gates.push(Gate::X(q)),
+            2 => gates.push(Gate::Y(q)),
+            3 => gates.push(Gate::Z(q)),
+            _ => {}
+        }
+        code /= 4;
+    }
+    gates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fresh_tableau_measures_zero() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut t = Tableau::new(3);
+        for q in 0..3 {
+            assert!(!t.measure_z(q, &mut rng));
+        }
+    }
+
+    #[test]
+    fn x_flips_measurement() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut t = Tableau::new(2);
+        t.x_gate(1);
+        assert!(!t.measure_z(0, &mut rng));
+        assert!(t.measure_z(1, &mut rng));
+    }
+
+    #[test]
+    fn bell_pair_outcomes_are_correlated() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut saw_one = false;
+        let mut saw_zero = false;
+        for _ in 0..50 {
+            let mut t = Tableau::new(2);
+            t.h(0);
+            t.cx(0, 1);
+            let a = t.measure_z(0, &mut rng);
+            let b = t.measure_z(1, &mut rng);
+            assert_eq!(a, b);
+            saw_one |= a;
+            saw_zero |= !a;
+        }
+        assert!(saw_one && saw_zero, "outcomes should be random");
+    }
+
+    #[test]
+    fn ghz_x_basis_parity_is_even() {
+        // Measuring every qubit of a GHZ state in the X basis yields even
+        // parity with certainty.
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..30 {
+            let mut t = Tableau::new(4);
+            t.h(0);
+            for q in 1..4 {
+                t.cx(q - 1, q);
+            }
+            let parity = (0..4).fold(false, |acc, q| acc ^ t.measure(q, Basis::X, &mut rng));
+            assert!(!parity);
+        }
+    }
+
+    #[test]
+    fn plus_state_x_measurement_is_deterministic() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut t = Tableau::new(1);
+        t.h(0);
+        assert!(!t.measure(0, Basis::X, &mut rng)); // |+⟩ gives +1 ⇒ false
+        t.z_gate(0);
+        assert!(t.measure(0, Basis::X, &mut rng)); // |−⟩ gives −1 ⇒ true
+    }
+
+    #[test]
+    fn y_measurement_of_s_plus_state() {
+        // S|+⟩ = |+i⟩, the +1 eigenstate of Y.
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut t = Tableau::new(1);
+        t.h(0);
+        t.s(0);
+        assert!(!t.measure(0, Basis::Y, &mut rng));
+    }
+
+    #[test]
+    fn reset_forces_zero() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut t = Tableau::new(1);
+        t.h(0);
+        t.reset(0, &mut rng);
+        assert!(!t.measure_z(0, &mut rng));
+        assert!(t.is_deterministic_z(0));
+    }
+
+    #[test]
+    fn run_executes_conditionals() {
+        // Teleport-like: measure |1⟩, apply conditional X elsewhere.
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut c = Circuit::new(2, 2);
+        c.x(0).measure(0, 0).cond_x(1, &[0]).measure(1, 1);
+        let cbits = Tableau::run(&c, &mut rng);
+        assert_eq!(cbits, vec![true, true]);
+    }
+
+    #[test]
+    fn stabilizers_of_bell_state() {
+        let mut t = Tableau::new(2);
+        t.h(0);
+        t.cx(0, 1);
+        let stabs = t.stabilizers();
+        let strings: Vec<String> = stabs
+            .iter()
+            .map(|(neg, p)| format!("{}{}", if *neg { "-" } else { "+" }, p))
+            .collect();
+        assert!(strings.contains(&"+XX".to_string()));
+        assert!(strings.contains(&"+ZZ".to_string()));
+    }
+
+    #[test]
+    fn determinism_detection() {
+        let mut t = Tableau::new(1);
+        assert!(t.is_deterministic_z(0));
+        t.h(0);
+        assert!(!t.is_deterministic_z(0));
+    }
+}

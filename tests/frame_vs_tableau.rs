@@ -1,0 +1,129 @@
+//! Cross-validation of the two stabilizer backends: the Pauli-frame
+//! sampler (used for Table 4 and the Fig 9 noise models) must agree with
+//! full noisy tableau simulation on observable statistics.
+//!
+//! Method: take the Fanout gadget on a basis input, append Z measurements
+//! of the data qubits, and run many noisy shots through the exact
+//! [`Tableau`]. The ideal outcome is deterministic, so the empirical
+//! probability that data qubit `q` comes out flipped must match the
+//! probability that the frame-sampled residual has an X/Y component on
+//! `q` — the quantity Table 4 is built from.
+
+use circuit::circuit::Circuit;
+use circuit::noise::NoiseModel;
+use compas::fanout::fanout_gadget;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use stabilizer::frame::FrameSimulator;
+use stabilizer::tableau::Tableau;
+
+/// Builds the noisy fanout gadget plus final data measurements.
+/// Returns (noisy circuit without final readout, readout circuit, data qubits).
+fn gadget_circuits(m: usize, p: f64) -> (Circuit, Circuit, Vec<usize>) {
+    let total = 1 + 2 * m;
+    let targets: Vec<usize> = (1..=m).collect();
+    let ancillas: Vec<usize> = (1 + m..total).collect();
+    let mut ideal = Circuit::new(total, 0);
+    fanout_gadget(&mut ideal, 0, &targets, &ancillas);
+    let noisy = NoiseModel::standard(p).apply(&ideal);
+
+    // Readout: measure control + targets in Z, with *no* readout error so
+    // the comparison isolates the circuit noise.
+    let mut with_readout = noisy.clone();
+    let base = with_readout.add_cbits(1 + m);
+    for (i, q) in std::iter::once(0)
+        .chain(targets.iter().copied())
+        .enumerate()
+    {
+        with_readout.push(circuit::circuit::Instruction::Measure {
+            qubit: q,
+            cbit: base + i,
+            basis: circuit::circuit::Basis::Z,
+            flip_prob: 0.0,
+        });
+    }
+    let data: Vec<usize> = std::iter::once(0).chain(targets).collect();
+    (noisy, with_readout, data)
+}
+
+#[test]
+fn tableau_flip_rates_match_frame_predictions() {
+    let (m, p, shots) = (4usize, 0.01, 30_000usize);
+    let (noisy, with_readout, data) = gadget_circuits(m, p);
+    let readout_base = with_readout.num_cbits() - (1 + m);
+
+    // Frame path: per-qubit X-component rates of the residual.
+    let mut rng = StdRng::seed_from_u64(10);
+    let mut frame_flip = vec![0usize; 1 + m];
+    for _ in 0..shots {
+        let residual = FrameSimulator::sample_residual(&noisy, &mut rng);
+        for (i, &q) in data.iter().enumerate() {
+            if residual.x_bit(q) {
+                frame_flip[i] += 1;
+            }
+        }
+    }
+
+    // Tableau path: actual measured bits vs the ideal (input |0…0⟩:
+    // control 0 ⇒ all outputs 0).
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut tableau_flip = vec![0usize; 1 + m];
+    for _ in 0..shots {
+        let cbits = Tableau::run(&with_readout, &mut rng);
+        for (i, flip) in tableau_flip.iter_mut().enumerate() {
+            if cbits[readout_base + i] {
+                *flip += 1;
+            }
+        }
+    }
+
+    for i in 0..=m {
+        let f = frame_flip[i] as f64 / shots as f64;
+        let t = tableau_flip[i] as f64 / shots as f64;
+        // Binomial 5σ at these rates: ≈ 5·sqrt(0.01/30000) ≈ 0.003.
+        assert!(
+            (f - t).abs() < 0.004,
+            "qubit {i}: frame {f:.4} vs tableau {t:.4}"
+        );
+    }
+}
+
+#[test]
+fn both_backends_see_noiseless_circuits_as_perfect() {
+    let (m, shots) = (3usize, 200usize);
+    let (noisy, with_readout, data) = gadget_circuits(m, 0.0);
+    let readout_base = with_readout.num_cbits() - (1 + m);
+
+    let mut rng = StdRng::seed_from_u64(12);
+    for _ in 0..shots {
+        let residual = FrameSimulator::sample_residual(&noisy, &mut rng);
+        assert!(data
+            .iter()
+            .all(|&q| !residual.x_bit(q) && !residual.z_bit(q)));
+        let cbits = Tableau::run(&with_readout, &mut rng);
+        assert!((0..=m).all(|i| !cbits[readout_base + i]));
+    }
+}
+
+#[test]
+fn excited_control_fans_out_in_both_backends() {
+    // Input |1⟩ on the control: every target must flip (noiselessly),
+    // checked through the tableau; the frame sees the same circuit as
+    // identity-residual.
+    let m = 4usize;
+    let total = 1 + 2 * m;
+    let targets: Vec<usize> = (1..=m).collect();
+    let ancillas: Vec<usize> = (1 + m..total).collect();
+    let mut circ = Circuit::new(total, 0);
+    circ.x(0);
+    fanout_gadget(&mut circ, 0, &targets, &ancillas);
+    let base = circ.add_cbits(m);
+    for (i, &t) in targets.iter().enumerate() {
+        circ.measure(t, base + i);
+    }
+    let mut rng = StdRng::seed_from_u64(13);
+    for _ in 0..50 {
+        let cbits = Tableau::run(&circ, &mut rng);
+        assert!((0..m).all(|i| cbits[base + i]), "all targets must flip");
+    }
+}

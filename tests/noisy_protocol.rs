@@ -1,0 +1,124 @@
+//! Noisy end-to-end runs: gate-level noise applied to fully compiled
+//! protocol circuits (not the blackboxed Fig 9b path), verifying the
+//! paper's qualitative noise claims survive in the complete pipeline.
+
+use circuit::noise::NoiseModel;
+use compas::prelude::*;
+use mathkit::matrix::Matrix;
+use qsim::qrand::random_pure_state;
+use qsim::runner::run_shot;
+use qsim::statevector::StateVector;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runs the protocol's real-channel circuit under a gate noise model and
+/// returns the mean parity sample — the noisy estimate of `Re tr(Πρ)`.
+fn noisy_re_estimate(
+    proto: &CompasProtocol,
+    noise: &NoiseModel,
+    states: &[Matrix],
+    shots: usize,
+    rng: &mut StdRng,
+) -> f64 {
+    let circ = noise.apply(proto.circuit());
+    let n = proto.state_width();
+    let order = compas::swap_test::interleaved_order(proto.num_parties());
+    // Place state seq[p] on node p's data qubits (mirrors the protocol's
+    // internal layout: node stride n+1, state block first).
+    let ensembles: Vec<qsim::qrand::PureEnsemble> = states
+        .iter()
+        .map(qsim::qrand::PureEnsemble::from_density)
+        .collect();
+    let g = proto.num_parties().div_ceil(2);
+    // GHZ cbits are the last g of the register.
+    let ghz_cbits: Vec<usize> = (circ.num_cbits() - g..circ.num_cbits()).collect();
+    let mut acc = 0.0;
+    for _ in 0..shots {
+        let groups: Vec<(Vec<mathkit::complex::Complex>, Vec<usize>)> = order
+            .iter()
+            .enumerate()
+            .map(|(p, &i)| {
+                let qubits: Vec<usize> = (0..n).map(|l| p * (n + 1) + l).collect();
+                (ensembles[i].sample(rng).to_vec(), qubits)
+            })
+            .collect();
+        let initial = StateVector::product_state(circ.num_qubits(), &groups);
+        let out = run_shot(&circ, &initial, rng);
+        let parity = ghz_cbits.iter().fold(false, |a, &c| a ^ out.cbits[c]);
+        acc += if parity { -1.0 } else { 1.0 };
+    }
+    acc / shots as f64
+}
+
+#[test]
+fn contrast_decreases_monotonically_with_gate_noise() {
+    // tr(ρ²) = 1 for identical pure states; gate noise must wash the
+    // parity contrast toward 0, monotonically in p (within noise bars).
+    let mut rng = StdRng::seed_from_u64(1);
+    let psi = random_pure_state(1, &mut rng);
+    let rho = StateVector::from_amplitudes(psi).to_density();
+    let states = vec![rho.clone(), rho];
+    let proto = CompasProtocol::new(2, 1, CswapScheme::Teledata);
+
+    let est = |p: f64, rng: &mut StdRng| {
+        noisy_re_estimate(&proto, &NoiseModel::standard(p), &states, 400, rng)
+    };
+    let clean = est(0.0, &mut rng);
+    let mild = est(0.005, &mut rng);
+    let harsh = est(0.05, &mut rng);
+    assert!(clean > 0.95, "noiseless contrast {clean}");
+    assert!(mild < clean + 0.05 && mild > harsh - 0.05);
+    assert!(
+        harsh < clean - 0.2,
+        "strong noise must visibly reduce contrast: {harsh} vs {clean}"
+    );
+}
+
+#[test]
+fn teledata_keeps_more_contrast_than_telegate_under_noise() {
+    // The full-pipeline analogue of the Fig 9b ordering: at equal gate
+    // noise the teledata compilation (fewer noisy operations) retains at
+    // least as much parity contrast as telegate.
+    let mut rng = StdRng::seed_from_u64(2);
+    let psi = random_pure_state(1, &mut rng);
+    let rho = StateVector::from_amplitudes(psi).to_density();
+    let states = vec![rho.clone(), rho];
+    let noise = NoiseModel::standard(0.01);
+
+    let td = CompasProtocol::new(2, 1, CswapScheme::Teledata);
+    let tg = CompasProtocol::new(2, 1, CswapScheme::Telegate);
+    // Average over several batches to tame shot noise.
+    let mut td_sum = 0.0;
+    let mut tg_sum = 0.0;
+    for _ in 0..4 {
+        td_sum += noisy_re_estimate(&td, &noise, &states, 300, &mut rng);
+        tg_sum += noisy_re_estimate(&tg, &noise, &states, 300, &mut rng);
+    }
+    assert!(
+        td_sum > tg_sum - 0.1,
+        "teledata {td_sum} should not trail telegate {tg_sum}"
+    );
+    // Telegate compiles strictly more gates, hence more noise sites.
+    assert!(tg.circuit().gate_count() > td.circuit().gate_count());
+}
+
+#[test]
+fn measurement_error_alone_also_degrades_contrast() {
+    // Readout errors flip GHZ parities directly: a pure p_meas model
+    // must reduce contrast even with perfect gates.
+    let mut rng = StdRng::seed_from_u64(3);
+    let psi = random_pure_state(1, &mut rng);
+    let rho = StateVector::from_amplitudes(psi).to_density();
+    let states = vec![rho.clone(), rho];
+    let proto = CompasProtocol::new(2, 1, CswapScheme::Teledata);
+    let meas_only = NoiseModel {
+        p_1q: 0.0,
+        p_2q: 0.0,
+        p_3q: 0.0,
+        p_meas: 0.08,
+        p_reset: 0.0,
+    };
+    let noisy = noisy_re_estimate(&proto, &meas_only, &states, 500, &mut rng);
+    let clean = noisy_re_estimate(&proto, &NoiseModel::noiseless(), &states, 500, &mut rng);
+    assert!(noisy < clean - 0.05, "readout noise: {noisy} vs {clean}");
+}

@@ -1,0 +1,226 @@
+//! Property-based tests (proptest) on the core invariants the paper's
+//! constructions rely on.
+
+use circuit::circuit::Circuit;
+use compas::prelude::*;
+use mathkit::complex::c64;
+use mathkit::poly::Polynomial;
+use proptest::prelude::*;
+use qsim::runner::run_shot;
+use qsim::statevector::StateVector;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use stabilizer::pauli::PauliString;
+use stabilizer::tableau::Tableau;
+
+/// A normalized single-qubit state from two free complex parameters.
+fn qubit_state(re0: f64, im0: f64, re1: f64, im1: f64) -> Vec<mathkit::complex::Complex> {
+    let a = c64(re0, im0);
+    let b = c64(re1 + 0.1, im1); // avoid the all-zero corner
+    let norm = (a.norm_sqr() + b.norm_sqr()).sqrt();
+    vec![a.scale(1.0 / norm), b.scale(1.0 / norm)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Teleportation is exact for arbitrary qubit states (Fig 1a).
+    #[test]
+    fn teleportation_preserves_any_state(
+        re0 in -1.0f64..1.0, im0 in -1.0f64..1.0,
+        re1 in -1.0f64..1.0, im1 in -1.0f64..1.0,
+        seed in 0u64..1000,
+    ) {
+        let amps = qubit_state(re0, im0, re1, im1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut c = Circuit::new(3, 2);
+        network::teleop::prepare_bell(&mut c, 1, 2);
+        network::teleop::teledata(&mut c, 0, 1, 2, 0, 1);
+        let initial = StateVector::product_state(3, &[(amps.clone(), vec![0])]);
+        let out = run_shot(&c, &initial, &mut rng);
+        let rho = out.state.to_density();
+        let reduced = rho.partial_trace(4, 2, mathkit::matrix::TraceKeep::B);
+        let fid: f64 = reduced
+            .mul_vec(&amps)
+            .iter()
+            .zip(&amps)
+            .map(|(x, y)| (y.conj() * *x).re)
+            .sum();
+        prop_assert!((fid - 1.0).abs() < 1e-9, "fidelity {fid}");
+    }
+
+    /// The exact multivariate trace is invariant under cyclic rotation
+    /// of its arguments (the identity behind Eq. 3).
+    #[test]
+    fn multivariate_trace_is_cyclic(seed in 0u64..10_000, k in 2usize..5) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let states: Vec<_> = (0..k)
+            .map(|_| qsim::qrand::random_density_matrix(1, &mut rng))
+            .collect();
+        let t1 = exact_multivariate_trace(&states);
+        let mut rotated = states.clone();
+        rotated.rotate_left(1);
+        let t2 = exact_multivariate_trace(&rotated);
+        prop_assert!((t1 - t2).abs() < 1e-10);
+    }
+
+    /// |tr(ρ₁…ρ_k)| ≤ 1 for density matrices (the quantity the paper
+    /// estimates lives in the unit disc).
+    #[test]
+    fn multivariate_trace_is_bounded(seed in 0u64..10_000, k in 1usize..5) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let states: Vec<_> = (0..k)
+            .map(|_| qsim::qrand::random_density_matrix(1, &mut rng))
+            .collect();
+        prop_assert!(exact_multivariate_trace(&states).abs() <= 1.0 + 1e-10);
+    }
+
+    /// Phase-free Pauli strings form an abelian group under
+    /// multiplication: self-inverse, commutative, associative.
+    #[test]
+    fn pauli_strings_form_a_group(a in "[IXYZ]{1,8}", b in "[IXYZ]{1,8}") {
+        let n = a.len().min(b.len());
+        let pa: PauliString = a[..n].parse().unwrap();
+        let pb: PauliString = b[..n].parse().unwrap();
+        prop_assert!(pa.mul(&pa).is_identity());
+        prop_assert_eq!(pa.mul(&pb), pb.mul(&pa));
+        let pc = pa.mul(&pb);
+        prop_assert_eq!(pc.mul(&pb), pa);
+    }
+
+    /// Commutation is symmetric and respects products:
+    /// if P commutes with both A and B it commutes with A·B.
+    #[test]
+    fn pauli_commutation_respects_products(
+        a in "[IXYZ]{4}", b in "[IXYZ]{4}", p in "[IXYZ]{4}",
+    ) {
+        let pa: PauliString = a.parse().unwrap();
+        let pb: PauliString = b.parse().unwrap();
+        let pp: PauliString = p.parse().unwrap();
+        prop_assert_eq!(pa.commutes_with(&pb), pb.commutes_with(&pa));
+        let prod = pa.mul(&pb);
+        let expected = pp.commutes_with(&pa) == pp.commutes_with(&pb);
+        prop_assert_eq!(pp.commutes_with(&prod), expected);
+    }
+
+    /// Newton–Girard round-trip: eigenvalues → power sums → eigenvalues.
+    #[test]
+    fn newton_girard_roundtrip(l1 in 0.05f64..1.0, l2 in 0.05f64..1.0) {
+        let z = l1 + l2;
+        let (l1, l2) = (l1 / z, l2 / z);
+        let power_sums: Vec<f64> = (1..=2)
+            .map(|m| l1.powi(m) + l2.powi(m))
+            .collect();
+        let mut recovered = mathkit::poly::spectrum_from_power_sums(&power_sums);
+        recovered.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        let mut want = [l1, l2];
+        want.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        prop_assert!((recovered[0] - want[0]).abs() < 1e-7);
+        prop_assert!((recovered[1] - want[1]).abs() < 1e-7);
+    }
+
+    /// Polynomial factorization multiplies back to the target on a grid.
+    #[test]
+    fn polynomial_factorization_roundtrip(
+        r1 in 0.2f64..3.0, r2 in 0.2f64..3.0, r3 in 0.2f64..3.0, k in 2usize..4,
+    ) {
+        let poly = Polynomial::from_roots(&[
+            c64(-r1, 0.0), c64(-r2, 0.0), c64(-r3, 0.0),
+        ]);
+        let factors = apps::qsp::factor_polynomial(&poly, k);
+        let product = factors.iter().fold(Polynomial::one(), |acc, f| acc.mul(f));
+        for x in [0.0f64, 0.25, 0.5, 1.0] {
+            let want = poly.eval_real(x).re;
+            let got = product.eval_real(x).re;
+            prop_assert!((want - got).abs() < 1e-6 * want.abs().max(1.0));
+        }
+    }
+
+    /// Tableau and statevector agree on deterministic measurements of
+    /// random Clifford circuits.
+    #[test]
+    fn tableau_matches_statevector_on_random_cliffords(
+        seed in 0u64..5000, gates in 4usize..24,
+    ) {
+        let n = 4usize;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut circ = Circuit::new(n, 0);
+        use rand::Rng as _;
+        for _ in 0..gates {
+            match rng.random_range(0..4) {
+                0 => { circ.h(rng.random_range(0..n)); }
+                1 => { circ.s(rng.random_range(0..n)); }
+                2 => {
+                    let a = rng.random_range(0..n);
+                    let b = (a + rng.random_range(1..n)) % n;
+                    circ.cx(a, b);
+                }
+                _ => { circ.x(rng.random_range(0..n)); }
+            }
+        }
+        // Statevector probabilities.
+        let sv = qsim::runner::run_unitary(&circ, &StateVector::new(n));
+        // Tableau: replay gates, check each qubit's determinism.
+        let mut t = Tableau::new(n);
+        for instr in circ.instructions() {
+            if let circuit::circuit::Instruction::Gate(g) = instr {
+                t.apply_gate(g);
+            }
+        }
+        for q in 0..n {
+            let p1 = sv.probability_of_one(q);
+            if t.is_deterministic_z(q) {
+                prop_assert!(!(1e-9..=1.0 - 1e-9).contains(&p1), "q{q}: p1={p1}");
+            } else {
+                prop_assert!((p1 - 0.5).abs() < 1e-9, "q{q}: p1={p1}");
+            }
+        }
+    }
+
+    /// The fanout gadget equals the CNOT cascade on random basis inputs
+    /// (complementing the amplitude-level unit tests).
+    #[test]
+    fn fanout_gadget_on_basis_states(input in 0usize..32, seed in 0u64..500) {
+        let m = 4usize;
+        let total = 1 + 2 * m;
+        let targets: Vec<usize> = (1..=m).collect();
+        let ancillas: Vec<usize> = (1 + m..total).collect();
+        let mut gadget = Circuit::new(total, 0);
+        fanout_gadget(&mut gadget, 0, &targets, &ancillas);
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Embed the 5 data bits, ancillas zero.
+        let initial = StateVector::basis_state(total, input << m);
+        let out = run_shot(&gadget, &initial, &mut rng);
+        // Expected: control bit XORed into every target.
+        let control = (input >> m) & 1;
+        let mut want = input;
+        if control == 1 {
+            want ^= (1 << m) - 1; // flip the m target bits
+        }
+        let got = out.state.sample_bits(&mut rng) >> m;
+        prop_assert_eq!(got, want);
+    }
+
+    /// CSWAP schedules always compose to a one-step cyclic shift.
+    #[test]
+    fn schedule_is_cyclic_for_all_k(k in 2usize..16) {
+        let perm = schedule_permutation(k);
+        let backward: Vec<usize> = (0..k).map(|i| (i + k - 1) % k).collect();
+        let forward: Vec<usize> = (0..k).map(|i| (i + 1) % k).collect();
+        prop_assert!(perm == backward || perm == forward, "k={k}: {perm:?}");
+    }
+
+    /// Estimator means live in [−1, 1] and std errors shrink as 1/√N.
+    #[test]
+    fn estimator_basic_statistics(flips in proptest::collection::vec(any::<bool>(), 50..200)) {
+        let mut est = TraceEstimator::new();
+        for &f in &flips {
+            est.record_re(f);
+            est.record_im(!f);
+        }
+        let e = est.finish();
+        prop_assert!(e.re >= -1.0 && e.re <= 1.0);
+        prop_assert!(e.im >= -1.0 && e.im <= 1.0);
+        prop_assert!((e.re + e.im).abs() < 1e-9); // complementary channels
+    }
+}

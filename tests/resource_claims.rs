@@ -1,0 +1,106 @@
+//! Integration checks of the paper's headline resource claims, measured
+//! on the executable implementation (not just the closed forms).
+
+use compas::prelude::*;
+use network::prelude::*;
+
+#[test]
+fn headline_claim_constant_depth_and_linear_bell_pairs() {
+    // "COMPAS adds only a constant depth overhead and consumes Bell pairs
+    //  at a rate linear in circuit width" (abstract).
+    let depth = |k: usize, n: usize| {
+        CompasProtocol::new(k, n, CswapScheme::Teledata)
+            .circuit()
+            .depth() as i64
+    };
+    let bells = |k: usize, n: usize| {
+        CompasProtocol::new(k, n, CswapScheme::Teledata)
+            .ledger()
+            .bell_pairs()
+    };
+    // Depth flat in both axes (±3 moments of scheduling jitter).
+    assert!((depth(4, 4) - depth(10, 4)).abs() <= 3);
+    assert!((depth(4, 4) - depth(4, 10)).abs() <= 3);
+    // Bell pairs linear in n at fixed k: doubling n roughly doubles pairs.
+    let (b4, b8) = (bells(4, 4) as f64, bells(4, 8) as f64);
+    assert!(b8 / b4 > 1.7 && b8 / b4 < 2.3, "{b4} -> {b8}");
+    // And linear in k at fixed n.
+    let (bk4, bk8) = (bells(4, 4) as f64, bells(8, 4) as f64);
+    assert!(bk8 / bk4 > 1.8 && bk8 / bk4 < 2.8, "{bk4} -> {bk8}");
+}
+
+#[test]
+fn ghz_width_is_ceil_k_over_2_for_all_k() {
+    // Fig 2d: COMPAS keeps GHZ width ⌈k/2⌉ *and* constant depth, unlike
+    // Fig 2b (depth 2n) and Fig 2c (GHZ width ⌈k/2⌉·n).
+    for k in 2..=9 {
+        let (r1, r2) = cswap_schedule(k);
+        let controls: std::collections::HashSet<usize> =
+            r1.iter().chain(&r2).map(|op| op.control).collect();
+        assert_eq!(controls.len(), k.div_ceil(2), "k={k}");
+    }
+}
+
+#[test]
+fn measured_per_qpu_bell_load_tracks_tables_1_and_2() {
+    // Tables 1–2 count Bell pairs per QPU: 2+6n telegate, 2+4n teledata
+    // (GHZ links + two CSWAP rounds). Our measured per-QPU load counts
+    // each pair at both endpoints; an interior control QPU participates
+    // in two CSWAPs (one per round) plus its GHZ links, so its load must
+    // match the tables' per-round structure: 3n per CSWAP telegate,
+    // 2n teledata, +GHZ.
+    for n in [1usize, 2, 4] {
+        let telegate = CompasProtocol::new(5, n, CswapScheme::Telegate);
+        let teledata = CompasProtocol::new(5, n, CswapScheme::Teledata);
+        let tg = telegate.ledger().max_bell_pairs_per_node();
+        let td = teledata.ledger().max_bell_pairs_per_node();
+        // Busiest QPU: 2 CSWAPs as Alice (+ possibly Bob work + GHZ).
+        assert!(
+            tg <= 6 * n + 4 && tg >= 6 * n,
+            "telegate n={n}: per-QPU load {tg} vs table 2+6n={}",
+            2 + 6 * n
+        );
+        assert!(
+            td <= 4 * n + 4 && td >= 4 * n,
+            "teledata n={n}: per-QPU load {td} vs table 2+4n={}",
+            2 + 4 * n
+        );
+        assert!(td < tg, "teledata must consume fewer Bell pairs per QPU");
+    }
+}
+
+#[test]
+fn teledata_is_the_recommended_scheme() {
+    // Table 3: teledata wins on Bell pairs and memory for every n.
+    for n in 1..=20 {
+        let rows = scheme_comparison(n, 4);
+        let telegate = &rows[0];
+        let teledata = &rows[1];
+        assert!(teledata.bell_pairs < telegate.bell_pairs);
+        assert!(teledata.memory_estimate < telegate.memory_estimate);
+        assert!(teledata.depth < telegate.depth);
+    }
+}
+
+#[test]
+fn entanglement_swapping_cost_matches_distance() {
+    // §2.5: a Bell pair between QPUs d hops apart costs d raw pairs.
+    for d in 1..=5 {
+        let mut m = DistributedMachine::new(6, 1, Topology::Line);
+        m.create_bell(0, d);
+        assert_eq!(m.ledger().bell_pairs(), 1);
+        assert_eq!(m.ledger().raw_bell_pairs(), d);
+    }
+}
+
+#[test]
+fn communication_only_during_the_test_not_state_prep() {
+    // §3.2: "communication between QPUs is only required during the
+    // multi-party SWAP test, and not during the preparation of ρ".
+    // State preparation is entirely local: a fresh protocol has consumed
+    // nothing before estimate() is called beyond the compiled circuit.
+    let proto = CompasProtocol::new(4, 2, CswapScheme::Teledata);
+    // All Bell pairs in the ledger belong to GHZ prep + CSWAPs:
+    let expected = (4 - 1) * 2 * 2 + (2 - 1); // (k−1)·2n + (⌈k/2⌉−1)
+    assert_eq!(proto.ledger().bell_pairs(), expected);
+}

@@ -1,0 +1,183 @@
+//! Cross-simulator agreement: the statevector trajectory sampler and the
+//! exact deferred-measurement density-matrix evolution must produce the
+//! same statistics on dynamic circuits with noise — the foundation under
+//! every noise figure in the reproduction.
+
+use circuit::circuit::{Circuit, Instruction};
+use mathkit::matrix::TraceKeep;
+use qsim::density::{run_deferred, DensityMatrix};
+use qsim::runner::run_shot;
+use qsim::statevector::StateVector;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Empirical outcome distribution of `cbit` over trajectory shots.
+fn sampled_one_rate(circ: &Circuit, cbit: usize, shots: usize, rng: &mut StdRng) -> f64 {
+    let mut ones = 0usize;
+    for _ in 0..shots {
+        let out = run_shot(circ, &StateVector::new(circ.num_qubits()), rng);
+        if out.cbits[cbit] {
+            ones += 1;
+        }
+    }
+    ones as f64 / shots as f64
+}
+
+#[test]
+fn teleportation_with_depolarized_link_agrees_across_simulators() {
+    // |1⟩ teleported through a noisy Bell pair, then measured: the final
+    // one-rate from trajectories must match the exact density matrix.
+    let p_site = 0.3;
+    let mut c = Circuit::new(3, 3);
+    c.x(0);
+    network::teleop::prepare_bell(&mut c, 1, 2);
+    c.push(Instruction::Depolarizing {
+        qubits: vec![2],
+        p: p_site,
+    });
+    network::teleop::teledata(&mut c, 0, 1, 2, 0, 1);
+    c.measure(2, 2);
+
+    // Exact: P(1) on the destination.
+    let rho = run_deferred(&c, &DensityMatrix::new(3));
+    let exact_p1 = rho.probability_of_one(2);
+
+    let mut rng = StdRng::seed_from_u64(1);
+    let sampled = sampled_one_rate(&c, 2, 20_000, &mut rng);
+    assert!(
+        (sampled - exact_p1).abs() < 0.015,
+        "sampled {sampled} vs exact {exact_p1}"
+    );
+    // Sanity: a uniform non-identity Pauli flips the bit in 2 of 3 cases.
+    let expected = 1.0 - p_site * 2.0 / 3.0;
+    assert!((exact_p1 - expected).abs() < 1e-10);
+}
+
+#[test]
+fn noisy_ghz_parity_agrees_across_simulators() {
+    // Three-qubit GHZ with a depolarizing site, X-basis readout: the
+    // parity expectation from trajectories must match the exact value.
+    let mut c = Circuit::new(3, 3);
+    c.h(0).cx(0, 1).cx(1, 2);
+    c.push(Instruction::Depolarizing {
+        qubits: vec![1],
+        p: 0.2,
+    });
+    for q in 0..3 {
+        c.push(Instruction::Measure {
+            qubit: q,
+            cbit: q,
+            basis: circuit::circuit::Basis::X,
+            flip_prob: 0.0,
+        });
+    }
+
+    // Exact parity: ⟨X⊗X⊗X⟩ of the noisy state. Build the state without
+    // the measurements, then take the expectation.
+    let mut prep = Circuit::new(3, 0);
+    prep.h(0).cx(0, 1).cx(1, 2);
+    prep.push(Instruction::Depolarizing {
+        qubits: vec![1],
+        p: 0.2,
+    });
+    let rho = run_deferred(&prep, &DensityMatrix::new(3));
+    let xxx = {
+        let x = circuit::gate::Gate::X(0).unitary();
+        x.kron(&x).kron(&x)
+    };
+    let exact = rho.expectation(&xxx).re;
+
+    let mut rng = StdRng::seed_from_u64(2);
+    let shots = 20_000;
+    let mut acc = 0.0;
+    for _ in 0..shots {
+        let out = run_shot(&c, &StateVector::new(3), &mut rng);
+        let parity = out.cbits.iter().fold(false, |a, &b| a ^ b);
+        acc += if parity { -1.0 } else { 1.0 };
+    }
+    let sampled = acc / shots as f64;
+    assert!(
+        (sampled - exact).abs() < 0.02,
+        "sampled {sampled} vs exact {exact}"
+    );
+}
+
+#[test]
+fn reset_and_reuse_agree_across_simulators() {
+    // Measure-and-reset reuse: a qubit carries |+⟩, is measured, reset,
+    // re-entangled. Compare the joint distribution of both cbits.
+    let mut c = Circuit::new(2, 2);
+    c.h(0);
+    c.measure(0, 0);
+    c.reset(0);
+    c.h(0).cx(0, 1);
+    c.measure(1, 1);
+
+    let mut rng = StdRng::seed_from_u64(3);
+    let shots = 20_000;
+    let mut counts = [0usize; 4];
+    for _ in 0..shots {
+        let out = run_shot(&c, &StateVector::new(2), &mut rng);
+        counts[(out.cbits[0] as usize) << 1 | out.cbits[1] as usize] += 1;
+    }
+    // Both bits are fair and independent coins.
+    for (i, &n) in counts.iter().enumerate() {
+        let f = n as f64 / shots as f64;
+        assert!((f - 0.25).abs() < 0.02, "pattern {i}: {f}");
+    }
+}
+
+#[test]
+fn conditional_corrections_match_between_paths() {
+    // A parity-conditioned correction with three source bits: the exact
+    // deferred path and trajectories must agree on the target marginal.
+    let mut c = Circuit::new(4, 4);
+    for q in 0..3 {
+        c.h(q);
+        c.measure(q, q);
+    }
+    c.push(Instruction::Conditional {
+        gate: circuit::gate::Gate::X(3),
+        parity_of: vec![0, 1, 2],
+    });
+    c.measure(3, 3);
+
+    let rho = run_deferred(&c, &DensityMatrix::new(4));
+    let exact_p1 = rho.probability_of_one(3);
+    assert!(
+        (exact_p1 - 0.5).abs() < 1e-10,
+        "three fair bits ⇒ odd half the time"
+    );
+
+    let mut rng = StdRng::seed_from_u64(4);
+    let sampled = sampled_one_rate(&c, 3, 20_000, &mut rng);
+    assert!((sampled - 0.5).abs() < 0.015);
+}
+
+#[test]
+fn trajectory_average_reconstructs_reduced_density_matrix() {
+    // Average |ψ⟩⟨ψ| over trajectories of a noisy circuit and compare
+    // with the exact density matrix, entrywise.
+    let mut c = Circuit::new(2, 0);
+    c.h(0).cx(0, 1);
+    c.push(Instruction::Depolarizing {
+        qubits: vec![0, 1],
+        p: 0.25,
+    });
+
+    let exact = run_deferred(&c, &DensityMatrix::new(2));
+    let mut rng = StdRng::seed_from_u64(5);
+    let shots = 30_000;
+    let mut acc = mathkit::matrix::Matrix::zeros(4, 4);
+    for _ in 0..shots {
+        let out = run_shot(&c, &StateVector::new(2), &mut rng);
+        acc = &acc + &out.state.to_density();
+    }
+    let avg = acc.scale(mathkit::complex::c64(1.0 / shots as f64, 0.0));
+    let diff = avg.max_abs_diff(exact.matrix());
+    assert!(diff < 0.02, "max entry difference {diff}");
+    // Also check a derived quantity: purity must drop below 1.
+    let purity = (exact.matrix() * exact.matrix()).trace().re;
+    assert!(purity < 0.95);
+    let _ = exact.matrix().partial_trace(2, 2, TraceKeep::A);
+}
