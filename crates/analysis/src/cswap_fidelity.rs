@@ -16,12 +16,15 @@
 //! `2^(2n+1)` basis states when that is ≤ 300, else 300 random ones.
 
 use compas::cswap::CswapScheme;
+use engine::{derive_stream_seed, BatchRunner, Engine, ShotJob};
 use mathkit::stats::linear_fit;
+use rand::rngs::StdRng;
 use rand::Rng;
 use stabilizer::pauli::PauliString;
 
 use crate::primitive_errors::{
-    cat_roundtrip_sampler, fanout_sampler, telegate_cnot_sampler, teleport_sampler,
+    cat_roundtrip_circuit, cat_roundtrip_sampler, fanout_circuit, fanout_sampler,
+    telegate_cnot_circuit, telegate_cnot_sampler, teleport_circuit, teleport_sampler,
     PauliErrorSampler,
 };
 use crate::table_io::ResultTable;
@@ -50,6 +53,36 @@ impl CswapNoiseModel {
             telegate_cnot: telegate_cnot_sampler(p, shots, rng),
             cat_roundtrip: cat_roundtrip_sampler(p, shots, rng),
             fanout: fanout_sampler(n.max(2), p, shots, rng),
+        }
+    }
+
+    /// Engine-parallel [`CswapNoiseModel::characterize`]: each
+    /// primitive's frame sampling is partitioned across the engine's
+    /// workers, with primitive seeds derived from `root_seed` so the
+    /// model is deterministic at any thread count.
+    pub fn characterize_parallel(
+        engine: &Engine,
+        n: usize,
+        p: f64,
+        shots: usize,
+        root_seed: u64,
+    ) -> Self {
+        let characterize = |idx: u64, (circ, data): (circuit::circuit::Circuit, Vec<usize>)| {
+            PauliErrorSampler::from_circuit_parallel(
+                engine,
+                &circ,
+                &data,
+                shots,
+                derive_stream_seed(root_seed, idx),
+            )
+        };
+        CswapNoiseModel {
+            p,
+            n,
+            teleport: characterize(0, teleport_circuit(p)),
+            telegate_cnot: characterize(1, telegate_cnot_circuit(p)),
+            cat_roundtrip: characterize(2, cat_roundtrip_circuit(p)),
+            fanout: characterize(3, fanout_circuit(n.max(2), p)),
         }
     }
 }
@@ -251,6 +284,91 @@ pub fn cswap_classical_fidelity(
     matches as f64 / (inputs.len() * shots) as f64
 }
 
+/// One Fig 9b fidelity evaluation as an engine [`ShotJob`]: the shot
+/// space is `inputs × shots_per_input` (shot `s` exercises input
+/// `s / shots_per_input`), and each shot keys on whether the noisy run
+/// reproduced the ideal output bits.
+pub struct CswapFidelityJob {
+    /// The CSWAP realisation under test.
+    pub scheme: CswapScheme,
+    model: CswapNoiseModel,
+    inputs: Vec<usize>,
+    ideal: Vec<Vec<bool>>,
+    shots_per_input: u64,
+    root_seed: u64,
+}
+
+impl CswapFidelityJob {
+    /// Builds the job over `inputs` with `shots_per_input` each.
+    pub fn new(
+        scheme: CswapScheme,
+        model: CswapNoiseModel,
+        inputs: Vec<usize>,
+        shots_per_input: usize,
+        root_seed: u64,
+    ) -> Self {
+        let ideal = inputs
+            .iter()
+            .map(|&input| ideal_cswap_bits(model.n, input))
+            .collect();
+        CswapFidelityJob {
+            scheme,
+            model,
+            inputs,
+            ideal,
+            shots_per_input: shots_per_input as u64,
+            root_seed,
+        }
+    }
+
+    /// The state width this job evaluates.
+    pub fn width(&self) -> usize {
+        self.model.n
+    }
+
+    /// The classical fidelity from this job's tally.
+    pub fn fidelity(&self, tally: &std::collections::HashMap<bool, u64>) -> f64 {
+        let total: u64 = tally.values().sum();
+        *tally.get(&true).unwrap_or(&0) as f64 / total.max(1) as f64
+    }
+}
+
+impl ShotJob for CswapFidelityJob {
+    type Key = bool;
+    type Workspace = ();
+
+    fn shots(&self) -> u64 {
+        self.inputs.len() as u64 * self.shots_per_input
+    }
+    fn root_seed(&self) -> u64 {
+        self.root_seed
+    }
+    fn workspace(&self) {}
+    fn run_shot(&self, _ws: &mut (), shot: u64, rng: &mut StdRng) -> bool {
+        let which = (shot / self.shots_per_input) as usize;
+        let got = noisy_cswap_shot(self.scheme, &self.model, self.inputs[which], rng);
+        got == self.ideal[which]
+    }
+}
+
+/// Engine-parallel [`cswap_classical_fidelity`]: the `inputs × shots`
+/// grid is partitioned across the engine's workers; deterministic for a
+/// fixed `root_seed` at any thread count.
+pub fn cswap_classical_fidelity_parallel(
+    engine: &Engine,
+    scheme: CswapScheme,
+    model: &CswapNoiseModel,
+    inputs: &[usize],
+    shots: usize,
+    root_seed: u64,
+) -> f64 {
+    let job = CswapFidelityJob::new(scheme, model.clone(), inputs.to_vec(), shots, root_seed);
+    let matches = engine.run_count(job.shots(), job.root_seed(), |shot, rng| {
+        job.run_shot(&mut (), shot, rng)
+    });
+    matches as f64 / (inputs.len() * shots).max(1) as f64
+}
+
 /// One Fig 9b series: classical fidelity vs state width for one scheme
 /// and noise level.
 #[derive(Debug, Clone)]
@@ -283,6 +401,73 @@ pub fn fig9b(
                 let f = cswap_classical_fidelity(scheme, &model, &inputs, shots_per_input, rng);
                 points.push((n, f));
             }
+            let xs: Vec<f64> = points.iter().map(|&(n, _)| n as f64).collect();
+            let ys: Vec<f64> = points.iter().map(|&(_, f)| f).collect();
+            series.push(CswapFidelitySeries {
+                scheme,
+                p,
+                fit: linear_fit(&xs, &ys),
+                points,
+            });
+        }
+    }
+    series
+}
+
+/// Engine-parallel Fig 9b. Per grid point `(scheme, p, n)` the
+/// primitive characterisation runs engine-parallel, then **all** the
+/// fidelity evaluations execute as a single [`BatchRunner`] batch of
+/// [`CswapFidelityJob`]s. Point seeds (characterisation, input choice,
+/// fidelity shots) derive from `root_seed` by grid position, so the
+/// figure is deterministic at any thread count.
+pub fn fig9b_parallel(
+    engine: &Engine,
+    widths: &[usize],
+    noise_levels: &[f64],
+    characterize_shots: usize,
+    shots_per_input: usize,
+    root_seed: u64,
+) -> Vec<CswapFidelitySeries> {
+    use rand::SeedableRng;
+    let mut jobs = Vec::new();
+    for scheme in [CswapScheme::Teledata, CswapScheme::Telegate] {
+        for &p in noise_levels {
+            for &n in widths {
+                let idx = jobs.len() as u64;
+                let model = CswapNoiseModel::characterize_parallel(
+                    engine,
+                    n,
+                    p,
+                    characterize_shots,
+                    derive_stream_seed(root_seed, 3 * idx),
+                );
+                let mut input_rng =
+                    StdRng::seed_from_u64(derive_stream_seed(root_seed, 3 * idx + 1));
+                let inputs = fig9b_inputs(n, &mut input_rng);
+                jobs.push(CswapFidelityJob::new(
+                    scheme,
+                    model,
+                    inputs,
+                    shots_per_input,
+                    derive_stream_seed(root_seed, 3 * idx + 2),
+                ));
+            }
+        }
+    }
+    let tallies = BatchRunner::new(engine).run_batch(&jobs);
+
+    let mut series = Vec::new();
+    let mut cursor = 0usize;
+    for scheme in [CswapScheme::Teledata, CswapScheme::Telegate] {
+        for &p in noise_levels {
+            let points: Vec<(usize, f64)> = widths
+                .iter()
+                .map(|&n| {
+                    let f = jobs[cursor].fidelity(&tallies[cursor]);
+                    cursor += 1;
+                    (n, f)
+                })
+                .collect();
             let xs: Vec<f64> = points.iter().map(|&(n, _)| n as f64).collect();
             let ys: Vec<f64> = points.iter().map(|&(_, f)| f).collect();
             series.push(CswapFidelitySeries {
@@ -347,6 +532,45 @@ mod tests {
         assert_eq!(fig9b_inputs(1, &mut rng).len(), 8);
         assert_eq!(fig9b_inputs(3, &mut rng).len(), 128);
         assert_eq!(fig9b_inputs(4, &mut rng).len(), 300);
+    }
+
+    #[test]
+    fn parallel_fidelity_is_thread_invariant() {
+        let e4 = Engine::with_threads(4);
+        let e1 = Engine::sequential();
+        let m4 = CswapNoiseModel::characterize_parallel(&e4, 2, 0.003, 2_000, 3);
+        let m1 = CswapNoiseModel::characterize_parallel(&e1, 2, 0.003, 2_000, 3);
+        let mut rng = StdRng::seed_from_u64(1);
+        let inputs = fig9b_inputs(2, &mut rng);
+        let f4 = cswap_classical_fidelity_parallel(&e4, CswapScheme::Teledata, &m4, &inputs, 40, 7);
+        let f1 = cswap_classical_fidelity_parallel(&e1, CswapScheme::Teledata, &m1, &inputs, 40, 7);
+        assert_eq!(f4, f1, "thread count changed the result");
+        assert!((0.0..=1.0).contains(&f4));
+    }
+
+    #[test]
+    fn parallel_noiseless_fidelity_is_one() {
+        let engine = Engine::with_threads(2);
+        for scheme in [CswapScheme::Teledata, CswapScheme::Telegate] {
+            let model = CswapNoiseModel::characterize_parallel(&engine, 2, 0.0, 200, 11);
+            let mut rng = StdRng::seed_from_u64(2);
+            let inputs = fig9b_inputs(2, &mut rng);
+            let f = cswap_classical_fidelity_parallel(&engine, scheme, &model, &inputs, 5, 13);
+            assert_eq!(f, 1.0, "{scheme}");
+        }
+    }
+
+    #[test]
+    fn fig9b_parallel_shape_and_bounds() {
+        let engine = Engine::with_threads(4);
+        let series = fig9b_parallel(&engine, &[1, 2], &[0.005], 1_500, 20, 21);
+        assert_eq!(series.len(), 2);
+        for s in &series {
+            assert_eq!(s.points.len(), 2);
+            for &(_, f) in &s.points {
+                assert!((0.0..=1.0).contains(&f));
+            }
+        }
     }
 
     #[test]

@@ -16,9 +16,12 @@
 use circuit::circuit::Circuit;
 use circuit::noise::NoiseModel;
 use compas::fanout::fanout_gadget;
+use engine::{derive_stream_seed, BatchRunner, Engine, ShotJob};
+use rand::rngs::StdRng;
 use rand::Rng;
 use stabilizer::frame::FrameSimulator;
 use stabilizer::pauli::PauliString;
+use std::collections::HashMap;
 
 use crate::table_io::ResultTable;
 
@@ -60,6 +63,20 @@ pub fn fanout_error_distribution(
     let circ = noisy_fanout_circuit(targets, p);
     let data: Vec<usize> = (0..=targets).collect();
     let hist = FrameSimulator::residual_histogram(&circ, &data, shots, rng);
+    let hist64: HashMap<PauliString, u64> =
+        hist.into_iter().map(|(k, v)| (k, v as u64)).collect();
+    row_from_histogram(p, targets, shots, top, hist64)
+}
+
+/// Turns a residual-error histogram into a [`FanoutNoiseRow`] (shared by
+/// the sequential and engine paths).
+fn row_from_histogram(
+    p: f64,
+    targets: usize,
+    shots: usize,
+    top: usize,
+    hist: HashMap<PauliString, u64>,
+) -> FanoutNoiseRow {
     let identity = PauliString::identity(targets + 1);
     let identity_probability = hist.get(&identity).copied().unwrap_or(0) as f64 / shots as f64;
     let mut entries: Vec<(PauliString, f64)> = hist
@@ -67,7 +84,7 @@ pub fn fanout_error_distribution(
         .filter(|(pauli, _)| !pauli.is_identity())
         .map(|(pauli, count)| (pauli, count as f64 / shots as f64))
         .collect();
-    entries.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    entries.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
     entries.truncate(top);
     FanoutNoiseRow {
         p,
@@ -75,6 +92,67 @@ pub fn fanout_error_distribution(
         top_errors: entries,
         identity_probability,
     }
+}
+
+/// One grid point of the Table 4 workload as an engine [`ShotJob`]:
+/// each shot frame-samples the residual Pauli of the noisy Fanout,
+/// restricted to `[control, targets…]`.
+pub struct FanoutResidualJob {
+    /// Two-qubit error rate.
+    pub p: f64,
+    /// Number of Fanout targets.
+    pub targets: usize,
+    circuit: Circuit,
+    data: Vec<usize>,
+    shots: u64,
+    root_seed: u64,
+}
+
+impl FanoutResidualJob {
+    /// Builds the job for `shots` samples at `(targets, p)`.
+    pub fn new(targets: usize, p: f64, shots: usize, root_seed: u64) -> Self {
+        FanoutResidualJob {
+            p,
+            targets,
+            circuit: noisy_fanout_circuit(targets, p),
+            data: (0..=targets).collect(),
+            shots: shots as u64,
+            root_seed,
+        }
+    }
+}
+
+impl ShotJob for FanoutResidualJob {
+    type Key = PauliString;
+    type Workspace = ();
+
+    fn shots(&self) -> u64 {
+        self.shots
+    }
+    fn root_seed(&self) -> u64 {
+        self.root_seed
+    }
+    fn workspace(&self) {}
+    fn run_shot(&self, _ws: &mut (), _shot: u64, rng: &mut StdRng) -> PauliString {
+        FrameSimulator::sample_residual(&self.circuit, rng).restricted_to(&self.data)
+    }
+}
+
+/// Engine-parallel [`fanout_error_distribution`]: deterministic for a
+/// fixed `root_seed` at any thread count.
+pub fn fanout_error_distribution_parallel(
+    engine: &Engine,
+    targets: usize,
+    p: f64,
+    shots: usize,
+    top: usize,
+    root_seed: u64,
+) -> FanoutNoiseRow {
+    let job = FanoutResidualJob::new(targets, p, shots, root_seed);
+    let hist = engine.run_tally(job.shots, job.root_seed, |shot, rng| {
+        job.run_shot(&mut (), shot, rng)
+    });
+    row_from_histogram(p, targets, shots, top, hist)
 }
 
 /// Regenerates Table 4: the grid of noise levels × target counts.
@@ -91,6 +169,31 @@ pub fn table4(
         }
     }
     rows
+}
+
+/// Engine-parallel Table 4: every grid point becomes one
+/// [`FanoutResidualJob`] and the whole grid runs as a single
+/// [`BatchRunner`] batch, so all workers stay busy across the uneven
+/// points. Point seeds derive from `root_seed` by grid position.
+pub fn table4_parallel(
+    engine: &Engine,
+    noise_levels: &[f64],
+    target_counts: &[usize],
+    shots: usize,
+    root_seed: u64,
+) -> Vec<FanoutNoiseRow> {
+    let mut jobs = Vec::new();
+    for &m in target_counts {
+        for &p in noise_levels {
+            let seed = derive_stream_seed(root_seed, jobs.len() as u64);
+            jobs.push(FanoutResidualJob::new(m, p, shots, seed));
+        }
+    }
+    let tallies = BatchRunner::new(engine).run_batch(&jobs);
+    jobs.iter()
+        .zip(tallies)
+        .map(|(job, hist)| row_from_histogram(job.p, job.targets, shots, 4, hist))
+        .collect()
 }
 
 /// Formats Table 4 rows in the paper's layout.

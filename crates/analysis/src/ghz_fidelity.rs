@@ -14,11 +14,13 @@
 use circuit::circuit::Circuit;
 use circuit::noise::NoiseModel;
 use compas::ghz::{distributed_ghz, ghz_statevector};
+use engine::{derive_stream_seed, BatchRunner, Engine, ShotJob};
 use mathkit::matrix::TraceKeep;
 use mathkit::stats::{linear_fit, LinearFit};
 use network::machine::DistributedMachine;
 use network::topology::Topology;
 use qsim::density::{run_deferred, DensityMatrix};
+use rand::rngs::StdRng;
 use rand::Rng;
 use stabilizer::frame::FrameSimulator;
 use stabilizer::pauli::PauliString;
@@ -62,6 +64,72 @@ pub fn ghz_fidelity_sampled(r: usize, p: f64, shots: usize, rng: &mut impl Rng) 
         }
     }
     good as f64 / shots as f64
+}
+
+/// One Fig 9a grid point as an engine [`ShotJob`]: each shot
+/// frame-samples a residual and keys on whether it preserves the GHZ
+/// state, so the tally is the (good, bad) split.
+pub struct GhzFidelityJob {
+    /// Party count.
+    pub r: usize,
+    /// Two-qubit error rate.
+    pub p: f64,
+    circuit: Circuit,
+    data: Vec<usize>,
+    shots: u64,
+    root_seed: u64,
+}
+
+impl GhzFidelityJob {
+    /// Builds the job for `shots` trajectories at `(r, p)`.
+    pub fn new(r: usize, p: f64, shots: usize, root_seed: u64) -> Self {
+        GhzFidelityJob {
+            r,
+            p,
+            circuit: noisy_distributed_ghz_circuit(r, p),
+            data: (0..r).collect(),
+            shots: shots as u64,
+            root_seed,
+        }
+    }
+
+    /// The fidelity estimate from this job's tally.
+    pub fn fidelity(&self, tally: &std::collections::HashMap<bool, u64>) -> f64 {
+        *tally.get(&true).unwrap_or(&0) as f64 / self.shots.max(1) as f64
+    }
+}
+
+impl ShotJob for GhzFidelityJob {
+    type Key = bool;
+    type Workspace = ();
+
+    fn shots(&self) -> u64 {
+        self.shots
+    }
+    fn root_seed(&self) -> u64 {
+        self.root_seed
+    }
+    fn workspace(&self) {}
+    fn run_shot(&self, _ws: &mut (), _shot: u64, rng: &mut StdRng) -> bool {
+        let residual = FrameSimulator::sample_residual(&self.circuit, rng).restricted_to(&self.data);
+        preserves_ghz(&residual)
+    }
+}
+
+/// Engine-parallel [`ghz_fidelity_sampled`]: deterministic for a fixed
+/// `root_seed` at any thread count.
+pub fn ghz_fidelity_sampled_parallel(
+    engine: &Engine,
+    r: usize,
+    p: f64,
+    shots: usize,
+    root_seed: u64,
+) -> f64 {
+    let job = GhzFidelityJob::new(r, p, shots, root_seed);
+    let good = engine.run_count(job.shots, job.root_seed, |shot, rng| {
+        job.run_shot(&mut (), shot, rng)
+    });
+    good as f64 / shots.max(1) as f64
 }
 
 /// Exact `⟨GHZ|ρ|GHZ⟩` by deferred-measurement density-matrix evolution.
@@ -109,6 +177,48 @@ pub fn fig9a(
             let points: Vec<(usize, f64)> = parties
                 .iter()
                 .map(|&r| (r, ghz_fidelity_sampled(r, p, shots, rng)))
+                .collect();
+            let xs: Vec<f64> = points.iter().map(|&(r, _)| r as f64).collect();
+            let ys: Vec<f64> = points.iter().map(|&(_, f)| f).collect();
+            GhzFidelitySeries {
+                p,
+                points,
+                fit: linear_fit(&xs, &ys),
+            }
+        })
+        .collect()
+}
+
+/// Engine-parallel Fig 9a: the full `parties × noise_levels` grid runs
+/// as one [`BatchRunner`] batch of [`GhzFidelityJob`]s — every worker
+/// stays busy until the last point finishes, and point seeds derive from
+/// `root_seed` by grid position.
+pub fn fig9a_parallel(
+    engine: &Engine,
+    parties: &[usize],
+    noise_levels: &[f64],
+    shots: usize,
+    root_seed: u64,
+) -> Vec<GhzFidelitySeries> {
+    let mut jobs = Vec::new();
+    for &p in noise_levels {
+        for &r in parties {
+            let seed = derive_stream_seed(root_seed, jobs.len() as u64);
+            jobs.push(GhzFidelityJob::new(r, p, shots, seed));
+        }
+    }
+    let tallies = BatchRunner::new(engine).run_batch(&jobs);
+    noise_levels
+        .iter()
+        .enumerate()
+        .map(|(pi, &p)| {
+            let points: Vec<(usize, f64)> = parties
+                .iter()
+                .enumerate()
+                .map(|(ri, &r)| {
+                    let idx = pi * parties.len() + ri;
+                    (r, jobs[idx].fidelity(&tallies[idx]))
+                })
                 .collect();
             let xs: Vec<f64> = points.iter().map(|&(r, _)| r as f64).collect();
             let ys: Vec<f64> = points.iter().map(|&(_, f)| f).collect();
@@ -190,6 +300,34 @@ mod tests {
         let f_low_p = ghz_fidelity_sampled(6, 0.001, 20_000, &mut rng);
         let f_high_p = ghz_fidelity_sampled(6, 0.005, 20_000, &mut rng);
         assert!(f_high_p < f_low_p);
+    }
+
+    #[test]
+    fn parallel_fidelity_is_thread_invariant_and_matches_exact() {
+        let (r, p, shots) = (3usize, 0.01, 20_000);
+        let f4 = ghz_fidelity_sampled_parallel(&Engine::with_threads(4), r, p, shots, 5);
+        let f1 = ghz_fidelity_sampled_parallel(&Engine::sequential(), r, p, shots, 5);
+        assert_eq!(f4, f1, "thread count changed the result");
+        let exact = ghz_fidelity_exact(r, p);
+        assert!((f4 - exact).abs() < 0.015, "par {f4} vs exact {exact}");
+    }
+
+    #[test]
+    fn fig9a_parallel_matches_grid_shape() {
+        let engine = Engine::with_threads(4);
+        let series = fig9a_parallel(&engine, &[3, 4], &[0.002, 0.004], 4_000, 9);
+        assert_eq!(series.len(), 2);
+        for s in &series {
+            assert_eq!(s.points.len(), 2);
+            for &(_, f) in &s.points {
+                assert!((0.0..=1.0).contains(&f));
+            }
+        }
+        // Higher noise can only hurt at equal seeds-by-position grids.
+        let avg = |s: &GhzFidelitySeries| {
+            s.points.iter().map(|&(_, f)| f).sum::<f64>() / s.points.len() as f64
+        };
+        assert!(avg(&series[1]) <= avg(&series[0]) + 0.02);
     }
 
     #[test]

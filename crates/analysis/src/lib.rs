@@ -34,15 +34,17 @@ pub mod prelude {
         qubit_reuse_ablation, topology_ablation,
     };
     pub use crate::cswap_fidelity::{
-        cswap_classical_fidelity, fig9b, fig9b_inputs, fig9b_result, CswapFidelitySeries,
-        CswapNoiseModel,
+        cswap_classical_fidelity, cswap_classical_fidelity_parallel, fig9b, fig9b_inputs,
+        fig9b_parallel, fig9b_result, CswapFidelityJob, CswapFidelitySeries, CswapNoiseModel,
     };
     pub use crate::distillation_codes::{catalog, DistillationCode};
     pub use crate::fanout_noise::{
-        fanout_error_distribution, table4, table4_result, FanoutNoiseRow,
+        fanout_error_distribution, fanout_error_distribution_parallel, table4, table4_parallel,
+        table4_result, FanoutNoiseRow, FanoutResidualJob,
     };
     pub use crate::ghz_fidelity::{
-        fig9a, fig9a_result, ghz_fidelity_exact, ghz_fidelity_sampled, GhzFidelitySeries,
+        fig9a, fig9a_parallel, fig9a_result, ghz_fidelity_exact, ghz_fidelity_sampled,
+        ghz_fidelity_sampled_parallel, GhzFidelityJob, GhzFidelitySeries,
     };
     pub use crate::network_bounds::{
         fig10, fig10_result, k_upper_bound, remote_cnot_fidelity, remote_toffoli_fidelity,

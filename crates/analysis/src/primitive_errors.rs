@@ -10,6 +10,7 @@
 
 use circuit::circuit::Circuit;
 use circuit::noise::NoiseModel;
+use engine::Engine;
 use network::teleop;
 use rand::Rng;
 use stabilizer::frame::FrameSimulator;
@@ -38,8 +39,10 @@ impl PauliErrorSampler {
             .into_iter()
             .map(|(p, c)| (p, c as f64 / total as f64))
             .collect();
-        // Most probable first keeps expected lookup short.
-        entries.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        // Most probable first keeps expected lookup short; ties break on
+        // the pattern so the cumulative order — and therefore the exact
+        // draw for a given RNG stream — never depends on hash order.
+        entries.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then_with(|| a.0.cmp(&b.0)));
         let error_rate = entries
             .iter()
             .filter(|(p, _)| !p.is_identity())
@@ -72,6 +75,24 @@ impl PauliErrorSampler {
         Self::from_histogram(hist, data_qubits.len())
     }
 
+    /// Engine-parallel [`PauliErrorSampler::from_circuit`]: the `shots`
+    /// frame samples are partitioned across the engine's workers on
+    /// deterministic per-shot seed streams rooted at `root_seed`.
+    pub fn from_circuit_parallel(
+        engine: &Engine,
+        circuit: &Circuit,
+        data_qubits: &[usize],
+        shots: usize,
+        root_seed: u64,
+    ) -> Self {
+        let tally = engine.run_tally(shots as u64, root_seed, |_, rng| {
+            FrameSimulator::sample_residual(circuit, rng).restricted_to(data_qubits)
+        });
+        let hist: HashMap<PauliString, usize> =
+            tally.into_iter().map(|(p, c)| (p, c as usize)).collect();
+        Self::from_histogram(hist, data_qubits.len())
+    }
+
     /// Number of qubits a sample covers.
     pub fn width(&self) -> usize {
         self.width
@@ -94,48 +115,71 @@ impl PauliErrorSampler {
     }
 }
 
-/// Characterises one state teleportation (Fig 1a) including Bell-pair
-/// preparation: the returned sampler covers the **destination qubit**.
-pub fn teleport_sampler(p: f64, shots: usize, rng: &mut impl Rng) -> PauliErrorSampler {
-    // Register: 0 = src, 1 = ebit_src, 2 = dst.
+/// The noisy teleportation characterisation circuit and its data qubits
+/// (the destination). Register: 0 = src, 1 = ebit_src, 2 = dst.
+pub fn teleport_circuit(p: f64) -> (Circuit, Vec<usize>) {
     let mut c = Circuit::new(3, 2);
     teleop::prepare_bell(&mut c, 1, 2);
     teleop::teledata(&mut c, 0, 1, 2, 0, 1);
-    let noisy = NoiseModel::standard(p).apply(&c);
-    PauliErrorSampler::from_circuit(&noisy, &[2], shots, rng)
+    (NoiseModel::standard(p).apply(&c), vec![2])
 }
 
-/// Characterises one telegate CNOT (Fig 1b) including Bell-pair
-/// preparation: the sampler covers `(control, target)`.
-pub fn telegate_cnot_sampler(p: f64, shots: usize, rng: &mut impl Rng) -> PauliErrorSampler {
-    // Register: 0 = control, 1 = target, 2 = ebit_ctl, 3 = ebit_tgt.
+/// The noisy telegate-CNOT characterisation circuit and its data qubits
+/// `(control, target)`. Register: 0 = control, 1 = target, 2 = ebit_ctl,
+/// 3 = ebit_tgt.
+pub fn telegate_cnot_circuit(p: f64) -> (Circuit, Vec<usize>) {
     let mut c = Circuit::new(4, 2);
     teleop::prepare_bell(&mut c, 2, 3);
     teleop::telegate_cx(&mut c, 0, 1, 2, 3, 0, 1);
-    let noisy = NoiseModel::standard(p).apply(&c);
-    PauliErrorSampler::from_circuit(&noisy, &[0, 1], shots, rng)
+    (NoiseModel::standard(p).apply(&c), vec![0, 1])
 }
 
-/// Characterises the cat-copy/uncopy round trip used by the teleported
-/// Toffoli (Fig 6d), excluding the local CCZ itself (which is simulated
-/// explicitly): the sampler covers the **remote data qubit**.
-pub fn cat_roundtrip_sampler(p: f64, shots: usize, rng: &mut impl Rng) -> PauliErrorSampler {
-    // Register: 0 = src (remote data), 1 = ebit_src, 2 = ebit_dst (copy).
+/// The noisy cat-copy/uncopy round-trip characterisation circuit and its
+/// data qubit (the remote data qubit). Register: 0 = src (remote data),
+/// 1 = ebit_src, 2 = ebit_dst (copy).
+pub fn cat_roundtrip_circuit(p: f64) -> (Circuit, Vec<usize>) {
     let mut c = Circuit::new(3, 2);
     teleop::prepare_bell(&mut c, 1, 2);
     c.h(0);
     teleop::cat_copy(&mut c, 0, 1, 2, 0);
     teleop::cat_uncopy(&mut c, 2, 0, 1);
     c.h(0);
-    let noisy = NoiseModel::standard(p).apply(&c);
-    PauliErrorSampler::from_circuit(&noisy, &[0], shots, rng)
+    (NoiseModel::standard(p).apply(&c), vec![0])
+}
+
+/// The noisy constant-depth Fanout characterisation circuit over `m`
+/// targets and its data qubits `[control, t_1…t_m]`.
+pub fn fanout_circuit(m: usize, p: f64) -> (Circuit, Vec<usize>) {
+    let circ = crate::fanout_noise::noisy_fanout_circuit(m, p);
+    (circ, (0..=m).collect())
+}
+
+/// Characterises one state teleportation (Fig 1a) including Bell-pair
+/// preparation: the returned sampler covers the **destination qubit**.
+pub fn teleport_sampler(p: f64, shots: usize, rng: &mut impl Rng) -> PauliErrorSampler {
+    let (noisy, data) = teleport_circuit(p);
+    PauliErrorSampler::from_circuit(&noisy, &data, shots, rng)
+}
+
+/// Characterises one telegate CNOT (Fig 1b) including Bell-pair
+/// preparation: the sampler covers `(control, target)`.
+pub fn telegate_cnot_sampler(p: f64, shots: usize, rng: &mut impl Rng) -> PauliErrorSampler {
+    let (noisy, data) = telegate_cnot_circuit(p);
+    PauliErrorSampler::from_circuit(&noisy, &data, shots, rng)
+}
+
+/// Characterises the cat-copy/uncopy round trip used by the teleported
+/// Toffoli (Fig 6d), excluding the local CCZ itself (which is simulated
+/// explicitly): the sampler covers the **remote data qubit**.
+pub fn cat_roundtrip_sampler(p: f64, shots: usize, rng: &mut impl Rng) -> PauliErrorSampler {
+    let (noisy, data) = cat_roundtrip_circuit(p);
+    PauliErrorSampler::from_circuit(&noisy, &data, shots, rng)
 }
 
 /// Characterises the constant-depth Fanout over `m` targets: the sampler
 /// covers `[control, t_1…t_m]`. (Identical to the Table 4 distribution.)
 pub fn fanout_sampler(m: usize, p: f64, shots: usize, rng: &mut impl Rng) -> PauliErrorSampler {
-    let circ = crate::fanout_noise::noisy_fanout_circuit(m, p);
-    let data: Vec<usize> = (0..=m).collect();
+    let (circ, data) = fanout_circuit(m, p);
     PauliErrorSampler::from_circuit(&circ, &data, shots, rng)
 }
 

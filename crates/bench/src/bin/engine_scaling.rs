@@ -1,0 +1,78 @@
+//! Criterion-free micro-benchmark of the shot-execution engine: prints
+//! shots/sec on the Table 4 workload (residual-error sampling of the
+//! noisy constant-depth Fanout, m = 6 targets, p = 3e-3) for the
+//! sequential reference path and for the engine at 1, 2, 4, … threads,
+//! plus the parallel speedup. The numbers are the perf baseline future
+//! PRs record in `BENCH_*.json`.
+//!
+//! Run with: `cargo run --release --bin engine_scaling [--quick]`
+
+use analysis::fanout_noise::{fanout_error_distribution, FanoutResidualJob};
+use analysis::table_io::ResultTable;
+use bench::Scale;
+use engine::{BatchRunner, Engine};
+use std::time::Instant;
+
+fn main() {
+    let scale = Scale::from_env();
+    let shots = scale.pick(200_000, 20_000);
+    let (targets, p) = (6usize, 0.003);
+
+    // Sequential reference: the pre-engine single-RNG loop.
+    let mut rng = bench::bench_rng();
+    let t0 = Instant::now();
+    let row = fanout_error_distribution(targets, p, shots, 4, &mut rng);
+    let seq_secs = t0.elapsed().as_secs_f64();
+    let seq_rate = shots as f64 / seq_secs;
+    assert!(row.identity_probability > 0.0);
+
+    let mut t = ResultTable::new(
+        "Engine scaling on the Table 4 workload",
+        &["path", "threads", "shots", "secs", "shots_per_sec", "speedup"],
+    );
+    t.push_row(vec![
+        "sequential".into(),
+        "1".into(),
+        shots.to_string(),
+        format!("{seq_secs:.3}"),
+        format!("{seq_rate:.0}"),
+        "1.00".into(),
+    ]);
+
+    let max_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut threads = 1usize;
+    let mut measured: Vec<(usize, f64)> = Vec::new();
+    loop {
+        let engine = Engine::with_threads(threads);
+        let job = FanoutResidualJob::new(targets, p, shots, bench::ROOT_SEED);
+        let t0 = Instant::now();
+        let tallies = BatchRunner::new(&engine).run_batch(std::slice::from_ref(&job));
+        let secs = t0.elapsed().as_secs_f64();
+        let total: u64 = tallies[0].values().sum();
+        assert_eq!(total, shots as u64);
+        let rate = shots as f64 / secs;
+        measured.push((threads, rate));
+        t.push_row(vec![
+            "engine".into(),
+            threads.to_string(),
+            shots.to_string(),
+            format!("{secs:.3}"),
+            format!("{rate:.0}"),
+            format!("{:.2}", rate / seq_rate),
+        ]);
+        if threads >= max_threads {
+            break;
+        }
+        threads = (threads * 2).min(max_threads);
+    }
+    bench::emit(&t);
+
+    if let Some(&(n, rate)) = measured.iter().find(|&&(n, _)| n >= 4) {
+        println!(
+            "speedup at {n} threads: {:.2}x over the sequential path",
+            rate / seq_rate
+        );
+    }
+}

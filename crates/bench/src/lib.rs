@@ -5,6 +5,7 @@
 //! match the paper's settings (e.g. 100 000 shots for Table 4).
 
 use analysis::table_io::{default_results_dir, ResultTable};
+use engine::Engine;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -40,9 +41,22 @@ impl Scale {
     }
 }
 
-/// The deterministic RNG used by all binaries.
+/// The root seed shared by all binaries; per-job streams derive from it
+/// via `engine::derive_stream_seed`.
+pub const ROOT_SEED: u64 = 0xC0_45;
+
+/// The deterministic RNG used by the remaining sequential paths.
 pub fn bench_rng() -> StdRng {
-    StdRng::seed_from_u64(0xC0_45)
+    StdRng::seed_from_u64(ROOT_SEED)
+}
+
+/// The shot-execution engine every binary samples through, configured
+/// from `COMPAS_THREADS` / `--threads N` / `COMPAS_CHUNK` (defaults to
+/// all available cores).
+pub fn bench_engine() -> Engine {
+    let engine = Engine::from_env();
+    eprintln!("[engine] {} worker thread(s)", engine.threads());
+    engine
 }
 
 /// Prints a result table and persists its CSV under `results/`.

@@ -37,6 +37,39 @@ impl TraceEstimate {
         }
     }
 
+    /// Builds the estimate from odd-parity *counts* — the form the
+    /// parallel engine path tallies. Equivalent to
+    /// [`TraceEstimate::from_parity_samples`] on the corresponding ±1
+    /// sample vectors: for samples in {−1, +1} with mean `m`, the
+    /// unbiased standard error closes to `√((1 − m²)/(n − 1))`.
+    pub fn from_parity_counts(
+        re_odd: u64,
+        re_shots: u64,
+        im_odd: u64,
+        im_shots: u64,
+    ) -> Self {
+        let channel = |odd: u64, shots: u64| -> (f64, f64) {
+            if shots == 0 {
+                return (0.0, 0.0);
+            }
+            let mean = 1.0 - 2.0 * odd as f64 / shots as f64;
+            if shots < 2 {
+                return (mean, 0.0);
+            }
+            let err = ((1.0 - mean * mean).max(0.0) / (shots - 1) as f64).sqrt();
+            (mean, err)
+        };
+        let (re, re_std_err) = channel(re_odd, re_shots);
+        let (im, im_std_err) = channel(im_odd, im_shots);
+        TraceEstimate {
+            re,
+            im,
+            re_std_err,
+            im_std_err,
+            shots: re_shots.min(im_shots) as usize,
+        }
+    }
+
     /// The estimate as a complex number.
     pub fn value(&self) -> Complex {
         c64(self.re, self.im)
@@ -108,6 +141,26 @@ pub trait TraceBackend {
         shots: usize,
         rng: &mut dyn rand::RngCore,
     ) -> TraceEstimate;
+
+    /// Estimates `tr(ρ₁…ρ_k)` with the shots partitioned across
+    /// `engine`'s worker pool under deterministic per-shot seed streams
+    /// rooted at `root_seed`.
+    ///
+    /// The default implementation falls back to the sequential
+    /// [`TraceBackend::estimate_trace`] on a seeded RNG, so exact and
+    /// custom backends work unchanged; the shot-based protocol backends
+    /// override it with a genuinely parallel path.
+    fn estimate_trace_parallel(
+        &self,
+        states: &[Matrix],
+        shots: usize,
+        _engine: &engine::Engine,
+        root_seed: u64,
+    ) -> TraceEstimate {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(root_seed);
+        self.estimate_trace(states, shots, &mut rng)
+    }
 }
 
 /// A backend that evaluates traces exactly by linear algebra — the
@@ -214,6 +267,20 @@ mod tests {
         assert!(e.im.abs() < 1e-12);
         assert!(e.re_std_err > 0.0 && e.im_std_err > 0.0);
         assert_eq!(e.shots, 100);
+    }
+
+    #[test]
+    fn parity_counts_match_parity_samples() {
+        // 100 samples, 25 odd in re, 50 odd in im.
+        let re: Vec<f64> = (0..100).map(|i| if i % 4 == 0 { -1.0 } else { 1.0 }).collect();
+        let im: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { -1.0 } else { 1.0 }).collect();
+        let from_samples = TraceEstimate::from_parity_samples(&re, &im);
+        let from_counts = TraceEstimate::from_parity_counts(25, 100, 50, 100);
+        assert!((from_samples.re - from_counts.re).abs() < 1e-12);
+        assert!((from_samples.im - from_counts.im).abs() < 1e-12);
+        assert!((from_samples.re_std_err - from_counts.re_std_err).abs() < 1e-12);
+        assert!((from_samples.im_std_err - from_counts.im_std_err).abs() < 1e-12);
+        assert_eq!(from_samples.shots, from_counts.shots);
     }
 
     #[test]

@@ -22,12 +22,13 @@
 
 use circuit::circuit::{Circuit, Instruction};
 use circuit::gate::{Gate, Qubit};
+use engine::{derive_stream_seed, Engine};
 use mathkit::matrix::Matrix;
 use network::ledger::ResourceLedger;
 use network::machine::DistributedMachine;
 use network::topology::Topology;
 use qsim::qrand::PureEnsemble;
-use qsim::runner::run_shot;
+use qsim::runner::{run_shot, run_shot_into};
 use qsim::statevector::StateVector;
 use rand::Rng;
 
@@ -168,6 +169,47 @@ impl ProtocolCircuits {
             }
         }
         est.finish()
+    }
+
+    /// Engine-parallel counterpart of [`ProtocolCircuits::estimate`]:
+    /// the two measurement channels run on decorrelated seed streams
+    /// (`derive_stream_seed(root_seed, channel)`), each shot samples the
+    /// input ensembles and plays the circuit on its own RNG stream, and
+    /// workers reuse statevector buffers across shots. Deterministic for
+    /// a fixed `root_seed` at any thread count.
+    fn estimate_with_engine(
+        &self,
+        states: &[Matrix],
+        shots: usize,
+        engine: &Engine,
+        root_seed: u64,
+    ) -> TraceEstimate {
+        assert_eq!(states.len(), self.state_qubits.len(), "need k states");
+        let ensembles: Vec<PureEnsemble> = states.iter().map(PureEnsemble::from_density).collect();
+        let mut odd = [0u64; 2];
+        for (channel, odd_count) in odd.iter_mut().enumerate() {
+            let circ = if channel == 0 {
+                &self.circuit_re
+            } else {
+                &self.circuit_im
+            };
+            *odd_count = engine.run_count_with(
+                shots as u64,
+                derive_stream_seed(root_seed, channel as u64),
+                || (StateVector::new(circ.num_qubits()), Vec::new()),
+                |(state, cbits), _shot, rng| {
+                    let groups: Vec<(Vec<mathkit::complex::Complex>, Vec<usize>)> = ensembles
+                        .iter()
+                        .zip(&self.state_qubits)
+                        .map(|(ens, qs)| (ens.sample(rng).to_vec(), qs.clone()))
+                        .collect();
+                    let initial = StateVector::product_state(circ.num_qubits(), &groups);
+                    run_shot_into(circ, &initial, state, cbits, rng);
+                    self.ghz_cbits.iter().fold(false, |acc, &c| acc ^ cbits[c])
+                },
+            );
+        }
+        TraceEstimate::from_parity_counts(odd[0], shots as u64, odd[1], shots as u64)
     }
 }
 
@@ -385,6 +427,20 @@ impl MonolithicSwapTest {
     pub fn estimate(&self, states: &[Matrix], shots: usize, rng: &mut impl Rng) -> TraceEstimate {
         self.circuits.estimate(states, shots, rng)
     }
+
+    /// Engine-parallel [`MonolithicSwapTest::estimate`]: shots are
+    /// partitioned across the engine's workers on deterministic
+    /// per-shot seed streams rooted at `root_seed`.
+    pub fn estimate_parallel(
+        &self,
+        states: &[Matrix],
+        shots: usize,
+        engine: &Engine,
+        root_seed: u64,
+    ) -> TraceEstimate {
+        self.circuits
+            .estimate_with_engine(states, shots, engine, root_seed)
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -464,6 +520,18 @@ impl HadamardTestSwapTest {
     pub fn estimate(&self, states: &[Matrix], shots: usize, rng: &mut impl Rng) -> TraceEstimate {
         self.circuits.estimate(states, shots, rng)
     }
+
+    /// Engine-parallel [`HadamardTestSwapTest::estimate`].
+    pub fn estimate_parallel(
+        &self,
+        states: &[Matrix],
+        shots: usize,
+        engine: &Engine,
+        root_seed: u64,
+    ) -> TraceEstimate {
+        self.circuits
+            .estimate_with_engine(states, shots, engine, root_seed)
+    }
 }
 
 impl TraceBackend for HadamardTestSwapTest {
@@ -482,6 +550,16 @@ impl TraceBackend for HadamardTestSwapTest {
         rng: &mut dyn rand::RngCore,
     ) -> TraceEstimate {
         self.estimate(states, shots, &mut RngShim(rng))
+    }
+
+    fn estimate_trace_parallel(
+        &self,
+        states: &[Matrix],
+        shots: usize,
+        engine: &Engine,
+        root_seed: u64,
+    ) -> TraceEstimate {
+        self.estimate_parallel(states, shots, engine, root_seed)
     }
 }
 
@@ -633,6 +711,19 @@ impl CompasProtocol {
     pub fn estimate(&self, states: &[Matrix], shots: usize, rng: &mut impl Rng) -> TraceEstimate {
         self.circuits.estimate(states, shots, rng)
     }
+
+    /// Engine-parallel [`CompasProtocol::estimate`]: the production path
+    /// for paper-scale shot counts.
+    pub fn estimate_parallel(
+        &self,
+        states: &[Matrix],
+        shots: usize,
+        engine: &Engine,
+        root_seed: u64,
+    ) -> TraceEstimate {
+        self.circuits
+            .estimate_with_engine(states, shots, engine, root_seed)
+    }
 }
 
 /// Adapts an unsized `&mut dyn RngCore` into a sized `Rng` receiver.
@@ -667,6 +758,16 @@ impl TraceBackend for MonolithicSwapTest {
     ) -> TraceEstimate {
         self.estimate(states, shots, &mut RngShim(rng))
     }
+
+    fn estimate_trace_parallel(
+        &self,
+        states: &[Matrix],
+        shots: usize,
+        engine: &Engine,
+        root_seed: u64,
+    ) -> TraceEstimate {
+        self.estimate_parallel(states, shots, engine, root_seed)
+    }
 }
 
 impl TraceBackend for CompasProtocol {
@@ -685,6 +786,16 @@ impl TraceBackend for CompasProtocol {
         rng: &mut dyn rand::RngCore,
     ) -> TraceEstimate {
         self.estimate(states, shots, &mut RngShim(rng))
+    }
+
+    fn estimate_trace_parallel(
+        &self,
+        states: &[Matrix],
+        shots: usize,
+        engine: &Engine,
+        root_seed: u64,
+    ) -> TraceEstimate {
+        self.estimate_parallel(states, shots, engine, root_seed)
     }
 }
 
@@ -779,6 +890,19 @@ mod tests {
         let test = MonolithicSwapTest::new(3, 1, MonolithicVariant::Fanout);
         let e = test.estimate(&states, 4000, &mut rng);
         assert_estimates_trace(e, exact);
+    }
+
+    #[test]
+    fn parallel_estimate_matches_exact_and_is_thread_invariant() {
+        let mut rng = StdRng::seed_from_u64(104);
+        let states: Vec<Matrix> = (0..3).map(|_| random_pure_density(1, &mut rng)).collect();
+        let exact = exact_multivariate_trace(&states);
+        let proto = CompasProtocol::new(3, 1, CswapScheme::Teledata);
+        let par = proto.estimate_parallel(&states, 600, &Engine::with_threads(4), 77);
+        assert_estimates_trace(par, exact);
+        // Byte-identical across thread counts for a fixed root seed.
+        let seq = proto.estimate_parallel(&states, 600, &Engine::sequential(), 77);
+        assert_eq!(par, seq);
     }
 
     #[test]

@@ -1,0 +1,91 @@
+//! Engine configuration from code, environment, and CLI.
+
+/// How an [`crate::Engine`] partitions and parallelises work.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Worker threads. `1` runs inline on the calling thread.
+    pub threads: usize,
+    /// Shots per work unit claimed from the shared cursor. Small enough
+    /// to balance load, large enough to amortise the atomic claim.
+    pub chunk_size: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            chunk_size: 256,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// A single-threaded configuration (the sequential reference path).
+    pub fn single_threaded() -> Self {
+        EngineConfig {
+            threads: 1,
+            ..Self::default()
+        }
+    }
+
+    /// Exactly `threads` workers with the default chunk size.
+    pub fn with_threads(threads: usize) -> Self {
+        EngineConfig {
+            threads: threads.max(1),
+            ..Self::default()
+        }
+    }
+
+    /// Reads the configuration from the process environment and CLI:
+    /// `COMPAS_THREADS` / `--threads N` set the worker count,
+    /// `COMPAS_CHUNK` the chunk size. Unset or unparsable values fall
+    /// back to the defaults.
+    pub fn from_env() -> Self {
+        let mut cfg = Self::default();
+        if let Some(n) = env_usize("COMPAS_THREADS") {
+            cfg.threads = n.max(1);
+        }
+        if let Some(n) = cli_threads() {
+            cfg.threads = n.max(1);
+        }
+        if let Some(n) = env_usize("COMPAS_CHUNK") {
+            cfg.chunk_size = (n as u64).max(1);
+        }
+        cfg
+    }
+}
+
+fn env_usize(key: &str) -> Option<usize> {
+    std::env::var(key).ok()?.trim().parse().ok()
+}
+
+/// Parses `--threads N` or `--threads=N` from the process arguments.
+fn cli_threads() -> Option<usize> {
+    let args: Vec<String> = std::env::args().collect();
+    for (i, arg) in args.iter().enumerate() {
+        if let Some(v) = arg.strip_prefix("--threads=") {
+            return v.parse().ok();
+        }
+        if arg == "--threads" {
+            return args.get(i + 1)?.parse().ok();
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let cfg = EngineConfig::default();
+        assert!(cfg.threads >= 1);
+        assert!(cfg.chunk_size >= 1);
+        assert_eq!(EngineConfig::single_threaded().threads, 1);
+        assert_eq!(EngineConfig::with_threads(0).threads, 1);
+        assert_eq!(EngineConfig::with_threads(8).threads, 8);
+    }
+}

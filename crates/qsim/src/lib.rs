@@ -37,6 +37,8 @@ pub mod prelude {
         random_density_matrix, random_density_matrix_of_rank, random_pauli_on, random_pure_state,
         PureEnsemble,
     };
-    pub use crate::runner::{run_shot, run_unitary, sample_shots, ShotOutcome};
+    pub use crate::runner::{
+        pack_cbits, run_shot, run_shot_into, run_unitary, sample_shots, ShotOutcome,
+    };
     pub use crate::statevector::StateVector;
 }

@@ -19,11 +19,10 @@
 //! ```
 
 use circuit::circuit::{Circuit, Instruction};
-use qrand::random_pauli_on;
 use rand::Rng;
 use std::collections::HashMap;
 
-use crate::qrand;
+use crate::qrand::random_pauli_on;
 use crate::statevector::StateVector;
 
 /// Result of playing a circuit once.
@@ -38,10 +37,7 @@ pub struct ShotOutcome {
 impl ShotOutcome {
     /// Packs the classical bits into an integer, bit 0 least significant.
     pub fn cbits_as_usize(&self) -> usize {
-        self.cbits
-            .iter()
-            .enumerate()
-            .fold(0, |acc, (i, &b)| acc | (usize::from(b) << i))
+        pack_cbits(&self.cbits)
     }
 }
 
@@ -52,14 +48,41 @@ impl ShotOutcome {
 ///
 /// Panics if the circuit needs more qubits than `initial` has.
 pub fn run_shot(circuit: &Circuit, initial: &StateVector, rng: &mut impl Rng) -> ShotOutcome {
+    // Seed the scratch with the trivial state; run_shot_into's copy_from
+    // performs the single real copy of `initial`.
+    let mut state = StateVector::new(0);
+    let mut cbits = Vec::new();
+    run_shot_into(circuit, initial, &mut state, &mut cbits, rng);
+    ShotOutcome { state, cbits }
+}
+
+/// Allocation-free variant of [`run_shot`]: plays `circuit` once into
+/// caller-owned buffers, so hot loops (and the `engine` crate's
+/// per-worker state reuse) avoid a statevector allocation per shot.
+///
+/// `state` is overwritten with a copy of `initial` (reusing its
+/// allocation when the sizes match) and then evolved; `cbits` is resized
+/// to the circuit's classical register and cleared.
+///
+/// # Panics
+///
+/// Panics if the circuit needs more qubits than `initial` has.
+pub fn run_shot_into(
+    circuit: &Circuit,
+    initial: &StateVector,
+    state: &mut StateVector,
+    cbits: &mut Vec<bool>,
+    rng: &mut impl Rng,
+) {
     assert!(
         circuit.num_qubits() <= initial.num_qubits(),
         "circuit needs {} qubits but the state has {}",
         circuit.num_qubits(),
         initial.num_qubits()
     );
-    let mut state = initial.clone();
-    let mut cbits = vec![false; circuit.num_cbits()];
+    state.copy_from(initial);
+    cbits.clear();
+    cbits.resize(circuit.num_cbits(), false);
     for instr in circuit.instructions() {
         match instr {
             Instruction::Gate(g) => state.apply_gate(g),
@@ -89,11 +112,25 @@ pub fn run_shot(circuit: &Circuit, initial: &StateVector, rng: &mut impl Rng) ->
             }
         }
     }
-    ShotOutcome { state, cbits }
+}
+
+/// Packs a classical register into an integer, bit 0 least significant —
+/// the histogram key convention shared with [`ShotOutcome::cbits_as_usize`].
+pub fn pack_cbits(cbits: &[bool]) -> usize {
+    cbits
+        .iter()
+        .enumerate()
+        .fold(0, |acc, (i, &b)| acc | (usize::from(b) << i))
 }
 
 /// Runs `shots` repetitions and histograms the classical register,
 /// keyed by the packed integer of [`ShotOutcome::cbits_as_usize`].
+///
+/// This is the **single-threaded reference path**: one RNG stream drives
+/// every shot in order, with per-shot state buffers reused. Production
+/// sampling workloads should go through the `engine` crate
+/// (`engine::ShotPlan` / `engine::BatchRunner`), which partitions shots
+/// across a worker pool with deterministic per-shot seed streams.
 pub fn sample_shots(
     circuit: &Circuit,
     initial: &StateVector,
@@ -101,9 +138,11 @@ pub fn sample_shots(
     rng: &mut impl Rng,
 ) -> HashMap<usize, usize> {
     let mut counts = HashMap::new();
+    let mut state = initial.clone();
+    let mut cbits = Vec::new();
     for _ in 0..shots {
-        let outcome = run_shot(circuit, initial, rng);
-        *counts.entry(outcome.cbits_as_usize()).or_insert(0) += 1;
+        run_shot_into(circuit, initial, &mut state, &mut cbits, rng);
+        *counts.entry(pack_cbits(&cbits)).or_insert(0) += 1;
     }
     counts
 }

@@ -118,6 +118,16 @@ impl StateVector {
         sv
     }
 
+    /// Overwrites this state with a copy of `other`, reusing the
+    /// existing amplitude allocation when capacities allow — the
+    /// buffer-reuse primitive behind `runner::run_shot_into` and the
+    /// engine crate's per-worker scratch states.
+    pub fn copy_from(&mut self, other: &StateVector) {
+        self.num_qubits = other.num_qubits;
+        self.amps.clear();
+        self.amps.extend_from_slice(&other.amps);
+    }
+
     /// Number of qubits.
     pub fn num_qubits(&self) -> usize {
         self.num_qubits

@@ -18,7 +18,7 @@ use std::fmt;
 use std::str::FromStr;
 
 /// A single-qubit Pauli operator, phase-free.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
 pub enum Pauli {
     /// Identity.
     #[default]
@@ -67,7 +67,7 @@ impl Pauli {
 ///
 /// Qubit 0 is written first in the string form, matching the paper's
 /// convention of listing the control qubit leftmost in Table 4.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct PauliString {
     x: Vec<bool>,
     z: Vec<bool>,

@@ -1,0 +1,18 @@
+//! Workspace root crate: re-exports every layer of the COMPAS
+//! reproduction so the integration tests under `tests/` and the
+//! walkthroughs under `examples/` build against one package.
+//!
+//! The layers, bottom-up: [`mathkit`] (numerics) → [`circuit`] (IR) →
+//! [`qsim`]/[`stabilizer`] (simulators) → [`engine`] (parallel shot
+//! execution) → [`network`] (distributed substrate) → [`compas`] (the
+//! protocol) → [`analysis`]/[`apps`] (evaluation and applications).
+
+pub use analysis;
+pub use apps;
+pub use circuit;
+pub use compas;
+pub use engine;
+pub use mathkit;
+pub use network;
+pub use qsim;
+pub use stabilizer;
