@@ -20,8 +20,8 @@ use circuit::noise::NoiseModel;
 use compas::cswap::CswapScheme;
 use compas::fanout::{fanout_cascade, fanout_gadget};
 use compas::swap_test::{cswap_schedule, interleaved_order, CompasProtocol};
+use engine::Executor;
 use network::topology::Topology;
-use rand::Rng;
 use stabilizer::frame::FrameSimulator;
 
 use crate::table_io::ResultTable;
@@ -83,12 +83,12 @@ pub fn ordering_ablation(ks: &[usize], n: usize) -> ResultTable {
 }
 
 /// Depth and residual-error-rate comparison of the constant-depth Fanout
-/// gadget against the CNOT cascade at equal noise.
+/// gadget against the CNOT cascade at equal noise, sampled under `exec`.
 pub fn fanout_ablation(
+    exec: &Executor,
     target_counts: &[usize],
     p: f64,
     shots: usize,
-    rng: &mut impl Rng,
 ) -> ResultTable {
     let mut t = ResultTable::new(
         "Ablation fanout vs cascade",
@@ -110,16 +110,18 @@ pub fn fanout_ablation(
         let mut cascade = Circuit::new(1 + m, 0);
         fanout_cascade(&mut cascade, 0, &targets);
 
-        let err_rate = |circ: &Circuit, data: &[usize], rng: &mut dyn rand::RngCore| {
+        let err_rate = |circ: &Circuit, data: &[usize], child: &Executor| {
             let noisy = NoiseModel::standard(p).apply(circ);
-            let mut shim = crate::primitive_errors::dyn_rng(rng);
-            let hist = FrameSimulator::residual_histogram(&noisy, data, shots, &mut shim);
-            let id = stabilizer::pauli::PauliString::identity(data.len());
-            1.0 - hist.get(&id).copied().unwrap_or(0) as f64 / shots as f64
+            let good = child.run_count(shots as u64, |_, rng| {
+                FrameSimulator::sample_residual(&noisy, rng)
+                    .restricted_to(data)
+                    .is_identity()
+            });
+            1.0 - good as f64 / shots as f64
         };
         let data: Vec<usize> = (0..=m).collect();
-        let ge = err_rate(&gadget, &data, rng);
-        let ce = err_rate(&cascade, &data, rng);
+        let ge = err_rate(&gadget, &data, &exec.derive(2 * m as u64));
+        let ce = err_rate(&cascade, &data, &exec.derive(2 * m as u64 + 1));
         t.push_row(vec![
             m.to_string(),
             gadget.depth().to_string(),
@@ -232,8 +234,6 @@ pub fn topology_ablation(k: usize, n: usize) -> ResultTable {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn interleaving_is_strictly_cheaper_than_natural_order() {
@@ -263,8 +263,7 @@ mod tests {
     fn gadget_depth_beats_cascade_beyond_the_crossover() {
         // The gadget's ~9-moment constant cost crosses the cascade's
         // linear depth between m = 8 and m = 16.
-        let mut rng = StdRng::seed_from_u64(1);
-        let t = fanout_ablation(&[8, 16, 32], 0.003, 4_000, &mut rng);
+        let t = fanout_ablation(&Executor::sequential(1), &[8, 16, 32], 0.003, 4_000);
         let depth = |row: &Vec<String>, col: usize| row[col].parse::<usize>().unwrap();
         // At m = 16 and 32 the gadget wins.
         assert!(depth(&t.rows[1], 1) < depth(&t.rows[1], 2));

@@ -16,15 +16,14 @@
 //! `2^(2n+1)` basis states when that is ≤ 300, else 300 random ones.
 
 use compas::cswap::CswapScheme;
-use engine::{derive_stream_seed, BatchRunner, Engine, ShotJob};
+use engine::{Executor, ShotJob};
 use mathkit::stats::linear_fit;
 use rand::rngs::StdRng;
 use rand::Rng;
 use stabilizer::pauli::PauliString;
 
 use crate::primitive_errors::{
-    cat_roundtrip_circuit, cat_roundtrip_sampler, fanout_circuit, fanout_sampler,
-    telegate_cnot_circuit, telegate_cnot_sampler, teleport_circuit, teleport_sampler,
+    cat_roundtrip_circuit, fanout_circuit, telegate_cnot_circuit, teleport_circuit,
     PauliErrorSampler,
 };
 use crate::table_io::ResultTable;
@@ -44,37 +43,13 @@ pub struct CswapNoiseModel {
 }
 
 impl CswapNoiseModel {
-    /// Frame-samples every primitive once (`shots` trajectories each).
-    pub fn characterize(n: usize, p: f64, shots: usize, rng: &mut impl Rng) -> Self {
-        CswapNoiseModel {
-            p,
-            n,
-            teleport: teleport_sampler(p, shots, rng),
-            telegate_cnot: telegate_cnot_sampler(p, shots, rng),
-            cat_roundtrip: cat_roundtrip_sampler(p, shots, rng),
-            fanout: fanout_sampler(n.max(2), p, shots, rng),
-        }
-    }
-
-    /// Engine-parallel [`CswapNoiseModel::characterize`]: each
-    /// primitive's frame sampling is partitioned across the engine's
-    /// workers, with primitive seeds derived from `root_seed` so the
-    /// model is deterministic at any thread count.
-    pub fn characterize_parallel(
-        engine: &Engine,
-        n: usize,
-        p: f64,
-        shots: usize,
-        root_seed: u64,
-    ) -> Self {
+    /// Frame-samples every primitive once (`shots` trajectories each)
+    /// under `exec`: primitive `i` runs on the child context
+    /// `exec.derive(i)`, so the model is deterministic for a fixed root
+    /// seed in every execution mode.
+    pub fn characterize(exec: &Executor, n: usize, p: f64, shots: usize) -> Self {
         let characterize = |idx: u64, (circ, data): (circuit::circuit::Circuit, Vec<usize>)| {
-            PauliErrorSampler::from_circuit_parallel(
-                engine,
-                &circ,
-                &data,
-                shots,
-                derive_stream_seed(root_seed, idx),
-            )
+            PauliErrorSampler::from_circuit(&exec.derive(idx), &circ, &data, shots)
         };
         CswapNoiseModel {
             p,
@@ -262,26 +237,30 @@ pub fn fig9b_inputs(n: usize, rng: &mut impl Rng) -> Vec<usize> {
     }
 }
 
-/// Classical fidelity of the width-`n` CSWAP under `model`, averaged over
-/// `inputs` with `shots` per input.
+/// Classical fidelity of the width-`n` CSWAP under `model`, averaged
+/// over `inputs` with `shots` per input, executed under `exec` (the
+/// `inputs × shots` space is one shot grid; deterministic for a fixed
+/// root seed in every execution mode).
 pub fn cswap_classical_fidelity(
+    exec: &Executor,
     scheme: CswapScheme,
     model: &CswapNoiseModel,
     inputs: &[usize],
     shots: usize,
-    rng: &mut impl Rng,
 ) -> f64 {
-    let n = model.n;
-    let mut matches = 0usize;
-    for &input in inputs {
-        let want = ideal_cswap_bits(n, input);
-        for _ in 0..shots {
-            if noisy_cswap_shot(scheme, model, input, rng) == want {
-                matches += 1;
-            }
-        }
-    }
-    matches as f64 / (inputs.len() * shots) as f64
+    // Same shot-space layout as CswapFidelityJob (shot s exercises input
+    // s / shots), borrowing the model instead of cloning it per call.
+    let ideal: Vec<Vec<bool>> = inputs
+        .iter()
+        .map(|&input| ideal_cswap_bits(model.n, input))
+        .collect();
+    let shots_per_input = shots as u64;
+    let total = inputs.len() as u64 * shots_per_input;
+    let matches = exec.run_count(total, |shot, rng| {
+        let which = (shot / shots_per_input) as usize;
+        noisy_cswap_shot(scheme, model, inputs[which], rng) == ideal[which]
+    });
+    matches as f64 / (inputs.len() * shots).max(1) as f64
 }
 
 /// One Fig 9b fidelity evaluation as an engine [`ShotJob`]: the shot
@@ -351,24 +330,6 @@ impl ShotJob for CswapFidelityJob {
     }
 }
 
-/// Engine-parallel [`cswap_classical_fidelity`]: the `inputs × shots`
-/// grid is partitioned across the engine's workers; deterministic for a
-/// fixed `root_seed` at any thread count.
-pub fn cswap_classical_fidelity_parallel(
-    engine: &Engine,
-    scheme: CswapScheme,
-    model: &CswapNoiseModel,
-    inputs: &[usize],
-    shots: usize,
-    root_seed: u64,
-) -> f64 {
-    let job = CswapFidelityJob::new(scheme, model.clone(), inputs.to_vec(), shots, root_seed);
-    let matches = engine.run_count(job.shots(), job.root_seed(), |shot, rng| {
-        job.run_shot(&mut (), shot, rng)
-    });
-    matches as f64 / (inputs.len() * shots).max(1) as f64
-}
-
 /// One Fig 9b series: classical fidelity vs state width for one scheme
 /// and noise level.
 #[derive(Debug, Clone)]
@@ -383,50 +344,19 @@ pub struct CswapFidelitySeries {
     pub fit: mathkit::stats::LinearFit,
 }
 
-/// Sweeps Fig 9b: `n` over `widths` for each scheme × noise level.
+/// Sweeps Fig 9b: `n` over `widths` for each scheme × noise level. Per
+/// grid point `(scheme, p, n)` the primitive characterisation runs
+/// under a derived child context, then **all** the fidelity evaluations
+/// execute as a single batch of [`CswapFidelityJob`]s through the
+/// executor's pool. Point seeds (characterisation, input choice,
+/// fidelity shots) derive from the executor's root by grid position, so
+/// the figure is deterministic in every execution mode.
 pub fn fig9b(
+    exec: &Executor,
     widths: &[usize],
     noise_levels: &[f64],
     characterize_shots: usize,
     shots_per_input: usize,
-    rng: &mut impl Rng,
-) -> Vec<CswapFidelitySeries> {
-    let mut series = Vec::new();
-    for scheme in [CswapScheme::Teledata, CswapScheme::Telegate] {
-        for &p in noise_levels {
-            let mut points = Vec::new();
-            for &n in widths {
-                let model = CswapNoiseModel::characterize(n, p, characterize_shots, rng);
-                let inputs = fig9b_inputs(n, rng);
-                let f = cswap_classical_fidelity(scheme, &model, &inputs, shots_per_input, rng);
-                points.push((n, f));
-            }
-            let xs: Vec<f64> = points.iter().map(|&(n, _)| n as f64).collect();
-            let ys: Vec<f64> = points.iter().map(|&(_, f)| f).collect();
-            series.push(CswapFidelitySeries {
-                scheme,
-                p,
-                fit: linear_fit(&xs, &ys),
-                points,
-            });
-        }
-    }
-    series
-}
-
-/// Engine-parallel Fig 9b. Per grid point `(scheme, p, n)` the
-/// primitive characterisation runs engine-parallel, then **all** the
-/// fidelity evaluations execute as a single [`BatchRunner`] batch of
-/// [`CswapFidelityJob`]s. Point seeds (characterisation, input choice,
-/// fidelity shots) derive from `root_seed` by grid position, so the
-/// figure is deterministic at any thread count.
-pub fn fig9b_parallel(
-    engine: &Engine,
-    widths: &[usize],
-    noise_levels: &[f64],
-    characterize_shots: usize,
-    shots_per_input: usize,
-    root_seed: u64,
 ) -> Vec<CswapFidelitySeries> {
     use rand::SeedableRng;
     let mut jobs = Vec::new();
@@ -434,27 +364,21 @@ pub fn fig9b_parallel(
         for &p in noise_levels {
             for &n in widths {
                 let idx = jobs.len() as u64;
-                let model = CswapNoiseModel::characterize_parallel(
-                    engine,
-                    n,
-                    p,
-                    characterize_shots,
-                    derive_stream_seed(root_seed, 3 * idx),
-                );
-                let mut input_rng =
-                    StdRng::seed_from_u64(derive_stream_seed(root_seed, 3 * idx + 1));
+                let model =
+                    CswapNoiseModel::characterize(&exec.derive(3 * idx), n, p, characterize_shots);
+                let mut input_rng = StdRng::seed_from_u64(exec.derive(3 * idx + 1).root_seed());
                 let inputs = fig9b_inputs(n, &mut input_rng);
                 jobs.push(CswapFidelityJob::new(
                     scheme,
                     model,
                     inputs,
                     shots_per_input,
-                    derive_stream_seed(root_seed, 3 * idx + 2),
+                    exec.derive(3 * idx + 2).root_seed(),
                 ));
             }
         }
     }
-    let tallies = BatchRunner::new(engine).run_batch(&jobs);
+    let tallies = exec.run_batch(&jobs);
 
     let mut series = Vec::new();
     let mut cursor = 0usize;
@@ -518,10 +442,11 @@ mod tests {
     #[test]
     fn noiseless_shots_match_ideal() {
         let mut rng = StdRng::seed_from_u64(1);
+        let exec = Executor::sequential(1);
         for scheme in [CswapScheme::Teledata, CswapScheme::Telegate] {
-            let model = CswapNoiseModel::characterize(2, 0.0, 200, &mut rng);
+            let model = CswapNoiseModel::characterize(&exec, 2, 0.0, 200);
             let inputs = fig9b_inputs(2, &mut rng);
-            let f = cswap_classical_fidelity(scheme, &model, &inputs, 5, &mut rng);
+            let f = cswap_classical_fidelity(&exec, scheme, &model, &inputs, 5);
             assert_eq!(f, 1.0, "{scheme}");
         }
     }
@@ -535,35 +460,35 @@ mod tests {
     }
 
     #[test]
-    fn parallel_fidelity_is_thread_invariant() {
-        let e4 = Engine::with_threads(4);
-        let e1 = Engine::sequential();
-        let m4 = CswapNoiseModel::characterize_parallel(&e4, 2, 0.003, 2_000, 3);
-        let m1 = CswapNoiseModel::characterize_parallel(&e1, 2, 0.003, 2_000, 3);
+    fn fidelity_is_mode_invariant() {
+        let e4 = Executor::pooled(engine::Engine::with_threads(4), 3);
+        let e1 = Executor::sequential(3);
+        let m4 = CswapNoiseModel::characterize(&e4, 2, 0.003, 2_000);
+        let m1 = CswapNoiseModel::characterize(&e1, 2, 0.003, 2_000);
         let mut rng = StdRng::seed_from_u64(1);
         let inputs = fig9b_inputs(2, &mut rng);
-        let f4 = cswap_classical_fidelity_parallel(&e4, CswapScheme::Teledata, &m4, &inputs, 40, 7);
-        let f1 = cswap_classical_fidelity_parallel(&e1, CswapScheme::Teledata, &m1, &inputs, 40, 7);
-        assert_eq!(f4, f1, "thread count changed the result");
+        let f4 = cswap_classical_fidelity(&e4.with_seed(7), CswapScheme::Teledata, &m4, &inputs, 40);
+        let f1 = cswap_classical_fidelity(&e1.with_seed(7), CswapScheme::Teledata, &m1, &inputs, 40);
+        assert_eq!(f4, f1, "execution mode changed the result");
         assert!((0.0..=1.0).contains(&f4));
     }
 
     #[test]
-    fn parallel_noiseless_fidelity_is_one() {
-        let engine = Engine::with_threads(2);
+    fn pooled_noiseless_fidelity_is_one() {
+        let exec = Executor::pooled(engine::Engine::with_threads(2), 11);
         for scheme in [CswapScheme::Teledata, CswapScheme::Telegate] {
-            let model = CswapNoiseModel::characterize_parallel(&engine, 2, 0.0, 200, 11);
+            let model = CswapNoiseModel::characterize(&exec, 2, 0.0, 200);
             let mut rng = StdRng::seed_from_u64(2);
             let inputs = fig9b_inputs(2, &mut rng);
-            let f = cswap_classical_fidelity_parallel(&engine, scheme, &model, &inputs, 5, 13);
+            let f = cswap_classical_fidelity(&exec.with_seed(13), scheme, &model, &inputs, 5);
             assert_eq!(f, 1.0, "{scheme}");
         }
     }
 
     #[test]
-    fn fig9b_parallel_shape_and_bounds() {
-        let engine = Engine::with_threads(4);
-        let series = fig9b_parallel(&engine, &[1, 2], &[0.005], 1_500, 20, 21);
+    fn fig9b_shape_and_bounds() {
+        let exec = Executor::pooled(engine::Engine::with_threads(4), 21);
+        let series = fig9b(&exec, &[1, 2], &[0.005], 1_500, 20);
         assert_eq!(series.len(), 2);
         for s in &series {
             assert_eq!(s.points.len(), 2);
@@ -576,16 +501,18 @@ mod tests {
     #[test]
     fn fidelity_decreases_with_n_and_p() {
         let mut rng = StdRng::seed_from_u64(3);
-        let m1 = CswapNoiseModel::characterize(1, 0.003, 5_000, &mut rng);
-        let m4 = CswapNoiseModel::characterize(4, 0.003, 5_000, &mut rng);
+        let exec = Executor::sequential(3);
+        let m1 = CswapNoiseModel::characterize(&exec.derive(0), 1, 0.003, 5_000);
+        let m4 = CswapNoiseModel::characterize(&exec.derive(1), 4, 0.003, 5_000);
         let i1 = fig9b_inputs(1, &mut rng);
         let i4 = fig9b_inputs(4, &mut rng);
-        let f1 = cswap_classical_fidelity(CswapScheme::Teledata, &m1, &i1, 60, &mut rng);
-        let f4 = cswap_classical_fidelity(CswapScheme::Teledata, &m4, &i4, 60, &mut rng);
+        let f1 = cswap_classical_fidelity(&exec.derive(2), CswapScheme::Teledata, &m1, &i1, 60);
+        let f4 = cswap_classical_fidelity(&exec.derive(3), CswapScheme::Teledata, &m4, &i4, 60);
         assert!(f4 < f1, "{f4} !< {f1}");
 
-        let m1_hot = CswapNoiseModel::characterize(1, 0.01, 5_000, &mut rng);
-        let f1_hot = cswap_classical_fidelity(CswapScheme::Teledata, &m1_hot, &i1, 60, &mut rng);
+        let m1_hot = CswapNoiseModel::characterize(&exec.derive(4), 1, 0.01, 5_000);
+        let f1_hot =
+            cswap_classical_fidelity(&exec.derive(5), CswapScheme::Teledata, &m1_hot, &i1, 60);
         assert!(f1_hot < f1);
     }
 
@@ -593,15 +520,26 @@ mod tests {
     fn teledata_beats_telegate_on_average() {
         // The paper reports telegate ≈ 0.84 % below teledata (§5.2).
         let mut rng = StdRng::seed_from_u64(4);
+        let exec = Executor::sequential(4);
         let mut td_sum = 0.0;
         let mut tg_sum = 0.0;
         for n in [2usize, 3] {
-            let model = CswapNoiseModel::characterize(n, 0.005, 8_000, &mut rng);
+            let model = CswapNoiseModel::characterize(&exec.derive(n as u64), n, 0.005, 8_000);
             let inputs = fig9b_inputs(n, &mut rng);
-            td_sum +=
-                cswap_classical_fidelity(CswapScheme::Teledata, &model, &inputs, 80, &mut rng);
-            tg_sum +=
-                cswap_classical_fidelity(CswapScheme::Telegate, &model, &inputs, 80, &mut rng);
+            td_sum += cswap_classical_fidelity(
+                &exec.derive(10 + n as u64),
+                CswapScheme::Teledata,
+                &model,
+                &inputs,
+                80,
+            );
+            tg_sum += cswap_classical_fidelity(
+                &exec.derive(20 + n as u64),
+                CswapScheme::Telegate,
+                &model,
+                &inputs,
+                80,
+            );
         }
         assert!(
             td_sum > tg_sum,
@@ -611,8 +549,7 @@ mod tests {
 
     #[test]
     fn fig9b_series_have_negative_slope() {
-        let mut rng = StdRng::seed_from_u64(5);
-        let series = fig9b(&[1, 2, 3], &[0.005], 3_000, 40, &mut rng);
+        let series = fig9b(&Executor::sequential(5), &[1, 2, 3], &[0.005], 3_000, 40);
         assert_eq!(series.len(), 2);
         for s in &series {
             assert!(s.fit.slope < 0.0, "{}: slope {}", s.scheme, s.fit.slope);

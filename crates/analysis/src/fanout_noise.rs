@@ -16,9 +16,8 @@
 use circuit::circuit::Circuit;
 use circuit::noise::NoiseModel;
 use compas::fanout::fanout_gadget;
-use engine::{derive_stream_seed, BatchRunner, Engine, ShotJob};
+use engine::{Executor, ExperimentBuilder, ShotJob};
 use rand::rngs::StdRng;
-use rand::Rng;
 use stabilizer::frame::FrameSimulator;
 use stabilizer::pauli::PauliString;
 use std::collections::HashMap;
@@ -51,21 +50,19 @@ pub fn noisy_fanout_circuit(targets: usize, p: f64) -> Circuit {
 }
 
 /// Samples the residual-error distribution of the Fanout gadget on
-/// `[control, t_1…t_m]` and returns the `top` most probable non-identity
-/// patterns.
+/// `[control, t_1…t_m]` under `exec` and returns the `top` most probable
+/// non-identity patterns. Deterministic for a fixed root seed in every
+/// execution mode.
 pub fn fanout_error_distribution(
+    exec: &Executor,
     targets: usize,
     p: f64,
     shots: usize,
     top: usize,
-    rng: &mut impl Rng,
 ) -> FanoutNoiseRow {
-    let circ = noisy_fanout_circuit(targets, p);
-    let data: Vec<usize> = (0..=targets).collect();
-    let hist = FrameSimulator::residual_histogram(&circ, &data, shots, rng);
-    let hist64: HashMap<PauliString, u64> =
-        hist.into_iter().map(|(k, v)| (k, v as u64)).collect();
-    row_from_histogram(p, targets, shots, top, hist64)
+    let job = FanoutResidualJob::new(targets, p, shots, exec.root_seed());
+    let hist = exec.run_tally(job.shots, |shot, rng| job.run_shot(&mut (), shot, rng));
+    row_from_histogram(p, targets, shots, top, hist)
 }
 
 /// Turns a residual-error histogram into a [`FanoutNoiseRow`] (shared by
@@ -138,60 +135,24 @@ impl ShotJob for FanoutResidualJob {
     }
 }
 
-/// Engine-parallel [`fanout_error_distribution`]: deterministic for a
-/// fixed `root_seed` at any thread count.
-pub fn fanout_error_distribution_parallel(
-    engine: &Engine,
-    targets: usize,
-    p: f64,
-    shots: usize,
-    top: usize,
-    root_seed: u64,
-) -> FanoutNoiseRow {
-    let job = FanoutResidualJob::new(targets, p, shots, root_seed);
-    let hist = engine.run_tally(job.shots, job.root_seed, |shot, rng| {
-        job.run_shot(&mut (), shot, rng)
-    });
-    row_from_histogram(p, targets, shots, top, hist)
-}
-
-/// Regenerates Table 4: the grid of noise levels × target counts.
+/// Regenerates Table 4: the grid of target counts × noise levels. Every
+/// grid point becomes one [`FanoutResidualJob`] and the whole grid runs
+/// as a single batch through the executor's pool, so all workers stay
+/// busy across the uneven points; point seeds derive from the
+/// executor's root by grid position (the [`ExperimentBuilder`] seed
+/// contract).
 pub fn table4(
+    exec: &Executor,
     noise_levels: &[f64],
     target_counts: &[usize],
     shots: usize,
-    rng: &mut impl Rng,
 ) -> Vec<FanoutNoiseRow> {
-    let mut rows = Vec::new();
-    for &m in target_counts {
-        for &p in noise_levels {
-            rows.push(fanout_error_distribution(m, p, shots, 4, rng));
-        }
-    }
-    rows
-}
-
-/// Engine-parallel Table 4: every grid point becomes one
-/// [`FanoutResidualJob`] and the whole grid runs as a single
-/// [`BatchRunner`] batch, so all workers stay busy across the uneven
-/// points. Point seeds derive from `root_seed` by grid position.
-pub fn table4_parallel(
-    engine: &Engine,
-    noise_levels: &[f64],
-    target_counts: &[usize],
-    shots: usize,
-    root_seed: u64,
-) -> Vec<FanoutNoiseRow> {
-    let mut jobs = Vec::new();
-    for &m in target_counts {
-        for &p in noise_levels {
-            let seed = derive_stream_seed(root_seed, jobs.len() as u64);
-            jobs.push(FanoutResidualJob::new(m, p, shots, seed));
-        }
-    }
-    let tallies = BatchRunner::new(engine).run_batch(&jobs);
-    jobs.iter()
-        .zip(tallies)
+    ExperimentBuilder::grid(target_counts, noise_levels)
+        .shots(shots)
+        .run_jobs(exec, |&(m, p), shots, seed| {
+            FanoutResidualJob::new(m, p, shots, seed)
+        })
+        .into_iter()
         .map(|(job, hist)| row_from_histogram(job.p, job.targets, shots, 4, hist))
         .collect()
 }
@@ -218,13 +179,10 @@ pub fn table4_result(rows: &[FanoutNoiseRow]) -> ResultTable {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn zero_noise_leaves_identity_only() {
-        let mut rng = StdRng::seed_from_u64(1);
-        let row = fanout_error_distribution(4, 0.0, 200, 4, &mut rng);
+        let row = fanout_error_distribution(&Executor::sequential(1), 4, 0.0, 200, 4);
         assert!(row.top_errors.is_empty());
         assert!((row.identity_probability - 1.0).abs() < 1e-12);
     }
@@ -232,9 +190,9 @@ mod tests {
     #[test]
     fn dominant_error_is_z_on_control() {
         // The paper's headline observation (Table 4, "1st Error" column).
-        let mut rng = StdRng::seed_from_u64(2);
+        let exec = Executor::sequential(2);
         for m in [4usize, 6] {
-            let row = fanout_error_distribution(m, 0.003, 30_000, 4, &mut rng);
+            let row = fanout_error_distribution(&exec.derive(m as u64), m, 0.003, 30_000, 4);
             let (top, _) = &row.top_errors[0];
             let mut want = PauliString::identity(m + 1);
             want.set(0, stabilizer::pauli::Pauli::Z);
@@ -244,8 +202,7 @@ mod tests {
 
     #[test]
     fn x_blocks_appear_on_targets() {
-        let mut rng = StdRng::seed_from_u64(3);
-        let row = fanout_error_distribution(4, 0.005, 30_000, 4, &mut rng);
+        let row = fanout_error_distribution(&Executor::sequential(3), 4, 0.005, 30_000, 4);
         // Among the top-4 errors, at least one must be an X-only pattern
         // on targets with identity control (the paper's IIIXX family).
         let has_x_block = row.top_errors.iter().any(|(p, _)| {
@@ -260,19 +217,30 @@ mod tests {
 
     #[test]
     fn error_rate_grows_with_p() {
-        let mut rng = StdRng::seed_from_u64(4);
-        let low = fanout_error_distribution(4, 0.001, 20_000, 4, &mut rng);
-        let high = fanout_error_distribution(4, 0.005, 20_000, 4, &mut rng);
+        let exec = Executor::sequential(4);
+        let low = fanout_error_distribution(&exec, 4, 0.001, 20_000, 4);
+        let high = fanout_error_distribution(&exec.derive(1), 4, 0.005, 20_000, 4);
         assert!(high.identity_probability < low.identity_probability);
     }
 
     #[test]
     fn table4_grid_and_rendering() {
-        let mut rng = StdRng::seed_from_u64(5);
-        let rows = table4(&[0.001, 0.005], &[4], 2_000, &mut rng);
+        let rows = table4(&Executor::sequential(5), &[0.001, 0.005], &[4], 2_000);
         assert_eq!(rows.len(), 2);
         let text = table4_result(&rows).to_text();
         assert!(text.contains("p_phy"));
         assert!(text.contains('%'));
+    }
+
+    #[test]
+    fn table4_is_mode_invariant() {
+        let seq = table4(&Executor::sequential(6), &[0.003], &[4], 3_000);
+        let pooled = table4(
+            &Executor::pooled(engine::Engine::with_threads(4), 6),
+            &[0.003],
+            &[4],
+            3_000,
+        );
+        assert_eq!(seq, pooled);
     }
 }

@@ -14,14 +14,13 @@
 use circuit::circuit::Circuit;
 use circuit::noise::NoiseModel;
 use compas::ghz::{distributed_ghz, ghz_statevector};
-use engine::{derive_stream_seed, BatchRunner, Engine, ShotJob};
+use engine::{Executor, ExperimentBuilder, ShotJob};
 use mathkit::matrix::TraceKeep;
 use mathkit::stats::{linear_fit, LinearFit};
 use network::machine::DistributedMachine;
 use network::topology::Topology;
 use qsim::density::{run_deferred, DensityMatrix};
 use rand::rngs::StdRng;
-use rand::Rng;
 use stabilizer::frame::FrameSimulator;
 use stabilizer::pauli::PauliString;
 
@@ -52,18 +51,12 @@ pub fn preserves_ghz(residual: &PauliString) -> bool {
 }
 
 /// Estimates `⟨GHZ|ρ|GHZ⟩` of the noisy `r`-party preparation by frame
-/// sampling (`shots` trajectories).
-pub fn ghz_fidelity_sampled(r: usize, p: f64, shots: usize, rng: &mut impl Rng) -> f64 {
-    let circ = noisy_distributed_ghz_circuit(r, p);
-    let data: Vec<usize> = (0..r).collect();
-    let mut good = 0usize;
-    for _ in 0..shots {
-        let residual = FrameSimulator::sample_residual(&circ, rng).restricted_to(&data);
-        if preserves_ghz(&residual) {
-            good += 1;
-        }
-    }
-    good as f64 / shots as f64
+/// sampling (`shots` trajectories) under `exec`. Deterministic for a
+/// fixed root seed in every execution mode.
+pub fn ghz_fidelity_sampled(exec: &Executor, r: usize, p: f64, shots: usize) -> f64 {
+    let job = GhzFidelityJob::new(r, p, shots, exec.root_seed());
+    let good = exec.run_count(job.shots, |shot, rng| job.run_shot(&mut (), shot, rng));
+    good as f64 / shots.max(1) as f64
 }
 
 /// One Fig 9a grid point as an engine [`ShotJob`]: each shot
@@ -116,22 +109,6 @@ impl ShotJob for GhzFidelityJob {
     }
 }
 
-/// Engine-parallel [`ghz_fidelity_sampled`]: deterministic for a fixed
-/// `root_seed` at any thread count.
-pub fn ghz_fidelity_sampled_parallel(
-    engine: &Engine,
-    r: usize,
-    p: f64,
-    shots: usize,
-    root_seed: u64,
-) -> f64 {
-    let job = GhzFidelityJob::new(r, p, shots, root_seed);
-    let good = engine.run_count(job.shots, job.root_seed, |shot, rng| {
-        job.run_shot(&mut (), shot, rng)
-    });
-    good as f64 / shots.max(1) as f64
-}
-
 /// Exact `⟨GHZ|ρ|GHZ⟩` by deferred-measurement density-matrix evolution.
 /// Feasible for small `r` (the register includes communication qubits);
 /// used to validate the sampler.
@@ -164,50 +141,22 @@ pub struct GhzFidelitySeries {
     pub fit: LinearFit,
 }
 
-/// Sweeps `r` over `parties` for each noise level (Fig 9a).
+/// Sweeps Fig 9a: the full `noise_levels × parties` grid runs as one
+/// batch of [`GhzFidelityJob`]s through the executor's pool — every
+/// worker stays busy until the last point finishes, and point seeds
+/// derive from the executor's root by grid position (the
+/// [`ExperimentBuilder`] seed contract).
 pub fn fig9a(
+    exec: &Executor,
     parties: &[usize],
     noise_levels: &[f64],
     shots: usize,
-    rng: &mut impl Rng,
 ) -> Vec<GhzFidelitySeries> {
-    noise_levels
-        .iter()
-        .map(|&p| {
-            let points: Vec<(usize, f64)> = parties
-                .iter()
-                .map(|&r| (r, ghz_fidelity_sampled(r, p, shots, rng)))
-                .collect();
-            let xs: Vec<f64> = points.iter().map(|&(r, _)| r as f64).collect();
-            let ys: Vec<f64> = points.iter().map(|&(_, f)| f).collect();
-            GhzFidelitySeries {
-                p,
-                points,
-                fit: linear_fit(&xs, &ys),
-            }
-        })
-        .collect()
-}
-
-/// Engine-parallel Fig 9a: the full `parties × noise_levels` grid runs
-/// as one [`BatchRunner`] batch of [`GhzFidelityJob`]s — every worker
-/// stays busy until the last point finishes, and point seeds derive from
-/// `root_seed` by grid position.
-pub fn fig9a_parallel(
-    engine: &Engine,
-    parties: &[usize],
-    noise_levels: &[f64],
-    shots: usize,
-    root_seed: u64,
-) -> Vec<GhzFidelitySeries> {
-    let mut jobs = Vec::new();
-    for &p in noise_levels {
-        for &r in parties {
-            let seed = derive_stream_seed(root_seed, jobs.len() as u64);
-            jobs.push(GhzFidelityJob::new(r, p, shots, seed));
-        }
-    }
-    let tallies = BatchRunner::new(engine).run_batch(&jobs);
+    let results = ExperimentBuilder::grid(noise_levels, parties)
+        .shots(shots)
+        .run_jobs(exec, |&(p, r), shots, seed| {
+            GhzFidelityJob::new(r, p, shots, seed)
+        });
     noise_levels
         .iter()
         .enumerate()
@@ -216,8 +165,8 @@ pub fn fig9a_parallel(
                 .iter()
                 .enumerate()
                 .map(|(ri, &r)| {
-                    let idx = pi * parties.len() + ri;
-                    (r, jobs[idx].fidelity(&tallies[idx]))
+                    let (job, tally) = &results[pi * parties.len() + ri];
+                    (r, job.fidelity(tally))
                 })
                 .collect();
             let xs: Vec<f64> = points.iter().map(|&(r, _)| r as f64).collect();
@@ -254,8 +203,6 @@ pub fn fig9a_result(series: &[GhzFidelitySeries]) -> ResultTable {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn ghz_preserving_residuals() {
@@ -271,19 +218,18 @@ mod tests {
 
     #[test]
     fn noiseless_fidelity_is_one() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let exec = Executor::sequential(1);
         for r in [3usize, 5] {
-            let f = ghz_fidelity_sampled(r, 0.0, 200, &mut rng);
+            let f = ghz_fidelity_sampled(&exec, r, 0.0, 200);
             assert!((f - 1.0).abs() < 1e-12, "r={r}");
         }
     }
 
     #[test]
     fn sampler_matches_exact_density_matrix() {
-        let mut rng = StdRng::seed_from_u64(2);
         let (r, p) = (3usize, 0.01);
         let exact = ghz_fidelity_exact(r, p);
-        let sampled = ghz_fidelity_sampled(r, p, 40_000, &mut rng);
+        let sampled = ghz_fidelity_sampled(&Executor::sequential(2), r, p, 40_000);
         // Binomial std err at 40k shots ≈ 0.0016; allow 5σ.
         assert!(
             (exact - sampled).abs() < 0.01,
@@ -293,29 +239,34 @@ mod tests {
 
     #[test]
     fn fidelity_decreases_with_r_and_p() {
-        let mut rng = StdRng::seed_from_u64(3);
-        let f_small = ghz_fidelity_sampled(4, 0.003, 20_000, &mut rng);
-        let f_large = ghz_fidelity_sampled(10, 0.003, 20_000, &mut rng);
+        let exec = Executor::sequential(3);
+        let f_small = ghz_fidelity_sampled(&exec.derive(0), 4, 0.003, 20_000);
+        let f_large = ghz_fidelity_sampled(&exec.derive(1), 10, 0.003, 20_000);
         assert!(f_large < f_small, "{f_large} !< {f_small}");
-        let f_low_p = ghz_fidelity_sampled(6, 0.001, 20_000, &mut rng);
-        let f_high_p = ghz_fidelity_sampled(6, 0.005, 20_000, &mut rng);
+        let f_low_p = ghz_fidelity_sampled(&exec.derive(2), 6, 0.001, 20_000);
+        let f_high_p = ghz_fidelity_sampled(&exec.derive(3), 6, 0.005, 20_000);
         assert!(f_high_p < f_low_p);
     }
 
     #[test]
-    fn parallel_fidelity_is_thread_invariant_and_matches_exact() {
+    fn fidelity_is_mode_invariant_and_matches_exact() {
         let (r, p, shots) = (3usize, 0.01, 20_000);
-        let f4 = ghz_fidelity_sampled_parallel(&Engine::with_threads(4), r, p, shots, 5);
-        let f1 = ghz_fidelity_sampled_parallel(&Engine::sequential(), r, p, shots, 5);
-        assert_eq!(f4, f1, "thread count changed the result");
+        let f4 = ghz_fidelity_sampled(
+            &Executor::pooled(engine::Engine::with_threads(4), 5),
+            r,
+            p,
+            shots,
+        );
+        let f1 = ghz_fidelity_sampled(&Executor::sequential(5), r, p, shots);
+        assert_eq!(f4, f1, "execution mode changed the result");
         let exact = ghz_fidelity_exact(r, p);
         assert!((f4 - exact).abs() < 0.015, "par {f4} vs exact {exact}");
     }
 
     #[test]
-    fn fig9a_parallel_matches_grid_shape() {
-        let engine = Engine::with_threads(4);
-        let series = fig9a_parallel(&engine, &[3, 4], &[0.002, 0.004], 4_000, 9);
+    fn fig9a_matches_grid_shape() {
+        let exec = Executor::pooled(engine::Engine::with_threads(4), 9);
+        let series = fig9a(&exec, &[3, 4], &[0.002, 0.004], 4_000);
         assert_eq!(series.len(), 2);
         for s in &series {
             assert_eq!(s.points.len(), 2);
@@ -332,8 +283,7 @@ mod tests {
 
     #[test]
     fn fig9a_fit_slope_is_negative() {
-        let mut rng = StdRng::seed_from_u64(4);
-        let series = fig9a(&[4, 6, 8], &[0.003], 8_000, &mut rng);
+        let series = fig9a(&Executor::sequential(4), &[4, 6, 8], &[0.003], 8_000);
         assert_eq!(series.len(), 1);
         assert!(series[0].fit.slope < 0.0);
         let text = fig9a_result(&series).to_text();

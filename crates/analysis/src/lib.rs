@@ -13,6 +13,10 @@
 //! | [`table_io`] | text/CSV emission shared by the bench binaries |
 //! | [`ablations`] | design-choice ablations: placement, fanout, reuse, topology |
 //!
+//! Every sampling driver takes an [`engine::Executor`] — the execution
+//! mode (sequential vs pooled) is the caller's policy, and results are
+//! bit-identical across modes for a fixed root seed.
+//!
 //! Tables 1–3 are closed-form and live in [`compas::resources`]; the
 //! Bell-pair scaling comparison of §2.5 is measured by
 //! [`compas::naive`] and [`compas::swap_test::CompasProtocol`] ledgers.
@@ -34,17 +38,16 @@ pub mod prelude {
         qubit_reuse_ablation, topology_ablation,
     };
     pub use crate::cswap_fidelity::{
-        cswap_classical_fidelity, cswap_classical_fidelity_parallel, fig9b, fig9b_inputs,
-        fig9b_parallel, fig9b_result, CswapFidelityJob, CswapFidelitySeries, CswapNoiseModel,
+        cswap_classical_fidelity, fig9b, fig9b_inputs, fig9b_result, CswapFidelityJob,
+        CswapFidelitySeries, CswapNoiseModel,
     };
     pub use crate::distillation_codes::{catalog, DistillationCode};
     pub use crate::fanout_noise::{
-        fanout_error_distribution, fanout_error_distribution_parallel, table4, table4_parallel,
-        table4_result, FanoutNoiseRow, FanoutResidualJob,
+        fanout_error_distribution, table4, table4_result, FanoutNoiseRow, FanoutResidualJob,
     };
     pub use crate::ghz_fidelity::{
-        fig9a, fig9a_parallel, fig9a_result, ghz_fidelity_exact, ghz_fidelity_sampled,
-        ghz_fidelity_sampled_parallel, GhzFidelityJob, GhzFidelitySeries,
+        fig9a, fig9a_result, ghz_fidelity_exact, ghz_fidelity_sampled, GhzFidelityJob,
+        GhzFidelitySeries,
     };
     pub use crate::network_bounds::{
         fig10, fig10_result, k_upper_bound, remote_cnot_fidelity, remote_toffoli_fidelity,

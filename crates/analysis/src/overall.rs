@@ -10,7 +10,9 @@
 //! analysis.
 
 use compas::cswap::CswapScheme;
-use rand::Rng;
+use engine::Executor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 use crate::cswap_fidelity::{cswap_classical_fidelity, fig9b_inputs, CswapNoiseModel};
 use crate::ghz_fidelity::ghz_fidelity_sampled;
@@ -35,26 +37,48 @@ pub fn overall_fidelity(p_ghz: f64, p_cswap: f64, k: usize) -> f64 {
 }
 
 /// Sweeps Fig 9c: fidelity estimate vs `n` for each `(scheme, k, p)`.
+/// Every component estimate (GHZ fidelity, per-width characterisation,
+/// input choice, fidelity shots) runs under a child context derived
+/// from `exec` by grid position, so the figure is deterministic for a
+/// fixed root seed in every execution mode.
 pub fn fig9c(
+    exec: &Executor,
     widths: &[usize],
     qpu_counts: &[usize],
     noise_levels: &[f64],
     characterize_shots: usize,
     shots_per_input: usize,
-    rng: &mut impl Rng,
 ) -> Vec<OverallFidelitySeries> {
     let mut out = Vec::new();
+    let mut cursor = 0u64;
+    let next = |cursor: &mut u64| {
+        let child = exec.derive(*cursor);
+        *cursor += 1;
+        child
+    };
     for scheme in [CswapScheme::Teledata, CswapScheme::Telegate] {
         for &k in qpu_counts {
             for &p in noise_levels {
-                let ghz_f = ghz_fidelity_sampled(k.div_ceil(2), p, characterize_shots, rng);
+                let ghz_f = ghz_fidelity_sampled(
+                    &next(&mut cursor),
+                    k.div_ceil(2),
+                    p,
+                    characterize_shots,
+                );
                 let p_ghz = 1.0 - ghz_f;
                 let mut points = Vec::new();
                 for &n in widths {
-                    let model = CswapNoiseModel::characterize(n, p, characterize_shots, rng);
-                    let inputs = fig9b_inputs(n, rng);
-                    let f_cswap =
-                        cswap_classical_fidelity(scheme, &model, &inputs, shots_per_input, rng);
+                    let model =
+                        CswapNoiseModel::characterize(&next(&mut cursor), n, p, characterize_shots);
+                    let mut input_rng = StdRng::seed_from_u64(next(&mut cursor).root_seed());
+                    let inputs = fig9b_inputs(n, &mut input_rng);
+                    let f_cswap = cswap_classical_fidelity(
+                        &next(&mut cursor),
+                        scheme,
+                        &model,
+                        &inputs,
+                        shots_per_input,
+                    );
                     points.push((n, overall_fidelity(p_ghz, 1.0 - f_cswap, k)));
                 }
                 out.push(OverallFidelitySeries {
@@ -92,8 +116,6 @@ pub fn fig9c_result(series: &[OverallFidelitySeries]) -> ResultTable {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn composition_formula() {
@@ -111,8 +133,7 @@ mod tests {
     fn fig9c_shapes_hold_on_a_small_grid() {
         // Fidelity falls with n and with k; teledata ≥ telegate on
         // average (the paper's observations for Fig 9c).
-        let mut rng = StdRng::seed_from_u64(9);
-        let series = fig9c(&[1, 3], &[4, 8], &[0.005], 4_000, 40, &mut rng);
+        let series = fig9c(&Executor::sequential(9), &[1, 3], &[4, 8], &[0.005], 4_000, 40);
         for s in &series {
             assert!(
                 s.points[1].1 < s.points[0].1 + 0.02,

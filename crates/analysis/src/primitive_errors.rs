@@ -10,7 +10,7 @@
 
 use circuit::circuit::Circuit;
 use circuit::noise::NoiseModel;
-use engine::Engine;
+use engine::Executor;
 use network::teleop;
 use rand::Rng;
 use stabilizer::frame::FrameSimulator;
@@ -64,28 +64,15 @@ impl PauliErrorSampler {
     }
 
     /// Characterises a noisy Clifford `circuit` by `shots` frame samples
-    /// restricted to `data_qubits`.
+    /// restricted to `data_qubits`, executed under `exec` (bit-identical
+    /// in every execution mode for a fixed root seed).
     pub fn from_circuit(
+        exec: &Executor,
         circuit: &Circuit,
         data_qubits: &[usize],
         shots: usize,
-        rng: &mut impl Rng,
     ) -> Self {
-        let hist = FrameSimulator::residual_histogram(circuit, data_qubits, shots, rng);
-        Self::from_histogram(hist, data_qubits.len())
-    }
-
-    /// Engine-parallel [`PauliErrorSampler::from_circuit`]: the `shots`
-    /// frame samples are partitioned across the engine's workers on
-    /// deterministic per-shot seed streams rooted at `root_seed`.
-    pub fn from_circuit_parallel(
-        engine: &Engine,
-        circuit: &Circuit,
-        data_qubits: &[usize],
-        shots: usize,
-        root_seed: u64,
-    ) -> Self {
-        let tally = engine.run_tally(shots as u64, root_seed, |_, rng| {
+        let tally = exec.run_tally(shots as u64, |_, rng| {
             FrameSimulator::sample_residual(circuit, rng).restricted_to(data_qubits)
         });
         let hist: HashMap<PauliString, usize> =
@@ -156,48 +143,31 @@ pub fn fanout_circuit(m: usize, p: f64) -> (Circuit, Vec<usize>) {
 
 /// Characterises one state teleportation (Fig 1a) including Bell-pair
 /// preparation: the returned sampler covers the **destination qubit**.
-pub fn teleport_sampler(p: f64, shots: usize, rng: &mut impl Rng) -> PauliErrorSampler {
+pub fn teleport_sampler(exec: &Executor, p: f64, shots: usize) -> PauliErrorSampler {
     let (noisy, data) = teleport_circuit(p);
-    PauliErrorSampler::from_circuit(&noisy, &data, shots, rng)
+    PauliErrorSampler::from_circuit(exec, &noisy, &data, shots)
 }
 
 /// Characterises one telegate CNOT (Fig 1b) including Bell-pair
 /// preparation: the sampler covers `(control, target)`.
-pub fn telegate_cnot_sampler(p: f64, shots: usize, rng: &mut impl Rng) -> PauliErrorSampler {
+pub fn telegate_cnot_sampler(exec: &Executor, p: f64, shots: usize) -> PauliErrorSampler {
     let (noisy, data) = telegate_cnot_circuit(p);
-    PauliErrorSampler::from_circuit(&noisy, &data, shots, rng)
+    PauliErrorSampler::from_circuit(exec, &noisy, &data, shots)
 }
 
 /// Characterises the cat-copy/uncopy round trip used by the teleported
 /// Toffoli (Fig 6d), excluding the local CCZ itself (which is simulated
 /// explicitly): the sampler covers the **remote data qubit**.
-pub fn cat_roundtrip_sampler(p: f64, shots: usize, rng: &mut impl Rng) -> PauliErrorSampler {
+pub fn cat_roundtrip_sampler(exec: &Executor, p: f64, shots: usize) -> PauliErrorSampler {
     let (noisy, data) = cat_roundtrip_circuit(p);
-    PauliErrorSampler::from_circuit(&noisy, &data, shots, rng)
+    PauliErrorSampler::from_circuit(exec, &noisy, &data, shots)
 }
 
 /// Characterises the constant-depth Fanout over `m` targets: the sampler
 /// covers `[control, t_1…t_m]`. (Identical to the Table 4 distribution.)
-pub fn fanout_sampler(m: usize, p: f64, shots: usize, rng: &mut impl Rng) -> PauliErrorSampler {
+pub fn fanout_sampler(exec: &Executor, m: usize, p: f64, shots: usize) -> PauliErrorSampler {
     let (circ, data) = fanout_circuit(m, p);
-    PauliErrorSampler::from_circuit(&circ, &data, shots, rng)
-}
-
-/// Wraps an unsized `&mut dyn RngCore` so APIs taking `impl Rng` accept it.
-pub fn dyn_rng(rng: &mut dyn rand::RngCore) -> impl rand::RngCore + '_ {
-    struct Shim<'a>(&'a mut dyn rand::RngCore);
-    impl rand::RngCore for Shim<'_> {
-        fn next_u32(&mut self) -> u32 {
-            self.0.next_u32()
-        }
-        fn next_u64(&mut self) -> u64 {
-            self.0.next_u64()
-        }
-        fn fill_bytes(&mut self, dest: &mut [u8]) {
-            self.0.fill_bytes(dest)
-        }
-    }
-    Shim(rng)
+    PauliErrorSampler::from_circuit(exec, &circ, &data, shots)
 }
 
 #[cfg(test)]
@@ -224,27 +194,45 @@ mod tests {
 
     #[test]
     fn noiseless_primitives_have_zero_error_rate() {
-        let mut rng = StdRng::seed_from_u64(1);
-        assert_eq!(teleport_sampler(0.0, 100, &mut rng).error_rate(), 0.0);
-        assert_eq!(telegate_cnot_sampler(0.0, 100, &mut rng).error_rate(), 0.0);
-        assert_eq!(cat_roundtrip_sampler(0.0, 100, &mut rng).error_rate(), 0.0);
+        let exec = Executor::sequential(1);
+        assert_eq!(teleport_sampler(&exec, 0.0, 100).error_rate(), 0.0);
+        assert_eq!(telegate_cnot_sampler(&exec, 0.0, 100).error_rate(), 0.0);
+        assert_eq!(cat_roundtrip_sampler(&exec, 0.0, 100).error_rate(), 0.0);
     }
 
     #[test]
     fn error_rates_scale_with_p() {
-        let mut rng = StdRng::seed_from_u64(2);
-        let lo = teleport_sampler(0.001, 20_000, &mut rng).error_rate();
-        let hi = teleport_sampler(0.005, 20_000, &mut rng).error_rate();
+        let exec = Executor::sequential(2);
+        let lo = teleport_sampler(&exec, 0.001, 20_000).error_rate();
+        let hi = teleport_sampler(&exec.derive(1), 0.005, 20_000).error_rate();
         assert!(hi > lo, "{hi} !> {lo}");
         // Roughly linear in p at these rates.
         assert!(hi / lo > 2.0 && hi / lo < 10.0, "ratio {}", hi / lo);
     }
 
     #[test]
+    fn characterisation_is_mode_invariant() {
+        let (circ, data) = teleport_circuit(0.003);
+        let seq = PauliErrorSampler::from_circuit(&Executor::sequential(7), &circ, &data, 5_000);
+        let pooled = PauliErrorSampler::from_circuit(
+            &Executor::pooled(engine::Engine::with_threads(4), 7),
+            &circ,
+            &data,
+            5_000,
+        );
+        assert_eq!(seq.error_rate(), pooled.error_rate());
+        let mut a = StdRng::seed_from_u64(0);
+        let mut b = StdRng::seed_from_u64(0);
+        for _ in 0..100 {
+            assert_eq!(seq.sample(&mut a), pooled.sample(&mut b));
+        }
+    }
+
+    #[test]
     fn widths_are_correct() {
-        let mut rng = StdRng::seed_from_u64(3);
-        assert_eq!(teleport_sampler(0.001, 500, &mut rng).width(), 1);
-        assert_eq!(telegate_cnot_sampler(0.001, 500, &mut rng).width(), 2);
-        assert_eq!(fanout_sampler(3, 0.001, 500, &mut rng).width(), 4);
+        let exec = Executor::sequential(3);
+        assert_eq!(teleport_sampler(&exec, 0.001, 500).width(), 1);
+        assert_eq!(telegate_cnot_sampler(&exec, 0.001, 500).width(), 2);
+        assert_eq!(fanout_sampler(&exec, 3, 0.001, 500).width(), 4);
     }
 }

@@ -13,8 +13,8 @@
 
 use compas::estimator::TraceBackend;
 use compas::swap_test::{MonolithicSwapTest, MonolithicVariant};
+use engine::Executor;
 use mathkit::matrix::Matrix;
-use rand::Rng;
 
 use crate::observable::Observable;
 
@@ -57,7 +57,7 @@ pub fn estimate_virtual_expectation(
     rho: &Matrix,
     obs: &Observable,
     shots: usize,
-    rng: &mut impl Rng,
+    exec: &Executor,
 ) -> VirtualExpectation {
     let m = denominator.num_parties();
     let n = denominator.state_width();
@@ -66,13 +66,14 @@ pub fn estimate_virtual_expectation(
     assert_eq!(rho.rows(), 1 << n, "state width mismatch");
 
     let copies: Vec<Matrix> = (0..m).map(|_| rho.clone()).collect();
-    let den = denominator.estimate_trace(&copies, shots, rng);
+    // The denominator runs under child 0; Pauli term t under child t + 1.
+    let den = denominator.estimate_trace(&copies, shots, &exec.derive(0));
 
     let mut num = 0.0;
     let mut num_var = 0.0;
-    for (coeff, pauli) in obs.terms() {
+    for (term, (coeff, pauli)) in obs.terms().iter().enumerate() {
         let test = MonolithicSwapTest::with_observable(m, n, variant, pauli);
-        let e = test.estimate(&copies, shots, rng);
+        let e = test.estimate(&copies, shots, &exec.derive(term as u64 + 1));
         num += coeff * e.re;
         num_var += (coeff * e.re_std_err).powi(2);
     }
@@ -125,8 +126,6 @@ mod tests {
 
     #[test]
     fn estimated_cooling_matches_exact_with_exact_denominator() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
-        use rand::SeedableRng;
         let chain = IsingChain::new(1, 1.0, 0.8);
         let obs = Observable::single(1, 0, Pauli::X, 1.0);
         let rho = chain.thermal_state(0.5);
@@ -137,7 +136,7 @@ mod tests {
             &rho,
             &obs,
             4000,
-            &mut rng,
+            &engine::Executor::sequential(7),
         );
         let exact = virtual_expectation_exact(&rho, &obs, 2);
         assert!(

@@ -15,10 +15,10 @@
 //! while the factor-preparation depth `O(d/k)` is reported analytically.
 
 use compas::estimator::TraceBackend;
+use engine::Executor;
 use mathkit::complex::{c64, Complex};
 use mathkit::matrix::Matrix;
 use mathkit::poly::Polynomial;
-use rand::Rng;
 use std::fmt;
 
 /// Errors arising when setting up a parallel-QSP computation.
@@ -215,7 +215,7 @@ impl ParallelQsp {
         rho: &Matrix,
         backend: &dyn TraceBackend,
         shots: usize,
-        rng: &mut impl Rng,
+        exec: &Executor,
     ) -> Result<f64, QspError> {
         assert_eq!(
             backend.num_parties(),
@@ -223,7 +223,7 @@ impl ParallelQsp {
             "backend must match the factor count"
         );
         let (states, prefactor) = self.factor_states(rho)?;
-        let e = backend.estimate_trace(&states, shots, rng);
+        let e = backend.estimate_trace(&states, shots, exec);
         Ok(prefactor * e.re)
     }
 }
@@ -249,7 +249,7 @@ pub fn estimate_poly_trace_by_sums(
     poly: &Polynomial,
     backends: &[&dyn TraceBackend],
     shots: usize,
-    rng: &mut impl Rng,
+    exec: &Executor,
 ) -> f64 {
     let degree = poly.degree().unwrap_or(0);
     assert!(
@@ -272,7 +272,8 @@ pub fn estimate_poly_trace_by_sums(
         let backend = backends[m - 2];
         assert_eq!(backend.num_parties(), m, "backend {m} has wrong arity");
         let copies: Vec<Matrix> = (0..m).map(|_| rho.clone()).collect();
-        let e = backend.estimate_trace(&copies, shots, rng);
+        // Order m's power trace runs under the child context m.
+        let e = backend.estimate_trace(&copies, shots, &exec.derive(m as u64));
         total += c.re * e.re;
     }
     total
@@ -328,7 +329,9 @@ mod tests {
         let p = positive_poly();
         let qsp = ParallelQsp::new(&p, 3).unwrap();
         let backend = ExactTraceBackend::new(3, 1);
-        let got = qsp.estimate(&rho, &backend, 1, &mut rng).unwrap();
+        let got = qsp
+            .estimate(&rho, &backend, 1, &engine::Executor::sequential(0))
+            .unwrap();
         let want = poly_trace_exact(&rho, &p);
         assert!((got - want).abs() < 1e-6 * want.abs(), "{got} vs {want}");
     }
@@ -343,7 +346,9 @@ mod tests {
         let p = cheb.to_polynomial();
         let qsp = ParallelQsp::new(&p, 3).unwrap();
         let backend = ExactTraceBackend::new(3, 1);
-        let got = qsp.estimate(&rho, &backend, 1, &mut rng).unwrap();
+        let got = qsp
+            .estimate(&rho, &backend, 1, &engine::Executor::sequential(0))
+            .unwrap();
         let eig = mathkit::eigen::eigh(&rho);
         let want: f64 = eig.values.iter().map(|&l| (-l).exp()).sum();
         assert!((got - want).abs() < 1e-3, "{got} vs {want}");
@@ -378,7 +383,7 @@ mod tests {
         let p = Polynomial::from_roots(&[c64(0.5, 0.0), c64(0.5, 0.0)]);
         let b2 = ExactTraceBackend::new(2, 1);
         let backends: Vec<&dyn compas::estimator::TraceBackend> = vec![&b2];
-        let got = estimate_poly_trace_by_sums(&rho, &p, &backends, 1, &mut rng);
+        let got = estimate_poly_trace_by_sums(&rho, &p, &backends, 1, &engine::Executor::sequential(0));
         let want = poly_trace_exact(&rho, &p);
         assert!((got - want).abs() < 1e-9, "{got} vs {want}");
         // And the factor route indeed rejects it.
@@ -398,7 +403,8 @@ mod tests {
         let b2 = MonolithicSwapTest::new(2, 1, MonolithicVariant::Fanout);
         let b3 = MonolithicSwapTest::new(3, 1, MonolithicVariant::Fanout);
         let backends: Vec<&dyn compas::estimator::TraceBackend> = vec![&b2, &b3];
-        let got = estimate_poly_trace_by_sums(&rho, &p, &backends, 4000, &mut rng);
+        let got =
+            estimate_poly_trace_by_sums(&rho, &p, &backends, 4000, &engine::Executor::sequential(47));
         let want = poly_trace_exact(&rho, &p);
         assert!((got - want).abs() < 0.2, "{got} vs {want}");
     }
@@ -411,7 +417,9 @@ mod tests {
         let p = positive_poly();
         let qsp = ParallelQsp::new(&p, 2).unwrap();
         let backend = MonolithicSwapTest::new(2, 1, MonolithicVariant::Fanout);
-        let got = qsp.estimate(&rho, &backend, 4000, &mut rng).unwrap();
+        let got = qsp
+            .estimate(&rho, &backend, 4000, &engine::Executor::sequential(45))
+            .unwrap();
         let want = poly_trace_exact(&rho, &p);
         // Generous tolerance: the prefactor amplifies shot noise.
         assert!(

@@ -5,8 +5,8 @@
 //! SWAP test — the canonical COMPAS workload.
 
 use compas::estimator::TraceBackend;
+use engine::Executor;
 use mathkit::matrix::Matrix;
-use rand::Rng;
 
 /// An estimate of an integer-order Rényi entropy.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -48,7 +48,7 @@ pub fn estimate_renyi_entropy(
     backend: &dyn TraceBackend,
     rho: &Matrix,
     shots: usize,
-    rng: &mut impl Rng,
+    exec: &Executor,
 ) -> RenyiEstimate {
     let order = backend.num_parties();
     assert!(order >= 2, "integer Rényi order must be at least 2");
@@ -58,7 +58,7 @@ pub fn estimate_renyi_entropy(
         "state dimension does not match the backend"
     );
     let copies: Vec<Matrix> = (0..order).map(|_| rho.clone()).collect();
-    let e = backend.estimate_trace(&copies, shots, rng);
+    let e = backend.estimate_trace(&copies, shots, exec);
     // tr(ρᵐ) ∈ (0, 1]; clamp so the log stays finite under sampling noise.
     let trace = e.re.clamp(1e-12, 1.0);
     RenyiEstimate {
@@ -113,7 +113,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let rho = random_density_matrix(1, &mut rng);
         let backend = ExactTraceBackend::new(3, 1);
-        let est = estimate_renyi_entropy(&backend, &rho, 1, &mut rng);
+        let est = estimate_renyi_entropy(&backend, &rho, 1, &engine::Executor::sequential(0));
         assert!((est.entropy - renyi_entropy_exact(&rho, 3)).abs() < 1e-9);
         assert!((est.trace - renyi_trace_exact(&rho, 3)).abs() < 1e-12);
     }
@@ -123,7 +123,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let rho = random_density_matrix(1, &mut rng);
         let backend = MonolithicSwapTest::new(2, 1, MonolithicVariant::Fanout);
-        let est = estimate_renyi_entropy(&backend, &rho, 4000, &mut rng);
+        let est = estimate_renyi_entropy(&backend, &rho, 4000, &engine::Executor::sequential(4));
         let exact = renyi_trace_exact(&rho, 2);
         assert!(
             (est.trace - exact).abs() < 5.0 * est.trace_std_err,

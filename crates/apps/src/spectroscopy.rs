@@ -8,9 +8,9 @@
 //! SWAP test, so COMPAS runs the whole pipeline distributed.
 
 use compas::estimator::TraceBackend;
+use engine::Executor;
 use mathkit::matrix::Matrix;
 use mathkit::poly::spectrum_from_power_sums;
-use rand::Rng;
 
 /// Result of a spectroscopy run.
 #[derive(Debug, Clone, PartialEq)]
@@ -41,7 +41,8 @@ pub fn exact_power_traces(rho: &Matrix, max_order: usize) -> Vec<f64> {
 }
 
 /// Runs entanglement spectroscopy: one backend per order `m = 2…M`
-/// (`backends[i]` must be compiled for `k = i + 2` parties).
+/// (`backends[i]` must be compiled for `k = i + 2` parties); order `m`'s
+/// trace runs under the child context `exec.derive(i)`.
 ///
 /// # Panics
 ///
@@ -50,7 +51,7 @@ pub fn estimate_spectrum(
     backends: &[&dyn TraceBackend],
     rho: &Matrix,
     shots: usize,
-    rng: &mut impl Rng,
+    exec: &Executor,
 ) -> SpectroscopyResult {
     let mut power_traces = vec![1.0]; // tr ρ = 1
     for (i, backend) in backends.iter().enumerate() {
@@ -61,7 +62,7 @@ pub fn estimate_spectrum(
             "backend {i} must implement a {order}-party test"
         );
         let copies: Vec<Matrix> = (0..order).map(|_| rho.clone()).collect();
-        let e = backend.estimate_trace(&copies, shots, rng);
+        let e = backend.estimate_trace(&copies, shots, &exec.derive(i as u64));
         power_traces.push(e.re.clamp(0.0, 1.0));
     }
     let eigenvalues = spectrum_from_traces(&power_traces);
@@ -137,7 +138,7 @@ mod tests {
         let rho = random_density_matrix_of_rank(1, 2, &mut rng);
         let b2 = ExactTraceBackend::new(2, 1);
         let backends: Vec<&dyn TraceBackend> = vec![&b2];
-        let result = estimate_spectrum(&backends, &rho, 1, &mut rng);
+        let result = estimate_spectrum(&backends, &rho, 1, &engine::Executor::sequential(0));
         let exact = exact_eigs_desc(&rho);
         assert!(spectrum_error(&result.eigenvalues, &exact) < 1e-8);
         // Entanglement spectrum is −ln λ, ascending in energy for

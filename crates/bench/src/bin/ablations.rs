@@ -10,15 +10,10 @@ use bench::Scale;
 fn main() {
     let scale = Scale::from_env();
     let shots = scale.pick(50_000, 4_000);
-    let mut rng = bench::bench_rng();
+    let exec = bench::bench_executor();
 
     bench::emit(&ordering_ablation(&[4, 6, 8, 12, 16], 2));
-    bench::emit(&fanout_ablation(
-        &[4, 8, 16, 32, 64],
-        0.003,
-        shots,
-        &mut rng,
-    ));
+    bench::emit(&fanout_ablation(&exec, &[4, 8, 16, 32, 64], 0.003, shots));
     bench::emit(&qubit_reuse_ablation(&[4, 6, 8], 2));
     bench::emit(&topology_ablation(6, 2));
     bench::emit(&fig2_comparison(4, &[1, 2, 4, 8]));

@@ -1,34 +1,48 @@
-//! Criterion-free micro-benchmark of the shot-execution engine: prints
+//! Criterion-free micro-benchmark of the unified execution path: prints
 //! shots/sec on the Table 4 workload (residual-error sampling of the
-//! noisy constant-depth Fanout, m = 6 targets, p = 3e-3) for the
-//! sequential reference path and for the engine at 1, 2, 4, … threads,
-//! plus the parallel speedup. The numbers are the perf baseline future
-//! PRs record in `BENCH_*.json`.
+//! noisy constant-depth Fanout, m = 6 targets, p = 3e-3) for
+//! `Executor::Sequential` and for `Executor::Pooled` at 1, 2, 4, …
+//! threads, plus the parallel speedup — and asserts that the two modes
+//! produce identical tallies, since that equivalence is the engine's
+//! core guarantee. The numbers are the perf baseline future PRs record.
 //!
 //! Run with: `cargo run --release --bin engine_scaling [--quick]`
 
-use analysis::fanout_noise::{fanout_error_distribution, FanoutResidualJob};
+use analysis::fanout_noise::FanoutResidualJob;
 use analysis::table_io::ResultTable;
 use bench::Scale;
-use engine::{BatchRunner, Engine};
+use engine::{Engine, Executor, ExperimentBuilder};
+use std::collections::HashMap;
 use std::time::Instant;
+
+fn run_grid(exec: &Executor, targets: usize, p: f64, shots: usize) -> HashMap<stabilizer::pauli::PauliString, u64> {
+    // The declarative shape every bench driver shares: a (point grid,
+    // shots, executor) triple — here a single-point grid.
+    let mut results = ExperimentBuilder::new()
+        .point((targets, p))
+        .shots(shots)
+        .run_jobs(exec, |&(m, p), shots, seed| {
+            FanoutResidualJob::new(m, p, shots, seed)
+        });
+    results.pop().expect("one grid point").1
+}
 
 fn main() {
     let scale = Scale::from_env();
     let shots = scale.pick(200_000, 20_000);
     let (targets, p) = (6usize, 0.003);
 
-    // Sequential reference: the pre-engine single-RNG loop.
-    let mut rng = bench::bench_rng();
+    // Sequential reference: the same unified path, sequential mode.
+    let seq_exec = Executor::sequential(bench::ROOT_SEED);
     let t0 = Instant::now();
-    let row = fanout_error_distribution(targets, p, shots, 4, &mut rng);
+    let seq_tally = run_grid(&seq_exec, targets, p, shots);
     let seq_secs = t0.elapsed().as_secs_f64();
     let seq_rate = shots as f64 / seq_secs;
-    assert!(row.identity_probability > 0.0);
+    assert_eq!(seq_tally.values().sum::<u64>(), shots as u64);
 
     let mut t = ResultTable::new(
         "Engine scaling on the Table 4 workload",
-        &["path", "threads", "shots", "secs", "shots_per_sec", "speedup"],
+        &["mode", "threads", "shots", "secs", "shots_per_sec", "speedup"],
     );
     t.push_row(vec![
         "sequential".into(),
@@ -45,17 +59,18 @@ fn main() {
     let mut threads = 1usize;
     let mut measured: Vec<(usize, f64)> = Vec::new();
     loop {
-        let engine = Engine::with_threads(threads);
-        let job = FanoutResidualJob::new(targets, p, shots, bench::ROOT_SEED);
+        let exec = Executor::pooled(Engine::with_threads(threads), bench::ROOT_SEED);
         let t0 = Instant::now();
-        let tallies = BatchRunner::new(&engine).run_batch(std::slice::from_ref(&job));
+        let tally = run_grid(&exec, targets, p, shots);
         let secs = t0.elapsed().as_secs_f64();
-        let total: u64 = tallies[0].values().sum();
-        assert_eq!(total, shots as u64);
+        assert_eq!(
+            tally, seq_tally,
+            "pooled mode diverged from the sequential reference"
+        );
         let rate = shots as f64 / secs;
         measured.push((threads, rate));
         t.push_row(vec![
-            "engine".into(),
+            "pooled".into(),
             threads.to_string(),
             shots.to_string(),
             format!("{secs:.3}"),
@@ -71,7 +86,7 @@ fn main() {
 
     if let Some(&(n, rate)) = measured.iter().find(|&&(n, _)| n >= 4) {
         println!(
-            "speedup at {n} threads: {:.2}x over the sequential path",
+            "speedup at {n} threads: {:.2}x over the sequential mode",
             rate / seq_rate
         );
     }

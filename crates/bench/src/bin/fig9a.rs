@@ -1,25 +1,19 @@
 //! Regenerates Fig 9a: distributed GHZ fidelity vs party count with
 //! linear fits, r ∈ 4..=12, p2q ∈ {1e-3, 3e-3, 5e-3}.
 //!
-//! The full 27-point grid runs as one `engine::BatchRunner` batch of
-//! `GhzFidelityJob`s — deterministic for the fixed root seed at any
+//! The full 27-point grid runs as one batch through the shared
+//! `Executor` — deterministic for the fixed root seed at any
 //! `COMPAS_THREADS` setting.
 
-use analysis::ghz_fidelity::{fig9a_parallel, fig9a_result};
+use analysis::ghz_fidelity::{fig9a, fig9a_result};
 use bench::Scale;
 
 fn main() {
     let scale = Scale::from_env();
     let shots = scale.pick(100_000, 4_000);
-    let engine = bench::bench_engine();
+    let exec = bench::bench_executor();
     let parties: Vec<usize> = (4..=12).collect();
-    let series = fig9a_parallel(
-        &engine,
-        &parties,
-        &[0.001, 0.003, 0.005],
-        shots,
-        bench::ROOT_SEED,
-    );
+    let series = fig9a(&exec, &parties, &[0.001, 0.003, 0.005], shots);
     bench::emit(&fig9a_result(&series));
     for s in &series {
         println!(

@@ -1,12 +1,12 @@
 //! Regenerates Fig 9b: classical fidelity of the two-party CSWAP vs
 //! state width, for the teledata and telegate schemes.
 //!
-//! Primitive characterisation is engine-parallel per grid point, and all
-//! fidelity evaluations run as one `engine::BatchRunner` batch of
-//! `CswapFidelityJob`s — deterministic for the fixed root seed at any
+//! Primitive characterisation runs per grid point under derived child
+//! contexts, and all fidelity evaluations execute as one batch through
+//! the shared `Executor` — deterministic for the fixed root seed at any
 //! `COMPAS_THREADS` setting.
 
-use analysis::cswap_fidelity::{fig9b_parallel, fig9b_result};
+use analysis::cswap_fidelity::{fig9b, fig9b_result};
 use bench::Scale;
 use compas::cswap::CswapScheme;
 
@@ -14,15 +14,14 @@ fn main() {
     let scale = Scale::from_env();
     let characterize_shots = scale.pick(50_000, 3_000);
     let shots_per_input = scale.pick(200, 20);
-    let engine = bench::bench_engine();
+    let exec = bench::bench_executor();
     let widths: Vec<usize> = (1..=5).collect();
-    let series = fig9b_parallel(
-        &engine,
+    let series = fig9b(
+        &exec,
         &widths,
         &[0.001, 0.003, 0.005],
         characterize_shots,
         shots_per_input,
-        bench::ROOT_SEED,
     );
     bench::emit(&fig9b_result(&series));
 

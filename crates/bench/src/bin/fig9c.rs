@@ -8,15 +8,15 @@ fn main() {
     let scale = Scale::from_env();
     let characterize_shots = scale.pick(50_000, 3_000);
     let shots_per_input = scale.pick(100, 10);
-    let mut rng = bench::bench_rng();
+    let exec = bench::bench_executor();
     let widths: Vec<usize> = (2..=10).collect();
     let series = fig9c(
+        &exec,
         &widths,
         &[8, 12],
         &[0.001, 0.003, 0.005],
         characterize_shots,
         shots_per_input,
-        &mut rng,
     );
     bench::emit(&fig9c_result(&series));
 }

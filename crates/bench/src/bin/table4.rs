@@ -2,17 +2,17 @@
 //! constant-depth Fanout gadget (paper settings: 100 000 shots per grid
 //! point, p ∈ {1e-3, 3e-3, 5e-3}, targets ∈ {4, 6, 8}).
 //!
-//! The 9-point grid runs as one `engine::BatchRunner` batch of
-//! `FanoutResidualJob`s — deterministic for the fixed root seed at any
-//! `COMPAS_THREADS` setting.
+//! The 9-point grid runs as one batch through the shared `Executor` —
+//! deterministic for the fixed root seed at any `COMPAS_THREADS`
+//! setting.
 
-use analysis::fanout_noise::{table4_parallel, table4_result};
+use analysis::fanout_noise::{table4, table4_result};
 use bench::Scale;
 
 fn main() {
     let scale = Scale::from_env();
     let shots = scale.pick(100_000, 5_000);
-    let engine = bench::bench_engine();
-    let rows = table4_parallel(&engine, &[0.001, 0.003, 0.005], &[4, 6, 8], shots, bench::ROOT_SEED);
+    let exec = bench::bench_executor();
+    let rows = table4(&exec, &[0.001, 0.003, 0.005], &[4, 6, 8], shots);
     bench::emit(&table4_result(&rows));
 }

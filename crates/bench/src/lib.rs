@@ -5,9 +5,7 @@
 //! match the paper's settings (e.g. 100 000 shots for Table 4).
 
 use analysis::table_io::{default_results_dir, ResultTable};
-use engine::Engine;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use engine::{Engine, Executor};
 
 /// Shot-count scale for the regeneration binaries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,18 +43,14 @@ impl Scale {
 /// via `engine::derive_stream_seed`.
 pub const ROOT_SEED: u64 = 0xC0_45;
 
-/// The deterministic RNG used by the remaining sequential paths.
-pub fn bench_rng() -> StdRng {
-    StdRng::seed_from_u64(ROOT_SEED)
-}
-
-/// The shot-execution engine every binary samples through, configured
-/// from `COMPAS_THREADS` / `--threads N` / `COMPAS_CHUNK` (defaults to
-/// all available cores).
-pub fn bench_engine() -> Engine {
+/// The execution context every binary samples through: a pooled
+/// executor over the environment-configured engine (`COMPAS_THREADS` /
+/// `--threads N` / `COMPAS_CHUNK`, defaults to all available cores),
+/// rooted at [`ROOT_SEED`].
+pub fn bench_executor() -> Executor {
     let engine = Engine::from_env();
     eprintln!("[engine] {} worker thread(s)", engine.threads());
-    engine
+    Executor::pooled(engine, ROOT_SEED)
 }
 
 /// Prints a result table and persists its CSV under `results/`.
@@ -79,10 +73,7 @@ mod tests {
     }
 
     #[test]
-    fn rng_is_deterministic() {
-        use rand::Rng;
-        let a: u64 = bench_rng().random();
-        let b: u64 = bench_rng().random();
-        assert_eq!(a, b);
+    fn bench_executor_is_rooted_at_the_shared_seed() {
+        assert_eq!(bench_executor().root_seed(), ROOT_SEED);
     }
 }

@@ -7,6 +7,7 @@
 //! the estimate container and the exact linear-algebra reference used to
 //! validate every protocol.
 
+use engine::Executor;
 use mathkit::complex::{c64, Complex};
 use mathkit::matrix::Matrix;
 
@@ -127,6 +128,12 @@ impl TraceEstimator {
 /// parallel QSP) programs against, so every application runs unchanged on
 /// the monolithic test, the COMPAS distributed protocol, or the exact
 /// reference backend.
+///
+/// There is exactly **one** estimation entry point: how the shots
+/// execute — sequentially or across a worker pool — is the
+/// [`Executor`]'s policy, never the backend's. For a fixed root seed,
+/// `Executor::sequential(s)` and `Executor::pooled(engine, s)` produce
+/// bit-identical estimates (asserted by the engine determinism tests).
 pub trait TraceBackend {
     /// Number of parties `k` this backend was compiled for.
     fn num_parties(&self) -> usize;
@@ -134,38 +141,28 @@ pub trait TraceBackend {
     /// Qubits per state.
     fn state_width(&self) -> usize;
 
-    /// Estimates `tr(ρ₁…ρ_k)` with `shots` per measurement channel.
-    fn estimate_trace(
-        &self,
-        states: &[Matrix],
-        shots: usize,
-        rng: &mut dyn rand::RngCore,
-    ) -> TraceEstimate;
-
-    /// Estimates `tr(ρ₁…ρ_k)` with the shots partitioned across
-    /// `engine`'s worker pool under deterministic per-shot seed streams
-    /// rooted at `root_seed`.
-    ///
-    /// The default implementation falls back to the sequential
-    /// [`TraceBackend::estimate_trace`] on a seeded RNG, so exact and
-    /// custom backends work unchanged; the shot-based protocol backends
-    /// override it with a genuinely parallel path.
-    fn estimate_trace_parallel(
-        &self,
-        states: &[Matrix],
-        shots: usize,
-        _engine: &engine::Engine,
-        root_seed: u64,
-    ) -> TraceEstimate {
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(root_seed);
-        self.estimate_trace(states, shots, &mut rng)
+    /// Whether this backend evaluates traces in closed form, consuming
+    /// **no** shots and no randomness. Shot-free backends (like
+    /// [`ExactTraceBackend`]) ignore the `shots` and `exec` arguments of
+    /// [`TraceBackend::estimate_trace`] and report `shots: 0` with zero
+    /// standard errors, rather than pretending to sample.
+    fn is_shot_free(&self) -> bool {
+        false
     }
+
+    /// Estimates `tr(ρ₁…ρ_k)` with `shots` per measurement channel
+    /// under the given execution context.
+    fn estimate_trace(&self, states: &[Matrix], shots: usize, exec: &Executor) -> TraceEstimate;
 }
 
 /// A backend that evaluates traces exactly by linear algebra — the
 /// "infinite shots" reference, useful for fast application-level tests
 /// and for isolating sampling error from protocol error.
+///
+/// This backend is *shot-free* ([`TraceBackend::is_shot_free`] returns
+/// `true`): `estimate_trace` ignores the shot count and executor
+/// entirely and reports `shots: 0`, instead of silently running a
+/// sequential fallback that pretends to consume them.
 #[derive(Debug, Clone, Copy)]
 pub struct ExactTraceBackend {
     k: usize,
@@ -188,11 +185,15 @@ impl TraceBackend for ExactTraceBackend {
         self.n
     }
 
+    fn is_shot_free(&self) -> bool {
+        true
+    }
+
     fn estimate_trace(
         &self,
         states: &[Matrix],
         _shots: usize,
-        _rng: &mut dyn rand::RngCore,
+        _exec: &Executor,
     ) -> TraceEstimate {
         let t = exact_multivariate_trace(states);
         TraceEstimate {
@@ -294,6 +295,29 @@ mod tests {
         };
         assert!(e.is_consistent_with(c64(0.55, 0.05), 2.0));
         assert!(!e.is_consistent_with(c64(0.8, 0.0), 2.0));
+    }
+
+    #[test]
+    fn exact_backend_is_shot_free_in_every_mode() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let states: Vec<Matrix> = (0..3)
+            .map(|_| random_density_matrix(1, &mut rng))
+            .collect();
+        let backend = ExactTraceBackend::new(3, 1);
+        assert!(backend.is_shot_free());
+        let seq = backend.estimate_trace(&states, 100, &Executor::sequential(1));
+        let pooled = backend.estimate_trace(
+            &states,
+            100,
+            &Executor::pooled(engine::Engine::with_threads(4), 2),
+        );
+        // Shots and executor are declared irrelevant: identical output,
+        // zero consumed shots, zero standard error.
+        assert_eq!(seq, pooled);
+        assert_eq!(seq.shots, 0);
+        assert_eq!(seq.re_std_err, 0.0);
+        let exact = exact_multivariate_trace(&states);
+        assert!((seq.re - exact.re).abs() < 1e-12 && (seq.im - exact.im).abs() < 1e-12);
     }
 
     #[test]

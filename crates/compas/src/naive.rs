@@ -14,12 +14,12 @@
 //!   across slices. Entangled inputs are silently mis-estimated, whereas
 //!   COMPAS keeps each state whole on one QPU.
 
+use engine::Executor;
 use mathkit::complex::Complex;
 use mathkit::matrix::Matrix;
 use network::ledger::ResourceLedger;
 use network::machine::DistributedMachine;
 use network::topology::Topology;
-use rand::Rng;
 
 use crate::estimator::TraceEstimate;
 use crate::swap_test::{MonolithicSwapTest, MonolithicVariant};
@@ -80,7 +80,8 @@ impl NaiveDistribution {
     /// qubit `j`, i.e. `ρᵢ = ⊗ⱼ slices[i][j]`.
     ///
     /// Runs one `k`-party single-qubit test per slice (`shots` per
-    /// channel each) and multiplies the complex per-slice estimates.
+    /// channel each, slice `j` under the child context `exec.derive(j)`)
+    /// and multiplies the complex per-slice estimates.
     ///
     /// # Panics
     ///
@@ -89,7 +90,7 @@ impl NaiveDistribution {
         &self,
         slices: &[Vec<Matrix>],
         shots: usize,
-        rng: &mut impl Rng,
+        exec: &Executor,
     ) -> TraceEstimate {
         assert_eq!(slices.len(), self.k, "need k states");
         for row in slices {
@@ -100,7 +101,7 @@ impl NaiveDistribution {
         let mut worst_im_err: f64 = 0.0;
         for j in 0..self.n {
             let slice_states: Vec<Matrix> = slices.iter().map(|row| row[j].clone()).collect();
-            let e = self.slice_test.estimate(&slice_states, shots, rng);
+            let e = self.slice_test.estimate(&slice_states, shots, &exec.derive(j as u64));
             product *= e.value();
             worst_re_err = worst_re_err.max(e.re_std_err);
             worst_im_err = worst_im_err.max(e.im_std_err);
@@ -179,7 +180,7 @@ mod tests {
             })
             .collect();
         let exact = exact_multivariate_trace(&full);
-        let e = naive.estimate_sliced(&slices, 3000, &mut rng);
+        let e = naive.estimate_sliced(&slices, 3000, &Executor::sequential(56));
         assert!(
             e.is_consistent_with(exact, 6.0),
             "estimate {e:?} vs exact {exact}"

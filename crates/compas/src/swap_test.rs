@@ -22,18 +22,17 @@
 
 use circuit::circuit::{Circuit, Instruction};
 use circuit::gate::{Gate, Qubit};
-use engine::{derive_stream_seed, Engine};
+use engine::Executor;
 use mathkit::matrix::Matrix;
 use network::ledger::ResourceLedger;
 use network::machine::DistributedMachine;
 use network::topology::Topology;
 use qsim::qrand::PureEnsemble;
-use qsim::runner::{run_shot, run_shot_into};
+use qsim::runner::run_shot_into;
 use qsim::statevector::StateVector;
-use rand::Rng;
 
 use crate::cswap::{local_cswap_block, two_party_cswap, CswapScheme};
-use crate::estimator::{TraceBackend, TraceEstimate, TraceEstimator};
+use crate::estimator::{TraceBackend, TraceEstimate};
 use crate::ghz::{distributed_ghz, monolithic_ghz};
 use stabilizer::pauli::{Pauli, PauliString};
 
@@ -137,53 +136,13 @@ struct ProtocolCircuits {
 }
 
 impl ProtocolCircuits {
-    /// Runs `shots` per channel, sampling pure states from each `ρ_i`'s
-    /// eigen-ensemble every shot, and returns the trace estimate.
-    fn estimate(&self, states: &[Matrix], shots: usize, rng: &mut impl Rng) -> TraceEstimate {
-        assert_eq!(states.len(), self.state_qubits.len(), "need k states");
-        let ensembles: Vec<PureEnsemble> = states.iter().map(PureEnsemble::from_density).collect();
-        let mut est = TraceEstimator::new();
-        for channel in 0..2 {
-            let circ = if channel == 0 {
-                &self.circuit_re
-            } else {
-                &self.circuit_im
-            };
-            for _ in 0..shots {
-                let groups: Vec<(Vec<mathkit::complex::Complex>, Vec<usize>)> = ensembles
-                    .iter()
-                    .zip(&self.state_qubits)
-                    .map(|(ens, qs)| (ens.sample(rng).to_vec(), qs.clone()))
-                    .collect();
-                let initial = StateVector::product_state(circ.num_qubits(), &groups);
-                let out = run_shot(circ, &initial, rng);
-                let parity = self
-                    .ghz_cbits
-                    .iter()
-                    .fold(false, |acc, &c| acc ^ out.cbits[c]);
-                if channel == 0 {
-                    est.record_re(parity);
-                } else {
-                    est.record_im(parity);
-                }
-            }
-        }
-        est.finish()
-    }
-
-    /// Engine-parallel counterpart of [`ProtocolCircuits::estimate`]:
-    /// the two measurement channels run on decorrelated seed streams
-    /// (`derive_stream_seed(root_seed, channel)`), each shot samples the
-    /// input ensembles and plays the circuit on its own RNG stream, and
-    /// workers reuse statevector buffers across shots. Deterministic for
-    /// a fixed `root_seed` at any thread count.
-    fn estimate_with_engine(
-        &self,
-        states: &[Matrix],
-        shots: usize,
-        engine: &Engine,
-        root_seed: u64,
-    ) -> TraceEstimate {
+    /// Runs `shots` per channel under the given execution context: the
+    /// two measurement channels run on decorrelated child contexts
+    /// (`exec.derive(channel)`), each shot samples the input ensembles
+    /// and plays the circuit on its own derived RNG stream, and workers
+    /// reuse statevector buffers across shots. For a fixed root seed the
+    /// estimate is bit-identical in every execution mode.
+    fn estimate(&self, states: &[Matrix], shots: usize, exec: &Executor) -> TraceEstimate {
         assert_eq!(states.len(), self.state_qubits.len(), "need k states");
         let ensembles: Vec<PureEnsemble> = states.iter().map(PureEnsemble::from_density).collect();
         let mut odd = [0u64; 2];
@@ -193,9 +152,8 @@ impl ProtocolCircuits {
             } else {
                 &self.circuit_im
             };
-            *odd_count = engine.run_count_with(
+            *odd_count = exec.derive(channel as u64).run_count_with(
                 shots as u64,
-                derive_stream_seed(root_seed, channel as u64),
                 || (StateVector::new(circ.num_qubits()), Vec::new()),
                 |(state, cbits), _shot, rng| {
                     let groups: Vec<(Vec<mathkit::complex::Complex>, Vec<usize>)> = ensembles
@@ -419,27 +377,13 @@ impl MonolithicSwapTest {
         &self.circuits.circuit_re
     }
 
-    /// Estimates `tr(ρ₁…ρ_k)` with `shots` per channel.
+    /// Estimates `tr(ρ₁…ρ_k)` with `shots` per channel under `exec`.
     ///
     /// # Panics
     ///
     /// Panics if the number or dimension of `states` is wrong.
-    pub fn estimate(&self, states: &[Matrix], shots: usize, rng: &mut impl Rng) -> TraceEstimate {
-        self.circuits.estimate(states, shots, rng)
-    }
-
-    /// Engine-parallel [`MonolithicSwapTest::estimate`]: shots are
-    /// partitioned across the engine's workers on deterministic
-    /// per-shot seed streams rooted at `root_seed`.
-    pub fn estimate_parallel(
-        &self,
-        states: &[Matrix],
-        shots: usize,
-        engine: &Engine,
-        root_seed: u64,
-    ) -> TraceEstimate {
-        self.circuits
-            .estimate_with_engine(states, shots, engine, root_seed)
+    pub fn estimate(&self, states: &[Matrix], shots: usize, exec: &Executor) -> TraceEstimate {
+        self.circuits.estimate(states, shots, exec)
     }
 }
 
@@ -516,21 +460,9 @@ impl HadamardTestSwapTest {
         &self.circuits.circuit_re
     }
 
-    /// Estimates `tr(ρ₁…ρ_k)` with `shots` per channel.
-    pub fn estimate(&self, states: &[Matrix], shots: usize, rng: &mut impl Rng) -> TraceEstimate {
-        self.circuits.estimate(states, shots, rng)
-    }
-
-    /// Engine-parallel [`HadamardTestSwapTest::estimate`].
-    pub fn estimate_parallel(
-        &self,
-        states: &[Matrix],
-        shots: usize,
-        engine: &Engine,
-        root_seed: u64,
-    ) -> TraceEstimate {
-        self.circuits
-            .estimate_with_engine(states, shots, engine, root_seed)
+    /// Estimates `tr(ρ₁…ρ_k)` with `shots` per channel under `exec`.
+    pub fn estimate(&self, states: &[Matrix], shots: usize, exec: &Executor) -> TraceEstimate {
+        self.circuits.estimate(states, shots, exec)
     }
 }
 
@@ -543,23 +475,8 @@ impl TraceBackend for HadamardTestSwapTest {
         self.n
     }
 
-    fn estimate_trace(
-        &self,
-        states: &[Matrix],
-        shots: usize,
-        rng: &mut dyn rand::RngCore,
-    ) -> TraceEstimate {
-        self.estimate(states, shots, &mut RngShim(rng))
-    }
-
-    fn estimate_trace_parallel(
-        &self,
-        states: &[Matrix],
-        shots: usize,
-        engine: &Engine,
-        root_seed: u64,
-    ) -> TraceEstimate {
-        self.estimate_parallel(states, shots, engine, root_seed)
+    fn estimate_trace(&self, states: &[Matrix], shots: usize, exec: &Executor) -> TraceEstimate {
+        self.estimate(states, shots, exec)
     }
 }
 
@@ -707,37 +624,11 @@ impl CompasProtocol {
         &self.ledger
     }
 
-    /// Estimates `tr(ρ₁…ρ_k)` with `shots` per channel.
-    pub fn estimate(&self, states: &[Matrix], shots: usize, rng: &mut impl Rng) -> TraceEstimate {
-        self.circuits.estimate(states, shots, rng)
-    }
-
-    /// Engine-parallel [`CompasProtocol::estimate`]: the production path
-    /// for paper-scale shot counts.
-    pub fn estimate_parallel(
-        &self,
-        states: &[Matrix],
-        shots: usize,
-        engine: &Engine,
-        root_seed: u64,
-    ) -> TraceEstimate {
-        self.circuits
-            .estimate_with_engine(states, shots, engine, root_seed)
-    }
-}
-
-/// Adapts an unsized `&mut dyn RngCore` into a sized `Rng` receiver.
-struct RngShim<'a>(&'a mut dyn rand::RngCore);
-
-impl rand::RngCore for RngShim<'_> {
-    fn next_u32(&mut self) -> u32 {
-        self.0.next_u32()
-    }
-    fn next_u64(&mut self) -> u64 {
-        self.0.next_u64()
-    }
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        self.0.fill_bytes(dest)
+    /// Estimates `tr(ρ₁…ρ_k)` with `shots` per channel under `exec` —
+    /// the production path for paper-scale shot counts is a pooled
+    /// executor; a sequential one reproduces it bit-for-bit.
+    pub fn estimate(&self, states: &[Matrix], shots: usize, exec: &Executor) -> TraceEstimate {
+        self.circuits.estimate(states, shots, exec)
     }
 }
 
@@ -750,23 +641,8 @@ impl TraceBackend for MonolithicSwapTest {
         self.n
     }
 
-    fn estimate_trace(
-        &self,
-        states: &[Matrix],
-        shots: usize,
-        rng: &mut dyn rand::RngCore,
-    ) -> TraceEstimate {
-        self.estimate(states, shots, &mut RngShim(rng))
-    }
-
-    fn estimate_trace_parallel(
-        &self,
-        states: &[Matrix],
-        shots: usize,
-        engine: &Engine,
-        root_seed: u64,
-    ) -> TraceEstimate {
-        self.estimate_parallel(states, shots, engine, root_seed)
+    fn estimate_trace(&self, states: &[Matrix], shots: usize, exec: &Executor) -> TraceEstimate {
+        self.estimate(states, shots, exec)
     }
 }
 
@@ -779,23 +655,8 @@ impl TraceBackend for CompasProtocol {
         self.n
     }
 
-    fn estimate_trace(
-        &self,
-        states: &[Matrix],
-        shots: usize,
-        rng: &mut dyn rand::RngCore,
-    ) -> TraceEstimate {
-        self.estimate(states, shots, &mut RngShim(rng))
-    }
-
-    fn estimate_trace_parallel(
-        &self,
-        states: &[Matrix],
-        shots: usize,
-        engine: &Engine,
-        root_seed: u64,
-    ) -> TraceEstimate {
-        self.estimate_parallel(states, shots, engine, root_seed)
+    fn estimate_trace(&self, states: &[Matrix], shots: usize, exec: &Executor) -> TraceEstimate {
+        self.estimate(states, shots, exec)
     }
 }
 
@@ -803,6 +664,7 @@ impl TraceBackend for CompasProtocol {
 mod tests {
     use super::*;
     use crate::estimator::exact_multivariate_trace;
+    use engine::Engine;
     use qsim::qrand::{random_density_matrix, random_pure_state};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -867,7 +729,7 @@ mod tests {
         ];
         let exact = exact_multivariate_trace(&states);
         let test = MonolithicSwapTest::new(2, 1, MonolithicVariant::Sequential);
-        let e = test.estimate(&states, 3000, &mut rng);
+        let e = test.estimate(&states, 3000, &Executor::sequential(200));
         assert_estimates_trace(e, exact);
     }
 
@@ -878,7 +740,7 @@ mod tests {
         let exact = exact_multivariate_trace(&states);
         assert!(exact.im.abs() > 1e-3, "want a complex-valued case");
         let test = MonolithicSwapTest::new(3, 1, MonolithicVariant::Sequential);
-        let e = test.estimate(&states, 4000, &mut rng);
+        let e = test.estimate(&states, 4000, &Executor::sequential(201));
         assert_estimates_trace(e, exact);
     }
 
@@ -888,7 +750,7 @@ mod tests {
         let states: Vec<Matrix> = (0..3).map(|_| random_pure_density(1, &mut rng)).collect();
         let exact = exact_multivariate_trace(&states);
         let test = MonolithicSwapTest::new(3, 1, MonolithicVariant::Fanout);
-        let e = test.estimate(&states, 4000, &mut rng);
+        let e = test.estimate(&states, 4000, &Executor::sequential(202));
         assert_estimates_trace(e, exact);
     }
 
@@ -898,10 +760,10 @@ mod tests {
         let states: Vec<Matrix> = (0..3).map(|_| random_pure_density(1, &mut rng)).collect();
         let exact = exact_multivariate_trace(&states);
         let proto = CompasProtocol::new(3, 1, CswapScheme::Teledata);
-        let par = proto.estimate_parallel(&states, 600, &Engine::with_threads(4), 77);
+        let par = proto.estimate(&states, 600, &Executor::pooled(Engine::with_threads(4), 77));
         assert_estimates_trace(par, exact);
-        // Byte-identical across thread counts for a fixed root seed.
-        let seq = proto.estimate_parallel(&states, 600, &Engine::sequential(), 77);
+        // Byte-identical across execution modes for a fixed root seed.
+        let seq = proto.estimate(&states, 600, &Executor::sequential(77));
         assert_eq!(par, seq);
     }
 
@@ -913,7 +775,7 @@ mod tests {
         let states = vec![rho.clone(), rho.clone(), rho];
         let exact = exact_multivariate_trace(&states);
         let test = MonolithicSwapTest::new(3, 1, MonolithicVariant::Fanout);
-        let e = test.estimate(&states, 4000, &mut rng);
+        let e = test.estimate(&states, 4000, &Executor::sequential(203));
         assert_estimates_trace(e, exact);
         assert!(exact.im.abs() < 1e-10, "tr(ρ³) is real");
     }
@@ -924,7 +786,7 @@ mod tests {
         let states: Vec<Matrix> = (0..4).map(|_| random_pure_density(2, &mut rng)).collect();
         let exact = exact_multivariate_trace(&states);
         let test = MonolithicSwapTest::new(4, 2, MonolithicVariant::Sequential);
-        let e = test.estimate(&states, 1200, &mut rng);
+        let e = test.estimate(&states, 1200, &Executor::sequential(204));
         assert_estimates_trace(e, exact);
     }
 
@@ -934,7 +796,7 @@ mod tests {
         let states: Vec<Matrix> = (0..3).map(|_| random_pure_density(1, &mut rng)).collect();
         let exact = exact_multivariate_trace(&states);
         let test = HadamardTestSwapTest::new(3, 1);
-        let e = test.estimate(&states, 4000, &mut rng);
+        let e = test.estimate(&states, 4000, &Executor::sequential(205));
         assert_estimates_trace(e, exact);
     }
 
@@ -953,7 +815,7 @@ mod tests {
         let states: Vec<Matrix> = (0..3).map(|_| random_pure_density(1, &mut rng)).collect();
         let exact = exact_multivariate_trace(&states);
         let test = MonolithicSwapTest::new(3, 1, MonolithicVariant::WideGhz);
-        let e = test.estimate(&states, 4000, &mut rng);
+        let e = test.estimate(&states, 4000, &Executor::sequential(206));
         assert_estimates_trace(e, exact);
     }
 
@@ -964,7 +826,7 @@ mod tests {
         let exact = exact_multivariate_trace(&states);
         let test = MonolithicSwapTest::new(3, 2, MonolithicVariant::WideGhz);
         assert_eq!(test.ghz_width(), 4); // ⌈3/2⌉·2
-        let e = test.estimate(&states, 1500, &mut rng);
+        let e = test.estimate(&states, 1500, &Executor::sequential(207));
         assert_estimates_trace(e, exact);
     }
 
@@ -1043,7 +905,7 @@ mod tests {
         ];
         let exact = exact_multivariate_trace(&states);
         let proto = CompasProtocol::new(2, 1, CswapScheme::Teledata);
-        let e = proto.estimate(&states, 600, &mut rng);
+        let e = proto.estimate(&states, 600, &Executor::sequential(208));
         assert_estimates_trace(e, exact);
     }
 
@@ -1053,7 +915,7 @@ mod tests {
         let states: Vec<Matrix> = (0..3).map(|_| random_pure_density(1, &mut rng)).collect();
         let exact = exact_multivariate_trace(&states);
         let proto = CompasProtocol::new(3, 1, CswapScheme::Teledata);
-        let e = proto.estimate(&states, 600, &mut rng);
+        let e = proto.estimate(&states, 600, &Executor::sequential(209));
         assert_estimates_trace(e, exact);
     }
 
@@ -1063,7 +925,7 @@ mod tests {
         let states: Vec<Matrix> = (0..3).map(|_| random_pure_density(1, &mut rng)).collect();
         let exact = exact_multivariate_trace(&states);
         let proto = CompasProtocol::new(3, 1, CswapScheme::Telegate);
-        let e = proto.estimate(&states, 600, &mut rng);
+        let e = proto.estimate(&states, 600, &Executor::sequential(210));
         assert_estimates_trace(e, exact);
     }
 
@@ -1076,7 +938,7 @@ mod tests {
         let exact = (&(&z * &rho) * &rho).trace();
         let p: PauliString = "Z".parse().unwrap();
         let proto = CompasProtocol::with_observable(2, 1, CswapScheme::Teledata, &p);
-        let e = proto.estimate(&[rho.clone(), rho], 2000, &mut rng);
+        let e = proto.estimate(&[rho.clone(), rho], 2000, &Executor::sequential(211));
         assert!(
             (e.re - exact.re).abs() < 5.0 * e.re_std_err.max(1e-3),
             "estimate {} vs exact {exact}",
@@ -1133,7 +995,7 @@ mod tests {
         let exact = (&(&z * &rho) * &rho).trace();
         let p: PauliString = "Z".parse().unwrap();
         let test = MonolithicSwapTest::with_observable(2, 1, MonolithicVariant::Fanout, &p);
-        let e = test.estimate(&[rho.clone(), rho], 4000, &mut rng);
+        let e = test.estimate(&[rho.clone(), rho], 4000, &Executor::sequential(212));
         assert!(
             (e.re - exact.re).abs() < 5.0 * e.re_std_err.max(1e-3),
             "estimate {} vs exact {exact}",
@@ -1145,11 +1007,14 @@ mod tests {
     fn observable_weighted_test_estimates_x_and_y() {
         let mut rng = StdRng::seed_from_u64(121);
         let rho = random_density_matrix(1, &mut rng);
-        for (letter, u) in [("X", Gate::X(0).unitary()), ("Y", Gate::Y(0).unitary())] {
+        for (idx, (letter, u)) in [("X", Gate::X(0).unitary()), ("Y", Gate::Y(0).unitary())]
+            .into_iter()
+            .enumerate()
+        {
             let exact = (&(&u * &rho) * &rho).trace();
             let p: PauliString = letter.parse().unwrap();
             let test = MonolithicSwapTest::with_observable(2, 1, MonolithicVariant::Fanout, &p);
-            let e = test.estimate(&[rho.clone(), rho.clone()], 4000, &mut rng);
+            let e = test.estimate(&[rho.clone(), rho.clone()], 4000, &Executor::sequential(213 + idx as u64));
             assert!(
                 (e.re - exact.re).abs() < 5.0 * e.re_std_err.max(1e-3),
                 "{letter}: estimate {} vs exact {exact}",

@@ -158,16 +158,18 @@ impl<'e> BatchRunner<'e> {
     }
 }
 
+/// Shared test fixture: a biased-coin [`ShotJob`] exercised by this
+/// module's and [`crate::experiment`]'s test suites.
 #[cfg(test)]
-mod tests {
-    use super::*;
-    use circuit::circuit::Circuit;
+pub(crate) mod test_fixtures {
+    use super::ShotJob;
+    use rand::rngs::StdRng;
     use rand::Rng;
 
-    struct CoinJob {
-        bias: f64,
-        shots: u64,
-        seed: u64,
+    pub(crate) struct CoinJob {
+        pub(crate) bias: f64,
+        pub(crate) shots: u64,
+        pub(crate) seed: u64,
     }
 
     impl ShotJob for CoinJob {
@@ -185,6 +187,13 @@ mod tests {
             rng.random::<f64>() < self.bias
         }
     }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_fixtures::CoinJob;
+    use super::*;
+    use circuit::circuit::Circuit;
 
     #[test]
     fn batch_results_are_per_job_and_thread_invariant() {

@@ -1,0 +1,282 @@
+//! The execution context every sampling workload runs under.
+//!
+//! [`Executor`] is the single boundary at which callers choose *how*
+//! shots execute — sequentially on the calling thread or partitioned
+//! across a worker pool — so the choice never leaks into the signatures
+//! of the layers above. A protocol backend, an analysis driver, or an
+//! application takes `&Executor` and is oblivious to the mode; adding a
+//! future mode (sharded, async, multi-machine) extends this enum instead
+//! of forking every API into `foo` / `foo_parallel` twins.
+//!
+//! ## Determinism contract
+//!
+//! Both variants derive shot `i`'s RNG stream from the executor's root
+//! seed with [`derive_stream_seed`] — [`Executor::Sequential`] simply
+//! runs the same per-shot streams in order on one thread. Consequently
+//! `Executor::sequential(s)` and `Executor::pooled(engine, s)` produce
+//! **bit-identical** results for every workload that follows the fold
+//! contract (commutative, per-shot-pure merging); this is asserted by
+//! the engine's determinism tests through the full protocol stack.
+//!
+//! Sub-computations (measurement channels, grid points, Pauli terms)
+//! run under [`Executor::derive`]d child contexts, whose root seeds are
+//! decorrelated pure functions of `(root, index)` — so a composite
+//! experiment is reproducible from one root seed regardless of mode.
+
+use circuit::circuit::Circuit;
+use qsim::runner::{pack_cbits, run_shot_into};
+use qsim::statevector::StateVector;
+use rand::rngs::StdRng;
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use crate::batch::{BatchRunner, ShotJob};
+use crate::pool::{Counts, Engine};
+use crate::seed::derive_stream_seed;
+
+/// An execution context: *where* and *how* a deterministic sampling
+/// workload runs.
+///
+/// Both variants derive shot `i`'s RNG stream from the root seed with
+/// [`derive_stream_seed`], so `Executor::sequential(s)` and
+/// `Executor::pooled(engine, s)` produce **bit-identical** results for
+/// every workload that follows the engine's fold contract (see
+/// [`Engine::run_fold_with`]); layers above take `&Executor` instead of
+/// forking into sequential/parallel twin APIs, and future modes
+/// (sharded, async, multi-machine) extend this enum.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub enum Executor {
+    /// Single-threaded execution on the calling thread. Shot `i` still
+    /// runs on its own derived stream (not one shared RNG), so this is
+    /// the bit-identical reference for [`Executor::Pooled`].
+    Sequential {
+        /// Root seed; shot `i` runs on `derive_stream_seed(root, i)`.
+        root_seed: u64,
+    },
+    /// Execution over an [`Engine`] worker pool — the production mode.
+    Pooled {
+        /// The configured worker pool.
+        engine: Engine,
+        /// Root seed; shot `i` runs on `derive_stream_seed(root, i)`.
+        root_seed: u64,
+    },
+}
+
+impl Executor {
+    /// A sequential context rooted at `root_seed`.
+    pub fn sequential(root_seed: u64) -> Self {
+        Executor::Sequential { root_seed }
+    }
+
+    /// A pooled context over `engine`, rooted at `root_seed`.
+    pub fn pooled(engine: Engine, root_seed: u64) -> Self {
+        Executor::Pooled { engine, root_seed }
+    }
+
+    /// A pooled context configured from the environment
+    /// (`COMPAS_THREADS` / `--threads N` / `COMPAS_CHUNK`, see
+    /// [`crate::EngineConfig::from_env`]), rooted at `root_seed`.
+    pub fn from_env(root_seed: u64) -> Self {
+        Executor::pooled(Engine::from_env(), root_seed)
+    }
+
+    /// The root seed of this context.
+    pub fn root_seed(&self) -> u64 {
+        match self {
+            Executor::Sequential { root_seed } | Executor::Pooled { root_seed, .. } => *root_seed,
+        }
+    }
+
+    /// Worker count this context executes with (1 when sequential).
+    pub fn threads(&self) -> usize {
+        match self {
+            Executor::Sequential { .. } => 1,
+            Executor::Pooled { engine, .. } => engine.threads(),
+        }
+    }
+
+    /// The same mode rooted at a different seed.
+    pub fn with_seed(&self, root_seed: u64) -> Self {
+        match self {
+            Executor::Sequential { .. } => Executor::Sequential { root_seed },
+            Executor::Pooled { engine, .. } => Executor::Pooled {
+                engine: engine.clone(),
+                root_seed,
+            },
+        }
+    }
+
+    /// The child context of sub-computation `index`: same mode, root
+    /// seed `derive_stream_seed(self.root_seed(), index)`. Child seeds
+    /// are pure functions of `(root, index)`, so composite experiments
+    /// stay deterministic in every mode.
+    pub fn derive(&self, index: u64) -> Self {
+        self.with_seed(derive_stream_seed(self.root_seed(), index))
+    }
+
+    /// The engine this context folds through. `Sequential` uses a
+    /// single-threaded engine, whose inline path runs the identical
+    /// per-shot streams — that equivalence *is* the determinism
+    /// guarantee.
+    fn engine(&self) -> Engine {
+        match self {
+            Executor::Sequential { .. } => Engine::sequential(),
+            Executor::Pooled { engine, .. } => engine.clone(),
+        }
+    }
+
+    /// Folds `shots` independent shots into an accumulator under this
+    /// context. See [`Engine::run_fold_with`] for the fold/determinism
+    /// contract; the root seed comes from the executor.
+    pub fn run_fold_with<W, A, MW, IA, F, M>(
+        &self,
+        shots: u64,
+        make_ws: MW,
+        init: IA,
+        step: F,
+        merge: M,
+    ) -> A
+    where
+        W: Send,
+        A: Send,
+        MW: Fn() -> W + Sync,
+        IA: Fn() -> A + Sync,
+        F: Fn(&mut A, &mut W, u64, &mut StdRng) + Sync,
+        M: Fn(A, A) -> A,
+    {
+        self.engine()
+            .run_fold_with(shots, self.root_seed(), make_ws, init, step, merge)
+    }
+
+    /// Counts the shots for which `pred` holds, with a per-worker
+    /// workspace.
+    pub fn run_count_with<W, MW, F>(&self, shots: u64, make_ws: MW, pred: F) -> u64
+    where
+        W: Send,
+        MW: Fn() -> W + Sync,
+        F: Fn(&mut W, u64, &mut StdRng) -> bool + Sync,
+    {
+        self.engine()
+            .run_count_with(shots, self.root_seed(), make_ws, pred)
+    }
+
+    /// Workspace-free variant of [`Executor::run_count_with`].
+    pub fn run_count<F>(&self, shots: u64, pred: F) -> u64
+    where
+        F: Fn(u64, &mut StdRng) -> bool + Sync,
+    {
+        self.engine().run_count(shots, self.root_seed(), pred)
+    }
+
+    /// Histograms one key per shot, with a per-worker workspace.
+    pub fn run_tally_with<K, W, MW, F>(&self, shots: u64, make_ws: MW, key_of: F) -> HashMap<K, u64>
+    where
+        K: Eq + Hash + Send,
+        W: Send,
+        MW: Fn() -> W + Sync,
+        F: Fn(&mut W, u64, &mut StdRng) -> K + Sync,
+    {
+        self.engine()
+            .run_tally_with(shots, self.root_seed(), make_ws, key_of)
+    }
+
+    /// Workspace-free variant of [`Executor::run_tally_with`].
+    pub fn run_tally<K, F>(&self, shots: u64, key_of: F) -> HashMap<K, u64>
+    where
+        K: Eq + Hash + Send,
+        F: Fn(u64, &mut StdRng) -> K + Sync,
+    {
+        self.engine().run_tally(shots, self.root_seed(), key_of)
+    }
+
+    /// Runs a batch of independent [`ShotJob`]s through this context's
+    /// pool (one shared work list, per-job histograms). Each job carries
+    /// its own root seed — derive them from this executor (e.g. via
+    /// [`Executor::derive`] or [`derive_stream_seed`]) to keep the batch
+    /// reproducible.
+    pub fn run_batch<J: ShotJob>(&self, jobs: &[J]) -> Vec<HashMap<J::Key, u64>> {
+        BatchRunner::new(&self.engine()).run_batch(jobs)
+    }
+
+    /// Executor-backed equivalent of [`qsim::runner::sample_shots`]:
+    /// plays `circuit` from `initial` for `shots` repetitions under this
+    /// context and histograms the packed classical register (same key
+    /// and value conventions). Unlike `sample_shots`, each shot runs on
+    /// its derived stream, so the counts are identical in every mode —
+    /// and bit-identical to [`Engine::run_plan`] on the equivalent
+    /// [`ShotPlan`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit needs more qubits than `initial` has.
+    pub fn sample_shots(&self, circuit: &Circuit, initial: &StateVector, shots: usize) -> Counts {
+        assert!(
+            circuit.num_qubits() <= initial.num_qubits(),
+            "circuit needs {} qubits but the state has {}",
+            circuit.num_qubits(),
+            initial.num_qubits()
+        );
+        let tally = self.run_tally_with(
+            shots as u64,
+            || (initial.clone(), Vec::new()),
+            |(state, cbits), _shot, rng| {
+                run_shot_into(circuit, initial, state, cbits, rng);
+                pack_cbits(cbits)
+            },
+        );
+        tally.into_iter().map(|(k, v)| (k, v as usize)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::ShotPlan;
+    use rand::Rng;
+
+    #[test]
+    fn sequential_and_pooled_tallies_are_bit_identical() {
+        let key = |_: u64, rng: &mut StdRng| rng.random_range(0..16u32);
+        let seq = Executor::sequential(77).run_tally(8_000, key);
+        let pooled = Executor::pooled(Engine::with_threads(4), 77).run_tally(8_000, key);
+        assert_eq!(seq, pooled);
+        assert_eq!(seq.values().sum::<u64>(), 8_000);
+    }
+
+    #[test]
+    fn derive_is_pure_and_mode_preserving() {
+        let seq = Executor::sequential(5);
+        assert_eq!(seq.derive(3).root_seed(), seq.derive(3).root_seed());
+        assert_ne!(seq.derive(0).root_seed(), seq.derive(1).root_seed());
+        assert_eq!(seq.derive(9).threads(), 1);
+        let pooled = Executor::pooled(Engine::with_threads(3), 5);
+        assert_eq!(pooled.derive(9).threads(), 3);
+        // Child seeds depend only on (root, index), not on the mode.
+        assert_eq!(seq.derive(4).root_seed(), pooled.derive(4).root_seed());
+    }
+
+    #[test]
+    fn sample_shots_matches_run_plan_and_is_mode_invariant() {
+        let mut c = Circuit::new(2, 2);
+        c.h(0).cx(0, 1).measure(0, 0).measure(1, 1);
+        let initial = StateVector::new(2);
+        let seq = Executor::sequential(13).sample_shots(&c, &initial, 1_000);
+        let pooled =
+            Executor::pooled(Engine::with_threads(4), 13).sample_shots(&c, &initial, 1_000);
+        assert_eq!(seq, pooled);
+        let plan = ShotPlan::new(c, initial, 1_000, 13);
+        assert_eq!(seq, Engine::sequential().run_plan(&plan));
+        assert_eq!(seq.values().sum::<usize>(), 1_000);
+    }
+
+    #[test]
+    fn run_count_agrees_across_modes() {
+        let pred = |_: u64, rng: &mut StdRng| rng.random::<f64>() < 0.25;
+        let seq = Executor::sequential(21).run_count(10_000, pred);
+        let pooled = Executor::pooled(Engine::with_threads(8), 21).run_count(10_000, pred);
+        assert_eq!(seq, pooled);
+        let frac = seq as f64 / 10_000.0;
+        assert!((frac - 0.25).abs() < 0.02, "got {frac}");
+    }
+}

@@ -20,6 +20,15 @@
 //!
 //! ## Execution model
 //!
+//! [`Executor`] is the boundary at which callers pick the execution
+//! mode: `Executor::Sequential` runs shots inline on the calling
+//! thread, `Executor::Pooled` partitions them across an [`Engine`]
+//! worker pool — and both produce bit-identical results for the same
+//! root seed, because the per-shot streams are mode-independent. Every
+//! layer above (protocol backends, analysis drivers, applications)
+//! takes `&Executor` instead of forking into sequential/parallel twin
+//! APIs; future modes (sharded, async, multi-machine) extend the enum.
+//!
 //! [`Engine`] holds an [`EngineConfig`] (thread count, chunk size) and
 //! partitions a job's shots into chunks claimed from an atomic cursor by
 //! `std::thread` workers (no external dependencies). Each worker owns
@@ -32,7 +41,9 @@
 //! state, shot count, root seed); [`BatchRunner`] executes many
 //! independent jobs — one per noise point, qubit count, or table row,
 //! the common shape of the `bench` binaries — concurrently through one
-//! shared worker pool.
+//! shared worker pool. [`ExperimentBuilder`] layers a declarative grid
+//! (points × shots × executor) on top, with a fixed per-point seed
+//! derivation.
 //!
 //! ## Environment knobs
 //!
@@ -58,10 +69,14 @@
 
 mod batch;
 mod config;
+mod executor;
+mod experiment;
 mod pool;
 mod seed;
 
 pub use batch::{BatchRunner, ShotJob};
 pub use config::EngineConfig;
+pub use executor::Executor;
+pub use experiment::ExperimentBuilder;
 pub use pool::{Counts, Engine, ShotPlan};
 pub use seed::{derive_stream_seed, shot_rng};

@@ -102,6 +102,58 @@ fn batch_runner_is_thread_invariant_per_job() {
 }
 
 #[test]
+fn sequential_and_pooled_executors_are_bit_identical_for_all_protocol_backends() {
+    // The Executor's central guarantee, asserted through the unified
+    // `TraceBackend::estimate_trace` for every shot-based protocol
+    // backend: `Executor::sequential(s)` and `Executor::pooled(_, s)`
+    // produce bit-identical `TraceEstimate`s, at several thread counts
+    // and chunk sizes.
+    use compas::cswap::CswapScheme;
+    use compas::estimator::TraceBackend;
+    use compas::swap_test::{
+        CompasProtocol, HadamardTestSwapTest, MonolithicSwapTest, MonolithicVariant,
+    };
+    use engine::Executor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let mut rng = StdRng::seed_from_u64(17);
+    let states: Vec<mathkit::matrix::Matrix> = (0..3)
+        .map(|_| qsim::qrand::random_density_matrix(1, &mut rng))
+        .collect();
+    let monolithic = MonolithicSwapTest::new(3, 1, MonolithicVariant::Fanout);
+    let hadamard = HadamardTestSwapTest::new(3, 1);
+    let compas = CompasProtocol::new(3, 1, CswapScheme::Teledata);
+    let backends: [(&str, &dyn TraceBackend); 3] = [
+        ("monolithic", &monolithic),
+        ("hadamard-test", &hadamard),
+        ("compas", &compas),
+    ];
+
+    for (name, backend) in backends {
+        let root = 0xC0FFEE;
+        let reference = backend.estimate_trace(&states, 400, &Executor::sequential(root));
+        for threads in [1usize, 2, 8] {
+            for chunk_size in [7u64, 256] {
+                let engine = Engine::new(EngineConfig {
+                    threads,
+                    chunk_size,
+                });
+                let pooled = backend.estimate_trace(&states, 400, &Executor::pooled(engine, root));
+                assert_eq!(
+                    reference, pooled,
+                    "{name}: pooled({threads} threads, chunk {chunk_size}) diverged"
+                );
+            }
+        }
+        // A different root seed must actually change the samples — the
+        // equality above is not vacuous.
+        let other = backend.estimate_trace(&states, 400, &Executor::sequential(root + 1));
+        assert_ne!(reference, other, "{name}: seed had no effect");
+    }
+}
+
+#[test]
 fn different_root_seeds_give_different_samples() {
     let circuit = noisy_teleportation();
     let a = Engine::with_threads(4).run_plan(&ShotPlan::new(

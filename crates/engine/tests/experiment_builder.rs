@@ -1,0 +1,83 @@
+//! `ExperimentBuilder`'s seed contract, exercised through real protocol
+//! backends: one builder call over a `backends × noise points` grid must
+//! match per-point manual invocations under the points' derived
+//! contexts, exactly, in both execution modes.
+
+use compas::cswap::CswapScheme;
+use compas::estimator::{TraceBackend, TraceEstimate};
+use compas::swap_test::{CompasProtocol, MonolithicSwapTest, MonolithicVariant};
+use engine::{Engine, Executor, ExperimentBuilder};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn test_states() -> Vec<mathkit::matrix::Matrix> {
+    let mut rng = StdRng::seed_from_u64(8);
+    (0..2)
+        .map(|_| qsim::qrand::random_density_matrix(1, &mut rng))
+        .collect()
+}
+
+/// Builds backend `which` (0 = monolithic Fanout, 1 = COMPAS teledata)
+/// at Bell-link noise `bell_error` — the per-point "noise point".
+fn backend_at(which: usize, bell_error: f64) -> Box<dyn TraceBackend> {
+    match which {
+        0 => Box::new(MonolithicSwapTest::new(2, 1, MonolithicVariant::Fanout)),
+        _ => Box::new(CompasProtocol::with_bell_error(
+            2,
+            1,
+            CswapScheme::Teledata,
+            bell_error,
+        )),
+    }
+}
+
+#[test]
+fn builder_grid_matches_per_point_manual_invocations_exactly() {
+    let states = test_states();
+    let noise_points = [0.0, 0.05, 0.1];
+    let backends = [0usize, 1];
+    let shots = 300usize;
+
+    let builder = ExperimentBuilder::grid(&backends, &noise_points).shots(shots);
+    assert_eq!(builder.len(), 6, "2 backends × 3 noise points");
+
+    for exec in [
+        Executor::sequential(0xE1),
+        Executor::pooled(Engine::with_threads(4), 0xE1),
+    ] {
+        // One declarative builder call over the whole grid…
+        let results: Vec<TraceEstimate> = builder.run(&exec, |&(which, p), shots, child| {
+            backend_at(which, p).estimate_trace(&states, shots, child)
+        });
+
+        // …must equal each point invoked by hand under its derived
+        // context, bit for bit.
+        let mut idx = 0u64;
+        for &which in &backends {
+            for &p in &noise_points {
+                let manual = backend_at(which, p).estimate_trace(
+                    &states,
+                    shots,
+                    &exec.derive(idx),
+                );
+                assert_eq!(
+                    results[idx as usize], manual,
+                    "grid point {idx} (backend {which}, noise {p}) diverged"
+                );
+                idx += 1;
+            }
+        }
+    }
+}
+
+#[test]
+fn builder_runs_are_mode_invariant() {
+    let states = test_states();
+    let builder = ExperimentBuilder::grid(&[0usize, 1], &[0.0, 0.05, 0.1]).shots(200);
+    let eval = |&(which, p): &(usize, f64), shots: usize, child: &Executor| {
+        backend_at(which, p).estimate_trace(&states, shots, child)
+    };
+    let seq = builder.run(&Executor::sequential(3), eval);
+    let pooled = builder.run(&Executor::pooled(Engine::with_threads(8), 3), eval);
+    assert_eq!(seq, pooled);
+}

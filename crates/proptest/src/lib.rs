@@ -203,7 +203,7 @@ pub mod collection {
     use rand::Rng;
     use std::ops::Range;
 
-    /// Length specification for [`vec`]: an exact `usize` or a `Range`.
+    /// Length specification for [`vec()`]: an exact `usize` or a `Range`.
     pub trait IntoSize {
         /// Draws a concrete length.
         fn pick(&self, rng: &mut StdRng) -> usize;
@@ -226,7 +226,7 @@ pub mod collection {
         VecStrategy { element, size }
     }
 
-    /// Strategy returned by [`vec`].
+    /// Strategy returned by [`vec()`].
     pub struct VecStrategy<S, L> {
         element: S,
         size: L,

@@ -126,11 +126,13 @@ pub fn pack_cbits(cbits: &[bool]) -> usize {
 /// Runs `shots` repetitions and histograms the classical register,
 /// keyed by the packed integer of [`ShotOutcome::cbits_as_usize`].
 ///
-/// This is the **single-threaded reference path**: one RNG stream drives
-/// every shot in order, with per-shot state buffers reused. Production
-/// sampling workloads should go through the `engine` crate
-/// (`engine::ShotPlan` / `engine::BatchRunner`), which partitions shots
-/// across a worker pool with deterministic per-shot seed streams.
+/// This is the **single-stream reference primitive**: one RNG stream
+/// drives every shot in order, with per-shot state buffers reused.
+/// Production sampling workloads should go through the `engine` crate's
+/// execution context instead — `engine::Executor::sample_shots` is the
+/// executor-backed equivalent of this function, running each shot on a
+/// deterministic derived seed stream so counts are bit-identical whether
+/// the context is sequential or pooled.
 pub fn sample_shots(
     circuit: &Circuit,
     initial: &StateVector,

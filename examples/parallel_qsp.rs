@@ -7,6 +7,7 @@
 
 use apps::prelude::*;
 use compas::prelude::*;
+use engine::Executor;
 use mathkit::cheb::ChebyshevApprox;
 use qsim::qrand::random_density_matrix;
 use rand::SeedableRng;
@@ -34,14 +35,13 @@ fn main() {
     let via_poly = poly_trace_exact(&rho, &target);
 
     // Exact backend isolates the factorization error from shot noise…
+    let exec = Executor::sequential(11);
     let exact_backend = ExactTraceBackend::new(3, 1);
-    let distributed_exact = qsp.estimate(&rho, &exact_backend, 1, &mut rng).unwrap();
+    let distributed_exact = qsp.estimate(&rho, &exact_backend, 1, &exec).unwrap();
 
     // …and the sampled monolithic 3-party test adds the protocol.
     let sampled_backend = MonolithicSwapTest::new(3, 1, MonolithicVariant::Fanout);
-    let sampled = qsp
-        .estimate(&rho, &sampled_backend, 6000, &mut rng)
-        .unwrap();
+    let sampled = qsp.estimate(&rho, &sampled_backend, 6000, &exec).unwrap();
 
     println!("tr(e^(-2 rho))      exact:        {exact:.5}");
     println!("tr(P(rho))          polynomial:   {via_poly:.5}");
@@ -58,7 +58,7 @@ fn main() {
     let b5 = ExactTraceBackend::new(5, 1);
     let b6 = ExactTraceBackend::new(6, 1);
     let backends: Vec<&dyn TraceBackend> = vec![&b2, &b3, &b4, &b5, &b6];
-    let by_sums = estimate_poly_trace_by_sums(&rho, &target, &backends, 1, &mut rng);
+    let by_sums = estimate_poly_trace_by_sums(&rho, &target, &backends, 1, &exec);
     println!("sum-of-SWAP-tests   exact trace:  {by_sums:.5}");
     assert!((by_sums - via_poly).abs() < 1e-6);
 }

@@ -4,6 +4,7 @@
 //! Run with: `cargo run --release --example quickstart`
 
 use compas::prelude::*;
+use engine::Executor;
 use qsim::qrand::random_density_matrix;
 use rand::SeedableRng;
 
@@ -24,8 +25,11 @@ fn main() {
         protocol.ledger().bell_pairs()
     );
 
-    // Shot-based estimation (one X-basis and one Y-basis channel).
-    let estimate = protocol.estimate(&states, 2000, &mut rng);
+    // Shot-based estimation (one X-basis and one Y-basis channel). The
+    // executor is the single knob for how shots run: swap in
+    // `Executor::pooled(engine::Engine::from_env(), 2026)` for the same
+    // numbers on all cores.
+    let estimate = protocol.estimate(&states, 2000, &Executor::sequential(2026));
     println!(
         "estimated tr(rho1 rho2 rho3) = {:.4} + {:.4}i  (+/- {:.4})",
         estimate.re, estimate.im, estimate.re_std_err

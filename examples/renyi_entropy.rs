@@ -5,6 +5,7 @@
 
 use apps::prelude::*;
 use compas::prelude::*;
+use engine::Executor;
 use qsim::qrand::random_density_matrix_of_rank;
 use rand::SeedableRng;
 
@@ -19,7 +20,7 @@ fn main() {
 
         // Distributed estimate: an order-party COMPAS protocol.
         let protocol = CompasProtocol::new(order, 1, CswapScheme::Teledata);
-        let est = estimate_renyi_entropy(&protocol, &rho, 1500, &mut rng);
+        let est = estimate_renyi_entropy(&protocol, &rho, 1500, &Executor::sequential(order as u64));
         println!(
             "  {order}   |   {exact:.4}    |    {:.4}     | compas teledata (k={order})",
             est.entropy
@@ -33,7 +34,7 @@ fn main() {
 
     // Monolithic reference at higher order.
     let mono = MonolithicSwapTest::new(4, 1, MonolithicVariant::Fanout);
-    let est = estimate_renyi_entropy(&mono, &rho, 3000, &mut rng);
+    let est = estimate_renyi_entropy(&mono, &rho, 3000, &Executor::sequential(4));
     println!(
         "  4   |   {:.4}    |    {:.4}     | monolithic fanout",
         renyi_entropy_exact(&rho, 4),

@@ -5,11 +5,10 @@
 
 use apps::prelude::*;
 use compas::prelude::*;
-use rand::SeedableRng;
+use engine::Executor;
 use stabilizer::pauli::Pauli;
 
 fn main() {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
 
     // ---- Virtual cooling on a transverse-field Ising chain ----
     let chain = IsingChain::new(2, 1.0, 0.6);
@@ -37,7 +36,7 @@ fn main() {
         &rho,
         &h_obs,
         1200,
-        &mut rng,
+        &Executor::sequential(3),
     );
     println!(
         "  sampled m = 2 energy: {:+.4} +/- {:.4}",

@@ -2,6 +2,7 @@
 //! linear algebra, across protocol variants and input families.
 
 use compas::prelude::*;
+use engine::Executor;
 use mathkit::matrix::Matrix;
 use qsim::qrand::{random_density_matrix, random_pure_state};
 use qsim::statevector::StateVector;
@@ -23,22 +24,23 @@ fn all_protocol_variants_agree_on_the_same_trace() {
     let compas_td = CompasProtocol::new(3, 1, CswapScheme::Teledata);
     let compas_tg = CompasProtocol::new(3, 1, CswapScheme::Telegate);
 
+    let exec = Executor::sequential(10);
     for (name, est) in [
         (
             "monolithic sequential",
-            mono_seq.estimate(&states, 1500, &mut rng),
+            mono_seq.estimate(&states, 1500, &exec.derive(0)),
         ),
         (
             "monolithic fanout",
-            mono_fan.estimate(&states, 1500, &mut rng),
+            mono_fan.estimate(&states, 1500, &exec.derive(1)),
         ),
         (
             "compas teledata",
-            compas_td.estimate(&states, 350, &mut rng),
+            compas_td.estimate(&states, 350, &exec.derive(2)),
         ),
         (
             "compas telegate",
-            compas_tg.estimate(&states, 350, &mut rng),
+            compas_tg.estimate(&states, 350, &exec.derive(3)),
         ),
     ] {
         assert!(
@@ -58,7 +60,7 @@ fn compas_handles_entangled_multi_qubit_states() {
     let exact = exact_multivariate_trace(&states);
     // Pure-state overlaps are generically not products of slice traces.
     let proto = CompasProtocol::new(2, 2, CswapScheme::Teledata);
-    let est = proto.estimate(&states, 250, &mut rng);
+    let est = proto.estimate(&states, 250, &Executor::sequential(20));
     assert!(
         est.is_consistent_with(exact, 5.0),
         "{est:?} vs exact {exact}"
@@ -72,7 +74,7 @@ fn purity_of_mixed_state_via_distributed_swap_test() {
     let rho = random_density_matrix(1, &mut rng);
     let purity = (&rho * &rho).trace().re;
     let proto = CompasProtocol::new(2, 1, CswapScheme::Teledata);
-    let est = proto.estimate(&[rho.clone(), rho], 1500, &mut rng);
+    let est = proto.estimate(&[rho.clone(), rho], 1500, &Executor::sequential(30));
     assert!(
         (est.re - purity).abs() < 5.0 * est.re_std_err,
         "purity {} vs {purity}",
@@ -92,8 +94,8 @@ fn four_party_distributed_test_with_bell_noise_degrades_gracefully() {
     // Identical pure states: tr(ρ⁴) = 1, maximal contrast.
     let clean = CompasProtocol::new(4, 1, CswapScheme::Teledata);
     let noisy = CompasProtocol::with_bell_error(4, 1, CswapScheme::Teledata, 0.15);
-    let clean_est = clean.estimate(&states, 150, &mut rng);
-    let noisy_est = noisy.estimate(&states, 150, &mut rng);
+    let clean_est = clean.estimate(&states, 150, &Executor::sequential(40));
+    let noisy_est = noisy.estimate(&states, 150, &Executor::sequential(41));
     assert!(clean_est.re > 0.9, "clean contrast {}", clean_est.re);
     assert!(
         noisy_est.re < clean_est.re - 0.05,
@@ -121,14 +123,14 @@ fn naive_and_compas_agree_on_product_inputs() {
     let exact = exact_multivariate_trace(&full);
 
     let naive = NaiveDistribution::new(k, n);
-    let naive_est = naive.estimate_sliced(&slices, 1500, &mut rng);
+    let naive_est = naive.estimate_sliced(&slices, 1500, &Executor::sequential(50));
     assert!(
         naive_est.is_consistent_with(exact, 6.0),
         "naive {naive_est:?} vs {exact}"
     );
 
     let compas = CompasProtocol::new(k, n, CswapScheme::Teledata);
-    let compas_est = compas.estimate(&full, 120, &mut rng);
+    let compas_est = compas.estimate(&full, 120, &Executor::sequential(51));
     assert!(
         compas_est.is_consistent_with(exact, 5.0),
         "compas {compas_est:?} vs {exact}"

@@ -96,17 +96,30 @@ fn engine_agrees_with_sample_shots_statistics() {
 }
 
 #[test]
-fn trace_backend_parallel_default_matches_sequential_fallback() {
-    // The exact backend ignores shots/rng: parallel default must equal
-    // the sequential call bit-for-bit.
+fn exact_trace_backend_is_shot_free_in_every_executor_mode() {
+    // The exact backend declares itself shot-free: it ignores the shot
+    // count and executor entirely instead of pretending to sample.
     use compas::estimator::{ExactTraceBackend, TraceBackend};
+    use engine::Executor;
     let mut rng = StdRng::seed_from_u64(3);
     let states: Vec<_> = (0..3)
         .map(|_| qsim::qrand::random_density_matrix(1, &mut rng))
         .collect();
     let backend = ExactTraceBackend::new(3, 1);
-    let mut rng2 = StdRng::seed_from_u64(99);
-    let seq = backend.estimate_trace(&states, 100, &mut rng2);
-    let par = backend.estimate_trace_parallel(&states, 100, &Engine::with_threads(4), 99);
-    assert_eq!(seq, par);
+    assert!(backend.is_shot_free());
+    let seq = backend.estimate_trace(&states, 100, &Executor::sequential(99));
+    let par = backend.estimate_trace(&states, 100, &Executor::pooled(Engine::with_threads(4), 7));
+    assert_eq!(seq, par, "shot-free backends ignore the executor");
+    assert_eq!(seq.shots, 0, "no shots are consumed");
+}
+
+#[test]
+fn executor_sample_shots_matches_run_plan() {
+    use engine::Executor;
+    let circuit = teleportation_circuit();
+    let initial = StateVector::new(3);
+    let exec = Executor::pooled(Engine::with_threads(4), 0xBEEF);
+    let counts = exec.sample_shots(&circuit, &initial, 5_000);
+    let plan = ShotPlan::new(circuit, initial, 5_000, 0xBEEF);
+    assert_eq!(counts, Engine::with_threads(2).run_plan(&plan));
 }
