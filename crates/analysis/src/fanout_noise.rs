@@ -106,12 +106,17 @@ pub struct FanoutResidualJob {
 }
 
 impl FanoutResidualJob {
-    /// Builds the job for `shots` samples at `(targets, p)`.
+    /// Builds the job for `shots` samples at `(targets, p)`, probing
+    /// the frame simulator's capability contract up front.
     pub fn new(targets: usize, p: f64, shots: usize, root_seed: u64) -> Self {
+        let circuit = noisy_fanout_circuit(targets, p);
+        if let Err(e) = FrameSimulator::supports(&circuit) {
+            panic!("fanout residual job: {e}");
+        }
         FanoutResidualJob {
             p,
             targets,
-            circuit: noisy_fanout_circuit(targets, p),
+            circuit,
             data: (0..=targets).collect(),
             shots: shots as u64,
             root_seed,

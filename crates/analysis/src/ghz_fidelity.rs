@@ -74,12 +74,17 @@ pub struct GhzFidelityJob {
 }
 
 impl GhzFidelityJob {
-    /// Builds the job for `shots` trajectories at `(r, p)`.
+    /// Builds the job for `shots` trajectories at `(r, p)`, probing the
+    /// frame simulator's capability contract up front.
     pub fn new(r: usize, p: f64, shots: usize, root_seed: u64) -> Self {
+        let circuit = noisy_distributed_ghz_circuit(r, p);
+        if let Err(e) = FrameSimulator::supports(&circuit) {
+            panic!("GHZ fidelity job: {e}");
+        }
         GhzFidelityJob {
             r,
             p,
-            circuit: noisy_distributed_ghz_circuit(r, p),
+            circuit,
             data: (0..r).collect(),
             shots: shots as u64,
             root_seed,

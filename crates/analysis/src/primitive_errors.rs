@@ -66,12 +66,21 @@ impl PauliErrorSampler {
     /// Characterises a noisy Clifford `circuit` by `shots` frame samples
     /// restricted to `data_qubits`, executed under `exec` (bit-identical
     /// in every execution mode for a fixed root seed).
+    ///
+    /// # Panics
+    ///
+    /// Panics — with the typed capability-probe error, *before* any shot
+    /// runs — if the circuit is outside the frame technique's domain
+    /// ([`FrameSimulator::supports`]).
     pub fn from_circuit(
         exec: &Executor,
         circuit: &Circuit,
         data_qubits: &[usize],
         shots: usize,
     ) -> Self {
+        if let Err(e) = FrameSimulator::supports(circuit) {
+            panic!("cannot characterise primitive: {e}");
+        }
         let tally = exec.run_tally(shots as u64, |_, rng| {
             FrameSimulator::sample_residual(circuit, rng).restricted_to(data_qubits)
         });

@@ -62,7 +62,7 @@ fn bench_tableau(c: &mut Criterion) {
         let circ = clifford_layers(n, 4);
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             let mut rng = StdRng::seed_from_u64(2);
-            b.iter(|| Tableau::run(&circ, &mut rng));
+            b.iter(|| Tableau::run(&circ, &mut rng).unwrap());
         });
     }
     group.finish();

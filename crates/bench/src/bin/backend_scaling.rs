@@ -1,0 +1,111 @@
+//! Criterion-free micro-benchmark of the pluggable simulation backends:
+//! prints shots/sec for `Backend::StateVector`, `Backend::Stabilizer`,
+//! and `Backend::Auto` on a Clifford GHZ workload (the paper's §5.3
+//! shape: GHZ chain + depolarizing noise + full measurement), and
+//! asserts that
+//!
+//! * `Auto` routes the Clifford circuit to the stabilizer path,
+//! * all backends tally the *same records* for one root seed (the
+//!   stabilizer backend consumes the shot streams in the statevector's
+//!   per-instruction pattern), and
+//! * the stabilizer path is measurably faster than the statevector path
+//!   on this workload — the speedup `Auto` buys for free.
+//!
+//! Run with: `cargo run --release --bin backend_scaling [--quick]`
+//!
+//! Shots run under `Executor::Sequential` deliberately: the bin
+//! compares *representations* at a fixed execution mode, so the rate
+//! ratio is a clean per-backend number on any machine (thread-count
+//! scaling is `engine_scaling`'s job).
+
+use analysis::table_io::ResultTable;
+use bench::Scale;
+use circuit::circuit::Circuit;
+use circuit::noise::NoiseModel;
+use engine::{Backend, Counts, Executor};
+use std::time::Instant;
+
+/// The noisy GHZ workload: prepare an `r`-qubit GHZ chain under
+/// standard depolarizing noise and measure every qubit.
+fn ghz_workload(r: usize, p: f64) -> Circuit {
+    let mut prep = Circuit::new(r, r);
+    prep.h(0);
+    for q in 1..r {
+        prep.cx(q - 1, q);
+    }
+    let mut noisy = NoiseModel::standard(p).apply(&prep);
+    for q in 0..r {
+        noisy.measure(q, q);
+    }
+    noisy
+}
+
+fn time_backend(backend: Backend, circuit: &Circuit, shots: usize, exec: &Executor) -> (f64, Counts) {
+    let t0 = Instant::now();
+    let counts = backend
+        .sample_shots(circuit, shots, exec)
+        .unwrap_or_else(|e| panic!("{e}"));
+    (t0.elapsed().as_secs_f64(), counts)
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let shots = scale.pick(100_000, 10_000);
+    let (r, p) = (12usize, 0.002);
+    let circuit = ghz_workload(r, p);
+    let exec = Executor::sequential(bench::ROOT_SEED);
+
+    // Auto must pick the stabilizer fast path on a Clifford circuit.
+    assert_eq!(
+        Backend::Auto.resolve(&circuit),
+        Backend::Stabilizer,
+        "Auto failed to route the Clifford GHZ workload to the stabilizer"
+    );
+
+    let mut t = ResultTable::new(
+        "Backend scaling on the GHZ workload (r = 12, p = 2e-3)",
+        &["backend", "resolved", "shots", "secs", "shots_per_sec", "vs_statevector"],
+    );
+
+    let (sv_secs, sv_counts) = time_backend(Backend::StateVector, &circuit, shots, &exec);
+    let sv_rate = shots as f64 / sv_secs;
+    let mut rates = Vec::new();
+    for backend in [Backend::StateVector, Backend::Stabilizer, Backend::Auto] {
+        let (secs, counts) = if backend == Backend::StateVector {
+            (sv_secs, sv_counts.clone())
+        } else {
+            time_backend(backend, &circuit, shots, &exec)
+        };
+        assert_eq!(counts.values().sum::<usize>(), shots);
+        assert_eq!(
+            counts, sv_counts,
+            "{backend}: records diverged from the statevector reference"
+        );
+        let rate = shots as f64 / secs;
+        rates.push((backend, rate));
+        t.push_row(vec![
+            backend.name().into(),
+            backend.resolve(&circuit).name().into(),
+            shots.to_string(),
+            format!("{secs:.3}"),
+            format!("{rate:.0}"),
+            format!("{:.2}x", rate / sv_rate),
+        ]);
+    }
+    bench::emit(&t);
+
+    let stab_rate = rates
+        .iter()
+        .find(|(b, _)| *b == Backend::Stabilizer)
+        .map(|&(_, r)| r)
+        .unwrap();
+    println!(
+        "stabilizer path: {:.1}x the statevector rate on the Clifford GHZ workload",
+        stab_rate / sv_rate
+    );
+    assert!(
+        stab_rate > 2.0 * sv_rate,
+        "stabilizer path should be measurably faster (got {:.2}x)",
+        stab_rate / sv_rate
+    );
+}

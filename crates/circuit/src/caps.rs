@@ -1,0 +1,118 @@
+//! Backend capability classification.
+//!
+//! Different simulation representations execute different circuit
+//! classes: a stabilizer tableau handles Clifford circuits only, the
+//! deferred-measurement density-matrix path needs Pauli-only feedback
+//! and measured qubits that stay untouched, and the statevector handles
+//! everything (up to its width limit). [`Caps`] is the **one**
+//! classification every backend probe and every automatic router shares:
+//! [`Circuit::required_caps`](crate::circuit::Circuit::required_caps)
+//! computes it in a single pass, and a backend's `supports` check turns
+//! the relevant bits into a typed [`Unsupported`] error *before* any
+//! shot runs — replacing the mid-shot panics simulators used to raise.
+
+use std::error::Error;
+use std::fmt;
+
+/// What a circuit demands of a simulation backend, computed by
+/// [`Circuit::required_caps`](crate::circuit::Circuit::required_caps).
+///
+/// Every field is a *demand*: `false` everywhere means the circuit is
+/// executable by every backend in the workspace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Caps {
+    /// Some unitary or classically-conditioned gate lies outside the
+    /// Clifford group (T/T†, rotations, Toffoli, CSWAP). Rules out the
+    /// stabilizer representations.
+    pub non_clifford: bool,
+    /// Some conditional applies a non-Pauli gate. Rules out Pauli-frame
+    /// simulation and deferred-measurement density execution (both rely
+    /// on feedback corrections being self-inverse Paulis).
+    pub non_pauli_feedback: bool,
+    /// A measured qubit is later reused — hit by another gate, noise
+    /// site, reset, or measurement. Rules out sampling classical
+    /// records from a deferred-measurement density evolution, where the
+    /// measured qubit must *carry* its record to the end of the
+    /// circuit.
+    pub measured_qubit_reuse: bool,
+    /// A conditional consumes a classical bit that no earlier
+    /// measurement wrote. The statevector runner reads such bits as
+    /// `false`; deferred-measurement execution has no carrier to
+    /// control from and must reject the circuit.
+    pub feedback_from_unwritten: bool,
+}
+
+impl Caps {
+    /// Whether every gate (unitary and conditioned) is Clifford, i.e.
+    /// the circuit is stabilizer-simulable.
+    pub fn is_clifford(&self) -> bool {
+        !self.non_clifford
+    }
+
+    /// Whether classical feedback is restricted to Pauli corrections —
+    /// the contract of the Pauli-frame simulator.
+    pub fn pauli_feedback_only(&self) -> bool {
+        !self.non_pauli_feedback
+    }
+
+    /// Whether classical records can be read off a deferred-measurement
+    /// density-matrix evolution: Pauli-only feedback, every conditional
+    /// fed by a real measurement, and no measured qubit reused.
+    pub fn deferred_records_safe(&self) -> bool {
+        !self.non_pauli_feedback && !self.measured_qubit_reuse && !self.feedback_from_unwritten
+    }
+}
+
+/// Typed rejection of a circuit (or gate) by a simulation backend.
+///
+/// Returned by the `supports` capability probes (e.g.
+/// `SimState::supports` in `qsim`) and by the fallible stabilizer
+/// entry points (`Tableau::apply_gate`, `FrameSimulator::step`), so
+/// callers learn *which* backend refused and *why* before — not in the
+/// middle of — a multi-million-shot run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Unsupported {
+    /// Name of the backend that rejected the circuit.
+    pub backend: &'static str,
+    /// Human-readable reason for the rejection.
+    pub reason: String,
+}
+
+impl Unsupported {
+    /// A rejection by `backend` for `reason`.
+    pub fn new(backend: &'static str, reason: impl Into<String>) -> Self {
+        Unsupported {
+            backend,
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for Unsupported {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} backend cannot execute circuit: {}", self.backend, self.reason)
+    }
+}
+
+impl Error for Unsupported {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_caps_demand_nothing() {
+        let caps = Caps::default();
+        assert!(caps.is_clifford());
+        assert!(caps.pauli_feedback_only());
+        assert!(caps.deferred_records_safe());
+    }
+
+    #[test]
+    fn display_names_backend_and_reason() {
+        let e = Unsupported::new("stabilizer", "non-Clifford gate t 0");
+        let s = e.to_string();
+        assert!(s.contains("stabilizer"));
+        assert!(s.contains("non-Clifford gate t 0"));
+    }
+}

@@ -19,6 +19,7 @@
 //! assert_eq!(c.two_qubit_gate_count(), 1);
 //! ```
 
+use crate::caps::Caps;
 use crate::gate::{Gate, Qubit};
 use std::fmt;
 
@@ -399,12 +400,56 @@ impl Circuit {
 
     /// Whether every gate is Clifford (so the circuit is stabilizer-
     /// simulable). Conditional gates must also be Clifford.
+    ///
+    /// Shorthand for [`Caps::is_clifford`] on [`Circuit::required_caps`]
+    /// — backend routing (`Backend::Auto` in the engine) and the
+    /// per-backend capability probes all consult this one
+    /// classification.
     pub fn is_clifford(&self) -> bool {
-        self.instructions.iter().all(|i| match i {
-            Instruction::Gate(g) => g.is_clifford(),
-            Instruction::Conditional { gate, .. } => gate.is_clifford(),
-            _ => true,
-        })
+        self.required_caps().is_clifford()
+    }
+
+    /// Classifies, in one pass, everything a simulation backend needs to
+    /// know before accepting this circuit: the presence of non-Clifford
+    /// gates, non-Pauli feedback, reuse of measured qubits, and
+    /// conditionals fed by never-written classical bits. See [`Caps`]
+    /// for what each demand rules out.
+    pub fn required_caps(&self) -> Caps {
+        let mut caps = Caps::default();
+        // Which qubits currently carry a measurement record, and which
+        // classical bits have been written.
+        let mut measured = vec![false; self.num_qubits];
+        let mut written = vec![false; self.num_cbits];
+        let touches_measured =
+            |qubits: &[Qubit], measured: &[bool]| qubits.iter().any(|&q| measured[q]);
+        for instr in &self.instructions {
+            match instr {
+                Instruction::Gate(g) => {
+                    caps.non_clifford |= !g.is_clifford();
+                    caps.measured_qubit_reuse |= touches_measured(&g.qubits(), &measured);
+                }
+                Instruction::Measure { qubit, cbit, .. } => {
+                    caps.measured_qubit_reuse |= measured[*qubit];
+                    measured[*qubit] = true;
+                    written[*cbit] = true;
+                }
+                Instruction::Reset(q) => {
+                    caps.measured_qubit_reuse |= measured[*q];
+                    // A reset qubit is fresh again.
+                    measured[*q] = false;
+                }
+                Instruction::Conditional { gate, parity_of } => {
+                    caps.non_clifford |= !gate.is_clifford();
+                    caps.non_pauli_feedback |= !gate.is_pauli();
+                    caps.measured_qubit_reuse |= touches_measured(&gate.qubits(), &measured);
+                    caps.feedback_from_unwritten |= parity_of.iter().any(|&c| !written[c]);
+                }
+                Instruction::Depolarizing { qubits, .. } => {
+                    caps.measured_qubit_reuse |= touches_measured(qubits, &measured);
+                }
+            }
+        }
+        caps
     }
 
     /// Circuit depth: the number of moments after greedy ASAP scheduling.
@@ -545,6 +590,89 @@ mod tests {
         assert!(c.is_clifford());
         c.t(0);
         assert!(!c.is_clifford());
+    }
+
+    #[test]
+    fn caps_of_teleportation_demand_nothing() {
+        // The Fig. 1a teleportation circuit runs on every backend.
+        let mut c = Circuit::new(3, 2);
+        c.h(1).cx(1, 2).cx(0, 1).h(0);
+        c.measure(0, 0).measure(1, 1);
+        c.cond_x(2, &[1]).cond_z(2, &[0]);
+        assert_eq!(c.required_caps(), Caps::default());
+        assert!(c.is_clifford());
+    }
+
+    #[test]
+    fn caps_flag_non_clifford_gates_and_feedback() {
+        let mut c = Circuit::new(2, 1);
+        c.t(0);
+        assert!(c.required_caps().non_clifford);
+        assert!(!c.required_caps().non_pauli_feedback);
+        // A conditioned Hadamard is Clifford but not Pauli.
+        c.measure(0, 0);
+        c.push(Instruction::Conditional {
+            gate: Gate::H(1),
+            parity_of: vec![0],
+        });
+        let caps = c.required_caps();
+        assert!(caps.non_pauli_feedback);
+        assert!(!caps.pauli_feedback_only());
+        // A conditioned Toffoli is non-Clifford feedback.
+        let mut c2 = Circuit::new(3, 1);
+        c2.measure(0, 0);
+        c2.push(Instruction::Conditional {
+            gate: Gate::Ccx {
+                control_a: 0,
+                control_b: 1,
+                target: 2,
+            },
+            parity_of: vec![0],
+        });
+        let caps2 = c2.required_caps();
+        assert!(caps2.non_clifford && caps2.non_pauli_feedback);
+    }
+
+    #[test]
+    fn caps_flag_measured_qubit_reuse() {
+        // Gate on a measured qubit.
+        let mut c = Circuit::new(2, 1);
+        c.measure(0, 0).h(0);
+        assert!(c.required_caps().measured_qubit_reuse);
+        // Re-measurement.
+        let mut c = Circuit::new(1, 2);
+        c.measure(0, 0).measure(0, 1);
+        assert!(c.required_caps().measured_qubit_reuse);
+        // Reset of a measured qubit counts as reuse, but the qubit is
+        // fresh afterwards.
+        let mut c = Circuit::new(1, 1);
+        c.reset(0).measure(0, 0);
+        assert!(!c.required_caps().measured_qubit_reuse);
+        let mut c = Circuit::new(1, 1);
+        c.measure(0, 0).reset(0);
+        assert!(c.required_caps().measured_qubit_reuse);
+        // Noise on a measured qubit counts as reuse.
+        let mut c = Circuit::new(1, 1);
+        c.measure(0, 0);
+        c.push(Instruction::Depolarizing {
+            qubits: vec![0],
+            p: 0.1,
+        });
+        assert!(c.required_caps().measured_qubit_reuse);
+        // Conditional *targeting* an unmeasured qubit is fine.
+        let mut c = Circuit::new(2, 1);
+        c.measure(0, 0).cond_x(1, &[0]);
+        assert!(!c.required_caps().measured_qubit_reuse);
+        assert!(c.required_caps().deferred_records_safe());
+    }
+
+    #[test]
+    fn caps_flag_feedback_from_unwritten_bits() {
+        let mut c = Circuit::new(2, 1);
+        c.cond_x(1, &[0]); // c0 never written
+        let caps = c.required_caps();
+        assert!(caps.feedback_from_unwritten);
+        assert!(!caps.deferred_records_safe());
     }
 
     #[test]

@@ -117,6 +117,13 @@ impl Gate {
         ) && !matches!(self, Gate::Ccx { .. } | Gate::Cswap { .. })
     }
 
+    /// Whether the gate is a single-qubit Pauli (X, Y, or Z) — the only
+    /// gates the Pauli-frame simulator and the deferred-measurement
+    /// density path accept as classically-conditioned corrections.
+    pub fn is_pauli(&self) -> bool {
+        matches!(self, Gate::X(_) | Gate::Y(_) | Gate::Z(_))
+    }
+
     /// Re-indexes the gate's qubits through `f`.
     ///
     /// Used when embedding a locally-built circuit into the global register

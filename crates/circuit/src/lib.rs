@@ -21,6 +21,7 @@
 //! assert!(c.is_clifford());
 //! ```
 
+pub mod caps;
 pub mod circuit;
 pub mod gate;
 pub mod noise;
@@ -28,6 +29,7 @@ pub mod qasm;
 
 /// Convenient glob-import of the most used items.
 pub mod prelude {
+    pub use crate::caps::{Caps, Unsupported};
     pub use crate::circuit::{Basis, Cbit, Circuit, Instruction};
     pub use crate::gate::{Gate, Qubit};
     pub use crate::noise::NoiseModel;

@@ -19,6 +19,19 @@
 //! of §2.3. [`CompasProtocol`] places one state per QPU and compiles the
 //! same test onto a [`DistributedMachine`] with teledata or telegate
 //! CSWAPs.
+//!
+//! ## Backend note
+//!
+//! The trajectory shots here run through the workspace's generic shot
+//! loop (`qsim::runner::run_shot_into` over the `SimState` contract),
+//! but they are **pinned to the statevector backend** by the physics,
+//! not the API: every shot prepares an arbitrary product state sampled
+//! from the inputs' eigen-ensembles ([`PureEnsemble`]), and the CSWAP
+//! layers are non-Clifford — outside both the stabilizer and the
+//! deferred-measurement density domains (`engine::Backend::Auto` would
+//! route these circuits to the statevector too). Workloads that sample
+//! circuits from `|0…0⟩` select their representation through
+//! `engine::Backend` instead.
 
 use circuit::circuit::{Circuit, Instruction};
 use circuit::gate::{Gate, Qubit};

@@ -1,0 +1,327 @@
+//! Runtime selection of the simulation backend.
+//!
+//! [`Backend`] is the representation-side twin of [`Executor`]: the
+//! executor decides *how* shots run (sequential vs pooled), the backend
+//! decides *what* simulates them (statevector, density matrix, or
+//! stabilizer tableau — any [`SimState`]). Both are chosen once at the
+//! boundary, so no layer above ever forks into per-backend API twins.
+//!
+//! [`Backend::Auto`] (the default) routes Clifford-only circuits — GHZ
+//! preparation, fanout gadgets, teleportation networks — to the
+//! stabilizer fast path (`O(n²)` per gate) and everything else to the
+//! statevector, using the same
+//! [`Circuit::required_caps`](circuit::circuit::Circuit::required_caps)
+//! classification the per-backend capability probes consult. The
+//! density backend is never auto-selected: it is the exact,
+//! exponentially-priced reference you opt into explicitly.
+//!
+//! Selection knobs mirror the engine's: the `COMPAS_BACKEND`
+//! environment variable or a `--backend NAME` CLI argument
+//! (`auto` | `statevector` | `density` | `stabilizer`), read by
+//! [`Backend::from_env`].
+//!
+//! ```
+//! use circuit::circuit::Circuit;
+//! use engine::{Backend, Executor};
+//!
+//! let mut ghz = Circuit::new(3, 3);
+//! ghz.h(0).cx(0, 1).cx(1, 2);
+//! for q in 0..3 {
+//!     ghz.measure(q, q);
+//! }
+//! // Clifford circuit: Auto picks the stabilizer path.
+//! assert_eq!(Backend::Auto.resolve(&ghz), Backend::Stabilizer);
+//! let counts = Backend::Auto
+//!     .sample_shots(&ghz, 500, &Executor::sequential(7))
+//!     .unwrap();
+//! assert_eq!(counts.values().sum::<usize>(), 500);
+//! // GHZ records are all-zeros or all-ones.
+//! assert!(counts.keys().all(|&k| k == 0 || k == 0b111));
+//! ```
+
+use circuit::caps::Unsupported;
+use circuit::circuit::Circuit;
+use qsim::density::{run_deferred, DensityMatrix};
+use qsim::runner::pack_cbits;
+use qsim::sim::SimState;
+use qsim::statevector::StateVector;
+use stabilizer::clifford::CliffordState;
+
+use crate::executor::Executor;
+use crate::pool::Counts;
+
+/// Which simulation representation plays the shots.
+///
+/// `#[non_exhaustive]` like [`Executor`]: future representations
+/// (matrix-product states, GPU statevectors, …) extend this enum
+/// instead of forking the sampling APIs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub enum Backend {
+    /// Route per circuit: Clifford-only circuits go to
+    /// [`Backend::Stabilizer`], everything else to
+    /// [`Backend::StateVector`]. The default.
+    #[default]
+    Auto,
+    /// Statevector trajectory sampling (`qsim::statevector`) — runs the
+    /// full gate set, exponential in width (≤ 26 qubits).
+    StateVector,
+    /// Exact deferred-measurement density-matrix evolution
+    /// (`qsim::density`) — the "infinite-trajectory" reference. The
+    /// state is evolved **once** per circuit; each shot then samples a
+    /// classical record from the final carrier distribution.
+    Density,
+    /// Aaronson–Gottesman stabilizer tableau
+    /// (`stabilizer::clifford::CliffordState`) — Clifford circuits
+    /// only, polynomial in width.
+    Stabilizer,
+}
+
+impl Backend {
+    /// Parses a backend name (case-insensitive): `auto`,
+    /// `statevector`/`sv`, `density`/`dm`, `stabilizer`/`clifford`.
+    pub fn parse(name: &str) -> Option<Backend> {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "auto" => Some(Backend::Auto),
+            "statevector" | "sv" => Some(Backend::StateVector),
+            "density" | "dm" => Some(Backend::Density),
+            "stabilizer" | "clifford" => Some(Backend::Stabilizer),
+            _ => None,
+        }
+    }
+
+    /// Reads the backend from the process environment and CLI:
+    /// `COMPAS_BACKEND` / `--backend NAME` (CLI wins). Unset or
+    /// unparsable values fall back to [`Backend::Auto`], mirroring
+    /// [`EngineConfig::from_env`](crate::EngineConfig::from_env).
+    pub fn from_env() -> Backend {
+        let mut backend = Backend::Auto;
+        if let Some(b) = std::env::var("COMPAS_BACKEND").ok().and_then(|v| Backend::parse(&v)) {
+            backend = b;
+        }
+        if let Some(b) = cli_backend() {
+            backend = b;
+        }
+        backend
+    }
+
+    /// The backend's name as accepted by [`Backend::parse`].
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Auto => "auto",
+            Backend::StateVector => "statevector",
+            Backend::Density => "density",
+            Backend::Stabilizer => "stabilizer",
+        }
+    }
+
+    /// Resolves [`Backend::Auto`] for a concrete circuit: the
+    /// stabilizer path iff the circuit is Clifford-only (the shared
+    /// [`Circuit::required_caps`](circuit::circuit::Circuit::required_caps)
+    /// classification), the statevector otherwise. Explicit choices
+    /// pass through unchanged.
+    pub fn resolve(self, circuit: &Circuit) -> Backend {
+        match self {
+            Backend::Auto => {
+                if circuit.is_clifford() {
+                    Backend::Stabilizer
+                } else {
+                    Backend::StateVector
+                }
+            }
+            explicit => explicit,
+        }
+    }
+
+    /// Capability probe: whether this backend (after [`Backend::Auto`]
+    /// routing) can execute `circuit`. Delegates to the chosen
+    /// [`SimState::supports`] implementation.
+    pub fn supports(self, circuit: &Circuit) -> Result<(), Unsupported> {
+        match self.resolve(circuit) {
+            Backend::StateVector => StateVector::supports(circuit),
+            Backend::Density => DensityMatrix::supports(circuit),
+            Backend::Stabilizer => CliffordState::supports(circuit),
+            Backend::Auto => unreachable!("resolve never returns Auto"),
+        }
+    }
+
+    /// Samples `shots` classical records of `circuit` from `|0…0⟩` on
+    /// this backend under `exec`, histogramming the packed register
+    /// (the `sample_shots` convention). The one runtime-dispatch
+    /// boundary: everything below is the generic
+    /// [`Executor::sample_shots`] loop, monomorphized per backend.
+    ///
+    /// Fails up front — with the typed probe error — instead of
+    /// panicking mid-shot. Deterministic per backend: for one root
+    /// seed, sequential and pooled executors tally identically.
+    ///
+    /// The density arm evolves the state **once** (its steps consume no
+    /// randomness) and then draws each shot's record from the final
+    /// carrier distribution on the shot's own derived stream — exactly
+    /// the counts the generic per-shot loop would produce, without
+    /// re-evolving `ρ` per shot.
+    pub fn sample_shots(
+        self,
+        circuit: &Circuit,
+        shots: usize,
+        exec: &Executor,
+    ) -> Result<Counts, Unsupported> {
+        let resolved = self.resolve(circuit);
+        resolved.supports(circuit)?;
+        let n = circuit.num_qubits();
+        Ok(match resolved {
+            Backend::StateVector => exec.sample_shots(circuit, &StateVector::new(n), shots),
+            Backend::Stabilizer => exec.sample_shots(circuit, &CliffordState::new(n), shots),
+            Backend::Density => {
+                let rho = run_deferred(circuit, &DensityMatrix::new(n));
+                let num_cbits = circuit.num_cbits();
+                // Workers share `&rho` — record sampling only reads the
+                // final state, so the per-worker workspace is just the
+                // classical register, not a clone of the (potentially
+                // huge) matrix.
+                let tally = exec.run_tally_with(
+                    shots as u64,
+                    || vec![false; num_cbits],
+                    |cbits, _shot, rng| {
+                        cbits.iter_mut().for_each(|b| *b = false);
+                        rho.sample_record(cbits, rng);
+                        pack_cbits(cbits)
+                    },
+                );
+                tally.into_iter().map(|(k, v)| (k, v as usize)).collect()
+            }
+            Backend::Auto => unreachable!("resolve never returns Auto"),
+        })
+    }
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Parses `--backend NAME` or `--backend=NAME` from the process
+/// arguments.
+fn cli_backend() -> Option<Backend> {
+    let args: Vec<String> = std::env::args().collect();
+    for (i, arg) in args.iter().enumerate() {
+        if let Some(v) = arg.strip_prefix("--backend=") {
+            return Backend::parse(v);
+        }
+        if arg == "--backend" {
+            return Backend::parse(args.get(i + 1)?);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::Engine;
+
+    fn bell() -> Circuit {
+        let mut c = Circuit::new(2, 2);
+        c.h(0).cx(0, 1).measure(0, 0).measure(1, 1);
+        c
+    }
+
+    #[test]
+    fn parse_accepts_aliases_and_rejects_junk() {
+        assert_eq!(Backend::parse("AUTO"), Some(Backend::Auto));
+        assert_eq!(Backend::parse("sv"), Some(Backend::StateVector));
+        assert_eq!(Backend::parse("dm"), Some(Backend::Density));
+        assert_eq!(Backend::parse(" clifford "), Some(Backend::Stabilizer));
+        assert_eq!(Backend::parse("qutrit"), None);
+        for b in [
+            Backend::Auto,
+            Backend::StateVector,
+            Backend::Density,
+            Backend::Stabilizer,
+        ] {
+            assert_eq!(Backend::parse(b.name()), Some(b));
+        }
+    }
+
+    #[test]
+    fn auto_routes_by_cliffordness() {
+        let c = bell();
+        assert_eq!(Backend::Auto.resolve(&c), Backend::Stabilizer);
+        let mut t = bell();
+        t.t(0);
+        assert_eq!(Backend::Auto.resolve(&t), Backend::StateVector);
+        // Explicit choices pass through.
+        assert_eq!(Backend::Density.resolve(&c), Backend::Density);
+    }
+
+    #[test]
+    fn stabilizer_backend_rejects_non_clifford_up_front() {
+        let mut c = bell();
+        c.t(0);
+        let err = Backend::Stabilizer
+            .sample_shots(&c, 10, &Executor::sequential(1))
+            .unwrap_err();
+        assert_eq!(err.backend, "stabilizer");
+        // Auto handles the same circuit by routing to the statevector.
+        let counts = Backend::Auto
+            .sample_shots(&c, 10, &Executor::sequential(1))
+            .unwrap();
+        assert_eq!(counts.values().sum::<usize>(), 10);
+    }
+
+    #[test]
+    fn all_backends_sample_bell_correlations() {
+        let c = bell();
+        let exec = Executor::sequential(33);
+        for b in [Backend::StateVector, Backend::Stabilizer, Backend::Density] {
+            let counts = b.sample_shots(&c, 600, &exec).unwrap();
+            assert_eq!(counts.values().sum::<usize>(), 600, "{b}");
+            for key in counts.keys() {
+                assert!(*key == 0 || *key == 3, "{b}: unexpected record {key}");
+            }
+            assert_eq!(counts.len(), 2, "{b}: both outcomes should appear");
+        }
+    }
+
+    #[test]
+    fn every_backend_is_mode_invariant() {
+        let c = bell();
+        for b in [Backend::StateVector, Backend::Stabilizer, Backend::Density] {
+            let seq = b.sample_shots(&c, 2_000, &Executor::sequential(5)).unwrap();
+            let pooled = b
+                .sample_shots(&c, 2_000, &Executor::pooled(Engine::with_threads(4), 5))
+                .unwrap();
+            assert_eq!(seq, pooled, "{b} diverged across executors");
+        }
+    }
+
+    #[test]
+    fn density_arm_matches_the_generic_per_shot_loop() {
+        // The once-evolved fast path must tally exactly what per-shot
+        // deferred evolution would: same final ρ, same per-shot record
+        // draw on the same stream.
+        let mut c = Circuit::new(2, 1);
+        c.h(0);
+        c.push(circuit::circuit::Instruction::Depolarizing {
+            qubits: vec![0],
+            p: 0.2,
+        });
+        c.cx(0, 1);
+        c.measure(0, 0);
+        let exec = Executor::sequential(21);
+        let fast = Backend::Density.sample_shots(&c, 300, &exec).unwrap();
+        let generic = exec.sample_shots(&c, &DensityMatrix::new(2), 300);
+        assert_eq!(fast, generic);
+    }
+
+    #[test]
+    fn density_backend_rejects_measured_qubit_reuse() {
+        let mut c = Circuit::new(1, 2);
+        c.measure(0, 0).h(0).measure(0, 1);
+        let err = Backend::Density
+            .sample_shots(&c, 10, &Executor::sequential(1))
+            .unwrap_err();
+        assert_eq!(err.backend, "density");
+    }
+}

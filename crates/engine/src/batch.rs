@@ -1,7 +1,7 @@
 //! Batched execution of many independent sampling jobs.
 
 use qsim::runner::{pack_cbits, run_shot_into};
-use qsim::statevector::StateVector;
+use qsim::sim::SimState;
 use rand::rngs::StdRng;
 use std::collections::HashMap;
 use std::hash::Hash;
@@ -13,11 +13,11 @@ use crate::seed::shot_rng;
 /// One independent sampling job a [`BatchRunner`] can execute: a shot
 /// count, a root seed, and a per-shot kernel producing a histogram key.
 ///
-/// Implementations exist for [`ShotPlan`] (statevector shots keyed by
-/// the packed classical register) and are trivial to add for other
-/// samplers (Pauli-frame residuals, bit-level models): the kernel only
-/// needs to be a pure function of its workspace, shot index, and RNG
-/// stream.
+/// Implementations exist for [`ShotPlan`] over any [`SimState`] backend
+/// (shots keyed by the packed classical register) and are trivial to
+/// add for other samplers (Pauli-frame residuals, bit-level models):
+/// the kernel only needs to be a pure function of its workspace, shot
+/// index, and RNG stream.
 pub trait ShotJob: Sync {
     /// Histogram key produced by one shot.
     type Key: Eq + Hash + Send;
@@ -37,9 +37,9 @@ pub trait ShotJob: Sync {
     fn run_shot(&self, ws: &mut Self::Workspace, shot: u64, rng: &mut StdRng) -> Self::Key;
 }
 
-impl ShotJob for ShotPlan {
+impl<S: SimState> ShotJob for ShotPlan<S> {
     type Key = usize;
-    type Workspace = (StateVector, Vec<bool>);
+    type Workspace = (S, Vec<bool>);
 
     fn shots(&self) -> u64 {
         self.shots
@@ -148,9 +148,9 @@ impl<'e> BatchRunner<'e> {
         merged
     }
 
-    /// Runs a batch of statevector [`ShotPlan`]s, returning counts in
-    /// the `sample_shots` convention, one per plan.
-    pub fn run_plans(&self, plans: &[ShotPlan]) -> Vec<Counts> {
+    /// Runs a batch of [`ShotPlan`]s (any one [`SimState`] backend),
+    /// returning counts in the `sample_shots` convention, one per plan.
+    pub fn run_plans<S: SimState>(&self, plans: &[ShotPlan<S>]) -> Vec<Counts> {
         self.run_batch(plans)
             .into_iter()
             .map(|t| t.into_iter().map(|(k, v)| (k, v as usize)).collect())
@@ -194,6 +194,7 @@ mod tests {
     use super::test_fixtures::CoinJob;
     use super::*;
     use circuit::circuit::Circuit;
+    use qsim::statevector::StateVector;
 
     #[test]
     fn batch_results_are_per_job_and_thread_invariant() {
@@ -236,6 +237,7 @@ mod tests {
     #[test]
     fn empty_batch_is_fine() {
         let engine = Engine::with_threads(4);
-        assert!(BatchRunner::new(&engine).run_plans(&[]).is_empty());
+        let no_plans: &[ShotPlan] = &[];
+        assert!(BatchRunner::new(&engine).run_plans(no_plans).is_empty());
     }
 }

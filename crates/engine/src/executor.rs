@@ -25,7 +25,7 @@
 
 use circuit::circuit::Circuit;
 use qsim::runner::{pack_cbits, run_shot_into};
-use qsim::statevector::StateVector;
+use qsim::sim::SimState;
 use rand::rngs::StdRng;
 use std::collections::HashMap;
 use std::hash::Hash;
@@ -205,17 +205,32 @@ impl Executor {
     /// and value conventions). Unlike `sample_shots`, each shot runs on
     /// its derived stream, so the counts are identical in every mode —
     /// and bit-identical to [`Engine::run_plan`] on the equivalent
-    /// [`ShotPlan`].
+    /// [`ShotPlan`](crate::ShotPlan).
+    ///
+    /// Generic over the simulation backend (any [`SimState`]); pass
+    /// `&StateVector::new(n)`, `&CliffordState::new(n)`, or a prepared
+    /// [`DensityMatrix`](qsim::density::DensityMatrix) — or let
+    /// [`Backend`](crate::Backend) choose at runtime.
     ///
     /// # Panics
     ///
     /// Panics if the circuit needs more qubits than `initial` has.
-    pub fn sample_shots(&self, circuit: &Circuit, initial: &StateVector, shots: usize) -> Counts {
+    pub fn sample_shots<S: SimState>(
+        &self,
+        circuit: &Circuit,
+        initial: &S,
+        shots: usize,
+    ) -> Counts {
         assert!(
             circuit.num_qubits() <= initial.num_qubits(),
             "circuit needs {} qubits but the state has {}",
             circuit.num_qubits(),
             initial.num_qubits()
+        );
+        debug_assert!(
+            S::supports(circuit).is_ok(),
+            "{}",
+            S::supports(circuit).unwrap_err()
         );
         let tally = self.run_tally_with(
             shots as u64,
@@ -233,6 +248,7 @@ impl Executor {
 mod tests {
     use super::*;
     use crate::pool::ShotPlan;
+    use qsim::statevector::StateVector;
     use rand::Rng;
 
     #[test]

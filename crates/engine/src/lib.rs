@@ -29,6 +29,15 @@
 //! takes `&Executor` instead of forking into sequential/parallel twin
 //! APIs; future modes (sharded, async, multi-machine) extend the enum.
 //!
+//! [`Backend`] is the matching boundary on the representation side:
+//! *what* simulates a shot (statevector, density matrix, stabilizer
+//! tableau — any `qsim::sim::SimState`) is selected once, per circuit,
+//! via `COMPAS_BACKEND` / `--backend` or [`Backend::Auto`]'s
+//! Clifford routing — while [`ShotPlan`], [`BatchRunner`], and
+//! [`Executor::sample_shots`] stay generic over the backend. One
+//! sampling surface, representation and execution mode both chosen at
+//! the boundary.
+//!
 //! [`Engine`] holds an [`EngineConfig`] (thread count, chunk size) and
 //! partitions a job's shots into chunks claimed from an atomic cursor by
 //! `std::thread` workers (no external dependencies). Each worker owns
@@ -67,6 +76,7 @@
 //! assert_eq!(counts, Engine::with_threads(1).run_plan(&plan));
 //! ```
 
+mod backend;
 mod batch;
 mod config;
 mod executor;
@@ -74,6 +84,7 @@ mod experiment;
 mod pool;
 mod seed;
 
+pub use backend::Backend;
 pub use batch::{BatchRunner, ShotJob};
 pub use config::EngineConfig;
 pub use executor::Executor;

@@ -2,6 +2,7 @@
 
 use circuit::circuit::Circuit;
 use qsim::runner::{pack_cbits, run_shot_into};
+use qsim::sim::SimState;
 use qsim::statevector::StateVector;
 use rand::rngs::StdRng;
 use std::collections::HashMap;
@@ -15,34 +16,47 @@ use crate::seed::shot_rng;
 /// and value conventions of `qsim::runner::sample_shots`.
 pub type Counts = HashMap<usize, usize>;
 
-/// One statevector sampling job: play `circuit` from `initial` for
-/// `shots` repetitions under root seed `root_seed`, histogramming the
-/// classical register.
+/// One sampling job: play `circuit` from `initial` for `shots`
+/// repetitions under root seed `root_seed`, histogramming the classical
+/// register.
+///
+/// Generic over the simulation backend `S` ([`SimState`]), defaulting
+/// to the statevector; `ShotPlan<CliffordState>` runs the same job on
+/// the stabilizer tableau, `ShotPlan<DensityMatrix>` on the exact
+/// deferred-measurement path. The runtime selector is
+/// [`Backend`](crate::Backend).
 #[derive(Debug, Clone)]
-pub struct ShotPlan {
+pub struct ShotPlan<S: SimState = StateVector> {
     /// The circuit to play (may include measurement, reset, feed-forward
     /// and stochastic noise sites).
     pub circuit: Circuit,
-    /// The initial pure state each shot starts from.
-    pub initial: StateVector,
+    /// The initial state each shot starts from.
+    pub initial: S,
     /// Number of repetitions.
     pub shots: u64,
     /// Root seed; shot `i` runs on stream `derive_stream_seed(root, i)`.
     pub root_seed: u64,
 }
 
-impl ShotPlan {
-    /// Builds a plan, validating that the state covers the circuit.
+impl<S: SimState> ShotPlan<S> {
+    /// Builds a plan, validating that the state covers the circuit
+    /// (and, under debug assertions, probing the backend's capability
+    /// contract once — per plan, not per shot).
     ///
     /// # Panics
     ///
     /// Panics if the circuit needs more qubits than `initial` has.
-    pub fn new(circuit: Circuit, initial: StateVector, shots: u64, root_seed: u64) -> Self {
+    pub fn new(circuit: Circuit, initial: S, shots: u64, root_seed: u64) -> Self {
         assert!(
             circuit.num_qubits() <= initial.num_qubits(),
             "circuit needs {} qubits but the state has {}",
             circuit.num_qubits(),
             initial.num_qubits()
+        );
+        debug_assert!(
+            S::supports(&circuit).is_ok(),
+            "{}",
+            S::supports(&circuit).unwrap_err()
         );
         ShotPlan {
             circuit,
@@ -231,10 +245,10 @@ impl Engine {
         self.run_tally_with(shots, root_seed, || (), |(), shot, rng| key_of(shot, rng))
     }
 
-    /// Executes one statevector [`ShotPlan`], reusing one state buffer
-    /// and one classical register per worker. Returns counts in the
-    /// `sample_shots` convention.
-    pub fn run_plan(&self, plan: &ShotPlan) -> Counts {
+    /// Executes one [`ShotPlan`] on its backend, reusing one state
+    /// buffer and one classical register per worker. Returns counts in
+    /// the `sample_shots` convention.
+    pub fn run_plan<S: SimState>(&self, plan: &ShotPlan<S>) -> Counts {
         let tally = self.run_tally_with(
             plan.shots,
             plan.root_seed,

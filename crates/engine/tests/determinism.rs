@@ -170,3 +170,89 @@ fn different_root_seeds_give_different_samples() {
     ));
     assert_ne!(a, b, "independent seeds should not collide exactly");
 }
+
+#[test]
+fn every_backend_is_mode_and_thread_invariant() {
+    // The determinism guarantee holds per simulation backend: for one
+    // root seed, Backend::sample_shots tallies identically under the
+    // sequential executor and pooled executors at several thread
+    // counts and chunk sizes.
+    use engine::{Backend, Executor};
+
+    // Clifford with feed-forward and noise, so every backend (incl.
+    // density record sampling) accepts it.
+    let mut c = Circuit::new(3, 3);
+    c.x(0);
+    c.h(1).cx(1, 2);
+    c.push(Instruction::Depolarizing {
+        qubits: vec![2],
+        p: 0.1,
+    });
+    c.cx(0, 1).h(0);
+    c.measure(0, 0).measure(1, 1);
+    c.cond_x(2, &[1]).cond_z(2, &[0]);
+    c.measure(2, 2);
+
+    for backend in [
+        Backend::Auto,
+        Backend::StateVector,
+        Backend::Stabilizer,
+        Backend::Density,
+    ] {
+        let root = 0xFACE;
+        let reference = backend
+            .sample_shots(&c, 6_000, &Executor::sequential(root))
+            .unwrap();
+        assert_eq!(reference.values().sum::<usize>(), 6_000);
+        for threads in [2usize, 8] {
+            for chunk_size in [13u64, 256] {
+                let engine = Engine::new(EngineConfig {
+                    threads,
+                    chunk_size,
+                });
+                let pooled = backend
+                    .sample_shots(&c, 6_000, &Executor::pooled(engine, root))
+                    .unwrap();
+                assert_eq!(
+                    reference, pooled,
+                    "{backend}: pooled({threads} threads, chunk {chunk_size}) diverged"
+                );
+            }
+        }
+        let other = backend
+            .sample_shots(&c, 6_000, &Executor::sequential(root + 1))
+            .unwrap();
+        assert_ne!(reference, other, "{backend}: seed had no effect");
+    }
+}
+
+#[test]
+fn env_selected_backend_is_mode_invariant() {
+    // The CI matrix runs this test under COMPAS_BACKEND=statevector and
+    // COMPAS_BACKEND=stabilizer: whichever backend the environment
+    // picks, sequential and pooled execution must tally identically.
+    use engine::{Backend, Executor};
+
+    let backend = Backend::from_env();
+    let mut c = Circuit::new(4, 4);
+    c.h(0);
+    for q in 1..4 {
+        c.cx(q - 1, q);
+    }
+    c.push(Instruction::Depolarizing {
+        qubits: vec![1, 2],
+        p: 0.05,
+    });
+    for q in 0..4 {
+        c.measure(q, q);
+    }
+    assert_eq!(backend.resolve(&c), backend.resolve(&c), "routing is pure");
+    let seq = backend
+        .sample_shots(&c, 5_000, &Executor::sequential(31))
+        .unwrap();
+    let pooled = backend
+        .sample_shots(&c, 5_000, &Executor::pooled(Engine::with_threads(4), 31))
+        .unwrap();
+    assert_eq!(seq, pooled, "backend {backend} diverged across executors");
+    assert_eq!(seq.values().sum::<usize>(), 5_000);
+}

@@ -16,14 +16,29 @@ use circuit::circuit::{Basis, Circuit, Instruction};
 use circuit::gate::Gate;
 use mathkit::complex::{c64, Complex};
 use mathkit::matrix::Matrix;
+use rand::Rng;
 
+use crate::sim::{SimState, Unsupported};
 use crate::statevector::{bit, StateVector};
 
 /// A mixed quantum state on `n` qubits, stored as a dense `2ⁿ × 2ⁿ` matrix.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct DensityMatrix {
     num_qubits: usize,
     rho: Matrix,
+    /// Deferred-measurement bookkeeping: `carriers[c]` is the qubit
+    /// currently holding classical bit `c`'s (dephased) record, if any.
+    /// Populated by [`DensityMatrix::step_deferred`]; empty for states
+    /// built or evolved outside the deferred execution path.
+    carriers: Vec<Option<usize>>,
+}
+
+/// Equality compares the physical state only (`num_qubits`, `ρ`), not
+/// the deferred-measurement carrier bookkeeping.
+impl PartialEq for DensityMatrix {
+    fn eq(&self, other: &Self) -> bool {
+        self.num_qubits == other.num_qubits && self.rho == other.rho
+    }
 }
 
 impl DensityMatrix {
@@ -33,7 +48,11 @@ impl DensityMatrix {
         let dim = 1usize << num_qubits;
         let mut rho = Matrix::zeros(dim, dim);
         rho[(0, 0)] = Complex::ONE;
-        DensityMatrix { num_qubits, rho }
+        DensityMatrix {
+            num_qubits,
+            rho,
+            carriers: Vec::new(),
+        }
     }
 
     /// Builds from a raw density matrix.
@@ -54,7 +73,11 @@ impl DensityMatrix {
             "density matrix must have unit trace"
         );
         let num_qubits = rho.rows().trailing_zeros() as usize;
-        DensityMatrix { num_qubits, rho }
+        DensityMatrix {
+            num_qubits,
+            rho,
+            carriers: Vec::new(),
+        }
     }
 
     /// Builds `|ψ⟩⟨ψ|` from a pure state.
@@ -62,6 +85,7 @@ impl DensityMatrix {
         DensityMatrix {
             num_qubits: psi.num_qubits(),
             rho: psi.to_density(),
+            carriers: Vec::new(),
         }
     }
 
@@ -239,6 +263,179 @@ impl DensityMatrix {
     pub fn probabilities(&self) -> Vec<f64> {
         (0..self.rho.rows()).map(|i| self.rho[(i, i)].re).collect()
     }
+
+    /// Executes one instruction exactly, by the principle of deferred
+    /// measurement — the per-instruction core of [`run_deferred`] and of
+    /// the [`SimState`] implementation. Consumes **no** randomness:
+    /// every channel (measurement dephasing, readout flip, reset,
+    /// depolarizing) is applied in closed form, and measured qubits
+    /// become *carriers* of their classical bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a conditional gate is not a Pauli or consumes a
+    /// classical bit that was never measured; probe with
+    /// [`SimState::supports`] / [`circuit::circuit::Circuit::required_caps`]
+    /// first.
+    pub fn step_deferred(&mut self, instr: &Instruction) {
+        match instr {
+            Instruction::Gate(g) => self.apply_gate(g),
+            Instruction::Measure {
+                qubit,
+                cbit,
+                basis,
+                flip_prob,
+            } => {
+                match basis {
+                    Basis::Z => {}
+                    Basis::X => self.apply_gate(&Gate::H(*qubit)),
+                    Basis::Y => {
+                        self.apply_gate(&Gate::Sdg(*qubit));
+                        self.apply_gate(&Gate::H(*qubit));
+                    }
+                }
+                self.dephase(*qubit);
+                self.bit_flip(*qubit, *flip_prob);
+                if *cbit >= self.carriers.len() {
+                    self.carriers.resize(*cbit + 1, None);
+                }
+                self.carriers[*cbit] = Some(*qubit);
+            }
+            Instruction::Reset(q) => {
+                self.reset(*q);
+                // A reset qubit no longer carries any classical bit.
+                for c in self.carriers.iter_mut() {
+                    if *c == Some(*q) {
+                        *c = None;
+                    }
+                }
+            }
+            Instruction::Conditional { gate, parity_of } => {
+                for &cb in parity_of {
+                    let control = self
+                        .carriers
+                        .get(cb)
+                        .copied()
+                        .flatten()
+                        .expect("conditional consumes a classical bit that was never measured");
+                    match gate {
+                        Gate::X(t) => self.apply_gate(&Gate::Cx {
+                            control,
+                            target: *t,
+                        }),
+                        Gate::Z(t) => self.apply_gate(&Gate::Cz(control, *t)),
+                        Gate::Y(t) => {
+                            // CY = S_t · CX · S†_t
+                            self.apply_gate(&Gate::Sdg(*t));
+                            self.apply_gate(&Gate::Cx {
+                                control,
+                                target: *t,
+                            });
+                            self.apply_gate(&Gate::S(*t));
+                        }
+                        other => {
+                            panic!("deferred execution supports Pauli corrections, got {other}")
+                        }
+                    }
+                }
+            }
+            Instruction::Depolarizing { qubits, p } => match qubits.len() {
+                1 => self.depolarize_1q(qubits[0], *p),
+                _ => self.depolarize_2q(qubits[0], qubits[1], *p),
+            },
+        }
+    }
+
+    /// Samples one classical record from the final state's carrier
+    /// qubits: draws a basis index from the diagonal of ρ and reads
+    /// each carried bit off it. Bits without a carrier are left
+    /// untouched. Consumes exactly one uniform draw when any bit has a
+    /// carrier, none otherwise.
+    pub fn sample_record(&self, cbits: &mut [bool], rng: &mut impl Rng) {
+        if !self.carriers.iter().any(Option::is_some) {
+            return;
+        }
+        let n = self.num_qubits;
+        let dim = 1usize << n;
+        let mut r = rng.random::<f64>();
+        let mut index = dim - 1;
+        for i in 0..dim {
+            r -= self.rho[(i, i)].re;
+            if r <= 0.0 {
+                index = i;
+                break;
+            }
+        }
+        for (c, carrier) in self.carriers.iter().enumerate() {
+            if let (Some(q), Some(slot)) = (carrier, cbits.get_mut(c)) {
+                *slot = bit(index, *q, n) == 1;
+            }
+        }
+    }
+}
+
+impl SimState for DensityMatrix {
+    const NAME: &'static str = "density";
+
+    fn prepare(num_qubits: usize) -> Self {
+        DensityMatrix::new(num_qubits)
+    }
+
+    fn num_qubits(&self) -> usize {
+        DensityMatrix::num_qubits(self)
+    }
+
+    fn reset_from(&mut self, initial: &Self) {
+        self.num_qubits = initial.num_qubits;
+        self.rho.clone_from(&initial.rho);
+        self.carriers.clone_from(&initial.carriers);
+    }
+
+    /// Exact evolution: ignores `rng` entirely (every channel is applied
+    /// in closed form) and defers the classical record to
+    /// [`SimState::finish`].
+    fn step(&mut self, instr: &Instruction, _cbits: &mut [bool], _rng: &mut impl Rng) {
+        self.step_deferred(instr);
+    }
+
+    /// Samples the shot's record from the carrier qubits — the one
+    /// point where the density backend consumes randomness.
+    fn finish(&mut self, cbits: &mut [bool], rng: &mut impl Rng) {
+        self.sample_record(cbits, rng);
+    }
+
+    fn supports(circuit: &Circuit) -> Result<(), Unsupported> {
+        if circuit.num_qubits() > 13 {
+            return Err(Unsupported::new(
+                Self::NAME,
+                format!(
+                    "{} qubits exceed the 13-qubit density-matrix limit",
+                    circuit.num_qubits()
+                ),
+            ));
+        }
+        let caps = circuit.required_caps();
+        if caps.non_pauli_feedback {
+            return Err(Unsupported::new(
+                Self::NAME,
+                "deferred execution supports only Pauli feedback corrections",
+            ));
+        }
+        if caps.feedback_from_unwritten {
+            return Err(Unsupported::new(
+                Self::NAME,
+                "a conditional consumes a classical bit no measurement wrote",
+            ));
+        }
+        if caps.measured_qubit_reuse {
+            return Err(Unsupported::new(
+                Self::NAME,
+                "a measured qubit is reused, so its record cannot be carried \
+                 to the end of the circuit for sampling",
+            ));
+        }
+        Ok(())
+    }
 }
 
 #[allow(clippy::needless_range_loop)] // index arithmetic over bit-packed registers
@@ -290,81 +487,27 @@ fn apply_unitary_to_vec(
 ///
 /// * `Measure` in any basis is rotated to Z, dephased, and (if noisy)
 ///   subjected to a classical flip channel; the qubit then *carries* the
-///   classical bit.
+///   classical bit (readable afterwards with
+///   [`DensityMatrix::sample_record`]).
 /// * `Conditional { gate, parity_of }` becomes one quantum-controlled
 ///   `gate` per recorded control qubit (valid because the conditioned
 ///   gates are self-inverse Paulis, so parity-control factorizes).
 /// * `Reset` applies the non-selective reset channel.
 ///
+/// Per-instruction semantics live in [`DensityMatrix::step_deferred`];
+/// this drives them over the whole circuit, starting from a clean
+/// carrier map.
+///
 /// # Panics
 ///
-/// Panics if a conditional gate is not a Pauli, if a classical bit is
-/// reused for a second measurement while still needed, or if a measured
-/// qubit is reused before reset.
+/// Panics if a conditional gate is not a Pauli or consumes a classical
+/// bit that was never measured. Probe with
+/// `<DensityMatrix as SimState>::supports` first.
 pub fn run_deferred(circuit: &Circuit, initial: &DensityMatrix) -> DensityMatrix {
     let mut rho = initial.clone();
-    // cbit -> qubit that carries it
-    let mut carrier: Vec<Option<usize>> = vec![None; circuit.num_cbits()];
+    rho.carriers.clear();
     for instr in circuit.instructions() {
-        match instr {
-            Instruction::Gate(g) => rho.apply_gate(g),
-            Instruction::Measure {
-                qubit,
-                cbit,
-                basis,
-                flip_prob,
-            } => {
-                match basis {
-                    Basis::Z => {}
-                    Basis::X => rho.apply_gate(&Gate::H(*qubit)),
-                    Basis::Y => {
-                        rho.apply_gate(&Gate::Sdg(*qubit));
-                        rho.apply_gate(&Gate::H(*qubit));
-                    }
-                }
-                rho.dephase(*qubit);
-                rho.bit_flip(*qubit, *flip_prob);
-                carrier[*cbit] = Some(*qubit);
-            }
-            Instruction::Reset(q) => {
-                rho.reset(*q);
-                // A reset qubit no longer carries any classical bit.
-                for c in carrier.iter_mut() {
-                    if *c == Some(*q) {
-                        *c = None;
-                    }
-                }
-            }
-            Instruction::Conditional { gate, parity_of } => {
-                for &cb in parity_of {
-                    let control = carrier[cb]
-                        .expect("conditional consumes a classical bit that was never measured");
-                    match gate {
-                        Gate::X(t) => rho.apply_gate(&Gate::Cx {
-                            control,
-                            target: *t,
-                        }),
-                        Gate::Z(t) => rho.apply_gate(&Gate::Cz(control, *t)),
-                        Gate::Y(t) => {
-                            // CY = S_t · CX · S†_t
-                            rho.apply_gate(&Gate::Sdg(*t));
-                            rho.apply_gate(&Gate::Cx {
-                                control,
-                                target: *t,
-                            });
-                            rho.apply_gate(&Gate::S(*t));
-                        }
-                        other => {
-                            panic!("deferred execution supports Pauli corrections, got {other}")
-                        }
-                    }
-                }
-            }
-            Instruction::Depolarizing { qubits, p } => match qubits.len() {
-                1 => rho.depolarize_1q(qubits[0], *p),
-                _ => rho.depolarize_2q(qubits[0], qubits[1], *p),
-            },
-        }
+        rho.step_deferred(instr);
     }
     rho
 }

@@ -9,7 +9,13 @@
 //!   readout / reset channels and deferred-measurement execution of
 //!   feed-forward circuits (the reference used for GHZ fidelity, §5.3, and
 //!   the network-noise bounds of §5.5 / Appendix B);
-//! * [`runner`] — shot sampling over circuits;
+//! * [`sim`] — the [`sim::SimState`] trait: the pluggable
+//!   simulation-backend contract the shot loop runs against
+//!   (implemented here by `StateVector` and `DensityMatrix`, and by the
+//!   `stabilizer` crate's `CliffordState`), with typed
+//!   [`sim::Unsupported`] capability probes instead of mid-shot panics;
+//! * [`runner`] — shot sampling over circuits, generic over the
+//!   [`sim::SimState`] backend;
 //! * [`qrand`] — random states, random density matrices, and the
 //!   eigen-ensembles used for trajectory simulation of mixed states.
 //!
@@ -28,6 +34,7 @@
 pub mod density;
 pub mod qrand;
 pub mod runner;
+pub mod sim;
 pub mod statevector;
 
 /// Convenient glob-import of the most used items.
@@ -40,5 +47,6 @@ pub mod prelude {
     pub use crate::runner::{
         pack_cbits, run_shot, run_shot_into, run_unitary, sample_shots, ShotOutcome,
     };
+    pub use crate::sim::{SimState, Unsupported};
     pub use crate::statevector::StateVector;
 }

@@ -1,9 +1,12 @@
-//! Shot-based execution of circuits on the statevector simulator.
+//! Shot-based execution of circuits on any [`SimState`] backend.
 //!
-//! [`run_shot`] plays one circuit through once, sampling measurements and
-//! noise sites; [`sample_shots`] repeats that and tallies classical
-//! records. This is the Rust counterpart of the paper's use of Qiskit's
-//! shot-based simulator (§5.2).
+//! [`run_shot`] plays one circuit through once on the statevector,
+//! sampling measurements and noise sites; [`run_shot_into`] is the
+//! allocation-free core, generic over the simulation representation
+//! ([`SimState`]: statevector, density matrix, or — via the
+//! `stabilizer` crate — Clifford tableau); [`sample_shots`] repeats it
+//! and tallies classical records. This is the Rust counterpart of the
+//! paper's use of Qiskit's shot-based simulator (§5.2).
 //!
 //! ```
 //! use circuit::circuit::Circuit;
@@ -22,7 +25,7 @@ use circuit::circuit::{Circuit, Instruction};
 use rand::Rng;
 use std::collections::HashMap;
 
-use crate::qrand::random_pauli_on;
+use crate::sim::SimState;
 use crate::statevector::StateVector;
 
 /// Result of playing a circuit once.
@@ -58,19 +61,28 @@ pub fn run_shot(circuit: &Circuit, initial: &StateVector, rng: &mut impl Rng) ->
 
 /// Allocation-free variant of [`run_shot`]: plays `circuit` once into
 /// caller-owned buffers, so hot loops (and the `engine` crate's
-/// per-worker state reuse) avoid a statevector allocation per shot.
+/// per-worker state reuse) avoid a state allocation per shot.
 ///
-/// `state` is overwritten with a copy of `initial` (reusing its
-/// allocation when the sizes match) and then evolved; `cbits` is resized
-/// to the circuit's classical register and cleared.
+/// Generic over the simulation representation: any [`SimState`] works —
+/// the statevector trajectory sampler, the deferred-measurement density
+/// matrix, or the stabilizer crate's Clifford tableau. `state` is
+/// overwritten with a copy of `initial` (reusing its allocation when
+/// the sizes match) and then stepped through every instruction; `cbits`
+/// is resized to the circuit's classical register and receives the
+/// shot's record (via [`SimState::step`] and, for deferred-record
+/// backends, [`SimState::finish`]).
 ///
 /// # Panics
 ///
-/// Panics if the circuit needs more qubits than `initial` has.
-pub fn run_shot_into(
+/// Panics if the circuit needs more qubits than `initial` has, or —
+/// mid-shot, from the backend — on circuits the backend rejects. This
+/// per-shot kernel deliberately does **not** re-probe the circuit;
+/// loop entry points ([`sample_shots`], the engine's plans and
+/// executor) probe [`SimState::supports`] once per circuit instead.
+pub fn run_shot_into<S: SimState>(
     circuit: &Circuit,
-    initial: &StateVector,
-    state: &mut StateVector,
+    initial: &S,
+    state: &mut S,
     cbits: &mut Vec<bool>,
     rng: &mut impl Rng,
 ) {
@@ -80,38 +92,13 @@ pub fn run_shot_into(
         circuit.num_qubits(),
         initial.num_qubits()
     );
-    state.copy_from(initial);
+    state.reset_from(initial);
     cbits.clear();
     cbits.resize(circuit.num_cbits(), false);
     for instr in circuit.instructions() {
-        match instr {
-            Instruction::Gate(g) => state.apply_gate(g),
-            Instruction::Measure {
-                qubit,
-                cbit,
-                basis,
-                flip_prob,
-            } => {
-                let outcome = state.measure(*qubit, *basis, rng);
-                let flipped = *flip_prob > 0.0 && rng.random::<f64>() < *flip_prob;
-                cbits[*cbit] = outcome ^ flipped;
-            }
-            Instruction::Reset(q) => state.reset(*q, rng),
-            Instruction::Conditional { gate, parity_of } => {
-                let parity = parity_of.iter().fold(false, |acc, &c| acc ^ cbits[c]);
-                if parity {
-                    state.apply_gate(gate);
-                }
-            }
-            Instruction::Depolarizing { qubits, p } => {
-                if rng.random::<f64>() < *p {
-                    for gate in random_pauli_on(qubits, rng) {
-                        state.apply_gate(&gate);
-                    }
-                }
-            }
-        }
+        state.step(instr, cbits, rng);
     }
+    state.finish(cbits, rng);
 }
 
 /// Packs a classical register into an integer, bit 0 least significant —
@@ -126,19 +113,27 @@ pub fn pack_cbits(cbits: &[bool]) -> usize {
 /// Runs `shots` repetitions and histograms the classical register,
 /// keyed by the packed integer of [`ShotOutcome::cbits_as_usize`].
 ///
+/// Generic over the [`SimState`] backend, like [`run_shot_into`].
+///
 /// This is the **single-stream reference primitive**: one RNG stream
 /// drives every shot in order, with per-shot state buffers reused.
 /// Production sampling workloads should go through the `engine` crate's
 /// execution context instead — `engine::Executor::sample_shots` is the
 /// executor-backed equivalent of this function, running each shot on a
 /// deterministic derived seed stream so counts are bit-identical whether
-/// the context is sequential or pooled.
-pub fn sample_shots(
+/// the context is sequential or pooled — with `engine::Backend` as the
+/// runtime backend selector.
+pub fn sample_shots<S: SimState>(
     circuit: &Circuit,
-    initial: &StateVector,
+    initial: &S,
     shots: usize,
     rng: &mut impl Rng,
 ) -> HashMap<usize, usize> {
+    debug_assert!(
+        S::supports(circuit).is_ok(),
+        "{}",
+        S::supports(circuit).unwrap_err()
+    );
     let mut counts = HashMap::new();
     let mut state = initial.clone();
     let mut cbits = Vec::new();

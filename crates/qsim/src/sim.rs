@@ -1,0 +1,194 @@
+//! The pluggable simulation-state contract behind the shot loop.
+//!
+//! Every shot-based workload in the workspace plays the same loop:
+//! reset a state from a template, step it through the circuit's
+//! instructions while recording classical bits, and (for backends whose
+//! records are deferred) finalize the record once the last instruction
+//! ran. [`SimState`] captures exactly that contract, so the `engine`
+//! crate's executor, plans, and batch runner are generic over *what*
+//! simulates a shot — statevector, density matrix, or stabilizer
+//! tableau — while *how* shots execute (sequential or pooled) stays the
+//! executor's policy. One surface, representation chosen at the
+//! boundary; no per-backend API twins.
+//!
+//! Implementations in this workspace:
+//!
+//! * [`StateVector`] — trajectory sampling of arbitrary circuits
+//!   (the workhorse, exponential in width, limited to 26 qubits);
+//! * [`DensityMatrix`](crate::density::DensityMatrix) — exact
+//!   deferred-measurement evolution; [`SimState::step`] consumes **no**
+//!   randomness, and the classical record is sampled once from the
+//!   final state's carrier qubits in [`SimState::finish`];
+//! * `stabilizer::CliffordState` — Aaronson–Gottesman tableau shots for
+//!   Clifford circuits, polynomial in width. It consumes the shot's RNG
+//!   stream in the same per-instruction pattern as [`StateVector`], so
+//!   Clifford circuits without sampling randomness tally identically on
+//!   both backends under one root seed.
+//!
+//! ## Capability probes instead of mid-shot panics
+//!
+//! [`SimState::supports`] answers, *before any shot runs*, whether a
+//! backend can execute a circuit — returning a typed
+//! [`Unsupported`] error built on the shared classification
+//! [`Circuit::required_caps`]. The shot loop itself only
+//! `debug_assert!`s the probe; production runs route through
+//! `engine::Backend`, which probes once at the boundary.
+
+use circuit::circuit::{Circuit, Instruction};
+use rand::Rng;
+
+use crate::qrand::random_pauli_on;
+use crate::statevector::StateVector;
+
+pub use circuit::caps::Unsupported;
+
+/// A simulation state that can play circuit shots.
+///
+/// The contract mirrors the shot loop of
+/// [`run_shot_into`](crate::runner::run_shot_into):
+///
+/// 1. [`SimState::reset_from`] overwrites the state with a template,
+///    reusing the allocation (per-worker buffer reuse in the engine);
+/// 2. [`SimState::step`] executes one instruction, writing measurement
+///    outcomes into the caller-owned classical register `cbits` and
+///    drawing any randomness from the shot's private RNG stream;
+/// 3. [`SimState::finish`] runs once after the last instruction —
+///    backends with deferred records (density) sample them here.
+///
+/// [`SimState::supports`] is the capability probe: call it once per
+/// circuit instead of letting a shot panic mid-run on an instruction
+/// the representation cannot express.
+pub trait SimState: Clone + Send + Sync {
+    /// Short backend name used in diagnostics and [`Unsupported`]
+    /// errors (`"statevector"`, `"density"`, `"stabilizer"`).
+    const NAME: &'static str;
+
+    /// The all-zeros state `|0…0⟩` on `num_qubits` qubits.
+    fn prepare(num_qubits: usize) -> Self;
+
+    /// Number of qubits this state covers.
+    fn num_qubits(&self) -> usize;
+
+    /// Overwrites this state with a copy of `initial`, reusing the
+    /// existing allocation where possible.
+    fn reset_from(&mut self, initial: &Self);
+
+    /// Executes one instruction, recording measurement outcomes into
+    /// `cbits` and sampling noise/outcomes from `rng`.
+    ///
+    /// # Panics
+    ///
+    /// May panic on instructions the representation cannot execute;
+    /// probe with [`SimState::supports`] first.
+    fn step(&mut self, instr: &Instruction, cbits: &mut [bool], rng: &mut impl Rng);
+
+    /// Finalizes the classical record after the last instruction.
+    /// Backends that produce records instruction-by-instruction leave
+    /// this as the default no-op.
+    fn finish(&mut self, _cbits: &mut [bool], _rng: &mut impl Rng) {}
+
+    /// Whether this backend can execute `circuit`, decided **before**
+    /// any shot runs. `Err` carries the backend name and the reason.
+    fn supports(circuit: &Circuit) -> Result<(), Unsupported>;
+}
+
+impl SimState for StateVector {
+    const NAME: &'static str = "statevector";
+
+    fn prepare(num_qubits: usize) -> Self {
+        StateVector::new(num_qubits)
+    }
+
+    fn num_qubits(&self) -> usize {
+        StateVector::num_qubits(self)
+    }
+
+    fn reset_from(&mut self, initial: &Self) {
+        self.copy_from(initial);
+    }
+
+    fn step(&mut self, instr: &Instruction, cbits: &mut [bool], rng: &mut impl Rng) {
+        match instr {
+            Instruction::Gate(g) => self.apply_gate(g),
+            Instruction::Measure {
+                qubit,
+                cbit,
+                basis,
+                flip_prob,
+            } => {
+                let outcome = self.measure(*qubit, *basis, rng);
+                let flipped = *flip_prob > 0.0 && rng.random::<f64>() < *flip_prob;
+                cbits[*cbit] = outcome ^ flipped;
+            }
+            Instruction::Reset(q) => self.reset(*q, rng),
+            Instruction::Conditional { gate, parity_of } => {
+                let parity = parity_of.iter().fold(false, |acc, &c| acc ^ cbits[c]);
+                if parity {
+                    self.apply_gate(gate);
+                }
+            }
+            Instruction::Depolarizing { qubits, p } => {
+                if rng.random::<f64>() < *p {
+                    for gate in random_pauli_on(qubits, rng) {
+                        self.apply_gate(&gate);
+                    }
+                }
+            }
+        }
+    }
+
+    fn supports(circuit: &Circuit) -> Result<(), Unsupported> {
+        if circuit.num_qubits() > 26 {
+            return Err(Unsupported::new(
+                Self::NAME,
+                format!(
+                    "{} qubits exceed the 26-qubit statevector limit",
+                    circuit.num_qubits()
+                ),
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn statevector_supports_everything_within_width() {
+        let mut c = Circuit::new(3, 1);
+        c.t(0).ccx(0, 1, 2).measure(2, 0);
+        assert!(StateVector::supports(&c).is_ok());
+        let wide = Circuit::new(27, 0);
+        let err = StateVector::supports(&wide).unwrap_err();
+        assert_eq!(err.backend, "statevector");
+    }
+
+    #[test]
+    fn statevector_step_matches_runner_semantics() {
+        // Stepping instruction-by-instruction reproduces run_shot_into.
+        let mut c = Circuit::new(2, 2);
+        c.h(0).cx(0, 1).measure(0, 0).measure(1, 1);
+        for seed in 0..20 {
+            let initial = StateVector::prepare(2);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut state = StateVector::prepare(0);
+            state.reset_from(&initial);
+            let mut cbits = vec![false; c.num_cbits()];
+            for instr in c.instructions() {
+                state.step(instr, &mut cbits, &mut rng);
+            }
+            state.finish(&mut cbits, &mut rng);
+
+            let mut rng2 = StdRng::seed_from_u64(seed);
+            let mut state2 = StateVector::prepare(0);
+            let mut cbits2 = Vec::new();
+            crate::runner::run_shot_into(&c, &initial, &mut state2, &mut cbits2, &mut rng2);
+            assert_eq!(cbits, cbits2);
+            assert_eq!(state, state2);
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! [`CliffordState`]: the stabilizer backend of the workspace-wide
+//! [`SimState`] contract.
+//!
+//! Wraps a [`Tableau`] so that Clifford circuits — GHZ preparation,
+//! fanout gadgets, teleportation, anything the paper's §5.1/§5.3
+//! analyses touch — run through the *same* shot loop
+//! (`qsim::runner::run_shot_into`, `engine::Executor::sample_shots`,
+//! `engine::Backend`) as the statevector and density backends, in
+//! `O(n²)` per gate instead of `O(2ⁿ)`. The sibling
+//! [`FrameSimulator`](crate::frame::FrameSimulator) covers the other
+//! half of the stabilizer toolbox — `O(n)` residual-error sampling of
+//! *noisy-vs-ideal* runs — while `CliffordState` produces the actual
+//! measurement records of one run.
+//!
+//! ## Randomness alignment
+//!
+//! [`SimState::step`] consumes the shot's RNG stream in the **same
+//! per-instruction pattern** as the statevector backend: one uniform
+//! per measurement and per reset (resolved through
+//! [`Tableau::measure_with`] only when the outcome is genuinely
+//! random), a conditional uniform per readout-flip site, and the same
+//! draws per depolarizing site (via `qsim::qrand::random_pauli_on`).
+//! Clifford circuits whose records are deterministic therefore tally
+//! identically on both backends for one root seed, and even random
+//! measurements resolve identically up to the (≈10⁻¹⁶) rounding of the
+//! statevector's outcome probabilities — asserted by the workspace's
+//! cross-backend agreement tests.
+
+use circuit::circuit::{Circuit, Instruction};
+use qsim::qrand::random_pauli_on;
+use qsim::sim::{SimState, Unsupported};
+use rand::Rng;
+
+use crate::tableau::Tableau;
+
+/// A stabilizer simulation state: a Clifford tableau playing the role
+/// of the statevector in the generic shot loop.
+#[derive(Debug, Clone)]
+pub struct CliffordState {
+    tableau: Tableau,
+}
+
+impl CliffordState {
+    /// The all-zeros state `|0…0⟩` on `num_qubits` qubits.
+    pub fn new(num_qubits: usize) -> Self {
+        CliffordState {
+            tableau: Tableau::new(num_qubits),
+        }
+    }
+
+    /// The underlying tableau.
+    pub fn tableau(&self) -> &Tableau {
+        &self.tableau
+    }
+}
+
+impl From<Tableau> for CliffordState {
+    fn from(tableau: Tableau) -> Self {
+        CliffordState { tableau }
+    }
+}
+
+impl SimState for CliffordState {
+    const NAME: &'static str = "stabilizer";
+
+    fn prepare(num_qubits: usize) -> Self {
+        CliffordState::new(num_qubits)
+    }
+
+    fn num_qubits(&self) -> usize {
+        self.tableau.num_qubits()
+    }
+
+    fn reset_from(&mut self, initial: &Self) {
+        self.tableau.copy_from(&initial.tableau);
+    }
+
+    fn step(&mut self, instr: &Instruction, cbits: &mut [bool], rng: &mut impl Rng) {
+        let unsupported =
+            |e: Unsupported| -> ! { panic!("{e} (probe CliffordState::supports first)") };
+        match instr {
+            Instruction::Gate(g) => self.tableau.apply_gate(g).unwrap_or_else(|e| unsupported(e)),
+            Instruction::Measure {
+                qubit,
+                cbit,
+                basis,
+                flip_prob,
+            } => {
+                // One uniform per measurement, drawn unconditionally —
+                // the statevector backend's exact consumption pattern —
+                // resolving the outcome only when it is genuinely
+                // random (where the statevector's threshold is 1/2 up
+                // to amplitude rounding).
+                let u = rng.random::<f64>();
+                let outcome = self.tableau.measure_with(*qubit, *basis, || u < 0.5);
+                let flipped = *flip_prob > 0.0 && rng.random::<f64>() < *flip_prob;
+                cbits[*cbit] = outcome ^ flipped;
+            }
+            Instruction::Reset(q) => {
+                let u = rng.random::<f64>();
+                if self.tableau.measure_z_with(*q, || u < 0.5) {
+                    self.tableau.x_gate(*q);
+                }
+            }
+            Instruction::Conditional { gate, parity_of } => {
+                let parity = parity_of.iter().fold(false, |acc, &c| acc ^ cbits[c]);
+                if parity {
+                    self.tableau
+                        .apply_gate(gate)
+                        .unwrap_or_else(|e| unsupported(e));
+                }
+            }
+            Instruction::Depolarizing { qubits, p } => {
+                if rng.random::<f64>() < *p {
+                    for gate in random_pauli_on(qubits, rng) {
+                        self.tableau
+                            .apply_gate(&gate)
+                            .unwrap_or_else(|e| unsupported(e));
+                    }
+                }
+            }
+        }
+    }
+
+    fn supports(circuit: &Circuit) -> Result<(), Unsupported> {
+        if circuit.is_clifford() {
+            Ok(())
+        } else {
+            Err(Unsupported::new(
+                Self::NAME,
+                "circuit contains non-Clifford gates (T/rotations/Toffoli/CSWAP)",
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsim::runner::{pack_cbits, run_shot_into, sample_shots};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn supports_mirrors_circuit_classification() {
+        let mut c = Circuit::new(2, 2);
+        c.h(0).cx(0, 1).measure(0, 0).measure(1, 1);
+        assert!(CliffordState::supports(&c).is_ok());
+        c.t(0);
+        let err = CliffordState::supports(&c).unwrap_err();
+        assert_eq!(err.backend, "stabilizer");
+    }
+
+    #[test]
+    fn bell_shots_are_correlated_and_conserved() {
+        let mut c = Circuit::new(2, 2);
+        c.h(0).cx(0, 1).measure(0, 0).measure(1, 1);
+        let mut rng = StdRng::seed_from_u64(12);
+        let counts = sample_shots(&c, &CliffordState::new(2), 400, &mut rng);
+        assert_eq!(counts.values().sum::<usize>(), 400);
+        for key in counts.keys() {
+            assert!(*key == 0 || *key == 3, "unexpected record {key}");
+        }
+        assert!(counts.len() == 2, "both outcomes should appear");
+    }
+
+    #[test]
+    fn teleportation_conditionals_fire_through_the_generic_loop() {
+        // |1⟩ teleported: records force the X correction, and measuring
+        // the receiver confirms the state arrived.
+        let mut c = Circuit::new(3, 3);
+        c.x(0);
+        c.h(1).cx(1, 2);
+        c.cx(0, 1).h(0);
+        c.measure(0, 0).measure(1, 1);
+        c.cond_x(2, &[1]).cond_z(2, &[0]);
+        c.measure(2, 2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let initial = CliffordState::new(3);
+        let mut state = CliffordState::new(0);
+        let mut cbits = Vec::new();
+        for _ in 0..50 {
+            run_shot_into(&c, &initial, &mut state, &mut cbits, &mut rng);
+            assert!(cbits[2], "teleported |1⟩ must measure 1");
+        }
+        let _ = pack_cbits(&cbits);
+    }
+
+    #[test]
+    fn reset_from_reuses_the_workspace() {
+        let mut c = Circuit::new(1, 1);
+        c.h(0).measure(0, 0);
+        let initial = CliffordState::new(1);
+        let mut ws = CliffordState::new(0);
+        let mut cbits = Vec::new();
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut seen = [false; 2];
+        for _ in 0..40 {
+            run_shot_into(&c, &initial, &mut ws, &mut cbits, &mut rng);
+            seen[usize::from(cbits[0])] = true;
+        }
+        assert!(seen[0] && seen[1], "|+⟩ must measure both outcomes");
+    }
+}

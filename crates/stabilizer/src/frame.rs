@@ -38,6 +38,7 @@
 //! assert!(residual.is_identity()); // p = 0 ⇒ no fault
 //! ```
 
+use circuit::caps::Unsupported;
 use circuit::circuit::{Basis, Circuit, Instruction};
 use circuit::gate::Gate;
 use rand::Rng;
@@ -71,12 +72,32 @@ impl FrameSimulator {
         self.cbit_flips[cbit]
     }
 
-    /// Conjugates the frame through one Clifford gate.
-    ///
-    /// # Panics
-    ///
-    /// Panics on non-Clifford gates.
-    pub fn apply_gate(&mut self, gate: &Gate) {
+    /// Whether the frame technique applies to `circuit`: every gate
+    /// (unitary and conditioned) must be Clifford, and feedback
+    /// corrections must be Paulis. Probe once before sampling — built on
+    /// the same [`Circuit::required_caps`](circuit::circuit::Circuit::required_caps)
+    /// classification every backend shares — instead of letting a shot
+    /// fail mid-run.
+    pub fn supports(circuit: &Circuit) -> Result<(), Unsupported> {
+        let caps = circuit.required_caps();
+        if !caps.is_clifford() {
+            return Err(Unsupported::new(
+                "pauli-frame",
+                "circuit contains non-Clifford gates (T/rotations/Toffoli/CSWAP)",
+            ));
+        }
+        if caps.non_pauli_feedback {
+            return Err(Unsupported::new(
+                "pauli-frame",
+                "frame simulation supports only Pauli feedback corrections",
+            ));
+        }
+        Ok(())
+    }
+
+    /// Conjugates the frame through one Clifford gate, or reports a
+    /// typed [`Unsupported`] error for non-Clifford gates.
+    pub fn apply_gate(&mut self, gate: &Gate) -> Result<(), Unsupported> {
         let f = &mut self.frame;
         match *gate {
             // Paulis commute with Paulis up to phase: no frame change.
@@ -113,8 +134,15 @@ impl FrameSimulator {
                 f.set(a, pb);
                 f.set(b, pa);
             }
-            ref other => panic!("frame simulator cannot conjugate through {other}"),
+            ref other => {
+                debug_assert!(!other.is_clifford(), "Clifford gate fell through: {other}");
+                return Err(Unsupported::new(
+                    "pauli-frame",
+                    format!("frame simulator cannot conjugate through {other}"),
+                ));
+            }
         }
+        Ok(())
     }
 
     /// Multiplies a fault Pauli into the frame.
@@ -124,9 +152,12 @@ impl FrameSimulator {
     }
 
     /// Processes one instruction, sampling noise and readout flips.
-    pub fn step(&mut self, instr: &Instruction, rng: &mut impl Rng) {
+    /// Non-Clifford gates and non-Pauli conditionals yield a typed
+    /// [`Unsupported`] error; probe with [`FrameSimulator::supports`]
+    /// first.
+    pub fn step(&mut self, instr: &Instruction, rng: &mut impl Rng) -> Result<(), Unsupported> {
         match instr {
-            Instruction::Gate(g) => self.apply_gate(g),
+            Instruction::Gate(g) => self.apply_gate(g)?,
             Instruction::Depolarizing { qubits, p } => {
                 if *p > 0.0 && rng.random::<f64>() < *p {
                     let options = 4usize.pow(qubits.len() as u32) - 1;
@@ -169,21 +200,34 @@ impl FrameSimulator {
                         Gate::Y(q) => (q, Pauli::Y),
                         Gate::Z(q) => (q, Pauli::Z),
                         ref other => {
-                            panic!("frame simulator supports only Pauli conditionals, got {other}")
+                            return Err(Unsupported::new(
+                                "pauli-frame",
+                                format!(
+                                    "frame simulator supports only Pauli conditionals, got {other}"
+                                ),
+                            ))
                         }
                     };
                     self.inject(p.0, p.1);
                 }
             }
         }
+        Ok(())
     }
 
     /// Runs the whole circuit once and returns the final frame — the
     /// residual error `E = U_noisy · U_ideal⁻¹` on the full register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit is outside the frame technique's domain;
+    /// probe once with [`FrameSimulator::supports`] before a sampling
+    /// run (the analysis drivers do).
     pub fn sample_residual(circuit: &Circuit, rng: &mut impl Rng) -> PauliString {
         let mut sim = FrameSimulator::new(circuit.num_qubits(), circuit.num_cbits());
         for instr in circuit.instructions() {
-            sim.step(instr, rng);
+            sim.step(instr, rng)
+                .unwrap_or_else(|e| panic!("{e} (probe FrameSimulator::supports first)"));
         }
         sim.frame
     }
@@ -221,7 +265,7 @@ mod tests {
     fn h_exchanges_x_and_z() {
         let f = frame_on(1, |sim| {
             sim.inject(0, Pauli::X);
-            sim.apply_gate(&Gate::H(0));
+            sim.apply_gate(&Gate::H(0)).unwrap();
         });
         assert_eq!(f.to_string(), "Z");
     }
@@ -230,7 +274,7 @@ mod tests {
     fn s_maps_x_to_y() {
         let f = frame_on(1, |sim| {
             sim.inject(0, Pauli::X);
-            sim.apply_gate(&Gate::S(0));
+            sim.apply_gate(&Gate::S(0)).unwrap();
         });
         assert_eq!(f.to_string(), "Y");
     }
@@ -242,7 +286,8 @@ mod tests {
             sim.apply_gate(&Gate::Cx {
                 control: 0,
                 target: 1,
-            });
+            })
+            .unwrap();
         });
         assert_eq!(f.to_string(), "XX");
 
@@ -251,7 +296,8 @@ mod tests {
             sim.apply_gate(&Gate::Cx {
                 control: 0,
                 target: 1,
-            });
+            })
+            .unwrap();
         });
         assert_eq!(f.to_string(), "ZZ");
     }
@@ -260,7 +306,7 @@ mod tests {
     fn cz_propagates_x_to_remote_z() {
         let f = frame_on(2, |sim| {
             sim.inject(0, Pauli::X);
-            sim.apply_gate(&Gate::Cz(0, 1));
+            sim.apply_gate(&Gate::Cz(0, 1)).unwrap();
         });
         assert_eq!(f.to_string(), "XZ");
     }
@@ -269,7 +315,7 @@ mod tests {
     fn swap_exchanges_frames() {
         let f = frame_on(2, |sim| {
             sim.inject(0, Pauli::Y);
-            sim.apply_gate(&Gate::Swap(0, 1));
+            sim.apply_gate(&Gate::Swap(0, 1)).unwrap();
         });
         assert_eq!(f.to_string(), "IY");
     }
@@ -287,7 +333,8 @@ mod tests {
                 flip_prob: 0.0,
             },
             &mut rng,
-        );
+        )
+        .unwrap();
         assert!(sim.cbit_flipped(0));
     }
 
@@ -304,7 +351,8 @@ mod tests {
                 flip_prob: 0.0,
             },
             &mut rng,
-        );
+        )
+        .unwrap();
         sim.step(
             &Instruction::Measure {
                 qubit: 0,
@@ -313,7 +361,8 @@ mod tests {
                 flip_prob: 0.0,
             },
             &mut rng,
-        );
+        )
+        .unwrap();
         assert!(!sim.cbit_flipped(0));
         assert!(sim.cbit_flipped(1));
     }
@@ -340,14 +389,16 @@ mod tests {
                 flip_prob: 0.0,
             },
             &mut rng,
-        );
+        )
+        .unwrap();
         sim.step(
             &Instruction::Conditional {
                 gate: Gate::X(1),
                 parity_of: vec![0],
             },
             &mut rng,
-        );
+        )
+        .unwrap();
         assert_eq!(sim.frame().to_string(), "XX");
     }
 
@@ -356,7 +407,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let mut sim = FrameSimulator::new(1, 0);
         sim.inject(0, Pauli::Y);
-        sim.step(&Instruction::Reset(0), &mut rng);
+        sim.step(&Instruction::Reset(0), &mut rng).unwrap();
         assert!(sim.frame().is_identity());
     }
 
@@ -398,7 +449,8 @@ mod tests {
                 flip_prob: 1.0,
             },
             &mut rng,
-        );
+        )
+        .unwrap();
         assert!(sim.cbit_flipped(0));
         assert!(sim.frame().is_identity());
     }

@@ -11,6 +11,17 @@
 //!   used to build Table 4 and to inject realistic primitive-level noise
 //!   into the larger CSWAP simulations of §5.2.
 //!
+//! [`clifford::CliffordState`] plugs the tableau into the workspace's
+//! pluggable-backend contract ([`qsim::sim::SimState`]): the generic
+//! shot loop (`qsim::runner::run_shot_into`, the engine's executor and
+//! `Backend` router) runs Clifford circuits on the tableau exactly as it
+//! runs arbitrary circuits on the statevector — same API, polynomial
+//! cost. Circuits outside the Clifford domain are rejected *up front* by
+//! the typed capability probes (`CliffordState::supports`,
+//! [`frame::FrameSimulator::supports`]) built on
+//! [`circuit::circuit::Circuit::required_caps`], rather than by mid-shot
+//! panics.
+//!
 //! ```
 //! use circuit::circuit::Circuit;
 //! use rand::SeedableRng;
@@ -22,16 +33,18 @@
 //! for q in 0..3 {
 //!     ghz.measure(q, q);
 //! }
-//! let bits = Tableau::run(&ghz, &mut rng);
+//! let bits = Tableau::run(&ghz, &mut rng).unwrap();
 //! assert!(bits.iter().all(|&b| b == bits[0]));
 //! ```
 
+pub mod clifford;
 pub mod frame;
 pub mod pauli;
 pub mod tableau;
 
 /// Convenient re-exports of the main types.
 pub mod prelude {
+    pub use crate::clifford::CliffordState;
     pub use crate::frame::FrameSimulator;
     pub use crate::pauli::{Pauli, PauliString};
     pub use crate::tableau::Tableau;

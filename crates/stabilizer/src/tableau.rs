@@ -14,12 +14,14 @@
 //! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
 //! let mut bell = Circuit::new(2, 2);
 //! bell.h(0).cx(0, 1).measure(0, 0).measure(1, 1);
-//! let cbits = Tableau::run(&bell, &mut rng);
+//! let cbits = Tableau::run(&bell, &mut rng).unwrap();
 //! assert_eq!(cbits[0], cbits[1]); // perfectly correlated
 //! ```
 
+use circuit::caps::Unsupported;
 use circuit::circuit::{Basis, Circuit, Instruction};
 use circuit::gate::Gate;
+use qsim::qrand::random_pauli_on;
 use rand::Rng;
 
 use crate::pauli::{Pauli, PauliString};
@@ -59,6 +61,16 @@ impl Tableau {
     /// Number of qubits.
     pub fn num_qubits(&self) -> usize {
         self.n
+    }
+
+    /// Overwrites this tableau with a copy of `other`, reusing the row
+    /// allocations when the sizes match — the buffer-reuse primitive
+    /// behind the engine's per-worker Clifford workspaces.
+    pub fn copy_from(&mut self, other: &Tableau) {
+        self.n = other.n;
+        self.x.clone_from(&other.x);
+        self.z.clone_from(&other.z);
+        self.r.clone_from(&other.r);
     }
 
     // ------------------------------------------------------------------
@@ -141,10 +153,12 @@ impl Tableau {
 
     /// Applies a Clifford [`Gate`].
     ///
-    /// # Panics
-    ///
-    /// Panics on non-Clifford gates (T, rotations, Toffoli, CSWAP).
-    pub fn apply_gate(&mut self, gate: &Gate) {
+    /// Non-Clifford gates (T, rotations, Toffoli, CSWAP) are rejected
+    /// with a typed [`Unsupported`] error instead of a panic; probe a
+    /// whole circuit up front with
+    /// [`Circuit::is_clifford`](circuit::circuit::Circuit::is_clifford)
+    /// or `CliffordState::supports`.
+    pub fn apply_gate(&mut self, gate: &Gate) -> Result<(), Unsupported> {
         match *gate {
             Gate::H(q) => self.h(q),
             Gate::X(q) => self.x_gate(q),
@@ -155,8 +169,15 @@ impl Tableau {
             Gate::Cx { control, target } => self.cx(control, target),
             Gate::Cz(a, b) => self.cz(a, b),
             Gate::Swap(a, b) => self.swap(a, b),
-            ref other => panic!("tableau cannot apply non-Clifford gate {other}"),
+            ref other => {
+                debug_assert!(!other.is_clifford(), "Clifford gate fell through: {other}");
+                return Err(Unsupported::new(
+                    "stabilizer",
+                    format!("tableau cannot apply non-Clifford gate {other}"),
+                ));
+            }
         }
+        Ok(())
     }
 
     /// Applies a phase-free Pauli string as a gate layer.
@@ -208,10 +229,19 @@ impl Tableau {
 
     /// Measures `q` in the Z basis, collapsing the state.
     pub fn measure_z(&mut self, q: usize, rng: &mut impl Rng) -> bool {
+        self.measure_z_with(q, || rng.random())
+    }
+
+    /// Measures `q` in the Z basis, taking the outcome of a
+    /// *non-deterministic* measurement from `draw` (called at most
+    /// once). This lets callers align randomness consumption with other
+    /// backends — `CliffordState` draws one uniform per measurement,
+    /// exactly like the statevector runner, and resolves it here.
+    pub fn measure_z_with(&mut self, q: usize, draw: impl FnOnce() -> bool) -> bool {
         let n = self.n;
         // A stabilizer row with an X component on q ⇒ random outcome.
         if let Some(p) = (n..2 * n).find(|&row| self.x[row][q]) {
-            let outcome: bool = rng.random();
+            let outcome: bool = draw();
             for row in 0..2 * n {
                 if row != p && self.x[row][q] {
                     self.rowsum(row, p);
@@ -244,18 +274,25 @@ impl Tableau {
 
     /// Measures `q` in the given basis (X/Y via basis rotation).
     pub fn measure(&mut self, q: usize, basis: Basis, rng: &mut impl Rng) -> bool {
+        self.measure_with(q, basis, || rng.random())
+    }
+
+    /// Basis-rotating variant of [`Tableau::measure_z_with`]: measures
+    /// `q` in `basis`, resolving a non-deterministic outcome via `draw`
+    /// (called at most once).
+    pub fn measure_with(&mut self, q: usize, basis: Basis, draw: impl FnOnce() -> bool) -> bool {
         match basis {
-            Basis::Z => self.measure_z(q, rng),
+            Basis::Z => self.measure_z_with(q, draw),
             Basis::X => {
                 self.h(q);
-                let m = self.measure_z(q, rng);
+                let m = self.measure_z_with(q, draw);
                 self.h(q);
                 m
             }
             Basis::Y => {
                 self.sdg(q);
                 self.h(q);
-                let m = self.measure_z(q, rng);
+                let m = self.measure_z_with(q, draw);
                 self.h(q);
                 self.s(q);
                 m
@@ -293,21 +330,18 @@ impl Tableau {
     // ------------------------------------------------------------------
 
     /// Runs a full Clifford circuit (one shot) and returns the classical
-    /// register.
+    /// register, or a typed [`Unsupported`] error on the first
+    /// non-Clifford gate.
     ///
     /// Conditional gates fire on the recorded parity; depolarizing sites
     /// sample a uniform non-identity Pauli with their probability; readout
     /// errors flip recorded (not physical) outcomes.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the circuit contains a non-Clifford gate.
-    pub fn run(circuit: &Circuit, rng: &mut impl Rng) -> Vec<bool> {
+    pub fn run(circuit: &Circuit, rng: &mut impl Rng) -> Result<Vec<bool>, Unsupported> {
         let mut t = Tableau::new(circuit.num_qubits());
         let mut cbits = vec![false; circuit.num_cbits()];
         for instr in circuit.instructions() {
             match instr {
-                Instruction::Gate(g) => t.apply_gate(g),
+                Instruction::Gate(g) => t.apply_gate(g)?,
                 Instruction::Measure {
                     qubit,
                     cbit,
@@ -324,40 +358,20 @@ impl Tableau {
                 Instruction::Conditional { gate, parity_of } => {
                     let parity = parity_of.iter().fold(false, |acc, &c| acc ^ cbits[c]);
                     if parity {
-                        t.apply_gate(gate);
+                        t.apply_gate(gate)?;
                     }
                 }
                 Instruction::Depolarizing { qubits, p } => {
                     if rng.random::<f64>() < *p {
-                        for g in qsim_free_random_pauli(qubits, rng) {
-                            t.apply_gate(&g);
+                        for g in random_pauli_on(qubits, rng) {
+                            t.apply_gate(&g)?;
                         }
                     }
                 }
             }
         }
-        cbits
+        Ok(cbits)
     }
-}
-
-/// Samples a uniform non-identity Pauli layer on `qubits` (1 or 2 of them),
-/// mirroring `qsim::qrand::random_pauli_on` without the dense-matrix
-/// dependency.
-fn qsim_free_random_pauli(qubits: &[usize], rng: &mut impl Rng) -> Vec<Gate> {
-    let options = 4usize.pow(qubits.len() as u32) - 1;
-    let draw = rng.random_range(1..=options);
-    let mut gates = Vec::new();
-    let mut code = draw;
-    for &q in qubits {
-        match code % 4 {
-            1 => gates.push(Gate::X(q)),
-            2 => gates.push(Gate::Y(q)),
-            3 => gates.push(Gate::Z(q)),
-            _ => {}
-        }
-        code /= 4;
-    }
-    gates
 }
 
 #[cfg(test)]
@@ -454,8 +468,41 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let mut c = Circuit::new(2, 2);
         c.x(0).measure(0, 0).cond_x(1, &[0]).measure(1, 1);
-        let cbits = Tableau::run(&c, &mut rng);
+        let cbits = Tableau::run(&c, &mut rng).unwrap();
         assert_eq!(cbits, vec![true, true]);
+    }
+
+    #[test]
+    fn non_clifford_gate_is_a_typed_error() {
+        let mut t = Tableau::new(1);
+        let err = t.apply_gate(&Gate::T(0)).unwrap_err();
+        assert_eq!(err.backend, "stabilizer");
+        assert!(err.reason.contains("non-Clifford"), "{}", err.reason);
+        let mut c = Circuit::new(1, 1);
+        c.t(0).measure(0, 0);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(Tableau::run(&c, &mut rng).is_err());
+    }
+
+    #[test]
+    fn copy_from_restores_the_source_state() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut a = Tableau::new(2);
+        a.h(0);
+        a.cx(0, 1);
+        // Collapse a copy, then restore it from the untouched source.
+        let mut b = Tableau::new(2);
+        b.copy_from(&a);
+        let _ = b.measure_z(0, &mut rng);
+        b.copy_from(&a);
+        // Bell correlations must hold again after the restore.
+        for _ in 0..10 {
+            let mut c = Tableau::new(2);
+            c.copy_from(&b);
+            let m0 = c.measure_z(0, &mut rng);
+            let m1 = c.measure_z(1, &mut rng);
+            assert_eq!(m0, m1);
+        }
     }
 
     #[test]

@@ -123,3 +123,41 @@ fn executor_sample_shots_matches_run_plan() {
     let plan = ShotPlan::new(circuit, initial, 5_000, 0xBEEF);
     assert_eq!(counts, Engine::with_threads(2).run_plan(&plan));
 }
+
+#[test]
+fn generic_plan_and_backend_router_agree_on_the_stabilizer_path() {
+    // The teleportation circuit is Clifford, so the same job runs as a
+    // ShotPlan<CliffordState>, through the generic Executor loop, and
+    // through the Backend router — all three must tally identically.
+    use engine::{Backend, Executor};
+    use stabilizer::clifford::CliffordState;
+
+    let circuit = teleportation_circuit();
+    assert!(circuit.is_clifford());
+    let (shots, root) = (5_000usize, 0xBEEFu64);
+
+    let plan = ShotPlan::new(circuit.clone(), CliffordState::new(3), shots as u64, root);
+    let via_plan = Engine::with_threads(4).run_plan(&plan);
+    let via_exec =
+        Executor::sequential(root).sample_shots(&circuit, &CliffordState::new(3), shots);
+    let via_backend = Backend::Auto
+        .sample_shots(&circuit, shots, &Executor::sequential(root))
+        .unwrap();
+    assert_eq!(via_plan, via_exec);
+    assert_eq!(via_plan, via_backend);
+    assert_eq!(via_plan.values().sum::<usize>(), shots);
+
+    // And the single-stream qsim primitive samples the same
+    // distribution on the same backend.
+    let mut rng = StdRng::seed_from_u64(9);
+    let single = sample_shots(&circuit, &CliffordState::new(3), shots, &mut rng);
+    let one_rate = |counts: &HashMap<usize, usize>| {
+        counts
+            .iter()
+            .filter(|(k, _)| *k & 0b100 != 0)
+            .map(|(_, v)| v)
+            .sum::<usize>() as f64
+            / shots as f64
+    };
+    assert!((one_rate(&single) - one_rate(&via_plan)).abs() < 0.03);
+}

@@ -69,7 +69,7 @@ fn tableau_flip_rates_match_frame_predictions() {
     let mut rng = StdRng::seed_from_u64(11);
     let mut tableau_flip = vec![0usize; 1 + m];
     for _ in 0..shots {
-        let cbits = Tableau::run(&with_readout, &mut rng);
+        let cbits = Tableau::run(&with_readout, &mut rng).unwrap();
         for (i, flip) in tableau_flip.iter_mut().enumerate() {
             if cbits[readout_base + i] {
                 *flip += 1;
@@ -100,7 +100,7 @@ fn both_backends_see_noiseless_circuits_as_perfect() {
         assert!(data
             .iter()
             .all(|&q| !residual.x_bit(q) && !residual.z_bit(q)));
-        let cbits = Tableau::run(&with_readout, &mut rng);
+        let cbits = Tableau::run(&with_readout, &mut rng).unwrap();
         assert!((0..=m).all(|i| !cbits[readout_base + i]));
     }
 }
@@ -123,7 +123,7 @@ fn excited_control_fans_out_in_both_backends() {
     }
     let mut rng = StdRng::seed_from_u64(13);
     for _ in 0..50 {
-        let cbits = Tableau::run(&circ, &mut rng);
+        let cbits = Tableau::run(&circ, &mut rng).unwrap();
         assert!((0..m).all(|i| cbits[base + i]), "all targets must flip");
     }
 }

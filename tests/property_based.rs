@@ -164,7 +164,7 @@ proptest! {
         let mut t = Tableau::new(n);
         for instr in circ.instructions() {
             if let circuit::circuit::Instruction::Gate(g) = instr {
-                t.apply_gate(g);
+                t.apply_gate(g).unwrap();
             }
         }
         for q in 0..n {
