@@ -467,8 +467,10 @@ mod tests {
         let m1 = CswapNoiseModel::characterize(&e1, 2, 0.003, 2_000);
         let mut rng = StdRng::seed_from_u64(1);
         let inputs = fig9b_inputs(2, &mut rng);
-        let f4 = cswap_classical_fidelity(&e4.with_seed(7), CswapScheme::Teledata, &m4, &inputs, 40);
-        let f1 = cswap_classical_fidelity(&e1.with_seed(7), CswapScheme::Teledata, &m1, &inputs, 40);
+        let f4 =
+            cswap_classical_fidelity(&e4.with_seed(7), CswapScheme::Teledata, &m4, &inputs, 40);
+        let f1 =
+            cswap_classical_fidelity(&e1.with_seed(7), CswapScheme::Teledata, &m1, &inputs, 40);
         assert_eq!(f4, f1, "execution mode changed the result");
         assert!((0.0..=1.0).contains(&f4));
     }

@@ -109,7 +109,8 @@ impl ShotJob for GhzFidelityJob {
     }
     fn workspace(&self) {}
     fn run_shot(&self, _ws: &mut (), _shot: u64, rng: &mut StdRng) -> bool {
-        let residual = FrameSimulator::sample_residual(&self.circuit, rng).restricted_to(&self.data);
+        let residual =
+            FrameSimulator::sample_residual(&self.circuit, rng).restricted_to(&self.data);
         preserves_ghz(&residual)
     }
 }

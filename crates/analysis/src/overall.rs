@@ -59,12 +59,8 @@ pub fn fig9c(
     for scheme in [CswapScheme::Teledata, CswapScheme::Telegate] {
         for &k in qpu_counts {
             for &p in noise_levels {
-                let ghz_f = ghz_fidelity_sampled(
-                    &next(&mut cursor),
-                    k.div_ceil(2),
-                    p,
-                    characterize_shots,
-                );
+                let ghz_f =
+                    ghz_fidelity_sampled(&next(&mut cursor), k.div_ceil(2), p, characterize_shots);
                 let p_ghz = 1.0 - ghz_f;
                 let mut points = Vec::new();
                 for &n in widths {
@@ -133,7 +129,14 @@ mod tests {
     fn fig9c_shapes_hold_on_a_small_grid() {
         // Fidelity falls with n and with k; teledata ≥ telegate on
         // average (the paper's observations for Fig 9c).
-        let series = fig9c(&Executor::sequential(9), &[1, 3], &[4, 8], &[0.005], 4_000, 40);
+        let series = fig9c(
+            &Executor::sequential(9),
+            &[1, 3],
+            &[4, 8],
+            &[0.005],
+            4_000,
+            40,
+        );
         for s in &series {
             assert!(
                 s.points[1].1 < s.points[0].1 + 0.02,

@@ -383,7 +383,8 @@ mod tests {
         let p = Polynomial::from_roots(&[c64(0.5, 0.0), c64(0.5, 0.0)]);
         let b2 = ExactTraceBackend::new(2, 1);
         let backends: Vec<&dyn compas::estimator::TraceBackend> = vec![&b2];
-        let got = estimate_poly_trace_by_sums(&rho, &p, &backends, 1, &engine::Executor::sequential(0));
+        let got =
+            estimate_poly_trace_by_sums(&rho, &p, &backends, 1, &engine::Executor::sequential(0));
         let want = poly_trace_exact(&rho, &p);
         assert!((got - want).abs() < 1e-9, "{got} vs {want}");
         // And the factor route indeed rejects it.
@@ -403,8 +404,13 @@ mod tests {
         let b2 = MonolithicSwapTest::new(2, 1, MonolithicVariant::Fanout);
         let b3 = MonolithicSwapTest::new(3, 1, MonolithicVariant::Fanout);
         let backends: Vec<&dyn compas::estimator::TraceBackend> = vec![&b2, &b3];
-        let got =
-            estimate_poly_trace_by_sums(&rho, &p, &backends, 4000, &engine::Executor::sequential(47));
+        let got = estimate_poly_trace_by_sums(
+            &rho,
+            &p,
+            &backends,
+            4000,
+            &engine::Executor::sequential(47),
+        );
         let want = poly_trace_exact(&rho, &p);
         assert!((got - want).abs() < 0.2, "{got} vs {want}");
     }

@@ -1,28 +1,42 @@
-//! Criterion-free micro-benchmark of the pluggable simulation backends:
-//! prints shots/sec for `Backend::StateVector`, `Backend::Stabilizer`,
-//! and `Backend::Auto` on a Clifford GHZ workload (the paper's §5.3
-//! shape: GHZ chain + depolarizing noise + full measurement), and
-//! asserts that
+//! Criterion-free micro-benchmark of the pluggable simulation backends
+//! and of the compile-once shot replay: prints shots/sec on a Clifford
+//! GHZ workload (the paper's §5.3 shape: GHZ chain + depolarizing noise
+//! + full measurement) for
 //!
+//! * the **interpreted** statevector path (per-shot re-interpretation,
+//!   `Executor::sample_shots_interpreted`),
+//! * the **compiled** statevector path (fused kernels compiled once and
+//!   replayed, `Executor::sample_shots` — the production default),
+//! * `Backend::Stabilizer`, and `Backend::Auto`,
+//!
+//! and asserts that
+//!
+//! * every path tallies the *same records* for one root seed (compiled
+//!   kernels keep the RNG stream in interpreted order; the stabilizer
+//!   backend consumes the statevector's per-instruction pattern),
 //! * `Auto` routes the Clifford circuit to the stabilizer path,
-//! * all backends tally the *same records* for one root seed (the
-//!   stabilizer backend consumes the shot streams in the statevector's
-//!   per-instruction pattern), and
-//! * the stabilizer path is measurably faster than the statevector path
-//!   on this workload — the speedup `Auto` buys for free.
+//! * the compiled statevector path is **strictly faster** than the
+//!   interpreted path — the CI perf-regression guard, re-checked from
+//!   the emitted JSON by the workflow's perf-guard step,
+//! * the stabilizer path stays measurably faster than the statevector.
+//!
+//! Results are emitted as a table + CSV and as machine-readable JSON
+//! under `results/bench/backend_scaling.json` (schema: README §"Circuit
+//! compilation & perf tracking").
 //!
 //! Run with: `cargo run --release --bin backend_scaling [--quick]`
 //!
 //! Shots run under `Executor::Sequential` deliberately: the bin
-//! compares *representations* at a fixed execution mode, so the rate
-//! ratio is a clean per-backend number on any machine (thread-count
-//! scaling is `engine_scaling`'s job).
+//! compares *representations and programs* at a fixed execution mode,
+//! so the rate ratio is a clean per-backend number on any machine
+//! (thread-count scaling is `engine_scaling`'s job).
 
 use analysis::table_io::ResultTable;
-use bench::Scale;
+use bench::{BenchReport, Scale};
 use circuit::circuit::Circuit;
 use circuit::noise::NoiseModel;
 use engine::{Backend, Counts, Executor};
+use qsim::statevector::StateVector;
 use std::time::Instant;
 
 /// The noisy GHZ workload: prepare an `r`-qubit GHZ chain under
@@ -40,11 +54,9 @@ fn ghz_workload(r: usize, p: f64) -> Circuit {
     noisy
 }
 
-fn time_backend(backend: Backend, circuit: &Circuit, shots: usize, exec: &Executor) -> (f64, Counts) {
+fn time_run(f: impl FnOnce() -> Counts) -> (f64, Counts) {
     let t0 = Instant::now();
-    let counts = backend
-        .sample_shots(circuit, shots, exec)
-        .unwrap_or_else(|e| panic!("{e}"));
+    let counts = f();
     (t0.elapsed().as_secs_f64(), counts)
 }
 
@@ -54,6 +66,7 @@ fn main() {
     let (r, p) = (12usize, 0.002);
     let circuit = ghz_workload(r, p);
     let exec = Executor::sequential(bench::ROOT_SEED);
+    let initial = StateVector::new(r);
 
     // Auto must pick the stabilizer fast path on a Clifford circuit.
     assert_eq!(
@@ -64,48 +77,91 @@ fn main() {
 
     let mut t = ResultTable::new(
         "Backend scaling on the GHZ workload (r = 12, p = 2e-3)",
-        &["backend", "resolved", "shots", "secs", "shots_per_sec", "vs_statevector"],
+        &[
+            "path",
+            "resolved",
+            "shots",
+            "secs",
+            "shots_per_sec",
+            "vs_interpreted",
+        ],
+    );
+    let mut report = BenchReport::new(
+        "backend_scaling",
+        format!("ghz-{r} depolarizing p={p}"),
+        scale == Scale::Quick,
     );
 
-    let (sv_secs, sv_counts) = time_backend(Backend::StateVector, &circuit, shots, &exec);
-    let sv_rate = shots as f64 / sv_secs;
-    let mut rates = Vec::new();
-    for backend in [Backend::StateVector, Backend::Stabilizer, Backend::Auto] {
-        let (secs, counts) = if backend == Backend::StateVector {
-            (sv_secs, sv_counts.clone())
+    let (interp_secs, interp_counts) =
+        time_run(|| exec.sample_shots_interpreted(&circuit, &initial, shots));
+    let interp_rate = shots as f64 / interp_secs;
+
+    // (label, selected backend, secs, counts) per timed path.
+    let mut rows = vec![(
+        "statevector-interpreted",
+        Backend::StateVector,
+        interp_secs,
+        interp_counts.clone(),
+    )];
+    let (compiled_secs, compiled_counts) =
+        time_run(|| exec.sample_shots(&circuit, &initial, shots));
+    rows.push((
+        "statevector-compiled",
+        Backend::StateVector,
+        compiled_secs,
+        compiled_counts,
+    ));
+    for backend in [Backend::Stabilizer, Backend::Auto] {
+        let (secs, counts) = time_run(|| backend.sample_shots(&circuit, shots, &exec).unwrap());
+        let label = if backend == Backend::Auto {
+            "auto"
         } else {
-            time_backend(backend, &circuit, shots, &exec)
+            "stabilizer"
         };
-        assert_eq!(counts.values().sum::<usize>(), shots);
+        rows.push((label, backend, secs, counts));
+    }
+
+    let mut rate_of = std::collections::HashMap::new();
+    for (label, backend, secs, counts) in &rows {
+        assert_eq!(counts.values().sum::<usize>(), shots, "{label}");
         assert_eq!(
-            counts, sv_counts,
-            "{backend}: records diverged from the statevector reference"
+            counts, &interp_counts,
+            "{label}: records diverged from the interpreted statevector reference"
         );
         let rate = shots as f64 / secs;
-        rates.push((backend, rate));
+        rate_of.insert(*label, rate);
         t.push_row(vec![
-            backend.name().into(),
+            (*label).into(),
             backend.resolve(&circuit).name().into(),
             shots.to_string(),
             format!("{secs:.3}"),
             format!("{rate:.0}"),
-            format!("{:.2}x", rate / sv_rate),
+            format!("{:.2}x", rate / interp_rate),
         ]);
+        report.push_timing(label, backend.name(), "sequential", 1, shots, *secs);
     }
     bench::emit(&t);
+    bench::emit_report(&report);
 
-    let stab_rate = rates
-        .iter()
-        .find(|(b, _)| *b == Backend::Stabilizer)
-        .map(|&(_, r)| r)
-        .unwrap();
+    let compiled_rate = rate_of["statevector-compiled"];
     println!(
-        "stabilizer path: {:.1}x the statevector rate on the Clifford GHZ workload",
-        stab_rate / sv_rate
+        "compiled statevector path: {:.2}x the interpreted rate on the GHZ workload",
+        compiled_rate / interp_rate
     );
     assert!(
-        stab_rate > 2.0 * sv_rate,
+        compiled_rate > interp_rate,
+        "perf regression: compiled statevector path ({compiled_rate:.0}/s) is not \
+         strictly faster than the interpreted path ({interp_rate:.0}/s)"
+    );
+
+    let stab_rate = rate_of["stabilizer"];
+    println!(
+        "stabilizer path: {:.1}x the interpreted statevector rate on the Clifford GHZ workload",
+        stab_rate / interp_rate
+    );
+    assert!(
+        stab_rate > 2.0 * interp_rate,
         "stabilizer path should be measurably faster (got {:.2}x)",
-        stab_rate / sv_rate
+        stab_rate / interp_rate
     );
 }

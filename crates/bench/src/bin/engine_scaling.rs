@@ -10,12 +10,17 @@
 
 use analysis::fanout_noise::FanoutResidualJob;
 use analysis::table_io::ResultTable;
-use bench::Scale;
+use bench::{BenchReport, Scale};
 use engine::{Engine, Executor, ExperimentBuilder};
 use std::collections::HashMap;
 use std::time::Instant;
 
-fn run_grid(exec: &Executor, targets: usize, p: f64, shots: usize) -> HashMap<stabilizer::pauli::PauliString, u64> {
+fn run_grid(
+    exec: &Executor,
+    targets: usize,
+    p: f64,
+    shots: usize,
+) -> HashMap<stabilizer::pauli::PauliString, u64> {
     // The declarative shape every bench driver shares: a (point grid,
     // shots, executor) triple — here a single-point grid.
     let mut results = ExperimentBuilder::new()
@@ -42,7 +47,14 @@ fn main() {
 
     let mut t = ResultTable::new(
         "Engine scaling on the Table 4 workload",
-        &["mode", "threads", "shots", "secs", "shots_per_sec", "speedup"],
+        &[
+            "mode",
+            "threads",
+            "shots",
+            "secs",
+            "shots_per_sec",
+            "speedup",
+        ],
     );
     t.push_row(vec![
         "sequential".into(),
@@ -52,6 +64,19 @@ fn main() {
         format!("{seq_rate:.0}"),
         "1.00".into(),
     ]);
+    let mut report = BenchReport::new(
+        "engine_scaling",
+        format!("fanout-residual m={targets} p={p}"),
+        scale == Scale::Quick,
+    );
+    report.push_timing(
+        "sequential",
+        "pauli-frame",
+        "sequential",
+        1,
+        shots,
+        seq_secs,
+    );
 
     let max_threads = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -77,12 +102,21 @@ fn main() {
             format!("{rate:.0}"),
             format!("{:.2}", rate / seq_rate),
         ]);
+        report.push_timing(
+            &format!("pooled-{threads}"),
+            "pauli-frame",
+            "pooled",
+            threads,
+            shots,
+            secs,
+        );
         if threads >= max_threads {
             break;
         }
         threads = (threads * 2).min(max_threads);
     }
     bench::emit(&t);
+    bench::emit_report(&report);
 
     if let Some(&(n, rate)) = measured.iter().find(|&&(n, _)| n >= 4) {
         println!(

@@ -7,6 +7,10 @@
 use analysis::table_io::{default_results_dir, ResultTable};
 use engine::{Engine, Executor};
 
+mod report;
+
+pub use report::{BenchEntry, BenchReport};
+
 /// Shot-count scale for the regeneration binaries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scale {
@@ -59,6 +63,14 @@ pub fn emit(table: &ResultTable) {
     match table.write_csv(&default_results_dir()) {
         Ok(path) => println!("[csv] {}\n", path.display()),
         Err(err) => println!("[csv] not written: {err}\n"),
+    }
+}
+
+/// Persists a machine-readable perf report under `results/bench/`.
+pub fn emit_report(report: &BenchReport) {
+    match report.write() {
+        Ok(path) => println!("[json] {}\n", path.display()),
+        Err(err) => println!("[json] not written: {err}\n"),
     }
 }
 

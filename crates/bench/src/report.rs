@@ -1,0 +1,236 @@
+//! Machine-readable benchmark reports.
+//!
+//! The scaling binaries historically printed shots/sec and threw the
+//! numbers away; CSVs under `results/` captured figures, not perf. A
+//! [`BenchReport`] is the JSON counterpart CI can keep: each run of a
+//! scaling binary writes `results/bench/<suite>.json`, the perf-guard
+//! workflow step validates it and uploads it as an artifact, so the
+//! repository accumulates a perf trajectory instead of log lines.
+//!
+//! The schema is hand-rolled (the workspace is offline — no serde) and
+//! documented in the README's "Circuit compilation & perf tracking"
+//! section:
+//!
+//! ```json
+//! {
+//!   "suite": "backend_scaling",
+//!   "workload": "ghz-12 depolarizing p=2e-3",
+//!   "quick": true,
+//!   "entries": [
+//!     {
+//!       "label": "statevector-compiled",
+//!       "backend": "statevector",
+//!       "mode": "sequential",
+//!       "threads": 1,
+//!       "shots": 10000,
+//!       "secs": 0.41,
+//!       "shots_per_sec": 24390.2
+//!     }
+//!   ]
+//! }
+//! ```
+
+use analysis::table_io::default_results_dir;
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// One timed configuration of a bench suite.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchEntry {
+    /// Unique row label within the suite (e.g.
+    /// `"statevector-interpreted"`), the key the CI perf guard joins on.
+    pub label: String,
+    /// Simulation backend name (`engine::Backend::name` convention) or,
+    /// for suites that time a non-`Backend` sampler, a workload-specific
+    /// tag (e.g. `engine_scaling`'s `"pauli-frame"`).
+    pub backend: String,
+    /// Execution mode (`"sequential"` / `"pooled"`).
+    pub mode: String,
+    /// Worker threads the entry ran with.
+    pub threads: usize,
+    /// Shots executed.
+    pub shots: usize,
+    /// Wall time in seconds.
+    pub secs: f64,
+    /// Throughput, `shots / secs`.
+    pub shots_per_sec: f64,
+}
+
+/// A suite of timed entries, serialized to `results/bench/<suite>.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    suite: String,
+    workload: String,
+    quick: bool,
+    entries: Vec<BenchEntry>,
+}
+
+impl BenchReport {
+    /// An empty report for `suite` (the file stem) on `workload`.
+    pub fn new(suite: impl Into<String>, workload: impl Into<String>, quick: bool) -> Self {
+        BenchReport {
+            suite: suite.into(),
+            workload: workload.into(),
+            quick,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Appends a timed entry.
+    pub fn push(&mut self, entry: BenchEntry) -> &mut Self {
+        self.entries.push(entry);
+        self
+    }
+
+    /// Convenience for the common shape: label/backend/mode/threads plus
+    /// a `(shots, secs)` measurement.
+    pub fn push_timing(
+        &mut self,
+        label: &str,
+        backend: &str,
+        mode: &str,
+        threads: usize,
+        shots: usize,
+        secs: f64,
+    ) -> &mut Self {
+        self.push(BenchEntry {
+            label: label.to_string(),
+            backend: backend.to_string(),
+            mode: mode.to_string(),
+            threads,
+            shots,
+            secs,
+            shots_per_sec: shots as f64 / secs,
+        })
+    }
+
+    /// The entries pushed so far.
+    pub fn entries(&self) -> &[BenchEntry] {
+        &self.entries
+    }
+
+    /// Renders the report as a JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"suite\": {},\n", json_str(&self.suite)));
+        out.push_str(&format!("  \"workload\": {},\n", json_str(&self.workload)));
+        out.push_str(&format!("  \"quick\": {},\n", self.quick));
+        out.push_str("  \"entries\": [\n");
+        for (i, e) in self.entries.iter().enumerate() {
+            out.push_str("    {\n");
+            out.push_str(&format!("      \"label\": {},\n", json_str(&e.label)));
+            out.push_str(&format!("      \"backend\": {},\n", json_str(&e.backend)));
+            out.push_str(&format!("      \"mode\": {},\n", json_str(&e.mode)));
+            out.push_str(&format!("      \"threads\": {},\n", e.threads));
+            out.push_str(&format!("      \"shots\": {},\n", e.shots));
+            out.push_str(&format!("      \"secs\": {},\n", json_f64(e.secs)));
+            out.push_str(&format!(
+                "      \"shots_per_sec\": {}\n",
+                json_f64(e.shots_per_sec)
+            ));
+            out.push_str(if i + 1 == self.entries.len() {
+                "    }\n"
+            } else {
+                "    },\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Writes the JSON under `results/bench/`, returning the path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write(&self) -> std::io::Result<PathBuf> {
+        let dir = default_results_dir().join("bench");
+        fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{}.json", self.suite));
+        let mut f = fs::File::create(&path)?;
+        f.write_all(self.to_json().as_bytes())?;
+        Ok(path)
+    }
+}
+
+/// JSON string literal with the mandatory escapes.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// JSON number from an `f64` (non-finite values become `0` — JSON has
+/// no NaN/Infinity, and a zeroed rate fails any ≥-guard loudly).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BenchReport {
+        let mut r = BenchReport::new("unit_suite", "ghz-3", true);
+        r.push_timing("a-compiled", "statevector", "sequential", 1, 100, 0.5);
+        r.push_timing("b \"quoted\"", "stabilizer", "pooled", 4, 200, 0.25);
+        r
+    }
+
+    #[test]
+    fn json_contains_schema_fields_and_rates() {
+        let j = sample().to_json();
+        for key in [
+            "\"suite\"",
+            "\"workload\"",
+            "\"quick\"",
+            "\"entries\"",
+            "\"label\"",
+            "\"backend\"",
+            "\"mode\"",
+            "\"threads\"",
+            "\"shots\"",
+            "\"secs\"",
+            "\"shots_per_sec\"",
+        ] {
+            assert!(j.contains(key), "missing {key} in {j}");
+        }
+        assert!(j.contains("\"shots_per_sec\": 200"));
+        assert!(j.contains("\\\"quoted\\\""));
+    }
+
+    #[test]
+    fn json_is_structurally_balanced() {
+        // Cheap well-formedness probe without a parser: balanced braces
+        // and brackets, no trailing comma before a closer.
+        let j = sample().to_json();
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+        assert!(!j.contains(",\n  ]"));
+        assert!(!j.contains(",\n    }"));
+    }
+
+    #[test]
+    fn non_finite_rates_serialize_as_zero() {
+        assert_eq!(json_f64(f64::NAN), "0");
+        assert_eq!(json_f64(f64::INFINITY), "0");
+        assert_eq!(json_f64(2.5), "2.5");
+    }
+}

@@ -90,7 +90,11 @@ impl Unsupported {
 
 impl fmt::Display for Unsupported {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} backend cannot execute circuit: {}", self.backend, self.reason)
+        write!(
+            f,
+            "{} backend cannot execute circuit: {}",
+            self.backend, self.reason
+        )
     }
 }
 

@@ -43,12 +43,7 @@ impl TraceEstimate {
     /// [`TraceEstimate::from_parity_samples`] on the corresponding ±1
     /// sample vectors: for samples in {−1, +1} with mean `m`, the
     /// unbiased standard error closes to `√((1 − m²)/(n − 1))`.
-    pub fn from_parity_counts(
-        re_odd: u64,
-        re_shots: u64,
-        im_odd: u64,
-        im_shots: u64,
-    ) -> Self {
+    pub fn from_parity_counts(re_odd: u64, re_shots: u64, im_odd: u64, im_shots: u64) -> Self {
         let channel = |odd: u64, shots: u64| -> (f64, f64) {
             if shots == 0 {
                 return (0.0, 0.0);
@@ -189,12 +184,7 @@ impl TraceBackend for ExactTraceBackend {
         true
     }
 
-    fn estimate_trace(
-        &self,
-        states: &[Matrix],
-        _shots: usize,
-        _exec: &Executor,
-    ) -> TraceEstimate {
+    fn estimate_trace(&self, states: &[Matrix], _shots: usize, _exec: &Executor) -> TraceEstimate {
         let t = exact_multivariate_trace(states);
         TraceEstimate {
             re: t.re,
@@ -273,8 +263,12 @@ mod tests {
     #[test]
     fn parity_counts_match_parity_samples() {
         // 100 samples, 25 odd in re, 50 odd in im.
-        let re: Vec<f64> = (0..100).map(|i| if i % 4 == 0 { -1.0 } else { 1.0 }).collect();
-        let im: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { -1.0 } else { 1.0 }).collect();
+        let re: Vec<f64> = (0..100)
+            .map(|i| if i % 4 == 0 { -1.0 } else { 1.0 })
+            .collect();
+        let im: Vec<f64> = (0..100)
+            .map(|i| if i % 2 == 0 { -1.0 } else { 1.0 })
+            .collect();
         let from_samples = TraceEstimate::from_parity_samples(&re, &im);
         let from_counts = TraceEstimate::from_parity_counts(25, 100, 50, 100);
         assert!((from_samples.re - from_counts.re).abs() < 1e-12);
@@ -300,9 +294,7 @@ mod tests {
     #[test]
     fn exact_backend_is_shot_free_in_every_mode() {
         let mut rng = StdRng::seed_from_u64(5);
-        let states: Vec<Matrix> = (0..3)
-            .map(|_| random_density_matrix(1, &mut rng))
-            .collect();
+        let states: Vec<Matrix> = (0..3).map(|_| random_density_matrix(1, &mut rng)).collect();
         let backend = ExactTraceBackend::new(3, 1);
         assert!(backend.is_shot_free());
         let seq = backend.estimate_trace(&states, 100, &Executor::sequential(1));

@@ -101,7 +101,9 @@ impl NaiveDistribution {
         let mut worst_im_err: f64 = 0.0;
         for j in 0..self.n {
             let slice_states: Vec<Matrix> = slices.iter().map(|row| row[j].clone()).collect();
-            let e = self.slice_test.estimate(&slice_states, shots, &exec.derive(j as u64));
+            let e = self
+                .slice_test
+                .estimate(&slice_states, shots, &exec.derive(j as u64));
             product *= e.value();
             worst_re_err = worst_re_err.max(e.re_std_err);
             worst_im_err = worst_im_err.max(e.im_std_err);

@@ -41,7 +41,8 @@ use network::ledger::ResourceLedger;
 use network::machine::DistributedMachine;
 use network::topology::Topology;
 use qsim::qrand::PureEnsemble;
-use qsim::runner::run_shot_into;
+use qsim::runner::run_program_into;
+use qsim::sim::SimState;
 use qsim::statevector::StateVector;
 
 use crate::cswap::{local_cswap_block, two_party_cswap, CswapScheme};
@@ -165,6 +166,9 @@ impl ProtocolCircuits {
             } else {
                 &self.circuit_im
             };
+            // Compile once per channel; every shot replays the fused
+            // kernels on its own stream.
+            let program = <StateVector as SimState>::compile(circ);
             *odd_count = exec.derive(channel as u64).run_count_with(
                 shots as u64,
                 || (StateVector::new(circ.num_qubits()), Vec::new()),
@@ -175,7 +179,7 @@ impl ProtocolCircuits {
                         .map(|(ens, qs)| (ens.sample(rng).to_vec(), qs.clone()))
                         .collect();
                     let initial = StateVector::product_state(circ.num_qubits(), &groups);
-                    run_shot_into(circ, &initial, state, cbits, rng);
+                    run_program_into(&program, &initial, state, cbits, rng);
                     self.ghz_cbits.iter().fold(false, |acc, &c| acc ^ cbits[c])
                 },
             );
@@ -1027,7 +1031,11 @@ mod tests {
             let exact = (&(&u * &rho) * &rho).trace();
             let p: PauliString = letter.parse().unwrap();
             let test = MonolithicSwapTest::with_observable(2, 1, MonolithicVariant::Fanout, &p);
-            let e = test.estimate(&[rho.clone(), rho.clone()], 4000, &Executor::sequential(213 + idx as u64));
+            let e = test.estimate(
+                &[rho.clone(), rho.clone()],
+                4000,
+                &Executor::sequential(213 + idx as u64),
+            );
             assert!(
                 (e.re - exact.re).abs() < 5.0 * e.re_std_err.max(1e-3),
                 "{letter}: estimate {} vs exact {exact}",

@@ -96,7 +96,10 @@ impl Backend {
     /// [`EngineConfig::from_env`](crate::EngineConfig::from_env).
     pub fn from_env() -> Backend {
         let mut backend = Backend::Auto;
-        if let Some(b) = std::env::var("COMPAS_BACKEND").ok().and_then(|v| Backend::parse(&v)) {
+        if let Some(b) = std::env::var("COMPAS_BACKEND")
+            .ok()
+            .and_then(|v| Backend::parse(&v))
+        {
             backend = b;
         }
         if let Some(b) = cli_backend() {

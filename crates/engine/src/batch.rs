@@ -1,6 +1,6 @@
 //! Batched execution of many independent sampling jobs.
 
-use qsim::runner::{pack_cbits, run_shot_into};
+use qsim::runner::{pack_cbits, run_program_into};
 use qsim::sim::SimState;
 use rand::rngs::StdRng;
 use std::collections::HashMap;
@@ -42,19 +42,24 @@ impl<S: SimState> ShotJob for ShotPlan<S> {
     type Workspace = (S, Vec<bool>);
 
     fn shots(&self) -> u64 {
-        self.shots
+        ShotPlan::shots(self)
     }
 
     fn root_seed(&self) -> u64 {
-        self.root_seed
+        ShotPlan::root_seed(self)
     }
 
     fn workspace(&self) -> Self::Workspace {
-        (self.initial.clone(), Vec::new())
+        (self.initial().clone(), Vec::new())
     }
 
-    fn run_shot(&self, (state, cbits): &mut Self::Workspace, _shot: u64, rng: &mut StdRng) -> usize {
-        run_shot_into(&self.circuit, &self.initial, state, cbits, rng);
+    fn run_shot(
+        &self,
+        (state, cbits): &mut Self::Workspace,
+        _shot: u64,
+        rng: &mut StdRng,
+    ) -> usize {
+        run_program_into(self.program(), self.initial(), state, cbits, rng);
         pack_cbits(cbits)
     }
 }
@@ -105,8 +110,7 @@ impl<'e> BatchRunner<'e> {
         let run_worker = |cursor: &AtomicUsize| {
             let mut tallies: Vec<HashMap<J::Key, u64>> =
                 (0..jobs.len()).map(|_| HashMap::new()).collect();
-            let mut workspaces: Vec<Option<J::Workspace>> =
-                (0..jobs.len()).map(|_| None).collect();
+            let mut workspaces: Vec<Option<J::Workspace>> = (0..jobs.len()).map(|_| None).collect();
             loop {
                 let u = cursor.fetch_add(1, Ordering::Relaxed);
                 let Some(unit) = units.get(u) else { break };

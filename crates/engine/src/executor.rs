@@ -24,7 +24,7 @@
 //! experiment is reproducible from one root seed regardless of mode.
 
 use circuit::circuit::Circuit;
-use qsim::runner::{pack_cbits, run_shot_into};
+use qsim::runner::{pack_cbits, run_program_into, run_shot_into};
 use qsim::sim::SimState;
 use rand::rngs::StdRng;
 use std::collections::HashMap;
@@ -207,6 +207,12 @@ impl Executor {
     /// and bit-identical to [`Engine::run_plan`] on the equivalent
     /// [`ShotPlan`](crate::ShotPlan).
     ///
+    /// The circuit is **compiled once** ([`SimState::compile`] — fused
+    /// statevector kernels where the backend has a compiler) and the
+    /// program replayed across all shots and workers; see
+    /// [`Executor::sample_shots_interpreted`] for the re-interpreting
+    /// reference path, which tallies identically per root seed.
+    ///
     /// Generic over the simulation backend (any [`SimState`]); pass
     /// `&StateVector::new(n)`, `&CliffordState::new(n)`, or a prepared
     /// [`DensityMatrix`](qsim::density::DensityMatrix) — or let
@@ -221,6 +227,45 @@ impl Executor {
         initial: &S,
         shots: usize,
     ) -> Counts {
+        self.check_plan::<S>(circuit, initial);
+        let program = S::compile(circuit);
+        let tally = self.run_tally_with(
+            shots as u64,
+            || (initial.clone(), Vec::new()),
+            |(state, cbits), _shot, rng| {
+                run_program_into(&program, initial, state, cbits, rng);
+                pack_cbits(cbits)
+            },
+        );
+        tally.into_iter().map(|(k, v)| (k, v as usize)).collect()
+    }
+
+    /// Interpreted reference for [`Executor::sample_shots`]: every shot
+    /// re-steps the raw instruction stream instead of replaying a
+    /// compiled program. Record-identical to the compiled path per root
+    /// seed — that equivalence is asserted by the engine's
+    /// `compiled_equivalence` property tests and timed by the
+    /// `backend_scaling` perf guard. Use the compiled path for
+    /// production sampling.
+    pub fn sample_shots_interpreted<S: SimState>(
+        &self,
+        circuit: &Circuit,
+        initial: &S,
+        shots: usize,
+    ) -> Counts {
+        self.check_plan::<S>(circuit, initial);
+        let tally = self.run_tally_with(
+            shots as u64,
+            || (initial.clone(), Vec::new()),
+            |(state, cbits), _shot, rng| {
+                run_shot_into(circuit, initial, state, cbits, rng);
+                pack_cbits(cbits)
+            },
+        );
+        tally.into_iter().map(|(k, v)| (k, v as usize)).collect()
+    }
+
+    fn check_plan<S: SimState>(&self, circuit: &Circuit, initial: &S) {
         assert!(
             circuit.num_qubits() <= initial.num_qubits(),
             "circuit needs {} qubits but the state has {}",
@@ -232,15 +277,6 @@ impl Executor {
             "{}",
             S::supports(circuit).unwrap_err()
         );
-        let tally = self.run_tally_with(
-            shots as u64,
-            || (initial.clone(), Vec::new()),
-            |(state, cbits), _shot, rng| {
-                run_shot_into(circuit, initial, state, cbits, rng);
-                pack_cbits(cbits)
-            },
-        );
-        tally.into_iter().map(|(k, v)| (k, v as usize)).collect()
     }
 }
 

@@ -98,7 +98,13 @@ impl<P> ExperimentBuilder<P> {
             .points
             .iter()
             .enumerate()
-            .map(|(i, p)| make(p, self.shots, derive_stream_seed(exec.root_seed(), i as u64)))
+            .map(|(i, p)| {
+                make(
+                    p,
+                    self.shots,
+                    derive_stream_seed(exec.root_seed(), i as u64),
+                )
+            })
             .collect();
         let tallies = exec.run_batch(&jobs);
         jobs.into_iter().zip(tallies).collect()
@@ -131,7 +137,10 @@ mod tests {
         let b = ExperimentBuilder::grid(&[1, 2], &[10, 20, 30]);
         assert_eq!(b.len(), 6);
         let pts = b.run(&Executor::sequential(0), |&p, _, _| p);
-        assert_eq!(pts, vec![(1, 10), (1, 20), (1, 30), (2, 10), (2, 20), (2, 30)]);
+        assert_eq!(
+            pts,
+            vec![(1, 10), (1, 20), (1, 30), (2, 10), (2, 20), (2, 30)]
+        );
     }
 
     #[test]

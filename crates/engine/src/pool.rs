@@ -1,7 +1,7 @@
 //! The worker pool: chunked, deterministic parallel folding of shots.
 
 use circuit::circuit::Circuit;
-use qsim::runner::{pack_cbits, run_shot_into};
+use qsim::runner::{pack_cbits, run_program_into};
 use qsim::sim::SimState;
 use qsim::statevector::StateVector;
 use rand::rngs::StdRng;
@@ -28,20 +28,27 @@ pub type Counts = HashMap<usize, usize>;
 #[derive(Debug, Clone)]
 pub struct ShotPlan<S: SimState = StateVector> {
     /// The circuit to play (may include measurement, reset, feed-forward
-    /// and stochastic noise sites).
-    pub circuit: Circuit,
+    /// and stochastic noise sites). Private — the compiled `program` is
+    /// derived from it at construction, so mutating it afterwards would
+    /// silently desynchronize what the plan executes.
+    circuit: Circuit,
     /// The initial state each shot starts from.
-    pub initial: S,
+    initial: S,
     /// Number of repetitions.
-    pub shots: u64,
+    shots: u64,
     /// Root seed; shot `i` runs on stream `derive_stream_seed(root, i)`.
-    pub root_seed: u64,
+    root_seed: u64,
+    /// The circuit lowered once by [`SimState::compile`]; every shot on
+    /// every worker replays this instead of re-interpreting the
+    /// instruction stream.
+    program: S::Program,
 }
 
 impl<S: SimState> ShotPlan<S> {
     /// Builds a plan, validating that the state covers the circuit
     /// (and, under debug assertions, probing the backend's capability
-    /// contract once — per plan, not per shot).
+    /// contract once — per plan, not per shot), and compiling the
+    /// circuit once for the backend.
     ///
     /// # Panics
     ///
@@ -58,12 +65,39 @@ impl<S: SimState> ShotPlan<S> {
             "{}",
             S::supports(&circuit).unwrap_err()
         );
+        let program = S::compile(&circuit);
         ShotPlan {
             circuit,
             initial,
             shots,
             root_seed,
+            program,
         }
+    }
+
+    /// The circuit this plan plays.
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// The initial state each shot starts from.
+    pub fn initial(&self) -> &S {
+        &self.initial
+    }
+
+    /// Number of repetitions.
+    pub fn shots(&self) -> u64 {
+        self.shots
+    }
+
+    /// Root seed; shot `i` runs on stream `derive_stream_seed(root, i)`.
+    pub fn root_seed(&self) -> u64 {
+        self.root_seed
+    }
+
+    /// The backend program compiled once at plan construction.
+    pub fn program(&self) -> &S::Program {
+        &self.program
     }
 }
 
@@ -179,10 +213,7 @@ impl Engine {
                 .map(|h| h.join().expect("engine worker panicked"))
                 .collect()
         });
-        worker_accs
-            .into_iter()
-            .reduce(merge)
-            .unwrap_or_else(init)
+        worker_accs.into_iter().reduce(merge).unwrap_or_else(init)
     }
 
     /// Counts the shots for which `pred` holds. The workhorse behind
@@ -246,22 +277,20 @@ impl Engine {
     }
 
     /// Executes one [`ShotPlan`] on its backend, reusing one state
-    /// buffer and one classical register per worker. Returns counts in
-    /// the `sample_shots` convention.
+    /// buffer and one classical register per worker and replaying the
+    /// plan's compiled program each shot. Returns counts in the
+    /// `sample_shots` convention.
     pub fn run_plan<S: SimState>(&self, plan: &ShotPlan<S>) -> Counts {
         let tally = self.run_tally_with(
             plan.shots,
             plan.root_seed,
             || (plan.initial.clone(), Vec::new()),
             |(state, cbits), _shot, rng| {
-                run_shot_into(&plan.circuit, &plan.initial, state, cbits, rng);
+                run_program_into(&plan.program, &plan.initial, state, cbits, rng);
                 pack_cbits(cbits)
             },
         );
-        tally
-            .into_iter()
-            .map(|(k, v)| (k, v as usize))
-            .collect()
+        tally.into_iter().map(|(k, v)| (k, v as usize)).collect()
     }
 }
 

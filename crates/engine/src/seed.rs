@@ -32,10 +32,7 @@ mod tests {
     #[test]
     fn seeds_are_pure_functions() {
         assert_eq!(derive_stream_seed(1, 2), derive_stream_seed(1, 2));
-        assert_eq!(
-            shot_rng(9, 100).next_u64(),
-            shot_rng(9, 100).next_u64()
-        );
+        assert_eq!(shot_rng(9, 100).next_u64(), shot_rng(9, 100).next_u64());
     }
 
     #[test]

@@ -97,7 +97,7 @@ fn batch_runner_is_thread_invariant_per_job() {
     assert_eq!(r1, run(2));
     assert_eq!(r1, run(8));
     for (plan, counts) in plans.iter().zip(&r1) {
-        assert_eq!(counts.values().sum::<usize>() as u64, plan.shots);
+        assert_eq!(counts.values().sum::<usize>() as u64, plan.shots());
     }
 }
 
@@ -162,12 +162,8 @@ fn different_root_seeds_give_different_samples() {
         5_000,
         1,
     ));
-    let b = Engine::with_threads(4).run_plan(&ShotPlan::new(
-        circuit,
-        StateVector::new(3),
-        5_000,
-        2,
-    ));
+    let b =
+        Engine::with_threads(4).run_plan(&ShotPlan::new(circuit, StateVector::new(3), 5_000, 2));
     assert_ne!(a, b, "independent seeds should not collide exactly");
 }
 

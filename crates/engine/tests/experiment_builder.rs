@@ -55,11 +55,7 @@ fn builder_grid_matches_per_point_manual_invocations_exactly() {
         let mut idx = 0u64;
         for &which in &backends {
             for &p in &noise_points {
-                let manual = backend_at(which, p).estimate_trace(
-                    &states,
-                    shots,
-                    &exec.derive(idx),
-                );
+                let manual = backend_at(which, p).estimate_trace(&states, shots, &exec.derive(idx));
                 assert_eq!(
                     results[idx as usize], manual,
                     "grid point {idx} (backend {which}, noise {p}) diverged"

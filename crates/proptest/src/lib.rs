@@ -199,7 +199,7 @@ impl<T: Arbitrary> Strategy for AnyStrategy<T> {
 
 /// Collection strategies.
 pub mod collection {
-    use super::{Strategy, StdRng};
+    use super::{StdRng, Strategy};
     use rand::Rng;
     use std::ops::Range;
 

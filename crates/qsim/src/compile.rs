@@ -1,0 +1,728 @@
+//! Compile-once lowering of circuits into fused statevector kernels.
+//!
+//! Every shot-based workload replays one [`Circuit`] thousands to
+//! millions of times. Interpreting the instruction stream per shot pays
+//! the same costs every repetition: a `Gate` enum dispatch per
+//! instruction, MSB-order `bit()`/`flip()` index arithmetic per
+//! amplitude, and — worst of all — a fresh `2ⁿ` scratch allocation per
+//! controlled permutation. [`compile`] hoists all of that out of the
+//! shot loop, producing a [`CompiledCircuit`]: a flat stream of
+//! [`CompiledOp`] kernels in which
+//!
+//! * adjacent single-qubit gates on the same qubit are **fused** into
+//!   one 2×2 matrix applied in a single branch-free strided pass
+//!   ([`CompiledOp::Unitary1`]);
+//! * runs of diagonal gates (`Z`/`S`/`Sdg`/`T`/`Tdg`/`Rz`/`Cz`) are
+//!   **merged** into one phase-mask kernel ([`CompiledOp::Phase`])
+//!   applied in a single pass;
+//! * controlled permutations (`Cx`/`Swap`/`Ccx`/`Cswap`) become
+//!   precomputed bit-mask swaps ([`CompiledOp::PermuteSwap`]) that touch
+//!   only the amplitudes they move — no scratch vector, no per-index
+//!   closure;
+//! * measurement, reset, classical feedback, and noise sites remain
+//!   **interpretation points** ([`CompiledOp::Interp`]) executed through
+//!   [`SimState::step`], so the shot's RNG stream is consumed in
+//!   exactly the interpreted order and classical control still sees the
+//!   live register.
+//!
+//! Compilation happens once per plan (`engine::ShotPlan`,
+//! `engine::Executor::sample_shots`) and the program is replayed across
+//! all shots and workers. Fusion reassociates floating-point operations,
+//! so compiled amplitudes may differ from interpreted ones by rounding
+//! (≈ 1 ulp); measurement *records* agree bit-for-bit per root seed for
+//! any realizable draw, which the engine's `compiled_equivalence`
+//! property tests assert across random Clifford+T circuits.
+//!
+//! Only the statevector backend lowers to these kernels; the density and
+//! stabilizer backends implement [`SimState::compile`] as the identity
+//! and re-interpret the instruction stream per shot.
+//!
+//! ```
+//! use circuit::circuit::Circuit;
+//! use qsim::compile::compile;
+//!
+//! let mut c = Circuit::new(2, 2);
+//! c.h(0).t(0).s(0).cx(0, 1).measure(0, 0).measure(1, 1);
+//! let program = compile(&c);
+//! // H·T·S fuse into one 2×2 kernel; Cx becomes a mask swap; the two
+//! // measurements stay interpretation points.
+//! assert_eq!(program.num_ops(), 4);
+//! assert_eq!(program.interp_ops(), 2);
+//! ```
+
+use circuit::circuit::{Circuit, Instruction};
+use circuit::gate::Gate;
+use mathkit::complex::Complex;
+use rand::Rng;
+
+use crate::sim::{SimProgram, SimState};
+use crate::statevector::StateVector;
+
+/// A fused 2×2 unitary in row-major order.
+type Mat2 = [Complex; 4];
+
+/// Bit mask selecting qubit `q` within a basis index of an `n`-qubit
+/// register (qubit 0 is the most significant bit, matching
+/// [`crate::statevector::bit`]).
+#[inline]
+pub fn qubit_mask(q: usize, n: usize) -> usize {
+    1 << (n - 1 - q)
+}
+
+/// Calls `f(i)` for every basis index `i < len` with
+/// `i & select == ones` — i.e. the `select` bits pinned to the pattern
+/// `ones`, all other bits free. `len` must be a power of two.
+///
+/// This is the strided-iteration primitive behind the compiled kernels:
+/// it enumerates exactly `len / 2^(select.count_ones())` indices instead
+/// of scanning and filtering all `len`.
+#[inline]
+pub fn for_each_masked(ones: usize, select: usize, len: usize, mut f: impl FnMut(usize)) {
+    debug_assert!(len.is_power_of_two());
+    debug_assert_eq!(ones & !select, 0, "ones must lie within select");
+    let rest = (len - 1) & !select;
+    let mut s = 0usize;
+    loop {
+        f(ones | s);
+        // Standard increasing enumeration of the submasks of `rest`.
+        s = s.wrapping_sub(rest) & rest;
+        if s == 0 {
+            break;
+        }
+    }
+}
+
+/// A merged run of diagonal gates, applied in one pass: amplitude `i`
+/// is multiplied by `global · Π { phase | i & mask == mask }`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseKernel {
+    /// Phase applied to every amplitude (the `e^{-iθ/2}` prefactors of
+    /// fused `Rz` gates; exactly 1 for `Z`/`S`/`T`/`Cz` runs).
+    pub global: Complex,
+    /// Conditional phases: `(mask, phase)` multiplies the amplitudes
+    /// whose index has every `mask` bit set.
+    pub terms: Vec<(usize, Complex)>,
+}
+
+/// One kernel of a compiled program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompiledOp {
+    /// A fused single-qubit unitary applied over amplitude pairs
+    /// `(i, i + stride)` in a branch-free strided pass.
+    Unitary1 {
+        /// `qubit_mask(q, n)` of the target qubit.
+        stride: usize,
+        /// Row-major 2×2 matrix (the product of the fused gates).
+        matrix: Mat2,
+    },
+    /// A merged diagonal run.
+    Phase(PhaseKernel),
+    /// A controlled permutation: for every index `i` with
+    /// `i & select == ones`, swap amplitudes `i` and `i ^ flip`.
+    /// Covers `Cx`, `Swap`, `Ccx`, and `Cswap` with masks precomputed
+    /// at compile time.
+    PermuteSwap {
+        /// Required bit pattern within `select`.
+        ones: usize,
+        /// Bits pinned by the pattern (controls + one swap side).
+        select: usize,
+        /// Bits toggled to reach the swap partner.
+        flip: usize,
+    },
+    /// An instruction executed through [`SimState::step`]: measurement,
+    /// reset, classical feedback, or a stochastic noise site. These
+    /// consume the shot's RNG stream in interpreted order, which is what
+    /// keeps compiled and interpreted records bit-identical.
+    Interp(Instruction),
+}
+
+/// A circuit lowered to fused statevector kernels; see the module docs.
+///
+/// Build with [`compile`]; replay with
+/// [`StateVector::apply_compiled`] or, at the engine layer, by running
+/// any sampling surface (`ShotPlan`, `Executor::sample_shots`,
+/// `Backend::sample_shots`) — they all compile once per plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledCircuit {
+    num_qubits: usize,
+    num_cbits: usize,
+    ops: Vec<CompiledOp>,
+    source_instructions: usize,
+}
+
+impl CompiledCircuit {
+    /// The compiled kernel stream in program order.
+    pub fn ops(&self) -> &[CompiledOp] {
+        &self.ops
+    }
+
+    /// Number of compiled kernels (≤ the source instruction count).
+    pub fn num_ops(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Number of kernels that remain interpretation points.
+    pub fn interp_ops(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|op| matches!(op, CompiledOp::Interp(_)))
+            .count()
+    }
+
+    /// Number of instructions in the source circuit.
+    pub fn source_instructions(&self) -> usize {
+        self.source_instructions
+    }
+}
+
+impl SimProgram for CompiledCircuit {
+    fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    fn num_cbits(&self) -> usize {
+        self.num_cbits
+    }
+}
+
+/// Lowers `circuit` into a [`CompiledCircuit`] (see the module docs for
+/// the fusion rules). Pure function of the circuit; compile once per
+/// plan and replay across shots.
+pub fn compile(circuit: &Circuit) -> CompiledCircuit {
+    let n = circuit.num_qubits();
+    let mut b = Builder {
+        n,
+        ops: Vec::new(),
+        pending: vec![None; n],
+    };
+    for instr in circuit.instructions() {
+        match instr {
+            Instruction::Gate(g) => b.gate(g),
+            other => {
+                b.flush_all();
+                b.ops.push(CompiledOp::Interp(other.clone()));
+            }
+        }
+    }
+    b.flush_all();
+    b.finalize();
+    CompiledCircuit {
+        num_qubits: n,
+        num_cbits: circuit.num_cbits(),
+        ops: b.ops,
+        source_instructions: circuit.instructions().len(),
+    }
+}
+
+/// Compile-time state: kernels emitted so far plus, per qubit, a fused
+/// single-qubit matrix not yet emitted. Deferring a 1-qubit matrix past
+/// gates on *other* qubits is what turns "adjacent" fusion into
+/// maximal-run fusion; ordering stays correct because the deferral only
+/// commutes it across disjoint-qubit operations.
+struct Builder {
+    n: usize,
+    ops: Vec<CompiledOp>,
+    pending: Vec<Option<Mat2>>,
+}
+
+impl Builder {
+    fn gate(&mut self, g: &Gate) {
+        // Diagonal single-qubit gates: fuse into a pending matrix when
+        // one exists, otherwise merge into the open phase kernel.
+        if let Some((p0, p1)) = diag_phases(g) {
+            let q = g.qubits()[0];
+            if let Some(m) = self.pending[q].as_mut() {
+                *m = mul2(&[p0, Complex::ZERO, Complex::ZERO, p1], m);
+            } else {
+                let mask = qubit_mask(q, self.n);
+                if p0 == Complex::ONE {
+                    self.add_phase(Complex::ONE, mask, p1);
+                } else {
+                    // diag(p0, p1) = p0 · diag(1, p1·p0*) for |p0| = 1.
+                    self.add_phase(p0, mask, p1 * p0.conj());
+                }
+            }
+            return;
+        }
+        match *g {
+            Gate::Cz(a, b) => {
+                self.flush(&[a, b]);
+                let mask = qubit_mask(a, self.n) | qubit_mask(b, self.n);
+                self.add_phase(Complex::ONE, mask, -Complex::ONE);
+            }
+            Gate::Cx { control, target } => {
+                let (mc, mt) = (qubit_mask(control, self.n), qubit_mask(target, self.n));
+                self.permute(&[control, target], mc, mc | mt, mt);
+            }
+            Gate::Swap(a, b) => {
+                let (ma, mb) = (qubit_mask(a, self.n), qubit_mask(b, self.n));
+                self.permute(&[a, b], ma, ma | mb, ma | mb);
+            }
+            Gate::Ccx {
+                control_a,
+                control_b,
+                target,
+            } => {
+                let (ma, mb, mt) = (
+                    qubit_mask(control_a, self.n),
+                    qubit_mask(control_b, self.n),
+                    qubit_mask(target, self.n),
+                );
+                self.permute(&[control_a, control_b, target], ma | mb, ma | mb | mt, mt);
+            }
+            Gate::Cswap {
+                control,
+                swap_a,
+                swap_b,
+            } => {
+                let (mc, ma, mb) = (
+                    qubit_mask(control, self.n),
+                    qubit_mask(swap_a, self.n),
+                    qubit_mask(swap_b, self.n),
+                );
+                self.permute(&[control, swap_a, swap_b], mc | ma, mc | ma | mb, ma | mb);
+            }
+            // General single-qubit gates: fuse into the pending matrix.
+            _ => {
+                let q = g.qubits()[0];
+                let u = mat2_of(g);
+                self.pending[q] = Some(match self.pending[q] {
+                    Some(m) => mul2(&u, &m),
+                    None => u,
+                });
+            }
+        }
+    }
+
+    /// Merges a diagonal contribution into the phase kernel at the tail
+    /// of the op stream, opening a new kernel if the tail is anything
+    /// else (diagonal ops commute, so merging into the tail kernel is
+    /// always order-safe).
+    fn add_phase(&mut self, global: Complex, mask: usize, phase: Complex) {
+        if !matches!(self.ops.last(), Some(CompiledOp::Phase(_))) {
+            self.ops.push(CompiledOp::Phase(PhaseKernel {
+                global: Complex::ONE,
+                terms: Vec::new(),
+            }));
+        }
+        let Some(CompiledOp::Phase(k)) = self.ops.last_mut() else {
+            unreachable!("tail is a phase kernel by construction");
+        };
+        k.global *= global;
+        match k.terms.iter_mut().find(|(m, _)| *m == mask) {
+            Some(term) => term.1 *= phase,
+            None => k.terms.push((mask, phase)),
+        }
+    }
+
+    fn permute(&mut self, touched: &[usize], ones: usize, select: usize, flip: usize) {
+        self.flush(touched);
+        self.ops
+            .push(CompiledOp::PermuteSwap { ones, select, flip });
+    }
+
+    /// Emits the pending fused matrices of the listed qubits, in qubit
+    /// order, ahead of an op that touches them.
+    fn flush(&mut self, qubits: &[usize]) {
+        for &q in qubits {
+            if let Some(matrix) = self.pending[q].take() {
+                self.ops.push(CompiledOp::Unitary1 {
+                    stride: qubit_mask(q, self.n),
+                    matrix,
+                });
+            }
+        }
+    }
+
+    fn flush_all(&mut self) {
+        for q in 0..self.n {
+            if self.pending[q].is_some() {
+                self.flush(&[q]);
+            }
+        }
+    }
+
+    /// Prunes phase terms that cancelled to exactly 1 (e.g. `Cz·Cz`,
+    /// `S·Sdg`) and kernels left empty by the pruning. Multiplying by
+    /// exactly `1 + 0i` is a floating-point no-op, so pruning never
+    /// changes the compiled semantics.
+    fn finalize(&mut self) {
+        for op in &mut self.ops {
+            if let CompiledOp::Phase(k) = op {
+                k.terms.retain(|&(_, p)| p != Complex::ONE);
+            }
+        }
+        self.ops.retain(|op| {
+            !matches!(op, CompiledOp::Phase(k)
+                if k.global == Complex::ONE && k.terms.is_empty())
+        });
+    }
+}
+
+/// The `(⟨0|d|0⟩, ⟨1|d|1⟩)` phases of a diagonal single-qubit gate,
+/// `None` for everything else. Matches [`Gate::unitary`] entry-for-entry.
+fn diag_phases(g: &Gate) -> Option<(Complex, Complex)> {
+    match *g {
+        Gate::Z(_) => Some((Complex::ONE, -Complex::ONE)),
+        Gate::S(_) => Some((Complex::ONE, Complex::I)),
+        Gate::Sdg(_) => Some((Complex::ONE, -Complex::I)),
+        Gate::T(_) => Some((
+            Complex::ONE,
+            Complex::from_polar(1.0, std::f64::consts::FRAC_PI_4),
+        )),
+        Gate::Tdg(_) => Some((
+            Complex::ONE,
+            Complex::from_polar(1.0, -std::f64::consts::FRAC_PI_4),
+        )),
+        Gate::Rz(_, a) => Some((
+            Complex::from_polar(1.0, -a / 2.0),
+            Complex::from_polar(1.0, a / 2.0),
+        )),
+        _ => None,
+    }
+}
+
+/// The 2×2 matrix of a single-qubit gate, row-major.
+fn mat2_of(g: &Gate) -> Mat2 {
+    debug_assert_eq!(g.arity(), 1);
+    let u = g.unitary();
+    [u[(0, 0)], u[(0, 1)], u[(1, 0)], u[(1, 1)]]
+}
+
+/// Row-major 2×2 product `a · b`.
+fn mul2(a: &Mat2, b: &Mat2) -> Mat2 {
+    [
+        a[0] * b[0] + a[1] * b[2],
+        a[0] * b[1] + a[1] * b[3],
+        a[2] * b[0] + a[3] * b[2],
+        a[2] * b[1] + a[3] * b[3],
+    ]
+}
+
+// ---------------------------------------------------------------------
+// Kernel application.
+// ---------------------------------------------------------------------
+
+fn apply_unitary1(amps: &mut [Complex], stride: usize, m: &Mat2) {
+    let mut base = 0;
+    while base < amps.len() {
+        for i in base..base + stride {
+            let j = i + stride;
+            let (a0, a1) = (amps[i], amps[j]);
+            amps[i] = m[0] * a0 + m[1] * a1;
+            amps[j] = m[2] * a0 + m[3] * a1;
+        }
+        base += stride << 1;
+    }
+}
+
+fn apply_phase(amps: &mut [Complex], k: &PhaseKernel, widen: usize) {
+    if k.global == Complex::ONE && k.terms.len() == 1 {
+        // Single conditional term: touch only the selected amplitudes.
+        let (mask, p) = k.terms[0];
+        let mask = mask << widen;
+        for_each_masked(mask, mask, amps.len(), |i| amps[i] *= p);
+    } else {
+        for (i, a) in amps.iter_mut().enumerate() {
+            let mut ph = k.global;
+            for &(mask, p) in &k.terms {
+                if i & (mask << widen) == mask << widen {
+                    ph *= p;
+                }
+            }
+            *a *= ph;
+        }
+    }
+}
+
+impl StateVector {
+    /// Replays a compiled program through this state: fused kernels run
+    /// directly on the amplitude buffer; [`CompiledOp::Interp`] points
+    /// go through [`SimState::step`], consuming `rng` in exactly the
+    /// interpreted order.
+    ///
+    /// The state may be **wider** than the program, matching the
+    /// interpreted contract (qubit 0 is the *state's* most significant
+    /// bit): the compiled masks, which are relative to the program
+    /// width, are shifted up by the width difference at replay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program was compiled for more qubits than this
+    /// state has.
+    pub fn apply_compiled(
+        &mut self,
+        program: &CompiledCircuit,
+        cbits: &mut [bool],
+        rng: &mut impl Rng,
+    ) {
+        assert!(
+            program.num_qubits <= self.num_qubits(),
+            "program needs {} qubits but the state has {}",
+            program.num_qubits,
+            self.num_qubits()
+        );
+        let widen = self.num_qubits() - program.num_qubits;
+        for op in &program.ops {
+            match op {
+                CompiledOp::Unitary1 { stride, matrix } => {
+                    apply_unitary1(self.amps_mut(), stride << widen, matrix);
+                }
+                CompiledOp::Phase(k) => apply_phase(self.amps_mut(), k, widen),
+                CompiledOp::PermuteSwap { ones, select, flip } => {
+                    let amps = self.amps_mut();
+                    let flip = flip << widen;
+                    for_each_masked(ones << widen, select << widen, amps.len(), |i| {
+                        amps.swap(i, i ^ flip)
+                    });
+                }
+                CompiledOp::Interp(instr) => SimState::step(self, instr, cbits, rng),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{run_shot_into, sample_shots};
+    use crate::sim::SimState;
+    use circuit::circuit::Basis;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn run_compiled(circuit: &Circuit, seed: u64) -> (StateVector, Vec<bool>) {
+        let program = compile(circuit);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sv = StateVector::new(circuit.num_qubits());
+        let mut cbits = vec![false; circuit.num_cbits()];
+        sv.apply_compiled(&program, &mut cbits, &mut rng);
+        (sv, cbits)
+    }
+
+    fn run_interpreted(circuit: &Circuit, seed: u64) -> (StateVector, Vec<bool>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let initial = StateVector::new(circuit.num_qubits());
+        let mut sv = StateVector::new(0);
+        let mut cbits = Vec::new();
+        run_shot_into(circuit, &initial, &mut sv, &mut cbits, &mut rng);
+        (sv, cbits)
+    }
+
+    fn assert_states_close(a: &StateVector, b: &StateVector) {
+        let fid = a.fidelity(b);
+        assert!((fid - 1.0).abs() < 1e-10, "fidelity {fid}");
+    }
+
+    #[test]
+    fn single_qubit_runs_fuse_into_one_kernel() {
+        let mut c = Circuit::new(1, 0);
+        c.h(0).t(0).s(0).h(0).x(0);
+        let p = compile(&c);
+        assert_eq!(p.num_ops(), 1, "5 gates on one qubit fuse to one op");
+        assert_eq!(p.source_instructions(), 5);
+        let (fast, _) = run_compiled(&c, 1);
+        let (slow, _) = run_interpreted(&c, 1);
+        assert_states_close(&fast, &slow);
+    }
+
+    #[test]
+    fn diagonal_runs_merge_into_one_phase_kernel() {
+        let mut c = Circuit::new(3, 0);
+        c.z(0).s(1).t(2).cz(0, 1).cz(1, 2).rz(0, 0.4).tdg(1);
+        let p = compile(&c);
+        assert_eq!(
+            p.num_ops(),
+            1,
+            "the 7-gate diagonal run merges into one kernel"
+        );
+        assert!(matches!(p.ops()[0], CompiledOp::Phase(_)));
+        // Equivalence on a random superposition.
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut fast = StateVector::from_amplitudes(crate::qrand::random_pure_state(3, &mut rng));
+        let mut slow = fast.clone();
+        fast.apply_compiled(&p, &mut [], &mut StdRng::seed_from_u64(0));
+        for instr in c.instructions() {
+            if let Instruction::Gate(g) = instr {
+                slow.apply_gate(g);
+            }
+        }
+        assert_states_close(&fast, &slow);
+    }
+
+    #[test]
+    fn diagonals_fuse_into_a_pending_matrix_instead_of_a_kernel() {
+        // H opens a pending 2×2 on the qubit; the following diagonal
+        // run folds into it, so the whole sequence is one fused kernel.
+        let mut c = Circuit::new(1, 0);
+        c.h(0).z(0).t(0).rz(0, 0.7);
+        let p = compile(&c);
+        assert_eq!(p.num_ops(), 1);
+        assert!(matches!(p.ops()[0], CompiledOp::Unitary1 { .. }));
+        let (fast, _) = run_compiled(&c, 6);
+        let (slow, _) = run_interpreted(&c, 6);
+        assert_states_close(&fast, &slow);
+    }
+
+    #[test]
+    fn repeated_cz_cancels_out_of_the_program() {
+        let mut c = Circuit::new(2, 0);
+        c.h(0).h(1).cz(0, 1).cz(0, 1);
+        let p = compile(&c);
+        assert!(
+            p.ops().iter().all(|op| !matches!(op, CompiledOp::Phase(_))),
+            "Cz·Cz must prune to nothing"
+        );
+    }
+
+    #[test]
+    fn permutations_use_masks_and_match_interpretation() {
+        // Every controlled permutation on scattered qubits.
+        let mut c = Circuit::new(4, 0);
+        for q in 0..4 {
+            c.ry(q, 0.3 + q as f64);
+        }
+        c.cx(3, 0).swap(1, 3).ccx(0, 2, 3).cswap(2, 0, 1);
+        let (fast, _) = run_compiled(&c, 3);
+        let (slow, _) = run_interpreted(&c, 3);
+        assert_states_close(&fast, &slow);
+    }
+
+    #[test]
+    fn deferred_fusion_commutes_only_across_disjoint_qubits() {
+        // H(0) is deferred past gates on other qubits but must flush
+        // before Cx(0,1) and before the measurement of qubit 0.
+        let mut c = Circuit::new(2, 1);
+        c.h(0).x(1).cx(0, 1).h(1).measure(0, 0);
+        let (fast, fast_bits) = run_compiled(&c, 4);
+        let (slow, slow_bits) = run_interpreted(&c, 4);
+        assert_eq!(fast_bits, slow_bits);
+        assert_states_close(&fast, &slow);
+    }
+
+    #[test]
+    fn interpretation_points_preserve_rng_stream_order() {
+        // Measurement, reset, feedback, noise: the compiled program must
+        // draw randomness in exactly the interpreted order, so cbits and
+        // the post-shot RNG position agree.
+        let mut c = Circuit::new(3, 3);
+        c.h(0).cx(0, 1);
+        c.push(Instruction::Depolarizing {
+            qubits: vec![0, 1],
+            p: 0.3,
+        });
+        c.measure(0, 0);
+        c.cond_x(2, &[0]);
+        c.reset(1);
+        c.push(Instruction::Measure {
+            qubit: 2,
+            cbit: 2,
+            basis: Basis::X,
+            flip_prob: 0.2,
+        });
+        for seed in 0..50 {
+            let program = compile(&c);
+            let mut rng_c = StdRng::seed_from_u64(seed);
+            let mut sv_c = StateVector::new(3);
+            let mut cbits_c = vec![false; 3];
+            sv_c.apply_compiled(&program, &mut cbits_c, &mut rng_c);
+
+            let (sv_i, cbits_i) = run_interpreted(&c, seed);
+            let mut rng_i = StdRng::seed_from_u64(seed);
+            let mut sink = StateVector::new(0);
+            let mut sink_bits = Vec::new();
+            run_shot_into(
+                &c,
+                &StateVector::new(3),
+                &mut sink,
+                &mut sink_bits,
+                &mut rng_i,
+            );
+
+            assert_eq!(cbits_c, cbits_i, "seed {seed}: records diverged");
+            assert_states_close(&sv_c, &sv_i);
+            // Both paths consumed the same number of draws.
+            assert_eq!(rng_c.random::<u64>(), rng_i.random::<u64>());
+        }
+    }
+
+    #[test]
+    fn compiled_sampling_matches_interpreted_tallies() {
+        // The teleportation circuit end-to-end: per-seed tallies of the
+        // compiled program equal the interpreted reference.
+        let mut c = Circuit::new(3, 2);
+        c.ry(0, 0.9);
+        c.h(1).cx(1, 2).cx(0, 1).h(0);
+        c.measure(0, 0).measure(1, 1);
+        c.cond_x(2, &[1]).cond_z(2, &[0]);
+        let program = compile(&c);
+        let initial = StateVector::new(3);
+        let mut rng = StdRng::seed_from_u64(9);
+        let interpreted = sample_shots(&c, &initial, 400, &mut rng);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut counts = std::collections::HashMap::new();
+        let mut sv = StateVector::new(0);
+        let mut cbits = Vec::new();
+        for _ in 0..400 {
+            crate::runner::run_program_into(&program, &initial, &mut sv, &mut cbits, &mut rng);
+            *counts
+                .entry(crate::runner::pack_cbits(&cbits))
+                .or_insert(0usize) += 1;
+        }
+        assert_eq!(counts, interpreted);
+    }
+
+    #[test]
+    fn compiled_program_replays_on_a_wider_state() {
+        // The interpreted contract allows a state wider than the
+        // circuit (qubit 0 = the *state's* MSB); the compiled masks
+        // must shift up by the width difference to match.
+        let mut c = Circuit::new(2, 2);
+        c.h(0).t(0).cx(0, 1).cz(0, 1).swap(0, 1);
+        c.measure(0, 0).measure(1, 1);
+        let program = compile(&c);
+        for seed in 0..20 {
+            let initial = StateVector::new(4);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut fast = StateVector::new(0);
+            let mut fast_bits = Vec::new();
+            crate::runner::run_program_into(
+                &program,
+                &initial,
+                &mut fast,
+                &mut fast_bits,
+                &mut rng,
+            );
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut slow = StateVector::new(0);
+            let mut slow_bits = Vec::new();
+            run_shot_into(&c, &initial, &mut slow, &mut slow_bits, &mut rng);
+            assert_eq!(fast_bits, slow_bits, "seed {seed}");
+            assert_states_close(&fast, &slow);
+        }
+    }
+
+    #[test]
+    fn for_each_masked_enumerates_exactly_the_selected_indices() {
+        let mut seen = Vec::new();
+        // 4-bit space, pin bits {3,1} (values 1 at bit3, 0 at bit1).
+        for_each_masked(0b1000, 0b1010, 16, |i| seen.push(i));
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0b1000, 0b1001, 0b1100, 0b1101]);
+        // Degenerate: nothing pinned enumerates everything.
+        let mut all = Vec::new();
+        for_each_masked(0, 0, 4, |i| all.push(i));
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn compile_via_simstate_is_the_statevector_program() {
+        let mut c = Circuit::new(2, 1);
+        c.h(0).cx(0, 1).measure(1, 0);
+        let p = <StateVector as SimState>::compile(&c);
+        assert_eq!(p, compile(&c));
+        assert_eq!(crate::sim::SimProgram::num_qubits(&p), 2);
+        assert_eq!(crate::sim::SimProgram::num_cbits(&p), 1);
+    }
+}

@@ -436,6 +436,19 @@ impl SimState for DensityMatrix {
         }
         Ok(())
     }
+
+    /// No compiler: deferred evolution re-interprets the instruction
+    /// stream (and [`crate::density::run_deferred`] already evolves the
+    /// state once per circuit where that matters).
+    type Program = Circuit;
+
+    fn compile(circuit: &Circuit) -> Circuit {
+        circuit.clone()
+    }
+
+    fn run_program(&mut self, program: &Circuit, cbits: &mut [bool], rng: &mut impl Rng) {
+        crate::sim::run_interpreted(self, program, cbits, rng);
+    }
 }
 
 #[allow(clippy::needless_range_loop)] // index arithmetic over bit-packed registers

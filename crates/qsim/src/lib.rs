@@ -14,8 +14,12 @@
 //!   (implemented here by `StateVector` and `DensityMatrix`, and by the
 //!   `stabilizer` crate's `CliffordState`), with typed
 //!   [`sim::Unsupported`] capability probes instead of mid-shot panics;
+//! * [`compile`] — compile-once lowering of circuits into fused
+//!   statevector kernels (gate fusion, phase-mask merging, precomputed
+//!   permutation masks) replayed by every shot of a plan;
 //! * [`runner`] — shot sampling over circuits, generic over the
-//!   [`sim::SimState`] backend;
+//!   [`sim::SimState`] backend, interpreted ([`runner::run_shot_into`])
+//!   or compiled ([`runner::run_program_into`]);
 //! * [`qrand`] — random states, random density matrices, and the
 //!   eigen-ensembles used for trajectory simulation of mixed states.
 //!
@@ -31,6 +35,7 @@
 //! assert_eq!(out.cbits[0], out.cbits[1]); // Bell correlations
 //! ```
 
+pub mod compile;
 pub mod density;
 pub mod qrand;
 pub mod runner;
@@ -39,14 +44,16 @@ pub mod statevector;
 
 /// Convenient glob-import of the most used items.
 pub mod prelude {
+    pub use crate::compile::{compile, CompiledCircuit};
     pub use crate::density::{run_deferred, DensityMatrix};
     pub use crate::qrand::{
         random_density_matrix, random_density_matrix_of_rank, random_pauli_on, random_pure_state,
         PureEnsemble,
     };
     pub use crate::runner::{
-        pack_cbits, run_shot, run_shot_into, run_unitary, sample_shots, ShotOutcome,
+        pack_cbits, run_program_into, run_shot, run_shot_into, run_unitary, sample_shots,
+        ShotOutcome,
     };
-    pub use crate::sim::{SimState, Unsupported};
+    pub use crate::sim::{SimProgram, SimState, Unsupported};
     pub use crate::statevector::StateVector;
 }

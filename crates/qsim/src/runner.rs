@@ -25,7 +25,7 @@ use circuit::circuit::{Circuit, Instruction};
 use rand::Rng;
 use std::collections::HashMap;
 
-use crate::sim::SimState;
+use crate::sim::{SimProgram, SimState};
 use crate::statevector::StateVector;
 
 /// Result of playing a circuit once.
@@ -95,9 +95,41 @@ pub fn run_shot_into<S: SimState>(
     state.reset_from(initial);
     cbits.clear();
     cbits.resize(circuit.num_cbits(), false);
-    for instr in circuit.instructions() {
-        state.step(instr, cbits, rng);
-    }
+    crate::sim::run_interpreted(state, circuit, cbits, rng);
+    state.finish(cbits, rng);
+}
+
+/// Compiled counterpart of [`run_shot_into`]: plays one shot of a
+/// program lowered once by [`SimState::compile`], into caller-owned
+/// buffers. The hot path of the engine crate's plans and executor —
+/// enum dispatch, index arithmetic, and fusion analysis all happened at
+/// compile time, and the program is shared read-only across shots and
+/// workers.
+///
+/// Record-identical to [`run_shot_into`] on the source circuit for the
+/// same RNG stream: interpretation points inside the program consume
+/// randomness in exactly the interpreted order.
+///
+/// # Panics
+///
+/// Panics if the program needs more qubits than `initial` has.
+pub fn run_program_into<S: SimState>(
+    program: &S::Program,
+    initial: &S,
+    state: &mut S,
+    cbits: &mut Vec<bool>,
+    rng: &mut impl Rng,
+) {
+    assert!(
+        program.num_qubits() <= initial.num_qubits(),
+        "program needs {} qubits but the state has {}",
+        program.num_qubits(),
+        initial.num_qubits()
+    );
+    state.reset_from(initial);
+    cbits.clear();
+    cbits.resize(program.num_cbits(), false);
+    state.run_program(program, cbits, rng);
     state.finish(cbits, rng);
 }
 

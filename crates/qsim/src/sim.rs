@@ -37,10 +37,50 @@
 use circuit::circuit::{Circuit, Instruction};
 use rand::Rng;
 
+use crate::compile::CompiledCircuit;
 use crate::qrand::random_pauli_on;
 use crate::statevector::StateVector;
 
 pub use circuit::caps::Unsupported;
+
+/// A circuit lowered into a backend's executable form — the thing a
+/// shot loop replays. Compiled **once** per plan (see
+/// [`SimState::compile`]) and shared read-only across all shots and
+/// workers.
+///
+/// Two implementations exist: [`Circuit`] itself (the identity
+/// "program" of backends that re-interpret the instruction stream per
+/// shot) and [`CompiledCircuit`] (the statevector's fused kernels).
+pub trait SimProgram: std::fmt::Debug + Clone + Send + Sync {
+    /// Number of qubits the program needs.
+    fn num_qubits(&self) -> usize;
+    /// Size of the classical register the program writes.
+    fn num_cbits(&self) -> usize;
+}
+
+impl SimProgram for Circuit {
+    fn num_qubits(&self) -> usize {
+        Circuit::num_qubits(self)
+    }
+
+    fn num_cbits(&self) -> usize {
+        Circuit::num_cbits(self)
+    }
+}
+
+/// Replays a raw instruction stream through [`SimState::step`] — the
+/// [`SimState::run_program`] body of every backend whose program type is
+/// [`Circuit`] itself.
+pub fn run_interpreted<S: SimState>(
+    state: &mut S,
+    circuit: &Circuit,
+    cbits: &mut [bool],
+    rng: &mut impl Rng,
+) {
+    for instr in circuit.instructions() {
+        state.step(instr, cbits, rng);
+    }
+}
 
 /// A simulation state that can play circuit shots.
 ///
@@ -90,6 +130,23 @@ pub trait SimState: Clone + Send + Sync {
     /// Whether this backend can execute `circuit`, decided **before**
     /// any shot runs. `Err` carries the backend name and the reason.
     fn supports(circuit: &Circuit) -> Result<(), Unsupported>;
+
+    /// The lowered form replayed by [`SimState::run_program`]. Backends
+    /// without a compiler use [`Circuit`] itself; the statevector lowers
+    /// to fused kernels ([`CompiledCircuit`]).
+    type Program: SimProgram;
+
+    /// Lowers `circuit` once per plan; the shot loop replays the result
+    /// via [`SimState::run_program`] instead of re-interpreting the
+    /// instruction stream every shot.
+    fn compile(circuit: &Circuit) -> Self::Program;
+
+    /// Plays every instruction of `program` — the compiled counterpart
+    /// of stepping each instruction of the source circuit. Must consume
+    /// `rng` in exactly the interpreted order so compiled and
+    /// interpreted shots are record-identical per seed; does **not**
+    /// call [`SimState::finish`] (the loop entry points do).
+    fn run_program(&mut self, program: &Self::Program, cbits: &mut [bool], rng: &mut impl Rng);
 }
 
 impl SimState for StateVector {
@@ -148,6 +205,16 @@ impl SimState for StateVector {
             ));
         }
         Ok(())
+    }
+
+    type Program = CompiledCircuit;
+
+    fn compile(circuit: &Circuit) -> CompiledCircuit {
+        crate::compile::compile(circuit)
+    }
+
+    fn run_program(&mut self, program: &CompiledCircuit, cbits: &mut [bool], rng: &mut impl Rng) {
+        self.apply_compiled(program, cbits, rng);
     }
 }
 

@@ -138,6 +138,12 @@ impl StateVector {
         &self.amps
     }
 
+    /// Mutable amplitude buffer for the compiled kernels of
+    /// [`crate::compile`].
+    pub(crate) fn amps_mut(&mut self) -> &mut [Complex] {
+        &mut self.amps
+    }
+
     /// Squared norm (should be 1 up to round-off).
     pub fn norm_sqr(&self) -> f64 {
         self.amps.iter().map(|a| a.norm_sqr()).sum()
@@ -219,12 +225,12 @@ impl StateVector {
                 });
             }
             Gate::Cz(a, b) => {
+                // Touch only the 2^(n-2) amplitudes with both bits set
+                // instead of scanning (and bit-testing) all 2^n.
                 let n = self.num_qubits;
-                for (i, amp) in self.amps.iter_mut().enumerate() {
-                    if bit(i, a, n) == 1 && bit(i, b, n) == 1 {
-                        *amp = -*amp;
-                    }
-                }
+                let mask = crate::compile::qubit_mask(a, n) | crate::compile::qubit_mask(b, n);
+                let amps = &mut self.amps;
+                crate::compile::for_each_masked(mask, mask, amps.len(), |i| amps[i] = -amps[i]);
             }
             Gate::Swap(a, b) => {
                 self.permute_indices(|i, n| {
@@ -272,7 +278,6 @@ impl StateVector {
     /// # Panics
     ///
     /// Panics on dimension mismatch or repeated qubits.
-    #[allow(clippy::needless_range_loop)] // index arithmetic over bit-packed registers
     pub fn apply_unitary(&mut self, u: &Matrix, qubits: &[usize]) {
         let k = qubits.len();
         assert_eq!(u.rows(), 1 << k, "unitary dimension mismatch");
@@ -286,40 +291,36 @@ impl StateVector {
         }
         let dim_sub = 1usize << k;
         let mut scratch = vec![Complex::ZERO; dim_sub];
-        // Iterate over all assignments of the other qubits.
-        let rest: Vec<usize> = (0..n).filter(|q| !qubits.contains(q)).collect();
-        let rest_count = 1usize << rest.len();
-        for r in 0..rest_count {
-            // Base index with the "rest" qubits set per r, target qubits 0.
-            let mut base = 0usize;
-            for (bi, &q) in rest.iter().enumerate() {
-                if (r >> (rest.len() - 1 - bi)) & 1 == 1 {
-                    base |= 1 << (n - 1 - q);
+        // Precompute the sub-index → global-offset table once
+        // (`qubits[0]` is the MSB of `u`'s basis ordering), so the
+        // gather/scatter loops are a single OR per element instead of
+        // per-qubit shift arithmetic.
+        let select = qubits
+            .iter()
+            .fold(0usize, |m, &q| m | crate::compile::qubit_mask(q, n));
+        let mut sub_mask = vec![0usize; dim_sub];
+        for (bi, &q) in qubits.iter().enumerate() {
+            let m = crate::compile::qubit_mask(q, n);
+            let sub_bit = 1usize << (k - 1 - bi);
+            for (s, offset) in sub_mask.iter_mut().enumerate() {
+                if s & sub_bit != 0 {
+                    *offset |= m;
                 }
-            }
-            // Gather.
-            for s in 0..dim_sub {
-                let mut idx = base;
-                for (bi, &q) in qubits.iter().enumerate() {
-                    if (s >> (k - 1 - bi)) & 1 == 1 {
-                        idx |= 1 << (n - 1 - q);
-                    }
-                }
-                scratch[s] = self.amps[idx];
-            }
-            // Multiply.
-            let transformed = u.mul_vec(&scratch);
-            // Scatter.
-            for (s, &val) in transformed.iter().enumerate() {
-                let mut idx = base;
-                for (bi, &q) in qubits.iter().enumerate() {
-                    if (s >> (k - 1 - bi)) & 1 == 1 {
-                        idx |= 1 << (n - 1 - q);
-                    }
-                }
-                self.amps[idx] = val;
             }
         }
+        // The base indices — every assignment of the non-target qubits,
+        // target bits clear — are exactly the indices with no `select`
+        // bit set.
+        let amps = &mut self.amps;
+        crate::compile::for_each_masked(0, select, amps.len(), |base| {
+            for (s, slot) in scratch.iter_mut().enumerate() {
+                *slot = amps[base | sub_mask[s]];
+            }
+            let transformed = u.mul_vec(&scratch);
+            for (s, &val) in transformed.iter().enumerate() {
+                amps[base | sub_mask[s]] = val;
+            }
+        });
     }
 
     fn map_pairs(&mut self, q: usize, f: impl Fn(Complex, Complex) -> (Complex, Complex)) {
@@ -353,13 +354,15 @@ impl StateVector {
 
     /// Probability that measuring qubit `q` in the Z basis yields 1.
     pub fn probability_of_one(&self, q: usize) -> f64 {
-        let n = self.num_qubits;
-        self.amps
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| bit(*i, q, n) == 1)
-            .map(|(_, a)| a.norm_sqr())
-            .sum()
+        // Sum only the 2^(n-1) one-bit amplitudes, in ascending index
+        // order (the same accumulation order as a full filtered scan,
+        // so the result is bit-identical to it).
+        let mask = crate::compile::qubit_mask(q, self.num_qubits);
+        let mut p = 0.0;
+        crate::compile::for_each_masked(mask, mask, self.amps.len(), |i| {
+            p += self.amps[i].norm_sqr();
+        });
+        p
     }
 
     /// Projects qubit `q` onto `outcome` (Z basis) and renormalizes.
@@ -368,21 +371,27 @@ impl StateVector {
     ///
     /// Panics if the outcome has (near-)zero probability.
     pub fn collapse(&mut self, q: usize, outcome: bool) {
-        let n = self.num_qubits;
         let p = if outcome {
             self.probability_of_one(q)
         } else {
             1.0 - self.probability_of_one(q)
         };
+        self.collapse_known(q, outcome, p);
+    }
+
+    /// [`StateVector::collapse`] with the outcome probability already in
+    /// hand, so measurement does not rescan the amplitudes for a number
+    /// it just computed.
+    fn collapse_known(&mut self, q: usize, outcome: bool, p: f64) {
         assert!(p > 1e-15, "collapse onto a zero-probability outcome");
         let scale = 1.0 / p.sqrt();
-        for (i, a) in self.amps.iter_mut().enumerate() {
-            if bit(i, q, n) == usize::from(outcome) {
-                *a = a.scale(scale);
-            } else {
-                *a = Complex::ZERO;
-            }
-        }
+        // Scale the kept half and zero the discarded half in two
+        // branch-free strided passes.
+        let mask = crate::compile::qubit_mask(q, self.num_qubits);
+        let (keep, drop) = if outcome { (mask, 0) } else { (0, mask) };
+        let amps = &mut self.amps;
+        crate::compile::for_each_masked(keep, mask, amps.len(), |i| amps[i] = amps[i].scale(scale));
+        crate::compile::for_each_masked(drop, mask, amps.len(), |i| amps[i] = Complex::ZERO);
     }
 
     /// Measures qubit `q` in `basis`, sampling the outcome with `rng` and
@@ -391,7 +400,7 @@ impl StateVector {
         self.rotate_basis_in(q, basis);
         let p1 = self.probability_of_one(q);
         let outcome = rng.random::<f64>() < p1;
-        self.collapse(q, outcome);
+        self.collapse_known(q, outcome, if outcome { p1 } else { 1.0 - p1 });
         self.rotate_basis_out(q, basis);
         outcome
     }

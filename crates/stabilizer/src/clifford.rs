@@ -79,7 +79,10 @@ impl SimState for CliffordState {
         let unsupported =
             |e: Unsupported| -> ! { panic!("{e} (probe CliffordState::supports first)") };
         match instr {
-            Instruction::Gate(g) => self.tableau.apply_gate(g).unwrap_or_else(|e| unsupported(e)),
+            Instruction::Gate(g) => self
+                .tableau
+                .apply_gate(g)
+                .unwrap_or_else(|e| unsupported(e)),
             Instruction::Measure {
                 qubit,
                 cbit,
@@ -131,6 +134,18 @@ impl SimState for CliffordState {
                 "circuit contains non-Clifford gates (T/rotations/Toffoli/CSWAP)",
             ))
         }
+    }
+
+    /// No compiler: tableau updates are already `O(n²)` per gate, so
+    /// the stabilizer path re-interprets the instruction stream.
+    type Program = Circuit;
+
+    fn compile(circuit: &Circuit) -> Circuit {
+        circuit.clone()
+    }
+
+    fn run_program(&mut self, program: &Circuit, cbits: &mut [bool], rng: &mut impl Rng) {
+        qsim::sim::run_interpreted(self, program, cbits, rng);
     }
 }
 

@@ -243,7 +243,10 @@ impl Tableau {
         if let Some(p) = (n..2 * n).find(|&row| self.x[row][q]) {
             let outcome: bool = draw();
             for row in 0..2 * n {
-                if row != p && self.x[row][q] {
+                // Skip the pivot and its conjugate destabilizer p − n:
+                // the latter anticommutes with p (rowsum would build an
+                // anti-Hermitian row) and is overwritten below anyway.
+                if row != p && row != p - n && self.x[row][q] {
                     self.rowsum(row, p);
                 }
             }

@@ -52,8 +52,12 @@ fn main() {
     //    tallies for one root seed, because the stabilizer backend
     //    consumes the shot streams in the statevector's pattern.
     let small = ghz(8);
-    let stab = Backend::Stabilizer.sample_shots(&small, shots, &exec).unwrap();
-    let sv = Backend::StateVector.sample_shots(&small, shots, &exec).unwrap();
+    let stab = Backend::Stabilizer
+        .sample_shots(&small, shots, &exec)
+        .unwrap();
+    let sv = Backend::StateVector
+        .sample_shots(&small, shots, &exec)
+        .unwrap();
     assert_eq!(stab, sv);
     println!("GHZ-8: stabilizer and statevector tallies are identical for one seed");
 
@@ -77,7 +81,9 @@ fn main() {
     teleport.measure(0, 0).measure(1, 1);
     teleport.cond_x(2, &[1]).cond_z(2, &[0]);
     teleport.measure(2, 2);
-    let exact = Backend::Density.sample_shots(&teleport, shots, &exec).unwrap();
+    let exact = Backend::Density
+        .sample_shots(&teleport, shots, &exec)
+        .unwrap();
     let teleported_one = exact
         .iter()
         .filter(|(&k, _)| k & 0b100 != 0)

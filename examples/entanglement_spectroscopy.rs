@@ -12,7 +12,6 @@ use mathkit::matrix::TraceKeep;
 use qsim::statevector::StateVector;
 
 fn main() {
-
     // A partially entangled two-qubit pure state; its one-qubit reduction
     // has eigenvalues (cos²θ, sin²θ).
     let theta = 0.6f64;

@@ -20,7 +20,8 @@ fn main() {
 
         // Distributed estimate: an order-party COMPAS protocol.
         let protocol = CompasProtocol::new(order, 1, CswapScheme::Teledata);
-        let est = estimate_renyi_entropy(&protocol, &rho, 1500, &Executor::sequential(order as u64));
+        let est =
+            estimate_renyi_entropy(&protocol, &rho, 1500, &Executor::sequential(order as u64));
         println!(
             "  {order}   |   {exact:.4}    |    {:.4}     | compas teledata (k={order})",
             est.entropy

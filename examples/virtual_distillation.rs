@@ -9,7 +9,6 @@ use engine::Executor;
 use stabilizer::pauli::Pauli;
 
 fn main() {
-
     // ---- Virtual cooling on a transverse-field Ising chain ----
     let chain = IsingChain::new(2, 1.0, 0.6);
     let h_obs = chain.observable();

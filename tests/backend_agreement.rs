@@ -154,9 +154,9 @@ fn density_expectations_match_shot_averaged_statevector() {
     c.measure(0, 0);
     c.cond_x(1, &[0]);
     c.measure(1, 0); // reuse c0: final record is qubit 1's outcome
-    // (qubit 1 was never measured before, so this stays records-safe
-    // for the statevector; the density path computes the expectation
-    // exactly instead of sampling.)
+                     // (qubit 1 was never measured before, so this stays records-safe
+                     // for the statevector; the density path computes the expectation
+                     // exactly instead of sampling.)
     let rho = run_deferred(
         &{
             let mut exact = Circuit::new(2, 1);
@@ -201,5 +201,7 @@ fn backend_errors_are_typed_and_early() {
     let sampled = Backend::Stabilizer.sample_shots(&c, 100, &Executor::sequential(1));
     assert_eq!(sampled.unwrap_err(), err);
     // Auto routes the same circuit to the statevector instead.
-    assert!(Backend::Auto.sample_shots(&c, 100, &Executor::sequential(1)).is_ok());
+    assert!(Backend::Auto
+        .sample_shots(&c, 100, &Executor::sequential(1))
+        .is_ok());
 }

@@ -66,11 +66,8 @@ fn engine_agrees_with_sample_shots_statistics() {
     assert_eq!(parallel.values().sum::<usize>(), shots);
 
     // Same outcome distribution within 5σ binomial error per record.
-    let keys: std::collections::HashSet<usize> = sequential
-        .keys()
-        .chain(parallel.keys())
-        .copied()
-        .collect();
+    let keys: std::collections::HashSet<usize> =
+        sequential.keys().chain(parallel.keys()).copied().collect();
     for key in keys {
         let p_seq = *sequential.get(&key).unwrap_or(&0) as f64 / shots as f64;
         let p_par = *parallel.get(&key).unwrap_or(&0) as f64 / shots as f64;
@@ -138,8 +135,7 @@ fn generic_plan_and_backend_router_agree_on_the_stabilizer_path() {
 
     let plan = ShotPlan::new(circuit.clone(), CliffordState::new(3), shots as u64, root);
     let via_plan = Engine::with_threads(4).run_plan(&plan);
-    let via_exec =
-        Executor::sequential(root).sample_shots(&circuit, &CliffordState::new(3), shots);
+    let via_exec = Executor::sequential(root).sample_shots(&circuit, &CliffordState::new(3), shots);
     let via_backend = Backend::Auto
         .sample_shots(&circuit, shots, &Executor::sequential(root))
         .unwrap();
