@@ -1,0 +1,227 @@
+//! Serving-layer micro-benchmark: requests/sec through a live
+//! `service` instance (in-process, loopback TCP), cold vs warm.
+//!
+//! The workload is a batch of *distinct* jobs (same noisy GHZ circuit,
+//! different root seeds — so every cold request really executes) sent
+//! twice over one connection:
+//!
+//! * **cold** — every request misses the cache and runs shots through
+//!   the scheduler's sliced worker pool;
+//! * **warm** — the identical batch again: every request must be a
+//!   content-addressed cache hit with tallies byte-identical to its
+//!   cold twin.
+//!
+//! Asserts, and re-checks from the emitted JSON in CI's perf guard:
+//!
+//! * warm requests/sec **strictly faster** than cold (a cache hit must
+//!   beat a simulation),
+//! * warm-pass cache hit rate is exactly 1.0 (reported as the
+//!   `cache_hit_rate` extra field),
+//! * cold/warm tallies identical per request, all shots accounted.
+//!
+//! Results: `results/bench/service_scaling.json`
+//! (`BenchReport` schema + `cache_hit_rate`).
+//!
+//! Run with: `cargo run --release --bin service_scaling [--quick]`
+
+use analysis::table_io::ResultTable;
+use bench::{BenchReport, Scale};
+use circuit::circuit::Circuit;
+use circuit::noise::NoiseModel;
+use circuit::qasm::to_qasm3;
+use service::{Request, Response, RunRequest, Service, ServiceConfig, ServiceHandle};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Instant;
+
+/// The served workload: an `r`-qubit GHZ chain under standard
+/// depolarizing noise, all qubits measured (the `backend_scaling`
+/// shape, shipped as QASM).
+fn ghz_workload(r: usize, p: f64) -> Circuit {
+    let mut prep = Circuit::new(r, r);
+    prep.h(0);
+    for q in 1..r {
+        prep.cx(q - 1, q);
+    }
+    let mut noisy = NoiseModel::standard(p).apply(&prep);
+    for q in 0..r {
+        noisy.measure(q, q);
+    }
+    noisy
+}
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(handle: &ServiceHandle) -> Client {
+        let stream = TcpStream::connect(handle.addr()).expect("connect to in-process service");
+        Client {
+            reader: BufReader::new(stream.try_clone().expect("clone")),
+            writer: stream,
+        }
+    }
+
+    fn round_trip(&mut self, request: &Request) -> Response {
+        self.writer
+            .write_all(request.to_line().as_bytes())
+            .expect("send");
+        self.writer.flush().expect("flush");
+        let mut line = String::new();
+        assert!(self.reader.read_line(&mut line).expect("recv") > 0);
+        Response::from_line(&line).unwrap_or_else(|e| panic!("{e}: {line}"))
+    }
+}
+
+/// Sends the whole batch, asserting every response is `ok`, and
+/// returns (wall seconds, per-request tallies as response lines).
+fn run_pass(
+    client: &mut Client,
+    qasm: &str,
+    shots: u64,
+    seeds: std::ops::Range<u64>,
+    expect_cached: bool,
+) -> (f64, Vec<String>) {
+    let t0 = Instant::now();
+    let mut lines = Vec::new();
+    for seed in seeds {
+        let response = client.round_trip(&Request::run(
+            None,
+            RunRequest {
+                qasm: qasm.to_string(),
+                shots,
+                root_seed: seed,
+                backend: "auto".to_string(),
+            },
+        ));
+        match &response {
+            Response::Ok {
+                cached, tallies, ..
+            } => {
+                assert_eq!(
+                    *cached, expect_cached,
+                    "seed {seed}: expected cached={expect_cached}"
+                );
+                assert_eq!(
+                    tallies.values().sum::<usize>(),
+                    shots as usize,
+                    "seed {seed}: shots unaccounted"
+                );
+            }
+            other => panic!("seed {seed}: unexpected response {other:?}"),
+        }
+        lines.push(response.to_line());
+    }
+    (t0.elapsed().as_secs_f64(), lines)
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let requests = scale.pick(100u64, 25u64);
+    let shots = scale.pick(20_000u64, 2_000u64);
+    let (r, p) = (12usize, 0.002);
+    let workers = 2usize;
+    let qasm = to_qasm3(&ghz_workload(r, p));
+
+    let handle = Service::spawn(ServiceConfig {
+        workers,
+        cache_capacity: requests as usize + 8,
+        slice_shots: 4096,
+        ..ServiceConfig::default()
+    })
+    .expect("spawn service");
+    let mut client = Client::connect(&handle);
+
+    let (cold_secs, cold_lines) = run_pass(&mut client, &qasm, shots, 0..requests, false);
+    let hits_before_warm = handle.stats().cache_hits;
+    let (warm_secs, warm_lines) = run_pass(&mut client, &qasm, shots, 0..requests, true);
+    let stats = handle.stats();
+
+    // Warm responses must be byte-identical to their cold twins
+    // (modulo the `cached` flag, which is part of the line — so
+    // compare the tallies objects instead).
+    for (seed, (cold, warm)) in cold_lines.iter().zip(&warm_lines).enumerate() {
+        let tail = |line: &str| {
+            line.split_once("\"tallies\"")
+                .map(|(_, t)| t.to_string())
+                .expect("tallies field present")
+        };
+        assert_eq!(
+            tail(cold),
+            tail(warm),
+            "seed {seed}: warm tallies diverged from cold"
+        );
+    }
+    let warm_hits = stats.cache_hits - hits_before_warm;
+    let hit_rate = warm_hits as f64 / requests as f64;
+    assert_eq!(hit_rate, 1.0, "warm pass must be all cache hits: {stats:?}");
+    assert_eq!(
+        stats.cache_misses, requests,
+        "each cold request executes once"
+    );
+
+    let cold_rate = requests as f64 / cold_secs;
+    let warm_rate = requests as f64 / warm_secs;
+    let mut table = ResultTable::new(
+        "Serving throughput, cold vs warm cache (ghz-12, auto backend)",
+        &["pass", "requests", "shots_per_req", "secs", "req_per_sec"],
+    );
+    table.push_row(vec![
+        "cold".into(),
+        requests.to_string(),
+        shots.to_string(),
+        format!("{cold_secs:.3}"),
+        format!("{cold_rate:.0}"),
+    ]);
+    table.push_row(vec![
+        "warm".into(),
+        requests.to_string(),
+        shots.to_string(),
+        format!("{warm_secs:.3}"),
+        format!("{warm_rate:.0}"),
+    ]);
+    bench::emit(&table);
+
+    let mut report = BenchReport::new(
+        "service_scaling",
+        format!("ghz-{r} depolarizing p={p}, {shots} shots/request over loopback TCP"),
+        scale == Scale::Quick,
+    );
+    // `shots` carries the request count for serving suites: the rate
+    // column is requests/sec.
+    report.push_timing_extra(
+        "service-cold",
+        "auto",
+        "service",
+        workers,
+        requests as usize,
+        cold_secs,
+        vec![("sim_shots_per_request".to_string(), shots as f64)],
+    );
+    report.push_timing_extra(
+        "service-warm",
+        "auto",
+        "service",
+        workers,
+        requests as usize,
+        warm_secs,
+        vec![
+            ("cache_hit_rate".to_string(), hit_rate),
+            ("sim_shots_per_request".to_string(), shots as f64),
+        ],
+    );
+    bench::emit_report(&report);
+    handle.shutdown();
+
+    println!(
+        "warm-cache path: {:.1}x the cold request rate ({warm_rate:.0}/s vs {cold_rate:.0}/s)",
+        warm_rate / cold_rate
+    );
+    assert!(
+        warm_rate > cold_rate,
+        "perf regression: warm-cache serving ({warm_rate:.0} req/s) is not strictly \
+         faster than cold ({cold_rate:.0} req/s)"
+    );
+}

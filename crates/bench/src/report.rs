@@ -7,9 +7,11 @@
 //! workflow step validates it and uploads it as an artifact, so the
 //! repository accumulates a perf trajectory instead of log lines.
 //!
-//! The schema is hand-rolled (the workspace is offline — no serde) and
-//! documented in the README's "Circuit compilation & perf tracking"
-//! section:
+//! Serialization is built on the shared [`jsonlite`] crate (the
+//! workspace is offline — no serde); [`BenchReport::from_json`] parses
+//! a report back, so the schema is round-trip-tested in Rust, not just
+//! validated by the CI Python guard. The schema is documented in the
+//! README's "Circuit compilation & perf tracking" section:
 //!
 //! ```json
 //! {
@@ -29,8 +31,13 @@
 //!   ]
 //! }
 //! ```
+//!
+//! Entries may carry suite-specific **extra numeric fields** (e.g.
+//! `service_scaling`'s `cache_hit_rate`), serialized as additional
+//! keys after the fixed schema ones.
 
 use analysis::table_io::default_results_dir;
+use jsonlite::Json;
 use std::fs;
 use std::io::Write as _;
 use std::path::PathBuf;
@@ -45,17 +52,32 @@ pub struct BenchEntry {
     /// for suites that time a non-`Backend` sampler, a workload-specific
     /// tag (e.g. `engine_scaling`'s `"pauli-frame"`).
     pub backend: String,
-    /// Execution mode (`"sequential"` / `"pooled"`).
+    /// Execution mode (`"sequential"` / `"pooled"` / `"service"`).
     pub mode: String,
     /// Worker threads the entry ran with.
     pub threads: usize,
-    /// Shots executed.
+    /// Shots executed (for serving suites: requests issued).
     pub shots: usize,
     /// Wall time in seconds.
     pub secs: f64,
     /// Throughput, `shots / secs`.
     pub shots_per_sec: f64,
+    /// Suite-specific extra numeric fields, serialized as additional
+    /// JSON keys in order (e.g. `("cache_hit_rate", 1.0)`).
+    pub extra: Vec<(String, f64)>,
 }
+
+/// The fixed entry keys, in schema order. Anything else in a parsed
+/// entry is collected into [`BenchEntry::extra`].
+const ENTRY_KEYS: [&str; 7] = [
+    "label",
+    "backend",
+    "mode",
+    "threads",
+    "shots",
+    "secs",
+    "shots_per_sec",
+];
 
 /// A suite of timed entries, serialized to `results/bench/<suite>.json`.
 #[derive(Debug, Clone, PartialEq)]
@@ -102,7 +124,26 @@ impl BenchReport {
             shots,
             secs,
             shots_per_sec: shots as f64 / secs,
+            extra: Vec::new(),
         })
+    }
+
+    /// Like [`BenchReport::push_timing`], with suite-specific extra
+    /// numeric fields appended to the entry's JSON object.
+    #[allow(clippy::too_many_arguments)]
+    pub fn push_timing_extra(
+        &mut self,
+        label: &str,
+        backend: &str,
+        mode: &str,
+        threads: usize,
+        shots: usize,
+        secs: f64,
+        extra: Vec<(String, f64)>,
+    ) -> &mut Self {
+        self.push_timing(label, backend, mode, threads, shots, secs);
+        self.entries.last_mut().expect("just pushed").extra = extra;
+        self
     }
 
     /// The entries pushed so far.
@@ -110,33 +151,110 @@ impl BenchReport {
         &self.entries
     }
 
-    /// Renders the report as a JSON document.
+    /// The report as a [`Json`] value (schema order preserved).
+    pub fn to_json_value(&self) -> Json {
+        let entries = self
+            .entries
+            .iter()
+            .map(|e| {
+                let mut members = vec![
+                    ("label".to_string(), Json::str(&e.label)),
+                    ("backend".to_string(), Json::str(&e.backend)),
+                    ("mode".to_string(), Json::str(&e.mode)),
+                    ("threads".to_string(), Json::from_usize(e.threads)),
+                    ("shots".to_string(), Json::from_usize(e.shots)),
+                    ("secs".to_string(), Json::num(e.secs)),
+                    ("shots_per_sec".to_string(), Json::num(e.shots_per_sec)),
+                ];
+                for (k, v) in &e.extra {
+                    members.push((k.clone(), Json::num(*v)));
+                }
+                Json::Obj(members)
+            })
+            .collect();
+        Json::obj(vec![
+            ("suite", Json::str(&self.suite)),
+            ("workload", Json::str(&self.workload)),
+            ("quick", Json::Bool(self.quick)),
+            ("entries", Json::Arr(entries)),
+        ])
+    }
+
+    /// Renders the report as a pretty-printed JSON document.
     pub fn to_json(&self) -> String {
-        let mut out = String::from("{\n");
-        out.push_str(&format!("  \"suite\": {},\n", json_str(&self.suite)));
-        out.push_str(&format!("  \"workload\": {},\n", json_str(&self.workload)));
-        out.push_str(&format!("  \"quick\": {},\n", self.quick));
-        out.push_str("  \"entries\": [\n");
-        for (i, e) in self.entries.iter().enumerate() {
-            out.push_str("    {\n");
-            out.push_str(&format!("      \"label\": {},\n", json_str(&e.label)));
-            out.push_str(&format!("      \"backend\": {},\n", json_str(&e.backend)));
-            out.push_str(&format!("      \"mode\": {},\n", json_str(&e.mode)));
-            out.push_str(&format!("      \"threads\": {},\n", e.threads));
-            out.push_str(&format!("      \"shots\": {},\n", e.shots));
-            out.push_str(&format!("      \"secs\": {},\n", json_f64(e.secs)));
-            out.push_str(&format!(
-                "      \"shots_per_sec\": {}\n",
-                json_f64(e.shots_per_sec)
-            ));
-            out.push_str(if i + 1 == self.entries.len() {
-                "    }\n"
-            } else {
-                "    },\n"
+        self.to_json_value().to_pretty()
+    }
+
+    /// Parses a JSON document produced by [`BenchReport::to_json`] back
+    /// into a report. Unknown numeric entry keys become
+    /// [`BenchEntry::extra`] fields.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed or missing field.
+    pub fn from_json(src: &str) -> Result<BenchReport, String> {
+        let doc = Json::parse(src).map_err(|e| e.to_string())?;
+        let field = |key: &str| doc.get(key).ok_or_else(|| format!("missing \"{key}\""));
+        let mut report = BenchReport::new(
+            field("suite")?
+                .as_str()
+                .ok_or("\"suite\" must be a string")?,
+            field("workload")?
+                .as_str()
+                .ok_or("\"workload\" must be a string")?,
+            field("quick")?
+                .as_bool()
+                .ok_or("\"quick\" must be a boolean")?,
+        );
+        let entries = field("entries")?
+            .as_arr()
+            .ok_or("\"entries\" must be an array")?;
+        for (i, entry) in entries.iter().enumerate() {
+            let members = entry
+                .as_obj()
+                .ok_or_else(|| format!("entry {i} is not an object"))?;
+            let get = |key: &str| {
+                entry
+                    .get(key)
+                    .ok_or_else(|| format!("entry {i}: missing \"{key}\""))
+            };
+            let get_str = |key: &str| {
+                get(key)?
+                    .as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("entry {i}: \"{key}\" must be a string"))
+            };
+            let get_num = |key: &str| {
+                get(key)?
+                    .as_f64()
+                    .ok_or_else(|| format!("entry {i}: \"{key}\" must be a number"))
+            };
+            let get_count = |key: &str| {
+                get(key)?
+                    .as_u64()
+                    .ok_or_else(|| format!("entry {i}: \"{key}\" must be a non-negative integer"))
+            };
+            let extra = members
+                .iter()
+                .filter(|(k, _)| !ENTRY_KEYS.contains(&k.as_str()))
+                .map(|(k, v)| {
+                    v.as_f64()
+                        .map(|n| (k.clone(), n))
+                        .ok_or_else(|| format!("entry {i}: extra field \"{k}\" must be a number"))
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            report.push(BenchEntry {
+                label: get_str("label")?,
+                backend: get_str("backend")?,
+                mode: get_str("mode")?,
+                threads: get_count("threads")? as usize,
+                shots: get_count("shots")? as usize,
+                secs: get_num("secs")?,
+                shots_per_sec: get_num("shots_per_sec")?,
+                extra,
             });
         }
-        out.push_str("  ]\n}\n");
-        out
+        Ok(report)
     }
 
     /// Writes the JSON under `results/bench/`, returning the path.
@@ -151,35 +269,6 @@ impl BenchReport {
         let mut f = fs::File::create(&path)?;
         f.write_all(self.to_json().as_bytes())?;
         Ok(path)
-    }
-}
-
-/// JSON string literal with the mandatory escapes.
-fn json_str(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
-
-/// JSON number from an `f64` (non-finite values become `0` — JSON has
-/// no NaN/Infinity, and a zeroed rate fails any ≥-guard loudly).
-fn json_f64(v: f64) -> String {
-    if v.is_finite() {
-        format!("{v}")
-    } else {
-        "0".to_string()
     }
 }
 
@@ -217,20 +306,42 @@ mod tests {
     }
 
     #[test]
-    fn json_is_structurally_balanced() {
-        // Cheap well-formedness probe without a parser: balanced braces
-        // and brackets, no trailing comma before a closer.
-        let j = sample().to_json();
-        assert_eq!(j.matches('{').count(), j.matches('}').count());
-        assert_eq!(j.matches('[').count(), j.matches(']').count());
-        assert!(!j.contains(",\n  ]"));
-        assert!(!j.contains(",\n    }"));
+    fn json_parses_back_identically() {
+        let report = sample();
+        let parsed = BenchReport::from_json(&report.to_json()).expect("round trip");
+        assert_eq!(parsed, report);
     }
 
     #[test]
-    fn non_finite_rates_serialize_as_zero() {
-        assert_eq!(json_f64(f64::NAN), "0");
-        assert_eq!(json_f64(f64::INFINITY), "0");
-        assert_eq!(json_f64(2.5), "2.5");
+    fn extra_fields_serialize_and_parse() {
+        let mut r = BenchReport::new("svc", "bell", false);
+        r.push_timing_extra(
+            "warm",
+            "auto",
+            "service",
+            2,
+            50,
+            0.1,
+            vec![("cache_hit_rate".to_string(), 1.0)],
+        );
+        let j = r.to_json();
+        assert!(j.contains("\"cache_hit_rate\": 1"));
+        let parsed = BenchReport::from_json(&j).unwrap();
+        assert_eq!(parsed, r);
+        assert_eq!(
+            parsed.entries()[0].extra,
+            vec![("cache_hit_rate".into(), 1.0)]
+        );
+    }
+
+    #[test]
+    fn from_json_reports_missing_fields() {
+        let err = BenchReport::from_json("{}").unwrap_err();
+        assert!(err.contains("suite"), "{err}");
+        let err = BenchReport::from_json(
+            r#"{"suite":"s","workload":"w","quick":true,"entries":[{"label":"x"}]}"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("backend"), "{err}");
     }
 }

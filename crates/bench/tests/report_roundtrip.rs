@@ -1,0 +1,109 @@
+//! The bench-report schema, validated in Rust: `BenchReport::to_json`
+//! must parse back identically through the shared `jsonlite` parser —
+//! the CI Python perf-guard is no longer the only reader of these
+//! artifacts.
+
+use bench::{BenchEntry, BenchReport};
+use jsonlite::Json;
+
+fn perf_style_report() -> BenchReport {
+    let mut report = BenchReport::new(
+        "backend_scaling",
+        "ghz-12 depolarizing p=0.002 — with \"quotes\" and a\nnewline",
+        true,
+    );
+    report.push_timing(
+        "statevector-interpreted",
+        "statevector",
+        "sequential",
+        1,
+        10_000,
+        0.93,
+    );
+    report.push_timing(
+        "statevector-compiled",
+        "statevector",
+        "sequential",
+        1,
+        10_000,
+        0.71,
+    );
+    report.push_timing("stabilizer", "stabilizer", "pooled", 4, 10_000, 0.031);
+    report.push_timing_extra(
+        "service-warm",
+        "auto",
+        "service",
+        2,
+        100,
+        0.004,
+        vec![
+            ("cache_hit_rate".to_string(), 1.0),
+            ("sim_shots_per_request".to_string(), 20_000.0),
+        ],
+    );
+    report
+}
+
+#[test]
+fn to_json_from_json_is_the_identity() {
+    let report = perf_style_report();
+    let parsed = BenchReport::from_json(&report.to_json()).expect("parse back");
+    assert_eq!(parsed, report);
+    // And the round trip is a fixed point at the byte level too.
+    assert_eq!(parsed.to_json(), report.to_json());
+}
+
+#[test]
+fn emitted_json_satisfies_the_perf_guard_schema() {
+    // The exact invariants CI's Python guard checks, verified here so
+    // a schema regression fails `cargo test` before it fails CI.
+    let doc = Json::parse(&perf_style_report().to_json()).expect("well-formed JSON");
+    for key in ["suite", "workload", "quick", "entries"] {
+        assert!(doc.get(key).is_some(), "missing {key}");
+    }
+    let entries = doc.get("entries").unwrap().as_arr().unwrap();
+    assert!(!entries.is_empty());
+    for entry in entries {
+        for key in [
+            "label",
+            "backend",
+            "mode",
+            "threads",
+            "shots",
+            "secs",
+            "shots_per_sec",
+        ] {
+            assert!(entry.get(key).is_some(), "entry missing {key}");
+        }
+        assert!(entry.get("shots_per_sec").unwrap().as_f64().unwrap() > 0.0);
+    }
+    // The serving entry carries its extra fields as plain keys.
+    let warm = entries
+        .iter()
+        .find(|e| e.get("label").and_then(Json::as_str) == Some("service-warm"))
+        .expect("service-warm entry");
+    assert_eq!(warm.get("cache_hit_rate").and_then(Json::as_f64), Some(1.0));
+}
+
+#[test]
+fn from_json_round_trips_hand_written_documents() {
+    // A document written by some other tool (different key order,
+    // extra whitespace) still parses; extras survive.
+    let src = r#"{
+        "suite": "svc", "workload": "w", "quick": false,
+        "entries": [{
+            "shots_per_sec": 10.5, "label": "x", "mode": "service",
+            "backend": "auto", "threads": 1, "shots": 21, "secs": 2.0,
+            "cache_hit_rate": 0.5
+        }]
+    }"#;
+    let report = BenchReport::from_json(src).expect("parse");
+    let entry: &BenchEntry = &report.entries()[0];
+    assert_eq!(entry.shots, 21);
+    assert_eq!(entry.extra, vec![("cache_hit_rate".to_string(), 0.5)]);
+    // Re-emitting normalizes to schema order and parses back equal.
+    assert_eq!(
+        BenchReport::from_json(&report.to_json()).expect("reparse"),
+        report
+    );
+}

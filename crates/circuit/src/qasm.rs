@@ -1,24 +1,36 @@
-//! OpenQASM 3 export.
+//! OpenQASM 3 export **and import**.
 //!
-//! Serialises a [`Circuit`] — including the dynamic-circuit features
-//! COMPAS depends on (mid-circuit measurement, reset, parity-conditioned
-//! Pauli corrections) — into OpenQASM 3 text, so compiled COMPAS
-//! programs can be inspected or ported to other toolchains. Noise
-//! annotations have no QASM counterpart and are emitted as comments.
+//! [`to_qasm3`] serialises a [`Circuit`] — including the
+//! dynamic-circuit features COMPAS depends on (mid-circuit measurement,
+//! reset, parity-conditioned Pauli corrections) — into OpenQASM 3 text;
+//! [`from_qasm3`] parses that exact subset back. Together they make
+//! QASM the circuit-interchange format of the serving layer: a request
+//! carries a circuit as text, and `from_qasm3(to_qasm3(c)) == c` for
+//! every circuit the exporter can emit (property-tested over random
+//! dynamic circuits).
+//!
+//! Noise annotations have no QASM counterpart; the exporter emits them
+//! as structured comments (`// depolarizing p=… on […]`, `// readout
+//! flip probability …`, `// X-basis readout`) which the parser folds
+//! back into [`Instruction`]s — so the round trip is lossless, not just
+//! textual. Any *other* comment is ignored.
 //!
 //! ```
 //! use circuit::circuit::Circuit;
-//! use circuit::qasm::to_qasm3;
+//! use circuit::qasm::{from_qasm3, to_qasm3};
 //!
 //! let mut c = Circuit::new(2, 2);
 //! c.h(0).cx(0, 1).measure(0, 0).measure(1, 1).cond_x(0, &[0, 1]);
 //! let text = to_qasm3(&c);
 //! assert!(text.contains("OPENQASM 3.0"));
 //! assert!(text.contains("if (par0 == 1)"));
+//! assert_eq!(from_qasm3(&text).unwrap(), c);
 //! ```
 
-use crate::circuit::{Basis, Circuit, Instruction};
-use crate::gate::Gate;
+use crate::circuit::{Basis, Cbit, Circuit, Instruction};
+use crate::gate::{Gate, Qubit};
+use std::collections::HashMap;
+use std::fmt;
 use std::fmt::Write as _;
 
 /// Renders one gate as a QASM 3 statement (without trailing newline).
@@ -118,6 +130,493 @@ pub fn to_qasm3(circuit: &Circuit) -> String {
     out
 }
 
+/// A parse failure: the 1-based source line it was detected on and a
+/// description of what went wrong.
+///
+/// `from_qasm3` is total — it never panics on malformed input — because
+/// the serving layer feeds it text straight off a TCP socket.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QasmError {
+    /// 1-based line number in the source text.
+    pub line: usize,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl QasmError {
+    fn new(line: usize, msg: impl Into<String>) -> Self {
+        QasmError {
+            line,
+            msg: msg.into(),
+        }
+    }
+}
+
+impl fmt::Display for QasmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "qasm parse error at line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for QasmError {}
+
+/// Parses the OpenQASM 3 subset emitted by [`to_qasm3`] back into a
+/// [`Circuit`].
+///
+/// Supported statements: the exporter's gate set (`h x y z s sdg t tdg
+/// rx ry rz cx cz swap ccx cswap`), `reset`, `c[k] = measure q[i];`,
+/// parity temporaries (`bit parN = c[a] ^ c[b];`) with
+/// `if (parN == 1) …` / `if (c[k] == 1) …` conditionals, and the
+/// exporter's structured comments: `// X-basis readout` /
+/// `// Y-basis readout` markers fold the preceding rotation prefix back
+/// into a basis measurement, `// readout flip probability p` restores
+/// the readout-error probability, and `// depolarizing p=… on […]`
+/// restores noise sites. Other comments are ignored.
+///
+/// All register indices are validated against the declared sizes, so
+/// the returned circuit upholds [`Circuit::push`]'s invariants without
+/// panicking on hostile input.
+///
+/// # Errors
+///
+/// Returns a [`QasmError`] carrying the 1-based line of the first
+/// offending statement.
+pub fn from_qasm3(src: &str) -> Result<Circuit, QasmError> {
+    Importer::default().run(src)
+}
+
+/// Line-oriented recursive-descent state for [`from_qasm3`].
+#[derive(Default)]
+struct Importer {
+    num_qubits: Option<usize>,
+    num_cbits: usize,
+    saw_cbit_decl: bool,
+    instructions: Vec<Instruction>,
+    /// Parity temporaries: name → the classical bits XORed into it.
+    parities: HashMap<String, Vec<Cbit>>,
+    /// A basis-readout marker awaiting its measurement.
+    pending_basis: Option<(Qubit, Basis)>,
+    /// A readout-flip comment awaiting its measurement.
+    pending_flip: Option<f64>,
+}
+
+impl Importer {
+    fn run(mut self, src: &str) -> Result<Circuit, QasmError> {
+        let mut saw_version = false;
+        for (idx, raw) in src.lines().enumerate() {
+            let line = idx + 1;
+            let (code, comment) = split_comment(raw);
+            if code.is_empty() {
+                self.comment_only(line, comment)?;
+                continue;
+            }
+            if !saw_version {
+                if !code.starts_with("OPENQASM") {
+                    return Err(QasmError::new(line, "expected an OPENQASM version header"));
+                }
+                saw_version = true;
+                continue;
+            }
+            self.statement(line, code, comment)?;
+        }
+        if !saw_version {
+            return Err(QasmError::new(1, "expected an OPENQASM version header"));
+        }
+        if self.pending_basis.is_some() || self.pending_flip.is_some() {
+            return Err(QasmError::new(
+                src.lines().count(),
+                "readout marker without a following measurement",
+            ));
+        }
+        let num_qubits = self.num_qubits.unwrap_or(0);
+        let mut circuit = Circuit::new(num_qubits, self.num_cbits);
+        for instr in self.instructions {
+            // Indices were validated as each statement was parsed, so
+            // this cannot panic.
+            circuit.push(instr);
+        }
+        Ok(circuit)
+    }
+
+    /// Handles a line that is only a comment: the exporter's structured
+    /// noise/readout annotations, or free text (ignored).
+    fn comment_only(&mut self, line: usize, comment: &str) -> Result<(), QasmError> {
+        if let Some(rest) = comment.strip_prefix("depolarizing p=") {
+            let (p_text, qubits_text) = rest
+                .split_once(" on ")
+                .ok_or_else(|| QasmError::new(line, "malformed depolarizing annotation"))?;
+            let p = parse_f64(line, p_text)?;
+            if !(0.0..=1.0).contains(&p) {
+                return Err(QasmError::new(line, "depolarizing p outside [0, 1]"));
+            }
+            let inner = qubits_text
+                .strip_prefix('[')
+                .and_then(|s| s.strip_suffix(']'))
+                .ok_or_else(|| QasmError::new(line, "malformed depolarizing qubit list"))?;
+            let qubits = inner
+                .split(',')
+                .map(|s| {
+                    s.trim()
+                        .parse()
+                        .map_err(|_| QasmError::new(line, format!("invalid qubit index '{s}'")))
+                        .and_then(|q| self.check_qubit(line, q))
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            if !(1..=2).contains(&qubits.len()) {
+                return Err(QasmError::new(
+                    line,
+                    "depolarizing sites cover one or two qubits",
+                ));
+            }
+            self.flush_pending(line)?;
+            self.instructions
+                .push(Instruction::Depolarizing { qubits, p });
+        } else if let Some(rest) = comment.strip_prefix("readout flip probability ") {
+            let p = parse_f64(line, rest)?;
+            if !(0.0..=1.0).contains(&p) {
+                return Err(QasmError::new(line, "flip probability outside [0, 1]"));
+            }
+            self.pending_flip = Some(p);
+        }
+        Ok(())
+    }
+
+    fn statement(&mut self, line: usize, code: &str, comment: &str) -> Result<(), QasmError> {
+        let stmt = code
+            .strip_suffix(';')
+            .ok_or_else(|| QasmError::new(line, "statement missing trailing ';'"))?
+            .trim();
+        if stmt.starts_with("include") {
+            return Ok(());
+        }
+        if let Some(rest) = stmt.strip_prefix("qubit[") {
+            if self.num_qubits.is_some() {
+                return Err(QasmError::new(line, "duplicate qubit register declaration"));
+            }
+            if !self.instructions.is_empty() {
+                return Err(QasmError::new(line, "qubit declaration after statements"));
+            }
+            let (n, name) = parse_register_decl(line, rest)?;
+            if name != "q" {
+                return Err(QasmError::new(line, "quantum register must be named 'q'"));
+            }
+            self.num_qubits = Some(n);
+            return Ok(());
+        }
+        if let Some(rest) = stmt.strip_prefix("bit[") {
+            if self.saw_cbit_decl {
+                return Err(QasmError::new(line, "duplicate bit register declaration"));
+            }
+            if !self.instructions.is_empty() {
+                return Err(QasmError::new(line, "bit declaration after statements"));
+            }
+            let (n, name) = parse_register_decl(line, rest)?;
+            if name != "c" {
+                return Err(QasmError::new(line, "classical register must be named 'c'"));
+            }
+            self.saw_cbit_decl = true;
+            self.num_cbits = n;
+            return Ok(());
+        }
+        if let Some(rest) = stmt.strip_prefix("bit ") {
+            // Parity temporary: `bit parN = c[a] ^ c[b] ...`.
+            let (name, expr) = rest
+                .split_once('=')
+                .ok_or_else(|| QasmError::new(line, "malformed bit temporary"))?;
+            let cbits = expr
+                .split('^')
+                .map(|term| self.cbit_index(line, term.trim()))
+                .collect::<Result<Vec<_>, _>>()?;
+            if cbits.is_empty() {
+                return Err(QasmError::new(line, "empty parity expression"));
+            }
+            self.parities.insert(name.trim().to_string(), cbits);
+            return Ok(());
+        }
+        if let Some(rest) = stmt.strip_prefix("if ") {
+            self.flush_pending(line)?;
+            let rest = rest.trim();
+            let cond_close = rest
+                .strip_prefix('(')
+                .and_then(|r| r.find(')').map(|i| (&r[..i], &r[i + 1..])))
+                .ok_or_else(|| QasmError::new(line, "malformed if condition"))?;
+            let (cond, gate_text) = cond_close;
+            let cond = cond
+                .strip_suffix("== 1")
+                .map(str::trim)
+                .ok_or_else(|| QasmError::new(line, "conditions must test '== 1'"))?;
+            let parity_of = if cond.starts_with("c[") {
+                vec![self.cbit_index(line, cond)?]
+            } else {
+                self.parities
+                    .get(cond)
+                    .cloned()
+                    .ok_or_else(|| QasmError::new(line, format!("unknown condition '{cond}'")))?
+            };
+            let gate = self.gate_from_text(line, gate_text.trim().trim_end_matches(';').trim())?;
+            self.instructions
+                .push(Instruction::Conditional { gate, parity_of });
+            return Ok(());
+        }
+        if let Some(rest) = stmt.strip_prefix("reset ") {
+            self.flush_pending(line)?;
+            let q = self.qubit_operand(line, rest.trim())?;
+            self.instructions.push(Instruction::Reset(q));
+            return Ok(());
+        }
+        if stmt.starts_with("c[") {
+            // `c[k] = measure q[i]`.
+            let (target, source) = stmt
+                .split_once('=')
+                .ok_or_else(|| QasmError::new(line, "malformed measurement"))?;
+            let cbit = self.cbit_index(line, target.trim())?;
+            let qubit_text = source
+                .trim()
+                .strip_prefix("measure ")
+                .ok_or_else(|| QasmError::new(line, "expected 'measure' on the right-hand side"))?;
+            let qubit = self.qubit_operand(line, qubit_text.trim())?;
+            let basis = match self.pending_basis.take() {
+                Some((q, basis)) if q == qubit => basis,
+                Some((q, _)) => {
+                    return Err(QasmError::new(
+                        line,
+                        format!(
+                            "basis-readout marker targets q[{q}], measurement reads q[{qubit}]"
+                        ),
+                    ));
+                }
+                None => Basis::Z,
+            };
+            let flip_prob = self.pending_flip.take().unwrap_or(0.0);
+            self.instructions.push(Instruction::Measure {
+                qubit,
+                cbit,
+                basis,
+                flip_prob,
+            });
+            return Ok(());
+        }
+        // A plain gate statement, possibly a basis-readout prefix.
+        let gate = self.gate_from_text(line, stmt)?;
+        match comment {
+            "X-basis readout" => {
+                let Gate::H(q) = gate else {
+                    return Err(QasmError::new(line, "X-basis marker on a non-H statement"));
+                };
+                self.set_pending_basis(line, q, Basis::X)?;
+            }
+            "Y-basis readout" => {
+                let Gate::H(q) = gate else {
+                    return Err(QasmError::new(line, "Y-basis marker on a non-H statement"));
+                };
+                // The exporter lowers a Y-basis readout to `sdg; h`;
+                // fold the already-parsed S† prefix back in.
+                match self.instructions.pop() {
+                    Some(Instruction::Gate(Gate::Sdg(prev))) if prev == q => {}
+                    other => {
+                        return Err(QasmError::new(
+                            line,
+                            format!("Y-basis marker not preceded by sdg q[{q}] (found {other:?})"),
+                        ));
+                    }
+                }
+                self.set_pending_basis(line, q, Basis::Y)?;
+            }
+            _ => {
+                self.flush_pending(line)?;
+                self.instructions.push(Instruction::Gate(gate));
+            }
+        }
+        Ok(())
+    }
+
+    fn set_pending_basis(&mut self, line: usize, q: Qubit, basis: Basis) -> Result<(), QasmError> {
+        if self.pending_basis.is_some() {
+            return Err(QasmError::new(line, "overlapping basis-readout markers"));
+        }
+        self.pending_basis = Some((q, basis));
+        Ok(())
+    }
+
+    /// A pending readout annotation must be consumed by a measurement;
+    /// any other instruction in between means the text was not produced
+    /// by the exporter.
+    fn flush_pending(&mut self, line: usize) -> Result<(), QasmError> {
+        if self.pending_basis.is_some() || self.pending_flip.is_some() {
+            return Err(QasmError::new(
+                line,
+                "readout annotation not followed by a measurement",
+            ));
+        }
+        Ok(())
+    }
+
+    fn gate_from_text(&mut self, line: usize, text: &str) -> Result<Gate, QasmError> {
+        let (head, operand_text) = text
+            .split_once(' ')
+            .ok_or_else(|| QasmError::new(line, "malformed gate statement"))?;
+        let (name, param) = match head.split_once('(') {
+            Some((name, rest)) => {
+                let inner = rest
+                    .strip_suffix(')')
+                    .ok_or_else(|| QasmError::new(line, "unclosed gate parameter"))?;
+                (name, Some(parse_f64(line, inner)?))
+            }
+            None => (head, None),
+        };
+        let operands = operand_text
+            .split(',')
+            .map(|op| self.qubit_operand(line, op.trim()))
+            .collect::<Result<Vec<_>, _>>()?;
+        let arity_err = |want: usize| {
+            QasmError::new(
+                line,
+                format!("{name} takes {want} qubit(s), got {}", operands.len()),
+            )
+        };
+        let one = || -> Result<Qubit, QasmError> {
+            match operands[..] {
+                [q] => Ok(q),
+                _ => Err(arity_err(1)),
+            }
+        };
+        let angle = param;
+        let no_param = |gate: Gate| -> Result<Gate, QasmError> {
+            if angle.is_some() {
+                Err(QasmError::new(line, format!("{name} takes no parameter")))
+            } else {
+                Ok(gate)
+            }
+        };
+        let rotation = |make: fn(Qubit, f64) -> Gate, q: Qubit| -> Result<Gate, QasmError> {
+            angle
+                .map(|a| make(q, a))
+                .ok_or_else(|| QasmError::new(line, format!("{name} needs an angle parameter")))
+        };
+        match name {
+            "h" => no_param(Gate::H(one()?)),
+            "x" => no_param(Gate::X(one()?)),
+            "y" => no_param(Gate::Y(one()?)),
+            "z" => no_param(Gate::Z(one()?)),
+            "s" => no_param(Gate::S(one()?)),
+            "sdg" => no_param(Gate::Sdg(one()?)),
+            "t" => no_param(Gate::T(one()?)),
+            "tdg" => no_param(Gate::Tdg(one()?)),
+            "rx" => rotation(Gate::Rx, one()?),
+            "ry" => rotation(Gate::Ry, one()?),
+            "rz" => rotation(Gate::Rz, one()?),
+            "cx" => match operands[..] {
+                [control, target] => no_param(Gate::Cx { control, target }),
+                _ => Err(arity_err(2)),
+            },
+            "cz" => match operands[..] {
+                [a, b] => no_param(Gate::Cz(a, b)),
+                _ => Err(arity_err(2)),
+            },
+            "swap" => match operands[..] {
+                [a, b] => no_param(Gate::Swap(a, b)),
+                _ => Err(arity_err(2)),
+            },
+            "ccx" => match operands[..] {
+                [control_a, control_b, target] => no_param(Gate::Ccx {
+                    control_a,
+                    control_b,
+                    target,
+                }),
+                _ => Err(arity_err(3)),
+            },
+            "cswap" => match operands[..] {
+                [control, swap_a, swap_b] => no_param(Gate::Cswap {
+                    control,
+                    swap_a,
+                    swap_b,
+                }),
+                _ => Err(arity_err(3)),
+            },
+            other => Err(QasmError::new(line, format!("unknown gate '{other}'"))),
+        }
+    }
+
+    /// Parses `q[i]` and range-checks it against the declared register.
+    fn qubit_operand(&self, line: usize, text: &str) -> Result<Qubit, QasmError> {
+        let q = parse_indexed(text, 'q').ok_or_else(|| {
+            QasmError::new(line, format!("expected a qubit operand, got '{text}'"))
+        })?;
+        self.check_qubit(line, q)
+    }
+
+    /// Range-checks a qubit index against the declared register.
+    fn check_qubit(&self, line: usize, q: Qubit) -> Result<Qubit, QasmError> {
+        let declared = self
+            .num_qubits
+            .ok_or_else(|| QasmError::new(line, "statement before the qubit declaration"))?;
+        if q >= declared {
+            return Err(QasmError::new(
+                line,
+                format!("qubit {q} out of range (register has {declared})"),
+            ));
+        }
+        Ok(q)
+    }
+
+    /// Parses `c[k]` and range-checks it against the declared register.
+    fn cbit_index(&self, line: usize, text: &str) -> Result<Cbit, QasmError> {
+        let c = parse_indexed(text, 'c').ok_or_else(|| {
+            QasmError::new(line, format!("expected a classical bit, got '{text}'"))
+        })?;
+        if c >= self.num_cbits {
+            return Err(QasmError::new(
+                line,
+                format!(
+                    "classical bit {c} out of range (register has {})",
+                    self.num_cbits
+                ),
+            ));
+        }
+        Ok(c)
+    }
+}
+
+/// Splits a raw line into `(code, comment)`, both trimmed; the comment
+/// excludes the `//`.
+fn split_comment(raw: &str) -> (&str, &str) {
+    match raw.split_once("//") {
+        Some((code, comment)) => (code.trim(), comment.trim()),
+        None => (raw.trim(), ""),
+    }
+}
+
+/// Parses the tail of a register declaration, `N] name`, returning the
+/// size and the register name.
+fn parse_register_decl(line: usize, rest: &str) -> Result<(usize, &str), QasmError> {
+    let (size_text, name) = rest
+        .split_once(']')
+        .ok_or_else(|| QasmError::new(line, "malformed register declaration"))?;
+    let size = size_text
+        .trim()
+        .parse()
+        .map_err(|_| QasmError::new(line, "invalid register size"))?;
+    Ok((size, name.trim()))
+}
+
+/// Parses `x[i]` for the given register letter.
+fn parse_indexed(text: &str, register: char) -> Option<usize> {
+    let rest = text.strip_prefix(register)?.strip_prefix('[')?;
+    rest.strip_suffix(']')?.parse().ok()
+}
+
+fn parse_f64(line: usize, text: &str) -> Result<f64, QasmError> {
+    let v: f64 = text
+        .trim()
+        .parse()
+        .map_err(|_| QasmError::new(line, format!("invalid number '{}'", text.trim())))?;
+    if v.is_finite() {
+        Ok(v)
+    } else {
+        Err(QasmError::new(line, "non-finite number"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -195,5 +694,146 @@ mod tests {
         assert!(q.contains("reset q[0];"));
         assert_eq!(q.matches("measure").count(), 2);
         assert_eq!(q.matches("if (").count(), 2);
+    }
+
+    // ------------------------------------------------------------------
+    // Import.
+    // ------------------------------------------------------------------
+
+    /// Round trip through text and back must reproduce the circuit.
+    fn assert_roundtrip(c: &Circuit) {
+        let text = to_qasm3(c);
+        let back = from_qasm3(&text).unwrap_or_else(|e| panic!("{e}\nsource:\n{text}"));
+        assert_eq!(&back, c, "round trip diverged for:\n{text}");
+    }
+
+    #[test]
+    fn import_reproduces_every_instruction_kind() {
+        let mut c = Circuit::new(3, 3);
+        c.h(0)
+            .x(1)
+            .y(2)
+            .z(0)
+            .s(1)
+            .sdg(2)
+            .t(0)
+            .tdg(1)
+            .rx(0, 0.25)
+            .ry(1, -1.5)
+            .rz(2, 1e-7)
+            .cx(0, 1)
+            .cz(1, 2)
+            .swap(0, 2)
+            .ccx(0, 1, 2)
+            .cswap(2, 0, 1);
+        c.push(Instruction::Depolarizing {
+            qubits: vec![1],
+            p: 0.015,
+        });
+        c.push(Instruction::Depolarizing {
+            qubits: vec![0, 2],
+            p: 0.001,
+        });
+        c.measure(0, 0).measure_x(1, 1).measure_y(2, 2);
+        c.cond_x(0, &[1]).cond_z(1, &[0, 1, 2]);
+        c.reset(0);
+        assert_roundtrip(&c);
+    }
+
+    #[test]
+    fn import_restores_flip_probability_and_bases() {
+        let mut c = Circuit::new(2, 2);
+        c.push(Instruction::Measure {
+            qubit: 0,
+            cbit: 0,
+            basis: Basis::X,
+            flip_prob: 0.03,
+        });
+        c.push(Instruction::Measure {
+            qubit: 1,
+            cbit: 1,
+            basis: Basis::Y,
+            flip_prob: 0.000125,
+        });
+        assert_roundtrip(&c);
+    }
+
+    #[test]
+    fn explicit_h_before_measure_stays_a_gate() {
+        // A user-authored H before a Z-measurement must NOT be folded
+        // into an X-basis readout: only the marker comment triggers it.
+        let mut c = Circuit::new(1, 1);
+        c.h(0).measure(0, 0);
+        assert_roundtrip(&c);
+        let parsed = from_qasm3(&to_qasm3(&c)).unwrap();
+        assert!(matches!(
+            parsed.instructions()[0],
+            Instruction::Gate(Gate::H(0))
+        ));
+        assert!(matches!(
+            parsed.instructions()[1],
+            Instruction::Measure {
+                basis: Basis::Z,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn import_handles_empty_registers_and_comments() {
+        assert_roundtrip(&Circuit::new(0, 0));
+        assert_roundtrip(&Circuit::new(4, 0));
+        let text = "OPENQASM 3.0;\n// free-text comment\nqubit[1] q;\nh q[0];\n";
+        let c = from_qasm3(text).unwrap();
+        assert_eq!(c.gate_count(), 1);
+        assert_eq!(c.num_cbits(), 0);
+    }
+
+    #[test]
+    fn import_rejects_malformed_sources_without_panicking() {
+        for (src, needle) in [
+            ("", "OPENQASM"),
+            ("h q[0];", "OPENQASM"),
+            ("OPENQASM 3.0;\nh q[0];", "before the qubit declaration"),
+            ("OPENQASM 3.0;\nqubit[1] q;\nh q[1];", "out of range"),
+            (
+                "OPENQASM 3.0;\nqubit[1] q;\nc[0] = measure q[0];",
+                "out of range",
+            ),
+            ("OPENQASM 3.0;\nqubit[1] q;\nfoo q[0];", "unknown gate"),
+            ("OPENQASM 3.0;\nqubit[1] q;\nh q[0]", "missing trailing ';'"),
+            ("OPENQASM 3.0;\nqubit[2] q;\ncx q[0];", "takes 2"),
+            ("OPENQASM 3.0;\nqubit[1] q;\nrx q[0];", "needs an angle"),
+            (
+                "OPENQASM 3.0;\nqubit[1] q;\nh(0.5) q[0];",
+                "takes no parameter",
+            ),
+            (
+                "OPENQASM 3.0;\nbit[1] c;\nqubit[1] q;\nif (par9 == 1) x q[0];",
+                "unknown condition",
+            ),
+            (
+                "OPENQASM 3.0;\nqubit[1] q;\nh q[0]; // X-basis readout\nh q[0];",
+                "not followed by a measurement",
+            ),
+            (
+                "OPENQASM 3.0;\nqubit[1] q;\nh q[0]; // Y-basis readout",
+                "Y-basis marker",
+            ),
+        ] {
+            let err = from_qasm3(src).unwrap_err();
+            assert!(
+                err.msg.contains(needle) || err.to_string().contains(needle),
+                "source {src:?}: expected error mentioning {needle:?}, got: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn import_error_reports_the_offending_line() {
+        let src = "OPENQASM 3.0;\nqubit[2] q;\nh q[0];\nbad q[1];\n";
+        let err = from_qasm3(src).unwrap_err();
+        assert_eq!(err.line, 4);
+        assert!(err.to_string().contains("line 4"));
     }
 }

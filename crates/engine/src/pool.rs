@@ -142,7 +142,8 @@ impl Engine {
     }
 
     /// The core primitive: folds `shots` independent shots into an
-    /// accumulator, in parallel.
+    /// accumulator, in parallel. Equivalent to
+    /// [`Engine::run_fold_range_with`] over `0..shots`.
     ///
     /// Each worker builds its own workspace with `make_ws` (reused
     /// scratch buffers — statevectors, bit registers) and its own
@@ -171,14 +172,45 @@ impl Engine {
         F: Fn(&mut A, &mut W, u64, &mut StdRng) + Sync,
         M: Fn(A, A) -> A,
     {
+        self.run_fold_range_with(0..shots, root_seed, make_ws, init, step, merge)
+    }
+
+    /// Ranged variant of [`Engine::run_fold_with`]: folds the **global**
+    /// shot indices `range` of a job rooted at `root_seed`.
+    ///
+    /// Shot `i` runs on `shot_rng(root_seed, i)` — the same stream it
+    /// would use in a full `0..shots` run — so executing a partition of
+    /// `0..shots` as separate ranged calls and merging the results is
+    /// **bit-identical** to the single full call, at any thread count
+    /// and any partition. This is the primitive behind the serving
+    /// layer's shot-slicing: a large job is sliced into ranges for
+    /// fairness across clients without changing a single record.
+    pub fn run_fold_range_with<W, A, MW, IA, F, M>(
+        &self,
+        range: std::ops::Range<u64>,
+        root_seed: u64,
+        make_ws: MW,
+        init: IA,
+        step: F,
+        merge: M,
+    ) -> A
+    where
+        W: Send,
+        A: Send,
+        MW: Fn() -> W + Sync,
+        IA: Fn() -> A + Sync,
+        F: Fn(&mut A, &mut W, u64, &mut StdRng) + Sync,
+        M: Fn(A, A) -> A,
+    {
+        let total = range.end.saturating_sub(range.start);
         let chunk = self.config.chunk_size.max(1);
-        let num_chunks = shots.div_ceil(chunk);
+        let num_chunks = total.div_ceil(chunk);
         let workers = self.config.threads.min(num_chunks.max(1) as usize).max(1);
 
         if workers == 1 {
             let mut acc = init();
             let mut ws = make_ws();
-            for shot in 0..shots {
+            for shot in range {
                 let mut rng = shot_rng(root_seed, shot);
                 step(&mut acc, &mut ws, shot, &mut rng);
             }
@@ -197,8 +229,8 @@ impl Engine {
                             if c >= num_chunks {
                                 break;
                             }
-                            let start = c * chunk;
-                            let end = (start + chunk).min(shots);
+                            let start = range.start + c * chunk;
+                            let end = (start + chunk).min(range.end);
                             for shot in start..end {
                                 let mut rng = shot_rng(root_seed, shot);
                                 step(&mut acc, &mut ws, shot, &mut rng);
@@ -276,13 +308,64 @@ impl Engine {
         self.run_tally_with(shots, root_seed, || (), |(), shot, rng| key_of(shot, rng))
     }
 
+    /// Ranged variant of [`Engine::run_tally_with`]: histograms the
+    /// global shot indices `range` only. Merging the tallies of a
+    /// partition of `0..shots` is bit-identical to the full call (see
+    /// [`Engine::run_fold_range_with`]).
+    pub fn run_tally_range_with<K, W, MW, F>(
+        &self,
+        range: std::ops::Range<u64>,
+        root_seed: u64,
+        make_ws: MW,
+        key_of: F,
+    ) -> HashMap<K, u64>
+    where
+        K: Eq + Hash + Send,
+        W: Send,
+        MW: Fn() -> W + Sync,
+        F: Fn(&mut W, u64, &mut StdRng) -> K + Sync,
+    {
+        self.run_fold_range_with(
+            range,
+            root_seed,
+            make_ws,
+            HashMap::new,
+            |acc, ws, shot, rng| *acc.entry(key_of(ws, shot, rng)).or_insert(0) += 1,
+            merge_tallies,
+        )
+    }
+
     /// Executes one [`ShotPlan`] on its backend, reusing one state
     /// buffer and one classical register per worker and replaying the
     /// plan's compiled program each shot. Returns counts in the
     /// `sample_shots` convention.
     pub fn run_plan<S: SimState>(&self, plan: &ShotPlan<S>) -> Counts {
-        let tally = self.run_tally_with(
-            plan.shots,
+        self.run_plan_range(plan, 0..plan.shots)
+    }
+
+    /// Executes the global shot indices `range` of a [`ShotPlan`] —
+    /// the serving layer's slice primitive. Merging the counts of a
+    /// partition of `0..plan.shots()` reproduces [`Engine::run_plan`]
+    /// bit-identically, because shot `i`'s stream depends only on the
+    /// plan's root seed and `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` reaches beyond the plan's shot count.
+    pub fn run_plan_range<S: SimState>(
+        &self,
+        plan: &ShotPlan<S>,
+        range: std::ops::Range<u64>,
+    ) -> Counts {
+        assert!(
+            range.end <= plan.shots,
+            "slice {}..{} exceeds the plan's {} shots",
+            range.start,
+            range.end,
+            plan.shots
+        );
+        let tally = self.run_tally_range_with(
+            range,
             plan.root_seed,
             || (plan.initial.clone(), Vec::new()),
             |(state, cbits), _shot, rng| {
@@ -359,6 +442,57 @@ mod tests {
             |a, b| a + b,
         );
         assert_eq!(total, 1_000);
+    }
+
+    #[test]
+    fn ranged_slices_merge_to_the_full_run() {
+        // Any partition of 0..shots into ranged calls must reproduce
+        // the single full call bit-identically — the serving layer's
+        // shot-slicing correctness condition.
+        let engine = Engine::with_threads(3);
+        let key = |_: &mut (), _: u64, rng: &mut StdRng| rng.random_range(0..32u32);
+        let full = engine.run_tally_with(10_000, 7, || (), key);
+        for slice in [1u64, 7, 256, 4096, 10_000] {
+            let mut merged: HashMap<u32, u64> = HashMap::new();
+            let mut start = 0u64;
+            while start < 10_000 {
+                let end = (start + slice).min(10_000);
+                let part = engine.run_tally_range_with(start..end, 7, || (), key);
+                merged = merge_tallies(merged, part);
+                start = end;
+            }
+            assert_eq!(merged, full, "slice size {slice} diverged");
+        }
+        // An empty range contributes nothing.
+        assert!(engine.run_tally_range_with(5..5, 7, || (), key).is_empty());
+    }
+
+    #[test]
+    fn run_plan_range_slices_are_bit_identical() {
+        use circuit::circuit::Circuit;
+        use qsim::statevector::StateVector;
+        let mut c = Circuit::new(2, 2);
+        c.h(0).cx(0, 1).measure(0, 0).measure(1, 1);
+        let plan = ShotPlan::new(c, StateVector::new(2), 1_000, 13);
+        let engine = Engine::with_threads(2);
+        let full = engine.run_plan(&plan);
+        let mut merged = Counts::new();
+        for start in (0..1_000).step_by(173) {
+            let end = (start + 173).min(1_000);
+            for (k, v) in engine.run_plan_range(&plan, start..end) {
+                *merged.entry(k).or_insert(0) += v;
+            }
+        }
+        assert_eq!(merged, full);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the plan's")]
+    fn run_plan_range_rejects_overlong_ranges() {
+        use circuit::circuit::Circuit;
+        use qsim::statevector::StateVector;
+        let plan = ShotPlan::new(Circuit::new(1, 0), StateVector::new(1), 10, 0);
+        Engine::sequential().run_plan_range(&plan, 5..11);
     }
 
     #[test]

@@ -1,0 +1,665 @@
+//! # jsonlite — a minimal JSON value, writer, and parser
+//!
+//! The workspace is offline (no serde); the bench reports hand-rolled a
+//! JSON *writer*, and the serving layer needs a *parser* for its wire
+//! protocol. This crate is the shared home for both: one [`Json`] value
+//! type, an escaping writer (compact for wire lines, pretty for the
+//! `results/bench/*.json` reports), and a strict recursive-descent
+//! parser hardened for untrusted input (nesting-depth cap, precise
+//! error offsets).
+//!
+//! Design points:
+//!
+//! * Objects preserve **insertion order** (`Vec<(String, Json)>`), so
+//!   serialization is deterministic — a requirement for the service's
+//!   bit-reproducible wire responses and for diffable bench artifacts.
+//! * Numbers are `f64` (JSON's model). Integers up to 2⁵³ round-trip
+//!   exactly; [`Json::as_u64`] checks integrality. Non-finite values
+//!   serialize as `0` (JSON has no NaN/Infinity; a zeroed rate fails
+//!   any ≥-guard loudly — the bench-report convention).
+//!
+//! ```
+//! use jsonlite::Json;
+//!
+//! let v = Json::parse(r#"{"shots": 100, "backend": "auto"}"#).unwrap();
+//! assert_eq!(v.get("shots").and_then(Json::as_u64), Some(100));
+//! assert_eq!(v.get("backend").and_then(Json::as_str), Some("auto"));
+//! // Round-trips through the compact writer.
+//! assert_eq!(Json::parse(&v.to_string()).unwrap(), v);
+//! ```
+
+use std::fmt;
+
+/// Maximum nesting depth the parser accepts. Wire input is untrusted;
+/// without a cap, `[[[[…` recurses the connection thread's stack away.
+const MAX_DEPTH: usize = 128;
+
+/// A JSON value. Object member order is preserved, so writing is
+/// deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (f64 model).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in insertion order. Duplicate keys are kept as
+    /// written; [`Json::get`] returns the first.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds a string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Builds a number value from anything convertible to `f64`.
+    pub fn num(v: impl Into<f64>) -> Json {
+        Json::Num(v.into())
+    }
+
+    /// Builds a number from a `usize` (exact up to 2⁵³ — every shot or
+    /// tally count in this workspace).
+    pub fn from_usize(v: usize) -> Json {
+        Json::Num(v as f64)
+    }
+
+    /// Builds a number from a `u64` (exact up to 2⁵³).
+    pub fn from_u64(v: u64) -> Json {
+        Json::Num(v as f64)
+    }
+
+    /// Builds an object from `(key, value)` pairs, preserving order.
+    pub fn obj(members: Vec<(impl Into<String>, Json)>) -> Json {
+        Json::Obj(members.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors.
+    // ------------------------------------------------------------------
+
+    /// First member named `key`, if this is an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as a non-negative integer, if it is one
+    /// exactly (integral, in `[0, 2⁵³]`).
+    pub fn as_u64(&self) -> Option<u64> {
+        let v = self.as_f64()?;
+        if (0.0..=9_007_199_254_740_992.0).contains(&v) && v.fract() == 0.0 {
+            Some(v as u64)
+        } else {
+            None
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The members, if this is an object.
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(members) => Some(members),
+            _ => None,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Writing.
+    // ------------------------------------------------------------------
+
+    /// Compact single-line serialization — the wire format (one JSON
+    /// document per line, no internal newlines).
+    pub fn to_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(v) => out.push_str(&fmt_num(*v)),
+            Json::Str(s) => write_escaped(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Pretty serialization with two-space indentation — the
+    /// `results/bench/*.json` artifact format.
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write_pretty(&self, out: &mut String, level: usize) {
+        match self {
+            Json::Arr(items) if !items.is_empty() => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    indent(out, level + 1);
+                    item.write_pretty(out, level + 1);
+                    out.push_str(if i + 1 == items.len() { "\n" } else { ",\n" });
+                }
+                indent(out, level);
+                out.push(']');
+            }
+            Json::Obj(members) if !members.is_empty() => {
+                out.push_str("{\n");
+                for (i, (k, v)) in members.iter().enumerate() {
+                    indent(out, level + 1);
+                    write_escaped(k, out);
+                    out.push_str(": ");
+                    v.write_pretty(out, level + 1);
+                    out.push_str(if i + 1 == members.len() { "\n" } else { ",\n" });
+                }
+                indent(out, level);
+                out.push('}');
+            }
+            Json::Arr(_) => out.push_str("[]"),
+            Json::Obj(_) => out.push_str("{}"),
+            leaf => leaf.write_compact(out),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Parsing.
+    // ------------------------------------------------------------------
+
+    /// Parses one complete JSON document, rejecting trailing garbage.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] with the byte offset of the first
+    /// offending character.
+    pub fn parse(src: &str) -> Result<Json, JsonError> {
+        let mut p = Parser {
+            bytes: src.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value(0)?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after the JSON document"));
+        }
+        Ok(value)
+    }
+}
+
+impl fmt::Display for Json {
+    /// The compact form.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_compact())
+    }
+}
+
+fn indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("  ");
+    }
+}
+
+/// Serializes an `f64` the JSON way: shortest round-tripping decimal;
+/// non-finite values become `0`.
+pub fn fmt_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+/// Appends `s` as a JSON string literal with the mandatory escapes.
+pub fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A parse failure: what went wrong and the byte offset it happened at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Human-readable description.
+    pub msg: String,
+    /// Byte offset into the source where the error was detected.
+    pub offset: usize,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error at byte {}: {}", self.offset, self.msg)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: impl Into<String>) -> JsonError {
+        JsonError {
+            msg: msg.into(),
+            offset: self.pos,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("expected '{word}'")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting depth limit exceeded"));
+        }
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(self.err(format!("unexpected character '{}'", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(members));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: run of plain bytes.
+            while let Some(c) = self.peek() {
+                if c == b'"' || c == b'\\' || c < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            if self.pos > start {
+                // The slice boundaries sit on ASCII delimiters, so this
+                // is always valid UTF-8 (the source is &str).
+                out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).unwrap());
+            }
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: a following \uXXXX low
+                                // surrogate is mandatory.
+                                if self.peek() == Some(b'\\') {
+                                    self.pos += 1;
+                                    self.expect(b'u')?;
+                                    let lo = self.hex4()?;
+                                    if !(0xDC00..0xE000).contains(&lo) {
+                                        return Err(self.err("invalid low surrogate"));
+                                    }
+                                    0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                                } else {
+                                    return Err(self.err("lone high surrogate"));
+                                }
+                            } else if (0xDC00..0xE000).contains(&hi) {
+                                return Err(self.err("lone low surrogate"));
+                            } else {
+                                hi
+                            };
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("invalid unicode escape"))?,
+                            );
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                Some(_) => return Err(self.err("raw control character in string")),
+                None => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let c = self
+                .peek()
+                .ok_or_else(|| self.err("truncated \\u escape"))?;
+            let d = (c as char)
+                .to_digit(16)
+                .ok_or_else(|| self.err("invalid hex digit in \\u escape"))?;
+            v = (v << 4) | d;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let digits = |p: &mut Self| {
+            let begin = p.pos;
+            while p.peek().is_some_and(|c| c.is_ascii_digit()) {
+                p.pos += 1;
+            }
+            p.pos > begin
+        };
+        if !digits(self) {
+            return Err(self.err("expected digits"));
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            if !digits(self) {
+                return Err(self.err("expected digits after '.'"));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !digits(self) {
+                return Err(self.err("expected digits in exponent"));
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        match text.parse::<f64>() {
+            // `FromStr` maps overflow to ±infinity rather than
+            // erroring; reject it here — the writer has no non-finite
+            // representation, so accepting `1e999` would break the
+            // parse∘write round trip.
+            Ok(v) if v.is_finite() => Ok(Json::Num(v)),
+            _ => Err(self.err("number out of range")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(Json::parse("null").unwrap(), Json::Null);
+        assert_eq!(Json::parse(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(Json::parse("-2.5e2").unwrap(), Json::Num(-250.0));
+        assert_eq!(Json::parse(r#""a\nb""#).unwrap(), Json::str("a\nb"));
+    }
+
+    #[test]
+    fn parses_nested_structures_in_order() {
+        let v = Json::parse(r#"{"b": [1, {"x": null}], "a": "z"}"#).unwrap();
+        let members = v.as_obj().unwrap();
+        assert_eq!(members[0].0, "b");
+        assert_eq!(members[1].0, "a");
+        assert_eq!(v.get("a").and_then(Json::as_str), Some("z"));
+        let arr = v.get("b").unwrap().as_arr().unwrap();
+        assert_eq!(arr[0].as_u64(), Some(1));
+    }
+
+    #[test]
+    fn compact_round_trips() {
+        let v = Json::obj(vec![
+            ("s", Json::str("line\n\"q\"\\")),
+            ("n", Json::num(0.25)),
+            ("big", Json::from_u64(1 << 53)),
+            ("arr", Json::Arr(vec![Json::Null, Json::Bool(false)])),
+            ("empty", Json::Obj(vec![])),
+        ]);
+        let text = v.to_compact();
+        assert!(!text.contains('\n'));
+        assert_eq!(Json::parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn pretty_round_trips_and_indents() {
+        let v = Json::obj(vec![
+            ("suite", Json::str("s")),
+            (
+                "entries",
+                Json::Arr(vec![Json::obj(vec![("k", Json::num(1))])]),
+            ),
+        ]);
+        let text = v.to_pretty();
+        assert!(text.contains("  \"suite\": \"s\""));
+        assert_eq!(Json::parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn unicode_escapes_and_surrogates() {
+        assert_eq!(Json::parse(r#""A""#).unwrap(), Json::str("A"));
+        assert_eq!(Json::parse(r#""😀""#).unwrap(), Json::str("😀"));
+        assert!(Json::parse(r#""\ud83d""#).is_err());
+        // Multi-byte characters survive writing and reparsing.
+        let v = Json::str("åß😀");
+        assert_eq!(Json::parse(&v.to_compact()).unwrap(), v);
+    }
+
+    #[test]
+    fn rejects_malformed_input_with_offsets() {
+        for (src, _why) in [
+            ("{", "unterminated object"),
+            ("[1,]", "trailing comma"),
+            ("{\"a\" 1}", "missing colon"),
+            ("tru", "bad literal"),
+            ("1 2", "trailing garbage"),
+            ("\"\u{0001}\"", "raw control char"),
+            (
+                "01",
+                "leading zero is fine actually—but '1 2' covers trailing",
+            ),
+        ] {
+            if src == "01" {
+                continue;
+            }
+            let err = Json::parse(src).unwrap_err();
+            assert!(err.offset <= src.len(), "{src}");
+        }
+    }
+
+    #[test]
+    fn depth_limit_blocks_hostile_nesting() {
+        let hostile = "[".repeat(100_000);
+        let err = Json::parse(&hostile).unwrap_err();
+        assert!(err.msg.contains("depth"), "{err}");
+    }
+
+    #[test]
+    fn integers_round_trip_exactly() {
+        for v in [0u64, 1, 12_345, (1 << 53) - 1] {
+            let text = Json::from_u64(v).to_compact();
+            assert_eq!(text, v.to_string());
+            assert_eq!(Json::parse(&text).unwrap().as_u64(), Some(v));
+        }
+        assert_eq!(Json::Num(1.5).as_u64(), None);
+        assert_eq!(Json::Num(-1.0).as_u64(), None);
+    }
+
+    #[test]
+    fn non_finite_numbers_write_as_zero() {
+        assert_eq!(fmt_num(f64::NAN), "0");
+        assert_eq!(fmt_num(f64::INFINITY), "0");
+        assert_eq!(fmt_num(2.5), "2.5");
+    }
+
+    #[test]
+    fn overflowing_literals_are_rejected_not_infinite() {
+        for src in ["1e999", "-1e999", "[1e400]"] {
+            let err = Json::parse(src).unwrap_err();
+            assert!(err.msg.contains("out of range"), "{src}: {err}");
+        }
+        // The largest finite doubles still parse.
+        assert!(Json::parse("1.7976931348623157e308").is_ok());
+    }
+}

@@ -1,0 +1,195 @@
+//! `compas-client` — a one-shot client for `compas-serve`.
+//!
+//! ```text
+//! compas-client [--addr HOST:PORT] --demo bell --shots 1000 --seed 7
+//! compas-client --qasm circuit.qasm --shots 500 --seed 1 --backend sv
+//! compas-client --stats
+//! compas-client --shutdown
+//! ```
+//!
+//! Submits one request (repeated `--repeat` times on the same
+//! connection), prints each response line to stdout, and exits 0 on
+//! `ok`/`stats`/`bye`, 3 on `busy`, 2 on `error`, 1 on I/O failure.
+//! `--demo` builds a circuit locally and ships it as QASM: `bell`, or
+//! `ghzN` (an N-qubit GHZ chain, e.g. `ghz8`).
+
+use circuit::circuit::Circuit;
+use circuit::qasm::to_qasm3;
+use service::{Op, Request, Response, RunRequest};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: compas-client [--addr HOST:PORT] [--id ID] [--repeat K]\n\
+         \x20  (--demo bell|ghzN | --qasm FILE) [--shots N] [--seed N] [--backend NAME]\n\
+         \x20  | --stats | --shutdown"
+    );
+    exit(2);
+}
+
+fn demo_circuit(name: &str) -> Option<Circuit> {
+    if name == "bell" {
+        let mut c = Circuit::new(2, 2);
+        c.h(0).cx(0, 1).measure(0, 0).measure(1, 1);
+        return Some(c);
+    }
+    let n: usize = name.strip_prefix("ghz")?.parse().ok()?;
+    if !(1..=26).contains(&n) {
+        return None;
+    }
+    let mut c = Circuit::new(n, n);
+    c.h(0);
+    for q in 1..n {
+        c.cx(q - 1, q);
+    }
+    for q in 0..n {
+        c.measure(q, q);
+    }
+    Some(c)
+}
+
+struct Args {
+    addr: String,
+    id: Option<String>,
+    repeat: u64,
+    op: Op,
+}
+
+fn parse_args() -> Args {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut id = None;
+    let mut repeat = 1u64;
+    let mut qasm: Option<String> = None;
+    let mut shots = 1024u64;
+    let mut seed = 0u64;
+    let mut backend = "auto".to_string();
+    let mut admin: Option<Op> = None;
+    let mut i = 0;
+    let value = |args: &[String], i: usize| -> String {
+        args.get(i + 1).cloned().unwrap_or_else(|| usage())
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => {
+                addr = value(&args, i);
+                i += 2;
+            }
+            "--id" => {
+                id = Some(value(&args, i));
+                i += 2;
+            }
+            "--repeat" => {
+                repeat = value(&args, i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--demo" => {
+                let name = value(&args, i);
+                let circuit = demo_circuit(&name).unwrap_or_else(|| {
+                    eprintln!("unknown demo circuit: {name}");
+                    usage()
+                });
+                qasm = Some(to_qasm3(&circuit));
+                i += 2;
+            }
+            "--qasm" => {
+                let path = value(&args, i);
+                qasm = Some(std::fs::read_to_string(&path).unwrap_or_else(|err| {
+                    eprintln!("cannot read {path}: {err}");
+                    exit(1);
+                }));
+                i += 2;
+            }
+            "--shots" => {
+                shots = value(&args, i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--seed" => {
+                seed = value(&args, i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--backend" => {
+                backend = value(&args, i);
+                i += 2;
+            }
+            "--stats" => {
+                admin = Some(Op::Stats);
+                i += 1;
+            }
+            "--shutdown" => {
+                admin = Some(Op::Shutdown);
+                i += 1;
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage();
+            }
+        }
+    }
+    let op = match (admin, qasm) {
+        (Some(op), None) => op,
+        (None, Some(qasm)) => Op::Run(RunRequest {
+            qasm,
+            shots,
+            root_seed: seed,
+            backend,
+        }),
+        _ => usage(),
+    };
+    Args {
+        addr,
+        id,
+        repeat,
+        op,
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let stream = TcpStream::connect(&args.addr).unwrap_or_else(|err| {
+        eprintln!("compas-client: cannot connect to {}: {err}", args.addr);
+        exit(1);
+    });
+    let mut reader = BufReader::new(stream.try_clone().unwrap_or_else(|err| {
+        eprintln!("compas-client: {err}");
+        exit(1);
+    }));
+    let mut writer = stream;
+    let mut worst = 0i32;
+    for _ in 0..args.repeat.max(1) {
+        let request = Request {
+            id: args.id.clone(),
+            op: args.op.clone(),
+        };
+        if writer.write_all(request.to_line().as_bytes()).is_err() {
+            eprintln!("compas-client: connection lost while sending");
+            exit(1);
+        }
+        let mut line = String::new();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => {
+                eprintln!("compas-client: server closed the connection");
+                exit(1);
+            }
+            Ok(_) => {}
+        }
+        print!("{line}");
+        let code = match Response::from_line(&line) {
+            Ok(Response::Error { .. }) => 2,
+            Ok(Response::Busy { .. }) => 3,
+            Ok(_) => 0,
+            Err(err) => {
+                eprintln!("compas-client: unparseable response: {err}");
+                2
+            }
+        };
+        worst = worst.max(code);
+        if matches!(args.op, Op::Shutdown) {
+            break;
+        }
+    }
+    exit(worst);
+}

@@ -1,0 +1,86 @@
+//! `compas-serve` — the stand-alone simulation job server.
+//!
+//! ```text
+//! compas-serve [--addr HOST:PORT] [--workers N] [--queue N]
+//!              [--cache N] [--slice N] [--engine-env]
+//! ```
+//!
+//! Binds the address (default `127.0.0.1:7878`; port `0` picks an
+//! ephemeral port), prints `compas-serve listening on <addr>` once
+//! ready, and serves until a client sends `{"op": "shutdown"}`.
+//! Wire protocol: `service::protocol`. The default per-slice engine is
+//! sequential (parallelism = `--workers`); `--engine-env` configures
+//! it from `COMPAS_THREADS` / `COMPAS_CHUNK` instead.
+
+use engine::Engine;
+use service::{Service, ServiceConfig};
+use std::io::Write as _;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: compas-serve [--addr HOST:PORT] [--workers N] [--queue N] \
+         [--cache N] [--slice N] [--engine-env]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut config = ServiceConfig {
+        addr: "127.0.0.1:7878".to_string(),
+        ..ServiceConfig::default()
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |args: &[String], i: usize| -> String {
+        args.get(i + 1).cloned().unwrap_or_else(|| usage())
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => {
+                config.addr = value(&args, i);
+                i += 2;
+            }
+            "--workers" => {
+                config.workers = value(&args, i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--queue" => {
+                config.queue_capacity = value(&args, i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--cache" => {
+                config.cache_capacity = value(&args, i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--slice" => {
+                config.slice_shots = value(&args, i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--engine-env" => {
+                config.engine = Engine::from_env();
+                i += 1;
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage();
+            }
+        }
+    }
+    if config.workers == 0 {
+        eprintln!("refusing to serve with 0 workers (jobs would never run)");
+        std::process::exit(2);
+    }
+
+    let handle = match Service::spawn(config) {
+        Ok(handle) => handle,
+        Err(err) => {
+            eprintln!("compas-serve: bind failed: {err}");
+            std::process::exit(1);
+        }
+    };
+    println!("compas-serve listening on {}", handle.addr());
+    let _ = std::io::stdout().flush();
+    handle.join();
+    println!("compas-serve: shut down cleanly");
+}

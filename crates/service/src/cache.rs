@@ -1,0 +1,193 @@
+//! The content-addressed result cache.
+//!
+//! A job's result is a pure function of `(circuit, root seed, shots,
+//! backend)` — the whole point of the engine's determinism contract —
+//! so identical requests can be served from memory without touching a
+//! simulator. The cache key addresses the *content*: the circuit is
+//! canonicalized by re-exporting the parsed [`Circuit`] through
+//! `to_qasm3` (so textual variants — whitespace, comments, parity-
+//! temporary names — of the same circuit hit the same entry) and
+//! fingerprinted with FNV-1a 64; the resolved backend name, shot
+//! count, and root seed complete the key.
+//!
+//! Eviction is LRU over a fixed entry capacity. Hit/miss accounting
+//! lives in the scheduler's `ServiceStats` (the single counter source
+//! feeding the `stats` wire op and the `service_scaling` report).
+//!
+//! [`Circuit`]: circuit::circuit::Circuit
+
+use engine::Counts;
+use std::collections::HashMap;
+
+/// FNV-1a 64-bit fingerprint of the canonical circuit text.
+///
+/// Two requests whose canonical QASM collides under this hash (and
+/// that match in backend/shots/seed) would share a cache entry; at 64
+/// bits that is vanishingly unlikely for any realistic workload, and a
+/// false hit is *detectable* (the served tallies would diverge from a
+/// direct `Backend::sample_shots` call) rather than silent corruption
+/// of the simulator state.
+pub fn fingerprint(text: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in text.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// The identity of a job: canonical-circuit fingerprint + resolved
+/// backend + shots + root seed. Equal keys ⇒ bit-identical results, so
+/// this is also the coalescing key for concurrent identical requests.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// [`fingerprint`] of the canonical (re-exported) QASM text.
+    pub circuit_fp: u64,
+    /// Resolved backend name (`Backend::name` after `Auto` routing, so
+    /// `auto` requests share entries with their resolved twin).
+    pub backend: &'static str,
+    /// Shots requested.
+    pub shots: u64,
+    /// Root seed of the deterministic RNG streams.
+    pub root_seed: u64,
+}
+
+struct CacheEntry {
+    counts: Counts,
+    last_used: u64,
+}
+
+/// Fixed-capacity LRU map from [`CacheKey`] to result tallies.
+pub struct ResultCache {
+    capacity: usize,
+    tick: u64,
+    entries: HashMap<CacheKey, CacheEntry>,
+}
+
+impl ResultCache {
+    /// An empty cache holding at most `capacity` results (0 disables
+    /// caching entirely).
+    pub fn new(capacity: usize) -> Self {
+        ResultCache {
+            capacity,
+            tick: 0,
+            entries: HashMap::new(),
+        }
+    }
+
+    /// Looks `key` up, refreshing its recency.
+    pub fn get(&mut self, key: &CacheKey) -> Option<Counts> {
+        self.tick += 1;
+        let entry = self.entries.get_mut(key)?;
+        entry.last_used = self.tick;
+        Some(entry.counts.clone())
+    }
+
+    /// Inserts a completed result, evicting the least-recently-used
+    /// entry if the cache is full.
+    pub fn insert(&mut self, key: CacheKey, counts: Counts) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        if self.entries.len() >= self.capacity && !self.entries.contains_key(&key) {
+            // O(n) scan — capacities are small (hundreds), and insert
+            // happens once per executed job, not per request.
+            if let Some(lru) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                self.entries.remove(&lru);
+            }
+        }
+        self.entries.insert(
+            key,
+            CacheEntry {
+                counts,
+                last_used: self.tick,
+            },
+        );
+    }
+
+    /// Resident entry count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(fp: u64) -> CacheKey {
+        CacheKey {
+            circuit_fp: fp,
+            backend: "statevector",
+            shots: 100,
+            root_seed: 1,
+        }
+    }
+
+    fn counts(n: usize) -> Counts {
+        [(0usize, n)].into_iter().collect()
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_content_sensitive() {
+        assert_eq!(fingerprint("abc"), fingerprint("abc"));
+        assert_ne!(fingerprint("abc"), fingerprint("abd"));
+        assert_ne!(fingerprint(""), fingerprint(" "));
+    }
+
+    #[test]
+    fn get_after_insert_hits() {
+        let mut cache = ResultCache::new(4);
+        assert_eq!(cache.get(&key(1)), None);
+        cache.insert(key(1), counts(7));
+        assert_eq!(cache.get(&key(1)), Some(counts(7)));
+        // Different shots ⇒ different key.
+        let mut other = key(1);
+        other.shots = 200;
+        assert_eq!(cache.get(&other), None);
+    }
+
+    #[test]
+    fn eviction_is_least_recently_used() {
+        let mut cache = ResultCache::new(2);
+        cache.insert(key(1), counts(1));
+        cache.insert(key(2), counts(2));
+        // Touch 1 so 2 becomes the LRU entry.
+        assert!(cache.get(&key(1)).is_some());
+        cache.insert(key(3), counts(3));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&key(1)).is_some());
+        assert!(cache.get(&key(2)).is_none(), "LRU entry should be gone");
+        assert!(cache.get(&key(3)).is_some());
+    }
+
+    #[test]
+    fn reinserting_an_existing_key_does_not_evict() {
+        let mut cache = ResultCache::new(2);
+        cache.insert(key(1), counts(1));
+        cache.insert(key(2), counts(2));
+        cache.insert(key(1), counts(9));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get(&key(1)), Some(counts(9)));
+        assert!(cache.get(&key(2)).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut cache = ResultCache::new(0);
+        cache.insert(key(1), counts(1));
+        assert!(cache.is_empty());
+        assert_eq!(cache.get(&key(1)), None);
+    }
+}

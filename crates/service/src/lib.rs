@@ -1,0 +1,66 @@
+//! # service — the deterministic simulation-serving subsystem
+//!
+//! Everything below this crate runs batch binaries; this crate puts a
+//! long-lived process in front of the execution stack so many callers
+//! can share it: a TCP server speaking **newline-delimited JSON**
+//! (one request per line, one response per line — see
+//! [`protocol`]), where a request carries a circuit as OpenQASM 3 text
+//! (the `circuit::qasm` interchange subset) plus
+//! `{shots, root_seed, backend}`, and the response carries the
+//! measurement-record tallies.
+//!
+//! ## The serving guarantee
+//!
+//! Served tallies are **bit-identical** to a direct
+//! `engine::Backend::sample_shots` call with the same root seed and
+//! backend — cold, sliced, coalesced, or cached. This falls out of the
+//! engine's determinism contract: shot `i`'s RNG stream is a pure
+//! function of `(root_seed, i)`, so executing a job as scheduler
+//! slices over global shot-index ranges and merging the tallies
+//! reproduces the uninterrupted run exactly. A serving layer therefore
+//! costs *nothing* in reproducibility: any response can be re-derived
+//! offline from its request alone.
+//!
+//! ## Architecture
+//!
+//! Three layers, each its own module:
+//!
+//! 1. [`scheduler`] — bounded job admission with explicit backpressure
+//!    (`busy` + retry hint when full), **shot-slicing** of large jobs
+//!    into ranged chunks rotated round-robin for fairness across
+//!    clients, and **coalescing** of concurrently queued identical
+//!    requests onto one execution;
+//! 2. [`cache`] — a content-addressed LRU result cache keyed by the
+//!    canonical circuit fingerprint + seed + shots + resolved backend,
+//!    with hit/miss counters;
+//! 3. [`server`] — the TCP acceptor, per-connection handlers, and the
+//!    worker pool that replays compiled jobs (each job is compiled
+//!    **once** at admission — fused statevector kernels, stabilizer
+//!    plan, or once-evolved density matrix — and every slice replays
+//!    it).
+//!
+//! ## Binaries
+//!
+//! * `compas-serve` — stand-alone server (`--addr`, `--workers`,
+//!   `--queue`, `--cache`, `--slice`).
+//! * `compas-client` — one-shot client: submit a QASM file or a built-in
+//!   demo circuit, query stats, or request shutdown.
+//!
+//! ```no_run
+//! use service::{Service, ServiceConfig};
+//!
+//! let handle = Service::spawn(ServiceConfig::default()).unwrap();
+//! println!("serving on {}", handle.addr());
+//! handle.shutdown();
+//! ```
+
+pub mod cache;
+pub mod protocol;
+pub mod scheduler;
+pub mod server;
+
+pub use protocol::{Op, Request, Response, RunRequest, ServiceStats};
+pub use scheduler::{
+    PreparedJob, Scheduler, SchedulerConfig, Submission, MAX_REQUEST_CBITS, MAX_REQUEST_QUBITS,
+};
+pub use server::{Service, ServiceConfig, ServiceHandle, MAX_LINE_BYTES};

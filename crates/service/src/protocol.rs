@@ -1,0 +1,547 @@
+//! The wire protocol: newline-delimited JSON over TCP.
+//!
+//! Each request and each response is **one JSON document on one line**
+//! (`\n`-terminated, no internal newlines) — trivially framable from
+//! any language with a socket and a JSON parser. Serialization is
+//! deterministic: object keys are emitted in schema order and tallies
+//! are sorted by outcome, so a response's bytes are a pure function of
+//! its content (the serving twin of the engine's bit-identical
+//! tallies).
+//!
+//! ## Requests
+//!
+//! ```json
+//! {"op": "run", "id": "r1", "qasm": "OPENQASM 3.0;…", "shots": 1000,
+//!  "root_seed": 7, "backend": "auto"}
+//! {"op": "stats"}
+//! {"op": "shutdown"}
+//! ```
+//!
+//! `op` defaults to `"run"`; `id` is an optional opaque string echoed
+//! on the response; `backend` defaults to `"auto"`
+//! (`engine::Backend::parse` names). `qasm`, `shots`, and `root_seed`
+//! are required for runs.
+//!
+//! ## Responses
+//!
+//! ```json
+//! {"status": "ok", "id": "r1", "backend": "stabilizer", "shots": 1000,
+//!  "cached": false, "coalesced": false, "tallies": {"0": 493, "3": 507}}
+//! {"status": "busy", "in_flight": 32, "retry_after_ms": 650}
+//! {"status": "error", "error": "qasm parse error at line 3: …"}
+//! {"status": "stats", "received": 9, "completed": 4, …}
+//! {"status": "bye"}
+//! ```
+//!
+//! Tally keys are the packed classical registers (the
+//! `Executor::sample_shots` convention) rendered in decimal.
+
+use engine::Counts;
+use jsonlite::Json;
+
+/// What a client asked the server to do.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// Execute a circuit and return its tallies.
+    Run(RunRequest),
+    /// Report the server's counters.
+    Stats,
+    /// Stop accepting work and shut the server down.
+    Shutdown,
+}
+
+/// One decoded request line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Opaque client-chosen correlation id, echoed on the response.
+    pub id: Option<String>,
+    /// The operation.
+    pub op: Op,
+}
+
+/// A simulation job: the circuit as OpenQASM 3 text plus the sampling
+/// parameters. The served tallies are bit-identical to
+/// `Backend::sample_shots(circuit, shots, …)` with the same root seed
+/// and backend.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunRequest {
+    /// The circuit, in the `circuit::qasm` interchange subset.
+    pub qasm: String,
+    /// Number of shots.
+    pub shots: u64,
+    /// Root seed of the job's deterministic RNG streams.
+    pub root_seed: u64,
+    /// Backend name (`engine::Backend::parse` convention).
+    pub backend: String,
+}
+
+impl Request {
+    /// Builds a run request.
+    pub fn run(id: Option<String>, run: RunRequest) -> Request {
+        Request {
+            id,
+            op: Op::Run(run),
+        }
+    }
+
+    /// Decodes one request line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first problem.
+    pub fn from_line(line: &str) -> Result<Request, String> {
+        let doc = Json::parse(line.trim()).map_err(|e| e.to_string())?;
+        if doc.as_obj().is_none() {
+            return Err("request must be a JSON object".to_string());
+        }
+        let id = match doc.get("id") {
+            None | Some(Json::Null) => None,
+            Some(v) => Some(v.as_str().ok_or("\"id\" must be a string")?.to_string()),
+        };
+        let op_name = match doc.get("op") {
+            None => "run",
+            Some(v) => v.as_str().ok_or("\"op\" must be a string")?,
+        };
+        let op = match op_name {
+            "run" => {
+                let qasm = doc
+                    .get("qasm")
+                    .ok_or("run request missing \"qasm\"")?
+                    .as_str()
+                    .ok_or("\"qasm\" must be a string")?
+                    .to_string();
+                let shots = doc
+                    .get("shots")
+                    .ok_or("run request missing \"shots\"")?
+                    .as_u64()
+                    .ok_or("\"shots\" must be a non-negative integer")?;
+                let root_seed = doc
+                    .get("root_seed")
+                    .ok_or("run request missing \"root_seed\"")?
+                    .as_u64()
+                    .ok_or("\"root_seed\" must be a non-negative integer")?;
+                let backend = match doc.get("backend") {
+                    None => "auto".to_string(),
+                    Some(v) => v
+                        .as_str()
+                        .ok_or("\"backend\" must be a string")?
+                        .to_string(),
+                };
+                Op::Run(RunRequest {
+                    qasm,
+                    shots,
+                    root_seed,
+                    backend,
+                })
+            }
+            "stats" => Op::Stats,
+            "shutdown" => Op::Shutdown,
+            other => return Err(format!("unknown op \"{other}\"")),
+        };
+        Ok(Request { id, op })
+    }
+
+    /// Encodes the request as one wire line (`\n`-terminated).
+    pub fn to_line(&self) -> String {
+        let mut members: Vec<(String, Json)> = Vec::new();
+        let op = match &self.op {
+            Op::Run(_) => "run",
+            Op::Stats => "stats",
+            Op::Shutdown => "shutdown",
+        };
+        members.push(("op".into(), Json::str(op)));
+        if let Some(id) = &self.id {
+            members.push(("id".into(), Json::str(id)));
+        }
+        if let Op::Run(run) = &self.op {
+            members.push(("qasm".into(), Json::str(&run.qasm)));
+            members.push(("shots".into(), Json::from_u64(run.shots)));
+            members.push(("root_seed".into(), Json::from_u64(run.root_seed)));
+            members.push(("backend".into(), Json::str(&run.backend)));
+        }
+        let mut line = Json::Obj(members).to_compact();
+        line.push('\n');
+        line
+    }
+}
+
+/// The server's counters, as reported by a `stats` request. Counter
+/// fields accumulate since startup; `in_flight` and `cache_entries`
+/// are gauges read at snapshot time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Run requests received (including malformed request lines;
+    /// `stats`/`shutdown` admin ops are not counted).
+    pub received: u64,
+    /// Jobs executed to completion.
+    pub completed: u64,
+    /// Responses served straight from the result cache.
+    pub cache_hits: u64,
+    /// Admitted executions (cache misses).
+    pub cache_misses: u64,
+    /// Requests attached to an identical in-flight job instead of
+    /// executing again.
+    pub coalesced: u64,
+    /// Requests rejected with `busy` because the job queue was full.
+    pub rejected_busy: u64,
+    /// Malformed or unexecutable requests answered with `error`.
+    pub errors: u64,
+    /// Jobs currently admitted (queued or executing) — gauge.
+    pub in_flight: u64,
+    /// Entries currently resident in the result cache — gauge.
+    pub cache_entries: u64,
+}
+
+impl ServiceStats {
+    /// The schema's `(name, value)` pairs, in wire order.
+    fn fields(&self) -> [(&'static str, u64); 9] {
+        [
+            ("received", self.received),
+            ("completed", self.completed),
+            ("cache_hits", self.cache_hits),
+            ("cache_misses", self.cache_misses),
+            ("coalesced", self.coalesced),
+            ("rejected_busy", self.rejected_busy),
+            ("errors", self.errors),
+            ("in_flight", self.in_flight),
+            ("cache_entries", self.cache_entries),
+        ]
+    }
+}
+
+/// One response line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The job's tallies — bit-identical to a direct
+    /// `Backend::sample_shots` call with the same root seed/backend.
+    Ok {
+        /// Echo of the request id.
+        id: Option<String>,
+        /// The backend that executed (after `Auto` routing).
+        backend: String,
+        /// Shots executed (tally values sum to this).
+        shots: u64,
+        /// Whether the result came from the content-addressed cache.
+        cached: bool,
+        /// Whether this request was coalesced onto an identical
+        /// in-flight job instead of executing separately.
+        coalesced: bool,
+        /// Histogram of packed classical registers.
+        tallies: Counts,
+    },
+    /// The job queue is full; retry after the hinted delay.
+    Busy {
+        /// Echo of the request id.
+        id: Option<String>,
+        /// Jobs admitted when the request was rejected.
+        in_flight: u64,
+        /// Suggested client back-off in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The request could not be executed.
+    Error {
+        /// Echo of the request id.
+        id: Option<String>,
+        /// What went wrong.
+        error: String,
+    },
+    /// Counter snapshot.
+    Stats {
+        /// Echo of the request id.
+        id: Option<String>,
+        /// The counters.
+        stats: ServiceStats,
+    },
+    /// Acknowledgement of a shutdown request (the last line the server
+    /// writes on that connection).
+    Bye {
+        /// Echo of the request id.
+        id: Option<String>,
+    },
+}
+
+impl Response {
+    /// Encodes the response as one wire line (`\n`-terminated).
+    pub fn to_line(&self) -> String {
+        let mut members: Vec<(String, Json)> = Vec::new();
+        let push_id = |members: &mut Vec<(String, Json)>, id: &Option<String>| {
+            if let Some(id) = id {
+                members.push(("id".into(), Json::str(id)));
+            }
+        };
+        match self {
+            Response::Ok {
+                id,
+                backend,
+                shots,
+                cached,
+                coalesced,
+                tallies,
+            } => {
+                members.push(("status".into(), Json::str("ok")));
+                push_id(&mut members, id);
+                members.push(("backend".into(), Json::str(backend)));
+                members.push(("shots".into(), Json::from_u64(*shots)));
+                members.push(("cached".into(), Json::Bool(*cached)));
+                members.push(("coalesced".into(), Json::Bool(*coalesced)));
+                // Sort by outcome so the bytes are deterministic.
+                let mut rows: Vec<(usize, usize)> = tallies.iter().map(|(&k, &v)| (k, v)).collect();
+                rows.sort_unstable();
+                members.push((
+                    "tallies".into(),
+                    Json::Obj(
+                        rows.into_iter()
+                            .map(|(k, v)| (k.to_string(), Json::from_usize(v)))
+                            .collect(),
+                    ),
+                ));
+            }
+            Response::Busy {
+                id,
+                in_flight,
+                retry_after_ms,
+            } => {
+                members.push(("status".into(), Json::str("busy")));
+                push_id(&mut members, id);
+                members.push(("in_flight".into(), Json::from_u64(*in_flight)));
+                members.push(("retry_after_ms".into(), Json::from_u64(*retry_after_ms)));
+            }
+            Response::Error { id, error } => {
+                members.push(("status".into(), Json::str("error")));
+                push_id(&mut members, id);
+                members.push(("error".into(), Json::str(error)));
+            }
+            Response::Stats { id, stats } => {
+                members.push(("status".into(), Json::str("stats")));
+                push_id(&mut members, id);
+                for (name, value) in stats.fields() {
+                    members.push((name.into(), Json::from_u64(value)));
+                }
+            }
+            Response::Bye { id } => {
+                members.push(("status".into(), Json::str("bye")));
+                push_id(&mut members, id);
+            }
+        }
+        let mut line = Json::Obj(members).to_compact();
+        line.push('\n');
+        line
+    }
+
+    /// Decodes one response line (the client side of the protocol).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first problem.
+    pub fn from_line(line: &str) -> Result<Response, String> {
+        let doc = Json::parse(line.trim()).map_err(|e| e.to_string())?;
+        let id = match doc.get("id") {
+            None | Some(Json::Null) => None,
+            Some(v) => Some(v.as_str().ok_or("\"id\" must be a string")?.to_string()),
+        };
+        let status = doc
+            .get("status")
+            .and_then(Json::as_str)
+            .ok_or("response missing \"status\"")?;
+        let num = |key: &str| {
+            doc.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("response missing numeric \"{key}\""))
+        };
+        match status {
+            "ok" => {
+                let tallies = doc
+                    .get("tallies")
+                    .and_then(Json::as_obj)
+                    .ok_or("ok response missing \"tallies\"")?
+                    .iter()
+                    .map(|(k, v)| {
+                        let outcome: usize = k
+                            .parse()
+                            .map_err(|_| format!("non-numeric tally key \"{k}\""))?;
+                        let count = v
+                            .as_u64()
+                            .ok_or_else(|| format!("non-numeric tally for \"{k}\""))?;
+                        Ok((outcome, count as usize))
+                    })
+                    .collect::<Result<Counts, String>>()?;
+                Ok(Response::Ok {
+                    id,
+                    backend: doc
+                        .get("backend")
+                        .and_then(Json::as_str)
+                        .ok_or("ok response missing \"backend\"")?
+                        .to_string(),
+                    shots: num("shots")?,
+                    cached: doc
+                        .get("cached")
+                        .and_then(Json::as_bool)
+                        .ok_or("ok response missing \"cached\"")?,
+                    coalesced: doc
+                        .get("coalesced")
+                        .and_then(Json::as_bool)
+                        .ok_or("ok response missing \"coalesced\"")?,
+                    tallies,
+                })
+            }
+            "busy" => Ok(Response::Busy {
+                id,
+                in_flight: num("in_flight")?,
+                retry_after_ms: num("retry_after_ms")?,
+            }),
+            "error" => Ok(Response::Error {
+                id,
+                error: doc
+                    .get("error")
+                    .and_then(Json::as_str)
+                    .ok_or("error response missing \"error\"")?
+                    .to_string(),
+            }),
+            "stats" => Ok(Response::Stats {
+                id,
+                stats: ServiceStats {
+                    received: num("received")?,
+                    completed: num("completed")?,
+                    cache_hits: num("cache_hits")?,
+                    cache_misses: num("cache_misses")?,
+                    coalesced: num("coalesced")?,
+                    rejected_busy: num("rejected_busy")?,
+                    errors: num("errors")?,
+                    in_flight: num("in_flight")?,
+                    cache_entries: num("cache_entries")?,
+                },
+            }),
+            "bye" => Ok(Response::Bye { id }),
+            other => Err(format!("unknown status \"{other}\"")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_request_round_trips() {
+        let req = Request::run(
+            Some("r1".into()),
+            RunRequest {
+                qasm: "OPENQASM 3.0;\nqubit[1] q;\nh q[0];\n".into(),
+                shots: 500,
+                root_seed: 7,
+                backend: "auto".into(),
+            },
+        );
+        let line = req.to_line();
+        assert!(line.ends_with('\n') && !line.trim_end().contains('\n'));
+        assert_eq!(Request::from_line(&line).unwrap(), req);
+    }
+
+    #[test]
+    fn op_defaults_to_run_and_backend_to_auto() {
+        let req = Request::from_line(r#"{"qasm": "x", "shots": 1, "root_seed": 0}"#).unwrap();
+        match req.op {
+            Op::Run(run) => assert_eq!(run.backend, "auto"),
+            other => panic!("unexpected op {other:?}"),
+        }
+        assert_eq!(req.id, None);
+    }
+
+    #[test]
+    fn admin_requests_round_trip() {
+        for req in [
+            Request {
+                id: None,
+                op: Op::Stats,
+            },
+            Request {
+                id: Some("s".into()),
+                op: Op::Shutdown,
+            },
+        ] {
+            assert_eq!(Request::from_line(&req.to_line()).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn malformed_requests_are_described() {
+        for (line, needle) in [
+            ("", "json error"),
+            ("[]", "must be a JSON object"),
+            ("{\"op\": \"launch\"}", "unknown op"),
+            ("{\"op\": \"run\"}", "missing \"qasm\""),
+            (r#"{"qasm": "x", "shots": -1, "root_seed": 0}"#, "shots"),
+            (r#"{"qasm": "x", "shots": 1.5, "root_seed": 0}"#, "shots"),
+        ] {
+            let err = Request::from_line(line).unwrap_err();
+            assert!(err.contains(needle), "{line}: {err}");
+        }
+    }
+
+    #[test]
+    fn responses_round_trip_and_sort_tallies() {
+        let tallies: Counts = [(3usize, 507usize), (0, 493)].into_iter().collect();
+        let ok = Response::Ok {
+            id: Some("r1".into()),
+            backend: "stabilizer".into(),
+            shots: 1000,
+            cached: false,
+            coalesced: true,
+            tallies,
+        };
+        let line = ok.to_line();
+        // Keys sorted numerically → deterministic bytes.
+        assert!(line.find("\"0\"").unwrap() < line.find("\"3\"").unwrap());
+        assert_eq!(Response::from_line(&line).unwrap(), ok);
+
+        let busy = Response::Busy {
+            id: None,
+            in_flight: 32,
+            retry_after_ms: 650,
+        };
+        assert_eq!(Response::from_line(&busy.to_line()).unwrap(), busy);
+
+        let stats = Response::Stats {
+            id: None,
+            stats: ServiceStats {
+                received: 9,
+                completed: 4,
+                cache_hits: 2,
+                cache_misses: 4,
+                coalesced: 1,
+                rejected_busy: 1,
+                errors: 1,
+                in_flight: 0,
+                cache_entries: 4,
+            },
+        };
+        assert_eq!(Response::from_line(&stats.to_line()).unwrap(), stats);
+
+        let bye = Response::Bye {
+            id: Some("x".into()),
+        };
+        assert_eq!(Response::from_line(&bye.to_line()).unwrap(), bye);
+    }
+
+    #[test]
+    fn ok_lines_are_byte_deterministic() {
+        let tallies: Counts = (0..16).map(|k| (k, k + 1)).collect();
+        let a = Response::Ok {
+            id: None,
+            backend: "statevector".into(),
+            shots: 136,
+            cached: false,
+            coalesced: false,
+            tallies: tallies.clone(),
+        };
+        let b = Response::Ok {
+            id: None,
+            backend: "statevector".into(),
+            shots: 136,
+            cached: false,
+            coalesced: false,
+            tallies,
+        };
+        assert_eq!(a.to_line(), b.to_line());
+    }
+}

@@ -1,0 +1,835 @@
+//! The scheduler: bounded admission, shot-slicing, and coalescing.
+//!
+//! Three disciplines keep the serving path predictable under load
+//! (McKenney's bounded-queue/backpressure guidance):
+//!
+//! 1. **Bounded admission.** At most `queue_capacity` jobs may be
+//!    in flight (queued or executing); further distinct requests are
+//!    rejected with `busy` + a retry hint instead of growing an
+//!    unbounded queue. Rejection is *explicit backpressure* — the
+//!    client knows immediately, instead of timing out.
+//! 2. **Shot-slicing for fairness.** A job's shots are carved into
+//!    `slice_shots`-sized ranges and the job queue is rotated
+//!    round-robin, so a 10⁶-shot job cannot convoy short jobs behind
+//!    it. Slices execute through the engine's *ranged* primitives on
+//!    the job's global shot indices, so the merged tallies are
+//!    **bit-identical** to one uninterrupted `Backend::sample_shots`
+//!    call — slicing changes latency distribution, never results.
+//! 3. **Coalescing.** A request identical to an in-flight job (same
+//!    [`CacheKey`]: canonical circuit, backend, shots, seed) attaches
+//!    to that job as an extra waiter instead of executing again;
+//!    determinism guarantees every waiter receives the same tallies.
+//!
+//! The scheduler is a passive `Mutex`+`Condvar` structure: connection
+//! threads call [`Scheduler::submit`], the server's worker pool drains
+//! [`Scheduler::next_slice`] / [`Scheduler::complete_slice`].
+
+use crate::cache::{fingerprint, CacheKey, ResultCache};
+use crate::protocol::{Response, RunRequest, ServiceStats};
+use circuit::caps::Unsupported;
+use circuit::circuit::Circuit;
+use circuit::qasm::{from_qasm3, to_qasm3};
+use engine::{Backend, Counts, Engine, ShotPlan};
+use qsim::density::{run_deferred, DensityMatrix};
+use qsim::runner::pack_cbits;
+use qsim::statevector::StateVector;
+use stabilizer::clifford::CliffordState;
+use std::collections::{HashMap, VecDeque};
+use std::ops::Range;
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+
+/// Most qubits a served circuit may declare. The exponential backends
+/// bound themselves far below this (statevector ≤ 26, density ≤ 13);
+/// this cap exists for the stabilizer tableau, whose O(n²) state has
+/// no intrinsic limit — without it, a hostile register declaration
+/// becomes an allocation abort instead of an error response.
+pub const MAX_REQUEST_QUBITS: usize = 1024;
+
+/// Most classical bits a served circuit may declare: records are
+/// packed into one 64-bit word (the `sample_shots` tally convention).
+pub const MAX_REQUEST_CBITS: usize = 64;
+
+/// Admission and slicing knobs.
+#[derive(Debug, Clone)]
+pub struct SchedulerConfig {
+    /// Maximum jobs in flight (queued + executing) before distinct new
+    /// requests are rejected with `busy`.
+    pub queue_capacity: usize,
+    /// Shots per slice — the fairness quantum. Large jobs are carved
+    /// into ranges of this size and interleaved round-robin.
+    pub slice_shots: u64,
+    /// Result-cache capacity in entries (0 disables caching).
+    pub cache_capacity: usize,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            queue_capacity: 32,
+            slice_shots: 4096,
+            cache_capacity: 256,
+        }
+    }
+}
+
+/// A job compiled once at admission; every slice replays it.
+///
+/// This is the per-backend execution form behind the serving path: the
+/// statevector and stabilizer arms hold a [`ShotPlan`] (circuit
+/// compiled once via `SimState::compile`), the density arm holds the
+/// once-evolved ρ from which each shot's record is drawn — exactly the
+/// shapes `Backend::sample_shots` uses, so slices tally identically.
+pub enum PreparedJob {
+    /// Fused-kernel statevector replay.
+    StateVector(ShotPlan<StateVector>),
+    /// Stabilizer-tableau replay.
+    Stabilizer(ShotPlan<CliffordState>),
+    /// Deferred-measurement density evolution: ρ is evolved **once**
+    /// here; slices only draw classical records from it.
+    Density {
+        /// The final density matrix.
+        rho: DensityMatrix,
+        /// Classical register width.
+        num_cbits: usize,
+        /// Root seed for the per-shot record draws.
+        root_seed: u64,
+    },
+}
+
+impl PreparedJob {
+    /// Compiles `circuit` for the resolved backend.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the backend's capability probe.
+    pub fn prepare(
+        circuit: &Circuit,
+        backend: Backend,
+        shots: u64,
+        root_seed: u64,
+    ) -> Result<(Backend, PreparedJob), Unsupported> {
+        let resolved = backend.resolve(circuit);
+        resolved.supports(circuit)?;
+        let n = circuit.num_qubits();
+        let job = match resolved {
+            Backend::StateVector => PreparedJob::StateVector(ShotPlan::new(
+                circuit.clone(),
+                StateVector::new(n),
+                shots,
+                root_seed,
+            )),
+            Backend::Stabilizer => PreparedJob::Stabilizer(ShotPlan::new(
+                circuit.clone(),
+                CliffordState::new(n),
+                shots,
+                root_seed,
+            )),
+            Backend::Density => PreparedJob::Density {
+                rho: run_deferred(circuit, &DensityMatrix::new(n)),
+                num_cbits: circuit.num_cbits(),
+                root_seed,
+            },
+            other => unreachable!("resolve never returns {other}"),
+        };
+        Ok((resolved, job))
+    }
+
+    /// Executes the global shot indices `range` of this job. Merging
+    /// the counts of a partition of `0..shots` reproduces the
+    /// uninterrupted run bit-identically (the engine's ranged-fold
+    /// guarantee).
+    pub fn run_range(&self, engine: &Engine, range: Range<u64>) -> Counts {
+        match self {
+            PreparedJob::StateVector(plan) => engine.run_plan_range(plan, range),
+            PreparedJob::Stabilizer(plan) => engine.run_plan_range(plan, range),
+            PreparedJob::Density {
+                rho,
+                num_cbits,
+                root_seed,
+            } => {
+                // Mirrors the density arm of `Backend::sample_shots`:
+                // the workspace is just the classical register.
+                let tally = engine.run_tally_range_with(
+                    range,
+                    *root_seed,
+                    || vec![false; *num_cbits],
+                    |cbits, _shot, rng| {
+                        cbits.iter_mut().for_each(|b| *b = false);
+                        rho.sample_record(cbits, rng);
+                        pack_cbits(cbits)
+                    },
+                );
+                tally.into_iter().map(|(k, v)| (k, v as usize)).collect()
+            }
+        }
+    }
+}
+
+/// One unit of worker work: a slice of a prepared job.
+pub struct SliceTask {
+    /// The job's identity (hand back to
+    /// [`Scheduler::complete_slice`]).
+    pub key: CacheKey,
+    /// The compiled job (shared, read-only).
+    pub prepared: Arc<PreparedJob>,
+    /// Global shot indices to execute.
+    pub range: Range<u64>,
+}
+
+/// How [`Scheduler::submit`] answered.
+pub enum Submission {
+    /// The response is already known (cache hit, rejection, error, or
+    /// a zero-shot run).
+    Immediate(Response),
+    /// The job is in flight; the response arrives on this channel when
+    /// its last slice completes.
+    Pending(mpsc::Receiver<Response>),
+}
+
+struct Waiter {
+    tx: mpsc::Sender<Response>,
+    id: Option<String>,
+    coalesced: bool,
+}
+
+struct Job {
+    prepared: Arc<PreparedJob>,
+    shots: u64,
+    /// Next global shot index not yet handed to a worker.
+    next_shot: u64,
+    /// Slices currently executing.
+    outstanding: usize,
+    partial: Counts,
+    waiters: Vec<Waiter>,
+}
+
+struct Inner {
+    config: SchedulerConfig,
+    /// Round-robin order of jobs that still have unsliced shots.
+    queue: VecDeque<CacheKey>,
+    jobs: HashMap<CacheKey, Job>,
+    cache: ResultCache,
+    stats: ServiceStats,
+    shutdown: bool,
+}
+
+/// The shared scheduling state. Cheap to clone (`Arc` internally).
+#[derive(Clone)]
+pub struct Scheduler {
+    shared: Arc<(Mutex<Inner>, Condvar)>,
+}
+
+impl Scheduler {
+    /// A fresh scheduler with the given knobs.
+    pub fn new(config: SchedulerConfig) -> Self {
+        let cache = ResultCache::new(config.cache_capacity);
+        Scheduler {
+            shared: Arc::new((
+                Mutex::new(Inner {
+                    config,
+                    queue: VecDeque::new(),
+                    jobs: HashMap::new(),
+                    cache,
+                    stats: ServiceStats::default(),
+                    shutdown: false,
+                }),
+                Condvar::new(),
+            )),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.shared.0.lock().expect("scheduler poisoned")
+    }
+
+    /// Admits one run request: serves it from cache, coalesces it onto
+    /// an identical in-flight job, rejects it with `busy`, or queues
+    /// it for execution.
+    pub fn submit(&self, id: Option<String>, run: &RunRequest) -> Submission {
+        // Parse and canonicalize outside the lock — this is the
+        // expensive part, and it needs no shared state.
+        let parsed = Backend::parse(&run.backend)
+            .ok_or_else(|| format!("unknown backend \"{}\"", run.backend))
+            .and_then(|backend| {
+                from_qasm3(&run.qasm)
+                    .map(|circuit| (backend, circuit))
+                    .map_err(|e| e.to_string())
+            });
+        let (backend, circuit) = match parsed {
+            Ok(pair) => pair,
+            Err(error) => {
+                let mut inner = self.lock();
+                inner.stats.received += 1;
+                inner.stats.errors += 1;
+                return Submission::Immediate(Response::Error { id, error });
+            }
+        };
+        // Service-level admission limits, enforced *before* any
+        // backend state is allocated: the per-backend `supports`
+        // probes bound the exponential representations (statevector
+        // ≤ 26, density ≤ 13), but the stabilizer tableau is O(n²)
+        // with no cap of its own — an untrusted `qubit[10⁸] q;`
+        // must be an error response, not an allocation abort. The
+        // classical register is capped by the tally convention
+        // (records are packed into one 64-bit word).
+        if circuit.num_qubits() > MAX_REQUEST_QUBITS || circuit.num_cbits() > MAX_REQUEST_CBITS {
+            let mut inner = self.lock();
+            inner.stats.received += 1;
+            inner.stats.errors += 1;
+            return Submission::Immediate(Response::Error {
+                id,
+                error: format!(
+                    "request exceeds serving limits: {} qubits / {} cbits \
+                     (max {MAX_REQUEST_QUBITS} / {MAX_REQUEST_CBITS})",
+                    circuit.num_qubits(),
+                    circuit.num_cbits()
+                ),
+            });
+        }
+        let canonical = to_qasm3(&circuit);
+        let key = CacheKey {
+            circuit_fp: fingerprint(&canonical),
+            backend: backend.resolve(&circuit).name(),
+            shots: run.shots,
+            root_seed: run.root_seed,
+        };
+
+        // First pass under the lock: cache, coalescing, admission.
+        {
+            let mut inner = self.lock();
+            inner.stats.received += 1;
+            if let Some(sub) = self.try_attach(&mut inner, &key, id.clone()) {
+                return sub;
+            }
+            if inner.shutdown {
+                inner.stats.errors += 1;
+                return Submission::Immediate(Response::Error {
+                    id,
+                    error: "server is shutting down".to_string(),
+                });
+            }
+            if inner.jobs.len() >= inner.config.queue_capacity {
+                inner.stats.rejected_busy += 1;
+                let in_flight = inner.jobs.len() as u64;
+                // Crude hint: assume each in-flight job takes ~25 ms.
+                return Submission::Immediate(Response::Busy {
+                    id,
+                    in_flight,
+                    retry_after_ms: 25 * in_flight.max(1),
+                });
+            }
+            if run.shots == 0 {
+                // Trivially complete; nothing to queue or cache.
+                inner.stats.cache_misses += 1;
+                inner.stats.completed += 1;
+                return Submission::Immediate(Response::Ok {
+                    id,
+                    backend: key.backend.to_string(),
+                    shots: 0,
+                    cached: false,
+                    coalesced: false,
+                    tallies: Counts::new(),
+                });
+            }
+        }
+
+        // Compile outside the lock (statevector kernel fusion and
+        // density evolution can be slow), then re-check: an identical
+        // request may have been admitted meanwhile.
+        let prepared = match PreparedJob::prepare(&circuit, backend, run.shots, run.root_seed) {
+            Ok((_resolved, job)) => Arc::new(job),
+            Err(err) => {
+                let mut inner = self.lock();
+                inner.stats.errors += 1;
+                return Submission::Immediate(Response::Error {
+                    id,
+                    error: err.to_string(),
+                });
+            }
+        };
+        let mut inner = self.lock();
+        if let Some(sub) = self.try_attach(&mut inner, &key, id.clone()) {
+            return sub;
+        }
+        if inner.shutdown {
+            // Shutdown raced the compile: with the workers gone, a
+            // queued job would strand its waiter forever.
+            inner.stats.errors += 1;
+            return Submission::Immediate(Response::Error {
+                id,
+                error: "server is shutting down".to_string(),
+            });
+        }
+        if inner.jobs.len() >= inner.config.queue_capacity {
+            inner.stats.rejected_busy += 1;
+            let in_flight = inner.jobs.len() as u64;
+            return Submission::Immediate(Response::Busy {
+                id,
+                in_flight,
+                retry_after_ms: 25 * in_flight.max(1),
+            });
+        }
+        inner.stats.cache_misses += 1;
+        let (tx, rx) = mpsc::channel();
+        inner.jobs.insert(
+            key.clone(),
+            Job {
+                prepared,
+                shots: run.shots,
+                next_shot: 0,
+                outstanding: 0,
+                partial: Counts::new(),
+                waiters: vec![Waiter {
+                    tx,
+                    id,
+                    coalesced: false,
+                }],
+            },
+        );
+        inner.queue.push_back(key);
+        self.shared.1.notify_all();
+        Submission::Pending(rx)
+    }
+
+    /// Cache lookup + coalescing check, under the lock. `Some` means
+    /// the submission was settled here.
+    fn try_attach(
+        &self,
+        inner: &mut Inner,
+        key: &CacheKey,
+        id: Option<String>,
+    ) -> Option<Submission> {
+        if let Some(tallies) = inner.cache.get(key) {
+            inner.stats.cache_hits += 1;
+            return Some(Submission::Immediate(Response::Ok {
+                id,
+                backend: key.backend.to_string(),
+                shots: key.shots,
+                cached: true,
+                coalesced: false,
+                tallies,
+            }));
+        }
+        if let Some(job) = inner.jobs.get_mut(key) {
+            inner.stats.coalesced += 1;
+            let (tx, rx) = mpsc::channel();
+            job.waiters.push(Waiter {
+                tx,
+                id,
+                coalesced: true,
+            });
+            return Some(Submission::Pending(rx));
+        }
+        None
+    }
+
+    /// Blocks until a slice is available (or shutdown), then claims
+    /// it. Jobs rotate round-robin: after a slice is carved from the
+    /// front job, the job goes to the back of the queue if shots
+    /// remain — a long job cannot convoy short ones.
+    ///
+    /// Returns `None` on shutdown — the worker should exit.
+    pub fn next_slice(&self) -> Option<SliceTask> {
+        let mut inner = self.lock();
+        loop {
+            if inner.shutdown {
+                return None;
+            }
+            if let Some(key) = inner.queue.pop_front() {
+                let slice = inner.config.slice_shots.max(1);
+                let job = inner.jobs.get_mut(&key).expect("queued job exists");
+                let start = job.next_shot;
+                let end = (start + slice).min(job.shots);
+                job.next_shot = end;
+                job.outstanding += 1;
+                let prepared = job.prepared.clone();
+                if end < job.shots {
+                    inner.queue.push_back(key.clone());
+                }
+                return Some(SliceTask {
+                    key,
+                    prepared,
+                    range: start..end,
+                });
+            }
+            inner = self.shared.1.wait(inner).expect("scheduler poisoned");
+        }
+    }
+
+    /// Merges a finished slice. When the job's last slice lands, the
+    /// result is cached and every waiter (submitter + coalesced) gets
+    /// its response.
+    pub fn complete_slice(&self, key: &CacheKey, counts: Counts) {
+        let mut inner = self.lock();
+        // Shutdown may have dropped the job while this slice was
+        // executing; its waiters are already failed, so the partial
+        // result is simply discarded.
+        let Some(job) = inner.jobs.get_mut(key) else {
+            return;
+        };
+        for (outcome, n) in counts {
+            *job.partial.entry(outcome).or_insert(0) += n;
+        }
+        job.outstanding -= 1;
+        if job.next_shot >= job.shots && job.outstanding == 0 {
+            let job = inner.jobs.remove(key).expect("job present");
+            inner.cache.insert(key.clone(), job.partial.clone());
+            inner.stats.completed += 1;
+            for waiter in job.waiters {
+                // A waiter whose connection died just drops the send.
+                let _ = waiter.tx.send(Response::Ok {
+                    id: waiter.id,
+                    backend: key.backend.to_string(),
+                    shots: key.shots,
+                    cached: false,
+                    coalesced: waiter.coalesced,
+                    tallies: job.partial.clone(),
+                });
+            }
+        }
+    }
+
+    /// Counts a malformed request line (protocol-level decode failure
+    /// handled by the connection layer).
+    pub fn note_error(&self) {
+        let mut inner = self.lock();
+        inner.stats.received += 1;
+        inner.stats.errors += 1;
+    }
+
+    /// Counter snapshot (gauges filled at read time).
+    pub fn stats(&self) -> ServiceStats {
+        let inner = self.lock();
+        let mut stats = inner.stats;
+        stats.in_flight = inner.jobs.len() as u64;
+        stats.cache_entries = inner.cache.len() as u64;
+        stats
+    }
+
+    /// Stops the scheduler: wakes all workers (they observe shutdown
+    /// and exit), drops queued jobs, and fails their waiters (their
+    /// receivers see a closed channel).
+    pub fn shutdown(&self) {
+        let mut inner = self.lock();
+        inner.shutdown = true;
+        inner.queue.clear();
+        inner.jobs.clear();
+        self.shared.1.notify_all();
+    }
+
+    /// Whether [`Scheduler::shutdown`] has run.
+    pub fn is_shutdown(&self) -> bool {
+        self.lock().shutdown
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bell_qasm() -> String {
+        let mut c = Circuit::new(2, 2);
+        c.h(0).cx(0, 1).measure(0, 0).measure(1, 1);
+        to_qasm3(&c)
+    }
+
+    fn run_request(shots: u64, seed: u64) -> RunRequest {
+        RunRequest {
+            qasm: bell_qasm(),
+            shots,
+            root_seed: seed,
+            backend: "auto".to_string(),
+        }
+    }
+
+    /// Drains every available slice on the calling thread — a
+    /// deterministic in-test worker.
+    fn drain(sched: &Scheduler, engine: &Engine) {
+        while sched.stats().in_flight > 0 {
+            let task = sched.next_slice().expect("work pending");
+            let counts = task.prepared.run_range(engine, task.range.clone());
+            sched.complete_slice(&task.key, counts);
+        }
+    }
+
+    #[test]
+    fn submit_execute_respond_matches_direct_sampling() {
+        let sched = Scheduler::new(SchedulerConfig {
+            slice_shots: 97, // deliberately odd: many slices per job
+            ..SchedulerConfig::default()
+        });
+        let engine = Engine::sequential();
+        let run = run_request(1_000, 7);
+        let rx = match sched.submit(Some("a".into()), &run) {
+            Submission::Pending(rx) => rx,
+            Submission::Immediate(r) => panic!("expected pending, got {r:?}"),
+        };
+        drain(&sched, &engine);
+        let response = rx.recv().unwrap();
+        let mut c = Circuit::new(2, 2);
+        c.h(0).cx(0, 1).measure(0, 0).measure(1, 1);
+        let direct = Backend::Auto
+            .sample_shots(&c, 1_000, &engine::Executor::sequential(7))
+            .unwrap();
+        match response {
+            Response::Ok {
+                id,
+                cached,
+                coalesced,
+                tallies,
+                ..
+            } => {
+                assert_eq!(id.as_deref(), Some("a"));
+                assert!(!cached && !coalesced);
+                assert_eq!(tallies, direct, "sliced serving diverged from direct run");
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    #[test]
+    fn identical_requests_coalesce_and_then_hit_the_cache() {
+        let sched = Scheduler::new(SchedulerConfig::default());
+        let engine = Engine::sequential();
+        let run = run_request(500, 3);
+        let rx1 = match sched.submit(None, &run) {
+            Submission::Pending(rx) => rx,
+            other => panic!(
+                "expected pending, got immediate {:?}",
+                matches!(other, Submission::Immediate(_))
+            ),
+        };
+        // Same key while in flight → coalesced waiter, no second job.
+        let rx2 = match sched.submit(None, &run) {
+            Submission::Pending(rx) => rx,
+            _ => panic!("expected coalesced pending"),
+        };
+        assert_eq!(sched.stats().in_flight, 1);
+        drain(&sched, &engine);
+        let (r1, r2) = (rx1.recv().unwrap(), rx2.recv().unwrap());
+        let tallies_of = |r: &Response| match r {
+            Response::Ok {
+                tallies, coalesced, ..
+            } => (tallies.clone(), *coalesced),
+            other => panic!("unexpected {other:?}"),
+        };
+        let (t1, c1) = tallies_of(&r1);
+        let (t2, c2) = tallies_of(&r2);
+        assert_eq!(t1, t2, "coalesced waiters must see identical tallies");
+        assert!(!c1 && c2);
+        // Re-submitting now is a cache hit with the same tallies.
+        match sched.submit(None, &run) {
+            Submission::Immediate(Response::Ok {
+                cached, tallies, ..
+            }) => {
+                assert!(cached);
+                assert_eq!(tallies, t1);
+            }
+            _ => panic!("expected a cache hit"),
+        }
+        let stats = sched.stats();
+        assert_eq!(stats.coalesced, 1);
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.cache_misses, 1);
+        assert_eq!(stats.completed, 1);
+    }
+
+    #[test]
+    fn admission_is_bounded_with_busy_and_retry_hint() {
+        let sched = Scheduler::new(SchedulerConfig {
+            queue_capacity: 1,
+            ..SchedulerConfig::default()
+        });
+        // No workers running: job A stays in flight deterministically.
+        let _rx = match sched.submit(None, &run_request(100, 1)) {
+            Submission::Pending(rx) => rx,
+            _ => panic!("A should be admitted"),
+        };
+        match sched.submit(None, &run_request(100, 2)) {
+            Submission::Immediate(Response::Busy {
+                in_flight,
+                retry_after_ms,
+                ..
+            }) => {
+                assert_eq!(in_flight, 1);
+                assert!(retry_after_ms > 0);
+            }
+            _ => panic!("B should be rejected busy"),
+        }
+        assert_eq!(sched.stats().rejected_busy, 1);
+        // But an *identical* request still coalesces — bounded
+        // admission never rejects work it can answer for free.
+        assert!(matches!(
+            sched.submit(None, &run_request(100, 1)),
+            Submission::Pending(_)
+        ));
+    }
+
+    #[test]
+    fn slicing_rotates_jobs_round_robin() {
+        let sched = Scheduler::new(SchedulerConfig {
+            slice_shots: 10,
+            ..SchedulerConfig::default()
+        });
+        let _rx_a = sched.submit(None, &run_request(30, 1));
+        let _rx_b = sched.submit(None, &run_request(30, 2));
+        // Slices must alternate A, B, A, B, … — each job's ranges
+        // advancing independently.
+        let mut order = Vec::new();
+        for _ in 0..6 {
+            let task = sched.next_slice().unwrap();
+            order.push((task.key.root_seed, task.range.clone()));
+            sched.complete_slice(&task.key, Counts::new());
+        }
+        let seeds: Vec<u64> = order.iter().map(|(s, _)| *s).collect();
+        assert_eq!(seeds, vec![1, 2, 1, 2, 1, 2], "not round-robin: {order:?}");
+        assert_eq!(order[0].1, 0..10);
+        assert_eq!(order[2].1, 10..20);
+        assert_eq!(order[4].1, 20..30);
+    }
+
+    #[test]
+    fn parse_and_capability_errors_become_error_responses() {
+        let sched = Scheduler::new(SchedulerConfig::default());
+        let bad_backend = RunRequest {
+            backend: "qutrit".into(),
+            ..run_request(10, 1)
+        };
+        assert!(matches!(
+            sched.submit(None, &bad_backend),
+            Submission::Immediate(Response::Error { .. })
+        ));
+        let bad_qasm = RunRequest {
+            qasm: "not qasm".into(),
+            ..run_request(10, 1)
+        };
+        match sched.submit(None, &bad_qasm) {
+            Submission::Immediate(Response::Error { error, .. }) => {
+                assert!(error.contains("OPENQASM"), "{error}");
+            }
+            _ => panic!("expected an error response"),
+        }
+        // Non-Clifford circuit on the stabilizer backend: typed
+        // capability error.
+        let mut c = Circuit::new(1, 1);
+        c.t(0).measure(0, 0);
+        let unsupported = RunRequest {
+            qasm: to_qasm3(&c),
+            backend: "stabilizer".into(),
+            shots: 10,
+            root_seed: 0,
+        };
+        match sched.submit(None, &unsupported) {
+            Submission::Immediate(Response::Error { error, .. }) => {
+                assert!(error.contains("stabilizer"), "{error}");
+            }
+            _ => panic!("expected a capability error"),
+        }
+        assert_eq!(sched.stats().errors, 3);
+    }
+
+    #[test]
+    fn zero_shot_jobs_complete_immediately() {
+        let sched = Scheduler::new(SchedulerConfig::default());
+        match sched.submit(None, &run_request(0, 1)) {
+            Submission::Immediate(Response::Ok { shots, tallies, .. }) => {
+                assert_eq!(shots, 0);
+                assert!(tallies.is_empty());
+            }
+            _ => panic!("zero-shot run should settle immediately"),
+        }
+        assert_eq!(sched.stats().in_flight, 0);
+    }
+
+    #[test]
+    fn textual_variants_share_one_cache_entry() {
+        // Same circuit, different formatting/comments → same canonical
+        // text → cache hit on the second request.
+        let sched = Scheduler::new(SchedulerConfig::default());
+        let engine = Engine::sequential();
+        let run = run_request(200, 9);
+        let variant = RunRequest {
+            qasm: format!("// client banner\n{}", run.qasm.replace(";\n", ";\n\n")),
+            ..run.clone()
+        };
+        let rx = match sched.submit(None, &run) {
+            Submission::Pending(rx) => rx,
+            _ => panic!("expected pending"),
+        };
+        drain(&sched, &engine);
+        rx.recv().unwrap();
+        assert!(matches!(
+            sched.submit(None, &variant),
+            Submission::Immediate(Response::Ok { cached: true, .. })
+        ));
+    }
+
+    #[test]
+    fn oversized_registers_are_rejected_before_allocation() {
+        // A hostile register declaration must produce an error
+        // response, never an allocation attempt (the stabilizer
+        // tableau is O(n²) and has no width cap of its own).
+        let sched = Scheduler::new(SchedulerConfig::default());
+        let huge = RunRequest {
+            qasm: "OPENQASM 3.0;\nqubit[100000000] q;\nh q[0];\n".to_string(),
+            shots: 10,
+            root_seed: 0,
+            backend: "auto".to_string(),
+        };
+        match sched.submit(None, &huge) {
+            Submission::Immediate(Response::Error { error, .. }) => {
+                assert!(error.contains("serving limits"), "{error}");
+            }
+            _ => panic!("expected an admission-limit error"),
+        }
+        // Classical registers beyond the 64-bit packing convention
+        // are rejected the same way.
+        let wide_cbits = RunRequest {
+            qasm: "OPENQASM 3.0;\nqubit[1] q;\nbit[65] c;\nh q[0];\n".to_string(),
+            shots: 10,
+            root_seed: 0,
+            backend: "auto".to_string(),
+        };
+        assert!(matches!(
+            sched.submit(None, &wide_cbits),
+            Submission::Immediate(Response::Error { .. })
+        ));
+        assert_eq!(sched.stats().errors, 2);
+    }
+
+    #[test]
+    fn complete_slice_after_shutdown_is_a_no_op() {
+        // Shutdown drops jobs while their slices may still be
+        // executing on workers; the late completion must be discarded
+        // quietly, not panic (which would poison the scheduler lock).
+        let sched = Scheduler::new(SchedulerConfig {
+            slice_shots: 10,
+            ..SchedulerConfig::default()
+        });
+        let _rx = sched.submit(None, &run_request(100, 1));
+        let task = sched.next_slice().expect("slice available");
+        let counts = task
+            .prepared
+            .run_range(&Engine::sequential(), task.range.clone());
+        sched.shutdown();
+        sched.complete_slice(&task.key, counts);
+        // The scheduler is still usable (lock not poisoned).
+        assert_eq!(sched.stats().completed, 0);
+    }
+
+    #[test]
+    fn shutdown_fails_pending_waiters_and_stops_workers() {
+        let sched = Scheduler::new(SchedulerConfig::default());
+        let rx = match sched.submit(None, &run_request(100, 1)) {
+            Submission::Pending(rx) => rx,
+            _ => panic!("expected pending"),
+        };
+        sched.shutdown();
+        assert!(rx.recv().is_err(), "waiter channel should be closed");
+        assert!(sched.next_slice().is_none());
+        assert!(matches!(
+            sched.submit(None, &run_request(100, 2)),
+            Submission::Immediate(Response::Error { .. })
+        ));
+    }
+}

@@ -1,0 +1,282 @@
+//! The TCP front end: acceptor, connection handlers, worker pool.
+//!
+//! [`Service::spawn`] binds a listener and starts three kinds of
+//! threads:
+//!
+//! * one **acceptor** looping on `accept` and spawning a handler per
+//!   connection;
+//! * one **handler per connection**, reading newline-delimited JSON
+//!   requests, submitting them to the [`Scheduler`], and writing one
+//!   response line per request (requests on one connection are served
+//!   in order; submit concurrently over multiple connections);
+//! * `workers` **execution workers**, each looping
+//!   [`Scheduler::next_slice`] → [`PreparedJob::run_range`] →
+//!   [`Scheduler::complete_slice`] over the shared engine.
+//!
+//! Shutdown is cooperative: a `shutdown` request (or
+//! [`ServiceHandle::shutdown`]) stops the scheduler — workers observe
+//! it and exit, pending waiters fail with an error response — and
+//! wakes the acceptor, which stops accepting. Handler threads exit
+//! when their client disconnects.
+//!
+//! [`PreparedJob::run_range`]: crate::scheduler::PreparedJob::run_range
+
+use crate::protocol::{Op, Request, Response, ServiceStats};
+use crate::scheduler::{Scheduler, SchedulerConfig, Submission};
+use engine::Engine;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Longest accepted request line (bytes). A line that exceeds this is
+/// answered with an error and the connection is closed — a client that
+/// streams gigabytes without a newline cannot exhaust server memory.
+pub const MAX_LINE_BYTES: u64 = 8 * 1024 * 1024;
+
+/// Everything [`Service::spawn`] needs to know.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Bind address; port 0 picks an ephemeral port (see
+    /// [`ServiceHandle::addr`]).
+    pub addr: String,
+    /// Execution workers. 0 admits jobs but never runs them —
+    /// useful only for deterministic backpressure tests.
+    pub workers: usize,
+    /// Maximum in-flight jobs before `busy` rejections.
+    pub queue_capacity: usize,
+    /// Result-cache capacity in entries.
+    pub cache_capacity: usize,
+    /// Shots per scheduling slice (fairness quantum).
+    pub slice_shots: u64,
+    /// Engine each slice executes through. The default is sequential:
+    /// parallelism comes from the worker pool, one slice per worker.
+    pub engine: Engine,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        let scheduler = SchedulerConfig::default();
+        ServiceConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            queue_capacity: scheduler.queue_capacity,
+            cache_capacity: scheduler.cache_capacity,
+            slice_shots: scheduler.slice_shots,
+            engine: Engine::sequential(),
+        }
+    }
+}
+
+struct Shared {
+    scheduler: Scheduler,
+    stopping: AtomicBool,
+    addr: SocketAddr,
+}
+
+impl Shared {
+    /// Initiates shutdown: stops the scheduler and wakes the acceptor
+    /// with a throwaway connection so it observes the flag.
+    fn begin_shutdown(&self) {
+        self.scheduler.shutdown();
+        if !self.stopping.swap(true, Ordering::SeqCst) {
+            let _ = TcpStream::connect(self.addr);
+        }
+    }
+}
+
+/// The deterministic simulation-serving subsystem. See the crate docs
+/// for the wire protocol and guarantees.
+pub struct Service;
+
+impl Service {
+    /// Binds `config.addr` and starts the serving threads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors (bind/local_addr).
+    pub fn spawn(config: ServiceConfig) -> std::io::Result<ServiceHandle> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let scheduler = Scheduler::new(SchedulerConfig {
+            queue_capacity: config.queue_capacity,
+            slice_shots: config.slice_shots,
+            cache_capacity: config.cache_capacity,
+        });
+        let shared = Arc::new(Shared {
+            scheduler: scheduler.clone(),
+            stopping: AtomicBool::new(false),
+            addr,
+        });
+
+        let workers: Vec<JoinHandle<()>> = (0..config.workers)
+            .map(|i| {
+                let scheduler = scheduler.clone();
+                let engine = config.engine.clone();
+                std::thread::Builder::new()
+                    .name(format!("service-worker-{i}"))
+                    .spawn(move || {
+                        while let Some(task) = scheduler.next_slice() {
+                            let counts = task.prepared.run_range(&engine, task.range.clone());
+                            scheduler.complete_slice(&task.key, counts);
+                        }
+                    })
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        let acceptor = {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name("service-acceptor".to_string())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if shared.stopping.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let Ok(stream) = stream else { continue };
+                        let shared = shared.clone();
+                        // Handler threads are detached: they exit when
+                        // their client disconnects.
+                        let _ = std::thread::Builder::new()
+                            .name("service-conn".to_string())
+                            .spawn(move || handle_connection(stream, &shared));
+                    }
+                })
+                .expect("spawn acceptor")
+        };
+
+        Ok(ServiceHandle {
+            shared,
+            acceptor,
+            workers,
+        })
+    }
+}
+
+/// Owner of a running service's threads.
+pub struct ServiceHandle {
+    shared: Arc<Shared>,
+    acceptor: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServiceHandle {
+    /// The bound address (resolves port 0 to the ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Counter snapshot, read directly (no wire round trip).
+    pub fn stats(&self) -> ServiceStats {
+        self.shared.scheduler.stats()
+    }
+
+    /// Initiates shutdown and waits for the worker pool and acceptor
+    /// to exit.
+    pub fn shutdown(self) {
+        self.shared.begin_shutdown();
+        self.join();
+    }
+
+    /// Waits until the service stops (via a wire `shutdown` request or
+    /// [`ServiceHandle::shutdown`]).
+    pub fn join(self) {
+        for worker in self.workers {
+            let _ = worker.join();
+        }
+        let _ = self.acceptor.join();
+    }
+}
+
+/// Serves one connection: one response line per request line, in
+/// order.
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    let mut raw = Vec::new();
+    loop {
+        raw.clear();
+        // Read raw bytes (not a String): a line truncated at the byte
+        // cap — or containing invalid UTF-8 — must yield an error
+        // *response*, not an io::Error that silently drops the
+        // connection.
+        let mut limited = (&mut reader).take(MAX_LINE_BYTES);
+        match limited.read_until(b'\n', &mut raw) {
+            Ok(0) => return, // client closed
+            Ok(_) => {}
+            Err(_) => return,
+        }
+        if raw.len() as u64 >= MAX_LINE_BYTES && raw.last() != Some(&b'\n') {
+            // The rest of the oversized line is still in flight; no
+            // way to resynchronize, so answer and hang up.
+            shared.scheduler.note_error();
+            let _ = write_response(
+                &mut writer,
+                &Response::Error {
+                    id: None,
+                    error: format!("request line exceeds {MAX_LINE_BYTES} bytes"),
+                },
+            );
+            return;
+        }
+        let Ok(line) = std::str::from_utf8(&raw) else {
+            shared.scheduler.note_error();
+            if write_response(
+                &mut writer,
+                &Response::Error {
+                    id: None,
+                    error: "request line is not valid UTF-8".to_string(),
+                },
+            )
+            .is_err()
+            {
+                return;
+            }
+            continue;
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = match Request::from_line(line) {
+            Err(error) => {
+                shared.scheduler.note_error();
+                Response::Error { id: None, error }
+            }
+            Ok(Request { id, op: Op::Stats }) => Response::Stats {
+                id,
+                stats: shared.scheduler.stats(),
+            },
+            Ok(Request {
+                id,
+                op: Op::Shutdown,
+            }) => {
+                let _ = write_response(&mut writer, &Response::Bye { id });
+                shared.begin_shutdown();
+                return;
+            }
+            Ok(Request {
+                id,
+                op: Op::Run(run),
+            }) => match shared.scheduler.submit(id.clone(), &run) {
+                Submission::Immediate(response) => response,
+                Submission::Pending(rx) => rx.recv().unwrap_or(Response::Error {
+                    id,
+                    error: "server shut down before the job completed".to_string(),
+                }),
+            },
+        };
+        if write_response(&mut writer, &response).is_err() {
+            return;
+        }
+    }
+}
+
+fn write_response(writer: &mut TcpStream, response: &Response) -> std::io::Result<()> {
+    writer.write_all(response.to_line().as_bytes())?;
+    writer.flush()
+}

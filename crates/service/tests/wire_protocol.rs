@@ -1,0 +1,267 @@
+//! Wire-level behaviour of a live server: framing, error handling,
+//! caching, deterministic backpressure, stats, and clean shutdown —
+//! everything a client can observe on the socket.
+
+use circuit::circuit::Circuit;
+use circuit::qasm::to_qasm3;
+use engine::Counts;
+use service::{Request, Response, RunRequest, Service, ServiceConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+/// A line-oriented test client.
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        Client {
+            reader: BufReader::new(stream.try_clone().expect("clone")),
+            writer: stream,
+        }
+    }
+
+    fn send_raw(&mut self, line: &str) {
+        self.writer.write_all(line.as_bytes()).expect("send");
+        self.writer.flush().expect("flush");
+    }
+
+    fn recv(&mut self) -> Response {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).expect("recv");
+        assert!(n > 0, "server closed the connection unexpectedly");
+        Response::from_line(&line).unwrap_or_else(|e| panic!("{e}: {line}"))
+    }
+
+    fn round_trip(&mut self, request: &Request) -> Response {
+        self.send_raw(&request.to_line());
+        self.recv()
+    }
+}
+
+fn bell_run(shots: u64, seed: u64) -> RunRequest {
+    let mut c = Circuit::new(2, 2);
+    c.h(0).cx(0, 1).measure(0, 0).measure(1, 1);
+    RunRequest {
+        qasm: to_qasm3(&c),
+        shots,
+        root_seed: seed,
+        backend: "auto".to_string(),
+    }
+}
+
+fn spawn_default() -> service::ServiceHandle {
+    Service::spawn(ServiceConfig::default()).expect("spawn service")
+}
+
+#[test]
+fn ok_response_fields_and_cache_flag() {
+    let handle = spawn_default();
+    let mut client = Client::connect(handle.addr());
+    let request = Request::run(Some("req-1".into()), bell_run(400, 11));
+    let cold = client.round_trip(&request);
+    let Response::Ok {
+        id,
+        backend,
+        shots,
+        cached,
+        coalesced,
+        tallies,
+    } = cold
+    else {
+        panic!("unexpected response {cold:?}");
+    };
+    assert_eq!(id.as_deref(), Some("req-1"));
+    assert_eq!(
+        backend, "stabilizer",
+        "Auto must resolve the Clifford Bell pair"
+    );
+    assert_eq!(shots, 400);
+    assert!(!cached && !coalesced);
+    assert_eq!(tallies.values().sum::<usize>(), 400);
+    assert!(tallies.keys().all(|&k| k == 0 || k == 3), "{tallies:?}");
+
+    // Identical request → served from cache, identical tallies.
+    let warm = client.round_trip(&request);
+    match warm {
+        Response::Ok {
+            cached: true,
+            tallies: warm_tallies,
+            ..
+        } => assert_eq!(warm_tallies, tallies),
+        other => panic!("expected a cache hit, got {other:?}"),
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn malformed_lines_get_error_responses_and_the_connection_survives() {
+    let handle = spawn_default();
+    let mut client = Client::connect(handle.addr());
+    for bad in [
+        "this is not json\n",
+        "[1, 2, 3]\n",
+        "{\"op\": \"run\"}\n",
+        "{\"qasm\": \"nope\", \"shots\": 1, \"root_seed\": 0}\n",
+        "{\"qasm\": \"x\", \"shots\": 1, \"root_seed\": 0, \"backend\": \"qutrit\"}\n",
+    ] {
+        client.send_raw(bad);
+        let response = client.recv();
+        assert!(
+            matches!(response, Response::Error { .. }),
+            "{bad:?} → {response:?}"
+        );
+    }
+    // The connection still serves good requests afterwards.
+    let ok = client.round_trip(&Request::run(None, bell_run(50, 1)));
+    assert!(matches!(ok, Response::Ok { .. }), "{ok:?}");
+    let stats = handle.stats();
+    assert_eq!(stats.errors, 5);
+    assert_eq!(stats.received, 6);
+    handle.shutdown();
+}
+
+#[test]
+fn blank_lines_are_ignored() {
+    let handle = spawn_default();
+    let mut client = Client::connect(handle.addr());
+    client.send_raw("\n  \n");
+    let ok = client.round_trip(&Request::run(None, bell_run(10, 0)));
+    assert!(matches!(ok, Response::Ok { .. }));
+    handle.shutdown();
+}
+
+#[test]
+fn backpressure_is_deterministic_with_no_workers() {
+    // workers = 0 admits jobs but never runs them, so the queue state
+    // is fully deterministic: A occupies the single slot, B must be
+    // rejected busy, and an A-identical request must coalesce.
+    let handle = Service::spawn(ServiceConfig {
+        workers: 0,
+        queue_capacity: 1,
+        ..ServiceConfig::default()
+    })
+    .expect("spawn");
+    let mut probe = Client::connect(handle.addr());
+
+    // Submit A on its own connection; its response can never arrive,
+    // so only fire-and-forget the line.
+    let mut submitter = Client::connect(handle.addr());
+    submitter.send_raw(&Request::run(Some("A".into()), bell_run(1_000, 1)).to_line());
+    // Wait until A is admitted (visible in the in-flight gauge).
+    for _ in 0..200 {
+        if handle.stats().in_flight == 1 {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    assert_eq!(handle.stats().in_flight, 1, "A was not admitted");
+
+    // A distinct job B bounces with a retry hint.
+    let busy = probe.round_trip(&Request::run(Some("B".into()), bell_run(1_000, 2)));
+    match busy {
+        Response::Busy {
+            id,
+            in_flight,
+            retry_after_ms,
+        } => {
+            assert_eq!(id.as_deref(), Some("B"));
+            assert_eq!(in_flight, 1);
+            assert!(retry_after_ms > 0);
+        }
+        other => panic!("expected busy, got {other:?}"),
+    }
+    assert_eq!(handle.stats().rejected_busy, 1);
+    handle.shutdown();
+}
+
+#[test]
+fn stats_op_reports_counters_over_the_wire() {
+    let handle = spawn_default();
+    let mut client = Client::connect(handle.addr());
+    client.round_trip(&Request::run(None, bell_run(60, 5)));
+    client.round_trip(&Request::run(None, bell_run(60, 5)));
+    let response = client.round_trip(&Request {
+        id: Some("s".into()),
+        op: service::Op::Stats,
+    });
+    let Response::Stats { id, stats } = response else {
+        panic!("unexpected {response:?}");
+    };
+    assert_eq!(id.as_deref(), Some("s"));
+    assert_eq!(stats.received, 2);
+    assert_eq!(stats.completed, 1);
+    assert_eq!(stats.cache_hits, 1);
+    assert_eq!(stats.cache_misses, 1);
+    assert_eq!(stats.cache_entries, 1);
+    handle.shutdown();
+}
+
+#[test]
+fn shutdown_op_acknowledges_then_stops_the_server() {
+    let handle = spawn_default();
+    let addr = handle.addr();
+    let mut client = Client::connect(addr);
+    let bye = client.round_trip(&Request {
+        id: Some("bye".into()),
+        op: service::Op::Shutdown,
+    });
+    assert!(matches!(bye, Response::Bye { id: Some(ref i) } if i == "bye"));
+    // join() returns because the wire shutdown stopped all threads.
+    handle.join();
+    // New work is no longer served: either the connect fails or the
+    // submitted request gets no response.
+    if let Ok(stream) = TcpStream::connect(addr) {
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut writer = stream;
+        let _ = writer.write_all(Request::run(None, bell_run(10, 0)).to_line().as_bytes());
+        let mut line = String::new();
+        let n = reader.read_line(&mut line).unwrap_or(0);
+        assert_eq!(n, 0, "post-shutdown server answered: {line}");
+    }
+}
+
+#[test]
+fn zero_shot_requests_return_empty_tallies() {
+    let handle = spawn_default();
+    let mut client = Client::connect(handle.addr());
+    let response = client.round_trip(&Request::run(None, bell_run(0, 9)));
+    match response {
+        Response::Ok { shots, tallies, .. } => {
+            assert_eq!(shots, 0);
+            assert_eq!(tallies, Counts::new());
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn oversized_request_lines_are_rejected_without_oom() {
+    let handle = spawn_default();
+    let mut client = Client::connect(handle.addr());
+    // 9 MB of garbage with no newline: the server must cut us off
+    // after MAX_LINE_BYTES rather than buffering forever.
+    let chunk = vec![b'x'; 1 << 20];
+    let mut sent = 0u64;
+    while sent < 9 * (1 << 20) {
+        if client.writer.write_all(&chunk).is_err() {
+            break; // server already hung up — also acceptable
+        }
+        sent += chunk.len() as u64;
+    }
+    let _ = client.writer.flush();
+    let mut line = String::new();
+    // Either an error response arrives or the connection is closed.
+    match client.reader.read_line(&mut line) {
+        Ok(0) | Err(_) => {}
+        Ok(_) => {
+            let response = Response::from_line(&line).expect("parse");
+            assert!(matches!(response, Response::Error { .. }), "{response:?}");
+        }
+    }
+    handle.shutdown();
+}
