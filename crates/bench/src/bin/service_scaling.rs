@@ -19,6 +19,14 @@
 //!   `cache_hit_rate` extra field),
 //! * cold/warm tallies identical per request, all shots accounted.
 //!
+//! A third section benches the **sharded topology**: the same batch
+//! (explicit statevector backend, heavier shots) served through a
+//! `shard` coordinator over 1, 2, and 4 loopback workers — rows
+//! `sharded-N` carry requests/sec plus a `redispatched` extra (ranges
+//! re-dispatched after worker failure; 0 on a healthy run), and the
+//! response lines must be byte-identical across topologies. CI's perf
+//! guard asserts sharded-4 is no slower than sharded-1.
+//!
 //! Results: `results/bench/service_scaling.json`
 //! (`BenchReport` schema + `cache_hit_rate`).
 //!
@@ -30,6 +38,7 @@ use circuit::circuit::Circuit;
 use circuit::noise::NoiseModel;
 use circuit::qasm::to_qasm3;
 use service::{Request, Response, RunRequest, Service, ServiceConfig, ServiceHandle};
+use shard::{Coordinator, CoordinatorConfig};
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::time::Instant;
@@ -56,8 +65,8 @@ struct Client {
 }
 
 impl Client {
-    fn connect(handle: &ServiceHandle) -> Client {
-        let stream = TcpStream::connect(handle.addr()).expect("connect to in-process service");
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect to in-process service");
         Client {
             reader: BufReader::new(stream.try_clone().expect("clone")),
             writer: stream,
@@ -89,12 +98,7 @@ fn run_pass(
     for seed in seeds {
         let response = client.round_trip(&Request::run(
             None,
-            RunRequest {
-                qasm: qasm.to_string(),
-                shots,
-                root_seed: seed,
-                backend: "auto".to_string(),
-            },
+            RunRequest::new(qasm.to_string(), shots, seed, "auto"),
         ));
         match &response {
             Response::Ok {
@@ -132,7 +136,7 @@ fn main() {
         ..ServiceConfig::default()
     })
     .expect("spawn service");
-    let mut client = Client::connect(&handle);
+    let mut client = Client::connect(handle.addr());
 
     let (cold_secs, cold_lines) = run_pass(&mut client, &qasm, shots, 0..requests, false);
     let hits_before_warm = handle.stats().cache_hits;
@@ -164,6 +168,74 @@ fn main() {
 
     let cold_rate = requests as f64 / cold_secs;
     let warm_rate = requests as f64 / warm_secs;
+
+    // ---- sharded topology: coordinator + N workers over loopback ----
+    //
+    // Explicit statevector backend so simulation (not TCP framing)
+    // dominates each request: that is the regime sharding targets, and
+    // what the perf guard measures (sharded-4 >= sharded-1). Same
+    // seeds for every N, so the response lines must be byte-identical
+    // across topologies.
+    let shard_requests = scale.pick(12u64, 4u64);
+    let shard_shots = scale.pick(30_000u64, 3_000u64);
+    let mut sharded = Vec::new(); // (n, secs, redispatched)
+    let mut sharded_lines: Vec<Vec<String>> = Vec::new();
+    for n in [1usize, 2, 4] {
+        let worker_handles: Vec<ServiceHandle> = (0..n)
+            .map(|_| {
+                Service::spawn(ServiceConfig {
+                    workers: 1,
+                    slice_shots: 8192,
+                    ..ServiceConfig::default()
+                })
+                .expect("spawn worker")
+            })
+            .collect();
+        let coord = Coordinator::spawn(CoordinatorConfig {
+            workers: worker_handles
+                .iter()
+                .map(|h| h.addr().to_string())
+                .collect(),
+            cache_capacity: shard_requests as usize + 8,
+            ..CoordinatorConfig::default()
+        })
+        .expect("spawn coordinator");
+        let mut client = Client::connect(coord.addr());
+        let t0 = Instant::now();
+        let mut lines = Vec::new();
+        for seed in 1_000..1_000 + shard_requests {
+            let response = client.round_trip(&Request::run(
+                None,
+                RunRequest::new(qasm.to_string(), shard_shots, seed, "sv"),
+            ));
+            match &response {
+                Response::Ok { tallies, .. } => assert_eq!(
+                    tallies.values().sum::<usize>(),
+                    shard_shots as usize,
+                    "sharded-{n} seed {seed}: shots unaccounted"
+                ),
+                other => panic!("sharded-{n} seed {seed}: unexpected response {other:?}"),
+            }
+            lines.push(response.to_line());
+        }
+        let secs = t0.elapsed().as_secs_f64();
+        let redispatched: u64 = coord.worker_rows().iter().map(|r| r.redispatched).sum();
+        sharded.push((n, secs, redispatched));
+        sharded_lines.push(lines);
+        coord.shutdown();
+        for worker in worker_handles {
+            worker.shutdown();
+        }
+    }
+    assert_eq!(
+        sharded_lines[0], sharded_lines[1],
+        "2-worker sharding changed the served bytes"
+    );
+    assert_eq!(
+        sharded_lines[0], sharded_lines[2],
+        "4-worker sharding changed the served bytes"
+    );
+
     let mut table = ResultTable::new(
         "Serving throughput, cold vs warm cache (ghz-12, auto backend)",
         &["pass", "requests", "shots_per_req", "secs", "req_per_sec"],
@@ -182,6 +254,15 @@ fn main() {
         format!("{warm_secs:.3}"),
         format!("{warm_rate:.0}"),
     ]);
+    for (n, secs, _) in &sharded {
+        table.push_row(vec![
+            format!("sharded-{n}"),
+            shard_requests.to_string(),
+            shard_shots.to_string(),
+            format!("{secs:.3}"),
+            format!("{:.1}", shard_requests as f64 / secs),
+        ]);
+    }
     bench::emit(&table);
 
     let mut report = BenchReport::new(
@@ -212,6 +293,20 @@ fn main() {
             ("sim_shots_per_request".to_string(), shots as f64),
         ],
     );
+    for (n, secs, redispatched) in &sharded {
+        report.push_timing_extra(
+            &format!("sharded-{n}"),
+            "sv",
+            "shard",
+            *n,
+            shard_requests as usize,
+            *secs,
+            vec![
+                ("sim_shots_per_request".to_string(), shard_shots as f64),
+                ("redispatched".to_string(), *redispatched as f64),
+            ],
+        );
+    }
     bench::emit_report(&report);
     handle.shutdown();
 

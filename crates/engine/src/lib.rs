@@ -46,6 +46,15 @@
 //! the per-worker tallies merge once at a single join point, the
 //! partitioned pattern for embarrassingly parallel sampling.
 //!
+//! The same seed-splitting contract extends past one machine:
+//! [`partition_shots`] deterministically splits a job's global shot
+//! range into per-worker sub-ranges and [`merge_counts`] folds the
+//! results back — executed *anywhere* (the ranged primitives
+//! [`Engine::run_plan_range`] / [`Engine::run_fold_range_with`] take
+//! global shot indices), the merged tallies are bit-identical to one
+//! local run. `crates/shard` builds the multi-machine coordinator on
+//! exactly this seam.
+//!
 //! [`ShotPlan`] describes the statevector workload (circuit, initial
 //! state, shot count, root seed); [`BatchRunner`] executes many
 //! independent jobs — one per noise point, qubit count, or table row,
@@ -83,6 +92,7 @@ mod executor;
 mod experiment;
 mod pool;
 mod seed;
+mod sharding;
 
 pub use backend::Backend;
 pub use batch::{BatchRunner, ShotJob};
@@ -91,3 +101,4 @@ pub use executor::Executor;
 pub use experiment::ExperimentBuilder;
 pub use pool::{Counts, Engine, ShotPlan};
 pub use seed::{derive_stream_seed, shot_rng};
+pub use sharding::{merge_counts, partition_shots};

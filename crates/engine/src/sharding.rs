@@ -1,0 +1,117 @@
+//! Coordinator-side helpers for multi-machine sharding.
+//!
+//! A shard coordinator serves a job by splitting its global shot range
+//! across N downstream workers and merging their tallies. Both halves
+//! of that contract live here, next to the ranged primitives whose
+//! guarantee they lean on ([`Engine::run_fold_range_with`]): because
+//! shot `i`'s RNG stream is a pure function of `(root_seed, i)`,
+//! executing [`partition_shots`]' sub-ranges on *any* machines and
+//! folding them back with [`merge_counts`] is **bit-identical** to one
+//! uninterrupted local run — re-dispatching a lost range after a worker
+//! death is free, with no partial-state reconciliation.
+//!
+//! [`Engine::run_fold_range_with`]: crate::Engine::run_fold_range_with
+
+use crate::pool::Counts;
+use std::ops::Range;
+
+/// Splits the global shot indices `range` into at most `parts`
+/// contiguous, non-empty sub-ranges of near-equal size (sizes differ by
+/// at most one shot).
+///
+/// The split is a pure function of `(range, parts)`, so a coordinator
+/// that re-partitions after a topology change still assigns every shot
+/// index exactly once — the determinism contract cares only that the
+/// sub-ranges partition `range`, not who executes them.
+///
+/// `parts == 0` is treated as 1; an empty `range` yields no sub-ranges.
+pub fn partition_shots(range: Range<u64>, parts: usize) -> Vec<Range<u64>> {
+    let total = range.end.saturating_sub(range.start);
+    let parts = (parts.max(1) as u64).min(total.max(1));
+    (0..parts)
+        .map(|i| (range.start + i * total / parts)..(range.start + (i + 1) * total / parts))
+        .filter(|r| !r.is_empty())
+        .collect()
+}
+
+/// Folds one sub-range's tallies into the accumulated counts.
+///
+/// Merging is commutative and associative, so sub-results may arrive in
+/// any order (including a re-dispatched replacement for a lost range)
+/// and the final histogram is independent of completion order.
+pub fn merge_counts(acc: &mut Counts, part: Counts) {
+    for (outcome, n) in part {
+        *acc.entry(outcome).or_insert(0) += n;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::{Engine, ShotPlan};
+    use circuit::circuit::Circuit;
+    use qsim::statevector::StateVector;
+
+    #[test]
+    fn partition_covers_the_range_exactly_once() {
+        for (range, parts) in [
+            (0..1000u64, 4usize),
+            (0..7, 3),
+            (5..5, 4),
+            (3..17, 1),
+            (0..3, 8),
+            (10..1010, 0),
+        ] {
+            let chunks = partition_shots(range.clone(), parts);
+            // Contiguous, in order, covering the range exactly.
+            let mut cursor = range.start;
+            for chunk in &chunks {
+                assert_eq!(chunk.start, cursor, "{range:?}/{parts}: gap or overlap");
+                assert!(chunk.end > chunk.start, "{range:?}/{parts}: empty chunk");
+                cursor = chunk.end;
+            }
+            assert_eq!(cursor, range.end.max(range.start));
+            assert!(chunks.len() <= parts.max(1));
+            // Near-equal sizes: max - min ≤ 1.
+            if let (Some(min), Some(max)) = (
+                chunks.iter().map(|c| c.end - c.start).min(),
+                chunks.iter().map(|c| c.end - c.start).max(),
+            ) {
+                assert!(max - min <= 1, "{range:?}/{parts}: skewed {chunks:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn partitioned_ranged_runs_merge_to_the_full_run() {
+        // The sharding correctness condition end to end: any worker
+        // count reproduces the single-machine tallies bit-identically.
+        let mut c = Circuit::new(3, 3);
+        c.h(0).cx(0, 1).cx(1, 2);
+        for q in 0..3 {
+            c.measure(q, q);
+        }
+        let plan = ShotPlan::new(c, StateVector::new(3), 999, 41);
+        let engine = Engine::sequential();
+        let full = engine.run_plan(&plan);
+        for workers in [1usize, 2, 4, 7] {
+            let mut merged = Counts::new();
+            for chunk in partition_shots(0..999, workers) {
+                merge_counts(&mut merged, engine.run_plan_range(&plan, chunk));
+            }
+            assert_eq!(merged, full, "{workers} shards diverged from 1 machine");
+        }
+    }
+
+    #[test]
+    fn merge_counts_is_order_independent() {
+        let a: Counts = [(0usize, 3usize), (1, 2)].into_iter().collect();
+        let b: Counts = [(1usize, 5usize), (7, 1)].into_iter().collect();
+        let mut ab = a.clone();
+        merge_counts(&mut ab, b.clone());
+        let mut ba = b;
+        merge_counts(&mut ba, a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.get(&1), Some(&7));
+    }
+}

@@ -1,0 +1,157 @@
+//! Request admission: the validation pipeline shared by the scheduler
+//! and the shard coordinator.
+//!
+//! Admitting a run request means: parse the backend name, parse the
+//! QASM, enforce the serving limits ([`MAX_REQUEST_QUBITS`] /
+//! [`MAX_REQUEST_CBITS`]), check the `shot_range` arithmetic, and
+//! canonicalize the circuit into its [`CacheKey`]. Both front ends —
+//! the single-machine [`Scheduler`] and the `crates/shard` coordinator
+//! — must agree on every one of these decisions, or an identical
+//! request would hash to different keys (breaking coalescing) or be
+//! rejected on one path and admitted on the other. So the pipeline
+//! lives here, once.
+//!
+//! [`Scheduler`]: crate::scheduler::Scheduler
+//! [`MAX_REQUEST_QUBITS`]: crate::scheduler::MAX_REQUEST_QUBITS
+//! [`MAX_REQUEST_CBITS`]: crate::scheduler::MAX_REQUEST_CBITS
+
+use crate::cache::{fingerprint, CacheKey};
+use crate::protocol::RunRequest;
+use crate::scheduler::{MAX_REQUEST_CBITS, MAX_REQUEST_QUBITS};
+use circuit::circuit::Circuit;
+use circuit::qasm::{from_qasm3, to_qasm3};
+use engine::Backend;
+
+/// A run request that passed admission: parsed, bounded, canonicalized.
+#[derive(Debug, Clone)]
+pub struct Admitted {
+    /// The parsed circuit.
+    pub circuit: Circuit,
+    /// The backend the client named (possibly `Auto`).
+    pub requested: Backend,
+    /// The backend after `Auto` routing (what will execute).
+    pub resolved: Backend,
+    /// The job's identity: canonical fingerprint + resolved backend +
+    /// global shot range + seed.
+    pub key: CacheKey,
+}
+
+impl Admitted {
+    /// Global end of the job's shot range (`key.start + key.shots`) —
+    /// the `shots` a [`ShotPlan`] must carry so the engine's ranged
+    /// primitives accept this job's global indices.
+    ///
+    /// [`ShotPlan`]: engine::ShotPlan
+    pub fn shot_end(&self) -> u64 {
+        self.key.start + self.key.shots
+    }
+}
+
+/// Validates and canonicalizes one run request.
+///
+/// # Errors
+///
+/// Returns the human-readable message for the `error` response: unknown
+/// backend, QASM parse failure, serving-limit violation, or a
+/// `shot_range` whose length disagrees with `shots`.
+pub fn admit(run: &RunRequest) -> Result<Admitted, String> {
+    let requested = Backend::parse(&run.backend)
+        .ok_or_else(|| format!("unknown backend \"{}\"", run.backend))?;
+    let circuit = from_qasm3(&run.qasm).map_err(|e| e.to_string())?;
+    // Service-level admission limits, enforced *before* any backend
+    // state is allocated: the per-backend `supports` probes bound the
+    // exponential representations (statevector ≤ 26, density ≤ 13),
+    // but the stabilizer tableau is O(n²) with no cap of its own — an
+    // untrusted `qubit[10⁸] q;` must be an error response, not an
+    // allocation abort. The classical register is capped by the tally
+    // convention (records are packed into one 64-bit word).
+    if circuit.num_qubits() > MAX_REQUEST_QUBITS || circuit.num_cbits() > MAX_REQUEST_CBITS {
+        return Err(format!(
+            "request exceeds serving limits: {} qubits / {} cbits \
+             (max {MAX_REQUEST_QUBITS} / {MAX_REQUEST_CBITS})",
+            circuit.num_qubits(),
+            circuit.num_cbits()
+        ));
+    }
+    let start = match run.shot_range {
+        None => 0,
+        Some((start, end)) => {
+            // The wire layer already rejected reversed ranges; the
+            // remaining contract is that `shots` is the executed count.
+            if end - start != run.shots {
+                return Err(format!(
+                    "\"shot_range\" [{start}, {end}] has length {} but \"shots\" is {}",
+                    end - start,
+                    run.shots
+                ));
+            }
+            start
+        }
+    };
+    let canonical = to_qasm3(&circuit);
+    let resolved = requested.resolve(&circuit);
+    let key = CacheKey {
+        circuit_fp: fingerprint(&canonical),
+        backend: resolved.name(),
+        shots: run.shots,
+        root_seed: run.root_seed,
+        start,
+    };
+    Ok(Admitted {
+        circuit,
+        requested,
+        resolved,
+        key,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bell() -> String {
+        let mut c = Circuit::new(2, 2);
+        c.h(0).cx(0, 1).measure(0, 0).measure(1, 1);
+        to_qasm3(&c)
+    }
+
+    #[test]
+    fn ranged_and_full_requests_share_keys_only_when_identical_work() {
+        let full = admit(&RunRequest::new(bell(), 100, 7, "auto")).unwrap();
+        // A [0, 100] range is the same work as a plain 100-shot run.
+        let zero_based = admit(&RunRequest::new(bell(), 0, 7, "auto").with_shot_range(0, 100));
+        assert_eq!(zero_based.unwrap().key, full.key);
+        // A shifted range is different work, even at the same length.
+        let shifted = admit(&RunRequest::new(bell(), 0, 7, "auto").with_shot_range(100, 200));
+        assert_ne!(shifted.unwrap().key, full.key);
+    }
+
+    #[test]
+    fn shot_count_must_match_range_length() {
+        let mut run = RunRequest::new(bell(), 100, 7, "auto");
+        run.shot_range = Some((0, 50));
+        let err = admit(&run).unwrap_err();
+        assert!(err.contains("length 50"), "{err}");
+    }
+
+    #[test]
+    fn shot_end_is_the_plan_bound() {
+        let a = admit(&RunRequest::new(bell(), 0, 7, "sv").with_shot_range(500, 750)).unwrap();
+        assert_eq!(a.key.range(), 500..750);
+        assert_eq!(a.shot_end(), 750);
+    }
+
+    #[test]
+    fn admission_errors_match_the_scheduler_messages() {
+        assert!(admit(&RunRequest::new(bell(), 1, 0, "qutrit"))
+            .unwrap_err()
+            .contains("unknown backend"));
+        assert!(admit(&RunRequest::new("not qasm", 1, 0, "auto"))
+            .unwrap_err()
+            .contains("OPENQASM"));
+        let huge = "OPENQASM 3.0;\nqubit[100000000] q;\nh q[0];\n";
+        assert!(admit(&RunRequest::new(huge, 1, 0, "auto"))
+            .unwrap_err()
+            .contains("serving limits"));
+    }
+}

@@ -12,6 +12,12 @@
 //! `ok`/`stats`/`bye`, 3 on `busy`, 2 on `error`, 1 on I/O failure.
 //! `--demo` builds a circuit locally and ships it as QASM: `bell`, or
 //! `ghzN` (an N-qubit GHZ chain, e.g. `ghz8`).
+//!
+//! A `busy` response is retried up to `--retries` times (default 4),
+//! sleeping the server's `retry_after_ms` hint (capped at 1 s) before
+//! each resend — the server knows its own load, so the hint *is* the
+//! backoff schedule. Exit code 3 means the budget ran out with the
+//! server still busy.
 
 use circuit::circuit::Circuit;
 use circuit::qasm::to_qasm3;
@@ -22,7 +28,7 @@ use std::process::exit;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: compas-client [--addr HOST:PORT] [--id ID] [--repeat K]\n\
+        "usage: compas-client [--addr HOST:PORT] [--id ID] [--repeat K] [--retries K]\n\
          \x20  (--demo bell|ghzN | --qasm FILE) [--shots N] [--seed N] [--backend NAME]\n\
          \x20  | --stats | --shutdown"
     );
@@ -54,6 +60,7 @@ struct Args {
     addr: String,
     id: Option<String>,
     repeat: u64,
+    retries: u64,
     op: Op,
 }
 
@@ -62,6 +69,7 @@ fn parse_args() -> Args {
     let mut addr = "127.0.0.1:7878".to_string();
     let mut id = None;
     let mut repeat = 1u64;
+    let mut retries = 4u64;
     let mut qasm: Option<String> = None;
     let mut shots = 1024u64;
     let mut seed = 0u64;
@@ -83,6 +91,10 @@ fn parse_args() -> Args {
             }
             "--repeat" => {
                 repeat = value(&args, i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--retries" => {
+                retries = value(&args, i).parse().unwrap_or_else(|_| usage());
                 i += 2;
             }
             "--demo" => {
@@ -131,18 +143,14 @@ fn parse_args() -> Args {
     }
     let op = match (admin, qasm) {
         (Some(op), None) => op,
-        (None, Some(qasm)) => Op::Run(RunRequest {
-            qasm,
-            shots,
-            root_seed: seed,
-            backend,
-        }),
+        (None, Some(qasm)) => Op::Run(RunRequest::new(qasm, shots, seed, backend)),
         _ => usage(),
     };
     Args {
         addr,
         id,
         repeat,
+        retries,
         op,
     }
 }
@@ -164,26 +172,44 @@ fn main() {
             id: args.id.clone(),
             op: args.op.clone(),
         };
-        if writer.write_all(request.to_line().as_bytes()).is_err() {
-            eprintln!("compas-client: connection lost while sending");
-            exit(1);
-        }
-        let mut line = String::new();
-        match reader.read_line(&mut line) {
-            Ok(0) | Err(_) => {
-                eprintln!("compas-client: server closed the connection");
+        // Bounded retry on `busy`: the response carries the server's
+        // own back-off hint, so honoring it (capped) is strictly
+        // better than a client-invented schedule.
+        let mut budget = args.retries;
+        let code = loop {
+            if writer.write_all(request.to_line().as_bytes()).is_err() {
+                eprintln!("compas-client: connection lost while sending");
                 exit(1);
             }
-            Ok(_) => {}
-        }
-        print!("{line}");
-        let code = match Response::from_line(&line) {
-            Ok(Response::Error { .. }) => 2,
-            Ok(Response::Busy { .. }) => 3,
-            Ok(_) => 0,
-            Err(err) => {
-                eprintln!("compas-client: unparseable response: {err}");
-                2
+            let mut line = String::new();
+            match reader.read_line(&mut line) {
+                Ok(0) | Err(_) => {
+                    eprintln!("compas-client: server closed the connection");
+                    exit(1);
+                }
+                Ok(_) => {}
+            }
+            match Response::from_line(&line) {
+                Ok(Response::Busy { retry_after_ms, .. }) if budget > 0 => {
+                    budget -= 1;
+                    let pause = retry_after_ms.min(1_000);
+                    eprintln!(
+                        "compas-client: busy, retrying in {pause} ms ({budget} retries left)"
+                    );
+                    std::thread::sleep(std::time::Duration::from_millis(pause));
+                }
+                parsed => {
+                    print!("{line}");
+                    break match parsed {
+                        Ok(Response::Error { .. }) => 2,
+                        Ok(Response::Busy { .. }) => 3,
+                        Ok(_) => 0,
+                        Err(err) => {
+                            eprintln!("compas-client: unparseable response: {err}");
+                            2
+                        }
+                    };
+                }
             }
         };
         worst = worst.max(code);

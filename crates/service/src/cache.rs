@@ -37,8 +37,9 @@ pub fn fingerprint(text: &str) -> u64 {
 }
 
 /// The identity of a job: canonical-circuit fingerprint + resolved
-/// backend + shots + root seed. Equal keys ⇒ bit-identical results, so
-/// this is also the coalescing key for concurrent identical requests.
+/// backend + shot range + root seed. Equal keys ⇒ bit-identical
+/// results, so this is also the coalescing key for concurrent identical
+/// requests.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct CacheKey {
     /// [`fingerprint`] of the canonical (re-exported) QASM text.
@@ -46,10 +47,22 @@ pub struct CacheKey {
     /// Resolved backend name (`Backend::name` after `Auto` routing, so
     /// `auto` requests share entries with their resolved twin).
     pub backend: &'static str,
-    /// Shots requested.
+    /// Shots executed (the length of the job's global shot range).
     pub shots: u64,
     /// Root seed of the deterministic RNG streams.
     pub root_seed: u64,
+    /// First global shot index (the sharding extension's `shot_range`
+    /// start; 0 for a full run — so a `shot_range: [0, n]` sub-request
+    /// shares its entry with the plain `shots: n` request, which is the
+    /// same work).
+    pub start: u64,
+}
+
+impl CacheKey {
+    /// The job's global shot indices, `start..start + shots`.
+    pub fn range(&self) -> std::ops::Range<u64> {
+        self.start..self.start + self.shots
+    }
 }
 
 struct CacheEntry {
@@ -132,6 +145,7 @@ mod tests {
             backend: "statevector",
             shots: 100,
             root_seed: 1,
+            start: 0,
         }
     }
 

@@ -41,10 +41,14 @@
 //!
 //! ## Binaries
 //!
-//! * `compas-serve` — stand-alone server (`--addr`, `--workers`,
-//!   `--queue`, `--cache`, `--slice`).
-//! * `compas-client` — one-shot client: submit a QASM file or a built-in
-//!   demo circuit, query stats, or request shutdown.
+//! * `compas-client` (this crate) — one-shot client: submit a QASM
+//!   file or a built-in demo circuit, query stats, or request
+//!   shutdown; retries `busy` responses with the server's back-off
+//!   hint.
+//! * `compas-serve` (crates/shard) — the server binary, in three
+//!   roles: standalone, `--worker`, and `--coordinator` (shards each
+//!   job's shot range across workers via the protocol's `shot_range`
+//!   extension).
 //!
 //! ```no_run
 //! use service::{Service, ServiceConfig};
@@ -54,13 +58,17 @@
 //! handle.shutdown();
 //! ```
 
+pub mod admission;
 pub mod cache;
 pub mod protocol;
 pub mod scheduler;
 pub mod server;
 
-pub use protocol::{Op, Request, Response, RunRequest, ServiceStats};
+pub use admission::{admit, Admitted};
+pub use protocol::{Op, Request, Response, RunRequest, ServiceStats, WorkerRow};
 pub use scheduler::{
     PreparedJob, Scheduler, SchedulerConfig, Submission, MAX_REQUEST_CBITS, MAX_REQUEST_QUBITS,
 };
-pub use server::{Service, ServiceConfig, ServiceHandle, MAX_LINE_BYTES};
+pub use server::{
+    read_framed_request, FramedRequest, Service, ServiceConfig, ServiceHandle, MAX_LINE_BYTES,
+};

@@ -13,6 +13,8 @@
 //! ```json
 //! {"op": "run", "id": "r1", "qasm": "OPENQASM 3.0;…", "shots": 1000,
 //!  "root_seed": 7, "backend": "auto"}
+//! {"op": "run", "qasm": "…", "shots": 250, "root_seed": 7,
+//!  "shot_range": [500, 750]}
 //! {"op": "stats"}
 //! {"op": "shutdown"}
 //! ```
@@ -22,6 +24,13 @@
 //! (`engine::Backend::parse` names). `qasm`, `shots`, and `root_seed`
 //! are required for runs.
 //!
+//! `shot_range: [start, end)` restricts execution to the **global**
+//! shot indices of a job rooted at `root_seed` (the sharding
+//! extension): the tallies are exactly the ranged slice of the full
+//! run, so merging a partition of `0..total` reproduces the
+//! single-machine run bit-identically. `shots` must equal
+//! `end - start` — the response's `shots` stays the executed count.
+//!
 //! ## Responses
 //!
 //! ```json
@@ -29,12 +38,17 @@
 //!  "cached": false, "coalesced": false, "tallies": {"0": 493, "3": 507}}
 //! {"status": "busy", "in_flight": 32, "retry_after_ms": 650}
 //! {"status": "error", "error": "qasm parse error at line 3: …"}
-//! {"status": "stats", "received": 9, "completed": 4, …}
+//! {"status": "stats", "received": 9, "completed": 4, …,
+//!  "workers": [{"addr": "10.0.0.2:7878", "jobs": 31, "redispatched": 1,
+//!               "heartbeat_age_ms": 120, "alive": true}]}
 //! {"status": "bye"}
 //! ```
 //!
 //! Tally keys are the packed classical registers (the
-//! `Executor::sample_shots` convention) rendered in decimal.
+//! `Executor::sample_shots` convention) rendered in decimal. The
+//! `workers` array appears on `stats` responses from a shard
+//! coordinator (`crates/shard`) — one row per downstream worker; a
+//! plain single-machine server omits it.
 
 use engine::Counts;
 use jsonlite::Json;
@@ -67,12 +81,46 @@ pub struct Request {
 pub struct RunRequest {
     /// The circuit, in the `circuit::qasm` interchange subset.
     pub qasm: String,
-    /// Number of shots.
+    /// Number of shots to execute. With a [`RunRequest::shot_range`],
+    /// this must equal the range's length.
     pub shots: u64,
     /// Root seed of the job's deterministic RNG streams.
     pub root_seed: u64,
     /// Backend name (`engine::Backend::parse` convention).
     pub backend: String,
+    /// Optional `[start, end)` of **global** shot indices to execute —
+    /// the sharding extension. `None` runs `0..shots`. The tallies of a
+    /// ranged run are exactly the corresponding slice of the full run,
+    /// so a coordinator can partition `0..total` across workers and
+    /// merge.
+    pub shot_range: Option<(u64, u64)>,
+}
+
+impl RunRequest {
+    /// A full (un-ranged) run request.
+    pub fn new(
+        qasm: impl Into<String>,
+        shots: u64,
+        root_seed: u64,
+        backend: impl Into<String>,
+    ) -> RunRequest {
+        RunRequest {
+            qasm: qasm.into(),
+            shots,
+            root_seed,
+            backend: backend.into(),
+            shot_range: None,
+        }
+    }
+
+    /// The same job restricted to the global shot indices
+    /// `start..end` (sets `shots` to the range length, as the wire
+    /// contract requires).
+    pub fn with_shot_range(mut self, start: u64, end: u64) -> RunRequest {
+        self.shots = end.saturating_sub(start);
+        self.shot_range = Some((start, end));
+        self
+    }
 }
 
 impl Request {
@@ -127,11 +175,30 @@ impl Request {
                         .ok_or("\"backend\" must be a string")?
                         .to_string(),
                 };
+                let shot_range = match doc.get("shot_range") {
+                    None | Some(Json::Null) => None,
+                    Some(v) => {
+                        let items = v
+                            .as_arr()
+                            .filter(|a| a.len() == 2)
+                            .ok_or("\"shot_range\" must be a [start, end] pair")?;
+                        let bound = |j: &Json| {
+                            j.as_u64()
+                                .ok_or("\"shot_range\" bounds must be non-negative integers")
+                        };
+                        let (start, end) = (bound(&items[0])?, bound(&items[1])?);
+                        if start > end {
+                            return Err(format!("\"shot_range\" is reversed: [{start}, {end}]"));
+                        }
+                        Some((start, end))
+                    }
+                };
                 Op::Run(RunRequest {
                     qasm,
                     shots,
                     root_seed,
                     backend,
+                    shot_range,
                 })
             }
             "stats" => Op::Stats,
@@ -158,6 +225,12 @@ impl Request {
             members.push(("shots".into(), Json::from_u64(run.shots)));
             members.push(("root_seed".into(), Json::from_u64(run.root_seed)));
             members.push(("backend".into(), Json::str(&run.backend)));
+            if let Some((start, end)) = run.shot_range {
+                members.push((
+                    "shot_range".into(),
+                    Json::Arr(vec![Json::from_u64(start), Json::from_u64(end)]),
+                ));
+            }
         }
         let mut line = Json::Obj(members).to_compact();
         line.push('\n');
@@ -209,6 +282,67 @@ impl ServiceStats {
     }
 }
 
+/// Sentinel `heartbeat_age_ms` for a worker that has never answered a
+/// health probe (2⁵³ — the largest integer the wire's f64-backed
+/// numbers carry exactly, far beyond any real heartbeat age).
+pub const HEARTBEAT_NEVER_MS: u64 = 1 << 53;
+
+/// One downstream worker's row in a shard coordinator's `stats`
+/// response: identity, serving counters, and health.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerRow {
+    /// The worker's wire address (`host:port`).
+    pub addr: String,
+    /// Ranged sub-requests this worker completed successfully.
+    pub jobs: u64,
+    /// Ranges this worker lost (dispatched to it, then re-dispatched to
+    /// a survivor after failure or timeout).
+    pub redispatched: u64,
+    /// Milliseconds since the last successful health probe
+    /// ([`HEARTBEAT_NEVER_MS`] when no probe has ever succeeded; ages
+    /// are clamped to that sentinel so the field is always wire-exact).
+    pub heartbeat_age_ms: u64,
+    /// Whether the coordinator currently considers the worker alive.
+    pub alive: bool,
+}
+
+impl WorkerRow {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("addr", Json::str(&self.addr)),
+            ("jobs", Json::from_u64(self.jobs)),
+            ("redispatched", Json::from_u64(self.redispatched)),
+            (
+                "heartbeat_age_ms",
+                Json::from_u64(self.heartbeat_age_ms.min(HEARTBEAT_NEVER_MS)),
+            ),
+            ("alive", Json::Bool(self.alive)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<WorkerRow, String> {
+        let num = |key: &str| {
+            v.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("worker row missing numeric \"{key}\""))
+        };
+        Ok(WorkerRow {
+            addr: v
+                .get("addr")
+                .and_then(Json::as_str)
+                .ok_or("worker row missing \"addr\"")?
+                .to_string(),
+            jobs: num("jobs")?,
+            redispatched: num("redispatched")?,
+            heartbeat_age_ms: num("heartbeat_age_ms")?,
+            alive: v
+                .get("alive")
+                .and_then(Json::as_bool)
+                .ok_or("worker row missing \"alive\"")?,
+        })
+    }
+}
+
 /// One response line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
@@ -251,6 +385,9 @@ pub enum Response {
         id: Option<String>,
         /// The counters.
         stats: ServiceStats,
+        /// Per-worker rows — non-empty only on responses from a shard
+        /// coordinator (omitted from the wire when empty).
+        workers: Vec<WorkerRow>,
     },
     /// Acknowledgement of a shutdown request (the last line the server
     /// writes on that connection).
@@ -311,11 +448,17 @@ impl Response {
                 push_id(&mut members, id);
                 members.push(("error".into(), Json::str(error)));
             }
-            Response::Stats { id, stats } => {
+            Response::Stats { id, stats, workers } => {
                 members.push(("status".into(), Json::str("stats")));
                 push_id(&mut members, id);
                 for (name, value) in stats.fields() {
                     members.push((name.into(), Json::from_u64(value)));
+                }
+                if !workers.is_empty() {
+                    members.push((
+                        "workers".into(),
+                        Json::Arr(workers.iter().map(WorkerRow::to_json).collect()),
+                    ));
                 }
             }
             Response::Bye { id } => {
@@ -410,6 +553,15 @@ impl Response {
                     in_flight: num("in_flight")?,
                     cache_entries: num("cache_entries")?,
                 },
+                workers: match doc.get("workers") {
+                    None | Some(Json::Null) => Vec::new(),
+                    Some(v) => v
+                        .as_arr()
+                        .ok_or("\"workers\" must be an array")?
+                        .iter()
+                        .map(WorkerRow::from_json)
+                        .collect::<Result<Vec<_>, String>>()?,
+                },
             }),
             "bye" => Ok(Response::Bye { id }),
             other => Err(format!("unknown status \"{other}\"")),
@@ -425,16 +577,48 @@ mod tests {
     fn run_request_round_trips() {
         let req = Request::run(
             Some("r1".into()),
-            RunRequest {
-                qasm: "OPENQASM 3.0;\nqubit[1] q;\nh q[0];\n".into(),
-                shots: 500,
-                root_seed: 7,
-                backend: "auto".into(),
-            },
+            RunRequest::new("OPENQASM 3.0;\nqubit[1] q;\nh q[0];\n", 500, 7, "auto"),
         );
         let line = req.to_line();
         assert!(line.ends_with('\n') && !line.trim_end().contains('\n'));
         assert_eq!(Request::from_line(&line).unwrap(), req);
+        // A full request carries no shot_range field on the wire.
+        assert!(!line.contains("shot_range"));
+    }
+
+    #[test]
+    fn ranged_run_requests_round_trip() {
+        let req = Request::run(
+            None,
+            RunRequest::new("x", 1_000, 7, "sv").with_shot_range(500, 750),
+        );
+        let Op::Run(run) = &req.op else {
+            unreachable!()
+        };
+        assert_eq!(
+            run.shots, 250,
+            "with_shot_range must pin shots to the length"
+        );
+        let line = req.to_line();
+        assert!(line.contains("\"shot_range\":[500,750]"), "{line}");
+        assert_eq!(Request::from_line(&line).unwrap(), req);
+    }
+
+    #[test]
+    fn malformed_shot_ranges_are_rejected() {
+        let base = r#""qasm": "x", "shots": 1, "root_seed": 0"#;
+        for (range, needle) in [
+            ("[10, 3]", "reversed"),
+            ("[1]", "pair"),
+            ("[1, 2, 3]", "pair"),
+            ("\"0..5\"", "pair"),
+            ("[-1, 5]", "non-negative"),
+            ("[0, 1.5]", "non-negative"),
+        ] {
+            let line = format!("{{{base}, \"shot_range\": {range}}}");
+            let err = Request::from_line(&line).unwrap_err();
+            assert!(err.contains(needle), "{range}: {err}");
+        }
     }
 
     #[test]
@@ -514,13 +698,46 @@ mod tests {
                 in_flight: 0,
                 cache_entries: 4,
             },
+            workers: Vec::new(),
         };
-        assert_eq!(Response::from_line(&stats.to_line()).unwrap(), stats);
+        let line = stats.to_line();
+        assert!(!line.contains("workers"), "empty rows must be omitted");
+        assert_eq!(Response::from_line(&line).unwrap(), stats);
 
         let bye = Response::Bye {
             id: Some("x".into()),
         };
         assert_eq!(Response::from_line(&bye.to_line()).unwrap(), bye);
+    }
+
+    #[test]
+    fn coordinator_stats_carry_per_worker_rows() {
+        let stats = Response::Stats {
+            id: Some("s".into()),
+            stats: ServiceStats::default(),
+            workers: vec![
+                WorkerRow {
+                    addr: "10.0.0.2:7878".into(),
+                    jobs: 31,
+                    redispatched: 1,
+                    heartbeat_age_ms: 120,
+                    alive: true,
+                },
+                WorkerRow {
+                    addr: "10.0.0.3:7878".into(),
+                    jobs: 12,
+                    redispatched: 0,
+                    heartbeat_age_ms: HEARTBEAT_NEVER_MS,
+                    alive: false,
+                },
+            ],
+        };
+        let line = stats.to_line();
+        assert!(
+            line.contains("\"workers\":[{\"addr\":\"10.0.0.2:7878\""),
+            "{line}"
+        );
+        assert_eq!(Response::from_line(&line).unwrap(), stats);
     }
 
     #[test]

@@ -24,11 +24,11 @@
 //! threads call [`Scheduler::submit`], the server's worker pool drains
 //! [`Scheduler::next_slice`] / [`Scheduler::complete_slice`].
 
-use crate::cache::{fingerprint, CacheKey, ResultCache};
+use crate::admission::admit;
+use crate::cache::{CacheKey, ResultCache};
 use crate::protocol::{Response, RunRequest, ServiceStats};
 use circuit::caps::Unsupported;
 use circuit::circuit::Circuit;
-use circuit::qasm::{from_qasm3, to_qasm3};
 use engine::{Backend, Counts, Engine, ShotPlan};
 use qsim::density::{run_deferred, DensityMatrix};
 use qsim::runner::pack_cbits;
@@ -97,7 +97,11 @@ pub enum PreparedJob {
 }
 
 impl PreparedJob {
-    /// Compiles `circuit` for the resolved backend.
+    /// Compiles `circuit` for the resolved backend. `shot_end` is the
+    /// job's **global** end index (`start + shots` for a ranged job,
+    /// plain `shots` otherwise): the plans are built to that bound so
+    /// [`PreparedJob::run_range`] accepts any sub-range of the job's
+    /// global indices.
     ///
     /// # Errors
     ///
@@ -105,7 +109,7 @@ impl PreparedJob {
     pub fn prepare(
         circuit: &Circuit,
         backend: Backend,
-        shots: u64,
+        shot_end: u64,
         root_seed: u64,
     ) -> Result<(Backend, PreparedJob), Unsupported> {
         let resolved = backend.resolve(circuit);
@@ -115,13 +119,13 @@ impl PreparedJob {
             Backend::StateVector => PreparedJob::StateVector(ShotPlan::new(
                 circuit.clone(),
                 StateVector::new(n),
-                shots,
+                shot_end,
                 root_seed,
             )),
             Backend::Stabilizer => PreparedJob::Stabilizer(ShotPlan::new(
                 circuit.clone(),
                 CliffordState::new(n),
-                shots,
+                shot_end,
                 root_seed,
             )),
             Backend::Density => PreparedJob::Density {
@@ -194,8 +198,11 @@ struct Waiter {
 
 struct Job {
     prepared: Arc<PreparedJob>,
-    shots: u64,
-    /// Next global shot index not yet handed to a worker.
+    /// Exclusive global end of the job's shot range (`key.start +
+    /// key.shots`).
+    end: u64,
+    /// Next global shot index not yet handed to a worker (starts at
+    /// `key.start`).
     next_shot: u64,
     /// Slices currently executing.
     outstanding: usize,
@@ -247,16 +254,12 @@ impl Scheduler {
     /// it for execution.
     pub fn submit(&self, id: Option<String>, run: &RunRequest) -> Submission {
         // Parse and canonicalize outside the lock — this is the
-        // expensive part, and it needs no shared state.
-        let parsed = Backend::parse(&run.backend)
-            .ok_or_else(|| format!("unknown backend \"{}\"", run.backend))
-            .and_then(|backend| {
-                from_qasm3(&run.qasm)
-                    .map(|circuit| (backend, circuit))
-                    .map_err(|e| e.to_string())
-            });
-        let (backend, circuit) = match parsed {
-            Ok(pair) => pair,
+        // expensive part, and it needs no shared state. The pipeline
+        // (backend parse, QASM parse, serving limits, shot-range
+        // arithmetic, canonical fingerprint) is shared with the shard
+        // coordinator in [`crate::admission`].
+        let admitted = match admit(run) {
+            Ok(admitted) => admitted,
             Err(error) => {
                 let mut inner = self.lock();
                 inner.stats.received += 1;
@@ -264,35 +267,7 @@ impl Scheduler {
                 return Submission::Immediate(Response::Error { id, error });
             }
         };
-        // Service-level admission limits, enforced *before* any
-        // backend state is allocated: the per-backend `supports`
-        // probes bound the exponential representations (statevector
-        // ≤ 26, density ≤ 13), but the stabilizer tableau is O(n²)
-        // with no cap of its own — an untrusted `qubit[10⁸] q;`
-        // must be an error response, not an allocation abort. The
-        // classical register is capped by the tally convention
-        // (records are packed into one 64-bit word).
-        if circuit.num_qubits() > MAX_REQUEST_QUBITS || circuit.num_cbits() > MAX_REQUEST_CBITS {
-            let mut inner = self.lock();
-            inner.stats.received += 1;
-            inner.stats.errors += 1;
-            return Submission::Immediate(Response::Error {
-                id,
-                error: format!(
-                    "request exceeds serving limits: {} qubits / {} cbits \
-                     (max {MAX_REQUEST_QUBITS} / {MAX_REQUEST_CBITS})",
-                    circuit.num_qubits(),
-                    circuit.num_cbits()
-                ),
-            });
-        }
-        let canonical = to_qasm3(&circuit);
-        let key = CacheKey {
-            circuit_fp: fingerprint(&canonical),
-            backend: backend.resolve(&circuit).name(),
-            shots: run.shots,
-            root_seed: run.root_seed,
-        };
+        let key = admitted.key.clone();
 
         // First pass under the lock: cache, coalescing, admission.
         {
@@ -336,7 +311,12 @@ impl Scheduler {
         // Compile outside the lock (statevector kernel fusion and
         // density evolution can be slow), then re-check: an identical
         // request may have been admitted meanwhile.
-        let prepared = match PreparedJob::prepare(&circuit, backend, run.shots, run.root_seed) {
+        let prepared = match PreparedJob::prepare(
+            &admitted.circuit,
+            admitted.requested,
+            admitted.shot_end(),
+            run.root_seed,
+        ) {
             Ok((_resolved, job)) => Arc::new(job),
             Err(err) => {
                 let mut inner = self.lock();
@@ -375,8 +355,8 @@ impl Scheduler {
             key.clone(),
             Job {
                 prepared,
-                shots: run.shots,
-                next_shot: 0,
+                end: admitted.shot_end(),
+                next_shot: key.start,
                 outstanding: 0,
                 partial: Counts::new(),
                 waiters: vec![Waiter {
@@ -439,11 +419,11 @@ impl Scheduler {
                 let slice = inner.config.slice_shots.max(1);
                 let job = inner.jobs.get_mut(&key).expect("queued job exists");
                 let start = job.next_shot;
-                let end = (start + slice).min(job.shots);
+                let end = (start + slice).min(job.end);
                 job.next_shot = end;
                 job.outstanding += 1;
                 let prepared = job.prepared.clone();
-                if end < job.shots {
+                if end < job.end {
                     inner.queue.push_back(key.clone());
                 }
                 return Some(SliceTask {
@@ -471,7 +451,7 @@ impl Scheduler {
             *job.partial.entry(outcome).or_insert(0) += n;
         }
         job.outstanding -= 1;
-        if job.next_shot >= job.shots && job.outstanding == 0 {
+        if job.next_shot >= job.end && job.outstanding == 0 {
             let job = inner.jobs.remove(key).expect("job present");
             inner.cache.insert(key.clone(), job.partial.clone());
             inner.stats.completed += 1;
@@ -526,6 +506,7 @@ impl Scheduler {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use circuit::qasm::to_qasm3;
 
     fn bell_qasm() -> String {
         let mut c = Circuit::new(2, 2);
@@ -534,12 +515,7 @@ mod tests {
     }
 
     fn run_request(shots: u64, seed: u64) -> RunRequest {
-        RunRequest {
-            qasm: bell_qasm(),
-            shots,
-            root_seed: seed,
-            backend: "auto".to_string(),
-        }
+        RunRequest::new(bell_qasm(), shots, seed, "auto")
     }
 
     /// Drains every available slice on the calling thread — a
@@ -584,6 +560,48 @@ mod tests {
                 assert_eq!(tallies, direct, "sliced serving diverged from direct run");
             }
             other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ranged_jobs_serve_the_exact_slice_of_the_full_run() {
+        // The worker side of sharding: a `shot_range` job — even one
+        // carved into many scheduler slices — must tally exactly the
+        // ranged slice of the full run's global shot indices.
+        let sched = Scheduler::new(SchedulerConfig {
+            slice_shots: 37,
+            ..SchedulerConfig::default()
+        });
+        let engine = Engine::sequential();
+        let run = run_request(0, 7).with_shot_range(250, 750);
+        let rx = match sched.submit(None, &run) {
+            Submission::Pending(rx) => rx,
+            Submission::Immediate(r) => panic!("expected pending, got {r:?}"),
+        };
+        drain(&sched, &engine);
+        let mut c = Circuit::new(2, 2);
+        c.h(0).cx(0, 1).measure(0, 0).measure(1, 1);
+        let plan = ShotPlan::new(c, StateVector::new(2), 750, 7);
+        let reference = engine.run_plan_range(&plan, 250..750);
+        match rx.recv().unwrap() {
+            Response::Ok { shots, tallies, .. } => {
+                assert_eq!(shots, 500, "response reports the executed count");
+                assert_eq!(tallies, reference, "ranged job diverged from the slice");
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mismatched_shot_counts_are_rejected_at_admission() {
+        let sched = Scheduler::new(SchedulerConfig::default());
+        let mut run = run_request(100, 1);
+        run.shot_range = Some((0, 60));
+        match sched.submit(None, &run) {
+            Submission::Immediate(Response::Error { error, .. }) => {
+                assert!(error.contains("length"), "{error}");
+            }
+            _ => panic!("expected an admission error"),
         }
     }
 
@@ -713,12 +731,7 @@ mod tests {
         // capability error.
         let mut c = Circuit::new(1, 1);
         c.t(0).measure(0, 0);
-        let unsupported = RunRequest {
-            qasm: to_qasm3(&c),
-            backend: "stabilizer".into(),
-            shots: 10,
-            root_seed: 0,
-        };
+        let unsupported = RunRequest::new(to_qasm3(&c), 10, 0, "stabilizer");
         match sched.submit(None, &unsupported) {
             Submission::Immediate(Response::Error { error, .. }) => {
                 assert!(error.contains("stabilizer"), "{error}");
@@ -770,12 +783,12 @@ mod tests {
         // response, never an allocation attempt (the stabilizer
         // tableau is O(n²) and has no width cap of its own).
         let sched = Scheduler::new(SchedulerConfig::default());
-        let huge = RunRequest {
-            qasm: "OPENQASM 3.0;\nqubit[100000000] q;\nh q[0];\n".to_string(),
-            shots: 10,
-            root_seed: 0,
-            backend: "auto".to_string(),
-        };
+        let huge = RunRequest::new(
+            "OPENQASM 3.0;\nqubit[100000000] q;\nh q[0];\n",
+            10,
+            0,
+            "auto",
+        );
         match sched.submit(None, &huge) {
             Submission::Immediate(Response::Error { error, .. }) => {
                 assert!(error.contains("serving limits"), "{error}");
@@ -784,12 +797,12 @@ mod tests {
         }
         // Classical registers beyond the 64-bit packing convention
         // are rejected the same way.
-        let wide_cbits = RunRequest {
-            qasm: "OPENQASM 3.0;\nqubit[1] q;\nbit[65] c;\nh q[0];\n".to_string(),
-            shots: 10,
-            root_seed: 0,
-            backend: "auto".to_string(),
-        };
+        let wide_cbits = RunRequest::new(
+            "OPENQASM 3.0;\nqubit[1] q;\nbit[65] c;\nh q[0];\n",
+            10,
+            0,
+            "auto",
+        );
         assert!(matches!(
             sched.submit(None, &wide_cbits),
             Submission::Immediate(Response::Error { .. })

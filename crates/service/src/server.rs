@@ -35,6 +35,49 @@ use std::thread::JoinHandle;
 /// streams gigabytes without a newline cannot exhaust server memory.
 pub const MAX_LINE_BYTES: u64 = 8 * 1024 * 1024;
 
+/// One framed request line, as read by [`read_framed_request`].
+pub enum FramedRequest {
+    /// The peer closed the connection (or the socket failed): stop
+    /// serving it.
+    Closed,
+    /// The line exceeded [`MAX_LINE_BYTES`]. The rest of the oversized
+    /// line is still in flight with no way to resynchronize — answer
+    /// with an error and hang up.
+    Oversized,
+    /// A whitespace-only line: ignore it.
+    Blank,
+    /// A complete line: the decoded request, or the error message to
+    /// answer with (decode failure, invalid UTF-8).
+    Parsed(Result<Request, String>),
+}
+
+/// Reads and frames one request line: byte-capped, UTF-8-checked,
+/// decoded. Shared by this server's connection handler and the
+/// `crates/shard` coordinator front end, so both enforce identical
+/// framing limits.
+pub fn read_framed_request(reader: &mut impl BufRead) -> FramedRequest {
+    let mut raw = Vec::new();
+    // Read raw bytes (not a String): a line truncated at the byte cap
+    // — or containing invalid UTF-8 — must yield an error *response*,
+    // not an io::Error that silently drops the connection.
+    let mut limited = reader.take(MAX_LINE_BYTES);
+    match limited.read_until(b'\n', &mut raw) {
+        Ok(0) => return FramedRequest::Closed,
+        Ok(_) => {}
+        Err(_) => return FramedRequest::Closed,
+    }
+    if raw.len() as u64 >= MAX_LINE_BYTES && raw.last() != Some(&b'\n') {
+        return FramedRequest::Oversized;
+    }
+    let Ok(line) = std::str::from_utf8(&raw) else {
+        return FramedRequest::Parsed(Err("request line is not valid UTF-8".to_string()));
+    };
+    if line.trim().is_empty() {
+        return FramedRequest::Blank;
+    }
+    FramedRequest::Parsed(Request::from_line(line))
+}
+
 /// Everything [`Service::spawn`] needs to know.
 #[derive(Debug, Clone)]
 pub struct ServiceConfig {
@@ -198,51 +241,24 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
     };
     let mut reader = BufReader::new(read_half);
     let mut writer = stream;
-    let mut raw = Vec::new();
     loop {
-        raw.clear();
-        // Read raw bytes (not a String): a line truncated at the byte
-        // cap — or containing invalid UTF-8 — must yield an error
-        // *response*, not an io::Error that silently drops the
-        // connection.
-        let mut limited = (&mut reader).take(MAX_LINE_BYTES);
-        match limited.read_until(b'\n', &mut raw) {
-            Ok(0) => return, // client closed
-            Ok(_) => {}
-            Err(_) => return,
-        }
-        if raw.len() as u64 >= MAX_LINE_BYTES && raw.last() != Some(&b'\n') {
-            // The rest of the oversized line is still in flight; no
-            // way to resynchronize, so answer and hang up.
-            shared.scheduler.note_error();
-            let _ = write_response(
-                &mut writer,
-                &Response::Error {
-                    id: None,
-                    error: format!("request line exceeds {MAX_LINE_BYTES} bytes"),
-                },
-            );
-            return;
-        }
-        let Ok(line) = std::str::from_utf8(&raw) else {
-            shared.scheduler.note_error();
-            if write_response(
-                &mut writer,
-                &Response::Error {
-                    id: None,
-                    error: "request line is not valid UTF-8".to_string(),
-                },
-            )
-            .is_err()
-            {
+        let framed = match read_framed_request(&mut reader) {
+            FramedRequest::Closed => return,
+            FramedRequest::Blank => continue,
+            FramedRequest::Oversized => {
+                shared.scheduler.note_error();
+                let _ = write_response(
+                    &mut writer,
+                    &Response::Error {
+                        id: None,
+                        error: format!("request line exceeds {MAX_LINE_BYTES} bytes"),
+                    },
+                );
                 return;
             }
-            continue;
+            FramedRequest::Parsed(framed) => framed,
         };
-        if line.trim().is_empty() {
-            continue;
-        }
-        let response = match Request::from_line(line) {
+        let response = match framed {
             Err(error) => {
                 shared.scheduler.note_error();
                 Response::Error { id: None, error }
@@ -250,6 +266,7 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
             Ok(Request { id, op: Op::Stats }) => Response::Stats {
                 id,
                 stats: shared.scheduler.stats(),
+                workers: Vec::new(),
             },
             Ok(Request {
                 id,

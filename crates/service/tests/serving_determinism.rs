@@ -73,12 +73,7 @@ fn request_once(addr: SocketAddr, request: &Request) -> Response {
 }
 
 fn run_request(circuit: &Circuit, shots: u64, seed: u64, backend: Backend) -> RunRequest {
-    RunRequest {
-        qasm: to_qasm3(circuit),
-        shots,
-        root_seed: seed,
-        backend: backend.name().to_string(),
-    }
+    RunRequest::new(to_qasm3(circuit), shots, seed, backend.name())
 }
 
 /// The off-line reference the service must reproduce bit-for-bit.
@@ -297,4 +292,95 @@ fn slicing_configuration_never_changes_results() {
     }
     assert_eq!(lines[0], lines[1], "slice size changed the served bytes");
     assert_eq!(lines[0], lines[2], "worker count changed the served bytes");
+}
+
+#[test]
+fn ranged_requests_reassemble_the_full_run_exactly() {
+    // The seam the shard coordinator is built on, proven at the wire:
+    // partition the global shot range, serve each part as a
+    // `shot_range` sub-request, merge the tallies — the result is
+    // bit-identical to the unranged run (and to the direct reference).
+    let backend = Backend::from_env();
+    let circuit = noisy_ghz(5);
+    let (shots, seed) = (1_200u64, 13u64);
+    let handle = spawn_slicing_service();
+    let full = request_once(
+        handle.addr(),
+        &Request::run(None, run_request(&circuit, shots, seed, backend)),
+    );
+    assert_matches_reference(&full, &circuit, shots, seed, backend, "unranged");
+    for parts in [2usize, 3, 5] {
+        let mut merged = Counts::new();
+        for part in engine::partition_shots(0..shots, parts) {
+            let request = RunRequest::new(to_qasm3(&circuit), 0, seed, backend.name())
+                .with_shot_range(part.start, part.end);
+            match request_once(handle.addr(), &Request::run(None, request)) {
+                Response::Ok {
+                    shots: n, tallies, ..
+                } => {
+                    assert_eq!(
+                        n,
+                        part.end - part.start,
+                        "{parts} parts: wrong slice length"
+                    );
+                    engine::merge_counts(&mut merged, tallies);
+                }
+                Response::Error { .. } if matches!(full, Response::Error { .. }) => {}
+                other => panic!("{parts} parts: unexpected response {other:?}"),
+            }
+        }
+        if let Response::Ok { tallies, .. } = &full {
+            assert_eq!(
+                &merged, tallies,
+                "{parts} ranged parts did not reassemble the unranged run"
+            );
+        }
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn a_full_range_request_shares_the_cache_with_the_unranged_form() {
+    // `shot_range: [0, n]` and plain `shots: n` are the same job: the
+    // admission key makes the second form a cache hit on the first.
+    let backend = Backend::from_env();
+    let circuit = bell();
+    let (shots, seed) = (400u64, 77u64);
+    let handle = spawn_slicing_service();
+    let cold = request_once(
+        handle.addr(),
+        &Request::run(None, run_request(&circuit, shots, seed, backend)),
+    );
+    let ranged =
+        RunRequest::new(to_qasm3(&circuit), 0, seed, backend.name()).with_shot_range(0, shots);
+    let warm = request_once(handle.addr(), &Request::run(None, ranged));
+    match (&cold, &warm) {
+        (
+            Response::Ok { tallies, .. },
+            Response::Ok {
+                tallies: w, cached, ..
+            },
+        ) => {
+            assert!(*cached, "[0, n] must hit the plain-n cache entry");
+            assert_eq!(w, tallies);
+        }
+        (Response::Error { .. }, Response::Error { .. }) => {}
+        (a, b) => panic!("inconsistent pair: {a:?} vs {b:?}"),
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn mismatched_shot_range_lengths_are_rejected_on_the_wire() {
+    let handle = Service::spawn(ServiceConfig::default()).expect("spawn");
+    let mut request = run_request(&bell(), 100, 1, Backend::Auto);
+    request.shot_range = Some((5, 50)); // length 45, shots says 100
+    let response = request_once(handle.addr(), &Request::run(None, request));
+    match response {
+        Response::Error { error, .. } => {
+            assert!(error.contains("length"), "unhelpful error: {error}")
+        }
+        other => panic!("expected an admission error, got {other:?}"),
+    }
+    handle.shutdown();
 }

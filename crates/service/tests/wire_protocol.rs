@@ -45,12 +45,7 @@ impl Client {
 fn bell_run(shots: u64, seed: u64) -> RunRequest {
     let mut c = Circuit::new(2, 2);
     c.h(0).cx(0, 1).measure(0, 0).measure(1, 1);
-    RunRequest {
-        qasm: to_qasm3(&c),
-        shots,
-        root_seed: seed,
-        backend: "auto".to_string(),
-    }
+    RunRequest::new(to_qasm3(&c), shots, seed, "auto")
 }
 
 fn spawn_default() -> service::ServiceHandle {
@@ -188,10 +183,14 @@ fn stats_op_reports_counters_over_the_wire() {
         id: Some("s".into()),
         op: service::Op::Stats,
     });
-    let Response::Stats { id, stats } = response else {
+    let Response::Stats { id, stats, workers } = response else {
         panic!("unexpected {response:?}");
     };
     assert_eq!(id.as_deref(), Some("s"));
+    assert!(
+        workers.is_empty(),
+        "a single-machine server reports no worker rows"
+    );
     assert_eq!(stats.received, 2);
     assert_eq!(stats.completed, 1);
     assert_eq!(stats.cache_hits, 1);

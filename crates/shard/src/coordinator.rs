@@ -1,0 +1,579 @@
+//! The shard coordinator: scatter, gather, re-dispatch, respond.
+//!
+//! A [`Coordinator`] is wire-compatible with a single-machine
+//! `service` instance — clients speak the exact same protocol and
+//! cannot tell the difference from the bytes — but instead of
+//! executing jobs it partitions each admitted job's global shot range
+//! (`engine::partition_shots`) across its live workers, dispatches the
+//! sub-ranges as `shot_range` requests, and merges the returned
+//! tallies (`engine::merge_counts`).
+//!
+//! ## Why failure handling is trivial
+//!
+//! Shot `i`'s RNG stream is a pure function of `(root_seed, i)` — not
+//! of which worker ran it, when, or after how many attempts. So when a
+//! worker dies holding a range, the coordinator simply sends the same
+//! range to a survivor: **the re-dispatched execution is bit-identical
+//! to the one that was lost**, and the merged job is bit-identical to
+//! an uninterrupted single-machine `Backend::sample_shots` run. There
+//! is no partial-state reconciliation because there is no partial
+//! state worth keeping.
+//!
+//! ## Robustness layers
+//!
+//! * **Heartbeats** — a background thread `stats`-probes every worker
+//!   each `heartbeat_interval`; a worker that stops answering is
+//!   marked dead, skipped by dispatch, and revived by a later
+//!   successful probe.
+//! * **Re-dispatch** — a range whose dispatch fails (dead worker, I/O
+//!   timeout, error response) moves to the next live worker, bounded
+//!   by `redispatch_limit` attempts.
+//! * **Backpressure** — admission rejects with `busy` when the job
+//!   table is full or every live worker is at its in-flight bound;
+//!   `busy` answers *from workers* are waited out with the worker's
+//!   own hint.
+//!
+//! Coalescing and result caching reuse the `service` building blocks
+//! ([`service::cache`], [`service::admit`]), so identical concurrent
+//! jobs scatter once and repeats are served from coordinator memory.
+
+use crate::worker::{Dispatch, PoolConfig, WorkerPool};
+use engine::{merge_counts, partition_shots, Counts};
+use service::cache::{CacheKey, ResultCache};
+use service::{
+    admit, read_framed_request, FramedRequest, Op, Request, Response, RunRequest, ServiceStats,
+    Submission, WorkerRow,
+};
+use std::collections::{HashMap, HashSet};
+use std::io::{BufRead, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Everything [`Coordinator::spawn`] needs to know.
+#[derive(Debug, Clone)]
+pub struct CoordinatorConfig {
+    /// Bind address for clients; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Downstream worker addresses (`host:port` each).
+    pub workers: Vec<String>,
+    /// Maximum in-flight jobs before `busy` rejections.
+    pub queue_capacity: usize,
+    /// Coordinator-side result-cache capacity in entries.
+    pub cache_capacity: usize,
+    /// Budget for one ranged dispatch round trip; a worker that holds
+    /// a range longer has failed it.
+    pub io_timeout: Duration,
+    /// Delay between heartbeat sweeps over the workers.
+    pub heartbeat_interval: Duration,
+    /// Most failed dispatch attempts per range before the job errors.
+    pub redispatch_limit: usize,
+    /// Most concurrently dispatched ranges per worker.
+    pub max_inflight_per_worker: usize,
+    /// Whether a wire `shutdown` (or [`CoordinatorHandle::shutdown`])
+    /// is forwarded to the workers. Off by default so in-process tests
+    /// can keep their workers; the `compas-serve --coordinator` binary
+    /// turns it on.
+    pub propagate_shutdown: bool,
+}
+
+impl Default for CoordinatorConfig {
+    fn default() -> Self {
+        CoordinatorConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: Vec::new(),
+            queue_capacity: 32,
+            cache_capacity: 256,
+            io_timeout: Duration::from_secs(30),
+            heartbeat_interval: Duration::from_millis(500),
+            redispatch_limit: 4,
+            max_inflight_per_worker: 8,
+            propagate_shutdown: false,
+        }
+    }
+}
+
+struct Waiter {
+    tx: mpsc::Sender<Response>,
+    id: Option<String>,
+    coalesced: bool,
+}
+
+struct Inner {
+    jobs: HashMap<CacheKey, Vec<Waiter>>,
+    cache: ResultCache,
+    stats: ServiceStats,
+    shutdown: bool,
+}
+
+struct Shared {
+    config: CoordinatorConfig,
+    pool: WorkerPool,
+    inner: Mutex<Inner>,
+    stopping: AtomicBool,
+    addr: SocketAddr,
+}
+
+/// The shard-coordinator front end. See the module docs.
+pub struct Coordinator;
+
+impl Coordinator {
+    /// Binds `config.addr`, probes the workers once so the live set is
+    /// warm, and starts the acceptor and heartbeat threads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors (bind/local_addr).
+    pub fn spawn(config: CoordinatorConfig) -> std::io::Result<CoordinatorHandle> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let pool = WorkerPool::new(
+            config.workers.clone(),
+            PoolConfig {
+                io_timeout: config.io_timeout,
+                max_inflight: config.max_inflight_per_worker,
+                ..PoolConfig::default()
+            },
+        );
+        pool.probe_all();
+        let shared = Arc::new(Shared {
+            inner: Mutex::new(Inner {
+                jobs: HashMap::new(),
+                cache: ResultCache::new(config.cache_capacity),
+                stats: ServiceStats::default(),
+                shutdown: false,
+            }),
+            pool,
+            config,
+            stopping: AtomicBool::new(false),
+            addr,
+        });
+
+        let heartbeat = {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name("shard-heartbeat".to_string())
+                .spawn(move || {
+                    while !shared.stopping.load(Ordering::SeqCst) {
+                        shared.pool.probe_all();
+                        // Sleep in short slices so shutdown is prompt
+                        // even under long heartbeat intervals.
+                        let mut remaining = shared.config.heartbeat_interval;
+                        while !remaining.is_zero() && !shared.stopping.load(Ordering::SeqCst) {
+                            let step = remaining.min(Duration::from_millis(50));
+                            std::thread::sleep(step);
+                            remaining -= step;
+                        }
+                    }
+                })
+                .expect("spawn heartbeat")
+        };
+
+        let acceptor = {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name("shard-acceptor".to_string())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if shared.stopping.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let Ok(stream) = stream else { continue };
+                        let shared = shared.clone();
+                        let _ = std::thread::Builder::new()
+                            .name("shard-conn".to_string())
+                            .spawn(move || handle_connection(stream, &shared));
+                    }
+                })
+                .expect("spawn acceptor")
+        };
+
+        Ok(CoordinatorHandle {
+            shared,
+            acceptor,
+            heartbeat,
+        })
+    }
+}
+
+/// Owner of a running coordinator's threads.
+pub struct CoordinatorHandle {
+    shared: Arc<Shared>,
+    acceptor: JoinHandle<()>,
+    heartbeat: JoinHandle<()>,
+}
+
+impl CoordinatorHandle {
+    /// The bound client-facing address.
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Counter snapshot, read directly (no wire round trip).
+    pub fn stats(&self) -> ServiceStats {
+        self.shared.stats()
+    }
+
+    /// Per-worker rows, read directly.
+    pub fn worker_rows(&self) -> Vec<WorkerRow> {
+        self.shared.pool.rows()
+    }
+
+    /// Initiates shutdown and waits for the coordinator's threads.
+    pub fn shutdown(self) {
+        self.shared.begin_shutdown();
+        self.join();
+    }
+
+    /// Waits until the coordinator stops (via a wire `shutdown` or
+    /// [`CoordinatorHandle::shutdown`]).
+    pub fn join(self) {
+        let _ = self.heartbeat.join();
+        let _ = self.acceptor.join();
+    }
+}
+
+impl Shared {
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().expect("coordinator poisoned")
+    }
+
+    fn stats(&self) -> ServiceStats {
+        let inner = self.lock();
+        let mut stats = inner.stats;
+        stats.in_flight = inner.jobs.len() as u64;
+        stats.cache_entries = inner.cache.len() as u64;
+        stats
+    }
+
+    /// Initiates shutdown: fails pending waiters, stops the acceptor
+    /// and heartbeat, optionally forwards the shutdown to the workers.
+    fn begin_shutdown(&self) {
+        {
+            let mut inner = self.lock();
+            inner.shutdown = true;
+            // Dropping the waiters closes their channels; the
+            // connection handlers answer with an error response.
+            inner.jobs.clear();
+        }
+        if !self.stopping.swap(true, Ordering::SeqCst) {
+            if self.config.propagate_shutdown {
+                for addr in &self.config.workers {
+                    send_shutdown(addr);
+                }
+            }
+            let _ = TcpStream::connect(self.addr);
+        }
+    }
+
+    /// Admits one run request: cache hit, coalesce, reject, or scatter.
+    fn submit(self: &Arc<Self>, id: Option<String>, run: &RunRequest) -> Submission {
+        // Validation is shared with the single-machine scheduler
+        // (`service::admit`), then tightened with the capability probe:
+        // rejecting unexecutable circuits *here* means any `error` a
+        // worker later answers is evidence of worker failure, so the
+        // re-dispatch loop can treat it as such.
+        let admitted = match admit(run).and_then(|a| {
+            a.resolved
+                .supports(&a.circuit)
+                .map_err(|e| e.to_string())
+                .map(|()| a)
+        }) {
+            Ok(admitted) => admitted,
+            Err(error) => {
+                let mut inner = self.lock();
+                inner.stats.received += 1;
+                inner.stats.errors += 1;
+                return Submission::Immediate(Response::Error { id, error });
+            }
+        };
+        let key = admitted.key;
+
+        let mut inner = self.lock();
+        inner.stats.received += 1;
+        if let Some(tallies) = inner.cache.get(&key) {
+            inner.stats.cache_hits += 1;
+            return Submission::Immediate(Response::Ok {
+                id,
+                backend: key.backend.to_string(),
+                shots: key.shots,
+                cached: true,
+                coalesced: false,
+                tallies,
+            });
+        }
+        if let Some(waiters) = inner.jobs.get_mut(&key) {
+            let (tx, rx) = mpsc::channel();
+            waiters.push(Waiter {
+                tx,
+                id,
+                coalesced: true,
+            });
+            inner.stats.coalesced += 1;
+            return Submission::Pending(rx);
+        }
+        if inner.shutdown {
+            inner.stats.errors += 1;
+            return Submission::Immediate(Response::Error {
+                id,
+                error: "coordinator is shutting down".to_string(),
+            });
+        }
+        if self.pool.live() == 0 {
+            inner.stats.errors += 1;
+            return Submission::Immediate(Response::Error {
+                id,
+                error: "no live workers".to_string(),
+            });
+        }
+        if inner.jobs.len() >= self.config.queue_capacity || !self.pool.has_capacity() {
+            inner.stats.rejected_busy += 1;
+            let in_flight = (inner.jobs.len() as u64).max(1);
+            return Submission::Immediate(Response::Busy {
+                id,
+                in_flight,
+                retry_after_ms: 25 * in_flight,
+            });
+        }
+        if key.shots == 0 {
+            inner.stats.cache_misses += 1;
+            inner.stats.completed += 1;
+            return Submission::Immediate(Response::Ok {
+                id,
+                backend: key.backend.to_string(),
+                shots: 0,
+                cached: false,
+                coalesced: false,
+                tallies: Counts::new(),
+            });
+        }
+        inner.stats.cache_misses += 1;
+        let (tx, rx) = mpsc::channel();
+        inner.jobs.insert(
+            key.clone(),
+            vec![Waiter {
+                tx,
+                id,
+                coalesced: false,
+            }],
+        );
+        drop(inner);
+
+        // Scatter-gather runs on its own thread so the submitting
+        // connection blocks on its receiver like any other waiter.
+        let shared = self.clone();
+        let qasm = run.qasm.clone();
+        let _ = std::thread::Builder::new()
+            .name("shard-job".to_string())
+            .spawn(move || {
+                let result = shared.scatter_gather(&key, &qasm);
+                shared.complete(&key, result);
+            });
+        Submission::Pending(rx)
+    }
+
+    /// Partitions the job's global range over the live workers, runs
+    /// every sub-range (re-dispatching on failure), and merges.
+    fn scatter_gather(&self, key: &CacheKey, qasm: &str) -> Result<Counts, String> {
+        let parts = partition_shots(key.range(), self.pool.live().max(1));
+        let results: Vec<Result<Counts, String>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = parts
+                .iter()
+                .map(|range| scope.spawn(move || self.run_range(key, qasm, range.clone())))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("range thread"))
+                .collect()
+        });
+        let mut merged = Counts::new();
+        for result in results {
+            merge_counts(&mut merged, result?);
+        }
+        Ok(merged)
+    }
+
+    /// Executes one sub-range to completion: dispatch, wait out `busy`
+    /// hints, and re-dispatch to a survivor on failure. Determinism
+    /// makes the retry free — any worker, any attempt, same tallies.
+    fn run_range(&self, key: &CacheKey, qasm: &str, range: Range<u64>) -> Result<Counts, String> {
+        let request = Request::run(
+            None,
+            RunRequest::new(qasm, 0, key.root_seed, key.backend)
+                .with_shot_range(range.start, range.end),
+        );
+        let mut failed: HashSet<usize> = HashSet::new();
+        let mut redispatches = 0usize;
+        let mut last_error = String::new();
+        while redispatches <= self.config.redispatch_limit {
+            if self.stopping.load(Ordering::SeqCst) {
+                return Err("coordinator is shutting down".to_string());
+            }
+            let Some(idx) = self.pool.acquire(&failed) else {
+                // Nothing usable right now. If a non-excluded worker
+                // exists it may just be saturated — yield and retry;
+                // otherwise the range is truly stranded.
+                if self.pool.live() == 0 || failed.len() >= self.pool.len() {
+                    return Err(format!(
+                        "shot range [{}, {}) has no live worker left{}",
+                        range.start,
+                        range.end,
+                        if last_error.is_empty() {
+                            String::new()
+                        } else {
+                            format!(" (last failure: {last_error})")
+                        }
+                    ));
+                }
+                std::thread::sleep(Duration::from_millis(10));
+                continue;
+            };
+            let outcome = self.pool.dispatch(idx, &request);
+            self.pool.release(idx);
+            match outcome {
+                Dispatch::Ok(counts) => return Ok(counts),
+                Dispatch::Busy { retry_after_ms } => {
+                    // The worker is healthy, just saturated: honor its
+                    // hint (capped) and try again without penalty.
+                    std::thread::sleep(Duration::from_millis(retry_after_ms.clamp(1, 200)));
+                }
+                Dispatch::Failed(error) => {
+                    self.pool.note_redispatch(idx);
+                    failed.insert(idx);
+                    redispatches += 1;
+                    last_error = error;
+                }
+            }
+        }
+        Err(format!(
+            "shot range [{}, {}) failed after {} dispatch attempts (last failure: {last_error})",
+            range.start, range.end, redispatches
+        ))
+    }
+
+    /// Lands a finished job: cache + respond to every waiter.
+    fn complete(&self, key: &CacheKey, result: Result<Counts, String>) {
+        let mut inner = self.lock();
+        // Shutdown may have dropped the job meanwhile; its waiters are
+        // already failed.
+        let Some(waiters) = inner.jobs.remove(key) else {
+            return;
+        };
+        match result {
+            Ok(counts) => {
+                inner.cache.insert(key.clone(), counts.clone());
+                inner.stats.completed += 1;
+                for waiter in waiters {
+                    let _ = waiter.tx.send(Response::Ok {
+                        id: waiter.id,
+                        backend: key.backend.to_string(),
+                        shots: key.shots,
+                        cached: false,
+                        coalesced: waiter.coalesced,
+                        tallies: counts.clone(),
+                    });
+                }
+            }
+            Err(error) => {
+                inner.stats.errors += 1;
+                for waiter in waiters {
+                    let _ = waiter.tx.send(Response::Error {
+                        id: waiter.id,
+                        error: error.clone(),
+                    });
+                }
+            }
+        }
+    }
+
+    fn note_error(&self) {
+        let mut inner = self.lock();
+        inner.stats.received += 1;
+        inner.stats.errors += 1;
+    }
+}
+
+/// Serves one client connection — the same framing and semantics as a
+/// single-machine server ([`service::read_framed_request`]).
+fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    loop {
+        let framed = match read_framed_request(&mut reader) {
+            FramedRequest::Closed => return,
+            FramedRequest::Blank => continue,
+            FramedRequest::Oversized => {
+                shared.note_error();
+                let _ = write_response(
+                    &mut writer,
+                    &Response::Error {
+                        id: None,
+                        error: format!("request line exceeds {} bytes", service::MAX_LINE_BYTES),
+                    },
+                );
+                return;
+            }
+            FramedRequest::Parsed(framed) => framed,
+        };
+        let response = match framed {
+            Err(error) => {
+                shared.note_error();
+                Response::Error { id: None, error }
+            }
+            Ok(Request { id, op: Op::Stats }) => Response::Stats {
+                id,
+                stats: shared.stats(),
+                workers: shared.pool.rows(),
+            },
+            Ok(Request {
+                id,
+                op: Op::Shutdown,
+            }) => {
+                let _ = write_response(&mut writer, &Response::Bye { id });
+                shared.begin_shutdown();
+                return;
+            }
+            Ok(Request {
+                id,
+                op: Op::Run(run),
+            }) => match shared.submit(id.clone(), &run) {
+                Submission::Immediate(response) => response,
+                Submission::Pending(rx) => rx.recv().unwrap_or(Response::Error {
+                    id,
+                    error: "coordinator shut down before the job completed".to_string(),
+                }),
+            },
+        };
+        if write_response(&mut writer, &response).is_err() {
+            return;
+        }
+    }
+}
+
+fn write_response(writer: &mut TcpStream, response: &Response) -> std::io::Result<()> {
+    use std::io::Write;
+    writer.write_all(response.to_line().as_bytes())?;
+    writer.flush()
+}
+
+/// Best-effort `shutdown` request to one worker.
+fn send_shutdown(addr: &str) {
+    use std::io::Write;
+    let Ok(mut stream) = TcpStream::connect(addr) else {
+        return;
+    };
+    let request = Request {
+        id: None,
+        op: Op::Shutdown,
+    };
+    let _ = stream.write_all(request.to_line().as_bytes());
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let mut line = String::new();
+    let _ = BufReader::new(stream).read_line(&mut line);
+}

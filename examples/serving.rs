@@ -42,12 +42,7 @@ fn main() {
 
     let request = Request::run(
         Some("demo".into()),
-        RunRequest {
-            qasm: to_qasm3(&circuit),
-            shots,
-            root_seed: seed,
-            backend: "auto".to_string(),
-        },
+        RunRequest::new(to_qasm3(&circuit), shots, seed, "auto"),
     );
     let cold = round_trip(&request);
     let warm = round_trip(&request);
