@@ -11,7 +11,9 @@
 use analysis::fanout_noise::FanoutResidualJob;
 use analysis::table_io::ResultTable;
 use bench::{BenchReport, Scale};
-use engine::{Engine, Executor, ExperimentBuilder};
+use circuit::circuit::Circuit;
+use engine::{Counts, Engine, Executor, ExperimentBuilder, MemorySink, ShotPlan};
+use qsim::statevector::StateVector;
 use std::collections::HashMap;
 use std::time::Instant;
 
@@ -115,6 +117,79 @@ fn main() {
         }
         threads = (threads * 2).min(max_threads);
     }
+    // ------------------------------------------------------------------
+    // Shot-trace recording overhead: the same plan executed with and
+    // without a TraceSink attached. Statevector with a T-laden layer
+    // keeps the per-shot cost at the microsecond scale, so the guard
+    // measures the per-shot tracing cost against real work rather than
+    // against an artificially free shot. The perf guard asserts the
+    // traced rate stays within 5% of the untraced one.
+    // ------------------------------------------------------------------
+    let record_shots = scale.pick(50_000, 5_000);
+    let mut tladen = Circuit::new(8, 8);
+    for layer in 0..3 {
+        for q in 0..8 {
+            tladen.h(q);
+            tladen.t(q);
+        }
+        for q in 0..7 {
+            tladen.cx(q, q + 1);
+        }
+        if layer == 1 {
+            for q in 0..8 {
+                tladen.rz(q, 0.37 * (q as f64 + 1.0));
+            }
+        }
+    }
+    for q in 0..8 {
+        tladen.measure(q, q);
+    }
+    let plan = ShotPlan::new(
+        tladen,
+        StateVector::new(8),
+        record_shots as u64,
+        bench::ROOT_SEED,
+    );
+    let engine = Engine::with_threads(4);
+    // Warm up caches and the thread pool before timing either side,
+    // then alternate best-of-3 trials so scheduler noise hits both
+    // sides evenly — the guard compares minima, not single runs.
+    engine.run_plan_range(&plan, 0..(record_shots as u64).min(1_000));
+
+    let (mut off_secs, mut on_secs) = (f64::INFINITY, f64::INFINITY);
+    let mut untraced = Counts::new();
+    let mut traced = Counts::new();
+    let mut records = 0usize;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        untraced = engine.run_plan(&plan);
+        off_secs = off_secs.min(t0.elapsed().as_secs_f64());
+
+        let sink = MemorySink::new();
+        let t0 = Instant::now();
+        traced = engine.run_plan_range_traced(&plan, 0..record_shots as u64, &sink);
+        on_secs = on_secs.min(t0.elapsed().as_secs_f64());
+        records = sink.len();
+    }
+    assert_eq!(traced, untraced, "tracing changed the tallies");
+    assert_eq!(records, record_shots, "tracing dropped records");
+
+    for (label, secs) in [("record-off", off_secs), ("record-on", on_secs)] {
+        t.push_row(vec![
+            label.into(),
+            "4".into(),
+            record_shots.to_string(),
+            format!("{secs:.3}"),
+            format!("{:.0}", record_shots as f64 / secs),
+            format!("{:.2}", off_secs / secs),
+        ]);
+        report.push_timing(label, "statevector", "pooled", 4, record_shots, secs);
+    }
+    println!(
+        "recording overhead: {:.1}% on {record_shots} statevector shots",
+        (off_secs / on_secs).recip().mul_add(100.0, -100.0)
+    );
+
     bench::emit(&t);
     bench::emit_report(&report);
 

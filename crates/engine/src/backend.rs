@@ -49,6 +49,7 @@ use stabilizer::clifford::CliffordState;
 
 use crate::executor::Executor;
 use crate::pool::Counts;
+use crate::trace::TraceSink;
 
 /// Which simulation representation plays the shots.
 ///
@@ -192,6 +193,46 @@ impl Backend {
                     },
                 );
                 tally.into_iter().map(|(k, v)| (k, v as usize)).collect()
+            }
+            Backend::Auto => unreachable!("resolve never returns Auto"),
+        })
+    }
+
+    /// Traced twin of [`Backend::sample_shots`]: identical counts, plus
+    /// one [`ShotRecord`](crate::ShotRecord) per executed shot delivered
+    /// to `sink`. The density arm still evolves `ρ` once and records
+    /// only the per-shot classical draw.
+    pub fn sample_shots_traced(
+        self,
+        circuit: &Circuit,
+        shots: usize,
+        exec: &Executor,
+        sink: &dyn TraceSink,
+    ) -> Result<Counts, Unsupported> {
+        let resolved = self.resolve(circuit);
+        resolved.supports(circuit)?;
+        let n = circuit.num_qubits();
+        Ok(match resolved {
+            Backend::StateVector => {
+                exec.sample_shots_traced(circuit, &StateVector::new(n), shots, sink)
+            }
+            Backend::Stabilizer => {
+                exec.sample_shots_traced(circuit, &CliffordState::new(n), shots, sink)
+            }
+            Backend::Density => {
+                let rho = run_deferred(circuit, &DensityMatrix::new(n));
+                let num_cbits = circuit.num_cbits();
+                exec.engine().run_record_range_traced(
+                    0..shots as u64,
+                    exec.root_seed(),
+                    || vec![false; num_cbits],
+                    |cbits, _shot, rng| {
+                        cbits.iter_mut().for_each(|b| *b = false);
+                        rho.sample_record(cbits, rng);
+                        pack_cbits(cbits) as u64
+                    },
+                    sink,
+                )
             }
             Backend::Auto => unreachable!("resolve never returns Auto"),
         })

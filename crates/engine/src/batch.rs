@@ -8,7 +8,8 @@ use std::hash::Hash;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use crate::pool::{merge_tallies, Counts, Engine, ShotPlan};
-use crate::seed::shot_rng;
+use crate::seed::{derive_stream_seed, shot_rng};
+use crate::trace::{ShotRecord, TraceBuffer, TraceSink};
 
 /// One independent sampling job a [`BatchRunner`] can execute: a shot
 /// count, a root seed, and a per-shot kernel producing a histogram key.
@@ -159,6 +160,106 @@ impl<'e> BatchRunner<'e> {
             .into_iter()
             .map(|t| t.into_iter().map(|(k, v)| (k, v as usize)).collect())
             .collect()
+    }
+
+    /// Traced twin of [`BatchRunner::run_batch`]: identical per-job
+    /// histograms, plus one [`ShotRecord`] per executed shot delivered
+    /// to that job's sink in `sinks` (indexed like `jobs` — shot indices
+    /// are per-job, so each job needs its own sink). `encode` packs a
+    /// job's histogram key into the record's `u64` payload (identity
+    /// cast for packed-register keys).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sinks.len() != jobs.len()`.
+    pub fn run_batch_traced<J: ShotJob, E>(
+        &self,
+        jobs: &[J],
+        encode: E,
+        sinks: &[&dyn TraceSink],
+    ) -> Vec<HashMap<J::Key, u64>>
+    where
+        E: Fn(&J::Key) -> u64 + Sync,
+    {
+        assert_eq!(
+            sinks.len(),
+            jobs.len(),
+            "one trace sink per job ({} sinks for {} jobs)",
+            sinks.len(),
+            jobs.len()
+        );
+        let chunk = self.engine.config().chunk_size.max(1);
+        let mut units = Vec::new();
+        for (ji, job) in jobs.iter().enumerate() {
+            let mut start = 0;
+            while start < job.shots() {
+                let end = (start + chunk).min(job.shots());
+                units.push(Unit {
+                    job: ji,
+                    start,
+                    end,
+                });
+                start = end;
+            }
+        }
+        let workers = self.engine.threads().min(units.len().max(1));
+
+        let run_worker = |cursor: &AtomicUsize| {
+            let mut tallies: Vec<HashMap<J::Key, u64>> =
+                (0..jobs.len()).map(|_| HashMap::new()).collect();
+            let mut workspaces: Vec<Option<J::Workspace>> = (0..jobs.len()).map(|_| None).collect();
+            let mut buffers: Vec<TraceBuffer> =
+                sinks.iter().map(|s| TraceBuffer::new(*s)).collect();
+            loop {
+                let u = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(unit) = units.get(u) else { break };
+                let job = &jobs[unit.job];
+                let ws = workspaces[unit.job].get_or_insert_with(|| job.workspace());
+                let root = job.root_seed();
+                for shot in unit.start..unit.end {
+                    let mut rng = shot_rng(root, shot);
+                    let t0 = std::time::Instant::now();
+                    let key = job.run_shot(ws, shot, &mut rng);
+                    let nanos = t0.elapsed().as_nanos() as u64;
+                    buffers[unit.job].push(ShotRecord {
+                        shot,
+                        record: encode(&key),
+                        stream: derive_stream_seed(root, shot),
+                        nanos,
+                    });
+                    *tallies[unit.job].entry(key).or_insert(0) += 1;
+                }
+            }
+            for buffer in &mut buffers {
+                buffer.flush();
+            }
+            tallies
+        };
+
+        let cursor = AtomicUsize::new(0);
+        let per_worker: Vec<Vec<HashMap<J::Key, u64>>> = if workers == 1 {
+            vec![run_worker(&cursor)]
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| scope.spawn(|| run_worker(&cursor)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("batch worker panicked"))
+                    .collect()
+            })
+        };
+
+        let mut merged: Vec<HashMap<J::Key, u64>> =
+            (0..jobs.len()).map(|_| HashMap::new()).collect();
+        for tallies in per_worker {
+            for (ji, t) in tallies.into_iter().enumerate() {
+                let acc = std::mem::take(&mut merged[ji]);
+                merged[ji] = merge_tallies(acc, t);
+            }
+        }
+        merged
     }
 }
 

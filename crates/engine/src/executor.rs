@@ -33,6 +33,7 @@ use std::hash::Hash;
 use crate::batch::{BatchRunner, ShotJob};
 use crate::pool::{Counts, Engine};
 use crate::seed::derive_stream_seed;
+use crate::trace::TraceSink;
 
 /// An execution context: *where* and *how* a deterministic sampling
 /// workload runs.
@@ -119,7 +120,7 @@ impl Executor {
     /// single-threaded engine, whose inline path runs the identical
     /// per-shot streams — that equivalence *is* the determinism
     /// guarantee.
-    fn engine(&self) -> Engine {
+    pub(crate) fn engine(&self) -> Engine {
         match self {
             Executor::Sequential { .. } => Engine::sequential(),
             Executor::Pooled { engine, .. } => engine.clone(),
@@ -238,6 +239,37 @@ impl Executor {
             },
         );
         tally.into_iter().map(|(k, v)| (k, v as usize)).collect()
+    }
+
+    /// Traced twin of [`Executor::sample_shots`]: identical counts,
+    /// plus one [`ShotRecord`](crate::ShotRecord) per executed shot
+    /// delivered to `sink` (packed record, RNG stream id, wall-clock
+    /// nanoseconds). Tracing observes the run without perturbing it,
+    /// so sequential and pooled contexts still tally bit-identically —
+    /// and deliver the same record set, in unspecified order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit needs more qubits than `initial` has.
+    pub fn sample_shots_traced<S: SimState>(
+        &self,
+        circuit: &Circuit,
+        initial: &S,
+        shots: usize,
+        sink: &dyn TraceSink,
+    ) -> Counts {
+        self.check_plan::<S>(circuit, initial);
+        let program = S::compile(circuit);
+        self.engine().run_record_range_traced(
+            0..shots as u64,
+            self.root_seed(),
+            || (initial.clone(), Vec::new()),
+            |(state, cbits), _shot, rng| {
+                run_program_into(&program, initial, state, cbits, rng);
+                pack_cbits(cbits) as u64
+            },
+            sink,
+        )
     }
 
     /// Interpreted reference for [`Executor::sample_shots`]: every shot

@@ -93,6 +93,7 @@ mod experiment;
 mod pool;
 mod seed;
 mod sharding;
+mod trace;
 
 pub use backend::Backend;
 pub use batch::{BatchRunner, ShotJob};
@@ -102,3 +103,4 @@ pub use experiment::ExperimentBuilder;
 pub use pool::{Counts, Engine, ShotPlan};
 pub use seed::{derive_stream_seed, shot_rng};
 pub use sharding::{merge_counts, partition_shots};
+pub use trace::{MemorySink, ShotRecord, TraceSink};

@@ -10,7 +10,8 @@ use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::config::EngineConfig;
-use crate::seed::shot_rng;
+use crate::seed::{derive_stream_seed, shot_rng};
+use crate::trace::{ShotRecord, TraceBuffer, TraceSink};
 
 /// Histogram of packed classical-register outcomes, matching the key
 /// and value conventions of `qsim::runner::sample_shots`.
@@ -374,6 +375,95 @@ impl Engine {
             },
         );
         tally.into_iter().map(|(k, v)| (k, v as usize)).collect()
+    }
+
+    /// Traced twin of the ranged tally primitive: histograms the packed
+    /// record `record_of` produces for each global shot index in
+    /// `range`, **and** delivers one [`ShotRecord`] per shot to `sink`
+    /// (packed record, RNG stream id, wall-clock nanoseconds).
+    ///
+    /// The returned counts are bit-identical to the untraced run —
+    /// tracing observes the fold without perturbing it: each shot still
+    /// runs on `shot_rng(root_seed, shot)`, and records are buffered
+    /// per worker (flushed in batches) so the sink never serializes the
+    /// shot loop. Records arrive at the sink in unspecified order;
+    /// every index in `range` appears exactly once.
+    pub fn run_record_range_traced<W, MW, F>(
+        &self,
+        range: std::ops::Range<u64>,
+        root_seed: u64,
+        make_ws: MW,
+        record_of: F,
+        sink: &dyn TraceSink,
+    ) -> Counts
+    where
+        W: Send,
+        MW: Fn() -> W + Sync,
+        F: Fn(&mut W, u64, &mut StdRng) -> u64 + Sync,
+    {
+        let (tally, mut buffer) = self.run_fold_range_with(
+            range,
+            root_seed,
+            make_ws,
+            || (HashMap::<u64, u64>::new(), TraceBuffer::new(sink)),
+            |(tally, buffer), ws, shot, rng| {
+                let t0 = std::time::Instant::now();
+                let record = record_of(ws, shot, rng);
+                let nanos = t0.elapsed().as_nanos() as u64;
+                buffer.push(ShotRecord {
+                    shot,
+                    record,
+                    stream: derive_stream_seed(root_seed, shot),
+                    nanos,
+                });
+                *tally.entry(record).or_insert(0) += 1;
+            },
+            |(tally_a, mut buffer_a), (tally_b, mut buffer_b)| {
+                // Worker accumulators join exactly once; flush both
+                // sides so no worker's tail batch is dropped.
+                buffer_a.flush();
+                buffer_b.flush();
+                (merge_tallies(tally_a, tally_b), buffer_a)
+            },
+        );
+        // The single-worker path never reaches the merge closure, and
+        // even the merged accumulator may hold a post-merge tail.
+        buffer.flush();
+        tally
+            .into_iter()
+            .map(|(k, v)| (k as usize, v as usize))
+            .collect()
+    }
+
+    /// Traced twin of [`Engine::run_plan_range`]: identical counts,
+    /// plus one [`ShotRecord`] per executed shot delivered to `sink`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` reaches beyond the plan's shot count.
+    pub fn run_plan_range_traced<S: SimState>(
+        &self,
+        plan: &ShotPlan<S>,
+        range: std::ops::Range<u64>,
+        sink: &dyn TraceSink,
+    ) -> Counts {
+        assert!(
+            range.end <= plan.shots,
+            "slice {}..{} exceeds the plan's {} shots",
+            range.start,
+            range.end,
+            plan.shots
+        );
+        self.run_record_range_traced(
+            range,
+            plan.root_seed,
+            || (plan.initial.clone(), Vec::new()),
+            |(state, cbits), _shot, rng| {
+                run_program_into(&plan.program, &plan.initial, state, cbits, rng);
+                pack_cbits(cbits) as u64
+            },
+            sink,
+        )
     }
 }
 

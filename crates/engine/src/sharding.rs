@@ -104,6 +104,85 @@ mod tests {
     }
 
     #[test]
+    fn zero_shot_ranges_partition_to_nothing() {
+        // An empty job must produce no work units, at any worker count
+        // (including the degenerate `parts == 0`).
+        for parts in [0usize, 1, 2, 16] {
+            assert!(partition_shots(0..0, parts).is_empty(), "parts {parts}");
+            assert!(partition_shots(42..42, parts).is_empty(), "parts {parts}");
+        }
+    }
+
+    #[test]
+    fn fewer_shots_than_workers_yields_single_shot_ranges() {
+        // 3 shots over 8 workers: exactly 3 one-shot ranges, no empty
+        // assignments — a worker is never handed a vacuous request.
+        let chunks = partition_shots(100..103, 8);
+        assert_eq!(chunks, vec![100..101, 101..102, 102..103]);
+        // One shot over many workers: one range, one shot.
+        assert_eq!(partition_shots(7..8, 64), vec![7..8]);
+    }
+
+    #[test]
+    fn single_shot_ranges_enumerate_the_job() {
+        // Partitioning n shots into n parts is the finest split: every
+        // range is one shot, in order, covering the job exactly.
+        let chunks = partition_shots(10..20, 10);
+        assert_eq!(chunks.len(), 10);
+        for (i, chunk) in chunks.iter().enumerate() {
+            assert_eq!(*chunk, (10 + i as u64)..(11 + i as u64));
+        }
+    }
+
+    #[test]
+    fn merge_is_associative_across_arbitrary_partitions() {
+        // Fold the same per-range tallies in different groupings and
+        // orders; every shape must agree — the property that makes
+        // re-dispatch and out-of-order completion safe.
+        let plan = ShotPlan::new(
+            {
+                let mut c = Circuit::new(2, 2);
+                c.h(0).cx(0, 1).measure(0, 0).measure(1, 1);
+                c
+            },
+            StateVector::new(2),
+            500,
+            9,
+        );
+        let engine = Engine::sequential();
+        let parts: Vec<Counts> = partition_shots(0..500, 7)
+            .into_iter()
+            .map(|r| engine.run_plan_range(&plan, r))
+            .collect();
+        // Left fold.
+        let mut left = Counts::new();
+        for p in &parts {
+            merge_counts(&mut left, p.clone());
+        }
+        // Right-to-left fold.
+        let mut right = Counts::new();
+        for p in parts.iter().rev() {
+            merge_counts(&mut right, p.clone());
+        }
+        assert_eq!(left, right);
+        // Pairwise tree fold: ((p0+p1) + (p2+p3)) + ...
+        let mut tree: Vec<Counts> = parts.clone();
+        while tree.len() > 1 {
+            let mut next = Vec::new();
+            for pair in tree.chunks(2) {
+                let mut acc = pair[0].clone();
+                if let Some(b) = pair.get(1) {
+                    merge_counts(&mut acc, b.clone());
+                }
+                next.push(acc);
+            }
+            tree = next;
+        }
+        assert_eq!(tree.pop().unwrap(), left);
+        assert_eq!(left, engine.run_plan(&plan), "merged ≠ unpartitioned run");
+    }
+
+    #[test]
     fn merge_counts_is_order_independent() {
         let a: Counts = [(0usize, 3usize), (1, 2)].into_iter().collect();
         let b: Counts = [(1usize, 5usize), (7, 1)].into_iter().collect();

@@ -1,0 +1,262 @@
+//! Shot-trace recording hooks.
+//!
+//! A [`TraceSink`] observes per-shot execution without participating in
+//! it: the traced engine entry points ([`Engine::run_record_range_traced`],
+//! [`Engine::run_plan_range_traced`], [`Executor::sample_shots_traced`],
+//! [`Backend::sample_shots_traced`], [`BatchRunner::run_batch_traced`])
+//! produce exactly the counts their untraced twins produce — bit for
+//! bit, at any thread count — and additionally deliver one
+//! [`ShotRecord`] per executed shot to the sink. Workers buffer records
+//! locally and flush in batches, so a sink sees each shot exactly once
+//! but in no particular order; consumers that need shot order sort by
+//! [`ShotRecord::shot`] (the `.cst` writer in `crates/trace` does).
+//!
+//! The trait lives here — below every layer that records — so the
+//! service scheduler, the shard coordinator, and the trace crate can all
+//! share one hook type without a dependency cycle.
+//!
+//! [`Engine::run_record_range_traced`]: crate::Engine::run_record_range_traced
+//! [`Engine::run_plan_range_traced`]: crate::Engine::run_plan_range_traced
+//! [`Executor::sample_shots_traced`]: crate::Executor::sample_shots_traced
+//! [`Backend::sample_shots_traced`]: crate::Backend::sample_shots_traced
+//! [`BatchRunner::run_batch_traced`]: crate::BatchRunner::run_batch_traced
+
+use std::sync::Mutex;
+
+/// One executed shot, as observed by a [`TraceSink`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ShotRecord {
+    /// Global shot index within the job (`0..shots`).
+    pub shot: u64,
+    /// The packed classical register the shot produced (the same
+    /// `pack_cbits` integer the tally is keyed by).
+    pub record: u64,
+    /// The shot's RNG stream id, `derive_stream_seed(root_seed, shot)`.
+    /// Recorded rather than recomputed at read time so a regression in
+    /// the seed-derivation function breaks golden traces loudly.
+    pub stream: u64,
+    /// Wall-clock nanoseconds the shot took on its worker. Best-effort
+    /// and nondeterministic; golden traces strip it.
+    pub nanos: u64,
+}
+
+/// A consumer of [`ShotRecord`]s, attached to a traced engine run.
+///
+/// Implementations must be thread-safe: workers flush concurrently.
+/// Each executed shot is delivered exactly once across all `record`
+/// calls, in unspecified order. `record` runs on engine worker threads
+/// — keep it cheap (append to a buffer; do I/O after the run).
+pub trait TraceSink: Send + Sync {
+    /// Delivers a batch of executed shots.
+    fn record(&self, records: &[ShotRecord]);
+}
+
+/// A [`TraceSink`] that appends every record to an in-memory vector.
+///
+/// The collection point for `compas-record` and for tests: run traced,
+/// then [`MemorySink::into_records`] (sorted by shot index) feeds the
+/// `.cst` writer or the assertions.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    records: Mutex<Vec<ShotRecord>>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        MemorySink::default()
+    }
+
+    /// Number of records collected so far.
+    pub fn len(&self) -> usize {
+        self.records.lock().expect("sink poisoned").len()
+    }
+
+    /// Whether no records have been collected.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Consumes the sink, returning all records sorted by shot index.
+    pub fn into_records(self) -> Vec<ShotRecord> {
+        let mut records = self.records.into_inner().expect("sink poisoned");
+        records.sort_unstable_by_key(|r| r.shot);
+        records
+    }
+
+    /// Clones out all records sorted by shot index, leaving the sink
+    /// usable (for shared `Arc<MemorySink>` collection points).
+    pub fn snapshot(&self) -> Vec<ShotRecord> {
+        let mut records = self.records.lock().expect("sink poisoned").clone();
+        records.sort_unstable_by_key(|r| r.shot);
+        records
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn record(&self, records: &[ShotRecord]) {
+        self.records
+            .lock()
+            .expect("sink poisoned")
+            .extend_from_slice(records);
+    }
+}
+
+/// Worker-local buffer of [`ShotRecord`]s, flushed to the sink in
+/// batches so tracing never takes a lock per shot.
+pub(crate) struct TraceBuffer<'a> {
+    sink: &'a dyn TraceSink,
+    buf: Vec<ShotRecord>,
+}
+
+/// Records buffered per worker between sink flushes.
+const FLUSH_CAPACITY: usize = 1024;
+
+impl<'a> TraceBuffer<'a> {
+    pub(crate) fn new(sink: &'a dyn TraceSink) -> Self {
+        TraceBuffer {
+            sink,
+            buf: Vec::with_capacity(FLUSH_CAPACITY),
+        }
+    }
+
+    pub(crate) fn push(&mut self, record: ShotRecord) {
+        self.buf.push(record);
+        if self.buf.len() >= FLUSH_CAPACITY {
+            self.flush();
+        }
+    }
+
+    pub(crate) fn flush(&mut self) {
+        if !self.buf.is_empty() {
+            self.sink.record(&self.buf);
+            self.buf.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::Backend;
+    use crate::batch::BatchRunner;
+    use crate::executor::Executor;
+    use crate::pool::{Engine, ShotPlan};
+    use crate::seed::derive_stream_seed;
+    use circuit::circuit::Circuit;
+    use qsim::statevector::StateVector;
+
+    fn bell() -> Circuit {
+        let mut c = Circuit::new(2, 2);
+        c.h(0).cx(0, 1).measure(0, 0).measure(1, 1);
+        c
+    }
+
+    /// Strips the nondeterministic timing field for comparisons.
+    fn identity(records: &[ShotRecord]) -> Vec<(u64, u64, u64)> {
+        records
+            .iter()
+            .map(|r| (r.shot, r.record, r.stream))
+            .collect()
+    }
+
+    #[test]
+    fn traced_plan_counts_match_untraced_and_records_are_complete() {
+        let plan = ShotPlan::new(bell(), StateVector::new(2), 3_000, 17);
+        for engine in [Engine::sequential(), Engine::with_threads(4)] {
+            let sink = MemorySink::new();
+            let traced = engine.run_plan_range_traced(&plan, 0..3_000, &sink);
+            assert_eq!(traced, engine.run_plan(&plan));
+            let records = sink.into_records();
+            assert_eq!(records.len(), 3_000);
+            for (i, r) in records.iter().enumerate() {
+                assert_eq!(r.shot, i as u64);
+                assert_eq!(r.stream, derive_stream_seed(17, r.shot));
+            }
+            // The tally is exactly the histogram of the records.
+            let mut histo = std::collections::HashMap::new();
+            for r in &records {
+                *histo.entry(r.record as usize).or_insert(0usize) += 1;
+            }
+            assert_eq!(histo, traced);
+        }
+    }
+
+    #[test]
+    fn traced_records_are_mode_invariant() {
+        let c = bell();
+        let initial = StateVector::new(2);
+        let seq_sink = MemorySink::new();
+        let seq = Executor::sequential(23).sample_shots_traced(&c, &initial, 2_000, &seq_sink);
+        let pooled_sink = MemorySink::new();
+        let pooled = Executor::pooled(Engine::with_threads(4), 23).sample_shots_traced(
+            &c,
+            &initial,
+            2_000,
+            &pooled_sink,
+        );
+        assert_eq!(seq, pooled);
+        assert_eq!(
+            identity(&seq_sink.into_records()),
+            identity(&pooled_sink.into_records())
+        );
+    }
+
+    #[test]
+    fn traced_ranges_union_to_the_full_record_set() {
+        let plan = ShotPlan::new(bell(), StateVector::new(2), 1_000, 7);
+        let engine = Engine::with_threads(3);
+        let full_sink = MemorySink::new();
+        engine.run_plan_range_traced(&plan, 0..1_000, &full_sink);
+        let sliced_sink = MemorySink::new();
+        let mut start = 0;
+        while start < 1_000 {
+            let end = (start + 173).min(1_000);
+            engine.run_plan_range_traced(&plan, start..end, &sliced_sink);
+            start = end;
+        }
+        assert_eq!(
+            identity(&full_sink.into_records()),
+            identity(&sliced_sink.into_records())
+        );
+    }
+
+    #[test]
+    fn backend_traced_counts_match_untraced_on_every_backend() {
+        let mut c = Circuit::new(2, 2);
+        c.h(0).cx(0, 1);
+        c.push(circuit::circuit::Instruction::Depolarizing {
+            qubits: vec![0],
+            p: 0.1,
+        });
+        c.measure(0, 0).measure(1, 1);
+        let exec = Executor::pooled(Engine::with_threads(2), 31);
+        for b in [Backend::StateVector, Backend::Density] {
+            let sink = MemorySink::new();
+            let traced = b.sample_shots_traced(&c, 500, &exec, &sink).unwrap();
+            assert_eq!(traced, b.sample_shots(&c, 500, &exec).unwrap(), "{b}");
+            assert_eq!(sink.len(), 500, "{b}");
+        }
+    }
+
+    #[test]
+    fn batch_traced_routes_records_to_the_right_sink() {
+        let engine = Engine::with_threads(3);
+        let plans: Vec<ShotPlan> = (0..3)
+            .map(|i| ShotPlan::new(bell(), StateVector::new(2), 400 + 100 * i, 50 + i))
+            .collect();
+        let sinks: Vec<MemorySink> = (0..plans.len()).map(|_| MemorySink::new()).collect();
+        let sink_refs: Vec<&dyn TraceSink> = sinks.iter().map(|s| s as &dyn TraceSink).collect();
+        let traced = BatchRunner::new(&engine).run_batch_traced(&plans, |k| *k as u64, &sink_refs);
+        let untraced = BatchRunner::new(&engine).run_batch(&plans);
+        assert_eq!(traced, untraced);
+        for (plan, sink) in plans.iter().zip(sinks) {
+            let records = sink.into_records();
+            assert_eq!(records.len(), plan.shots() as usize);
+            for (i, r) in records.iter().enumerate() {
+                assert_eq!(r.shot, i as u64);
+                assert_eq!(r.stream, derive_stream_seed(plan.root_seed(), r.shot));
+            }
+        }
+    }
+}

@@ -34,6 +34,12 @@ pub struct Admitted {
     /// The job's identity: canonical fingerprint + resolved backend +
     /// global shot range + seed.
     pub key: CacheKey,
+    /// The canonical QASM text the fingerprint was computed over.
+    /// Dispatch layers that re-serialize the job (the shard
+    /// coordinator) must forward *this* text, not the client's raw
+    /// bytes — it is already validated, and re-admitting it downstream
+    /// is guaranteed to reproduce `key.circuit_fp`.
+    pub canonical: String,
 }
 
 impl Admitted {
@@ -102,6 +108,7 @@ pub fn admit(run: &RunRequest) -> Result<Admitted, String> {
         requested,
         resolved,
         key,
+        canonical,
     })
 }
 
@@ -139,6 +146,19 @@ mod tests {
         let a = admit(&RunRequest::new(bell(), 0, 7, "sv").with_shot_range(500, 750)).unwrap();
         assert_eq!(a.key.range(), 500..750);
         assert_eq!(a.shot_end(), 750);
+    }
+
+    #[test]
+    fn readmitting_the_canonical_text_reproduces_the_key() {
+        // The shard coordinator dispatches `Admitted::canonical` to its
+        // workers; each worker's own admission of that text must agree
+        // on the job identity, or coalescing/caching would fracture
+        // across the topology.
+        let raw = format!("// banner\n{}", bell().replace(";\n", ";\n\n"));
+        let first = admit(&RunRequest::new(raw, 100, 7, "auto")).unwrap();
+        let second = admit(&RunRequest::new(first.canonical.clone(), 100, 7, "auto")).unwrap();
+        assert_eq!(first.key, second.key);
+        assert_eq!(first.canonical, second.canonical, "canonical is a fixpoint");
     }
 
     #[test]

@@ -18,6 +18,11 @@
 //! each resend — the server knows its own load, so the hint *is* the
 //! backoff schedule. Exit code 3 means the budget ran out with the
 //! server still busy.
+//!
+//! `--trace-out FILE` appends every raw response line received —
+//! including `busy` lines consumed by the retry loop — to `FILE`
+//! verbatim, so served-bytes regressions are diffable (`diff old new`)
+//! without rebuilding a capture harness.
 
 use circuit::circuit::Circuit;
 use circuit::qasm::to_qasm3;
@@ -29,8 +34,8 @@ use std::process::exit;
 fn usage() -> ! {
     eprintln!(
         "usage: compas-client [--addr HOST:PORT] [--id ID] [--repeat K] [--retries K]\n\
-         \x20  (--demo bell|ghzN | --qasm FILE) [--shots N] [--seed N] [--backend NAME]\n\
-         \x20  | --stats | --shutdown"
+         \x20  [--trace-out FILE] (--demo bell|ghzN | --qasm FILE) [--shots N] [--seed N]\n\
+         \x20  [--backend NAME] | --stats | --shutdown"
     );
     exit(2);
 }
@@ -61,6 +66,7 @@ struct Args {
     id: Option<String>,
     repeat: u64,
     retries: u64,
+    trace_out: Option<String>,
     op: Op,
 }
 
@@ -70,6 +76,7 @@ fn parse_args() -> Args {
     let mut id = None;
     let mut repeat = 1u64;
     let mut retries = 4u64;
+    let mut trace_out: Option<String> = None;
     let mut qasm: Option<String> = None;
     let mut shots = 1024u64;
     let mut seed = 0u64;
@@ -95,6 +102,10 @@ fn parse_args() -> Args {
             }
             "--retries" => {
                 retries = value(&args, i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--trace-out" => {
+                trace_out = Some(value(&args, i));
                 i += 2;
             }
             "--demo" => {
@@ -151,6 +162,7 @@ fn parse_args() -> Args {
         id,
         repeat,
         retries,
+        trace_out,
         op,
     }
 }
@@ -166,6 +178,25 @@ fn main() {
         exit(1);
     }));
     let mut writer = stream;
+    let mut trace_out = args.trace_out.as_ref().map(|path| {
+        std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .unwrap_or_else(|err| {
+                eprintln!("compas-client: cannot open {path}: {err}");
+                exit(1);
+            })
+    });
+    // Dumps one raw response line, exactly as received off the wire.
+    let mut dump = |line: &str| {
+        if let Some(file) = trace_out.as_mut() {
+            if file.write_all(line.as_bytes()).is_err() {
+                eprintln!("compas-client: cannot write trace file");
+                exit(1);
+            }
+        }
+    };
     let mut worst = 0i32;
     for _ in 0..args.repeat.max(1) {
         let request = Request {
@@ -189,6 +220,7 @@ fn main() {
                 }
                 Ok(_) => {}
             }
+            dump(&line);
             match Response::from_line(&line) {
                 Ok(Response::Busy { retry_after_ms, .. }) if budget > 0 => {
                     budget -= 1;

@@ -29,7 +29,7 @@ use crate::cache::{CacheKey, ResultCache};
 use crate::protocol::{Response, RunRequest, ServiceStats};
 use circuit::caps::Unsupported;
 use circuit::circuit::Circuit;
-use engine::{Backend, Counts, Engine, ShotPlan};
+use engine::{Backend, Counts, Engine, ShotPlan, TraceSink};
 use qsim::density::{run_deferred, DensityMatrix};
 use qsim::runner::pack_cbits;
 use qsim::statevector::StateVector;
@@ -50,7 +50,7 @@ pub const MAX_REQUEST_QUBITS: usize = 1024;
 pub const MAX_REQUEST_CBITS: usize = 64;
 
 /// Admission and slicing knobs.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct SchedulerConfig {
     /// Maximum jobs in flight (queued + executing) before distinct new
     /// requests are rejected with `busy`.
@@ -60,6 +60,12 @@ pub struct SchedulerConfig {
     pub slice_shots: u64,
     /// Result-cache capacity in entries (0 disables caching).
     pub cache_capacity: usize,
+    /// Optional shot-trace recorder. When set, every executed slice
+    /// also delivers its per-shot records here (global shot indices, so
+    /// a sliced job's records union to the full run). Recording is
+    /// execution-side only — responses, caching, and coalescing are
+    /// byte-identical with or without a sink.
+    pub trace_sink: Option<Arc<dyn TraceSink>>,
 }
 
 impl Default for SchedulerConfig {
@@ -68,7 +74,19 @@ impl Default for SchedulerConfig {
             queue_capacity: 32,
             slice_shots: 4096,
             cache_capacity: 256,
+            trace_sink: None,
         }
+    }
+}
+
+impl std::fmt::Debug for SchedulerConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SchedulerConfig")
+            .field("queue_capacity", &self.queue_capacity)
+            .field("slice_shots", &self.slice_shots)
+            .field("cache_capacity", &self.cache_capacity)
+            .field("trace_sink", &self.trace_sink.as_ref().map(|_| "..."))
+            .finish()
     }
 }
 
@@ -167,6 +185,37 @@ impl PreparedJob {
             }
         }
     }
+
+    /// Traced twin of [`PreparedJob::run_range`]: identical counts,
+    /// plus one `ShotRecord` per executed shot delivered to `sink`
+    /// (global shot indices — a sliced job's records union to the full
+    /// run's record set).
+    pub fn run_range_traced(
+        &self,
+        engine: &Engine,
+        range: Range<u64>,
+        sink: &dyn TraceSink,
+    ) -> Counts {
+        match self {
+            PreparedJob::StateVector(plan) => engine.run_plan_range_traced(plan, range, sink),
+            PreparedJob::Stabilizer(plan) => engine.run_plan_range_traced(plan, range, sink),
+            PreparedJob::Density {
+                rho,
+                num_cbits,
+                root_seed,
+            } => engine.run_record_range_traced(
+                range,
+                *root_seed,
+                || vec![false; *num_cbits],
+                |cbits, _shot, rng| {
+                    cbits.iter_mut().for_each(|b| *b = false);
+                    rho.sample_record(cbits, rng);
+                    pack_cbits(cbits) as u64
+                },
+                sink,
+            ),
+        }
+    }
 }
 
 /// One unit of worker work: a slice of a prepared job.
@@ -178,6 +227,10 @@ pub struct SliceTask {
     pub prepared: Arc<PreparedJob>,
     /// Global shot indices to execute.
     pub range: Range<u64>,
+    /// The scheduler's trace sink, if recording (see
+    /// [`SchedulerConfig::trace_sink`]). Workers route the slice
+    /// through [`PreparedJob::run_range_traced`] when set.
+    pub sink: Option<Arc<dyn TraceSink>>,
 }
 
 /// How [`Scheduler::submit`] answered.
@@ -426,10 +479,12 @@ impl Scheduler {
                 if end < job.end {
                     inner.queue.push_back(key.clone());
                 }
+                let sink = inner.config.trace_sink.clone();
                 return Some(SliceTask {
                     key,
                     prepared,
                     range: start..end,
+                    sink,
                 });
             }
             inner = self.shared.1.wait(inner).expect("scheduler poisoned");
@@ -590,6 +645,60 @@ mod tests {
             }
             other => panic!("unexpected response {other:?}"),
         }
+    }
+
+    #[test]
+    fn traced_slices_tally_identically_and_record_every_shot() {
+        // A sink on the scheduler must not change a single response
+        // byte: the traced drain produces the same tallies, and the
+        // records of all slices union to exactly the job's shot range.
+        let sink = Arc::new(engine::MemorySink::new());
+        let sched = Scheduler::new(SchedulerConfig {
+            slice_shots: 97,
+            trace_sink: Some(sink.clone()),
+            ..SchedulerConfig::default()
+        });
+        let engine = Engine::sequential();
+        let run = run_request(1_000, 7);
+        let rx = match sched.submit(None, &run) {
+            Submission::Pending(rx) => rx,
+            Submission::Immediate(r) => panic!("expected pending, got {r:?}"),
+        };
+        while sched.stats().in_flight > 0 {
+            let task = sched.next_slice().expect("work pending");
+            let sink = task.sink.clone().expect("sink configured");
+            let counts = task
+                .prepared
+                .run_range_traced(&engine, task.range.clone(), sink.as_ref());
+            sched.complete_slice(&task.key, counts);
+        }
+        let tallies = match rx.recv().unwrap() {
+            Response::Ok { tallies, .. } => tallies,
+            other => panic!("unexpected response {other:?}"),
+        };
+        let untraced = Scheduler::new(SchedulerConfig {
+            slice_shots: 97,
+            ..SchedulerConfig::default()
+        });
+        let rx = match untraced.submit(None, &run) {
+            Submission::Pending(rx) => rx,
+            Submission::Immediate(r) => panic!("expected pending, got {r:?}"),
+        };
+        drain(&untraced, &engine);
+        match rx.recv().unwrap() {
+            Response::Ok { tallies: t, .. } => assert_eq!(t, tallies),
+            other => panic!("unexpected response {other:?}"),
+        }
+        let records = sink.snapshot();
+        assert_eq!(records.len(), 1_000);
+        for (i, r) in records.iter().enumerate() {
+            assert_eq!(r.shot, i as u64, "slices must union to the full range");
+        }
+        let mut histo = Counts::new();
+        for r in &records {
+            *histo.entry(r.record as usize).or_insert(0) += 1;
+        }
+        assert_eq!(histo, tallies, "records must histogram to the response");
     }
 
     #[test]

@@ -79,7 +79,7 @@ pub fn read_framed_request(reader: &mut impl BufRead) -> FramedRequest {
 }
 
 /// Everything [`Service::spawn`] needs to know.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct ServiceConfig {
     /// Bind address; port 0 picks an ephemeral port (see
     /// [`ServiceHandle::addr`]).
@@ -96,6 +96,11 @@ pub struct ServiceConfig {
     /// Engine each slice executes through. The default is sequential:
     /// parallelism comes from the worker pool, one slice per worker.
     pub engine: Engine,
+    /// Optional shot-trace recorder, forwarded to the scheduler (see
+    /// [`SchedulerConfig::trace_sink`]): when set, workers route every
+    /// slice through the traced execution path. Served bytes are
+    /// unchanged.
+    pub trace_sink: Option<Arc<dyn engine::TraceSink>>,
 }
 
 impl Default for ServiceConfig {
@@ -108,7 +113,22 @@ impl Default for ServiceConfig {
             cache_capacity: scheduler.cache_capacity,
             slice_shots: scheduler.slice_shots,
             engine: Engine::sequential(),
+            trace_sink: None,
         }
+    }
+}
+
+impl std::fmt::Debug for ServiceConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceConfig")
+            .field("addr", &self.addr)
+            .field("workers", &self.workers)
+            .field("queue_capacity", &self.queue_capacity)
+            .field("cache_capacity", &self.cache_capacity)
+            .field("slice_shots", &self.slice_shots)
+            .field("engine", &self.engine)
+            .field("trace_sink", &self.trace_sink.as_ref().map(|_| "..."))
+            .finish()
     }
 }
 
@@ -146,6 +166,7 @@ impl Service {
             queue_capacity: config.queue_capacity,
             slice_shots: config.slice_shots,
             cache_capacity: config.cache_capacity,
+            trace_sink: config.trace_sink.clone(),
         });
         let shared = Arc::new(Shared {
             scheduler: scheduler.clone(),
@@ -161,7 +182,14 @@ impl Service {
                     .name(format!("service-worker-{i}"))
                     .spawn(move || {
                         while let Some(task) = scheduler.next_slice() {
-                            let counts = task.prepared.run_range(&engine, task.range.clone());
+                            let counts = match &task.sink {
+                                Some(sink) => task.prepared.run_range_traced(
+                                    &engine,
+                                    task.range.clone(),
+                                    sink.as_ref(),
+                                ),
+                                None => task.prepared.run_range(&engine, task.range.clone()),
+                            };
                             scheduler.complete_slice(&task.key, counts);
                         }
                     })

@@ -290,6 +290,12 @@ impl Shared {
                 return Submission::Immediate(Response::Error { id, error });
             }
         };
+        // Workers receive the *canonical* text the coordinator already
+        // validated — not the client's raw bytes. One admission pass
+        // per job: each sub-request re-parses downstream, but parses
+        // pre-validated canonical output (guaranteed to reproduce
+        // `key.circuit_fp`), never arbitrary client input per shard.
+        let canonical = admitted.canonical;
         let key = admitted.key;
 
         let mut inner = self.lock();
@@ -365,7 +371,7 @@ impl Shared {
         // Scatter-gather runs on its own thread so the submitting
         // connection blocks on its receiver like any other waiter.
         let shared = self.clone();
-        let qasm = run.qasm.clone();
+        let qasm = canonical;
         let _ = std::thread::Builder::new()
             .name("shard-job".to_string())
             .spawn(move || {

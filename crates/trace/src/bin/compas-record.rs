@@ -1,0 +1,161 @@
+//! `compas-record` — run a named workload and emit a `.cst` shot
+//! trace plus its JSON sidecar manifest.
+//!
+//! ```text
+//! compas-record --workload table4 [--mode sequential|pooled|served|sharded]
+//!               [--shots N] [--seed N] [--no-timing] [--out FILE]
+//! compas-record --all [--out-dir DIR] [--mode M] [--no-timing]
+//! compas-record --list
+//! ```
+//!
+//! Defaults: the workload's registered shots/seed, sequential mode,
+//! timing on, output `<name>.cst` in the current directory. `--all`
+//! records every registered workload (used to regenerate the golden
+//! set: `compas-record --all --no-timing --out-dir crates/trace/tests/golden`).
+//! Exits 0 on success, 1 on failure, 2 on usage errors.
+
+use std::path::{Path, PathBuf};
+use std::process::exit;
+use trace::{find, record_workload, write_trace, Mode, WORKLOADS};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: compas-record --workload NAME [--mode sequential|pooled|served|sharded]\n\
+         \x20  [--shots N] [--seed N] [--no-timing] [--out FILE]\n\
+         \x20  | --all [--out-dir DIR] [--mode M] [--no-timing] | --list"
+    );
+    exit(2);
+}
+
+struct Args {
+    workload: Option<String>,
+    all: bool,
+    list: bool,
+    mode: Mode,
+    shots: Option<u64>,
+    seed: Option<u64>,
+    timing: bool,
+    out: Option<PathBuf>,
+    out_dir: PathBuf,
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut args = Args {
+        workload: None,
+        all: false,
+        list: false,
+        mode: Mode::Sequential,
+        shots: None,
+        seed: None,
+        timing: true,
+        out: None,
+        out_dir: PathBuf::from("."),
+    };
+    let value = |argv: &[String], i: usize| -> String {
+        argv.get(i + 1).cloned().unwrap_or_else(|| usage())
+    };
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--workload" => {
+                args.workload = Some(value(&argv, i));
+                i += 2;
+            }
+            "--all" => {
+                args.all = true;
+                i += 1;
+            }
+            "--list" => {
+                args.list = true;
+                i += 1;
+            }
+            "--mode" => {
+                args.mode = Mode::parse(&value(&argv, i)).unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--shots" => {
+                args.shots = Some(value(&argv, i).parse().unwrap_or_else(|_| usage()));
+                i += 2;
+            }
+            "--seed" => {
+                args.seed = Some(value(&argv, i).parse().unwrap_or_else(|_| usage()));
+                i += 2;
+            }
+            "--no-timing" => {
+                args.timing = false;
+                i += 1;
+            }
+            "--out" => {
+                args.out = Some(PathBuf::from(value(&argv, i)));
+                i += 2;
+            }
+            "--out-dir" => {
+                args.out_dir = PathBuf::from(value(&argv, i));
+                i += 2;
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage();
+            }
+        }
+    }
+    args
+}
+
+fn record_one(args: &Args, name: &str, out: &Path) -> Result<(), String> {
+    let workload = find(name).ok_or_else(|| {
+        let known: Vec<&str> = WORKLOADS.iter().map(|w| w.name).collect();
+        format!("unknown workload {name:?}; known: {}", known.join(", "))
+    })?;
+    let shots = args.shots.unwrap_or(workload.shots);
+    let seed = args.seed.unwrap_or(workload.root_seed);
+    let trace = record_workload(workload, args.mode, shots, seed, args.timing)?;
+    let manifest = write_trace(out, &trace, args.mode.name()).map_err(|e| e.to_string())?;
+    println!(
+        "{name}: {shots} shots via {} -> {} ({} bytes) + {}",
+        args.mode.name(),
+        out.display(),
+        trace.encoded_len(),
+        manifest.display()
+    );
+    Ok(())
+}
+
+fn main() {
+    let args = parse_args();
+    if args.list {
+        for w in WORKLOADS {
+            println!(
+                "{:<14} {:>6} shots  seed {:#x}  {}",
+                w.name, w.shots, w.root_seed, w.description
+            );
+        }
+        return;
+    }
+    let runs: Vec<(String, PathBuf)> = if args.all {
+        WORKLOADS
+            .iter()
+            .map(|w| {
+                (
+                    w.name.to_string(),
+                    args.out_dir.join(format!("{}.cst", w.name)),
+                )
+            })
+            .collect()
+    } else {
+        let name = args.workload.clone().unwrap_or_else(|| usage());
+        let out = args
+            .out
+            .clone()
+            .unwrap_or_else(|| PathBuf::from(format!("{name}.cst")));
+        vec![(name, out)]
+    };
+    for (name, out) in runs {
+        if let Err(err) = record_one(&args, &name, &out) {
+            eprintln!("compas-record: {err}");
+            exit(1);
+        }
+    }
+}

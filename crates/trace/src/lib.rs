@@ -1,0 +1,38 @@
+//! Shot-trace record/replay: deterministic execution, made auditable.
+//!
+//! The engine's contract is that shot `i` is a pure function of
+//! `(root_seed, i)` — the same tallies at any thread count, through
+//! the TCP service, or sharded across machines. This crate turns that
+//! contract into an artifact: record a run once into a compact binary
+//! trace, then **verify** any later build/mode against it bit-exactly,
+//! or **sample** a stratified slice of it SimPoint-style and predict
+//! the full-run tally with binomial confidence intervals.
+//!
+//! | module | contents |
+//! |--------|----------|
+//! | [`mod@format`] | the `.cst` binary format + `jsonlite` sidecar manifest |
+//! | [`workloads`] | the named-workload registry (paper artifacts + §5 apps) |
+//! | [`run`] | recording in sequential / pooled / served / sharded modes |
+//! | [`sample`] | stratified sampled replay with Wilson intervals |
+//! | [`verify`] | bit-exact trace-vs-reexecution and trace-vs-trace checks |
+//!
+//! Binaries: `compas-record` (run a workload, emit `.cst` + manifest)
+//! and `compas-replay` (verify against a golden trace, or sampled
+//! replay with a SPEC-style report table).
+//!
+//! Golden traces for every registered workload live in
+//! `tests/golden/`, recorded without timing so the files are
+//! byte-deterministic; the golden regression tests re-record each
+//! workload in sequential *and* pooled mode and require byte equality.
+
+pub mod format;
+pub mod run;
+pub mod sample;
+pub mod verify;
+pub mod workloads;
+
+pub use format::{read_trace, write_trace, Trace, TraceHeader, FORMAT_VERSION};
+pub use run::{record_workload, Mode};
+pub use sample::{sampled_replay, stratified_indices, wilson_interval, SampleReport};
+pub use verify::{verify_against_run, verify_against_trace};
+pub use workloads::{find, Workload, WORKLOADS};

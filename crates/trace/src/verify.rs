@@ -1,0 +1,186 @@
+//! Bit-exact verification: the replay side of the record/replay
+//! contract.
+//!
+//! [`verify_against_run`] re-executes the workload named in a trace's
+//! header (in a chosen local mode) and demands identical identity and
+//! per-shot `(shot, record, stream)` triples. Timing is always
+//! excluded — it is a measurement, not part of the contract. The
+//! stream ids are *recomputed* by the re-execution, so a regression in
+//! the seed-derivation function itself fails verification loudly
+//! rather than cancelling out.
+//!
+//! [`verify_against_trace`] compares two trace files the same way —
+//! useful for diffing a freshly recorded run against a checked-in
+//! golden without re-executing.
+
+use crate::format::Trace;
+use crate::run::{record_workload, Mode};
+use crate::workloads::find;
+
+/// A verification failure, with enough context to debug it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mismatch {
+    /// What diverged.
+    pub what: String,
+}
+
+impl std::fmt::Display for Mismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.what)
+    }
+}
+
+fn header_mismatch(
+    field: &str,
+    expected: impl std::fmt::Debug,
+    got: impl std::fmt::Debug,
+) -> Mismatch {
+    Mismatch {
+        what: format!("header {field}: trace has {expected:?}, replay produced {got:?}"),
+    }
+}
+
+/// Compares two traces for identity + per-shot bit-exactness (timing
+/// excluded). `label` names the right-hand side in messages.
+fn compare(golden: &Trace, candidate: &Trace, label: &str) -> Result<(), Mismatch> {
+    let g = &golden.header;
+    let c = &candidate.header;
+    if g.workload != c.workload {
+        return Err(header_mismatch("workload", &g.workload, &c.workload));
+    }
+    if g.backend != c.backend {
+        return Err(header_mismatch("backend", &g.backend, &c.backend));
+    }
+    if g.circuit_fp != c.circuit_fp {
+        return Err(header_mismatch("circuit_fp", g.circuit_fp, c.circuit_fp));
+    }
+    if g.root_seed != c.root_seed {
+        return Err(header_mismatch("root_seed", g.root_seed, c.root_seed));
+    }
+    if g.shots != c.shots {
+        return Err(header_mismatch("shots", g.shots, c.shots));
+    }
+    if g.num_cbits != c.num_cbits {
+        return Err(header_mismatch("num_cbits", g.num_cbits, c.num_cbits));
+    }
+    if golden.records.len() != candidate.records.len() {
+        return Err(Mismatch {
+            what: format!(
+                "record count: trace has {}, {label} has {}",
+                golden.records.len(),
+                candidate.records.len()
+            ),
+        });
+    }
+    for (g, c) in golden.records.iter().zip(&candidate.records) {
+        if (g.shot, g.record, g.stream) != (c.shot, c.record, c.stream) {
+            return Err(Mismatch {
+                what: format!(
+                    "shot {}: trace has record {:#x} stream {:#018x}, {label} has {:#x}/{:#018x}",
+                    g.shot, g.record, g.stream, c.record, c.stream
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Re-executes the trace's workload in `mode` and verifies bit-exact
+/// agreement. Returns the number of verified records.
+///
+/// # Errors
+///
+/// Returns a [`Mismatch`] naming the first divergence, or an unknown
+/// workload / execution failure.
+pub fn verify_against_run(trace: &Trace, mode: Mode) -> Result<u64, Mismatch> {
+    let workload = find(&trace.header.workload).ok_or_else(|| Mismatch {
+        what: format!(
+            "trace names workload {:?}, which this build does not register",
+            trace.header.workload
+        ),
+    })?;
+    let rerun = record_workload(
+        workload,
+        mode,
+        trace.header.shots,
+        trace.header.root_seed,
+        false,
+    )
+    .map_err(|e| Mismatch {
+        what: format!("re-execution failed: {e}"),
+    })?;
+    compare(trace, &rerun, &format!("{} replay", mode.name()))?;
+    Ok(trace.records.len() as u64)
+}
+
+/// Verifies two traces against each other (identity + records, timing
+/// excluded). Returns the number of verified records.
+///
+/// # Errors
+///
+/// Returns a [`Mismatch`] naming the first divergence.
+pub fn verify_against_trace(golden: &Trace, candidate: &Trace) -> Result<u64, Mismatch> {
+    compare(golden, candidate, "candidate trace")?;
+    Ok(golden.records.len() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_fresh_recording_verifies_in_both_local_modes() {
+        let w = find("cooling").unwrap();
+        let trace = record_workload(w, Mode::Sequential, 64, w.root_seed, false).unwrap();
+        assert_eq!(verify_against_run(&trace, Mode::Sequential).unwrap(), 64);
+        assert_eq!(verify_against_run(&trace, Mode::Pooled).unwrap(), 64);
+    }
+
+    #[test]
+    fn timing_differences_do_not_fail_verification() {
+        // A timed recording must still verify: the contract covers
+        // values, not wall clocks.
+        let w = find("qsp").unwrap();
+        let timed = record_workload(w, Mode::Sequential, 32, w.root_seed, true).unwrap();
+        assert!(verify_against_run(&timed, Mode::Pooled).is_ok());
+    }
+
+    #[test]
+    fn tampered_records_and_headers_are_caught() {
+        let w = find("spectroscopy").unwrap();
+        let good = record_workload(w, Mode::Sequential, 32, w.root_seed, false).unwrap();
+
+        let mut bad = good.clone();
+        bad.records[7].record ^= 1;
+        let err = verify_against_run(&bad, Mode::Sequential).unwrap_err();
+        assert!(err.what.contains("shot 7"), "{err}");
+
+        let mut bad = good.clone();
+        bad.records[3].stream ^= 0x10;
+        assert!(verify_against_run(&bad, Mode::Sequential).is_err());
+
+        let mut bad = good.clone();
+        bad.header.root_seed ^= 1;
+        let err = verify_against_run(&bad, Mode::Sequential).unwrap_err();
+        // A different root seed re-executes to different streams.
+        assert!(
+            err.what.contains("root_seed") || err.what.contains("shot"),
+            "{err}"
+        );
+
+        let mut bad = good;
+        bad.header.workload = "no-such-workload".to_string();
+        assert!(verify_against_run(&bad, Mode::Sequential).is_err());
+    }
+
+    #[test]
+    fn trace_to_trace_comparison_agrees_with_run_verification() {
+        let w = find("fig9b").unwrap();
+        let a = record_workload(w, Mode::Sequential, 48, w.root_seed, false).unwrap();
+        let b = record_workload(w, Mode::Pooled, 48, w.root_seed, true).unwrap();
+        assert_eq!(verify_against_trace(&a, &b).unwrap(), 48);
+        let mut c = b.clone();
+        c.records[0].record ^= 2;
+        assert!(verify_against_trace(&a, &c).is_err());
+    }
+}

@@ -1,0 +1,137 @@
+//! Golden-trace regression suite.
+//!
+//! Every registered workload has a checked-in `.cst` trace (recorded
+//! without timing, so the bytes are fully deterministic) under
+//! `tests/golden/`. These tests pin the whole stack:
+//!
+//! * re-recording each workload today must reproduce the golden file
+//!   **byte for byte**, in sequential *and* pooled mode — any change
+//!   to gate kernels, seed derivation, record packing, or the `.cst`
+//!   encoder shows up as a diff here;
+//! * a 5% stratified sampled replay of each golden must predict the
+//!   full-run tally inside its (Bonferroni-corrected 99% family-wise)
+//!   confidence intervals;
+//! * the sidecar manifests must agree with the binary traces they
+//!   describe.
+//!
+//! To regenerate after an *intentional* change:
+//! `cargo run -p trace --bin compas-record -- --all --no-timing
+//!  --out-dir crates/trace/tests/golden`
+
+use std::path::{Path, PathBuf};
+use trace::{find, read_trace, record_workload, sampled_replay, Mode, WORKLOADS};
+
+fn golden_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    golden_dir().join(format!("{name}.cst"))
+}
+
+#[test]
+fn every_workload_has_a_golden_trace_and_nothing_is_orphaned() {
+    for w in WORKLOADS {
+        assert!(
+            golden_path(w.name).exists(),
+            "{}: no golden trace — record one with compas-record --all --no-timing",
+            w.name
+        );
+    }
+    // No stale goldens for deregistered workloads.
+    for entry in std::fs::read_dir(golden_dir()).unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().is_some_and(|x| x == "cst") {
+            let stem = path.file_stem().unwrap().to_string_lossy().to_string();
+            assert!(
+                find(&stem).is_some(),
+                "{}: golden trace for an unregistered workload",
+                path.display()
+            );
+        }
+    }
+}
+
+#[test]
+fn golden_traces_decode_and_carry_the_registered_identity() {
+    for w in WORKLOADS {
+        let trace = read_trace(&golden_path(w.name)).unwrap();
+        assert_eq!(trace.header.workload, w.name);
+        assert_eq!(trace.header.backend, w.backend.name());
+        assert_eq!(trace.header.shots, w.shots);
+        assert_eq!(trace.header.root_seed, w.root_seed);
+        assert!(
+            !trace.header.has_timing,
+            "{}: goldens are timing-free",
+            w.name
+        );
+        assert_eq!(trace.records.len() as u64, w.shots);
+    }
+}
+
+#[test]
+fn reexecution_reproduces_every_golden_byte_for_byte_in_both_modes() {
+    // The headline regression check: record the workload now and
+    // demand the exact bytes that were checked in — in both local
+    // execution modes, so pooled scheduling can never leak into
+    // results.
+    for w in WORKLOADS {
+        let golden_bytes = std::fs::read(golden_path(w.name)).unwrap();
+        for mode in [Mode::Sequential, Mode::Pooled] {
+            let rerun = record_workload(w, mode, w.shots, w.root_seed, false).unwrap();
+            assert_eq!(
+                trace::format::encode(&rerun),
+                golden_bytes,
+                "{} diverged from its golden trace in {} mode",
+                w.name,
+                mode.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn five_percent_sampled_replay_predicts_each_golden_within_ci() {
+    for w in WORKLOADS {
+        let trace = read_trace(&golden_path(w.name)).unwrap();
+        let report = sampled_replay(&trace, w, 0.05).unwrap();
+        assert_eq!(report.verified_records, report.sampled);
+        assert!(
+            report.within_ci(),
+            "{}: sampled prediction missed the recorded tally: {:#?}",
+            w.name,
+            report.outcomes
+        );
+    }
+}
+
+#[test]
+fn manifests_agree_with_their_binary_traces() {
+    for w in WORKLOADS {
+        let trace = read_trace(&golden_path(w.name)).unwrap();
+        let manifest_text =
+            std::fs::read_to_string(golden_dir().join(format!("{}.json", w.name))).unwrap();
+        let manifest = jsonlite::Json::parse(&manifest_text).unwrap();
+        assert_eq!(manifest.get("workload").unwrap().as_str(), Some(w.name));
+        assert_eq!(
+            manifest.get("circuit_fp").unwrap().as_str(),
+            Some(trace.header.circuit_fp.to_string().as_str()),
+            "{}: manifest fingerprint drifted",
+            w.name
+        );
+        assert_eq!(manifest.get("shots").unwrap().as_u64(), Some(w.shots));
+        // The manifest tally is the trace tally.
+        let tally = trace.tally();
+        let mtally = manifest.get("tally").unwrap();
+        let pairs = mtally.as_obj().unwrap();
+        assert_eq!(pairs.len(), tally.len(), "{}: tally size drifted", w.name);
+        for (outcome, n) in tally {
+            assert_eq!(
+                mtally.get(&outcome.to_string()).and_then(|v| v.as_u64()),
+                Some(n as u64),
+                "{}: tally[{outcome}] drifted",
+                w.name
+            );
+        }
+    }
+}
