@@ -19,6 +19,18 @@
 //!   `cache_hit_rate` extra field),
 //! * cold/warm tallies identical per request, all shots accounted.
 //!
+//! Two evented-serving rows ride along:
+//!
+//! * **service-idle-256** — the warm batch again while 256 idle
+//!   connections are parked on the reactor; carries a `thread_delta`
+//!   extra (process threads gained while holding the sockets — the
+//!   perf guard asserts it stays flat, i.e. no thread-per-connection
+//!   regression) and an `idle_connections` extra;
+//! * **service-restart-warm** — the server is shut down and respawned
+//!   onto the same `--cache-dir` spill directory, then serves the
+//!   identical batch from disk without executing a single shot. The
+//!   perf guard asserts this beats the cold rate.
+//!
 //! A third section benches the **sharded topology**: the same batch
 //! (explicit statevector backend, heavier shots) served through a
 //! `shard` coordinator over 1, 2, and 4 loopback workers — rows
@@ -121,27 +133,70 @@ fn run_pass(
     (t0.elapsed().as_secs_f64(), lines)
 }
 
+/// The process's live thread count (`/proc/self/status`); `None` off
+/// Linux — the `thread_delta` extra then reports 0.
+fn thread_count() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find_map(|line| line.strip_prefix("Threads:"))
+        .and_then(|rest| rest.trim().parse().ok())
+}
+
 fn main() {
     let scale = Scale::from_env();
     let requests = scale.pick(100u64, 25u64);
     let shots = scale.pick(20_000u64, 2_000u64);
     let (r, p) = (12usize, 0.002);
     let workers = 2usize;
+    let idle_conns = 256usize;
     let qasm = to_qasm3(&ghz_workload(r, p));
+    let cache_dir = std::env::temp_dir().join(format!("compas-bench-spill-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
 
-    let handle = Service::spawn(ServiceConfig {
+    let config = ServiceConfig {
         workers,
         cache_capacity: requests as usize + 8,
+        cache_dir: Some(cache_dir.clone()),
         slice_shots: 4096,
+        max_connections: idle_conns + 16,
         ..ServiceConfig::default()
-    })
-    .expect("spawn service");
+    };
+    let handle = Service::spawn(config.clone()).expect("spawn service");
     let mut client = Client::connect(handle.addr());
 
     let (cold_secs, cold_lines) = run_pass(&mut client, &qasm, shots, 0..requests, false);
     let hits_before_warm = handle.stats().cache_hits;
     let (warm_secs, warm_lines) = run_pass(&mut client, &qasm, shots, 0..requests, true);
     let stats = handle.stats();
+
+    // ---- idle soak: the warm batch under 256 parked connections ----
+    let threads_before = thread_count();
+    let idlers: Vec<TcpStream> = (0..idle_conns)
+        .map(|_| TcpStream::connect(handle.addr()).expect("idle connect"))
+        .collect();
+    while handle.gauges().open < idle_conns as u64 {
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    let (idle_secs, _) = run_pass(&mut client, &qasm, shots, 0..requests, true);
+    let thread_delta = match (threads_before, thread_count()) {
+        (Some(before), Some(after)) => after.saturating_sub(before),
+        _ => 0,
+    };
+    drop(idlers);
+
+    // ---- restart: a fresh process-equivalent serves warm from disk ----
+    handle.shutdown();
+    let restarted = Service::spawn(config).expect("respawn service");
+    let mut client = Client::connect(restarted.addr());
+    let (restart_secs, restart_lines) = run_pass(&mut client, &qasm, shots, 0..requests, true);
+    assert_eq!(
+        restarted.stats().completed,
+        0,
+        "the restarted server executed shots instead of serving from disk"
+    );
+    restarted.shutdown();
+    let _ = std::fs::remove_dir_all(&cache_dir);
 
     // Warm responses must be byte-identical to their cold twins
     // (modulo the `cached` flag, which is part of the line — so
@@ -158,6 +213,18 @@ fn main() {
             "seed {seed}: warm tallies diverged from cold"
         );
     }
+    for (seed, (cold, restart)) in cold_lines.iter().zip(&restart_lines).enumerate() {
+        let tail = |line: &str| {
+            line.split_once("\"tallies\"")
+                .map(|(_, t)| t.to_string())
+                .expect("tallies field present")
+        };
+        assert_eq!(
+            tail(cold),
+            tail(restart),
+            "seed {seed}: disk-warm tallies diverged from cold"
+        );
+    }
     let warm_hits = stats.cache_hits - hits_before_warm;
     let hit_rate = warm_hits as f64 / requests as f64;
     assert_eq!(hit_rate, 1.0, "warm pass must be all cache hits: {stats:?}");
@@ -168,6 +235,8 @@ fn main() {
 
     let cold_rate = requests as f64 / cold_secs;
     let warm_rate = requests as f64 / warm_secs;
+    let idle_rate = requests as f64 / idle_secs;
+    let restart_rate = requests as f64 / restart_secs;
 
     // ---- sharded topology: coordinator + N workers over loopback ----
     //
@@ -254,6 +323,20 @@ fn main() {
         format!("{warm_secs:.3}"),
         format!("{warm_rate:.0}"),
     ]);
+    table.push_row(vec![
+        format!("idle-{idle_conns}"),
+        requests.to_string(),
+        shots.to_string(),
+        format!("{idle_secs:.3}"),
+        format!("{idle_rate:.0}"),
+    ]);
+    table.push_row(vec![
+        "restart-warm".into(),
+        requests.to_string(),
+        shots.to_string(),
+        format!("{restart_secs:.3}"),
+        format!("{restart_rate:.0}"),
+    ]);
     for (n, secs, _) in &sharded {
         table.push_row(vec![
             format!("sharded-{n}"),
@@ -293,6 +376,31 @@ fn main() {
             ("sim_shots_per_request".to_string(), shots as f64),
         ],
     );
+    report.push_timing_extra(
+        "service-idle-256",
+        "auto",
+        "service",
+        workers,
+        requests as usize,
+        idle_secs,
+        vec![
+            ("idle_connections".to_string(), idle_conns as f64),
+            ("thread_delta".to_string(), thread_delta as f64),
+            ("sim_shots_per_request".to_string(), shots as f64),
+        ],
+    );
+    report.push_timing_extra(
+        "service-restart-warm",
+        "auto",
+        "service",
+        workers,
+        requests as usize,
+        restart_secs,
+        vec![
+            ("cache_hit_rate".to_string(), 1.0),
+            ("sim_shots_per_request".to_string(), shots as f64),
+        ],
+    );
     for (n, secs, redispatched) in &sharded {
         report.push_timing_extra(
             &format!("sharded-{n}"),
@@ -308,15 +416,29 @@ fn main() {
         );
     }
     bench::emit_report(&report);
-    handle.shutdown();
 
     println!(
         "warm-cache path: {:.1}x the cold request rate ({warm_rate:.0}/s vs {cold_rate:.0}/s)",
         warm_rate / cold_rate
     );
+    println!(
+        "disk-warm restart: {:.1}x the cold request rate ({restart_rate:.0}/s vs {cold_rate:.0}/s); \
+         {idle_conns} idle connections cost {thread_delta} threads",
+        restart_rate / cold_rate
+    );
     assert!(
         warm_rate > cold_rate,
         "perf regression: warm-cache serving ({warm_rate:.0} req/s) is not strictly \
          faster than cold ({cold_rate:.0} req/s)"
+    );
+    assert!(
+        restart_rate > cold_rate,
+        "perf regression: disk-warm restart serving ({restart_rate:.0} req/s) is not \
+         strictly faster than cold execution ({cold_rate:.0} req/s)"
+    );
+    assert!(
+        thread_delta <= 8,
+        "thread-per-connection regression: holding {idle_conns} idle sockets grew the \
+         process by {thread_delta} threads"
     );
 }

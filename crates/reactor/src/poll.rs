@@ -1,0 +1,196 @@
+//! The vendored `poll(2)` shim: the only FFI surface in the workspace's
+//! serving stack.
+//!
+//! The reactor needs exactly three kernel facilities that `std` does
+//! not expose: readiness multiplexing over many descriptors
+//! (`poll(2)`), a self-wakeup channel that a non-reactor thread can
+//! ping (`pipe(2)`), and raw reads/writes on that pipe. Everything
+//! else — non-blocking sockets, accept, socket reads/writes — goes
+//! through `std::net`. Declaring these five libc symbols directly
+//! keeps the crate dependency-free, consistent with the workspace's
+//! vendored-shim policy.
+//!
+//! The wake pipe is deliberately *blocking* on both ends, which sounds
+//! backwards for a non-blocking reactor but is safe by construction:
+//!
+//! * the write side is guarded by an atomic `pending` flag, so at most
+//!   **one** byte is ever outstanding — a write can never fill the
+//!   pipe and block the waker;
+//! * the read side is only drained after `poll` reported `POLLIN`, so
+//!   a read can never block the reactor.
+
+use std::ffi::{c_int, c_void};
+use std::io;
+use std::os::unix::io::RawFd;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// `poll` readiness flag: data available to read.
+pub const POLLIN: i16 = 0x001;
+/// `poll` readiness flag: writable without blocking.
+pub const POLLOUT: i16 = 0x004;
+/// `poll` result flag: error condition on the descriptor.
+pub const POLLERR: i16 = 0x008;
+/// `poll` result flag: peer hung up.
+pub const POLLHUP: i16 = 0x010;
+/// `poll` result flag: the descriptor was not open.
+pub const POLLNVAL: i16 = 0x020;
+
+/// One `struct pollfd` as `poll(2)` expects it.
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct PollFd {
+    /// The descriptor to watch.
+    pub fd: c_int,
+    /// Requested events (`POLLIN` / `POLLOUT`).
+    pub events: i16,
+    /// Kernel-reported events, valid after [`poll_fds`] returns.
+    pub revents: i16,
+}
+
+impl PollFd {
+    /// A watch on `fd` for `events`.
+    pub fn new(fd: RawFd, events: i16) -> PollFd {
+        PollFd {
+            fd,
+            events,
+            revents: 0,
+        }
+    }
+}
+
+// `nfds_t` is `unsigned long` on Linux and `unsigned int` on the BSDs
+// (including macOS).
+#[cfg(target_os = "linux")]
+type NfdsT = std::ffi::c_ulong;
+#[cfg(not(target_os = "linux"))]
+type NfdsT = std::ffi::c_uint;
+
+extern "C" {
+    fn poll(fds: *mut PollFd, nfds: NfdsT, timeout: c_int) -> c_int;
+    fn pipe(fds: *mut c_int) -> c_int;
+    fn close(fd: c_int) -> c_int;
+    fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+    fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+}
+
+/// Waits for readiness on `fds`. `timeout_ms < 0` blocks until an
+/// event; `0` polls. `EINTR` is retried internally, so a signal can
+/// never abort the reactor loop.
+///
+/// # Errors
+///
+/// Any `poll(2)` failure other than `EINTR`.
+pub fn poll_fds(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
+    loop {
+        let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as NfdsT, timeout_ms) };
+        if rc >= 0 {
+            return Ok(rc as usize);
+        }
+        let err = io::Error::last_os_error();
+        if err.kind() != io::ErrorKind::Interrupted {
+            return Err(err);
+        }
+    }
+}
+
+/// The reactor's self-wakeup channel: any thread may [`WakePipe::wake`]
+/// to make a blocked [`poll_fds`] return. The `pending` flag collapses
+/// wake storms to a single pipe byte (see the module docs for why the
+/// blocking pipe is safe).
+pub struct WakePipe {
+    read_fd: RawFd,
+    write_fd: RawFd,
+    pending: AtomicBool,
+}
+
+impl WakePipe {
+    /// A fresh pipe pair.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `pipe(2)` failure (descriptor exhaustion).
+    pub fn new() -> io::Result<WakePipe> {
+        let mut fds: [c_int; 2] = [0; 2];
+        if unsafe { pipe(fds.as_mut_ptr()) } != 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(WakePipe {
+            read_fd: fds[0],
+            write_fd: fds[1],
+            pending: AtomicBool::new(false),
+        })
+    }
+
+    /// The descriptor the reactor includes in its poll set (`POLLIN`).
+    pub fn poll_fd(&self) -> PollFd {
+        PollFd::new(self.read_fd, POLLIN)
+    }
+
+    /// Makes the next (or current) [`poll_fds`] call return. Coalesces
+    /// concurrent wakes: only the first writer since the last
+    /// [`WakePipe::drain`] touches the pipe.
+    pub fn wake(&self) {
+        if !self.pending.swap(true, Ordering::SeqCst) {
+            let byte = [1u8];
+            let _ = unsafe { write(self.write_fd, byte.as_ptr().cast::<c_void>(), 1) };
+        }
+    }
+
+    /// Consumes pending wake bytes. Call only after `poll` reported
+    /// `POLLIN` on [`WakePipe::poll_fd`]. Clearing the flag *before*
+    /// reading keeps the protocol lossless: a wake that races this
+    /// drain either lands its byte (next poll returns immediately) or
+    /// observes `pending` still true from an earlier wake whose byte we
+    /// are about to consume — and in that window the waker's work item
+    /// is already queued, so the post-drain queue sweep sees it.
+    pub fn drain(&self) {
+        self.pending.store(false, Ordering::SeqCst);
+        let mut buf = [0u8; 64];
+        let _ = unsafe { read(self.read_fd, buf.as_mut_ptr().cast::<c_void>(), buf.len()) };
+    }
+}
+
+impl Drop for WakePipe {
+    fn drop(&mut self) {
+        unsafe {
+            close(self.read_fd);
+            close(self.write_fd);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wake_makes_poll_return_and_drain_resets() {
+        let pipe = WakePipe::new().unwrap();
+        let mut fds = [pipe.poll_fd()];
+        // Nothing pending: a zero-timeout poll sees no readiness.
+        assert_eq!(poll_fds(&mut fds, 0).unwrap(), 0);
+        pipe.wake();
+        pipe.wake(); // coalesced: still one byte
+        let mut fds = [pipe.poll_fd()];
+        assert_eq!(poll_fds(&mut fds, 1_000).unwrap(), 1);
+        assert_ne!(fds[0].revents & POLLIN, 0);
+        pipe.drain();
+        let mut fds = [pipe.poll_fd()];
+        assert_eq!(poll_fds(&mut fds, 0).unwrap(), 0);
+    }
+
+    #[test]
+    fn cross_thread_wake_unblocks_a_sleeping_poll() {
+        let pipe = std::sync::Arc::new(WakePipe::new().unwrap());
+        let waker = pipe.clone();
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            waker.wake();
+        });
+        let mut fds = [pipe.poll_fd()];
+        let start = std::time::Instant::now();
+        assert_eq!(poll_fds(&mut fds, 10_000).unwrap(), 1);
+        assert!(start.elapsed() < std::time::Duration::from_secs(5));
+        handle.join().unwrap();
+    }
+}

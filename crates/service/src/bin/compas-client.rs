@@ -3,6 +3,7 @@
 //! ```text
 //! compas-client [--addr HOST:PORT] --demo bell --shots 1000 --seed 7
 //! compas-client --qasm circuit.qasm --shots 500 --seed 1 --backend sv
+//! compas-client --client-id tenant-a --concurrent 4 --demo ghz8
 //! compas-client --stats
 //! compas-client --shutdown
 //! ```
@@ -19,10 +20,24 @@
 //! backoff schedule. Exit code 3 means the budget ran out with the
 //! server still busy.
 //!
+//! `--client-id NAME` tags run requests with a fair-share identity:
+//! the server schedules round-robin *between* identities and may bound
+//! each identity's in-flight shots (`compas-serve --quota-shots`).
+//! `--concurrent N` opens N connections from this one process and
+//! drives the full `--repeat` sequence on each, all under the same
+//! identity — the shape that exercises a per-client quota. Request ids
+//! are suffixed `-tK` per connection so responses stay correlatable;
+//! the process exit code is the worst across connections.
+//!
+//! `--stats` prints the raw stats line to stdout and, additionally, a
+//! human-readable rendering (counters, per-client quota rows, worker
+//! rows) to stderr — stdout stays machine-diffable.
+//!
 //! `--trace-out FILE` appends every raw response line received —
 //! including `busy` lines consumed by the retry loop — to `FILE`
 //! verbatim, so served-bytes regressions are diffable (`diff old new`)
-//! without rebuilding a capture harness.
+//! without rebuilding a capture harness. With `--concurrent` the file
+//! is shared (whole lines, interleaving unspecified).
 
 use circuit::circuit::Circuit;
 use circuit::qasm::to_qasm3;
@@ -30,12 +45,14 @@ use service::{Op, Request, Response, RunRequest};
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::process::exit;
+use std::sync::{Arc, Mutex};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: compas-client [--addr HOST:PORT] [--id ID] [--repeat K] [--retries K]\n\
-         \x20  [--trace-out FILE] (--demo bell|ghzN | --qasm FILE) [--shots N] [--seed N]\n\
-         \x20  [--backend NAME] | --stats | --shutdown"
+        "usage: compas-client [--addr HOST:PORT] [--id ID] [--client-id NAME] [--repeat K]\n\
+         \x20  [--concurrent N] [--retries K] [--trace-out FILE]\n\
+         \x20  (--demo bell|ghzN | --qasm FILE) [--shots N] [--seed N] [--backend NAME]\n\
+         \x20  | --stats | --shutdown"
     );
     exit(2);
 }
@@ -65,6 +82,7 @@ struct Args {
     addr: String,
     id: Option<String>,
     repeat: u64,
+    concurrent: u64,
     retries: u64,
     trace_out: Option<String>,
     op: Op,
@@ -74,7 +92,9 @@ fn parse_args() -> Args {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut addr = "127.0.0.1:7878".to_string();
     let mut id = None;
+    let mut client_id: Option<String> = None;
     let mut repeat = 1u64;
+    let mut concurrent = 1u64;
     let mut retries = 4u64;
     let mut trace_out: Option<String> = None;
     let mut qasm: Option<String> = None;
@@ -96,8 +116,16 @@ fn parse_args() -> Args {
                 id = Some(value(&args, i));
                 i += 2;
             }
+            "--client-id" => {
+                client_id = Some(value(&args, i));
+                i += 2;
+            }
             "--repeat" => {
                 repeat = value(&args, i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--concurrent" => {
+                concurrent = value(&args, i).parse().unwrap_or_else(|_| usage());
                 i += 2;
             }
             "--retries" => {
@@ -154,21 +182,108 @@ fn parse_args() -> Args {
     }
     let op = match (admin, qasm) {
         (Some(op), None) => op,
-        (None, Some(qasm)) => Op::Run(RunRequest::new(qasm, shots, seed, backend)),
+        (None, Some(qasm)) => {
+            let mut run = RunRequest::new(qasm, shots, seed, backend);
+            if let Some(client) = client_id {
+                run = run.with_client(client);
+            }
+            Op::Run(run)
+        }
         _ => usage(),
     };
+    if concurrent > 1 && !matches!(op, Op::Run(_)) {
+        eprintln!("--concurrent only applies to run requests");
+        usage();
+    }
     Args {
         addr,
         id,
         repeat,
+        concurrent,
         retries,
         trace_out,
         op,
     }
 }
 
-fn main() {
-    let args = parse_args();
+/// Renders a stats response for humans, to stderr (stdout carries the
+/// raw wire line, so scripts keep a machine-diffable view).
+fn render_stats(response: &Response) {
+    let Response::Stats {
+        stats,
+        workers,
+        clients,
+        ..
+    } = response
+    else {
+        return;
+    };
+    let mut out = String::new();
+    out.push_str("server counters:\n");
+    for (name, value) in stats.fields() {
+        out.push_str(&format!("  {name:<22} {value}\n"));
+    }
+    if !clients.is_empty() {
+        out.push_str("clients (admitted/completed/coalesced/rejected_quota/inflight_shots):\n");
+        for row in clients {
+            let name = if row.client.is_empty() {
+                "(anonymous)"
+            } else {
+                &row.client
+            };
+            out.push_str(&format!(
+                "  {name:<22} {}/{}/{}/{}/{}\n",
+                row.admitted, row.completed, row.coalesced, row.rejected_quota, row.inflight_shots
+            ));
+        }
+    }
+    if !workers.is_empty() {
+        out.push_str("workers (jobs/redispatched/heartbeat_age_ms/alive):\n");
+        for row in workers {
+            out.push_str(&format!(
+                "  {:<22} {}/{}/{}/{}\n",
+                row.addr, row.jobs, row.redispatched, row.heartbeat_age_ms, row.alive
+            ));
+        }
+    }
+    eprint!("{out}");
+}
+
+/// A shared, line-atomic trace sink (`--trace-out`).
+#[derive(Clone)]
+struct Trace(Option<Arc<Mutex<std::fs::File>>>);
+
+impl Trace {
+    fn open(path: Option<&String>) -> Trace {
+        Trace(path.map(|path| {
+            let file = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+                .unwrap_or_else(|err| {
+                    eprintln!("compas-client: cannot open {path}: {err}");
+                    exit(1);
+                });
+            Arc::new(Mutex::new(file))
+        }))
+    }
+
+    fn dump(&self, line: &str) {
+        if let Some(file) = &self.0 {
+            let mut file = file.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+            if file.write_all(line.as_bytes()).is_err() {
+                eprintln!("compas-client: cannot write trace file");
+                exit(1);
+            }
+        }
+    }
+}
+
+/// One connection's full request sequence. Returns the worst exit code
+/// observed (0 ok, 2 error, 3 busy-budget-exhausted), or exits the
+/// process outright on I/O failure, matching single-connection
+/// behaviour.
+fn run_session(args: &Args, thread: Option<u64>, trace: &Trace) -> i32 {
     let stream = TcpStream::connect(&args.addr).unwrap_or_else(|err| {
         eprintln!("compas-client: cannot connect to {}: {err}", args.addr);
         exit(1);
@@ -178,29 +293,16 @@ fn main() {
         exit(1);
     }));
     let mut writer = stream;
-    let mut trace_out = args.trace_out.as_ref().map(|path| {
-        std::fs::OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(path)
-            .unwrap_or_else(|err| {
-                eprintln!("compas-client: cannot open {path}: {err}");
-                exit(1);
-            })
-    });
-    // Dumps one raw response line, exactly as received off the wire.
-    let mut dump = |line: &str| {
-        if let Some(file) = trace_out.as_mut() {
-            if file.write_all(line.as_bytes()).is_err() {
-                eprintln!("compas-client: cannot write trace file");
-                exit(1);
-            }
-        }
+    // With --concurrent, suffix the request id per connection so the
+    // interleaved stdout lines stay correlatable.
+    let id = match (&args.id, thread) {
+        (Some(id), Some(t)) => Some(format!("{id}-t{t}")),
+        (id, _) => id.clone(),
     };
     let mut worst = 0i32;
     for _ in 0..args.repeat.max(1) {
         let request = Request {
-            id: args.id.clone(),
+            id: id.clone(),
             op: args.op.clone(),
         };
         // Bounded retry on `busy`: the response carries the server's
@@ -220,7 +322,7 @@ fn main() {
                 }
                 Ok(_) => {}
             }
-            dump(&line);
+            trace.dump(&line);
             match Response::from_line(&line) {
                 Ok(Response::Busy { retry_after_ms, .. }) if budget > 0 => {
                     budget -= 1;
@@ -235,7 +337,10 @@ fn main() {
                     break match parsed {
                         Ok(Response::Error { .. }) => 2,
                         Ok(Response::Busy { .. }) => 3,
-                        Ok(_) => 0,
+                        Ok(response) => {
+                            render_stats(&response);
+                            0
+                        }
                         Err(err) => {
                             eprintln!("compas-client: unparseable response: {err}");
                             2
@@ -249,5 +354,32 @@ fn main() {
             break;
         }
     }
+    worst
+}
+
+fn main() {
+    let args = Arc::new(parse_args());
+    let trace = Trace::open(args.trace_out.as_ref());
+    if args.concurrent <= 1 {
+        exit(run_session(&args, None, &trace));
+    }
+    // --concurrent N: N connections, each driving the full --repeat
+    // sequence, all under one client identity (quotas are per id, not
+    // per connection). Worst exit code wins.
+    let handles: Vec<_> = (0..args.concurrent)
+        .map(|t| {
+            let args = Arc::clone(&args);
+            let trace = trace.clone();
+            std::thread::Builder::new()
+                .name(format!("client-{t}"))
+                .spawn(move || run_session(&args, Some(t), &trace))
+                .expect("spawn client thread")
+        })
+        .collect();
+    let worst = handles
+        .into_iter()
+        .map(|h| h.join().unwrap_or(1))
+        .max()
+        .unwrap_or(0);
     exit(worst);
 }

@@ -14,10 +14,42 @@
 //! lives in the scheduler's `ServiceStats` (the single counter source
 //! feeding the `stats` wire op and the `service_scaling` report).
 //!
+//! ## Disk spill
+//!
+//! With a [`DiskCacheConfig`], every completed result is also
+//! persisted as one fingerprint-keyed JSON file, so a **restarted**
+//! server answers previously-served requests from disk without
+//! re-executing — warm state survives the process. The layout is
+//! deliberately boring:
+//!
+//! ```text
+//! <dir>/<fp:016x>-<backend>-<shots>-<seed>-<start>.json
+//!   {"fingerprint":"9a…","backend":"statevector","shots":400,
+//!    "root_seed":11,"start":0,"tallies":{"0":201,"3":199}}
+//! ```
+//!
+//! * **Atomic write-then-rename**: an entry is written to a `.tmp-`
+//!   sibling and `rename(2)`d into place, so a crash mid-write can
+//!   never leave a half-entry under a live name.
+//! * **Size-bounded**: total bytes are capped
+//!   ([`DiskCacheConfig::max_bytes`]); LRU files are deleted to fit.
+//! * **Corrupt-entry tolerance**: unparseable or truncated files (and
+//!   stranded `.tmp-` files) are deleted and ignored at startup and on
+//!   read — a damaged cache degrades to a miss, never a failure.
+//! * The fingerprint is stored as a **hex string** because the wire's
+//!   f64-backed JSON numbers are only exact to 2⁵³ and the fingerprint
+//!   uses all 64 bits.
+//!
+//! Disk I/O is best-effort throughout: an unwritable directory turns
+//! the spill off in effect (every read misses), it never fails a
+//! request.
+//!
 //! [`Circuit`]: circuit::circuit::Circuit
 
-use engine::Counts;
+use engine::{Backend, Counts};
+use jsonlite::Json;
 use std::collections::HashMap;
+use std::path::PathBuf;
 
 /// FNV-1a 64-bit fingerprint of the canonical circuit text.
 ///
@@ -70,39 +102,312 @@ struct CacheEntry {
     last_used: u64,
 }
 
-/// Fixed-capacity LRU map from [`CacheKey`] to result tallies.
+/// Where (and how large) the on-disk result cache may be. See the
+/// module docs for the file layout and durability guarantees.
+#[derive(Debug, Clone)]
+pub struct DiskCacheConfig {
+    /// Directory holding one JSON file per cached result (created if
+    /// absent).
+    pub dir: PathBuf,
+    /// Total size bound in bytes; least-recently-used files are
+    /// deleted to fit.
+    pub max_bytes: u64,
+}
+
+impl DiskCacheConfig {
+    /// A spill directory with the default 64 MiB size bound.
+    pub fn new(dir: impl Into<PathBuf>) -> DiskCacheConfig {
+        DiskCacheConfig {
+            dir: dir.into(),
+            max_bytes: 64 * 1024 * 1024,
+        }
+    }
+}
+
+struct DiskEntry {
+    path: PathBuf,
+    bytes: u64,
+    last_used: u64,
+}
+
+/// The persistent tier: fingerprint-keyed files under one directory,
+/// with an in-memory index rebuilt by scanning at startup.
+struct DiskStore {
+    config: DiskCacheConfig,
+    index: HashMap<CacheKey, DiskEntry>,
+    total_bytes: u64,
+    tick: u64,
+}
+
+impl DiskStore {
+    /// Opens (and scans) the spill directory. All I/O errors degrade
+    /// to an empty (or smaller) index — a damaged cache is a cold
+    /// cache, never a startup failure.
+    fn open(config: DiskCacheConfig) -> DiskStore {
+        let _ = std::fs::create_dir_all(&config.dir);
+        let mut store = DiskStore {
+            config,
+            index: HashMap::new(),
+            total_bytes: 0,
+            tick: 0,
+        };
+        let Ok(dir) = std::fs::read_dir(&store.config.dir) else {
+            return store;
+        };
+        // Recover recency from mtime (name as tie-break) so LRU
+        // ordering survives restart approximately.
+        let mut found: Vec<(std::time::SystemTime, PathBuf)> = Vec::new();
+        for entry in dir.flatten() {
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if name.starts_with(".tmp-") {
+                // Stranded half-write from a crash: never live.
+                let _ = std::fs::remove_file(&path);
+                continue;
+            }
+            if !name.ends_with(".json") {
+                continue;
+            }
+            let mtime = entry
+                .metadata()
+                .and_then(|m| m.modified())
+                .unwrap_or(std::time::SystemTime::UNIX_EPOCH);
+            found.push((mtime, path));
+        }
+        found.sort();
+        for (_, path) in found {
+            match std::fs::read_to_string(&path)
+                .ok()
+                .and_then(|text| decode_entry(&text))
+            {
+                Some((key, _counts)) => {
+                    let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+                    store.tick += 1;
+                    store.total_bytes += bytes;
+                    store.index.insert(
+                        key,
+                        DiskEntry {
+                            path,
+                            bytes,
+                            last_used: store.tick,
+                        },
+                    );
+                }
+                // Corrupt or truncated: delete and move on.
+                None => {
+                    let _ = std::fs::remove_file(&path);
+                }
+            }
+        }
+        store.evict_to_fit();
+        store
+    }
+
+    /// Reads `key`'s entry back, bumping its recency. A file that went
+    /// corrupt since the scan is deleted and reported as a miss.
+    fn load(&mut self, key: &CacheKey) -> Option<Counts> {
+        self.tick += 1;
+        let entry = self.index.get_mut(key)?;
+        entry.last_used = self.tick;
+        let path = entry.path.clone();
+        let decoded = std::fs::read_to_string(&path)
+            .ok()
+            .and_then(|text| decode_entry(&text))
+            // A colliding or renamed file must never serve a foreign
+            // result: the decoded identity has to round-trip.
+            .filter(|(decoded_key, _)| decoded_key == key);
+        match decoded {
+            Some((_, counts)) => Some(counts),
+            None => {
+                self.remove(key);
+                let _ = std::fs::remove_file(&path);
+                None
+            }
+        }
+    }
+
+    /// Persists `key`'s result via write-then-rename, then evicts LRU
+    /// files until the size bound holds.
+    fn store(&mut self, key: &CacheKey, counts: &Counts) {
+        self.tick += 1;
+        if let Some(entry) = self.index.get_mut(key) {
+            // Determinism: same key ⇒ same bytes; just bump recency.
+            entry.last_used = self.tick;
+            return;
+        }
+        let name = file_name(key);
+        let path = self.config.dir.join(&name);
+        let tmp = self.config.dir.join(format!(".tmp-{name}"));
+        let text = encode_entry(key, counts);
+        let bytes = text.len() as u64;
+        if std::fs::write(&tmp, &text).is_err() {
+            let _ = std::fs::remove_file(&tmp);
+            return;
+        }
+        if std::fs::rename(&tmp, &path).is_err() {
+            let _ = std::fs::remove_file(&tmp);
+            return;
+        }
+        self.total_bytes += bytes;
+        self.index.insert(
+            key.clone(),
+            DiskEntry {
+                path,
+                bytes,
+                last_used: self.tick,
+            },
+        );
+        self.evict_to_fit();
+    }
+
+    fn remove(&mut self, key: &CacheKey) {
+        if let Some(entry) = self.index.remove(key) {
+            self.total_bytes = self.total_bytes.saturating_sub(entry.bytes);
+        }
+    }
+
+    /// Deletes least-recently-used files until `total_bytes` fits the
+    /// bound. The bound is strict: even a just-written entry is
+    /// deleted if it alone exceeds it.
+    fn evict_to_fit(&mut self) {
+        while self.total_bytes > self.config.max_bytes {
+            let Some(lru) = self
+                .index
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            else {
+                break;
+            };
+            if let Some(entry) = self.index.remove(&lru) {
+                self.total_bytes = self.total_bytes.saturating_sub(entry.bytes);
+                let _ = std::fs::remove_file(&entry.path);
+            }
+        }
+    }
+}
+
+/// `<fp:016x>-<backend>-<shots>-<seed>-<start>.json` — every component
+/// of the key is in the name, so the directory is greppable and names
+/// never collide across distinct keys.
+fn file_name(key: &CacheKey) -> String {
+    format!(
+        "{:016x}-{}-{}-{}-{}.json",
+        key.circuit_fp, key.backend, key.shots, key.root_seed, key.start
+    )
+}
+
+fn encode_entry(key: &CacheKey, counts: &Counts) -> String {
+    let mut rows: Vec<(usize, usize)> = counts.iter().map(|(&k, &v)| (k, v)).collect();
+    rows.sort_unstable();
+    let mut text = Json::obj(vec![
+        // Hex string: JSON numbers are f64-backed (exact to 2⁵³ only).
+        ("fingerprint", Json::str(format!("{:016x}", key.circuit_fp))),
+        ("backend", Json::str(key.backend)),
+        ("shots", Json::from_u64(key.shots)),
+        ("root_seed", Json::from_u64(key.root_seed)),
+        ("start", Json::from_u64(key.start)),
+        (
+            "tallies",
+            Json::Obj(
+                rows.into_iter()
+                    .map(|(k, v)| (k.to_string(), Json::from_usize(v)))
+                    .collect(),
+            ),
+        ),
+    ])
+    .to_compact();
+    text.push('\n');
+    text
+}
+
+fn decode_entry(text: &str) -> Option<(CacheKey, Counts)> {
+    let doc = Json::parse(text.trim()).ok()?;
+    let circuit_fp = u64::from_str_radix(doc.get("fingerprint")?.as_str()?, 16).ok()?;
+    // Round-trip through `Backend::parse` to recover the interned
+    // `&'static str` the in-memory key uses.
+    let backend = Backend::parse(doc.get("backend")?.as_str()?)?.name();
+    let key = CacheKey {
+        circuit_fp,
+        backend,
+        shots: doc.get("shots")?.as_u64()?,
+        root_seed: doc.get("root_seed")?.as_u64()?,
+        start: doc.get("start")?.as_u64()?,
+    };
+    let mut counts = Counts::new();
+    for (outcome, count) in doc.get("tallies")?.as_obj()? {
+        counts.insert(
+            outcome.parse().ok()?,
+            usize::try_from(count.as_u64()?).ok()?,
+        );
+    }
+    Some((key, counts))
+}
+
+/// Fixed-capacity LRU map from [`CacheKey`] to result tallies, with an
+/// optional disk tier (see the module docs).
 pub struct ResultCache {
     capacity: usize,
     tick: u64,
     entries: HashMap<CacheKey, CacheEntry>,
+    disk: Option<DiskStore>,
 }
 
 impl ResultCache {
-    /// An empty cache holding at most `capacity` results (0 disables
-    /// caching entirely).
+    /// An empty in-memory-only cache holding at most `capacity`
+    /// results (0 disables caching entirely).
     pub fn new(capacity: usize) -> Self {
         ResultCache {
             capacity,
             tick: 0,
             entries: HashMap::new(),
+            disk: None,
         }
     }
 
-    /// Looks `key` up, refreshing its recency.
+    /// A cache backed by a disk spill directory: inserts write
+    /// through, misses consult the directory (promoting hits to
+    /// memory), and entries persisted by an earlier process are warm
+    /// immediately. `capacity` 0 still disables everything.
+    pub fn with_disk(capacity: usize, disk: DiskCacheConfig) -> Self {
+        let mut cache = ResultCache::new(capacity);
+        if capacity > 0 {
+            cache.disk = Some(DiskStore::open(disk));
+        }
+        cache
+    }
+
+    /// Looks `key` up, refreshing its recency. Memory first, then the
+    /// disk tier (a disk hit is promoted to memory).
     pub fn get(&mut self, key: &CacheKey) -> Option<Counts> {
         self.tick += 1;
-        let entry = self.entries.get_mut(key)?;
-        entry.last_used = self.tick;
-        Some(entry.counts.clone())
+        if let Some(entry) = self.entries.get_mut(key) {
+            entry.last_used = self.tick;
+            return Some(entry.counts.clone());
+        }
+        let counts = self.disk.as_mut()?.load(key)?;
+        self.insert_memory(key.clone(), counts.clone());
+        Some(counts)
     }
 
     /// Inserts a completed result, evicting the least-recently-used
-    /// entry if the cache is full.
+    /// entry if the cache is full; with a disk tier, also persists it
+    /// (write-through).
     pub fn insert(&mut self, key: CacheKey, counts: Counts) {
         if self.capacity == 0 {
             return;
         }
-        self.tick += 1;
+        if let Some(disk) = &mut self.disk {
+            disk.store(&key, &counts);
+        }
+        self.insert_memory(key, counts);
+    }
+
+    fn insert_memory(&mut self, key: CacheKey, counts: Counts) {
+        if self.capacity == 0 {
+            return;
+        }
         if self.entries.len() >= self.capacity && !self.entries.contains_key(&key) {
             // O(n) scan — capacities are small (hundreds), and insert
             // happens once per executed job, not per request.
@@ -124,14 +429,24 @@ impl ResultCache {
         );
     }
 
-    /// Resident entry count.
+    /// Resident in-memory entry count.
     pub fn len(&self) -> usize {
         self.entries.len()
     }
 
-    /// Whether the cache is empty.
+    /// Whether the in-memory tier is empty.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
+    }
+
+    /// Entries currently persisted on disk (0 without a disk tier).
+    pub fn disk_len(&self) -> usize {
+        self.disk.as_ref().map_or(0, |d| d.index.len())
+    }
+
+    /// Total bytes currently persisted on disk.
+    pub fn disk_bytes(&self) -> u64 {
+        self.disk.as_ref().map_or(0, |d| d.total_bytes)
     }
 }
 
@@ -203,5 +518,136 @@ mod tests {
         cache.insert(key(1), counts(1));
         assert!(cache.is_empty());
         assert_eq!(cache.get(&key(1)), None);
+    }
+
+    /// A unique scratch directory under the system temp dir; removed on
+    /// drop so failed runs do not accumulate state.
+    struct TempDir(PathBuf);
+
+    impl TempDir {
+        fn new(tag: &str) -> TempDir {
+            use std::sync::atomic::{AtomicU64, Ordering};
+            static SEQ: AtomicU64 = AtomicU64::new(0);
+            let dir = std::env::temp_dir().join(format!(
+                "compas-cache-{tag}-{}-{}",
+                std::process::id(),
+                SEQ.fetch_add(1, Ordering::Relaxed)
+            ));
+            std::fs::create_dir_all(&dir).unwrap();
+            TempDir(dir)
+        }
+
+        fn path(&self) -> &PathBuf {
+            &self.0
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    #[test]
+    fn disk_entries_survive_a_reopen() {
+        let dir = TempDir::new("reopen");
+        {
+            let mut cache = ResultCache::with_disk(4, DiskCacheConfig::new(dir.path()));
+            cache.insert(key(1), counts(7));
+            cache.insert(key(2), counts(9));
+            assert_eq!(cache.disk_len(), 2);
+        }
+        // Fresh cache, same directory: memory is cold, disk is warm.
+        let mut cache = ResultCache::with_disk(4, DiskCacheConfig::new(dir.path()));
+        assert!(cache.is_empty(), "memory tier starts cold");
+        assert_eq!(cache.disk_len(), 2);
+        assert_eq!(cache.get(&key(1)), Some(counts(7)));
+        assert_eq!(cache.get(&key(2)), Some(counts(9)));
+        // The disk hit was promoted: now resident in memory too.
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn corrupt_and_truncated_files_are_ignored_not_fatal() {
+        let dir = TempDir::new("corrupt");
+        {
+            let mut cache = ResultCache::with_disk(4, DiskCacheConfig::new(dir.path()));
+            cache.insert(key(1), counts(7));
+        }
+        // Damage the entry, strand a half-write, and drop in garbage.
+        let entry = std::fs::read_dir(dir.path())
+            .unwrap()
+            .flatten()
+            .map(|e| e.path())
+            .find(|p| p.extension().is_some_and(|e| e == "json"))
+            .unwrap();
+        let text = std::fs::read_to_string(&entry).unwrap();
+        std::fs::write(&entry, &text[..text.len() / 2]).unwrap();
+        std::fs::write(dir.path().join(".tmp-stranded.json"), "{\"half\":").unwrap();
+        std::fs::write(dir.path().join("not-json.json"), "hello").unwrap();
+        let mut cache = ResultCache::with_disk(4, DiskCacheConfig::new(dir.path()));
+        assert_eq!(cache.disk_len(), 0, "damaged entries must not be indexed");
+        assert_eq!(cache.get(&key(1)), None, "truncated entry reads as a miss");
+        // The damaged files were deleted, and the cache still works.
+        assert_eq!(std::fs::read_dir(dir.path()).unwrap().count(), 0);
+        cache.insert(key(1), counts(7));
+        assert_eq!(cache.disk_len(), 1);
+    }
+
+    #[test]
+    fn disk_eviction_respects_the_size_bound() {
+        let dir = TempDir::new("evict");
+        let entry_bytes = {
+            let mut probe = ResultCache::with_disk(8, DiskCacheConfig::new(dir.path()));
+            probe.insert(key(0), counts(1));
+            probe.disk_bytes()
+        };
+        assert!(entry_bytes > 0);
+        // Room for three entries (all entries here encode to the same
+        // few bytes, give or take single-digit count widths).
+        let config = DiskCacheConfig {
+            dir: dir.path().clone(),
+            max_bytes: entry_bytes * 3 + entry_bytes / 2,
+        };
+        let mut cache = ResultCache::with_disk(8, config.clone());
+        for fp in 1..=6 {
+            cache.insert(key(fp), counts(1));
+        }
+        assert!(
+            cache.disk_bytes() <= config.max_bytes,
+            "bound violated: {} > {}",
+            cache.disk_bytes(),
+            config.max_bytes
+        );
+        assert!(cache.disk_len() < 6, "some entries must have been evicted");
+        // The most recent inserts survived; the oldest did not.
+        let on_disk: Vec<bool> = (1..=6)
+            .map(|fp| {
+                ResultCache::with_disk(8, config.clone())
+                    .get(&key(fp))
+                    .is_some()
+            })
+            .collect();
+        assert!(!on_disk[0], "oldest entry should be evicted");
+        assert!(on_disk[5], "newest entry must survive");
+    }
+
+    #[test]
+    fn disk_round_trip_preserves_the_exact_key_and_tallies() {
+        let dir = TempDir::new("roundtrip");
+        let key = CacheKey {
+            circuit_fp: u64::MAX - 3, // exercises >2^53 fingerprints
+            backend: "stabilizer",
+            shots: 12_345,
+            root_seed: 99,
+            start: 4_096,
+        };
+        let tallies: Counts = [(0usize, 6000), (5, 6345)].into_iter().collect();
+        {
+            let mut cache = ResultCache::with_disk(4, DiskCacheConfig::new(dir.path()));
+            cache.insert(key.clone(), tallies.clone());
+        }
+        let mut cache = ResultCache::with_disk(4, DiskCacheConfig::new(dir.path()));
+        assert_eq!(cache.get(&key), Some(tallies));
     }
 }

@@ -27,13 +27,17 @@
 //!
 //! 1. [`scheduler`] — bounded job admission with explicit backpressure
 //!    (`busy` + retry hint when full), **shot-slicing** of large jobs
-//!    into ranged chunks rotated round-robin for fairness across
-//!    clients, and **coalescing** of concurrently queued identical
-//!    requests onto one execution;
+//!    into ranged chunks, **two-level round-robin** rotation (across
+//!    client identities, then across each client's jobs) with a
+//!    per-client in-flight shot quota, and **coalescing** of
+//!    concurrently queued identical requests onto one execution;
 //! 2. [`cache`] — a content-addressed LRU result cache keyed by the
 //!    canonical circuit fingerprint + seed + shots + resolved backend,
-//!    with hit/miss counters;
-//! 3. [`server`] — the TCP acceptor, per-connection handlers, and the
+//!    with hit/miss counters and an optional **disk spill** so a
+//!    restarted server serves previously-computed results warm;
+//! 3. [`server`] — the evented front end: a single `crates/reactor`
+//!    I/O thread multiplexing every connection over `poll(2)`, a
+//!    submitter pool for (possibly compiling) admissions, and the
 //!    worker pool that replays compiled jobs (each job is compiled
 //!    **once** at admission — fused statevector kernels, stabilizer
 //!    plan, or once-evolved density matrix — and every slice replays
@@ -65,10 +69,10 @@ pub mod scheduler;
 pub mod server;
 
 pub use admission::{admit, Admitted};
-pub use protocol::{Op, Request, Response, RunRequest, ServiceStats, WorkerRow};
+pub use cache::DiskCacheConfig;
+pub use protocol::{ClientRow, Op, Request, Response, RunRequest, ServiceStats, WorkerRow};
 pub use scheduler::{
-    PreparedJob, Scheduler, SchedulerConfig, Submission, MAX_REQUEST_CBITS, MAX_REQUEST_QUBITS,
+    PreparedJob, Responder, Scheduler, SchedulerConfig, Submission, MAX_REQUEST_CBITS,
+    MAX_REQUEST_QUBITS,
 };
-pub use server::{
-    read_framed_request, FramedRequest, Service, ServiceConfig, ServiceHandle, MAX_LINE_BYTES,
-};
+pub use server::{decode_line, Service, ServiceConfig, ServiceHandle, MAX_LINE_BYTES};

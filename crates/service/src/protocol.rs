@@ -24,6 +24,13 @@
 //! (`engine::Backend::parse` names). `qasm`, `shots`, and `root_seed`
 //! are required for runs.
 //!
+//! `client` is an optional identity string for fair-share accounting:
+//! the scheduler round-robins shot slices *across clients* and bounds
+//! each client's in-flight shots (quota). It is deliberately **not**
+//! echoed on `ok` responses and is not part of the result's identity —
+//! two clients submitting the same job coalesce onto one execution and
+//! receive byte-identical tallies.
+//!
 //! `shot_range: [start, end)` restricts execution to the **global**
 //! shot indices of a job rooted at `root_seed` (the sharding
 //! extension): the tallies are exactly the ranged slice of the full
@@ -94,6 +101,11 @@ pub struct RunRequest {
     /// so a coordinator can partition `0..total` across workers and
     /// merge.
     pub shot_range: Option<(u64, u64)>,
+    /// Optional client identity for fair-share scheduling and quota
+    /// accounting. `None` joins the anonymous pool. Never part of the
+    /// result identity — responses are byte-identical whatever the
+    /// client string.
+    pub client: Option<String>,
 }
 
 impl RunRequest {
@@ -110,7 +122,15 @@ impl RunRequest {
             root_seed,
             backend: backend.into(),
             shot_range: None,
+            client: None,
         }
+    }
+
+    /// The same job tagged with a client identity (fair-share
+    /// scheduling key; see [`RunRequest::client`]).
+    pub fn with_client(mut self, client: impl Into<String>) -> RunRequest {
+        self.client = Some(client.into());
+        self
     }
 
     /// The same job restricted to the global shot indices
@@ -193,12 +213,17 @@ impl Request {
                         Some((start, end))
                     }
                 };
+                let client = match doc.get("client") {
+                    None | Some(Json::Null) => None,
+                    Some(v) => Some(v.as_str().ok_or("\"client\" must be a string")?.to_string()),
+                };
                 Op::Run(RunRequest {
                     qasm,
                     shots,
                     root_seed,
                     backend,
                     shot_range,
+                    client,
                 })
             }
             "stats" => Op::Stats,
@@ -231,6 +256,9 @@ impl Request {
                     Json::Arr(vec![Json::from_u64(start), Json::from_u64(end)]),
                 ));
             }
+            if let Some(client) = &run.client {
+                members.push(("client".into(), Json::str(client)));
+            }
         }
         let mut line = Json::Obj(members).to_compact();
         line.push('\n');
@@ -257,17 +285,35 @@ pub struct ServiceStats {
     pub coalesced: u64,
     /// Requests rejected with `busy` because the job queue was full.
     pub rejected_busy: u64,
+    /// Requests rejected with `busy` because the client's in-flight
+    /// shot quota was exhausted.
+    pub rejected_quota: u64,
     /// Malformed or unexecutable requests answered with `error`.
     pub errors: u64,
     /// Jobs currently admitted (queued or executing) — gauge.
     pub in_flight: u64,
-    /// Entries currently resident in the result cache — gauge.
+    /// Entries currently resident in the in-memory result cache —
+    /// gauge.
     pub cache_entries: u64,
+    /// Entries currently persisted in the on-disk result cache —
+    /// gauge (0 when disk spill is off).
+    pub cache_disk_entries: u64,
+    /// Reactor gauge: connections currently open.
+    pub open_connections: u64,
+    /// Reactor gauge: open connections with nothing buffered and no
+    /// request in flight.
+    pub idle_connections: u64,
+    /// Reactor gauge: connections holding a partial input line.
+    pub read_blocked: u64,
+    /// Reactor gauge: connections with unflushed output (slow
+    /// readers).
+    pub write_blocked: u64,
 }
 
 impl ServiceStats {
-    /// The schema's `(name, value)` pairs, in wire order.
-    fn fields(&self) -> [(&'static str, u64); 9] {
+    /// The schema's `(name, value)` pairs, in wire order. Public so
+    /// clients can render the counters without hard-coding the schema.
+    pub fn fields(&self) -> [(&'static str, u64); 15] {
         [
             ("received", self.received),
             ("completed", self.completed),
@@ -275,9 +321,15 @@ impl ServiceStats {
             ("cache_misses", self.cache_misses),
             ("coalesced", self.coalesced),
             ("rejected_busy", self.rejected_busy),
+            ("rejected_quota", self.rejected_quota),
             ("errors", self.errors),
             ("in_flight", self.in_flight),
             ("cache_entries", self.cache_entries),
+            ("cache_disk_entries", self.cache_disk_entries),
+            ("open_connections", self.open_connections),
+            ("idle_connections", self.idle_connections),
+            ("read_blocked", self.read_blocked),
+            ("write_blocked", self.write_blocked),
         ]
     }
 }
@@ -343,6 +395,60 @@ impl WorkerRow {
     }
 }
 
+/// One client's row in a `stats` response: quota counters for a
+/// fair-share identity the scheduler has seen. Rows are sorted by
+/// client name so the response bytes are deterministic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientRow {
+    /// The client identity (`""` is the anonymous pool).
+    pub client: String,
+    /// Jobs this client submitted that were admitted for execution.
+    pub admitted: u64,
+    /// Admitted jobs that ran to completion.
+    pub completed: u64,
+    /// Requests coalesced onto another job (not charged to quota).
+    pub coalesced: u64,
+    /// Requests rejected because the client's in-flight shot quota was
+    /// exhausted.
+    pub rejected_quota: u64,
+    /// Shots currently admitted and not yet completed — the quantity
+    /// the quota bounds. Gauge.
+    pub inflight_shots: u64,
+}
+
+impl ClientRow {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("client", Json::str(&self.client)),
+            ("admitted", Json::from_u64(self.admitted)),
+            ("completed", Json::from_u64(self.completed)),
+            ("coalesced", Json::from_u64(self.coalesced)),
+            ("rejected_quota", Json::from_u64(self.rejected_quota)),
+            ("inflight_shots", Json::from_u64(self.inflight_shots)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<ClientRow, String> {
+        let num = |key: &str| {
+            v.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("client row missing numeric \"{key}\""))
+        };
+        Ok(ClientRow {
+            client: v
+                .get("client")
+                .and_then(Json::as_str)
+                .ok_or("client row missing \"client\"")?
+                .to_string(),
+            admitted: num("admitted")?,
+            completed: num("completed")?,
+            coalesced: num("coalesced")?,
+            rejected_quota: num("rejected_quota")?,
+            inflight_shots: num("inflight_shots")?,
+        })
+    }
+}
+
 /// One response line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
@@ -388,6 +494,10 @@ pub enum Response {
         /// Per-worker rows — non-empty only on responses from a shard
         /// coordinator (omitted from the wire when empty).
         workers: Vec<WorkerRow>,
+        /// Per-client quota rows, sorted by client name — non-empty
+        /// once any run request has been admitted (omitted from the
+        /// wire when empty).
+        clients: Vec<ClientRow>,
     },
     /// Acknowledgement of a shutdown request (the last line the server
     /// writes on that connection).
@@ -448,7 +558,12 @@ impl Response {
                 push_id(&mut members, id);
                 members.push(("error".into(), Json::str(error)));
             }
-            Response::Stats { id, stats, workers } => {
+            Response::Stats {
+                id,
+                stats,
+                workers,
+                clients,
+            } => {
                 members.push(("status".into(), Json::str("stats")));
                 push_id(&mut members, id);
                 for (name, value) in stats.fields() {
@@ -458,6 +573,12 @@ impl Response {
                     members.push((
                         "workers".into(),
                         Json::Arr(workers.iter().map(WorkerRow::to_json).collect()),
+                    ));
+                }
+                if !clients.is_empty() {
+                    members.push((
+                        "clients".into(),
+                        Json::Arr(clients.iter().map(ClientRow::to_json).collect()),
                     ));
                 }
             }
@@ -549,9 +670,15 @@ impl Response {
                     cache_misses: num("cache_misses")?,
                     coalesced: num("coalesced")?,
                     rejected_busy: num("rejected_busy")?,
+                    rejected_quota: num("rejected_quota")?,
                     errors: num("errors")?,
                     in_flight: num("in_flight")?,
                     cache_entries: num("cache_entries")?,
+                    cache_disk_entries: num("cache_disk_entries")?,
+                    open_connections: num("open_connections")?,
+                    idle_connections: num("idle_connections")?,
+                    read_blocked: num("read_blocked")?,
+                    write_blocked: num("write_blocked")?,
                 },
                 workers: match doc.get("workers") {
                     None | Some(Json::Null) => Vec::new(),
@@ -560,6 +687,15 @@ impl Response {
                         .ok_or("\"workers\" must be an array")?
                         .iter()
                         .map(WorkerRow::from_json)
+                        .collect::<Result<Vec<_>, String>>()?,
+                },
+                clients: match doc.get("clients") {
+                    None | Some(Json::Null) => Vec::new(),
+                    Some(v) => v
+                        .as_arr()
+                        .ok_or("\"clients\" must be an array")?
+                        .iter()
+                        .map(ClientRow::from_json)
                         .collect::<Result<Vec<_>, String>>()?,
                 },
             }),
@@ -694,14 +830,22 @@ mod tests {
                 cache_misses: 4,
                 coalesced: 1,
                 rejected_busy: 1,
+                rejected_quota: 2,
                 errors: 1,
                 in_flight: 0,
                 cache_entries: 4,
+                cache_disk_entries: 6,
+                open_connections: 3,
+                idle_connections: 2,
+                read_blocked: 0,
+                write_blocked: 1,
             },
             workers: Vec::new(),
+            clients: Vec::new(),
         };
         let line = stats.to_line();
         assert!(!line.contains("workers"), "empty rows must be omitted");
+        assert!(!line.contains("clients"), "empty rows must be omitted");
         assert_eq!(Response::from_line(&line).unwrap(), stats);
 
         let bye = Response::Bye {
@@ -731,11 +875,58 @@ mod tests {
                     alive: false,
                 },
             ],
+            clients: Vec::new(),
         };
         let line = stats.to_line();
         assert!(
             line.contains("\"workers\":[{\"addr\":\"10.0.0.2:7878\""),
             "{line}"
+        );
+        assert_eq!(Response::from_line(&line).unwrap(), stats);
+    }
+
+    #[test]
+    fn client_identities_ride_run_requests_and_stats_rows() {
+        // `client` rides the request wire format…
+        let req = Request::run(
+            None,
+            RunRequest::new("x", 100, 7, "auto").with_client("tenant-a"),
+        );
+        let line = req.to_line();
+        assert!(line.contains("\"client\":\"tenant-a\""), "{line}");
+        assert_eq!(Request::from_line(&line).unwrap(), req);
+        // …is absent when unset…
+        let anon = Request::run(None, RunRequest::new("x", 100, 7, "auto"));
+        assert!(!anon.to_line().contains("client"));
+        assert_eq!(Request::from_line(&anon.to_line()).unwrap(), anon);
+        // …and per-client quota rows ride stats responses.
+        let stats = Response::Stats {
+            id: None,
+            stats: ServiceStats::default(),
+            workers: Vec::new(),
+            clients: vec![
+                ClientRow {
+                    client: String::new(),
+                    admitted: 2,
+                    completed: 2,
+                    coalesced: 0,
+                    rejected_quota: 0,
+                    inflight_shots: 0,
+                },
+                ClientRow {
+                    client: "tenant-a".into(),
+                    admitted: 5,
+                    completed: 3,
+                    coalesced: 1,
+                    rejected_quota: 4,
+                    inflight_shots: 2048,
+                },
+            ],
+        };
+        let line = stats.to_line();
+        assert!(
+            line.contains("\"clients\":[{\"client\":\"\""),
+            "rows must be sorted by client name: {line}"
         );
         assert_eq!(Response::from_line(&line).unwrap(), stats);
     }

@@ -19,14 +19,28 @@
 //!    [`CacheKey`]: canonical circuit, backend, shots, seed) attaches
 //!    to that job as an extra waiter instead of executing again;
 //!    determinism guarantees every waiter receives the same tallies.
+//! 4. **Per-client fair share.** Jobs are grouped by the request's
+//!    `client` identity (absent ⇒ the anonymous client `""`), and
+//!    slices round-robin across *clients* first, then across each
+//!    client's jobs — so a client submitting ten jobs gets the same
+//!    slice cadence as one submitting one. A per-client in-flight shot
+//!    quota ([`SchedulerConfig::client_quota_shots`]) additionally
+//!    bounds how much queued work a single identity can hold; beyond
+//!    it, that client's *distinct* new jobs are rejected `busy`
+//!    (coalescing onto in-flight work stays free — it costs nothing).
+//!
+//! The interleaving is deterministic: admission order fixes the
+//! client ring and each client's job queue, so a given submission
+//! sequence always carves the same slice sequence.
 //!
 //! The scheduler is a passive `Mutex`+`Condvar` structure: connection
-//! threads call [`Scheduler::submit`], the server's worker pool drains
+//! threads call [`Scheduler::submit`] (or the reactor's non-blocking
+//! twin [`Scheduler::submit_async`]), the server's worker pool drains
 //! [`Scheduler::next_slice`] / [`Scheduler::complete_slice`].
 
 use crate::admission::admit;
-use crate::cache::{CacheKey, ResultCache};
-use crate::protocol::{Response, RunRequest, ServiceStats};
+use crate::cache::{CacheKey, DiskCacheConfig, ResultCache};
+use crate::protocol::{ClientRow, Response, RunRequest, ServiceStats};
 use circuit::caps::Unsupported;
 use circuit::circuit::Circuit;
 use engine::{Backend, Counts, Engine, ShotPlan, TraceSink};
@@ -60,6 +74,15 @@ pub struct SchedulerConfig {
     pub slice_shots: u64,
     /// Result-cache capacity in entries (0 disables caching).
     pub cache_capacity: usize,
+    /// Most in-flight (queued + executing) shots one client identity
+    /// may hold; a distinct new job that would exceed it is rejected
+    /// `busy` and counted in `rejected_quota`. `u64::MAX` (the
+    /// default) disables the quota.
+    pub client_quota_shots: u64,
+    /// Optional disk tier for the result cache: completed results are
+    /// persisted (write-through) and a restarted scheduler serves them
+    /// warm. `None` keeps the cache memory-only.
+    pub disk: Option<DiskCacheConfig>,
     /// Optional shot-trace recorder. When set, every executed slice
     /// also delivers its per-shot records here (global shot indices, so
     /// a sliced job's records union to the full run). Recording is
@@ -74,6 +97,8 @@ impl Default for SchedulerConfig {
             queue_capacity: 32,
             slice_shots: 4096,
             cache_capacity: 256,
+            client_quota_shots: u64::MAX,
+            disk: None,
             trace_sink: None,
         }
     }
@@ -85,6 +110,8 @@ impl std::fmt::Debug for SchedulerConfig {
             .field("queue_capacity", &self.queue_capacity)
             .field("slice_shots", &self.slice_shots)
             .field("cache_capacity", &self.cache_capacity)
+            .field("client_quota_shots", &self.client_quota_shots)
+            .field("disk", &self.disk)
             .field("trace_sink", &self.trace_sink.as_ref().map(|_| "..."))
             .finish()
     }
@@ -223,6 +250,10 @@ pub struct SliceTask {
     /// The job's identity (hand back to
     /// [`Scheduler::complete_slice`]).
     pub key: CacheKey,
+    /// The client identity the slice is charged to (`""` for
+    /// anonymous requests) — exposed so fairness tests can assert the
+    /// interleaving.
+    pub client: String,
     /// The compiled job (shared, read-only).
     pub prepared: Arc<PreparedJob>,
     /// Global shot indices to execute.
@@ -243,14 +274,56 @@ pub enum Submission {
     Pending(mpsc::Receiver<Response>),
 }
 
+/// Where a pending job's response goes when its last slice lands.
+///
+/// The blocking [`Scheduler::submit`] path waits on a channel; the
+/// reactor path ([`Scheduler::submit_async`]) hands over a one-shot
+/// callback that resolves the connection's reply slot. Either way the
+/// scheduler fires it exactly once — or drops it on shutdown, which a
+/// channel receiver observes as disconnection and a callback owner
+/// handles via its abandoned-reply hook.
+pub enum Responder {
+    /// Deliver on an in-process channel.
+    Channel(mpsc::Sender<Response>),
+    /// Invoke a one-shot callback (must not block).
+    Callback(Box<dyn FnOnce(Response) + Send>),
+}
+
+impl Responder {
+    /// Fires the responder. A hung-up channel receiver is ignored —
+    /// the waiter's connection died, nobody is listening.
+    pub fn respond(self, response: Response) {
+        match self {
+            Responder::Channel(tx) => {
+                let _ = tx.send(response);
+            }
+            Responder::Callback(callback) => callback(response),
+        }
+    }
+}
+
 struct Waiter {
-    tx: mpsc::Sender<Response>,
+    responder: Responder,
     id: Option<String>,
     coalesced: bool,
 }
 
+/// Per-client counters behind the `stats` op's `clients` rows.
+#[derive(Default)]
+struct ClientTally {
+    admitted: u64,
+    completed: u64,
+    coalesced: u64,
+    rejected_quota: u64,
+    /// Shots of this client's jobs currently queued or executing —
+    /// the quantity the quota bounds.
+    inflight_shots: u64,
+}
+
 struct Job {
     prepared: Arc<PreparedJob>,
+    /// The identity the job is charged to (`""` for anonymous).
+    client: String,
     /// Exclusive global end of the job's shot range (`key.start +
     /// key.shots`).
     end: u64,
@@ -265,12 +338,35 @@ struct Job {
 
 struct Inner {
     config: SchedulerConfig,
-    /// Round-robin order of jobs that still have unsliced shots.
-    queue: VecDeque<CacheKey>,
+    /// Round-robin ring of clients that have jobs with unsliced shots.
+    /// Invariant: `ring` holds exactly the keys of `client_queues`
+    /// (each of which is non-empty), in rotation order.
+    ring: VecDeque<String>,
+    /// Per-client round-robin order of that client's unsliced jobs.
+    client_queues: HashMap<String, VecDeque<CacheKey>>,
+    client_stats: HashMap<String, ClientTally>,
     jobs: HashMap<CacheKey, Job>,
     cache: ResultCache,
     stats: ServiceStats,
     shutdown: bool,
+}
+
+impl Inner {
+    fn tally(&mut self, client: &str) -> &mut ClientTally {
+        // `raw_entry` would avoid the miss-path allocation, but it is
+        // unstable; clients are few and the map is hot in cache.
+        self.client_stats.entry(client.to_string()).or_default()
+    }
+}
+
+/// How [`Scheduler::try_attach`] settled (or didn't).
+enum Attach {
+    /// Cache hit: the response is ready.
+    Hit(Response),
+    /// Joined an identical in-flight job (the responder was consumed).
+    Joined,
+    /// No identical work exists; proceed to admission.
+    Miss,
 }
 
 /// The shared scheduling state. Cheap to clone (`Arc` internally).
@@ -280,14 +376,22 @@ pub struct Scheduler {
 }
 
 impl Scheduler {
-    /// A fresh scheduler with the given knobs.
+    /// A fresh scheduler with the given knobs. With
+    /// [`SchedulerConfig::disk`] set, the result cache opens (and
+    /// scans) the spill directory — a previous process's results are
+    /// warm immediately.
     pub fn new(config: SchedulerConfig) -> Self {
-        let cache = ResultCache::new(config.cache_capacity);
+        let cache = match config.disk.clone() {
+            Some(disk) => ResultCache::with_disk(config.cache_capacity, disk),
+            None => ResultCache::new(config.cache_capacity),
+        };
         Scheduler {
             shared: Arc::new((
                 Mutex::new(Inner {
                     config,
-                    queue: VecDeque::new(),
+                    ring: VecDeque::new(),
+                    client_queues: HashMap::new(),
+                    client_stats: HashMap::new(),
                     jobs: HashMap::new(),
                     cache,
                     stats: ServiceStats::default(),
@@ -304,8 +408,41 @@ impl Scheduler {
 
     /// Admits one run request: serves it from cache, coalesces it onto
     /// an identical in-flight job, rejects it with `busy`, or queues
-    /// it for execution.
+    /// it for execution. Blocking-channel form; the reactor path uses
+    /// [`Scheduler::submit_async`].
     pub fn submit(&self, id: Option<String>, run: &RunRequest) -> Submission {
+        let (tx, rx) = mpsc::channel();
+        let mut responder = Some(Responder::Channel(tx));
+        match self.submit_core(id, run, &mut responder) {
+            Some(response) => Submission::Immediate(response),
+            None => Submission::Pending(rx),
+        }
+    }
+
+    /// Non-blocking twin of [`Scheduler::submit`]: the response —
+    /// immediate or eventual — is delivered through `responder`, and
+    /// the call itself never waits on execution (only on the scheduler
+    /// lock, which is held for queue surgery, never for simulation).
+    pub fn submit_async(&self, id: Option<String>, run: &RunRequest, responder: Responder) {
+        let mut slot = Some(responder);
+        if let Some(response) = self.submit_core(id, run, &mut slot) {
+            let responder = slot.take().expect("immediate settle leaves the responder");
+            responder.respond(response);
+        }
+    }
+
+    /// The shared admission path. `Some` is an immediate response
+    /// (`responder` untouched); `None` means the job was queued or
+    /// joined and `responder` was consumed.
+    fn submit_core(
+        &self,
+        id: Option<String>,
+        run: &RunRequest,
+        responder: &mut Option<Responder>,
+    ) -> Option<Response> {
+        // The fair-share identity. `None` and `""` are the same
+        // anonymous client by construction.
+        let client = run.client.clone().unwrap_or_default();
         // Parse and canonicalize outside the lock — this is the
         // expensive part, and it needs no shared state. The pipeline
         // (backend parse, QASM parse, serving limits, shot-range
@@ -317,7 +454,7 @@ impl Scheduler {
                 let mut inner = self.lock();
                 inner.stats.received += 1;
                 inner.stats.errors += 1;
-                return Submission::Immediate(Response::Error { id, error });
+                return Some(Response::Error { id, error });
             }
         };
         let key = admitted.key.clone();
@@ -326,31 +463,26 @@ impl Scheduler {
         {
             let mut inner = self.lock();
             inner.stats.received += 1;
-            if let Some(sub) = self.try_attach(&mut inner, &key, id.clone()) {
-                return sub;
+            match self.try_attach(&mut inner, &key, id.clone(), &client, responder) {
+                Attach::Hit(response) => return Some(response),
+                Attach::Joined => return None,
+                Attach::Miss => {}
             }
             if inner.shutdown {
                 inner.stats.errors += 1;
-                return Submission::Immediate(Response::Error {
+                return Some(Response::Error {
                     id,
                     error: "server is shutting down".to_string(),
                 });
             }
-            if inner.jobs.len() >= inner.config.queue_capacity {
-                inner.stats.rejected_busy += 1;
-                let in_flight = inner.jobs.len() as u64;
-                // Crude hint: assume each in-flight job takes ~25 ms.
-                return Submission::Immediate(Response::Busy {
-                    id,
-                    in_flight,
-                    retry_after_ms: 25 * in_flight.max(1),
-                });
+            if let Some(response) = Self::check_admission(&mut inner, &key, &client, id.clone()) {
+                return Some(response);
             }
             if run.shots == 0 {
                 // Trivially complete; nothing to queue or cache.
                 inner.stats.cache_misses += 1;
                 inner.stats.completed += 1;
-                return Submission::Immediate(Response::Ok {
+                return Some(Response::Ok {
                     id,
                     backend: key.backend.to_string(),
                     shots: 0,
@@ -374,92 +506,140 @@ impl Scheduler {
             Err(err) => {
                 let mut inner = self.lock();
                 inner.stats.errors += 1;
-                return Submission::Immediate(Response::Error {
+                return Some(Response::Error {
                     id,
                     error: err.to_string(),
                 });
             }
         };
         let mut inner = self.lock();
-        if let Some(sub) = self.try_attach(&mut inner, &key, id.clone()) {
-            return sub;
+        match self.try_attach(&mut inner, &key, id.clone(), &client, responder) {
+            Attach::Hit(response) => return Some(response),
+            Attach::Joined => return None,
+            Attach::Miss => {}
         }
         if inner.shutdown {
             // Shutdown raced the compile: with the workers gone, a
             // queued job would strand its waiter forever.
             inner.stats.errors += 1;
-            return Submission::Immediate(Response::Error {
+            return Some(Response::Error {
                 id,
                 error: "server is shutting down".to_string(),
             });
         }
-        if inner.jobs.len() >= inner.config.queue_capacity {
-            inner.stats.rejected_busy += 1;
-            let in_flight = inner.jobs.len() as u64;
-            return Submission::Immediate(Response::Busy {
-                id,
-                in_flight,
-                retry_after_ms: 25 * in_flight.max(1),
-            });
+        if let Some(response) = Self::check_admission(&mut inner, &key, &client, id.clone()) {
+            return Some(response);
         }
         inner.stats.cache_misses += 1;
-        let (tx, rx) = mpsc::channel();
+        {
+            let tally = inner.tally(&client);
+            tally.admitted += 1;
+            tally.inflight_shots += key.shots;
+        }
         inner.jobs.insert(
             key.clone(),
             Job {
                 prepared,
+                client: client.clone(),
                 end: admitted.shot_end(),
                 next_shot: key.start,
                 outstanding: 0,
                 partial: Counts::new(),
                 waiters: vec![Waiter {
-                    tx,
+                    responder: responder.take().expect("responder available to enqueue"),
                     id,
                     coalesced: false,
                 }],
             },
         );
-        inner.queue.push_back(key);
+        let fresh_client = !inner.client_queues.contains_key(&client);
+        inner
+            .client_queues
+            .entry(client.clone())
+            .or_default()
+            .push_back(key);
+        if fresh_client {
+            inner.ring.push_back(client);
+        }
         self.shared.1.notify_all();
-        Submission::Pending(rx)
+        None
     }
 
-    /// Cache lookup + coalescing check, under the lock. `Some` means
-    /// the submission was settled here.
+    /// Capacity and quota gates, under the lock. `Some` is a `busy`
+    /// rejection.
+    fn check_admission(
+        inner: &mut Inner,
+        key: &CacheKey,
+        client: &str,
+        id: Option<String>,
+    ) -> Option<Response> {
+        let in_flight = inner.jobs.len() as u64;
+        // Crude hint: assume each in-flight job takes ~25 ms.
+        let retry_after_ms = 25 * in_flight.max(1);
+        if inner.jobs.len() >= inner.config.queue_capacity {
+            inner.stats.rejected_busy += 1;
+            return Some(Response::Busy {
+                id,
+                in_flight,
+                retry_after_ms,
+            });
+        }
+        let quota = inner.config.client_quota_shots;
+        if key.shots > 0 && inner.tally(client).inflight_shots.saturating_add(key.shots) > quota {
+            inner.stats.rejected_quota += 1;
+            inner.tally(client).rejected_quota += 1;
+            return Some(Response::Busy {
+                id,
+                in_flight,
+                retry_after_ms,
+            });
+        }
+        None
+    }
+
+    /// Cache lookup + coalescing check, under the lock.
     fn try_attach(
         &self,
         inner: &mut Inner,
         key: &CacheKey,
         id: Option<String>,
-    ) -> Option<Submission> {
+        client: &str,
+        responder: &mut Option<Responder>,
+    ) -> Attach {
         if let Some(tallies) = inner.cache.get(key) {
             inner.stats.cache_hits += 1;
-            return Some(Submission::Immediate(Response::Ok {
+            return Attach::Hit(Response::Ok {
                 id,
                 backend: key.backend.to_string(),
                 shots: key.shots,
                 cached: true,
                 coalesced: false,
                 tallies,
-            }));
+            });
         }
-        if let Some(job) = inner.jobs.get_mut(key) {
+        if inner.jobs.contains_key(key) {
             inner.stats.coalesced += 1;
-            let (tx, rx) = mpsc::channel();
+            // Coalescing is free — the work runs once regardless — so
+            // it is never charged against the client's quota.
+            inner.tally(client).coalesced += 1;
+            let job = inner.jobs.get_mut(key).expect("job just found");
             job.waiters.push(Waiter {
-                tx,
+                responder: responder.take().expect("responder available to join"),
                 id,
                 coalesced: true,
             });
-            return Some(Submission::Pending(rx));
+            return Attach::Joined;
         }
-        None
+        Attach::Miss
     }
 
     /// Blocks until a slice is available (or shutdown), then claims
-    /// it. Jobs rotate round-robin: after a slice is carved from the
-    /// front job, the job goes to the back of the queue if shots
-    /// remain — a long job cannot convoy short ones.
+    /// it. The rotation is two-level round-robin: the front *client*
+    /// of the ring yields a slice of its front job, then the job goes
+    /// to the back of that client's queue if shots remain and the
+    /// client goes to the back of the ring if jobs remain — a greedy
+    /// client cannot convoy a light one, and a long job cannot convoy
+    /// short ones within a client.
     ///
     /// Returns `None` on shutdown — the worker should exit.
     pub fn next_slice(&self) -> Option<SliceTask> {
@@ -468,20 +648,41 @@ impl Scheduler {
             if inner.shutdown {
                 return None;
             }
-            if let Some(key) = inner.queue.pop_front() {
+            if let Some(client) = inner.ring.pop_front() {
                 let slice = inner.config.slice_shots.max(1);
+                let key = inner
+                    .client_queues
+                    .get_mut(&client)
+                    .expect("ring client has a queue")
+                    .pop_front()
+                    .expect("ring queues are non-empty");
                 let job = inner.jobs.get_mut(&key).expect("queued job exists");
                 let start = job.next_shot;
                 let end = (start + slice).min(job.end);
+                let job_end = job.end;
                 job.next_shot = end;
                 job.outstanding += 1;
                 let prepared = job.prepared.clone();
-                if end < job.end {
-                    inner.queue.push_back(key.clone());
+                if end < job_end {
+                    inner
+                        .client_queues
+                        .get_mut(&client)
+                        .expect("queue still present")
+                        .push_back(key.clone());
+                }
+                let exhausted = inner
+                    .client_queues
+                    .get(&client)
+                    .is_none_or(|queue| queue.is_empty());
+                if exhausted {
+                    inner.client_queues.remove(&client);
+                } else {
+                    inner.ring.push_back(client.clone());
                 }
                 let sink = inner.config.trace_sink.clone();
                 return Some(SliceTask {
                     key,
+                    client,
                     prepared,
                     range: start..end,
                     sink,
@@ -510,9 +711,14 @@ impl Scheduler {
             let job = inner.jobs.remove(key).expect("job present");
             inner.cache.insert(key.clone(), job.partial.clone());
             inner.stats.completed += 1;
+            {
+                let tally = inner.tally(&job.client);
+                tally.completed += 1;
+                tally.inflight_shots = tally.inflight_shots.saturating_sub(key.shots);
+            }
             for waiter in job.waiters {
                 // A waiter whose connection died just drops the send.
-                let _ = waiter.tx.send(Response::Ok {
+                waiter.responder.respond(Response::Ok {
                     id: waiter.id,
                     backend: key.backend.to_string(),
                     shots: key.shots,
@@ -532,23 +738,51 @@ impl Scheduler {
         inner.stats.errors += 1;
     }
 
-    /// Counter snapshot (gauges filled at read time).
+    /// Counter snapshot (gauges filled at read time; the reactor's
+    /// connection gauges are merged in by the serving layer).
     pub fn stats(&self) -> ServiceStats {
         let inner = self.lock();
         let mut stats = inner.stats;
         stats.in_flight = inner.jobs.len() as u64;
         stats.cache_entries = inner.cache.len() as u64;
+        stats.cache_disk_entries = inner.cache.disk_len() as u64;
         stats
     }
 
+    /// Per-client counter rows for the `stats` op, sorted by client
+    /// name (the anonymous client `""` sorts first).
+    pub fn client_rows(&self) -> Vec<ClientRow> {
+        let inner = self.lock();
+        let mut rows: Vec<ClientRow> = inner
+            .client_stats
+            .iter()
+            .map(|(name, tally)| ClientRow {
+                client: name.clone(),
+                admitted: tally.admitted,
+                completed: tally.completed,
+                coalesced: tally.coalesced,
+                rejected_quota: tally.rejected_quota,
+                inflight_shots: tally.inflight_shots,
+            })
+            .collect();
+        rows.sort_by(|a, b| a.client.cmp(&b.client));
+        rows
+    }
+
     /// Stops the scheduler: wakes all workers (they observe shutdown
-    /// and exit), drops queued jobs, and fails their waiters (their
-    /// receivers see a closed channel).
+    /// and exit), drops queued jobs, and fails their waiters (channel
+    /// receivers see disconnection; callback responders fire their
+    /// owner's abandoned-reply path on drop).
     pub fn shutdown(&self) {
         let mut inner = self.lock();
         inner.shutdown = true;
-        inner.queue.clear();
+        inner.ring.clear();
+        inner.client_queues.clear();
         inner.jobs.clear();
+        // No job survives shutdown, so no shots are in flight.
+        for tally in inner.client_stats.values_mut() {
+            tally.inflight_shots = 0;
+        }
         self.shared.1.notify_all();
     }
 

@@ -1,14 +1,21 @@
-//! The TCP front end: acceptor, connection handlers, worker pool.
+//! The evented TCP front end: one reactor thread, a submitter pool,
+//! and the execution worker pool.
 //!
 //! [`Service::spawn`] binds a listener and starts three kinds of
 //! threads:
 //!
-//! * one **acceptor** looping on `accept` and spawning a handler per
-//!   connection;
-//! * one **handler per connection**, reading newline-delimited JSON
-//!   requests, submitting them to the [`Scheduler`], and writing one
-//!   response line per request (requests on one connection are served
-//!   in order; submit concurrently over multiple connections);
+//! * one **reactor** thread (`crates/reactor`) multiplexing every
+//!   connection over a single `poll(2)` loop — framing newline-JSON
+//!   requests, answering `stats`/`shutdown` inline, and keeping
+//!   per-connection replies in request order however the scheduler
+//!   reorders completions. Thread count is independent of connection
+//!   count: hundreds of idle clients cost file descriptors, not
+//!   stacks;
+//! * `submitters` **admission threads** draining run requests off the
+//!   reactor, since admission compiles circuits (statevector kernel
+//!   fusion, density evolution) — far too heavy for the I/O loop. The
+//!   response is delivered back to the reactor through the request's
+//!   [`Completion`] when the job's last slice lands;
 //! * `workers` **execution workers**, each looping
 //!   [`Scheduler::next_slice`] → [`PreparedJob::run_range`] →
 //!   [`Scheduler::complete_slice`] over the shared engine.
@@ -16,66 +23,37 @@
 //! Shutdown is cooperative: a `shutdown` request (or
 //! [`ServiceHandle::shutdown`]) stops the scheduler — workers observe
 //! it and exit, pending waiters fail with an error response — and
-//! wakes the acceptor, which stops accepting. Handler threads exit
-//! when their client disconnects.
+//! stops the reactor, which flushes outstanding replies before
+//! closing. The submitter pool exits when the reactor drops the
+//! request channel.
 //!
 //! [`PreparedJob::run_range`]: crate::scheduler::PreparedJob::run_range
+//! [`Completion`]: reactor::Completion
 
-use crate::protocol::{Op, Request, Response, ServiceStats};
-use crate::scheduler::{Scheduler, SchedulerConfig, Submission};
+use crate::cache::DiskCacheConfig;
+use crate::protocol::{Op, Request, Response, RunRequest, ServiceStats};
+use crate::scheduler::{Responder, Scheduler, SchedulerConfig};
 use engine::Engine;
-use std::io::{BufRead, BufReader, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use reactor::{Completion, Line, LineHandler, Reactor, ReactorConfig, ReactorCtl, ReactorHandle};
+use std::net::{SocketAddr, TcpListener};
+use std::path::PathBuf;
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// Longest accepted request line (bytes). A line that exceeds this is
 /// answered with an error and the connection is closed — a client that
 /// streams gigabytes without a newline cannot exhaust server memory.
 pub const MAX_LINE_BYTES: u64 = 8 * 1024 * 1024;
 
-/// One framed request line, as read by [`read_framed_request`].
-pub enum FramedRequest {
-    /// The peer closed the connection (or the socket failed): stop
-    /// serving it.
-    Closed,
-    /// The line exceeded [`MAX_LINE_BYTES`]. The rest of the oversized
-    /// line is still in flight with no way to resynchronize — answer
-    /// with an error and hang up.
-    Oversized,
-    /// A whitespace-only line: ignore it.
-    Blank,
-    /// A complete line: the decoded request, or the error message to
-    /// answer with (decode failure, invalid UTF-8).
-    Parsed(Result<Request, String>),
-}
-
-/// Reads and frames one request line: byte-capped, UTF-8-checked,
-/// decoded. Shared by this server's connection handler and the
-/// `crates/shard` coordinator front end, so both enforce identical
-/// framing limits.
-pub fn read_framed_request(reader: &mut impl BufRead) -> FramedRequest {
-    let mut raw = Vec::new();
-    // Read raw bytes (not a String): a line truncated at the byte cap
-    // — or containing invalid UTF-8 — must yield an error *response*,
-    // not an io::Error that silently drops the connection.
-    let mut limited = reader.take(MAX_LINE_BYTES);
-    match limited.read_until(b'\n', &mut raw) {
-        Ok(0) => return FramedRequest::Closed,
-        Ok(_) => {}
-        Err(_) => return FramedRequest::Closed,
-    }
-    if raw.len() as u64 >= MAX_LINE_BYTES && raw.last() != Some(&b'\n') {
-        return FramedRequest::Oversized;
-    }
-    let Ok(line) = std::str::from_utf8(&raw) else {
-        return FramedRequest::Parsed(Err("request line is not valid UTF-8".to_string()));
-    };
-    if line.trim().is_empty() {
-        return FramedRequest::Blank;
-    }
-    FramedRequest::Parsed(Request::from_line(line))
+/// Decodes one framed request line: UTF-8-checked, then JSON-decoded.
+/// Shared by this server's reactor handler and the `crates/shard`
+/// coordinator front end, so both speak identical wire rules. (Framing
+/// itself — byte caps, blank-line filtering — lives in the reactor.)
+pub fn decode_line(bytes: &[u8]) -> Result<Request, String> {
+    let line =
+        std::str::from_utf8(bytes).map_err(|_| "request line is not valid UTF-8".to_string())?;
+    Request::from_line(line)
 }
 
 /// Everything [`Service::spawn`] needs to know.
@@ -87,12 +65,31 @@ pub struct ServiceConfig {
     /// Execution workers. 0 admits jobs but never runs them —
     /// useful only for deterministic backpressure tests.
     pub workers: usize,
+    /// Admission (submit) threads draining run requests off the
+    /// reactor. These block on the scheduler lock and compile
+    /// circuits; 1 is correct, 2 hides one slow compile.
+    pub submitters: usize,
     /// Maximum in-flight jobs before `busy` rejections.
     pub queue_capacity: usize,
     /// Result-cache capacity in entries.
     pub cache_capacity: usize,
+    /// Optional disk spill directory for the result cache: completed
+    /// results persist across restarts (see
+    /// [`DiskCacheConfig`]).
+    pub cache_dir: Option<PathBuf>,
+    /// Size bound for the disk spill (bytes); LRU entries are deleted
+    /// to fit. Ignored without `cache_dir`.
+    pub cache_disk_bytes: u64,
     /// Shots per scheduling slice (fairness quantum).
     pub slice_shots: u64,
+    /// Most in-flight shots one client identity may hold (see
+    /// [`SchedulerConfig::client_quota_shots`]); `u64::MAX` disables
+    /// the quota.
+    pub client_quota_shots: u64,
+    /// Close connections idle longer than this.
+    pub idle_timeout: Duration,
+    /// Most simultaneous connections the reactor serves.
+    pub max_connections: usize,
     /// Engine each slice executes through. The default is sequential:
     /// parallelism comes from the worker pool, one slice per worker.
     pub engine: Engine,
@@ -106,12 +103,19 @@ pub struct ServiceConfig {
 impl Default for ServiceConfig {
     fn default() -> Self {
         let scheduler = SchedulerConfig::default();
+        let reactor = ReactorConfig::default();
         ServiceConfig {
             addr: "127.0.0.1:0".to_string(),
             workers: 2,
+            submitters: 2,
             queue_capacity: scheduler.queue_capacity,
             cache_capacity: scheduler.cache_capacity,
+            cache_dir: None,
+            cache_disk_bytes: 64 * 1024 * 1024,
             slice_shots: scheduler.slice_shots,
+            client_quota_shots: scheduler.client_quota_shots,
+            idle_timeout: reactor.idle_timeout,
+            max_connections: reactor.max_connections,
             engine: Engine::sequential(),
             trace_sink: None,
         }
@@ -123,29 +127,110 @@ impl std::fmt::Debug for ServiceConfig {
         f.debug_struct("ServiceConfig")
             .field("addr", &self.addr)
             .field("workers", &self.workers)
+            .field("submitters", &self.submitters)
             .field("queue_capacity", &self.queue_capacity)
             .field("cache_capacity", &self.cache_capacity)
+            .field("cache_dir", &self.cache_dir)
+            .field("cache_disk_bytes", &self.cache_disk_bytes)
             .field("slice_shots", &self.slice_shots)
+            .field("client_quota_shots", &self.client_quota_shots)
+            .field("idle_timeout", &self.idle_timeout)
+            .field("max_connections", &self.max_connections)
             .field("engine", &self.engine)
             .field("trace_sink", &self.trace_sink.as_ref().map(|_| "..."))
             .finish()
     }
 }
 
-struct Shared {
-    scheduler: Scheduler,
-    stopping: AtomicBool,
-    addr: SocketAddr,
+/// One run request in flight from the reactor to a submitter.
+struct SubmitTask {
+    id: Option<String>,
+    run: RunRequest,
+    completion: Completion,
 }
 
-impl Shared {
-    /// Initiates shutdown: stops the scheduler and wakes the acceptor
-    /// with a throwaway connection so it observes the flag.
-    fn begin_shutdown(&self) {
-        self.scheduler.shutdown();
-        if !self.stopping.swap(true, Ordering::SeqCst) {
-            let _ = TcpStream::connect(self.addr);
+/// The reactor-side protocol brain: runs on the I/O thread, so it must
+/// never block on execution. `stats` and `shutdown` are answered
+/// inline (lock-only); run requests are handed to the submitter pool.
+struct Handler {
+    scheduler: Scheduler,
+    ctl: ReactorCtl,
+    /// Owned by the handler alone: when the reactor loop exits and
+    /// drops it, the submitter pool sees a closed channel and exits.
+    submit: mpsc::Sender<SubmitTask>,
+}
+
+impl LineHandler for Handler {
+    fn on_line(&self, _conn: u64, line: Line, mut completion: Completion) {
+        let bytes = match line {
+            Line::Complete(bytes) => bytes,
+            Line::Oversized => {
+                self.scheduler.note_error();
+                let response = Response::Error {
+                    id: None,
+                    error: format!("request line exceeds {MAX_LINE_BYTES} bytes"),
+                };
+                completion.send_close(response.to_line().into_bytes());
+                return;
+            }
+        };
+        match decode_line(&bytes) {
+            Err(error) => {
+                self.scheduler.note_error();
+                let response = Response::Error { id: None, error };
+                completion.send(response.to_line().into_bytes());
+            }
+            Ok(Request { id, op: Op::Stats }) => {
+                let response = stats_response(id, &self.scheduler, &self.ctl);
+                completion.send(response.to_line().into_bytes());
+            }
+            Ok(Request {
+                id,
+                op: Op::Shutdown,
+            }) => {
+                completion.send_close(Response::Bye { id }.to_line().into_bytes());
+                self.scheduler.shutdown();
+                self.ctl.stop();
+            }
+            Ok(Request {
+                id,
+                op: Op::Run(run),
+            }) => {
+                // If the scheduler drops the job (shutdown) the
+                // completion comes back unresolved; this is the reply
+                // the peer gets instead of a silent close.
+                completion.set_abandoned_reply(
+                    Response::Error {
+                        id: id.clone(),
+                        error: "server shut down before the job completed".to_string(),
+                    }
+                    .to_line()
+                    .into_bytes(),
+                );
+                let _ = self.submit.send(SubmitTask {
+                    id,
+                    run,
+                    completion,
+                });
+            }
         }
+    }
+}
+
+/// A stats snapshot with the reactor's connection gauges and the
+/// per-client rows merged in.
+fn stats_response(id: Option<String>, scheduler: &Scheduler, ctl: &ReactorCtl) -> Response {
+    let mut stats = scheduler.stats();
+    let gauges = ctl.gauges();
+    stats.open_connections = gauges.open;
+    stats.idle_connections = gauges.idle;
+    stats.read_blocked = gauges.read_blocked;
+    stats.write_blocked = gauges.write_blocked;
+    Response::Stats {
+        id,
+        stats,
+        workers: Vec::new(),
+        clients: scheduler.client_rows(),
     }
 }
 
@@ -158,170 +243,180 @@ impl Service {
     ///
     /// # Errors
     ///
-    /// Propagates socket errors (bind/local_addr).
+    /// Propagates socket errors (bind/local_addr/pipe).
     pub fn spawn(config: ServiceConfig) -> std::io::Result<ServiceHandle> {
         let listener = TcpListener::bind(&config.addr)?;
-        let addr = listener.local_addr()?;
         let scheduler = Scheduler::new(SchedulerConfig {
             queue_capacity: config.queue_capacity,
             slice_shots: config.slice_shots,
             cache_capacity: config.cache_capacity,
+            client_quota_shots: config.client_quota_shots,
+            disk: config.cache_dir.clone().map(|dir| DiskCacheConfig {
+                dir,
+                max_bytes: config.cache_disk_bytes,
+            }),
             trace_sink: config.trace_sink.clone(),
         });
-        let shared = Arc::new(Shared {
-            scheduler: scheduler.clone(),
-            stopping: AtomicBool::new(false),
-            addr,
-        });
 
-        let workers: Vec<JoinHandle<()>> = (0..config.workers)
-            .map(|i| {
-                let scheduler = scheduler.clone();
-                let engine = config.engine.clone();
-                std::thread::Builder::new()
-                    .name(format!("service-worker-{i}"))
-                    .spawn(move || {
-                        while let Some(task) = scheduler.next_slice() {
-                            let counts = match &task.sink {
-                                Some(sink) => task.prepared.run_range_traced(
-                                    &engine,
-                                    task.range.clone(),
-                                    sink.as_ref(),
-                                ),
-                                None => task.prepared.run_range(&engine, task.range.clone()),
-                            };
-                            scheduler.complete_slice(&task.key, counts);
-                        }
-                    })
-                    .expect("spawn worker")
-            })
-            .collect();
+        let workers = spawn_workers("service-worker", config.workers, &scheduler, &config.engine);
 
-        let acceptor = {
-            let shared = shared.clone();
-            std::thread::Builder::new()
-                .name("service-acceptor".to_string())
-                .spawn(move || {
-                    for stream in listener.incoming() {
-                        if shared.stopping.load(Ordering::SeqCst) {
-                            break;
-                        }
-                        let Ok(stream) = stream else { continue };
-                        let shared = shared.clone();
-                        // Handler threads are detached: they exit when
-                        // their client disconnects.
-                        let _ = std::thread::Builder::new()
-                            .name("service-conn".to_string())
-                            .spawn(move || handle_connection(stream, &shared));
-                    }
-                })
-                .expect("spawn acceptor")
+        let (submit_tx, submit_rx) = mpsc::channel::<SubmitTask>();
+        let submitters = spawn_submitters(
+            "service-submit",
+            config.submitters.max(1),
+            &scheduler,
+            submit_rx,
+        );
+
+        let reactor_config = ReactorConfig {
+            max_line_bytes: MAX_LINE_BYTES,
+            idle_timeout: config.idle_timeout,
+            max_connections: config.max_connections,
+            ..ReactorConfig::default()
         };
+        let handler_scheduler = scheduler.clone();
+        let reactor = Reactor::spawn(listener, reactor_config, move |ctl| {
+            Arc::new(Handler {
+                scheduler: handler_scheduler,
+                ctl,
+                submit: submit_tx,
+            })
+        })?;
 
         Ok(ServiceHandle {
-            shared,
-            acceptor,
+            scheduler,
+            reactor,
+            submitters,
             workers,
         })
     }
 }
 
+/// Spawns the execution worker pool.
+fn spawn_workers(
+    name: &str,
+    count: usize,
+    scheduler: &Scheduler,
+    engine: &Engine,
+) -> Vec<JoinHandle<()>> {
+    (0..count)
+        .map(|i| {
+            let scheduler = scheduler.clone();
+            let engine = engine.clone();
+            std::thread::Builder::new()
+                .name(format!("{name}-{i}"))
+                .spawn(move || {
+                    while let Some(task) = scheduler.next_slice() {
+                        let counts = match &task.sink {
+                            Some(sink) => task.prepared.run_range_traced(
+                                &engine,
+                                task.range.clone(),
+                                sink.as_ref(),
+                            ),
+                            None => task.prepared.run_range(&engine, task.range.clone()),
+                        };
+                        scheduler.complete_slice(&task.key, counts);
+                    }
+                })
+                .expect("spawn worker")
+        })
+        .collect()
+}
+
+/// Spawns the submitter pool: each thread drains [`SubmitTask`]s and
+/// runs the (possibly compiling) admission path, delivering the
+/// response through the task's reactor completion.
+fn spawn_submitters(
+    name: &str,
+    count: usize,
+    scheduler: &Scheduler,
+    rx: mpsc::Receiver<SubmitTask>,
+) -> Vec<JoinHandle<()>> {
+    let rx = Arc::new(Mutex::new(rx));
+    (0..count)
+        .map(|i| {
+            let rx = rx.clone();
+            let scheduler = scheduler.clone();
+            std::thread::Builder::new()
+                .name(format!("{name}-{i}"))
+                .spawn(move || loop {
+                    // Hold the receiver lock only for the recv itself,
+                    // so a submitter busy compiling does not starve its
+                    // siblings of work.
+                    let task = rx.lock().expect("submit queue").recv();
+                    let Ok(task) = task else { break };
+                    let completion = task.completion;
+                    let responder = Responder::Callback(Box::new(move |response: Response| {
+                        completion.send(response.to_line().into_bytes());
+                    }));
+                    scheduler.submit_async(task.id, &task.run, responder);
+                })
+                .expect("spawn submitter")
+        })
+        .collect()
+}
+
 /// Owner of a running service's threads.
 pub struct ServiceHandle {
-    shared: Arc<Shared>,
-    acceptor: JoinHandle<()>,
+    scheduler: Scheduler,
+    reactor: ReactorHandle,
+    submitters: Vec<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
 impl ServiceHandle {
     /// The bound address (resolves port 0 to the ephemeral port).
     pub fn addr(&self) -> SocketAddr {
-        self.shared.addr
+        self.reactor.addr()
     }
 
-    /// Counter snapshot, read directly (no wire round trip).
+    /// Counter snapshot, read directly (no wire round trip), with the
+    /// reactor's connection gauges merged in.
     pub fn stats(&self) -> ServiceStats {
-        self.shared.scheduler.stats()
+        let mut stats = self.scheduler.stats();
+        let gauges = self.reactor.gauges();
+        stats.open_connections = gauges.open;
+        stats.idle_connections = gauges.idle;
+        stats.read_blocked = gauges.read_blocked;
+        stats.write_blocked = gauges.write_blocked;
+        stats
     }
 
-    /// Initiates shutdown and waits for the worker pool and acceptor
-    /// to exit.
+    /// The reactor's raw connection gauges.
+    pub fn gauges(&self) -> reactor::ReactorGauges {
+        self.reactor.gauges()
+    }
+
+    /// Per-client quota rows, read directly (same data the wire
+    /// `stats` op reports).
+    pub fn client_rows(&self) -> Vec<crate::ClientRow> {
+        self.scheduler.client_rows()
+    }
+
+    /// Initiates shutdown and waits for every thread to exit.
     pub fn shutdown(self) {
-        self.shared.begin_shutdown();
-        self.join();
+        self.scheduler.shutdown();
+        self.reactor.stop();
+        for submitter in self.submitters {
+            let _ = submitter.join();
+        }
+        for worker in self.workers {
+            let _ = worker.join();
+        }
     }
 
     /// Waits until the service stops (via a wire `shutdown` request or
     /// [`ServiceHandle::shutdown`]).
     pub fn join(self) {
+        // The wire handler stops both the scheduler and the reactor;
+        // the reactor exiting drops the submit channel, draining the
+        // submitter pool, and the scheduler shutdown drains workers.
+        self.reactor.join();
+        for submitter in self.submitters {
+            let _ = submitter.join();
+        }
         for worker in self.workers {
             let _ = worker.join();
         }
-        let _ = self.acceptor.join();
     }
-}
-
-/// Serves one connection: one response line per request line, in
-/// order.
-fn handle_connection(stream: TcpStream, shared: &Shared) {
-    let Ok(read_half) = stream.try_clone() else {
-        return;
-    };
-    let mut reader = BufReader::new(read_half);
-    let mut writer = stream;
-    loop {
-        let framed = match read_framed_request(&mut reader) {
-            FramedRequest::Closed => return,
-            FramedRequest::Blank => continue,
-            FramedRequest::Oversized => {
-                shared.scheduler.note_error();
-                let _ = write_response(
-                    &mut writer,
-                    &Response::Error {
-                        id: None,
-                        error: format!("request line exceeds {MAX_LINE_BYTES} bytes"),
-                    },
-                );
-                return;
-            }
-            FramedRequest::Parsed(framed) => framed,
-        };
-        let response = match framed {
-            Err(error) => {
-                shared.scheduler.note_error();
-                Response::Error { id: None, error }
-            }
-            Ok(Request { id, op: Op::Stats }) => Response::Stats {
-                id,
-                stats: shared.scheduler.stats(),
-                workers: Vec::new(),
-            },
-            Ok(Request {
-                id,
-                op: Op::Shutdown,
-            }) => {
-                let _ = write_response(&mut writer, &Response::Bye { id });
-                shared.begin_shutdown();
-                return;
-            }
-            Ok(Request {
-                id,
-                op: Op::Run(run),
-            }) => match shared.scheduler.submit(id.clone(), &run) {
-                Submission::Immediate(response) => response,
-                Submission::Pending(rx) => rx.recv().unwrap_or(Response::Error {
-                    id,
-                    error: "server shut down before the job completed".to_string(),
-                }),
-            },
-        };
-        if write_response(&mut writer, &response).is_err() {
-            return;
-        }
-    }
-}
-
-fn write_response(writer: &mut TcpStream, response: &Response) -> std::io::Result<()> {
-    writer.write_all(response.to_line().as_bytes())?;
-    writer.flush()
 }

@@ -1,0 +1,118 @@
+//! Many-idle-connections soak: the evented front end must hold
+//! hundreds of idle sockets without spawning per-connection threads.
+//!
+//! This lives in its own integration-test binary so the process thread
+//! count it measures is not perturbed by sibling tests running in
+//! parallel.
+
+use circuit::circuit::Circuit;
+use circuit::qasm::to_qasm3;
+use service::{Request, Response, RunRequest, Service, ServiceConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+/// The process's live thread count, from `/proc/self/status`.
+#[cfg(target_os = "linux")]
+fn thread_count() -> u64 {
+    let status = std::fs::read_to_string("/proc/self/status").expect("read /proc/self/status");
+    status
+        .lines()
+        .find_map(|line| line.strip_prefix("Threads:"))
+        .and_then(|rest| rest.trim().parse().ok())
+        .expect("Threads: line")
+}
+
+#[test]
+fn idle_connections_do_not_cost_threads() {
+    const IDLE: usize = 256;
+    let handle = Service::spawn(ServiceConfig {
+        max_connections: IDLE + 16,
+        ..ServiceConfig::default()
+    })
+    .expect("spawn");
+    let addr = handle.addr();
+
+    #[cfg(target_os = "linux")]
+    let baseline = thread_count();
+
+    // Open and hold IDLE sockets that never send a byte.
+    let idlers: Vec<TcpStream> = (0..IDLE)
+        .map(|i| TcpStream::connect(addr).unwrap_or_else(|e| panic!("idler {i}: {e}")))
+        .collect();
+
+    // Wait until the reactor has accepted all of them.
+    for _ in 0..400 {
+        if handle.gauges().open >= IDLE as u64 {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    let gauges = handle.gauges();
+    assert!(
+        gauges.open >= IDLE as u64,
+        "reactor accepted only {} of {IDLE} idle connections",
+        gauges.open
+    );
+
+    // The whole point: connection count must not buy threads. A
+    // thread-per-connection design would add ~256 here; the reactor
+    // adds zero (small slack for unrelated runtime threads).
+    #[cfg(target_os = "linux")]
+    {
+        let now = thread_count();
+        assert!(
+            now <= baseline + 8,
+            "thread count grew from {baseline} to {now} while holding {IDLE} idle sockets"
+        );
+    }
+
+    // The server still does real work under the idle load…
+    let mut c = Circuit::new(2, 2);
+    c.h(0).cx(0, 1).measure(0, 0).measure(1, 1);
+    let stream = TcpStream::connect(addr).expect("connect worker");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+    let request = Request::run(
+        Some("under-load".into()),
+        RunRequest::new(to_qasm3(&c), 500, 7, "auto"),
+    );
+    writer
+        .write_all(request.to_line().as_bytes())
+        .expect("send");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("recv");
+    match Response::from_line(&line).expect("parse") {
+        Response::Ok { shots, tallies, .. } => {
+            assert_eq!(shots, 500);
+            assert_eq!(tallies.values().sum::<usize>(), 500);
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+
+    // …and the stats op sees the idle herd.
+    writer
+        .write_all(
+            Request {
+                id: Some("s".into()),
+                op: service::Op::Stats,
+            }
+            .to_line()
+            .as_bytes(),
+        )
+        .expect("send stats");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("recv stats");
+    match Response::from_line(&line).expect("parse") {
+        Response::Stats { stats, .. } => {
+            assert!(
+                stats.open_connections >= IDLE as u64,
+                "stats report {} open connections",
+                stats.open_connections
+            );
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+
+    drop(idlers);
+    handle.shutdown();
+}

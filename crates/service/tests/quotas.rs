@@ -1,0 +1,215 @@
+//! Per-client fair-share scheduling and admission quotas.
+//!
+//! The scheduler-level tests drive slices by hand (no worker threads),
+//! so the interleaving they assert is fully deterministic; the
+//! wire-level test checks the same quota surfaces through a live
+//! server with `workers: 0` (admit but never execute — the only
+//! configuration where queue occupancy is deterministic).
+
+use circuit::circuit::Circuit;
+use circuit::qasm::to_qasm3;
+use engine::Engine;
+use service::{
+    Request, Response, RunRequest, Scheduler, SchedulerConfig, Service, ServiceConfig, Submission,
+};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+fn bell_qasm() -> String {
+    let mut c = Circuit::new(2, 2);
+    c.h(0).cx(0, 1).measure(0, 0).measure(1, 1);
+    to_qasm3(&c)
+}
+
+fn run_request(shots: u64, seed: u64) -> RunRequest {
+    RunRequest::new(bell_qasm(), shots, seed, "auto")
+}
+
+fn pending(submission: Submission) -> std::sync::mpsc::Receiver<Response> {
+    match submission {
+        Submission::Pending(rx) => rx,
+        Submission::Immediate(r) => panic!("expected pending, got {r:?}"),
+    }
+}
+
+/// Drains every pending slice on the calling thread (a deterministic
+/// in-test worker; `next_slice` blocks when idle, so the loop is
+/// guarded by the in-flight gauge) and returns the client each slice
+/// was charged to, in execution order.
+fn drain_in_order(sched: &Scheduler, engine: &Engine) -> Vec<String> {
+    let mut order = Vec::new();
+    while sched.stats().in_flight > 0 {
+        let task = sched.next_slice().expect("work pending");
+        order.push(task.client.clone());
+        let counts = task.prepared.run_range(engine, task.range.clone());
+        sched.complete_slice(&task.key, counts);
+    }
+    order
+}
+
+#[test]
+fn a_greedy_client_cannot_starve_a_light_client() {
+    // greedy enqueues a 10-slice job before light's single-slice job
+    // arrives. Round-robin between *clients* must serve light's slice
+    // second, not eleventh.
+    let sched = Scheduler::new(SchedulerConfig {
+        slice_shots: 100,
+        ..SchedulerConfig::default()
+    });
+    let engine = Engine::sequential();
+    let rx_greedy = pending(sched.submit(
+        Some("g".into()),
+        &run_request(1_000, 1).with_client("greedy"),
+    ));
+    let rx_light =
+        pending(sched.submit(Some("l".into()), &run_request(100, 2).with_client("light")));
+
+    let order = drain_in_order(&sched, &engine);
+    assert_eq!(order.len(), 11, "10 greedy slices + 1 light slice");
+    assert_eq!(
+        order[1], "light",
+        "light's slice must run after exactly one greedy slice: {order:?}"
+    );
+    assert!(order[0] == "greedy" && order[2..].iter().all(|c| c == "greedy"));
+
+    assert!(matches!(rx_greedy.recv().unwrap(), Response::Ok { .. }));
+    assert!(matches!(rx_light.recv().unwrap(), Response::Ok { .. }));
+}
+
+#[test]
+fn interleaving_alternates_between_clients_with_equal_backlogs() {
+    // Two clients, two multi-slice jobs each: the slice sequence must
+    // alternate a-b-a-b..., never draining one client first.
+    let sched = Scheduler::new(SchedulerConfig {
+        slice_shots: 50,
+        ..SchedulerConfig::default()
+    });
+    let engine = Engine::sequential();
+    let mut receivers = Vec::new();
+    for (client, seed) in [("a", 1), ("b", 2), ("a", 3), ("b", 4)] {
+        receivers.push(pending(
+            sched.submit(None, &run_request(100, seed).with_client(client)),
+        ));
+    }
+    let order = drain_in_order(&sched, &engine);
+    assert_eq!(order.len(), 8, "4 jobs × 2 slices");
+    let expected: Vec<String> = ["a", "b"]
+        .iter()
+        .cycle()
+        .take(8)
+        .map(|s| s.to_string())
+        .collect();
+    assert_eq!(order, expected, "clients must alternate strictly");
+    for rx in receivers {
+        assert!(matches!(rx.recv().unwrap(), Response::Ok { .. }));
+    }
+}
+
+#[test]
+fn quota_rejects_distinct_jobs_but_not_coalesced_or_other_clients() {
+    let sched = Scheduler::new(SchedulerConfig {
+        client_quota_shots: 500,
+        ..SchedulerConfig::default()
+    });
+    let engine = Engine::sequential();
+
+    // 400 in-flight shots for tenant-a: under quota, admitted.
+    let first = run_request(400, 1).with_client("tenant-a");
+    let rx_first = pending(sched.submit(Some("first".into()), &first));
+
+    // A distinct 200-shot job would exceed 500 → busy.
+    let over = sched.submit(
+        Some("over".into()),
+        &run_request(200, 2).with_client("tenant-a"),
+    );
+    match over {
+        Submission::Immediate(Response::Busy { id, .. }) => {
+            assert_eq!(id.as_deref(), Some("over"));
+        }
+        Submission::Immediate(r) => panic!("expected busy, got {r:?}"),
+        Submission::Pending(_) => panic!("quota-exceeding job was admitted"),
+    }
+
+    // An *identical* request coalesces — waiters are never charged.
+    let rx_joined = pending(sched.submit(Some("joined".into()), &first));
+
+    // Another client is unaffected by tenant-a's quota pressure.
+    let rx_other = pending(sched.submit(
+        Some("other".into()),
+        &run_request(400, 3).with_client("tenant-b"),
+    ));
+
+    let rows = sched.client_rows();
+    let a = rows.iter().find(|r| r.client == "tenant-a").unwrap();
+    assert_eq!(a.admitted, 1);
+    assert_eq!(a.rejected_quota, 1);
+    assert_eq!(a.coalesced, 1);
+    assert_eq!(a.inflight_shots, 400, "only the admitted job is charged");
+    assert_eq!(sched.stats().rejected_quota, 1);
+
+    drain_in_order(&sched, &engine);
+    for rx in [rx_first, rx_joined, rx_other] {
+        assert!(matches!(rx.recv().unwrap(), Response::Ok { .. }));
+    }
+
+    // Completion releases the charge: the once-rejected job now fits.
+    let rows = sched.client_rows();
+    let a = rows.iter().find(|r| r.client == "tenant-a").unwrap();
+    assert_eq!(a.inflight_shots, 0, "completion must release the quota");
+    pending(sched.submit(
+        Some("retry".into()),
+        &run_request(200, 2).with_client("tenant-a"),
+    ));
+}
+
+#[test]
+fn quota_busy_is_observable_over_the_wire() {
+    // workers: 0 keeps the first job in flight forever, so the quota
+    // state the second request sees is deterministic.
+    let handle = Service::spawn(ServiceConfig {
+        workers: 0,
+        client_quota_shots: 500,
+        ..ServiceConfig::default()
+    })
+    .expect("spawn");
+    let addr = handle.addr();
+
+    let submit = TcpStream::connect(addr).expect("connect");
+    let mut submit_writer = submit.try_clone().expect("clone");
+    let line = Request::run(
+        Some("A".into()),
+        run_request(400, 1).with_client("tenant-a"),
+    )
+    .to_line();
+    submit_writer.write_all(line.as_bytes()).expect("send");
+    for _ in 0..200 {
+        if handle.stats().in_flight == 1 {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    assert_eq!(handle.stats().in_flight, 1, "A was not admitted");
+
+    let probe = TcpStream::connect(addr).expect("connect");
+    let mut probe_writer = probe.try_clone().expect("clone");
+    let mut probe_reader = BufReader::new(probe);
+    let line = Request::run(
+        Some("B".into()),
+        run_request(200, 2).with_client("tenant-a"),
+    )
+    .to_line();
+    probe_writer.write_all(line.as_bytes()).expect("send");
+    let mut reply = String::new();
+    probe_reader.read_line(&mut reply).expect("recv");
+    match Response::from_line(&reply).expect("parse") {
+        Response::Busy { id, .. } => assert_eq!(id.as_deref(), Some("B")),
+        other => panic!("expected busy, got {other:?}"),
+    }
+
+    let stats = handle.stats();
+    assert_eq!(stats.rejected_quota, 1);
+    let rows = handle.client_rows();
+    let a = rows.iter().find(|r| r.client == "tenant-a").unwrap();
+    assert_eq!(a.rejected_quota, 1);
+    handle.shutdown();
+}

@@ -183,7 +183,13 @@ fn stats_op_reports_counters_over_the_wire() {
         id: Some("s".into()),
         op: service::Op::Stats,
     });
-    let Response::Stats { id, stats, workers } = response else {
+    let Response::Stats {
+        id,
+        stats,
+        workers,
+        clients,
+    } = response
+    else {
         panic!("unexpected {response:?}");
     };
     assert_eq!(id.as_deref(), Some("s"));
@@ -196,6 +202,12 @@ fn stats_op_reports_counters_over_the_wire() {
     assert_eq!(stats.cache_hits, 1);
     assert_eq!(stats.cache_misses, 1);
     assert_eq!(stats.cache_entries, 1);
+    assert_eq!(clients.len(), 1, "anonymous requests tally one client row");
+    assert_eq!(clients[0].client, "");
+    assert_eq!(clients[0].admitted, 1);
+    assert_eq!(clients[0].coalesced, 0, "second request hit the cache");
+    // The querying connection itself is open (and counted).
+    assert!(stats.open_connections >= 1);
     handle.shutdown();
 }
 

@@ -3,7 +3,9 @@
 //! ```text
 //! # standalone (default): serve and execute locally
 //! compas-serve [--addr HOST:PORT] [--workers N] [--queue N]
-//!              [--cache N] [--slice N] [--engine-env]
+//!              [--cache N] [--cache-dir DIR] [--cache-disk-bytes N]
+//!              [--quota-shots N] [--idle-timeout-ms N] [--slice N]
+//!              [--engine-env]
 //!
 //! # worker: identical to standalone, named for the sharded topology
 //! compas-serve --worker [--addr HOST:PORT] [...]
@@ -11,7 +13,9 @@
 //! # coordinator: execute nothing, shard over downstream workers
 //! compas-serve --coordinator --shards HOST:PORT,HOST:PORT,...
 //!              [--addr HOST:PORT] [--queue N] [--cache N]
-//!              [--heartbeat-ms N] [--io-timeout-ms N] [--retries N]
+//!              [--cache-dir DIR] [--cache-disk-bytes N]
+//!              [--idle-timeout-ms N] [--heartbeat-ms N]
+//!              [--io-timeout-ms N] [--retries N]
 //! ```
 //!
 //! All roles bind the address (default `127.0.0.1:7878`; port `0`
@@ -23,6 +27,12 @@
 //! role accepts). The default per-slice engine is sequential
 //! (parallelism = `--workers`); `--engine-env` configures it from
 //! `COMPAS_THREADS` / `COMPAS_CHUNK` instead.
+//!
+//! `--cache-dir DIR` spills the result cache to disk: a restarted
+//! server pointed at the same directory answers previously-computed
+//! requests without re-executing. `--quota-shots N` bounds each client
+//! identity's in-flight shots (fair-share admission; standalone/worker
+//! roles only).
 
 use engine::Engine;
 use service::{Service, ServiceConfig};
@@ -33,9 +43,11 @@ use std::time::Duration;
 fn usage() -> ! {
     eprintln!(
         "usage: compas-serve [--worker] [--addr HOST:PORT] [--workers N] [--queue N] \
-         [--cache N] [--slice N] [--engine-env]\n\
+         [--cache N] [--cache-dir DIR] [--cache-disk-bytes N] [--quota-shots N] \
+         [--idle-timeout-ms N] [--slice N] [--engine-env]\n\
          \x20      compas-serve --coordinator --shards A,B,... [--addr HOST:PORT] [--queue N] \
-         [--cache N] [--heartbeat-ms N] [--io-timeout-ms N] [--retries N]"
+         [--cache N] [--cache-dir DIR] [--cache-disk-bytes N] [--idle-timeout-ms N] \
+         [--heartbeat-ms N] [--io-timeout-ms N] [--retries N]"
     );
     std::process::exit(2);
 }
@@ -94,6 +106,26 @@ fn main() {
             "--cache" => {
                 config.cache_capacity = number(&args, i) as usize;
                 coordinator.cache_capacity = config.cache_capacity;
+                i += 2;
+            }
+            "--cache-dir" => {
+                let dir = std::path::PathBuf::from(value(&args, i));
+                config.cache_dir = Some(dir.clone());
+                coordinator.cache_dir = Some(dir);
+                i += 2;
+            }
+            "--cache-disk-bytes" => {
+                config.cache_disk_bytes = number(&args, i);
+                coordinator.cache_disk_bytes = config.cache_disk_bytes;
+                i += 2;
+            }
+            "--quota-shots" => {
+                config.client_quota_shots = number(&args, i);
+                i += 2;
+            }
+            "--idle-timeout-ms" => {
+                config.idle_timeout = Duration::from_millis(number(&args, i).max(1));
+                coordinator.idle_timeout = config.idle_timeout;
                 i += 2;
             }
             "--slice" => {

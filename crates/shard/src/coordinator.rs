@@ -39,15 +39,17 @@
 
 use crate::worker::{Dispatch, PoolConfig, WorkerPool};
 use engine::{merge_counts, partition_shots, Counts};
-use service::cache::{CacheKey, ResultCache};
+use reactor::{Completion, Line, LineHandler, Reactor, ReactorConfig, ReactorCtl, ReactorHandle};
+use service::cache::{CacheKey, DiskCacheConfig, ResultCache};
 use service::{
-    admit, read_framed_request, FramedRequest, Op, Request, Response, RunRequest, ServiceStats,
-    Submission, WorkerRow,
+    admit, decode_line, Op, Request, Responder, Response, RunRequest, ServiceStats, WorkerRow,
+    MAX_LINE_BYTES,
 };
 use std::collections::{HashMap, HashSet};
 use std::io::{BufRead, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::ops::Range;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
@@ -64,6 +66,12 @@ pub struct CoordinatorConfig {
     pub queue_capacity: usize,
     /// Coordinator-side result-cache capacity in entries.
     pub cache_capacity: usize,
+    /// Optional disk spill directory for the coordinator's result
+    /// cache: completed (merged) results persist across restarts.
+    pub cache_dir: Option<PathBuf>,
+    /// Size bound for the disk spill (bytes). Ignored without
+    /// `cache_dir`.
+    pub cache_disk_bytes: u64,
     /// Budget for one ranged dispatch round trip; a worker that holds
     /// a range longer has failed it.
     pub io_timeout: Duration,
@@ -73,6 +81,10 @@ pub struct CoordinatorConfig {
     pub redispatch_limit: usize,
     /// Most concurrently dispatched ranges per worker.
     pub max_inflight_per_worker: usize,
+    /// Close client connections idle longer than this.
+    pub idle_timeout: Duration,
+    /// Most simultaneous client connections the reactor serves.
+    pub max_connections: usize,
     /// Whether a wire `shutdown` (or [`CoordinatorHandle::shutdown`])
     /// is forwarded to the workers. Off by default so in-process tests
     /// can keep their workers; the `compas-serve --coordinator` binary
@@ -82,22 +94,27 @@ pub struct CoordinatorConfig {
 
 impl Default for CoordinatorConfig {
     fn default() -> Self {
+        let reactor = ReactorConfig::default();
         CoordinatorConfig {
             addr: "127.0.0.1:0".to_string(),
             workers: Vec::new(),
             queue_capacity: 32,
             cache_capacity: 256,
+            cache_dir: None,
+            cache_disk_bytes: 64 * 1024 * 1024,
             io_timeout: Duration::from_secs(30),
             heartbeat_interval: Duration::from_millis(500),
             redispatch_limit: 4,
             max_inflight_per_worker: 8,
+            idle_timeout: reactor.idle_timeout,
+            max_connections: reactor.max_connections,
             propagate_shutdown: false,
         }
     }
 }
 
 struct Waiter {
-    tx: mpsc::Sender<Response>,
+    responder: Responder,
     id: Option<String>,
     coalesced: bool,
 }
@@ -114,7 +131,89 @@ struct Shared {
     pool: WorkerPool,
     inner: Mutex<Inner>,
     stopping: AtomicBool,
-    addr: SocketAddr,
+}
+
+/// One run request in flight from the reactor to a submitter.
+struct SubmitTask {
+    id: Option<String>,
+    run: RunRequest,
+    completion: Completion,
+}
+
+/// The coordinator's reactor-side protocol brain (the client-facing
+/// twin of the `service` server handler): `stats` and `shutdown`
+/// answer inline, run requests go to the submitter pool.
+struct Handler {
+    shared: Arc<Shared>,
+    ctl: ReactorCtl,
+    /// Owned by the handler alone: the reactor loop exiting drops it,
+    /// which drains the submitter pool.
+    submit: mpsc::Sender<SubmitTask>,
+}
+
+impl LineHandler for Handler {
+    fn on_line(&self, _conn: u64, line: Line, mut completion: Completion) {
+        let bytes = match line {
+            Line::Complete(bytes) => bytes,
+            Line::Oversized => {
+                self.shared.note_error();
+                let response = Response::Error {
+                    id: None,
+                    error: format!("request line exceeds {MAX_LINE_BYTES} bytes"),
+                };
+                completion.send_close(response.to_line().into_bytes());
+                return;
+            }
+        };
+        match decode_line(&bytes) {
+            Err(error) => {
+                self.shared.note_error();
+                let response = Response::Error { id: None, error };
+                completion.send(response.to_line().into_bytes());
+            }
+            Ok(Request { id, op: Op::Stats }) => {
+                let mut stats = self.shared.stats();
+                let gauges = self.ctl.gauges();
+                stats.open_connections = gauges.open;
+                stats.idle_connections = gauges.idle;
+                stats.read_blocked = gauges.read_blocked;
+                stats.write_blocked = gauges.write_blocked;
+                let response = Response::Stats {
+                    id,
+                    stats,
+                    workers: self.shared.pool.rows(),
+                    clients: Vec::new(),
+                };
+                completion.send(response.to_line().into_bytes());
+            }
+            Ok(Request {
+                id,
+                op: Op::Shutdown,
+            }) => {
+                completion.send_close(Response::Bye { id }.to_line().into_bytes());
+                self.shared.begin_shutdown();
+                self.ctl.stop();
+            }
+            Ok(Request {
+                id,
+                op: Op::Run(run),
+            }) => {
+                completion.set_abandoned_reply(
+                    Response::Error {
+                        id: id.clone(),
+                        error: "coordinator shut down before the job completed".to_string(),
+                    }
+                    .to_line()
+                    .into_bytes(),
+                );
+                let _ = self.submit.send(SubmitTask {
+                    id,
+                    run,
+                    completion,
+                });
+            }
+        }
+    }
 }
 
 /// The shard-coordinator front end. See the module docs.
@@ -122,14 +221,13 @@ pub struct Coordinator;
 
 impl Coordinator {
     /// Binds `config.addr`, probes the workers once so the live set is
-    /// warm, and starts the acceptor and heartbeat threads.
+    /// warm, and starts the reactor, submitter, and heartbeat threads.
     ///
     /// # Errors
     ///
     /// Propagates socket errors (bind/local_addr).
     pub fn spawn(config: CoordinatorConfig) -> std::io::Result<CoordinatorHandle> {
         let listener = TcpListener::bind(&config.addr)?;
-        let addr = listener.local_addr()?;
         let pool = WorkerPool::new(
             config.workers.clone(),
             PoolConfig {
@@ -139,17 +237,26 @@ impl Coordinator {
             },
         );
         pool.probe_all();
+        let cache = match config.cache_dir.clone() {
+            Some(dir) => ResultCache::with_disk(
+                config.cache_capacity,
+                DiskCacheConfig {
+                    dir,
+                    max_bytes: config.cache_disk_bytes,
+                },
+            ),
+            None => ResultCache::new(config.cache_capacity),
+        };
         let shared = Arc::new(Shared {
             inner: Mutex::new(Inner {
                 jobs: HashMap::new(),
-                cache: ResultCache::new(config.cache_capacity),
+                cache,
                 stats: ServiceStats::default(),
                 shutdown: false,
             }),
             pool,
             config,
             stopping: AtomicBool::new(false),
-            addr,
         });
 
         let heartbeat = {
@@ -172,28 +279,48 @@ impl Coordinator {
                 .expect("spawn heartbeat")
         };
 
-        let acceptor = {
-            let shared = shared.clone();
-            std::thread::Builder::new()
-                .name("shard-acceptor".to_string())
-                .spawn(move || {
-                    for stream in listener.incoming() {
-                        if shared.stopping.load(Ordering::SeqCst) {
-                            break;
-                        }
-                        let Ok(stream) = stream else { continue };
-                        let shared = shared.clone();
-                        let _ = std::thread::Builder::new()
-                            .name("shard-conn".to_string())
-                            .spawn(move || handle_connection(stream, &shared));
-                    }
-                })
-                .expect("spawn acceptor")
+        // Admission threads: `submit_core` parses and canonicalizes
+        // QASM, which must not run on the reactor's I/O thread.
+        let (submit_tx, submit_rx) = mpsc::channel::<SubmitTask>();
+        let submit_rx = Arc::new(Mutex::new(submit_rx));
+        let submitters: Vec<JoinHandle<()>> = (0..2)
+            .map(|i| {
+                let rx = submit_rx.clone();
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("shard-submit-{i}"))
+                    .spawn(move || loop {
+                        let task = rx.lock().expect("submit queue").recv();
+                        let Ok(task) = task else { break };
+                        let completion = task.completion;
+                        let responder = Responder::Callback(Box::new(move |response: Response| {
+                            completion.send(response.to_line().into_bytes());
+                        }));
+                        shared.submit_async(task.id, &task.run, responder);
+                    })
+                    .expect("spawn submitter")
+            })
+            .collect();
+
+        let reactor_config = ReactorConfig {
+            max_line_bytes: MAX_LINE_BYTES,
+            idle_timeout: shared.config.idle_timeout,
+            max_connections: shared.config.max_connections,
+            ..ReactorConfig::default()
         };
+        let handler_shared = shared.clone();
+        let reactor = Reactor::spawn(listener, reactor_config, move |ctl| {
+            Arc::new(Handler {
+                shared: handler_shared,
+                ctl,
+                submit: submit_tx,
+            })
+        })?;
 
         Ok(CoordinatorHandle {
             shared,
-            acceptor,
+            reactor,
+            submitters,
             heartbeat,
         })
     }
@@ -202,19 +329,27 @@ impl Coordinator {
 /// Owner of a running coordinator's threads.
 pub struct CoordinatorHandle {
     shared: Arc<Shared>,
-    acceptor: JoinHandle<()>,
+    reactor: ReactorHandle,
+    submitters: Vec<JoinHandle<()>>,
     heartbeat: JoinHandle<()>,
 }
 
 impl CoordinatorHandle {
     /// The bound client-facing address.
     pub fn addr(&self) -> SocketAddr {
-        self.shared.addr
+        self.reactor.addr()
     }
 
-    /// Counter snapshot, read directly (no wire round trip).
+    /// Counter snapshot, read directly (no wire round trip), with the
+    /// reactor's connection gauges merged in.
     pub fn stats(&self) -> ServiceStats {
-        self.shared.stats()
+        let mut stats = self.shared.stats();
+        let gauges = self.reactor.gauges();
+        stats.open_connections = gauges.open;
+        stats.idle_connections = gauges.idle;
+        stats.read_blocked = gauges.read_blocked;
+        stats.write_blocked = gauges.write_blocked;
+        stats
     }
 
     /// Per-worker rows, read directly.
@@ -225,14 +360,24 @@ impl CoordinatorHandle {
     /// Initiates shutdown and waits for the coordinator's threads.
     pub fn shutdown(self) {
         self.shared.begin_shutdown();
-        self.join();
+        self.reactor.stop();
+        for submitter in self.submitters {
+            let _ = submitter.join();
+        }
+        let _ = self.heartbeat.join();
     }
 
     /// Waits until the coordinator stops (via a wire `shutdown` or
     /// [`CoordinatorHandle::shutdown`]).
     pub fn join(self) {
+        // A wire shutdown stops both the flag (heartbeat exit) and the
+        // reactor; the reactor dropping the submit channel drains the
+        // submitter pool.
+        self.reactor.join();
+        for submitter in self.submitters {
+            let _ = submitter.join();
+        }
         let _ = self.heartbeat.join();
-        let _ = self.acceptor.join();
     }
 }
 
@@ -249,28 +394,43 @@ impl Shared {
         stats
     }
 
-    /// Initiates shutdown: fails pending waiters, stops the acceptor
-    /// and heartbeat, optionally forwards the shutdown to the workers.
+    /// Initiates shutdown: fails pending waiters, stops the heartbeat,
+    /// optionally forwards the shutdown to the workers. (The reactor is
+    /// stopped separately by whoever holds its control handle.)
     fn begin_shutdown(&self) {
         {
             let mut inner = self.lock();
             inner.shutdown = true;
-            // Dropping the waiters closes their channels; the
-            // connection handlers answer with an error response.
+            // Dropping the waiters fires their responders' abandoned
+            // path: each pending client gets an error response.
             inner.jobs.clear();
         }
-        if !self.stopping.swap(true, Ordering::SeqCst) {
-            if self.config.propagate_shutdown {
-                for addr in &self.config.workers {
-                    send_shutdown(addr);
-                }
+        if !self.stopping.swap(true, Ordering::SeqCst) && self.config.propagate_shutdown {
+            for addr in &self.config.workers {
+                send_shutdown(addr);
             }
-            let _ = TcpStream::connect(self.addr);
         }
     }
 
-    /// Admits one run request: cache hit, coalesce, reject, or scatter.
-    fn submit(self: &Arc<Self>, id: Option<String>, run: &RunRequest) -> Submission {
+    /// Admits one run request — cache hit, coalesce, reject, or
+    /// scatter — delivering the response through `responder`.
+    fn submit_async(self: &Arc<Self>, id: Option<String>, run: &RunRequest, responder: Responder) {
+        let mut slot = Some(responder);
+        if let Some(response) = self.submit_core(id, run, &mut slot) {
+            let responder = slot.take().expect("immediate settle leaves the responder");
+            responder.respond(response);
+        }
+    }
+
+    /// The admission path. `Some` is an immediate response
+    /// (`responder` untouched); `None` means the request was queued or
+    /// joined and `responder` was consumed.
+    fn submit_core(
+        self: &Arc<Self>,
+        id: Option<String>,
+        run: &RunRequest,
+        responder: &mut Option<Responder>,
+    ) -> Option<Response> {
         // Validation is shared with the single-machine scheduler
         // (`service::admit`), then tightened with the capability probe:
         // rejecting unexecutable circuits *here* means any `error` a
@@ -287,7 +447,7 @@ impl Shared {
                 let mut inner = self.lock();
                 inner.stats.received += 1;
                 inner.stats.errors += 1;
-                return Submission::Immediate(Response::Error { id, error });
+                return Some(Response::Error { id, error });
             }
         };
         // Workers receive the *canonical* text the coordinator already
@@ -295,6 +455,8 @@ impl Shared {
         // per job: each sub-request re-parses downstream, but parses
         // pre-validated canonical output (guaranteed to reproduce
         // `key.circuit_fp`), never arbitrary client input per shard.
+        // The client identity is *not* forwarded: the coordinator is
+        // the admission boundary, workers see one peer.
         let canonical = admitted.canonical;
         let key = admitted.key;
 
@@ -302,7 +464,7 @@ impl Shared {
         inner.stats.received += 1;
         if let Some(tallies) = inner.cache.get(&key) {
             inner.stats.cache_hits += 1;
-            return Submission::Immediate(Response::Ok {
+            return Some(Response::Ok {
                 id,
                 backend: key.backend.to_string(),
                 shots: key.shots,
@@ -312,25 +474,24 @@ impl Shared {
             });
         }
         if let Some(waiters) = inner.jobs.get_mut(&key) {
-            let (tx, rx) = mpsc::channel();
             waiters.push(Waiter {
-                tx,
+                responder: responder.take().expect("responder available to join"),
                 id,
                 coalesced: true,
             });
             inner.stats.coalesced += 1;
-            return Submission::Pending(rx);
+            return None;
         }
         if inner.shutdown {
             inner.stats.errors += 1;
-            return Submission::Immediate(Response::Error {
+            return Some(Response::Error {
                 id,
                 error: "coordinator is shutting down".to_string(),
             });
         }
         if self.pool.live() == 0 {
             inner.stats.errors += 1;
-            return Submission::Immediate(Response::Error {
+            return Some(Response::Error {
                 id,
                 error: "no live workers".to_string(),
             });
@@ -338,7 +499,7 @@ impl Shared {
         if inner.jobs.len() >= self.config.queue_capacity || !self.pool.has_capacity() {
             inner.stats.rejected_busy += 1;
             let in_flight = (inner.jobs.len() as u64).max(1);
-            return Submission::Immediate(Response::Busy {
+            return Some(Response::Busy {
                 id,
                 in_flight,
                 retry_after_ms: 25 * in_flight,
@@ -347,7 +508,7 @@ impl Shared {
         if key.shots == 0 {
             inner.stats.cache_misses += 1;
             inner.stats.completed += 1;
-            return Submission::Immediate(Response::Ok {
+            return Some(Response::Ok {
                 id,
                 backend: key.backend.to_string(),
                 shots: 0,
@@ -357,19 +518,18 @@ impl Shared {
             });
         }
         inner.stats.cache_misses += 1;
-        let (tx, rx) = mpsc::channel();
         inner.jobs.insert(
             key.clone(),
             vec![Waiter {
-                tx,
+                responder: responder.take().expect("responder available to enqueue"),
                 id,
                 coalesced: false,
             }],
         );
         drop(inner);
 
-        // Scatter-gather runs on its own thread so the submitting
-        // connection blocks on its receiver like any other waiter.
+        // Scatter-gather runs on its own thread; every waiter's
+        // responder fires from `complete` when the merge lands.
         let shared = self.clone();
         let qasm = canonical;
         let _ = std::thread::Builder::new()
@@ -378,7 +538,7 @@ impl Shared {
                 let result = shared.scatter_gather(&key, &qasm);
                 shared.complete(&key, result);
             });
-        Submission::Pending(rx)
+        None
     }
 
     /// Partitions the job's global range over the live workers, runs
@@ -473,7 +633,7 @@ impl Shared {
                 inner.cache.insert(key.clone(), counts.clone());
                 inner.stats.completed += 1;
                 for waiter in waiters {
-                    let _ = waiter.tx.send(Response::Ok {
+                    waiter.responder.respond(Response::Ok {
                         id: waiter.id,
                         backend: key.backend.to_string(),
                         shots: key.shots,
@@ -486,7 +646,7 @@ impl Shared {
             Err(error) => {
                 inner.stats.errors += 1;
                 for waiter in waiters {
-                    let _ = waiter.tx.send(Response::Error {
+                    waiter.responder.respond(Response::Error {
                         id: waiter.id,
                         error: error.clone(),
                     });
@@ -500,72 +660,6 @@ impl Shared {
         inner.stats.received += 1;
         inner.stats.errors += 1;
     }
-}
-
-/// Serves one client connection — the same framing and semantics as a
-/// single-machine server ([`service::read_framed_request`]).
-fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
-    let Ok(read_half) = stream.try_clone() else {
-        return;
-    };
-    let mut reader = BufReader::new(read_half);
-    let mut writer = stream;
-    loop {
-        let framed = match read_framed_request(&mut reader) {
-            FramedRequest::Closed => return,
-            FramedRequest::Blank => continue,
-            FramedRequest::Oversized => {
-                shared.note_error();
-                let _ = write_response(
-                    &mut writer,
-                    &Response::Error {
-                        id: None,
-                        error: format!("request line exceeds {} bytes", service::MAX_LINE_BYTES),
-                    },
-                );
-                return;
-            }
-            FramedRequest::Parsed(framed) => framed,
-        };
-        let response = match framed {
-            Err(error) => {
-                shared.note_error();
-                Response::Error { id: None, error }
-            }
-            Ok(Request { id, op: Op::Stats }) => Response::Stats {
-                id,
-                stats: shared.stats(),
-                workers: shared.pool.rows(),
-            },
-            Ok(Request {
-                id,
-                op: Op::Shutdown,
-            }) => {
-                let _ = write_response(&mut writer, &Response::Bye { id });
-                shared.begin_shutdown();
-                return;
-            }
-            Ok(Request {
-                id,
-                op: Op::Run(run),
-            }) => match shared.submit(id.clone(), &run) {
-                Submission::Immediate(response) => response,
-                Submission::Pending(rx) => rx.recv().unwrap_or(Response::Error {
-                    id,
-                    error: "coordinator shut down before the job completed".to_string(),
-                }),
-            },
-        };
-        if write_response(&mut writer, &response).is_err() {
-            return;
-        }
-    }
-}
-
-fn write_response(writer: &mut TcpStream, response: &Response) -> std::io::Result<()> {
-    use std::io::Write;
-    writer.write_all(response.to_line().as_bytes())?;
-    writer.flush()
 }
 
 /// Best-effort `shutdown` request to one worker.
