@@ -20,6 +20,16 @@
 //! (`auto` | `statevector` | `density` | `stabilizer`), read by
 //! [`Backend::from_env`].
 //!
+//! Because backends route through [`Executor::sample_shots`], they
+//! inherit its amplitude-level parallelism policy for free: wide
+//! statevector circuits (at or above
+//! [`EngineConfig::amp_threshold_qubits`](crate::EngineConfig::amp_threshold_qubits))
+//! on a pooled executor automatically split each shot's amplitude
+//! space across the pool instead of parallelising across shots, with
+//! bit-identical tallies either way. Backends whose states cannot
+//! range-split (density, stabilizer) simply never engage it
+//! (`SimState::AMP_PARALLEL` is `false` for them).
+//!
 //! ```
 //! use circuit::circuit::Circuit;
 //! use engine::{Backend, Executor};

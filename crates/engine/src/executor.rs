@@ -24,7 +24,7 @@
 //! experiment is reproducible from one root seed regardless of mode.
 
 use circuit::circuit::Circuit;
-use qsim::runner::{pack_cbits, run_program_into, run_shot_into};
+use qsim::runner::{pack_cbits, run_program_into, run_program_into_parallel, run_shot_into};
 use qsim::sim::SimState;
 use rand::rngs::StdRng;
 use std::collections::HashMap;
@@ -32,7 +32,7 @@ use std::hash::Hash;
 
 use crate::batch::{BatchRunner, ShotJob};
 use crate::pool::{Counts, Engine};
-use crate::seed::derive_stream_seed;
+use crate::seed::{derive_stream_seed, shot_rng};
 use crate::trace::TraceSink;
 
 /// An execution context: *where* and *how* a deterministic sampling
@@ -219,6 +219,17 @@ impl Executor {
     /// [`DensityMatrix`](qsim::density::DensityMatrix) — or let
     /// [`Backend`](crate::Backend) choose at runtime.
     ///
+    /// On big statevector states (at or above
+    /// [`EngineConfig::amp_threshold_qubits`](crate::EngineConfig::amp_threshold_qubits),
+    /// with more than one
+    /// [`amp_threads`](crate::EngineConfig::amp_threads) worker
+    /// configured) a pooled context flips from shot-level to
+    /// **amplitude-level** parallelism: shots run in order, each
+    /// splitting its amplitude space across the pool. Pure latency
+    /// policy — shot `i` still runs on `derive_stream_seed(root, i)`
+    /// and each amp-parallel shot is bit-identical to its sequential
+    /// replay, so the counts never depend on which mode engaged.
+    ///
     /// # Panics
     ///
     /// Panics if the circuit needs more qubits than `initial` has.
@@ -230,6 +241,26 @@ impl Executor {
     ) -> Counts {
         self.check_plan::<S>(circuit, initial);
         let program = S::compile(circuit);
+        let engine = self.engine();
+        if engine.amp_engaged::<S>(initial.num_qubits()) {
+            let amp_threads = engine.config().amp_threads;
+            let mut counts = Counts::new();
+            let mut state = initial.clone();
+            let mut cbits = Vec::new();
+            for shot in 0..shots as u64 {
+                let mut rng = shot_rng(self.root_seed(), shot);
+                run_program_into_parallel(
+                    &program,
+                    initial,
+                    &mut state,
+                    &mut cbits,
+                    &mut rng,
+                    amp_threads,
+                );
+                *counts.entry(pack_cbits(&cbits)).or_insert(0) += 1;
+            }
+            return counts;
+        }
         let tally = self.run_tally_with(
             shots as u64,
             || (initial.clone(), Vec::new()),

@@ -46,6 +46,30 @@
 //! the per-worker tallies merge once at a single join point, the
 //! partitioned pattern for embarrassingly parallel sampling.
 //!
+//! ## Amplitude-level parallelism is a policy, not an API
+//!
+//! Big statevector shots (2²⁰+ amplitudes) invert the trade-off:
+//! shot-level parallelism keeps the cores busy but each shot's latency
+//! is one core's memory bandwidth, and the working set no longer fits
+//! in cache. For those, the engine flips to **amplitude-level**
+//! parallelism: shots run in order and each one splits its amplitude
+//! space across the pool via
+//! `qsim::amp` (`StateVector::apply_compiled_parallel`), with a barrier
+//! per kernel. Deliberately there is **no twin API** — no
+//! `sample_shots_amp`, no `Executor::AmpParallel` variant. The mode is
+//! pure latency policy, decided per plan by
+//! [`EngineConfig::amp_engaged`] from two knobs
+//! ([`EngineConfig::amp_threads`] / `COMPAS_AMP_THREADS`, and
+//! [`EngineConfig::amp_threshold_qubits`] / `COMPAS_AMP_QUBITS`), and
+//! it can stay a policy because the amp-parallel replay is
+//! *bit-identical* to the sequential one at any worker count (shot `i`
+//! still consumes stream `derive_stream_seed(root, i)`; interpreted
+//! points run single-threaded in program order). A twin API would
+//! force every protocol backend and analysis driver to pick a mode it
+//! cannot evaluate — only the engine sees the width, the backend's
+//! range-splitting capability (`SimState::AMP_PARALLEL`), and the
+//! machine.
+//!
 //! The same seed-splitting contract extends past one machine:
 //! [`partition_shots`] deterministically splits a job's global shot
 //! range into per-worker sub-ranges and [`merge_counts`] folds the
@@ -69,6 +93,11 @@
 //!   that call [`EngineConfig::from_env`]); defaults to the machine's
 //!   available parallelism.
 //! * `COMPAS_CHUNK` — shots per work unit (default 256).
+//! * `COMPAS_AMP_THREADS` — workers splitting one shot's amplitude
+//!   space when amp-parallelism engages (`1` disables; defaults to the
+//!   machine's available parallelism).
+//! * `COMPAS_AMP_QUBITS` — state width (qubits) at which amp-parallel
+//!   replay engages (default 20).
 //!
 //! ```
 //! use circuit::circuit::Circuit;

@@ -1,7 +1,7 @@
 //! The worker pool: chunked, deterministic parallel folding of shots.
 
 use circuit::circuit::Circuit;
-use qsim::runner::{pack_cbits, run_program_into};
+use qsim::runner::{pack_cbits, run_program_into, run_program_into_parallel};
 use qsim::sim::SimState;
 use qsim::statevector::StateVector;
 use rand::rngs::StdRng;
@@ -140,6 +140,16 @@ impl Engine {
     /// The configuration.
     pub fn config(&self) -> &EngineConfig {
         &self.config
+    }
+
+    /// Whether shots on backend `S` over a `num_qubits`-wide state run
+    /// amp-parallel (one shot at a time, its amplitude space split
+    /// across [`EngineConfig::amp_threads`]) instead of shot-parallel.
+    /// Pure policy on [`EngineConfig::amp_engaged`] and the backend's
+    /// `SimState::AMP_PARALLEL` capability: engaging never changes a
+    /// tally, only the latency of big single shots.
+    pub fn amp_engaged<S: SimState>(&self, num_qubits: usize) -> bool {
+        self.config.amp_engaged(S::AMP_PARALLEL, num_qubits)
     }
 
     /// The core primitive: folds `shots` independent shots into an
@@ -365,6 +375,9 @@ impl Engine {
             range.end,
             plan.shots
         );
+        if self.amp_engaged::<S>(plan.initial.num_qubits()) {
+            return self.run_plan_range_amp(plan, range);
+        }
         let tally = self.run_tally_range_with(
             range,
             plan.root_seed,
@@ -375,6 +388,37 @@ impl Engine {
             },
         );
         tally.into_iter().map(|(k, v)| (k, v as usize)).collect()
+    }
+
+    /// Amp-parallel body of [`Engine::run_plan_range`]: shots run in
+    /// order on the calling thread, each splitting its amplitude space
+    /// across [`EngineConfig::amp_threads`] workers. Shot `i` still
+    /// runs on `shot_rng(root_seed, i)` and each amp-parallel shot is
+    /// bit-identical to its sequential replay, so the counts equal the
+    /// shot-parallel path's exactly — at any thread count, and under
+    /// any range partition.
+    fn run_plan_range_amp<S: SimState>(
+        &self,
+        plan: &ShotPlan<S>,
+        range: std::ops::Range<u64>,
+    ) -> Counts {
+        let amp_threads = self.config.amp_threads;
+        let mut counts = Counts::new();
+        let mut state = plan.initial.clone();
+        let mut cbits = Vec::new();
+        for shot in range {
+            let mut rng = shot_rng(plan.root_seed, shot);
+            run_program_into_parallel(
+                &plan.program,
+                &plan.initial,
+                &mut state,
+                &mut cbits,
+                &mut rng,
+                amp_threads,
+            );
+            *counts.entry(pack_cbits(&cbits)).or_insert(0) += 1;
+        }
+        counts
     }
 
     /// Traced twin of the ranged tally primitive: histograms the packed
@@ -437,6 +481,11 @@ impl Engine {
 
     /// Traced twin of [`Engine::run_plan_range`]: identical counts,
     /// plus one [`ShotRecord`] per executed shot delivered to `sink`.
+    ///
+    /// Tracing keeps shot-level parallelism even when the amp-parallel
+    /// policy would engage — per-shot wall-clock timing is part of the
+    /// trace, and a barriered fork/join inside each shot would distort
+    /// it. (Amp-parallel traced replay is a recorded follow-on.)
     ///
     /// # Panics
     ///
@@ -519,6 +568,7 @@ mod tests {
         let engine = Engine::new(EngineConfig {
             threads: 3,
             chunk_size: 16,
+            ..EngineConfig::default()
         });
         let total = engine.run_fold_with(
             1_000,
@@ -590,10 +640,12 @@ mod tests {
         let coarse = Engine::new(EngineConfig {
             threads: 4,
             chunk_size: 1024,
+            ..EngineConfig::default()
         });
         let fine = Engine::new(EngineConfig {
             threads: 4,
             chunk_size: 7,
+            ..EngineConfig::default()
         });
         let f = |_: u64, rng: &mut StdRng| rng.random_range(0..100u8);
         assert_eq!(coarse.run_tally(3_000, 11, f), fine.run_tally(3_000, 11, f));

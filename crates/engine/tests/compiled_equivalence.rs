@@ -8,8 +8,10 @@
 //! their equivalence pins the plumbing rather than a compiler).
 
 use circuit::circuit::Circuit;
-use engine::{Backend, Engine, Executor};
+use engine::{Backend, Engine, EngineConfig, Executor};
+use mathkit::complex::{c64, Complex};
 use proptest::prelude::*;
+use qsim::compile::{compile, CompiledOp};
 use qsim::sim::SimState;
 use qsim::statevector::StateVector;
 use rand::rngs::StdRng;
@@ -91,12 +93,22 @@ fn random_circuit(seed: u64, n: usize, depth: usize, with_t: bool) -> Circuit {
 }
 
 /// Asserts compiled ≡ interpreted tallies on backend `S` for one root
-/// seed, in both execution modes.
+/// seed, across execution modes: sequential, shot-pooled, and (with
+/// the width threshold forced to zero) amplitude-parallel. Backends
+/// that cannot range-split silently never engage the amp mode, which
+/// is itself part of the contract — the policy must be invisible in
+/// the tallies.
 fn assert_equivalence<S: SimState>(circuit: &Circuit, root_seed: u64, shots: usize) {
     let initial = S::prepare(circuit.num_qubits());
+    let amp_engine = Engine::new(
+        EngineConfig::with_threads(1)
+            .with_amp_threads(3)
+            .with_amp_threshold(0),
+    );
     for exec in [
         Executor::sequential(root_seed),
         Executor::pooled(Engine::with_threads(3), root_seed),
+        Executor::pooled(amp_engine, root_seed),
     ] {
         let compiled = exec.sample_shots(circuit, &initial, shots);
         let interpreted = exec.sample_shots_interpreted(circuit, &initial, shots);
@@ -141,6 +153,72 @@ proptest! {
                 assert_equivalence::<StateVector>(&circuit, seed ^ 0xC0A5, shots);
             }
             _ => assert_equivalence::<StateVector>(&circuit, seed ^ 0xC0A5, shots),
+        }
+    }
+}
+
+/// Random unnormalised amplitude buffer — `apply_range` is linear, so
+/// bit-identity over range covers needs no physical state.
+fn random_amps(len: usize, rng: &mut StdRng) -> Vec<Complex> {
+    (0..len)
+        .map(|_| c64(rng.random_range(-1.0..1.0), rng.random_range(-1.0..1.0)))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The range-seam contract itself: for every kernel of a random
+    /// compiled program, applying it over an **arbitrary disjoint
+    /// cover** of `[0, 2ⁿ⁺ʷ)` — uneven random cuts into 1/2/4/7 parts,
+    /// applied in shuffled order — is bit-identical to the single full
+    /// pass, as is the balanced [`CompiledOp::worker_range`] cover the
+    /// amp-parallel driver uses.
+    #[test]
+    fn kernels_over_arbitrary_range_covers_match_full_pass(
+        seed in 0u64..1_000_000,
+        n in 2usize..5,
+        depth in 4usize..24,
+        widen in 0usize..3,
+        parts_idx in 0usize..4,
+    ) {
+        let parts = [1usize, 2, 4, 7][parts_idx];
+        let program = compile(&random_circuit(seed, n, depth, true));
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xBEEF);
+        let len = 1usize << (n + widen);
+        let base = random_amps(len, &mut rng);
+        for op in program.ops() {
+            if matches!(op, CompiledOp::Interp(_)) {
+                continue;
+            }
+            let mut full = base.clone();
+            op.apply_range(&mut full, 0, len, widen);
+
+            // Random uneven cut points, segments applied out of order:
+            // disjoint ranges own disjoint work units, so order is
+            // immaterial.
+            let mut cuts: Vec<usize> = (0..parts - 1).map(|_| rng.random_range(0..=len)).collect();
+            cuts.push(0);
+            cuts.push(len);
+            cuts.sort_unstable();
+            let mut segments: Vec<(usize, usize)> =
+                cuts.windows(2).map(|w| (w[0], w[1])).collect();
+            for i in (1..segments.len()).rev() {
+                let j = rng.random_range(0..=i);
+                segments.swap(i, j);
+            }
+            let mut covered = base.clone();
+            for (lo, hi) in segments {
+                op.apply_range(&mut covered, lo, hi, widen);
+            }
+            prop_assert_eq!(&covered, &full, "uneven cover diverged: {:?}", op);
+
+            let mut balanced = base.clone();
+            for worker in 0..parts {
+                let range = op.worker_range(worker, parts, len, widen);
+                op.apply_range(&mut balanced, range.start, range.end, widen);
+            }
+            prop_assert_eq!(&balanced, &full, "worker_range cover diverged: {:?}", op);
         }
     }
 }

@@ -47,6 +47,7 @@ fn chunk_size_never_changes_results() {
             Engine::new(EngineConfig {
                 threads: 4,
                 chunk_size,
+                ..EngineConfig::default()
             })
             .run_plan(&plan)
         })
@@ -138,6 +139,7 @@ fn sequential_and_pooled_executors_are_bit_identical_for_all_protocol_backends()
                 let engine = Engine::new(EngineConfig {
                     threads,
                     chunk_size,
+                    ..EngineConfig::default()
                 });
                 let pooled = backend.estimate_trace(&states, 400, &Executor::pooled(engine, root));
                 assert_eq!(
@@ -205,6 +207,7 @@ fn every_backend_is_mode_and_thread_invariant() {
                 let engine = Engine::new(EngineConfig {
                     threads,
                     chunk_size,
+                    ..EngineConfig::default()
                 });
                 let pooled = backend
                     .sample_shots(&c, 6_000, &Executor::pooled(engine, root))
@@ -220,6 +223,40 @@ fn every_backend_is_mode_and_thread_invariant() {
             .unwrap();
         assert_ne!(reference, other, "{backend}: seed had no effect");
     }
+}
+
+#[test]
+fn amp_parallel_tallies_are_worker_count_invariant() {
+    // CI's guards job filters on `amp_parallel`: with the engagement
+    // threshold forced to zero, amplitude-level parallelism at 2 and 8
+    // workers must tally bit-identically to the never-engaged reference
+    // (amp_threads = 1) — the amp path is a latency policy, not a new
+    // sampling semantics.
+    use engine::Executor;
+
+    let circuit = noisy_teleportation();
+    let root = 0xA117;
+    let run = |amp_threads: usize| {
+        let engine = Engine::new(
+            EngineConfig::with_threads(1)
+                .with_amp_threads(amp_threads)
+                .with_amp_threshold(0),
+        );
+        Executor::pooled(engine, root).sample_shots(&circuit, &StateVector::new(3), 4_000)
+    };
+    let reference = run(1);
+    assert_eq!(reference.values().sum::<usize>(), 4_000);
+    assert_eq!(reference, run(2), "2 amp workers diverged");
+    assert_eq!(reference, run(8), "8 amp workers diverged");
+    // And the amp path agrees with plan-level execution too.
+    let plan = ShotPlan::new(noisy_teleportation(), StateVector::new(3), 4_000, root);
+    let amp_plan = Engine::new(
+        EngineConfig::with_threads(1)
+            .with_amp_threads(4)
+            .with_amp_threshold(0),
+    )
+    .run_plan(&plan);
+    assert_eq!(reference, amp_plan, "run_plan amp path diverged");
 }
 
 #[test]

@@ -19,11 +19,26 @@
 //!   precomputed bit-mask swaps ([`CompiledOp::PermuteSwap`]) that touch
 //!   only the amplitudes they move — no scratch vector, no per-index
 //!   closure;
+//! * adjacent kernels whose combined qubit support fits in **two**
+//!   qubits are fused into one 4×4 pass ([`CompiledOp::Unitary2`]), so
+//!   a `Cx·Rz·Cx` ZZ block or a `U1·Cx` entangler costs one sweep over
+//!   the amplitude buffer instead of three — these kernels are
+//!   memory-bandwidth-bound, so passes over the buffer *are* the cost
+//!   model (see [`CompiledOp::bytes_touched`]);
 //! * measurement, reset, classical feedback, and noise sites remain
 //!   **interpretation points** ([`CompiledOp::Interp`]) executed through
 //!   [`SimState::step`], so the shot's RNG stream is consumed in
 //!   exactly the interpreted order and classical control still sees the
 //!   live register.
+//!
+//! Every non-`Interp` kernel applies through one uniform range-aware
+//! seam, [`CompiledOp::apply_range`]: a kernel's work units (amplitude
+//! pairs, quads, swap orbits, or single amplitudes) are each *owned* by
+//! their lowest member index, and `apply_range(amps, lo, hi, widen)`
+//! processes exactly the units owned by `[lo, hi)`. Applying a kernel
+//! over **any** disjoint cover of `[0, 2ⁿ)` is therefore bit-identical
+//! to the full pass — the contract the amplitude-parallel replay path
+//! ([`crate::amp`]) builds on.
 //!
 //! Compilation happens once per plan (`engine::ShotPlan`,
 //! `engine::Executor::sample_shots`) and the program is replayed across
@@ -44,9 +59,10 @@
 //! let mut c = Circuit::new(2, 2);
 //! c.h(0).t(0).s(0).cx(0, 1).measure(0, 0).measure(1, 1);
 //! let program = compile(&c);
-//! // H·T·S fuse into one 2×2 kernel; Cx becomes a mask swap; the two
-//! // measurements stay interpretation points.
-//! assert_eq!(program.num_ops(), 4);
+//! // H·T·S fuse into one 2×2 kernel, which then fuses with the Cx
+//! // mask swap into a single 4×4 pass; the two measurements stay
+//! // interpretation points.
+//! assert_eq!(program.num_ops(), 3);
 //! assert_eq!(program.interp_ops(), 2);
 //! ```
 
@@ -59,7 +75,12 @@ use crate::sim::{SimProgram, SimState};
 use crate::statevector::StateVector;
 
 /// A fused 2×2 unitary in row-major order.
-type Mat2 = [Complex; 4];
+pub type Mat2 = [Complex; 4];
+
+/// A fused 4×4 unitary in row-major order. Sub-index bit 1 is the
+/// amplitude-index bit [`CompiledOp::Unitary2::mask_hi`], bit 0 is
+/// `mask_lo`.
+pub type Mat4 = [Complex; 16];
 
 /// Bit mask selecting qubit `q` within a basis index of an `n`-qubit
 /// register (qubit 0 is the most significant bit, matching
@@ -114,6 +135,20 @@ pub enum CompiledOp {
         stride: usize,
         /// Row-major 2×2 matrix (the product of the fused gates).
         matrix: Mat2,
+    },
+    /// A fused two-qubit unitary applied over amplitude quads
+    /// `(i, i|mask_lo, i|mask_hi, i|mask_hi|mask_lo)` in one strided
+    /// pass. Produced by the post-lowering fusion of adjacent kernels
+    /// whose combined support fits in two qubits (ZZ blocks, entangler
+    /// sandwiches, parallel 1-qubit pairs).
+    Unitary2 {
+        /// The higher of the two amplitude-index bit masks (sub-index
+        /// bit 1 of [`Mat4`]).
+        mask_hi: usize,
+        /// The lower mask (sub-index bit 0).
+        mask_lo: usize,
+        /// Row-major 4×4 matrix (the product of the fused kernels).
+        matrix: Mat4,
     },
     /// A merged diagonal run.
     Phase(PhaseKernel),
@@ -173,6 +208,34 @@ impl CompiledCircuit {
     pub fn source_instructions(&self) -> usize {
         self.source_instructions
     }
+
+    /// Number of fused kernel passes over the amplitude buffer
+    /// (every op except the interpretation points).
+    pub fn kernel_passes(&self) -> usize {
+        self.num_ops() - self.interp_ops()
+    }
+
+    /// Total bytes the kernel passes move over a `num_qubits`-wide
+    /// state — the sum of [`CompiledOp::bytes_touched`] per shot,
+    /// excluding interpretation points.
+    pub fn kernel_bytes(&self, num_qubits: usize) -> u64 {
+        let len = 1usize << num_qubits;
+        self.ops.iter().map(|op| op.bytes_touched(len)).sum()
+    }
+
+    /// Average bytes moved per amplitude per kernel pass on a
+    /// `num_qubits`-wide state. A dense pass reads and writes every
+    /// 16-byte amplitude once (32 bytes); sparse kernels (mask swaps,
+    /// single-term phases) land well below that. Returns 0 when the
+    /// program has no kernel passes.
+    pub fn bytes_per_amp_pass(&self, num_qubits: usize) -> f64 {
+        let passes = self.kernel_passes();
+        if passes == 0 {
+            return 0.0;
+        }
+        let len = 1u64 << num_qubits;
+        self.kernel_bytes(num_qubits) as f64 / (passes as u64 * len) as f64
+    }
 }
 
 impl SimProgram for CompiledCircuit {
@@ -185,10 +248,32 @@ impl SimProgram for CompiledCircuit {
     }
 }
 
+/// Knobs for [`compile_with`]. The defaults are what [`compile`] uses;
+/// disabling `fuse_pairs` is mainly useful for measuring how much the
+/// two-qubit fusion pass shrinks a program (the `backend_scaling`
+/// sweep's fused-vs-unfused kernel-count guard).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompileOptions {
+    /// Fuse adjacent kernels whose combined support fits in two qubits
+    /// into one [`CompiledOp::Unitary2`] pass.
+    pub fuse_pairs: bool,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions { fuse_pairs: true }
+    }
+}
+
 /// Lowers `circuit` into a [`CompiledCircuit`] (see the module docs for
 /// the fusion rules). Pure function of the circuit; compile once per
 /// plan and replay across shots.
 pub fn compile(circuit: &Circuit) -> CompiledCircuit {
+    compile_with(circuit, CompileOptions::default())
+}
+
+/// [`compile`] with explicit [`CompileOptions`].
+pub fn compile_with(circuit: &Circuit, options: CompileOptions) -> CompiledCircuit {
     let n = circuit.num_qubits();
     let mut b = Builder {
         n,
@@ -206,10 +291,15 @@ pub fn compile(circuit: &Circuit) -> CompiledCircuit {
     }
     b.flush_all();
     b.finalize();
+    let ops = if options.fuse_pairs {
+        fuse_adjacent_pairs(b.ops)
+    } else {
+        b.ops
+    };
     CompiledCircuit {
         num_qubits: n,
         num_cbits: circuit.num_cbits(),
-        ops: b.ops,
+        ops,
         source_instructions: circuit.instructions().len(),
     }
 }
@@ -400,30 +490,439 @@ fn mul2(a: &Mat2, b: &Mat2) -> Mat2 {
 }
 
 // ---------------------------------------------------------------------
-// Kernel application.
+// Two-qubit kernel fusion.
 // ---------------------------------------------------------------------
 
-fn apply_unitary1(amps: &mut [Complex], stride: usize, m: &Mat2) {
-    let mut base = 0;
-    while base < amps.len() {
-        for i in base..base + stride {
-            let j = i + stride;
-            let (a0, a1) = (amps[i], amps[j]);
-            amps[i] = m[0] * a0 + m[1] * a1;
-            amps[j] = m[2] * a0 + m[3] * a1;
+/// Fuses maximal adjacent runs of kernels whose combined qubit support
+/// fits in two amplitude-index bits into one [`CompiledOp::Unitary2`]
+/// (or a [`CompiledOp::Unitary1`] when the run touches a single bit).
+/// Each fused pass reads and writes every amplitude once, where the run
+/// swept the buffer once per kernel before. Products that collapse to
+/// the exact identity (`Cx·Cx`, `Swap·Swap`) drop out of the program.
+fn fuse_adjacent_pairs(ops: Vec<CompiledOp>) -> Vec<CompiledOp> {
+    let mut out = Vec::with_capacity(ops.len());
+    let mut run: Vec<CompiledOp> = Vec::new();
+    let mut run_bits = 0usize;
+    for op in ops {
+        match fusable_support(&op) {
+            Some(bits) if (run_bits | bits).count_ones() <= 2 => {
+                run.push(op);
+                run_bits |= bits;
+            }
+            Some(bits) => {
+                flush_fusion_run(&mut out, &mut run, run_bits);
+                run.push(op);
+                run_bits = bits;
+            }
+            None => {
+                flush_fusion_run(&mut out, &mut run, run_bits);
+                run_bits = 0;
+                out.push(op);
+            }
         }
-        base += stride << 1;
+    }
+    flush_fusion_run(&mut out, &mut run, run_bits);
+    out
+}
+
+/// The amplitude-index bits a kernel touches, when that kernel can be
+/// lifted to a small dense matrix — `None` for interpretation points
+/// and for kernels too wide to fuse (phase masks or permutations over
+/// more than two bits).
+fn fusable_support(op: &CompiledOp) -> Option<usize> {
+    let narrow = |bits: usize| (bits.count_ones() <= 2).then_some(bits);
+    match op {
+        CompiledOp::Unitary1 { stride, .. } => Some(*stride),
+        CompiledOp::Unitary2 {
+            mask_hi, mask_lo, ..
+        } => Some(mask_hi | mask_lo),
+        CompiledOp::Phase(k) => narrow(k.terms.iter().fold(0, |m, &(mask, _)| m | mask)),
+        CompiledOp::PermuteSwap { select, flip, .. } => narrow(select | flip),
+        CompiledOp::Interp(_) => None,
     }
 }
 
-fn apply_phase(amps: &mut [Complex], k: &PhaseKernel, widen: usize) {
+/// Emits an accumulated fusion run: single ops pass through untouched,
+/// longer runs multiply out into one dense kernel over `run_bits`.
+fn flush_fusion_run(out: &mut Vec<CompiledOp>, run: &mut Vec<CompiledOp>, run_bits: usize) {
+    if run.len() < 2 {
+        out.append(run);
+        return;
+    }
+    match run_bits.count_ones() {
+        2 => {
+            let mask_lo = run_bits & run_bits.wrapping_neg();
+            let mask_hi = run_bits ^ mask_lo;
+            let m = run.drain(..).fold(identity4(), |acc, op| {
+                mul4(&mat4_of(&op, mask_hi, mask_lo), &acc)
+            });
+            if m != identity4() {
+                out.push(CompiledOp::Unitary2 {
+                    mask_hi,
+                    mask_lo,
+                    matrix: m,
+                });
+            }
+        }
+        1 => {
+            let m = run.drain(..).fold(IDENTITY2, |acc, op| {
+                mul2(&mat2_of_kernel(&op, run_bits), &acc)
+            });
+            if m != IDENTITY2 {
+                out.push(CompiledOp::Unitary1 {
+                    stride: run_bits,
+                    matrix: m,
+                });
+            }
+        }
+        // A run over zero bits is a sequence of global-only phase
+        // kernels; leave them as written.
+        _ => out.append(run),
+    }
+}
+
+const IDENTITY2: Mat2 = [Complex::ONE, Complex::ZERO, Complex::ZERO, Complex::ONE];
+
+fn identity4() -> Mat4 {
+    let mut m = [Complex::ZERO; 16];
+    for d in 0..4 {
+        m[d * 4 + d] = Complex::ONE;
+    }
+    m
+}
+
+/// Row-major 4×4 product `a · b`.
+fn mul4(a: &Mat4, b: &Mat4) -> Mat4 {
+    let mut out = [Complex::ZERO; 16];
+    for i in 0..4 {
+        for j in 0..4 {
+            let mut s = Complex::ZERO;
+            for k in 0..4 {
+                s += a[i * 4 + k] * b[k * 4 + j];
+            }
+            out[i * 4 + j] = s;
+        }
+    }
+    out
+}
+
+/// Lifts a kernel supported on `{mask_hi, mask_lo}` to its 4×4 matrix
+/// over the sub-index `(bit1 = mask_hi, bit0 = mask_lo)`.
+fn mat4_of(op: &CompiledOp, mask_hi: usize, mask_lo: usize) -> Mat4 {
+    // Projection of an amplitude-index mask onto the 2-bit sub-index.
+    let sub = |m: usize| {
+        debug_assert_eq!(m & !(mask_hi | mask_lo), 0, "mask outside the fused pair");
+        (usize::from(m & mask_hi != 0) << 1) | usize::from(m & mask_lo != 0)
+    };
+    let mut out = [Complex::ZERO; 16];
+    match op {
+        CompiledOp::Unitary1 { stride, matrix } => {
+            let target = sub(*stride);
+            let other = 3 & !target;
+            for s in 0..4 {
+                for t in 0..4 {
+                    if s & other == t & other {
+                        let row = usize::from(s & target != 0);
+                        let col = usize::from(t & target != 0);
+                        out[s * 4 + t] = matrix[row * 2 + col];
+                    }
+                }
+            }
+        }
+        CompiledOp::Unitary2 {
+            matrix,
+            mask_hi: h,
+            mask_lo: l,
+        } => {
+            debug_assert_eq!((*h, *l), (mask_hi, mask_lo));
+            out = *matrix;
+        }
+        CompiledOp::Phase(k) => {
+            for s in 0..4 {
+                let mut ph = k.global;
+                for &(mask, p) in &k.terms {
+                    let sm = sub(mask);
+                    if s & sm == sm {
+                        ph *= p;
+                    }
+                }
+                out[s * 4 + s] = ph;
+            }
+        }
+        CompiledOp::PermuteSwap { ones, select, flip } => {
+            let (so, ss, sf) = (sub(*ones), sub(*select), sub(*flip));
+            for s in 0..4 {
+                // A swap moves both members of a selected orbit: `s`
+                // itself or its partner `s ^ flip` matches the pattern.
+                let selected = s & ss == so || (s ^ sf) & ss == so;
+                let d = if selected { s ^ sf } else { s };
+                out[d * 4 + s] = Complex::ONE;
+            }
+        }
+        CompiledOp::Interp(_) => unreachable!("interp points are never fused"),
+    }
+    out
+}
+
+/// Lifts a kernel supported on the single bit `bit` to its 2×2 matrix.
+/// Permutations never land here: their `select | flip` spans at least
+/// two bits by construction.
+fn mat2_of_kernel(op: &CompiledOp, bit: usize) -> Mat2 {
+    match op {
+        CompiledOp::Unitary1 { stride, matrix } => {
+            debug_assert_eq!(*stride, bit);
+            *matrix
+        }
+        CompiledOp::Phase(k) => {
+            let mut diag = [k.global, k.global];
+            for &(mask, p) in &k.terms {
+                debug_assert_eq!(mask, bit);
+                diag[1] *= p;
+            }
+            [diag[0], Complex::ZERO, Complex::ZERO, diag[1]]
+        }
+        other => unreachable!("kernel {other:?} cannot have 1-bit support"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Kernel application: the range-aware seam.
+// ---------------------------------------------------------------------
+
+impl CompiledOp {
+    /// Applies this kernel to the whole amplitude buffer. Equivalent to
+    /// `apply_range(amps, 0, amps.len(), widen)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on [`CompiledOp::Interp`]: interpretation points go
+    /// through [`SimState::step`], not the kernel seam.
+    pub fn apply(&self, amps: &mut [Complex], widen: usize) {
+        self.apply_range(amps, 0, amps.len(), widen);
+    }
+
+    /// Applies this kernel to the work units *owned* by the index range
+    /// `[lo, hi)`.
+    ///
+    /// Ownership: every work unit — an amplitude pair for
+    /// [`Unitary1`](CompiledOp::Unitary1), a quad for
+    /// [`Unitary2`](CompiledOp::Unitary2), a swap orbit for
+    /// [`PermuteSwap`](CompiledOp::PermuteSwap), a single amplitude for
+    /// [`Phase`](CompiledOp::Phase) — belongs to its unique
+    /// *representative*: the member whose selected bits sit at the
+    /// kernel's pinned values (pairs/quads: target bits clear; swap
+    /// orbits: `i & select == ones`, unique because `flip ⊆ select`).
+    /// A call may read and write partner amplitudes *outside*
+    /// `[lo, hi)`, but two calls with disjoint ranges never touch the
+    /// same amplitude, and the per-unit arithmetic is independent of
+    /// the range split. Hence the contract: applying a kernel over any
+    /// disjoint cover of `[0, len)` is **bit-identical** to one full
+    /// pass, with no alignment requirement on the cover.
+    ///
+    /// `widen` shifts the compiled masks up when the state is wider
+    /// than the program (see [`StateVector::apply_compiled`]); it is
+    /// applied once here rather than at every use site.
+    ///
+    /// # Panics
+    ///
+    /// Panics on [`CompiledOp::Interp`].
+    pub fn apply_range(&self, amps: &mut [Complex], lo: usize, hi: usize, widen: usize) {
+        debug_assert!(lo <= hi && hi <= amps.len());
+        debug_assert!(amps.len().is_power_of_two());
+        match self {
+            CompiledOp::Unitary1 { stride, matrix } => {
+                unitary1_range(amps, stride << widen, matrix, lo, hi);
+            }
+            CompiledOp::Unitary2 {
+                mask_hi,
+                mask_lo,
+                matrix,
+            } => {
+                unitary2_range(amps, mask_hi << widen, mask_lo << widen, matrix, lo, hi);
+            }
+            CompiledOp::Phase(k) => phase_range(amps, k, widen, lo, hi),
+            CompiledOp::PermuteSwap { ones, select, flip } => {
+                permute_range(amps, ones << widen, select << widen, flip << widen, lo, hi);
+            }
+            CompiledOp::Interp(instr) => {
+                panic!("Interp({instr:?}) has no kernel; step it through SimState")
+            }
+        }
+    }
+
+    /// The contiguous amplitude range worker `worker` of `workers` owns
+    /// for this kernel on a `len`-amplitude buffer — an equal-work
+    /// partition of the kernel's units whose ranges tile `[0, len)`.
+    ///
+    /// Equal *index* splits are not equal *work* splits for strided
+    /// kernels: a `Unitary1` on the state's MSB keeps every pair
+    /// representative in the lower half of the buffer, so a naive
+    /// even split would serialize the whole kernel onto half the
+    /// workers. Instead the kernel's unit counter is split evenly and
+    /// mapped back to amplitude indices through the (monotone) spread
+    /// of the counter bits over the kernel's free bit positions.
+    pub fn worker_range(
+        &self,
+        worker: usize,
+        workers: usize,
+        len: usize,
+        widen: usize,
+    ) -> std::ops::Range<usize> {
+        debug_assert!(worker < workers);
+        debug_assert!(len.is_power_of_two());
+        let (free, pinned) = match self {
+            CompiledOp::Unitary1 { stride, .. } => (!(stride << widen) & (len - 1), 0),
+            CompiledOp::Unitary2 {
+                mask_hi, mask_lo, ..
+            } => (!((mask_hi | mask_lo) << widen) & (len - 1), 0),
+            CompiledOp::PermuteSwap { ones, select, .. } => {
+                (!(select << widen) & (len - 1), ones << widen)
+            }
+            // Phase kernels (and the degenerate Interp case) do
+            // uniform per-index work.
+            CompiledOp::Phase(_) | CompiledOp::Interp(_) => (len - 1, 0),
+        };
+        let units = 1usize << free.count_ones();
+        let unit_index = |k: usize| {
+            if k >= units {
+                len
+            } else {
+                spread(k, free) | pinned
+            }
+        };
+        let lo = if worker == 0 {
+            0
+        } else {
+            unit_index(units * worker / workers)
+        };
+        let hi = if worker + 1 == workers {
+            len
+        } else {
+            unit_index(units * (worker + 1) / workers)
+        };
+        lo..hi
+    }
+
+    /// Bytes this kernel moves over a `len`-amplitude buffer, counting
+    /// each 16-byte amplitude it reads and each it writes. Dense passes
+    /// (`Unitary1`/`Unitary2`, multi-term phases) move `32·len`; sparse
+    /// kernels scale with the selected fraction. Interp points report 0
+    /// — their cost lives outside the kernel seam.
+    pub fn bytes_touched(&self, len: usize) -> u64 {
+        const RW: u64 = 2 * 16; // one read + one write of a Complex
+        let len = len as u64;
+        match self {
+            CompiledOp::Unitary1 { .. } | CompiledOp::Unitary2 { .. } => RW * len,
+            CompiledOp::Phase(k) => {
+                if k.global == Complex::ONE && k.terms.len() == 1 {
+                    RW * (len >> k.terms[0].0.count_ones())
+                } else {
+                    RW * len
+                }
+            }
+            CompiledOp::PermuteSwap { select, .. } => {
+                // Each selected orbit swaps two amplitudes.
+                2 * RW * (len >> select.count_ones())
+            }
+            CompiledOp::Interp(_) => 0,
+        }
+    }
+}
+
+/// Distributes the low bits of `k` over the set bit positions of
+/// `free`, lowest to lowest. Strictly monotone in `k`, and surjective
+/// onto the submasks of `free` — the inverse of "gather the free bits
+/// of an index into a dense counter".
+fn spread(mut k: usize, mut free: usize) -> usize {
+    let mut out = 0;
+    while free != 0 {
+        let bit = free & free.wrapping_neg();
+        if k & 1 != 0 {
+            out |= bit;
+        }
+        k >>= 1;
+        free &= free - 1;
+    }
+    out
+}
+
+/// Strided pair update over the representatives (stride bit clear) in
+/// `[lo, hi)`. Within each stride block the pair streams are disjoint
+/// slices, so the inner loop is bounds-check-free and cache-blocked:
+/// both streams advance linearly, touching `2·stride` contiguous bytes
+/// per block regardless of how high the stride is.
+fn unitary1_range(amps: &mut [Complex], stride: usize, m: &Mat2, lo: usize, hi: usize) {
+    let span = stride << 1;
+    let mut base = lo & !(span - 1);
+    while base < hi {
+        let start = base.max(lo);
+        let end = (base + stride).min(hi);
+        if start < end {
+            let (head, tail) = amps.split_at_mut(base + stride);
+            let lows = &mut head[start..end];
+            let highs = &mut tail[start - base..end - base];
+            for (a, b) in lows.iter_mut().zip(highs.iter_mut()) {
+                let (a0, a1) = (*a, *b);
+                *a = m[0] * a0 + m[1] * a1;
+                *b = m[2] * a0 + m[3] * a1;
+            }
+        }
+        base += span;
+    }
+}
+
+/// Quad update over the representatives (both mask bits clear) in
+/// `[lo, hi)`.
+fn unitary2_range(
+    amps: &mut [Complex],
+    mask_hi: usize,
+    mask_lo: usize,
+    m: &Mat4,
+    lo: usize,
+    hi: usize,
+) {
+    let select = mask_hi | mask_lo;
+    fn quad(amps: &mut [Complex], m: &Mat4, i: usize, mask_hi: usize, mask_lo: usize) {
+        let idx = [i, i | mask_lo, i | mask_hi, i | mask_hi | mask_lo];
+        let a = [amps[idx[0]], amps[idx[1]], amps[idx[2]], amps[idx[3]]];
+        for (row, &out_i) in idx.iter().enumerate() {
+            amps[out_i] = m[row * 4] * a[0]
+                + m[row * 4 + 1] * a[1]
+                + m[row * 4 + 2] * a[2]
+                + m[row * 4 + 3] * a[3];
+        }
+    }
+    if lo == 0 && hi == amps.len() {
+        let len = amps.len();
+        for_each_masked(0, select, len, |i| quad(amps, m, i, mask_hi, mask_lo));
+    } else {
+        // Sub-range: scan-and-test. Summed over a disjoint cover this
+        // costs one pass over the range bits, same as the full pass.
+        for i in lo..hi {
+            if i & select == 0 {
+                quad(amps, m, i, mask_hi, mask_lo);
+            }
+        }
+    }
+}
+
+fn phase_range(amps: &mut [Complex], k: &PhaseKernel, widen: usize, lo: usize, hi: usize) {
     if k.global == Complex::ONE && k.terms.len() == 1 {
         // Single conditional term: touch only the selected amplitudes.
         let (mask, p) = k.terms[0];
         let mask = mask << widen;
-        for_each_masked(mask, mask, amps.len(), |i| amps[i] *= p);
+        if lo == 0 && hi == amps.len() {
+            for_each_masked(mask, mask, amps.len(), |i| amps[i] *= p);
+        } else {
+            for (i, a) in amps[lo..hi].iter_mut().enumerate() {
+                if (lo + i) & mask == mask {
+                    *a *= p;
+                }
+            }
+        }
     } else {
-        for (i, a) in amps.iter_mut().enumerate() {
+        for (i, a) in amps[lo..hi].iter_mut().enumerate() {
+            let i = lo + i;
             let mut ph = k.global;
             for &(mask, p) in &k.terms {
                 if i & (mask << widen) == mask << widen {
@@ -431,6 +930,30 @@ fn apply_phase(amps: &mut [Complex], k: &PhaseKernel, widen: usize) {
                 }
             }
             *a *= ph;
+        }
+    }
+}
+
+/// Swap orbits whose representative (`i & select == ones`) lies in
+/// `[lo, hi)`. Representatives are unique because `flip ⊆ select` for
+/// every compiled permutation, so the partner `i ^ flip` never itself
+/// matches the pattern.
+fn permute_range(
+    amps: &mut [Complex],
+    ones: usize,
+    select: usize,
+    flip: usize,
+    lo: usize,
+    hi: usize,
+) {
+    debug_assert_eq!(flip & !select, 0, "flip must lie within select");
+    if lo == 0 && hi == amps.len() {
+        for_each_masked(ones, select, amps.len(), |i| amps.swap(i, i ^ flip));
+    } else {
+        for i in lo..hi {
+            if i & select == ones {
+                amps.swap(i, i ^ flip);
+            }
         }
     }
 }
@@ -465,18 +988,8 @@ impl StateVector {
         let widen = self.num_qubits() - program.num_qubits;
         for op in &program.ops {
             match op {
-                CompiledOp::Unitary1 { stride, matrix } => {
-                    apply_unitary1(self.amps_mut(), stride << widen, matrix);
-                }
-                CompiledOp::Phase(k) => apply_phase(self.amps_mut(), k, widen),
-                CompiledOp::PermuteSwap { ones, select, flip } => {
-                    let amps = self.amps_mut();
-                    let flip = flip << widen;
-                    for_each_masked(ones << widen, select << widen, amps.len(), |i| {
-                        amps.swap(i, i ^ flip)
-                    });
-                }
                 CompiledOp::Interp(instr) => SimState::step(self, instr, cbits, rng),
+                kernel => kernel.apply(self.amps_mut(), widen),
             }
         }
     }
@@ -714,6 +1227,156 @@ mod tests {
         for_each_masked(0, 0, 4, |i| all.push(i));
         all.sort_unstable();
         assert_eq!(all, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn zz_block_fuses_into_one_unitary2_pass() {
+        // Cx·Rz·Cx on a qubit pair is the ZZ interaction of every
+        // QAOA/Trotter layer; it must cost one 4×4 pass, not three.
+        let mut c = Circuit::new(2, 0);
+        c.h(0).h(1);
+        c.cx(0, 1).rz(1, 0.7).cx(0, 1);
+        let p = compile(&c);
+        assert_eq!(p.num_ops(), 1, "ops: {:?}", p.ops());
+        assert!(matches!(p.ops()[0], CompiledOp::Unitary2 { .. }));
+        let unfused = compile_with(&c, CompileOptions { fuse_pairs: false });
+        assert!(unfused.num_ops() > p.num_ops());
+        // Matches interpretation on a random superposition.
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut fast = StateVector::from_amplitudes(crate::qrand::random_pure_state(2, &mut rng));
+        let mut slow = fast.clone();
+        fast.apply_compiled(&p, &mut [], &mut StdRng::seed_from_u64(0));
+        for instr in c.instructions() {
+            if let Instruction::Gate(g) = instr {
+                slow.apply_gate(g);
+            }
+        }
+        assert_states_close(&fast, &slow);
+    }
+
+    #[test]
+    fn exact_permutation_identities_drop_out() {
+        let mut c = Circuit::new(2, 0);
+        c.h(0).h(1).cx(0, 1).cx(0, 1).swap(0, 1).swap(0, 1);
+        let p = compile(&c);
+        // Cx·Cx and Swap·Swap multiply to the exact identity; only the
+        // fused Hadamard pair survives.
+        assert_eq!(p.num_ops(), 1, "ops: {:?}", p.ops());
+    }
+
+    #[test]
+    fn apply_range_over_disjoint_covers_is_bit_identical() {
+        // Every kernel kind, applied over unaligned covers of the
+        // index space, must reproduce the full pass exactly.
+        let n = 5;
+        let len = 1usize << n;
+        let kernels = [
+            CompiledOp::Unitary1 {
+                stride: qubit_mask(0, n), // MSB: all pairs in the lower half
+                matrix: mat2_of(&Gate::H(0)),
+            },
+            CompiledOp::Unitary2 {
+                mask_hi: qubit_mask(1, n),
+                mask_lo: qubit_mask(4, n),
+                matrix: mat4_of(
+                    &CompiledOp::Unitary1 {
+                        stride: qubit_mask(1, n),
+                        matrix: mat2_of(&Gate::T(0)),
+                    },
+                    qubit_mask(1, n),
+                    qubit_mask(4, n),
+                ),
+            },
+            CompiledOp::Phase(PhaseKernel {
+                global: Complex::from_polar(1.0, 0.3),
+                terms: vec![
+                    (qubit_mask(2, n), Complex::I),
+                    (qubit_mask(0, n) | qubit_mask(3, n), -Complex::ONE),
+                ],
+            }),
+            CompiledOp::PermuteSwap {
+                ones: qubit_mask(2, n),
+                select: qubit_mask(2, n) | qubit_mask(0, n),
+                flip: qubit_mask(0, n),
+            },
+        ];
+        let mut rng = StdRng::seed_from_u64(21);
+        let init = crate::qrand::random_pure_state(n, &mut rng);
+        for op in &kernels {
+            let mut full = init.clone();
+            op.apply(&mut full, 0);
+            for parts in [1usize, 2, 3, 4, 7] {
+                // Unaligned contiguous cover.
+                let mut split = init.clone();
+                for p in 0..parts {
+                    op.apply_range(&mut split, len * p / parts, len * (p + 1) / parts, 0);
+                }
+                assert_eq!(split, full, "{op:?} over {parts} even parts");
+                // The balanced worker cover the amp-parallel path uses.
+                let mut balanced = init.clone();
+                for w in 0..parts {
+                    let r = op.worker_range(w, parts, len, 0);
+                    op.apply_range(&mut balanced, r.start, r.end, 0);
+                }
+                assert_eq!(balanced, full, "{op:?} over {parts} worker ranges");
+            }
+        }
+    }
+
+    #[test]
+    fn worker_ranges_tile_the_index_space_with_balanced_units() {
+        let n = 6;
+        let len = 1usize << n;
+        let op = CompiledOp::Unitary1 {
+            stride: qubit_mask(0, n),
+            matrix: mat2_of(&Gate::H(0)),
+        };
+        for workers in [1, 2, 3, 4, 8] {
+            let mut next = 0;
+            let mut unit_counts = Vec::new();
+            for w in 0..workers {
+                let r = op.worker_range(w, workers, len, 0);
+                assert_eq!(r.start, next, "ranges must tile contiguously");
+                next = r.end;
+                // Count this worker's owned pair representatives.
+                let stride = qubit_mask(0, n);
+                unit_counts.push((r.start..r.end).filter(|i| i & stride == 0).count());
+            }
+            assert_eq!(next, len);
+            let (min, max) = (
+                unit_counts.iter().min().unwrap(),
+                unit_counts.iter().max().unwrap(),
+            );
+            assert!(
+                max - min <= 1,
+                "{workers} workers: unbalanced units {unit_counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn bytes_accounting_reflects_kernel_sparsity() {
+        let len = 1usize << 10;
+        let dense = CompiledOp::Unitary1 {
+            stride: 1,
+            matrix: mat2_of(&Gate::H(0)),
+        };
+        assert_eq!(dense.bytes_touched(len), 32 * len as u64);
+        let swap = CompiledOp::PermuteSwap {
+            ones: 0b10,
+            select: 0b11,
+            flip: 0b01,
+        };
+        // A quarter of the indices are representatives; each swap moves
+        // two amplitudes (read + write both).
+        assert_eq!(swap.bytes_touched(len), 64 * (len as u64 / 4));
+        let mut c = Circuit::new(2, 2);
+        c.h(0).cx(0, 1).measure(0, 0).measure(1, 1);
+        let p = compile(&c);
+        assert_eq!(p.kernel_passes(), 1);
+        assert_eq!(p.interp_ops(), 2);
+        // One dense fused pass: exactly 32 bytes per amplitude.
+        assert!((p.bytes_per_amp_pass(2) - 32.0).abs() < 1e-12);
     }
 
     #[test]

@@ -15,11 +15,17 @@
 //!   `stabilizer` crate's `CliffordState`), with typed
 //!   [`sim::Unsupported`] capability probes instead of mid-shot panics;
 //! * [`compile`] — compile-once lowering of circuits into fused
-//!   statevector kernels (gate fusion, phase-mask merging, precomputed
-//!   permutation masks) replayed by every shot of a plan;
+//!   statevector kernels (gate fusion, two-qubit 4×4 fusion, phase-mask
+//!   merging, precomputed permutation masks) replayed by every shot of
+//!   a plan, each kernel dispatching through the range-aware
+//!   [`compile::CompiledOp::apply_range`] seam;
+//! * [`amp`] — amplitude-level parallel replay of compiled programs:
+//!   one big shot's amplitude space split across workers with a barrier
+//!   per kernel, bit-identical to the sequential replay;
 //! * [`runner`] — shot sampling over circuits, generic over the
 //!   [`sim::SimState`] backend, interpreted ([`runner::run_shot_into`])
-//!   or compiled ([`runner::run_program_into`]);
+//!   or compiled ([`runner::run_program_into`] /
+//!   [`runner::run_program_into_parallel`]);
 //! * [`qrand`] — random states, random density matrices, and the
 //!   eigen-ensembles used for trajectory simulation of mixed states.
 //!
@@ -35,6 +41,7 @@
 //! assert_eq!(out.cbits[0], out.cbits[1]); // Bell correlations
 //! ```
 
+pub mod amp;
 pub mod compile;
 pub mod density;
 pub mod qrand;
@@ -44,15 +51,15 @@ pub mod statevector;
 
 /// Convenient glob-import of the most used items.
 pub mod prelude {
-    pub use crate::compile::{compile, CompiledCircuit};
+    pub use crate::compile::{compile, compile_with, CompileOptions, CompiledCircuit, CompiledOp};
     pub use crate::density::{run_deferred, DensityMatrix};
     pub use crate::qrand::{
         random_density_matrix, random_density_matrix_of_rank, random_pauli_on, random_pure_state,
         PureEnsemble,
     };
     pub use crate::runner::{
-        pack_cbits, run_program_into, run_shot, run_shot_into, run_unitary, sample_shots,
-        ShotOutcome,
+        pack_cbits, run_program_into, run_program_into_parallel, run_shot, run_shot_into,
+        run_unitary, sample_shots, ShotOutcome,
     };
     pub use crate::sim::{SimProgram, SimState, Unsupported};
     pub use crate::statevector::StateVector;

@@ -133,6 +133,38 @@ pub fn run_program_into<S: SimState>(
     state.finish(cbits, rng);
 }
 
+/// [`run_program_into`] with the shot's state-space work split across
+/// up to `threads` workers (see [`SimState::run_program_parallel`]) —
+/// bit-identical to the sequential variant at any thread count. Shot
+/// loops that trade shot-level for amplitude-level parallelism (the
+/// engine's amp-parallel policy on big statevectors) call this with the
+/// pool's thread budget; everything else should keep calling
+/// [`run_program_into`].
+///
+/// # Panics
+///
+/// Panics if the program needs more qubits than `initial` has.
+pub fn run_program_into_parallel<S: SimState>(
+    program: &S::Program,
+    initial: &S,
+    state: &mut S,
+    cbits: &mut Vec<bool>,
+    rng: &mut impl Rng,
+    threads: usize,
+) {
+    assert!(
+        program.num_qubits() <= initial.num_qubits(),
+        "program needs {} qubits but the state has {}",
+        program.num_qubits(),
+        initial.num_qubits()
+    );
+    state.reset_from(initial);
+    cbits.clear();
+    cbits.resize(program.num_cbits(), false);
+    state.run_program_parallel(program, cbits, rng, threads);
+    state.finish(cbits, rng);
+}
+
 /// Packs a classical register into an integer, bit 0 least significant —
 /// the histogram key convention shared with [`ShotOutcome::cbits_as_usize`].
 pub fn pack_cbits(cbits: &[bool]) -> usize {

@@ -147,6 +147,30 @@ pub trait SimState: Clone + Send + Sync {
     /// interpreted shots are record-identical per seed; does **not**
     /// call [`SimState::finish`] (the loop entry points do).
     fn run_program(&mut self, program: &Self::Program, cbits: &mut [bool], rng: &mut impl Rng);
+
+    /// Whether [`SimState::run_program_parallel`] actually splits one
+    /// shot's work across threads. `false` (the default) means the
+    /// parallel entry point is just [`SimState::run_program`], and the
+    /// engine's amp-parallel policy never engages for this backend.
+    const AMP_PARALLEL: bool = false;
+
+    /// [`SimState::run_program`] with the single shot's state-space
+    /// work split across up to `threads` workers — **bit-identical**
+    /// to the sequential replay at any thread count (callers rely on
+    /// this for thread-count-invariant tallies). Backends without an
+    /// amplitude-parallel path (every backend with
+    /// [`SimState::AMP_PARALLEL`]` == false`) fall back to the
+    /// sequential replay.
+    fn run_program_parallel(
+        &mut self,
+        program: &Self::Program,
+        cbits: &mut [bool],
+        rng: &mut impl Rng,
+        threads: usize,
+    ) {
+        let _ = threads;
+        self.run_program(program, cbits, rng);
+    }
 }
 
 impl SimState for StateVector {
@@ -215,6 +239,18 @@ impl SimState for StateVector {
 
     fn run_program(&mut self, program: &CompiledCircuit, cbits: &mut [bool], rng: &mut impl Rng) {
         self.apply_compiled(program, cbits, rng);
+    }
+
+    const AMP_PARALLEL: bool = true;
+
+    fn run_program_parallel(
+        &mut self,
+        program: &CompiledCircuit,
+        cbits: &mut [bool],
+        rng: &mut impl Rng,
+        threads: usize,
+    ) {
+        self.apply_compiled_parallel(program, cbits, rng, threads);
     }
 }
 
