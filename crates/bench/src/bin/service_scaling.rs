@@ -31,6 +31,13 @@
 //!   identical batch from disk without executing a single shot. The
 //!   perf guard asserts this beats the cold rate.
 //!
+//! Two observability rows guard the instrumentation bargain: the same
+//! distinct-seed cold batch served by an uninstrumented and a fully
+//! instrumented (`obs::Registry`) server — rows **service-obs-off** /
+//! **service-obs-on**. The response lines must be byte-identical
+//! (instrumentation never changes served bytes) and CI's perf guard
+//! asserts the instrumented rate stays within 5% of the bare one.
+//!
 //! A third section benches the **sharded topology**: the same batch
 //! (explicit statevector backend, heavier shots) served through a
 //! `shard` coordinator over 1, 2, and 4 loopback workers — rows
@@ -238,6 +245,44 @@ fn main() {
     let idle_rate = requests as f64 / idle_secs;
     let restart_rate = requests as f64 / restart_secs;
 
+    // ---- observability overhead: the same cold batch, obs off vs on ----
+    //
+    // Fresh servers (no disk spill, distinct seed range) so every
+    // request executes; the only difference between the passes is the
+    // registry. Byte-identity here is the differential guarantee, the
+    // two rates feed the <5% perf guard.
+    let mut obs_rows: Vec<(&str, f64, Vec<String>)> = Vec::new();
+    for (label, metrics) in [
+        ("service-obs-off", None),
+        ("service-obs-on", Some(obs::Registry::default())),
+    ] {
+        let handle = Service::spawn(ServiceConfig {
+            workers,
+            cache_capacity: requests as usize + 8,
+            slice_shots: 4096,
+            metrics: metrics.clone(),
+            ..ServiceConfig::default()
+        })
+        .expect("spawn service");
+        let mut client = Client::connect(handle.addr());
+        let (secs, lines) = run_pass(&mut client, &qasm, shots, 5_000..5_000 + requests, false);
+        if let Some(registry) = &metrics {
+            let snapshot = registry.snapshot();
+            let execute = snapshot
+                .histo("stage.execute")
+                .expect("instrumented server recorded stage.execute");
+            assert!(execute.count > 0, "instrumented pass observed nothing");
+        }
+        handle.shutdown();
+        obs_rows.push((label, secs, lines));
+    }
+    assert_eq!(
+        obs_rows[0].2, obs_rows[1].2,
+        "instrumentation changed the served bytes"
+    );
+    let obs_off_rate = requests as f64 / obs_rows[0].1;
+    let obs_on_rate = requests as f64 / obs_rows[1].1;
+
     // ---- sharded topology: coordinator + N workers over loopback ----
     //
     // Explicit statevector backend so simulation (not TCP framing)
@@ -337,6 +382,15 @@ fn main() {
         format!("{restart_secs:.3}"),
         format!("{restart_rate:.0}"),
     ]);
+    for (label, secs, _) in &obs_rows {
+        table.push_row(vec![
+            (*label).to_string(),
+            requests.to_string(),
+            shots.to_string(),
+            format!("{secs:.3}"),
+            format!("{:.0}", requests as f64 / secs),
+        ]);
+    }
     for (n, secs, _) in &sharded {
         table.push_row(vec![
             format!("sharded-{n}"),
@@ -401,6 +455,17 @@ fn main() {
             ("sim_shots_per_request".to_string(), shots as f64),
         ],
     );
+    for (label, secs, _) in &obs_rows {
+        report.push_timing_extra(
+            label,
+            "auto",
+            "service",
+            workers,
+            requests as usize,
+            *secs,
+            vec![("sim_shots_per_request".to_string(), shots as f64)],
+        );
+    }
     for (n, secs, redispatched) in &sharded {
         report.push_timing_extra(
             &format!("sharded-{n}"),
@@ -425,6 +490,10 @@ fn main() {
         "disk-warm restart: {:.1}x the cold request rate ({restart_rate:.0}/s vs {cold_rate:.0}/s); \
          {idle_conns} idle connections cost {thread_delta} threads",
         restart_rate / cold_rate
+    );
+    println!(
+        "observability overhead: {:.1}% ({obs_on_rate:.0}/s instrumented vs {obs_off_rate:.0}/s bare)",
+        100.0 * (1.0 - obs_on_rate / obs_off_rate)
     );
     assert!(
         warm_rate > cold_rate,

@@ -102,18 +102,56 @@ impl<S: SimState> ShotPlan<S> {
     }
 }
 
+/// Resolved observability handles: the engine's execution timings.
+#[derive(Clone)]
+struct EngineObs {
+    /// Wall time of each claimed shot chunk (and of each single-worker
+    /// ranged fold).
+    chunk: obs::Histo,
+    /// Wall time of each amp-parallel shot.
+    amp_shot: obs::Histo,
+    /// Per-kernel apply times on the amp path, mirrored from
+    /// `qsim::amp::kernel_clock`.
+    amp_kernel: obs::Histo,
+}
+
 /// The shot-execution engine: a configured worker pool over which every
 /// sampling workload in the workspace runs. See the crate docs for the
 /// determinism contract.
-#[derive(Debug, Clone, Default)]
+#[derive(Clone, Default)]
 pub struct Engine {
     config: EngineConfig,
+    obs: Option<EngineObs>,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("config", &self.config)
+            .field("obs", &self.obs.as_ref().map(|_| "..."))
+            .finish()
+    }
 }
 
 impl Engine {
     /// An engine with an explicit configuration.
     pub fn new(config: EngineConfig) -> Self {
-        Engine { config }
+        Engine { config, obs: None }
+    }
+
+    /// A copy of this engine that times execution into `registry`:
+    /// per-chunk fold times (`engine.chunk`), amp-parallel shot
+    /// latencies (`engine.amp_shot`), and the amp path's per-kernel
+    /// apply times (`engine.amp_kernel`, mirrored from
+    /// `qsim::amp::kernel_clock`). Timing is observation only — every
+    /// tally stays bit-identical to the unobserved engine's.
+    pub fn with_metrics(mut self, registry: &obs::Registry) -> Engine {
+        self.obs = Some(EngineObs {
+            chunk: registry.histo("engine.chunk"),
+            amp_shot: registry.histo("engine.amp_shot"),
+            amp_kernel: registry.histo("engine.amp_kernel"),
+        });
+        self
     }
 
     /// An engine configured from `COMPAS_THREADS` / `--threads` /
@@ -217,13 +255,18 @@ impl Engine {
         let chunk = self.config.chunk_size.max(1);
         let num_chunks = total.div_ceil(chunk);
         let workers = self.config.threads.min(num_chunks.max(1) as usize).max(1);
+        let chunk_histo = self.obs.as_ref().map(|o| o.chunk.clone());
 
         if workers == 1 {
+            let started = chunk_histo.as_ref().map(|_| std::time::Instant::now());
             let mut acc = init();
             let mut ws = make_ws();
             for shot in range {
                 let mut rng = shot_rng(root_seed, shot);
                 step(&mut acc, &mut ws, shot, &mut rng);
+            }
+            if let (Some(histo), Some(started)) = (&chunk_histo, started) {
+                histo.record_duration(started.elapsed());
             }
             return acc;
         }
@@ -240,11 +283,15 @@ impl Engine {
                             if c >= num_chunks {
                                 break;
                             }
+                            let started = chunk_histo.as_ref().map(|_| std::time::Instant::now());
                             let start = range.start + c * chunk;
                             let end = (start + chunk).min(range.end);
                             for shot in start..end {
                                 let mut rng = shot_rng(root_seed, shot);
                                 step(&mut acc, &mut ws, shot, &mut rng);
+                            }
+                            if let (Some(histo), Some(started)) = (&chunk_histo, started) {
+                                histo.record_duration(started.elapsed());
                             }
                         }
                         acc
@@ -403,10 +450,17 @@ impl Engine {
         range: std::ops::Range<u64>,
     ) -> Counts {
         let amp_threads = self.config.amp_threads;
+        // Baseline of qsim's process-wide kernel clock; the delta over
+        // this call mirrors into `engine.amp_kernel` afterwards.
+        let kernel_base = self
+            .obs
+            .as_ref()
+            .map(|_| qsim::amp::kernel_clock::snapshot());
         let mut counts = Counts::new();
         let mut state = plan.initial.clone();
         let mut cbits = Vec::new();
         for shot in range {
+            let started = self.obs.as_ref().map(|_| std::time::Instant::now());
             let mut rng = shot_rng(plan.root_seed, shot);
             run_program_into_parallel(
                 &plan.program,
@@ -416,7 +470,21 @@ impl Engine {
                 &mut rng,
                 amp_threads,
             );
+            if let (Some(obs), Some(started)) = (&self.obs, started) {
+                obs.amp_shot.record_duration(started.elapsed());
+            }
             *counts.entry(pack_cbits(&cbits)).or_insert(0) += 1;
+        }
+        if let (Some(obs), Some((base_buckets, base_sum))) = (&self.obs, kernel_base) {
+            let (now_buckets, now_sum) = qsim::amp::kernel_clock::snapshot();
+            for (b, &base) in base_buckets.iter().enumerate() {
+                let added = now_buckets[b].saturating_sub(base);
+                if added > 0 {
+                    obs.amp_kernel.add_bucket(b, added, 0);
+                }
+            }
+            obs.amp_kernel
+                .add_bucket(0, 0, now_sum.saturating_sub(base_sum));
         }
         counts
     }

@@ -1,0 +1,64 @@
+//! # obs — lock-cheap observability for the serving stack
+//!
+//! The serving layers (reactor, scheduler, cache, shard coordinator,
+//! engine) answer *what happened* through the `stats` op's counters;
+//! this crate answers *how it behaved*: latency distributions per
+//! pipeline stage, occupancy gauges, hit/miss/eviction rates, and the
+//! stage breakdown of recent slow requests — with instrumentation cheap
+//! enough to leave on in production and **guaranteed not to perturb
+//! served bytes** (the differential suites assert obs-on and obs-off
+//! servers answer bit-identically).
+//!
+//! ## Primitives
+//!
+//! * [`Counter`] / [`Gauge`] — one relaxed atomic each.
+//! * [`Histo`] — a log₂-bucketed latency/size histogram: 64 fixed
+//!   buckets (HDR-style, fixed memory whatever the value range),
+//!   recording is three relaxed atomic adds, and snapshots
+//!   ([`HistoSnapshot`]) merge bucket-wise across threads, worker
+//!   processes, and shard topologies. [`HistoSnapshot::quantile`] reads
+//!   p50/p90/p99 at ≤ 2× (one-bucket) resolution.
+//! * [`Span`] — a scoped stage timer recording its lifetime into a
+//!   histogram on drop; [`Registry::span`] gives the
+//!   `registry.span("schedule")` convenience form.
+//! * [`SlowLog`] — a bounded ring of recent slow-request traces
+//!   ([`SlowTrace`]: label, total, per-stage nanoseconds).
+//! * [`Registry`] — names the metrics of one process. Handle
+//!   resolution (`registry.counter("cache.hits")`) takes a lock once at
+//!   wiring time; recording through the returned handles never locks.
+//!
+//! ## Exposition
+//!
+//! [`Registry::snapshot`] produces a [`Snapshot`]: every metric,
+//! name-sorted, plus the slow ring. Snapshots serialize to a stable
+//! jsonlite schema ([`Snapshot::to_json`] / [`Snapshot::from_json`]) —
+//! the payload of the serving protocol's `metrics` op — and to a
+//! Prometheus-style text form ([`Snapshot::to_prometheus`]).
+//! [`Snapshot::merge`] is the topology primitive: a shard coordinator
+//! folds worker snapshots into its own, yielding cluster-wide
+//! histograms.
+//!
+//! ```
+//! use obs::{Registry, Span};
+//!
+//! let reg = Registry::new();
+//! let execute = reg.histo("stage.execute");
+//! {
+//!     let _span = Span::enter(&execute); // records on drop
+//! }
+//! reg.counter("cache.hits").inc();
+//! let snap = reg.snapshot();
+//! assert_eq!(snap.counter("cache.hits"), Some(1));
+//! assert_eq!(snap.histo("stage.execute").unwrap().count, 1);
+//! assert!(snap.to_prometheus("compas").contains("compas_cache_hits 1"));
+//! ```
+
+mod metrics;
+mod snapshot;
+mod span;
+
+pub use metrics::{
+    bucket_floor, bucket_mid, bucket_of, Counter, Gauge, Histo, Registry, NUM_BUCKETS,
+};
+pub use snapshot::{HistoSnapshot, Snapshot};
+pub use span::{SlowLog, SlowTrace, Span};

@@ -1,0 +1,347 @@
+//! The lock-cheap metric primitives and the registry that names them.
+//!
+//! Every primitive is a thin [`Arc`] over atomics: cloning a handle is
+//! the registration cost, recording is one or two relaxed atomic RMWs,
+//! and no recording path ever takes a lock. The [`Registry`] mutex
+//! guards only name → handle resolution (done once, at wiring time —
+//! hot paths cache the returned handles) and snapshotting.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::snapshot::{HistoSnapshot, Snapshot};
+use crate::span::{SlowLog, Span};
+
+/// A monotonically increasing counter (events, hits, rejections).
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A fresh counter at zero, unattached to any registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// An instantaneous level (open connections, queue depth).
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// A fresh gauge at zero, unattached to any registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overwrites the level.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Raises the level by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Lowers the level by `n`, saturating at zero.
+    #[inline]
+    pub fn sub(&self, n: u64) {
+        // fetch_update loops only under contention; gauges are updated
+        // by one owner (the reactor loop, the scheduler) in practice.
+        let _ = self
+            .0
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(n))
+            });
+    }
+
+    /// Current level.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of log₂ buckets a [`Histo`] holds; bucket `b` covers
+/// `[2^(b-1), 2^b)` (bucket 0 holds exactly the value 0, the last
+/// bucket is unbounded above). Fixed memory, whatever the value range.
+pub const NUM_BUCKETS: usize = 64;
+
+/// The bucket index recording `value` lands in.
+#[inline]
+pub fn bucket_of(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        (64 - value.leading_zeros() as usize).min(NUM_BUCKETS - 1)
+    }
+}
+
+/// Inclusive lower bound of bucket `b`.
+pub fn bucket_floor(b: usize) -> u64 {
+    if b == 0 {
+        0
+    } else {
+        1u64 << (b - 1)
+    }
+}
+
+/// Representative value reported for bucket `b` by quantile readout:
+/// the arithmetic midpoint of the bucket span (its floor for the
+/// unbounded last bucket).
+pub fn bucket_mid(b: usize) -> u64 {
+    let floor = bucket_floor(b);
+    if b == 0 || b == NUM_BUCKETS - 1 {
+        floor
+    } else {
+        floor + floor / 2
+    }
+}
+
+#[derive(Debug)]
+struct HistoInner {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for HistoInner {
+    fn default() -> Self {
+        HistoInner {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A log₂-bucketed latency/size histogram: HDR-style fixed memory
+/// (64 buckets), lock-free recording (three relaxed atomic adds), and
+/// snapshots that merge across threads, processes, and machines by
+/// bucket-wise addition. Quantiles are read out of the snapshot
+/// ([`HistoSnapshot::quantile`]) with at-most-one-bucket (≤ 2×)
+/// resolution — ample for p50/p90/p99 latency tiers.
+#[derive(Clone, Debug, Default)]
+pub struct Histo(Arc<HistoInner>);
+
+impl Histo {
+    /// A fresh empty histogram, unattached to any registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.0.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Records a duration in nanoseconds (saturated to `u64::MAX`).
+    #[inline]
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Folds pre-bucketed observations in: `n` observations in bucket
+    /// `bucket`, contributing `sum` to the value total. The mirror path
+    /// for accumulators that live outside the registry (e.g. the amp
+    /// kernel clock in `qsim`).
+    pub fn add_bucket(&self, bucket: usize, n: u64, sum: u64) {
+        self.0.buckets[bucket.min(NUM_BUCKETS - 1)].fetch_add(n, Ordering::Relaxed);
+        self.0.count.fetch_add(n, Ordering::Relaxed);
+        self.0.sum.fetch_add(sum, Ordering::Relaxed);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// A mergeable point-in-time copy. Buckets are read relaxed, so a
+    /// snapshot taken mid-record may transiently disagree with `count`
+    /// by the in-flight observation — monotonic, never lossy.
+    pub fn snapshot(&self) -> HistoSnapshot {
+        let mut buckets = Vec::new();
+        for (b, cell) in self.0.buckets.iter().enumerate() {
+            let n = cell.load(Ordering::Relaxed);
+            if n > 0 {
+                buckets.push((b as u8, n));
+            }
+        }
+        HistoSnapshot {
+            count: self.0.count.load(Ordering::Relaxed),
+            sum: self.0.sum.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    counters: BTreeMap<String, Counter>,
+    gauges: BTreeMap<String, Gauge>,
+    histos: BTreeMap<String, Histo>,
+}
+
+/// The named metric set of one process (or one layer): resolves
+/// `name → handle` once at wiring time, snapshots everything at
+/// exposition time. Clones share the same underlying set, so one
+/// registry threads through reactor, scheduler, cache, and engine.
+///
+/// Counters, gauges, and histograms live in separate namespaces;
+/// resolving a name creates the metric on first use and returns the
+/// same handle thereafter.
+#[derive(Clone, Debug, Default)]
+pub struct Registry {
+    inner: Arc<Mutex<RegistryInner>>,
+    slow: SlowLog,
+}
+
+impl Registry {
+    /// An empty registry (slow-trace ring of [`SlowLog::DEFAULT_CAPACITY`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter named `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut inner = self.inner.lock().expect("obs registry poisoned");
+        inner.counters.entry(name.to_string()).or_default().clone()
+    }
+
+    /// The gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut inner = self.inner.lock().expect("obs registry poisoned");
+        inner.gauges.entry(name.to_string()).or_default().clone()
+    }
+
+    /// The histogram named `name`, created on first use.
+    pub fn histo(&self, name: &str) -> Histo {
+        let mut inner = self.inner.lock().expect("obs registry poisoned");
+        inner.histos.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Opens a scoped span timer feeding the per-stage histogram
+    /// `stage.<stage>`: the returned guard records its lifetime (in
+    /// nanoseconds) on drop.
+    ///
+    /// ```
+    /// let reg = obs::Registry::new();
+    /// {
+    ///     let _span = reg.span("schedule");
+    ///     // ... the timed stage ...
+    /// }
+    /// assert_eq!(reg.histo("stage.schedule").count(), 1);
+    /// ```
+    ///
+    /// Resolution takes the registry lock; hot loops should resolve the
+    /// stage histogram once and use [`Span::enter`] directly.
+    pub fn span(&self, stage: &str) -> Span {
+        Span::enter(&self.histo(&format!("stage.{stage}")))
+    }
+
+    /// The bounded ring of recent slow-request traces.
+    pub fn slow(&self) -> &SlowLog {
+        &self.slow
+    }
+
+    /// A mergeable point-in-time copy of every metric (and the slow
+    /// ring), name-sorted — the payload of the `metrics` wire op.
+    pub fn snapshot(&self) -> Snapshot {
+        let inner = self.inner.lock().expect("obs registry poisoned");
+        Snapshot {
+            counters: inner
+                .counters
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: inner
+                .gauges
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histos: inner
+                .histos
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+            slow: self.slow.snapshot(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges_are_powers_of_two() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), NUM_BUCKETS - 1);
+        for b in 1..NUM_BUCKETS {
+            assert_eq!(bucket_of(bucket_floor(b)), b, "floor of bucket {b}");
+            assert!(bucket_mid(b) >= bucket_floor(b));
+        }
+    }
+
+    #[test]
+    fn registry_returns_shared_handles() {
+        let reg = Registry::new();
+        reg.counter("a").add(2);
+        reg.counter("a").inc();
+        assert_eq!(reg.counter("a").get(), 3);
+        reg.gauge("g").set(7);
+        reg.gauge("g").sub(9);
+        assert_eq!(reg.gauge("g").get(), 0, "gauge sub saturates");
+        reg.histo("h").record(100);
+        assert_eq!(reg.histo("h").count(), 1);
+        // Namespaces are separate: a counter and a gauge may share a name.
+        reg.gauge("a").set(5);
+        assert_eq!(reg.counter("a").get(), 3);
+    }
+
+    #[test]
+    fn histogram_records_across_threads_merge() {
+        let h = Histo::new();
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let h = h.clone();
+                s.spawn(move || {
+                    for i in 0..1000u64 {
+                        h.record(t * 1000 + i);
+                    }
+                });
+            }
+        });
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 4000);
+        assert_eq!(snap.buckets.iter().map(|&(_, n)| n).sum::<u64>(), 4000);
+    }
+}

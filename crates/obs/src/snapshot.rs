@@ -1,0 +1,436 @@
+//! Mergeable point-in-time metric snapshots and their expositions:
+//! the stable jsonlite schema served by the `metrics` wire op, and a
+//! Prometheus-style text rendering.
+
+use jsonlite::Json;
+
+use crate::metrics::{bucket_floor, bucket_mid, NUM_BUCKETS};
+use crate::span::SlowTrace;
+
+/// A point-in-time copy of one histogram: total count, value sum, and
+/// the non-empty log₂ buckets (index, count) in ascending index order.
+/// Merging is bucket-wise addition, so snapshots combine across
+/// threads, worker processes, and shard topologies without loss.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistoSnapshot {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of recorded values (nanoseconds for latency histograms).
+    pub sum: u64,
+    /// Non-empty `(bucket index, count)` pairs, ascending.
+    pub buckets: Vec<(u8, u64)>,
+}
+
+impl HistoSnapshot {
+    /// Folds `other` in by bucket-wise addition.
+    pub fn merge(&mut self, other: &HistoSnapshot) {
+        self.count += other.count;
+        self.sum += other.sum;
+        let mut merged = [0u64; NUM_BUCKETS];
+        for &(b, n) in self.buckets.iter().chain(other.buckets.iter()) {
+            merged[(b as usize).min(NUM_BUCKETS - 1)] += n;
+        }
+        self.buckets = merged
+            .iter()
+            .enumerate()
+            .filter(|&(_, &n)| n > 0)
+            .map(|(b, &n)| (b as u8, n))
+            .collect();
+    }
+
+    /// The `q`-quantile (`0 < q <= 1`) with log₂-bucket resolution: the
+    /// representative midpoint of the bucket holding the `ceil(q·count)`-th
+    /// smallest observation. Zero on an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for &(b, n) in &self.buckets {
+            seen += n;
+            if seen >= target {
+                return bucket_mid(b as usize);
+            }
+        }
+        bucket_mid(NUM_BUCKETS - 1)
+    }
+
+    /// Arithmetic mean of recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// A point-in-time copy of a whole [`crate::Registry`]: every counter,
+/// gauge, and histogram (name-sorted) plus the retained slow-request
+/// traces. This is the payload of the `metrics` wire op and the input
+/// to both expositions.
+///
+/// Merging ([`Snapshot::merge`]) is the cross-topology primitive: a
+/// shard coordinator folds each worker's snapshot into its own —
+/// counters and gauges add by name, histograms add bucket-wise, slow
+/// traces concatenate (newest kept) — yielding topology-wide
+/// distributions.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Snapshot {
+    /// `(name, value)` counters, name-sorted.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` gauges, name-sorted.
+    pub gauges: Vec<(String, u64)>,
+    /// `(name, snapshot)` histograms, name-sorted.
+    pub histos: Vec<(String, HistoSnapshot)>,
+    /// Retained slow-request traces, oldest first.
+    pub slow: Vec<SlowTrace>,
+}
+
+/// How many merged slow traces a snapshot retains.
+const MERGED_SLOW_CAP: usize = 32;
+
+fn merge_values(into: &mut Vec<(String, u64)>, from: &[(String, u64)]) {
+    for (name, v) in from {
+        match into.binary_search_by(|(n, _)| n.as_str().cmp(name)) {
+            Ok(i) => into[i].1 += v,
+            Err(i) => into.insert(i, (name.clone(), *v)),
+        }
+    }
+}
+
+impl Snapshot {
+    /// The value of counter `name`, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        lookup(&self.counters, name).copied()
+    }
+
+    /// The value of gauge `name`, if present.
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        lookup(&self.gauges, name).copied()
+    }
+
+    /// The snapshot of histogram `name`, if present.
+    pub fn histo(&self, name: &str) -> Option<&HistoSnapshot> {
+        lookup(&self.histos, name)
+    }
+
+    /// Folds `other` in: counters and gauges add by name, histograms
+    /// merge bucket-wise, slow traces concatenate (bounded, newest
+    /// kept). Metrics present on only one side carry over unchanged.
+    pub fn merge(&mut self, other: &Snapshot) {
+        merge_values(&mut self.counters, &other.counters);
+        merge_values(&mut self.gauges, &other.gauges);
+        for (name, h) in &other.histos {
+            match self.histos.binary_search_by(|(n, _)| n.as_str().cmp(name)) {
+                Ok(i) => self.histos[i].1.merge(h),
+                Err(i) => self.histos.insert(i, (name.clone(), h.clone())),
+            }
+        }
+        self.slow.extend(other.slow.iter().cloned());
+        if self.slow.len() > MERGED_SLOW_CAP {
+            let drop = self.slow.len() - MERGED_SLOW_CAP;
+            self.slow.drain(..drop);
+        }
+    }
+
+    /// The stable wire schema: an object with `counters`, `gauges`,
+    /// `histograms`, and `slow` members, every map name-sorted, every
+    /// histogram carrying `count`, `sum`, readout quantiles `p50` /
+    /// `p90` / `p99` (derived — re-derived on decode), and the sparse
+    /// `buckets` array of `[index, count]` pairs.
+    ///
+    /// Values ride jsonlite's f64-backed numbers, exact to 2⁵³ — ample
+    /// for event counts and for nanosecond sums spanning ~104 days of
+    /// accumulated latency.
+    pub fn to_json(&self) -> Json {
+        let values = |vs: &[(String, u64)]| {
+            Json::obj(
+                vs.iter()
+                    .map(|(k, v)| (k.clone(), Json::from_u64(*v)))
+                    .collect(),
+            )
+        };
+        let histos = Json::obj(
+            self.histos
+                .iter()
+                .map(|(k, h)| {
+                    let buckets = h
+                        .buckets
+                        .iter()
+                        .map(|&(b, n)| Json::Arr(vec![Json::from_u64(b as u64), Json::from_u64(n)]))
+                        .collect();
+                    (
+                        k.clone(),
+                        Json::obj(vec![
+                            ("count", Json::from_u64(h.count)),
+                            ("sum", Json::from_u64(h.sum)),
+                            ("p50", Json::from_u64(h.quantile(0.50))),
+                            ("p90", Json::from_u64(h.quantile(0.90))),
+                            ("p99", Json::from_u64(h.quantile(0.99))),
+                            ("buckets", Json::Arr(buckets)),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        let slow = self
+            .slow
+            .iter()
+            .map(|t| {
+                Json::obj(vec![
+                    ("label", Json::str(t.label.clone())),
+                    ("total_ns", Json::from_u64(t.total_ns)),
+                    (
+                        "stages",
+                        Json::obj(
+                            t.stages
+                                .iter()
+                                .map(|(s, ns)| (s.clone(), Json::from_u64(*ns)))
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
+        Json::obj(vec![
+            ("counters", values(&self.counters)),
+            ("gauges", values(&self.gauges)),
+            ("histograms", histos),
+            ("slow", Json::Arr(slow)),
+        ])
+    }
+
+    /// Decodes [`Snapshot::to_json`]'s schema. Readout quantiles are
+    /// ignored (re-derived from the buckets), so
+    /// `Snapshot::from_json(&s.to_json()) == Ok(s)` for every snapshot
+    /// whose values fit jsonlite's 2⁵³ number range.
+    pub fn from_json(json: &Json) -> Result<Snapshot, String> {
+        let values = |key: &str| -> Result<Vec<(String, u64)>, String> {
+            json.get(key)
+                .and_then(Json::as_obj)
+                .ok_or_else(|| format!("metrics snapshot missing `{key}` object"))?
+                .iter()
+                .map(|(k, v)| {
+                    v.as_u64()
+                        .map(|v| (k.clone(), v))
+                        .ok_or_else(|| format!("`{key}.{k}` is not a u64"))
+                })
+                .collect()
+        };
+        let mut histos = Vec::new();
+        for (name, h) in json
+            .get("histograms")
+            .and_then(Json::as_obj)
+            .ok_or("metrics snapshot missing `histograms` object")?
+        {
+            let field = |key: &str| {
+                h.get(key)
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("histogram `{name}` missing u64 `{key}`"))
+            };
+            let mut buckets = Vec::new();
+            for pair in h
+                .get("buckets")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| format!("histogram `{name}` missing `buckets` array"))?
+            {
+                let pair = pair.as_arr().unwrap_or(&[]);
+                match (
+                    pair.first().and_then(Json::as_u64),
+                    pair.get(1).and_then(Json::as_u64),
+                ) {
+                    (Some(b), Some(n)) if b < NUM_BUCKETS as u64 => buckets.push((b as u8, n)),
+                    _ => return Err(format!("histogram `{name}` has a malformed bucket pair")),
+                }
+            }
+            histos.push((
+                name.clone(),
+                HistoSnapshot {
+                    count: field("count")?,
+                    sum: field("sum")?,
+                    buckets,
+                },
+            ));
+        }
+        let mut slow = Vec::new();
+        for t in json
+            .get("slow")
+            .and_then(Json::as_arr)
+            .ok_or("metrics snapshot missing `slow` array")?
+        {
+            let label = t
+                .get("label")
+                .and_then(Json::as_str)
+                .ok_or("slow trace missing `label`")?
+                .to_string();
+            let total_ns = t
+                .get("total_ns")
+                .and_then(Json::as_u64)
+                .ok_or("slow trace missing `total_ns`")?;
+            let stages = t
+                .get("stages")
+                .and_then(Json::as_obj)
+                .ok_or("slow trace missing `stages`")?
+                .iter()
+                .map(|(s, ns)| {
+                    ns.as_u64()
+                        .map(|ns| (s.clone(), ns))
+                        .ok_or_else(|| format!("slow stage `{s}` is not a u64"))
+                })
+                .collect::<Result<_, _>>()?;
+            slow.push(SlowTrace {
+                label,
+                total_ns,
+                stages,
+            });
+        }
+        Ok(Snapshot {
+            counters: values("counters")?,
+            gauges: values("gauges")?,
+            histos,
+            slow,
+        })
+    }
+
+    /// Prometheus-style text exposition: metric names are prefixed with
+    /// `prefix` and sanitized (`[^a-zA-Z0-9_]` → `_`); counters and
+    /// gauges emit one sample each, histograms emit cumulative
+    /// `_bucket{le="..."}` samples (upper bound `2^b − 1` per log₂
+    /// bucket, then `+Inf`) plus `_sum` and `_count`. Slow traces are
+    /// not exposed — they are per-request events, not series.
+    pub fn to_prometheus(&self, prefix: &str) -> String {
+        let mut out = String::new();
+        let name_of = |name: &str| {
+            let mut s = String::with_capacity(prefix.len() + 1 + name.len());
+            s.push_str(prefix);
+            s.push('_');
+            for c in name.chars() {
+                s.push(if c.is_ascii_alphanumeric() || c == '_' {
+                    c
+                } else {
+                    '_'
+                });
+            }
+            s
+        };
+        for (name, v) in &self.counters {
+            let n = name_of(name);
+            out.push_str(&format!("# TYPE {n} counter\n{n} {v}\n"));
+        }
+        for (name, v) in &self.gauges {
+            let n = name_of(name);
+            out.push_str(&format!("# TYPE {n} gauge\n{n} {v}\n"));
+        }
+        for (name, h) in &self.histos {
+            let n = name_of(name);
+            out.push_str(&format!("# TYPE {n} histogram\n"));
+            let mut cum = 0u64;
+            for &(b, count) in &h.buckets {
+                cum += count;
+                if (b as usize) == NUM_BUCKETS - 1 {
+                    continue; // folded into +Inf below
+                }
+                let le = (bucket_floor(b as usize + 1)).saturating_sub(1);
+                out.push_str(&format!("{n}_bucket{{le=\"{le}\"}} {cum}\n"));
+            }
+            out.push_str(&format!(
+                "{n}_bucket{{le=\"+Inf\"}} {count}\n{n}_sum {sum}\n{n}_count {count}\n",
+                count = h.count,
+                sum = h.sum,
+            ));
+        }
+        out
+    }
+}
+
+fn lookup<'a, T>(entries: &'a [(String, T)], name: &str) -> Option<&'a T> {
+    entries
+        .binary_search_by(|(n, _)| n.as_str().cmp(name))
+        .ok()
+        .map(|i| &entries[i].1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Histo;
+
+    fn sample() -> Snapshot {
+        let h = Histo::new();
+        for v in [0u64, 1, 1, 100, 5_000, 5_000, 1 << 20] {
+            h.record(v);
+        }
+        Snapshot {
+            counters: vec![("cache.hits".into(), 3), ("cache.misses".into(), 9)],
+            gauges: vec![("reactor.open".into(), 2)],
+            histos: vec![("stage.execute".into(), h.snapshot())],
+            slow: vec![SlowTrace {
+                label: "client-1".into(),
+                total_ns: 12_345,
+                stages: vec![("execute".into(), 12_000)],
+            }],
+        }
+    }
+
+    #[test]
+    fn quantiles_walk_the_buckets() {
+        let h = Histo::new();
+        for _ in 0..90 {
+            h.record(10); // bucket 4, mid 12
+        }
+        for _ in 0..10 {
+            h.record(10_000); // bucket 14, mid 12288
+        }
+        let s = h.snapshot();
+        assert_eq!(s.quantile(0.50), 12);
+        assert_eq!(s.quantile(0.90), 12);
+        assert_eq!(s.quantile(0.99), 12_288);
+        assert_eq!(s.quantile(1.0), 12_288);
+        assert_eq!(HistoSnapshot::default().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let snap = sample();
+        let json = snap.to_json();
+        assert_eq!(Snapshot::from_json(&json), Ok(snap.clone()));
+        // The encoding itself is deterministic.
+        assert_eq!(json.to_compact(), snap.to_json().to_compact());
+        // And reparses through the text form too.
+        let reparsed = jsonlite::Json::parse(&json.to_compact()).unwrap();
+        assert_eq!(Snapshot::from_json(&reparsed), Ok(snap));
+    }
+
+    #[test]
+    fn merge_is_bucketwise_and_namewise() {
+        let mut a = sample();
+        let mut b = sample();
+        b.counters.push(("only.b".into(), 5));
+        b.counters.sort();
+        a.merge(&b);
+        assert_eq!(a.counter("cache.hits"), Some(6));
+        assert_eq!(a.counter("only.b"), Some(5));
+        assert_eq!(a.gauge("reactor.open"), Some(4));
+        let h = a.histo("stage.execute").unwrap();
+        assert_eq!(h.count, 14);
+        assert_eq!(a.slow.len(), 2, "slow traces concatenate");
+        // Merge with the empty snapshot is identity on the non-empty side.
+        let mut c = Snapshot::default();
+        c.merge(&a);
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn prometheus_exposition_is_cumulative() {
+        let text = sample().to_prometheus("compas");
+        assert!(text.contains("# TYPE compas_cache_hits counter\ncompas_cache_hits 3\n"));
+        assert!(text.contains("# TYPE compas_reactor_open gauge\ncompas_reactor_open 2\n"));
+        assert!(text.contains("# TYPE compas_stage_execute histogram\n"));
+        assert!(text.contains("compas_stage_execute_bucket{le=\"0\"} 1\n"));
+        assert!(text.contains("compas_stage_execute_bucket{le=\"+Inf\"} 7\n"));
+        assert!(text.contains("compas_stage_execute_count 7\n"));
+        assert!(!text.contains("client-1"), "slow traces are not series");
+    }
+}

@@ -1,0 +1,165 @@
+//! Scoped span timers and the bounded slow-request trace ring.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::metrics::Histo;
+
+/// A scoped stage timer: created over a histogram, records its own
+/// lifetime in nanoseconds into that histogram when dropped. The unit
+/// of span tracing — every pipeline stage (parse, admission, cache
+/// lookup, compile, execute, merge, encode, write) wraps its body in
+/// one of these.
+#[derive(Debug)]
+#[must_use = "a span records on drop; an unbound span measures nothing"]
+pub struct Span {
+    histo: Histo,
+    start: Instant,
+}
+
+impl Span {
+    /// Starts timing into `histo` (cheap: one `Instant::now()` and an
+    /// `Arc` clone — no lock).
+    pub fn enter(histo: &Histo) -> Span {
+        Span {
+            histo: histo.clone(),
+            start: Instant::now(),
+        }
+    }
+
+    /// Nanoseconds elapsed so far (saturated to `u64::MAX`).
+    pub fn elapsed_ns(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.histo.record(self.elapsed_ns());
+    }
+}
+
+/// One completed request's stage breakdown, as kept by the slow ring:
+/// a label (client id, cache fingerprint — whatever the recording layer
+/// finds useful), the end-to-end wall time, and per-stage nanosecond
+/// totals in pipeline order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SlowTrace {
+    /// Recording layer's tag for the request.
+    pub label: String,
+    /// End-to-end wall nanoseconds.
+    pub total_ns: u64,
+    /// `(stage name, nanoseconds)` in pipeline order.
+    pub stages: Vec<(String, u64)>,
+}
+
+#[derive(Debug)]
+struct SlowInner {
+    ring: VecDeque<SlowTrace>,
+    capacity: usize,
+    threshold_ns: u64,
+}
+
+/// A bounded ring buffer of recent slow-request traces: requests whose
+/// end-to-end time meets the threshold are kept, oldest evicted first.
+/// Memory is fixed at `capacity` traces; recording takes one short
+/// mutex section off every hot path (requests record once, at
+/// completion).
+///
+/// The default threshold is 0 — every completed request is "slow
+/// enough", so the ring always holds the most recent traces and smoke
+/// tests can assert on it deterministically. Production deployments
+/// raise it via [`SlowLog::set_threshold_ns`].
+#[derive(Clone, Debug)]
+pub struct SlowLog(Arc<Mutex<SlowInner>>);
+
+impl SlowLog {
+    /// Default ring capacity.
+    pub const DEFAULT_CAPACITY: usize = 32;
+
+    /// A ring holding at most `capacity` traces (threshold 0).
+    pub fn with_capacity(capacity: usize) -> Self {
+        SlowLog(Arc::new(Mutex::new(SlowInner {
+            ring: VecDeque::new(),
+            capacity: capacity.max(1),
+            threshold_ns: 0,
+        })))
+    }
+
+    /// Only traces with `total_ns >= threshold_ns` are kept from now on.
+    pub fn set_threshold_ns(&self, threshold_ns: u64) {
+        self.0.lock().expect("slow log poisoned").threshold_ns = threshold_ns;
+    }
+
+    /// Offers a completed request's trace to the ring.
+    pub fn record(&self, trace: SlowTrace) {
+        let mut inner = self.0.lock().expect("slow log poisoned");
+        if trace.total_ns < inner.threshold_ns {
+            return;
+        }
+        if inner.ring.len() == inner.capacity {
+            inner.ring.pop_front();
+        }
+        inner.ring.push_back(trace);
+    }
+
+    /// The retained traces, oldest first.
+    pub fn snapshot(&self) -> Vec<SlowTrace> {
+        self.0
+            .lock()
+            .expect("slow log poisoned")
+            .ring
+            .iter()
+            .cloned()
+            .collect()
+    }
+}
+
+impl Default for SlowLog {
+    fn default() -> Self {
+        SlowLog::with_capacity(Self::DEFAULT_CAPACITY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(label: &str, total_ns: u64) -> SlowTrace {
+        SlowTrace {
+            label: label.to_string(),
+            total_ns,
+            stages: vec![("execute".to_string(), total_ns)],
+        }
+    }
+
+    #[test]
+    fn span_records_on_drop() {
+        let h = Histo::new();
+        {
+            let span = Span::enter(&h);
+            assert_eq!(h.count(), 0, "nothing recorded while open");
+            let _ = span.elapsed_ns();
+        }
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn ring_is_bounded_and_thresholded() {
+        let log = SlowLog::with_capacity(3);
+        for i in 0..5 {
+            log.record(trace(&format!("r{i}"), 100 + i));
+        }
+        let kept = log.snapshot();
+        assert_eq!(kept.len(), 3);
+        assert_eq!(kept[0].label, "r2", "oldest evicted first");
+        assert_eq!(kept[2].label, "r4");
+
+        log.set_threshold_ns(1_000);
+        log.record(trace("fast", 999));
+        assert_eq!(log.snapshot().len(), 3, "below threshold is dropped");
+        log.record(trace("slow", 1_000));
+        assert_eq!(log.snapshot().last().unwrap().label, "slow");
+    }
+}

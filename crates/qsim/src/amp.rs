@@ -42,6 +42,58 @@ pub fn effective_workers(threads: usize, len: usize) -> usize {
     threads.clamp(1, (len / 2).max(1))
 }
 
+/// Process-wide log₂-bucketed clock of per-kernel apply times on the
+/// amp-parallel path.
+///
+/// Worker 0 times its own [`CompiledOp::apply_range`] for every kernel
+/// (the workers run the same kernel between the same barriers, so its
+/// time is representative) and records here — two clock reads per
+/// *kernel*, invisible next to the amplitude sweep itself. The engine
+/// mirrors bucket deltas into its observability registry after each
+/// amp-engaged shot; when two amp-engaged plans run concurrently in
+/// one process their kernel times interleave in this accumulator,
+/// which skews attribution across *histograms*, never results.
+///
+/// This lives outside the `obs` registry because `qsim` sits below it
+/// in the crate stack; the bucket rule (`bucket(v)` covers
+/// `[2^(b-1), 2^b)`, bucket 0 = `{0}`) matches `obs` exactly so
+/// deltas mirror losslessly.
+pub mod kernel_clock {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// Fixed bucket count (covers the full `u64` range).
+    pub const NUM_BUCKETS: usize = 64;
+
+    #[allow(clippy::declare_interior_mutable_const)]
+    const ZERO: AtomicU64 = AtomicU64::new(0);
+    static BUCKETS: [AtomicU64; NUM_BUCKETS] = [ZERO; NUM_BUCKETS];
+    static SUM: AtomicU64 = AtomicU64::new(0);
+
+    fn bucket_of(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            (64 - value.leading_zeros() as usize).min(NUM_BUCKETS - 1)
+        }
+    }
+
+    pub(super) fn record(ns: u64) {
+        BUCKETS[bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
+        SUM.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Point-in-time totals: per-bucket kernel counts plus the
+    /// nanosecond sum. Monotone since process start — consumers keep
+    /// their last-seen copy and mirror the delta.
+    pub fn snapshot() -> ([u64; NUM_BUCKETS], u64) {
+        let mut buckets = [0u64; NUM_BUCKETS];
+        for (b, cell) in BUCKETS.iter().enumerate() {
+            buckets[b] = cell.load(Ordering::Relaxed);
+        }
+        (buckets, SUM.load(Ordering::Relaxed))
+    }
+}
+
 /// Shared-buffer handle for the scoped workers. Safety rests on the
 /// range-ownership contract, not on this wrapper: see `run_segment`.
 struct SharedAmps {
@@ -128,7 +180,15 @@ fn run_segment(amps: &mut [Complex], ops: &[CompiledOp], widen: usize, workers: 
                 let amps = unsafe { std::slice::from_raw_parts_mut(shared.ptr, shared.len) };
                 for (k, op) in ops.iter().enumerate() {
                     let range = op.worker_range(worker, workers, len, widen);
-                    op.apply_range(amps, range.start, range.end, widen);
+                    if worker == 0 {
+                        let started = std::time::Instant::now();
+                        op.apply_range(amps, range.start, range.end, widen);
+                        kernel_clock::record(
+                            u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                        );
+                    } else {
+                        op.apply_range(amps, range.start, range.end, widen);
+                    }
                     if k + 1 < ops.len() {
                         barrier.wait();
                     }

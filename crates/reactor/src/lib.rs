@@ -78,6 +78,13 @@ pub struct ReactorConfig {
     /// On [`ReactorCtl::stop`], how long to keep flushing outstanding
     /// replies before force-closing.
     pub drain_grace: Duration,
+    /// Observability registry to publish into. When set, the loop
+    /// mirrors its occupancy gauges (`reactor.open`, `reactor.idle`,
+    /// `reactor.read_blocked`, `reactor.write_blocked`), its lifetime
+    /// counters (`reactor.accepted_total`, `reactor.closed_idle`), and
+    /// the `stage.write` flush-latency histogram onto the registry once
+    /// per loop iteration. `None` costs nothing.
+    pub metrics: Option<obs::Registry>,
 }
 
 impl Default for ReactorConfig {
@@ -87,6 +94,7 @@ impl Default for ReactorConfig {
             idle_timeout: Duration::from_secs(300),
             max_connections: 1024,
             drain_grace: Duration::from_secs(1),
+            metrics: None,
         }
     }
 }
@@ -415,6 +423,67 @@ impl Conn {
     }
 }
 
+/// Registry handles the loop publishes into, resolved once at startup
+/// (see [`ReactorConfig::metrics`]). The gauges mirror the `CtlShared`
+/// atomics; the monotonic counters publish deltas so registry restarts
+/// of the surrounding service never double-count.
+struct LoopObs {
+    open: obs::Gauge,
+    idle: obs::Gauge,
+    read_blocked: obs::Gauge,
+    write_blocked: obs::Gauge,
+    accepted_total: obs::Counter,
+    closed_idle: obs::Counter,
+    write_ns: obs::Histo,
+    published_accepted: u64,
+    published_closed_idle: u64,
+}
+
+impl LoopObs {
+    fn resolve(registry: &obs::Registry) -> LoopObs {
+        LoopObs {
+            open: registry.gauge("reactor.open"),
+            idle: registry.gauge("reactor.idle"),
+            read_blocked: registry.gauge("reactor.read_blocked"),
+            write_blocked: registry.gauge("reactor.write_blocked"),
+            accepted_total: registry.counter("reactor.accepted_total"),
+            closed_idle: registry.counter("reactor.closed_idle"),
+            write_ns: registry.histo("stage.write"),
+            published_accepted: 0,
+            published_closed_idle: 0,
+        }
+    }
+
+    /// Mirrors the shared gauge atomics onto the registry.
+    fn publish(&mut self, shared: &CtlShared) {
+        self.open.set(shared.open.load(Ordering::SeqCst));
+        self.idle.set(shared.idle.load(Ordering::SeqCst));
+        self.read_blocked
+            .set(shared.read_blocked.load(Ordering::SeqCst));
+        self.write_blocked
+            .set(shared.write_blocked.load(Ordering::SeqCst));
+        let accepted = shared.accepted_total.load(Ordering::SeqCst);
+        self.accepted_total.add(accepted - self.published_accepted);
+        self.published_accepted = accepted;
+        let closed = shared.closed_idle.load(Ordering::SeqCst);
+        self.closed_idle.add(closed - self.published_closed_idle);
+        self.published_closed_idle = closed;
+    }
+}
+
+/// [`Conn::try_write`] with the flush timed into `stage.write` when a
+/// registry is wired (only attempted flushes are recorded — an empty
+/// buffer never reaches here).
+fn timed_write(conn: &mut Conn, loop_obs: &Option<LoopObs>) -> bool {
+    match loop_obs {
+        Some(o) => {
+            let _span = obs::Span::enter(&o.write_ns);
+            conn.try_write()
+        }
+        None => conn.try_write(),
+    }
+}
+
 fn run_loop(
     listener: TcpListener,
     config: ReactorConfig,
@@ -425,6 +494,7 @@ fn run_loop(
     let mut next_token: u64 = 1;
     let mut stop_deadline: Option<Instant> = None;
     let mut scratch = vec![0u8; 64 * 1024];
+    let mut loop_obs = config.metrics.as_ref().map(LoopObs::resolve);
 
     loop {
         let stopping = shared.stopping.load(Ordering::SeqCst);
@@ -535,7 +605,7 @@ fn run_loop(
                 dead.push(token);
                 continue;
             }
-            if revents & POLLOUT != 0 && !conn.try_write() {
+            if revents & POLLOUT != 0 && !timed_write(conn, &loop_obs) {
                 dead.push(token);
             }
         }
@@ -547,7 +617,7 @@ fn run_loop(
             if !conn.parked.is_empty() {
                 conn.promote_parked();
             }
-            if !conn.write_buf.is_empty() && !conn.try_write() {
+            if !conn.write_buf.is_empty() && !timed_write(conn, &loop_obs) {
                 dead.push(token);
                 continue;
             }
@@ -575,11 +645,17 @@ fn run_loop(
         }
 
         publish_gauges(&shared, &conns);
+        if let Some(o) = loop_obs.as_mut() {
+            o.publish(&shared);
+        }
     }
 
     // Final flush already happened in the drain loop; just close.
     conns.clear();
     publish_gauges(&shared, &conns);
+    if let Some(o) = loop_obs.as_mut() {
+        o.publish(&shared);
+    }
 }
 
 fn poll_timeout(conns: &HashMap<u64, Conn>, config: &ReactorConfig, stopping: bool) -> i32 {

@@ -307,3 +307,182 @@ fn stop_drains_pending_replies_before_closing() {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// Registry-backed gauge transitions: the reactor publishes its gauges
+// and counters onto an obs::Registry (ReactorConfig::metrics), and each
+// lifecycle transition must land as an exact delta there.
+// ---------------------------------------------------------------------
+
+/// Polls the registry until `pred` holds on a snapshot (10 s cap).
+fn wait_for_snapshot(
+    registry: &obs::Registry,
+    what: &str,
+    pred: impl Fn(&obs::Snapshot) -> bool,
+) -> obs::Snapshot {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let snap = registry.snapshot();
+        if pred(&snap) {
+            return snap;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "registry never reached: {what}\nlast snapshot: {snap:?}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn registry_tracks_write_blocked_through_drain() {
+    let registry = obs::Registry::new();
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let handle = Reactor::spawn(
+        listener,
+        ReactorConfig {
+            metrics: Some(registry.clone()),
+            ..ReactorConfig::default()
+        },
+        |_ctl| {
+            Arc::new(|_conn: u64, line: Line, completion: Completion| {
+                if let Line::Complete(_) = line {
+                    let mut reply = vec![b'b'; 8 * 1024 * 1024 - 1];
+                    reply.push(b'\n');
+                    completion.send(reply);
+                }
+            })
+        },
+    )
+    .unwrap();
+    let mut slow = connect(&handle);
+    slow.write_all(b"big\n").unwrap();
+    // The 8 MiB reply jams behind the unread socket: exactly this one
+    // connection must show as write-blocked.
+    wait_for_snapshot(&registry, "write_blocked == 1", |s| {
+        s.gauge("reactor.write_blocked") == Some(1)
+    });
+    // Drain the reply; the gauge must return to 0 and the flush spans
+    // must have landed in the stage.write histogram.
+    let mut reader = BufReader::new(slow.try_clone().unwrap());
+    let mut big = Vec::new();
+    reader.read_until(b'\n', &mut big).unwrap();
+    assert_eq!(big.len(), 8 * 1024 * 1024);
+    let snap = wait_for_snapshot(&registry, "write_blocked drained", |s| {
+        s.gauge("reactor.write_blocked") == Some(0)
+    });
+    assert!(
+        snap.histo("stage.write").map(|h| h.count) > Some(0),
+        "flush spans must be recorded: {snap:?}"
+    );
+    drop(slow);
+    handle.stop();
+}
+
+#[test]
+fn registry_counts_idle_timeout_culls_exactly() {
+    let registry = obs::Registry::new();
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let handle = Reactor::spawn(
+        listener,
+        ReactorConfig {
+            idle_timeout: Duration::from_millis(150),
+            metrics: Some(registry.clone()),
+            ..ReactorConfig::default()
+        },
+        |_ctl| {
+            Arc::new(|_conn: u64, _line: Line, completion: Completion| {
+                completion.send(b"ok\n".to_vec());
+            })
+        },
+    )
+    .unwrap();
+    // One connection stays busy (periodic requests), one goes idle.
+    let mut busy = connect(&handle);
+    let idle = connect(&handle);
+    wait_for_snapshot(&registry, "both connections open", |s| {
+        s.gauge("reactor.open") == Some(2) && s.counter("reactor.accepted_total") == Some(2)
+    });
+    assert_eq!(registry.snapshot().counter("reactor.closed_idle"), Some(0));
+    let mut reader = BufReader::new(busy.try_clone().unwrap());
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        busy.write_all(b"ping\n").unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(line, "ok\n");
+        let snap = registry.snapshot();
+        if snap.counter("reactor.closed_idle") == Some(1) {
+            // Exactly the idle connection was culled; the busy one and
+            // the lifetime totals are untouched.
+            assert_eq!(snap.gauge("reactor.open"), Some(1), "{snap:?}");
+            assert_eq!(snap.counter("reactor.accepted_total"), Some(2));
+            break;
+        }
+        assert!(Instant::now() < deadline, "idle cull never counted");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    drop(idle);
+    drop(busy);
+    handle.stop();
+}
+
+#[test]
+fn registry_shows_deferred_accepts_at_max_connections() {
+    let registry = obs::Registry::new();
+    let handle = {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        Reactor::spawn(
+            listener,
+            ReactorConfig {
+                max_connections: 2,
+                metrics: Some(registry.clone()),
+                ..ReactorConfig::default()
+            },
+            |_ctl| {
+                Arc::new(|_conn: u64, line: Line, completion: Completion| {
+                    if let Line::Complete(bytes) = line {
+                        let mut reply = bytes;
+                        reply.push(b'\n');
+                        completion.send(reply);
+                    }
+                })
+            },
+        )
+        .unwrap()
+    };
+    let first = connect(&handle);
+    let mut second = connect(&handle);
+    second.write_all(b"probe\n").unwrap();
+    let mut reader = BufReader::new(second.try_clone().unwrap());
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert_eq!(line, "probe\n");
+    wait_for_snapshot(&registry, "at capacity", |s| {
+        s.counter("reactor.accepted_total") == Some(2) && s.gauge("reactor.open") == Some(2)
+    });
+    // A third peer connects into the backlog but must NOT be accepted
+    // while the reactor is at capacity: accepted_total stays put.
+    let mut third = connect(&handle);
+    std::thread::sleep(Duration::from_millis(200));
+    let snap = registry.snapshot();
+    assert_eq!(
+        snap.counter("reactor.accepted_total"),
+        Some(2),
+        "accept must be deferred at max_connections: {snap:?}"
+    );
+    // Freeing a slot admits the queued peer: exactly one more accept.
+    drop(first);
+    third.write_all(b"hello\n").unwrap();
+    let mut reader = BufReader::new(third.try_clone().unwrap());
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert_eq!(line, "hello\n", "queued peer must be served once admitted");
+    let snap = wait_for_snapshot(&registry, "deferred accept admitted", |s| {
+        s.counter("reactor.accepted_total") == Some(3)
+    });
+    assert_eq!(snap.gauge("reactor.open"), Some(2), "{snap:?}");
+    drop(second);
+    drop(third);
+    handle.stop();
+}

@@ -5,6 +5,7 @@
 //! compas-client --qasm circuit.qasm --shots 500 --seed 1 --backend sv
 //! compas-client --client-id tenant-a --concurrent 4 --demo ghz8
 //! compas-client --stats
+//! compas-client --metrics
 //! compas-client --shutdown
 //! ```
 //!
@@ -33,6 +34,13 @@
 //! human-readable rendering (counters, per-client quota rows, worker
 //! rows) to stderr — stdout stays machine-diffable.
 //!
+//! `--metrics` mirrors that split for the observability snapshot: the
+//! raw `metrics` response line (stable jsonlite schema) to stdout, and
+//! a human table — counters, gauges, per-stage latency histograms with
+//! count/mean/p50/p90/p99, retained slow requests — to stderr. Against
+//! a coordinator the snapshot is topology-wide (worker histograms
+//! merged in).
+//!
 //! `--trace-out FILE` appends every raw response line received —
 //! including `busy` lines consumed by the retry loop — to `FILE`
 //! verbatim, so served-bytes regressions are diffable (`diff old new`)
@@ -52,7 +60,7 @@ fn usage() -> ! {
         "usage: compas-client [--addr HOST:PORT] [--id ID] [--client-id NAME] [--repeat K]\n\
          \x20  [--concurrent N] [--retries K] [--trace-out FILE]\n\
          \x20  (--demo bell|ghzN | --qasm FILE) [--shots N] [--seed N] [--backend NAME]\n\
-         \x20  | --stats | --shutdown"
+         \x20  | --stats | --metrics | --shutdown"
     );
     exit(2);
 }
@@ -169,6 +177,10 @@ fn parse_args() -> Args {
                 admin = Some(Op::Stats);
                 i += 1;
             }
+            "--metrics" => {
+                admin = Some(Op::Metrics);
+                i += 1;
+            }
             "--shutdown" => {
                 admin = Some(Op::Shutdown);
                 i += 1;
@@ -247,6 +259,70 @@ fn render_stats(response: &Response) {
         }
     }
     eprint!("{out}");
+}
+
+/// Renders a metrics snapshot for humans, to stderr (stdout carries
+/// the raw wire line, mirroring `--stats`).
+fn render_metrics(response: &Response) {
+    let Response::Metrics { snapshot, .. } = response else {
+        return;
+    };
+    let mut out = String::new();
+    if !snapshot.counters.is_empty() {
+        out.push_str("counters:\n");
+        for (name, value) in &snapshot.counters {
+            out.push_str(&format!("  {name:<34} {value}\n"));
+        }
+    }
+    if !snapshot.gauges.is_empty() {
+        out.push_str("gauges:\n");
+        for (name, value) in &snapshot.gauges {
+            out.push_str(&format!("  {name:<34} {value}\n"));
+        }
+    }
+    if !snapshot.histos.is_empty() {
+        out.push_str("histograms (count | mean | p50 | p90 | p99):\n");
+        for (name, h) in &snapshot.histos {
+            out.push_str(&format!(
+                "  {name:<34} {} | {} | {} | {} | {}\n",
+                h.count,
+                fmt_ns(h.mean() as u64),
+                fmt_ns(h.quantile(0.50)),
+                fmt_ns(h.quantile(0.90)),
+                fmt_ns(h.quantile(0.99)),
+            ));
+        }
+    }
+    if !snapshot.slow.is_empty() {
+        out.push_str("slow requests:\n");
+        for trace in &snapshot.slow {
+            let stages: Vec<String> = trace
+                .stages
+                .iter()
+                .map(|(stage, ns)| format!("{stage}={}", fmt_ns(*ns)))
+                .collect();
+            out.push_str(&format!(
+                "  {:<34} {} ({})\n",
+                trace.label,
+                fmt_ns(trace.total_ns),
+                stages.join(", ")
+            ));
+        }
+    }
+    eprint!("{out}");
+}
+
+/// Nanoseconds as a compact human-readable duration.
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
 }
 
 /// A shared, line-atomic trace sink (`--trace-out`).
@@ -339,6 +415,7 @@ fn run_session(args: &Args, thread: Option<u64>, trace: &Trace) -> i32 {
                         Ok(Response::Busy { .. }) => 3,
                         Ok(response) => {
                             render_stats(&response);
+                            render_metrics(&response);
                             0
                         }
                         Err(err) => {

@@ -352,6 +352,7 @@ pub struct ResultCache {
     tick: u64,
     entries: HashMap<CacheKey, CacheEntry>,
     disk: Option<DiskStore>,
+    evictions: u64,
 }
 
 impl ResultCache {
@@ -363,6 +364,7 @@ impl ResultCache {
             tick: 0,
             entries: HashMap::new(),
             disk: None,
+            evictions: 0,
         }
     }
 
@@ -418,6 +420,7 @@ impl ResultCache {
                 .map(|(k, _)| k.clone())
             {
                 self.entries.remove(&lru);
+                self.evictions += 1;
             }
         }
         self.entries.insert(
@@ -427,6 +430,12 @@ impl ResultCache {
                 last_used: self.tick,
             },
         );
+    }
+
+    /// In-memory entries evicted by LRU pressure since construction
+    /// (monotone — the observability layer mirrors this counter).
+    pub fn evictions(&self) -> u64 {
+        self.evictions
     }
 
     /// Resident in-memory entry count.

@@ -67,6 +67,10 @@ pub enum Op {
     Run(RunRequest),
     /// Report the server's counters.
     Stats,
+    /// Report the server's observability snapshot (every counter,
+    /// gauge, and per-stage latency histogram of its `obs::Registry`;
+    /// a shard coordinator merges its workers' snapshots in).
+    Metrics,
     /// Stop accepting work and shut the server down.
     Shutdown,
 }
@@ -227,6 +231,7 @@ impl Request {
                 })
             }
             "stats" => Op::Stats,
+            "metrics" => Op::Metrics,
             "shutdown" => Op::Shutdown,
             other => return Err(format!("unknown op \"{other}\"")),
         };
@@ -239,6 +244,7 @@ impl Request {
         let op = match &self.op {
             Op::Run(_) => "run",
             Op::Stats => "stats",
+            Op::Metrics => "metrics",
             Op::Shutdown => "shutdown",
         };
         members.push(("op".into(), Json::str(op)));
@@ -288,6 +294,9 @@ pub struct ServiceStats {
     /// Requests rejected with `busy` because the client's in-flight
     /// shot quota was exhausted.
     pub rejected_quota: u64,
+    /// Requests rejected with `busy` because the client's shots-per-
+    /// second token bucket was exhausted.
+    pub rejected_rate: u64,
     /// Malformed or unexecutable requests answered with `error`.
     pub errors: u64,
     /// Jobs currently admitted (queued or executing) — gauge.
@@ -313,7 +322,7 @@ pub struct ServiceStats {
 impl ServiceStats {
     /// The schema's `(name, value)` pairs, in wire order. Public so
     /// clients can render the counters without hard-coding the schema.
-    pub fn fields(&self) -> [(&'static str, u64); 15] {
+    pub fn fields(&self) -> [(&'static str, u64); 16] {
         [
             ("received", self.received),
             ("completed", self.completed),
@@ -322,6 +331,7 @@ impl ServiceStats {
             ("coalesced", self.coalesced),
             ("rejected_busy", self.rejected_busy),
             ("rejected_quota", self.rejected_quota),
+            ("rejected_rate", self.rejected_rate),
             ("errors", self.errors),
             ("in_flight", self.in_flight),
             ("cache_entries", self.cache_entries),
@@ -411,6 +421,9 @@ pub struct ClientRow {
     /// Requests rejected because the client's in-flight shot quota was
     /// exhausted.
     pub rejected_quota: u64,
+    /// Requests rejected because the client's shots-per-second token
+    /// bucket was exhausted.
+    pub rejected_rate: u64,
     /// Shots currently admitted and not yet completed — the quantity
     /// the quota bounds. Gauge.
     pub inflight_shots: u64,
@@ -424,6 +437,7 @@ impl ClientRow {
             ("completed", Json::from_u64(self.completed)),
             ("coalesced", Json::from_u64(self.coalesced)),
             ("rejected_quota", Json::from_u64(self.rejected_quota)),
+            ("rejected_rate", Json::from_u64(self.rejected_rate)),
             ("inflight_shots", Json::from_u64(self.inflight_shots)),
         ])
     }
@@ -444,6 +458,7 @@ impl ClientRow {
             completed: num("completed")?,
             coalesced: num("coalesced")?,
             rejected_quota: num("rejected_quota")?,
+            rejected_rate: num("rejected_rate")?,
             inflight_shots: num("inflight_shots")?,
         })
     }
@@ -498,6 +513,15 @@ pub enum Response {
         /// once any run request has been admitted (omitted from the
         /// wire when empty).
         clients: Vec<ClientRow>,
+    },
+    /// Observability snapshot: every counter, gauge, and per-stage
+    /// latency histogram of the server's `obs::Registry`. A shard
+    /// coordinator answers with its workers' snapshots merged in.
+    Metrics {
+        /// Echo of the request id.
+        id: Option<String>,
+        /// The registry snapshot.
+        snapshot: obs::Snapshot,
     },
     /// Acknowledgement of a shutdown request (the last line the server
     /// writes on that connection).
@@ -581,6 +605,11 @@ impl Response {
                         Json::Arr(clients.iter().map(ClientRow::to_json).collect()),
                     ));
                 }
+            }
+            Response::Metrics { id, snapshot } => {
+                members.push(("status".into(), Json::str("metrics")));
+                push_id(&mut members, id);
+                members.push(("metrics".into(), snapshot.to_json()));
             }
             Response::Bye { id } => {
                 members.push(("status".into(), Json::str("bye")));
@@ -671,6 +700,7 @@ impl Response {
                     coalesced: num("coalesced")?,
                     rejected_busy: num("rejected_busy")?,
                     rejected_quota: num("rejected_quota")?,
+                    rejected_rate: num("rejected_rate")?,
                     errors: num("errors")?,
                     in_flight: num("in_flight")?,
                     cache_entries: num("cache_entries")?,
@@ -698,6 +728,13 @@ impl Response {
                         .map(ClientRow::from_json)
                         .collect::<Result<Vec<_>, String>>()?,
                 },
+            }),
+            "metrics" => Ok(Response::Metrics {
+                id,
+                snapshot: obs::Snapshot::from_json(
+                    doc.get("metrics")
+                        .ok_or("metrics response missing \"metrics\"")?,
+                )?,
             }),
             "bye" => Ok(Response::Bye { id }),
             other => Err(format!("unknown status \"{other}\"")),
@@ -831,6 +868,7 @@ mod tests {
                 coalesced: 1,
                 rejected_busy: 1,
                 rejected_quota: 2,
+                rejected_rate: 3,
                 errors: 1,
                 in_flight: 0,
                 cache_entries: 4,
@@ -911,6 +949,7 @@ mod tests {
                     completed: 2,
                     coalesced: 0,
                     rejected_quota: 0,
+                    rejected_rate: 0,
                     inflight_shots: 0,
                 },
                 ClientRow {
@@ -919,6 +958,7 @@ mod tests {
                     completed: 3,
                     coalesced: 1,
                     rejected_quota: 4,
+                    rejected_rate: 2,
                     inflight_shots: 2048,
                 },
             ],
@@ -929,6 +969,36 @@ mod tests {
             "rows must be sorted by client name: {line}"
         );
         assert_eq!(Response::from_line(&line).unwrap(), stats);
+    }
+
+    #[test]
+    fn metrics_requests_and_snapshots_round_trip() {
+        // The request side is an op name like `stats`…
+        let req = Request {
+            id: Some("m1".into()),
+            op: Op::Metrics,
+        };
+        let line = req.to_line();
+        assert!(line.contains("\"op\":\"metrics\""), "{line}");
+        assert_eq!(Request::from_line(&line).unwrap(), req);
+        // …and the response carries a full registry snapshot.
+        let reg = obs::Registry::new();
+        reg.counter("cache.hits").add(7);
+        reg.gauge("reactor.open").set(3);
+        let h = reg.histo("stage.execute");
+        h.record(900);
+        h.record(70_000);
+        let resp = Response::Metrics {
+            id: Some("m1".into()),
+            snapshot: reg.snapshot(),
+        };
+        let line = resp.to_line();
+        assert!(line.contains("\"status\":\"metrics\""), "{line}");
+        assert!(line.contains("\"cache.hits\":7"), "{line}");
+        let back = Response::from_line(&line).unwrap();
+        assert_eq!(back, resp);
+        // Re-encoding the decoded snapshot is byte-identical.
+        assert_eq!(back.to_line(), line);
     }
 
     #[test]

@@ -51,6 +51,7 @@ use stabilizer::clifford::CliffordState;
 use std::collections::{HashMap, VecDeque};
 use std::ops::Range;
 use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::time::Instant;
 
 /// Most qubits a served circuit may declare. The exponential backends
 /// bound themselves far below this (statevector ≤ 26, density ≤ 13);
@@ -79,6 +80,21 @@ pub struct SchedulerConfig {
     /// `busy` and counted in `rejected_quota`. `u64::MAX` (the
     /// default) disables the quota.
     pub client_quota_shots: u64,
+    /// Sustained shots-per-second each client identity may submit,
+    /// enforced as a token bucket with a one-second burst (capacity =
+    /// the rate; a single job larger than the rate is always
+    /// rejected). Beyond it, distinct new jobs are rejected `busy` and
+    /// counted in `rejected_rate`. Like the in-flight quota,
+    /// coalescing and cache hits stay free. `u64::MAX` (the default)
+    /// disables rate limiting.
+    pub client_quota_shots_per_sec: u64,
+    /// Optional observability registry. When set, the scheduler
+    /// records per-stage latency histograms (`stage.parse`,
+    /// `stage.admission`, `stage.cache_lookup`, `stage.compile`,
+    /// `stage.merge`), cache counters (`cache.{hits,misses,
+    /// evictions}`), admission counters (`sched.*`), and a slow-trace
+    /// ring. Instrumentation never changes a served byte.
+    pub metrics: Option<obs::Registry>,
     /// Optional disk tier for the result cache: completed results are
     /// persisted (write-through) and a restarted scheduler serves them
     /// warm. `None` keeps the cache memory-only.
@@ -98,6 +114,8 @@ impl Default for SchedulerConfig {
             slice_shots: 4096,
             cache_capacity: 256,
             client_quota_shots: u64::MAX,
+            client_quota_shots_per_sec: u64::MAX,
+            metrics: None,
             disk: None,
             trace_sink: None,
         }
@@ -111,6 +129,11 @@ impl std::fmt::Debug for SchedulerConfig {
             .field("slice_shots", &self.slice_shots)
             .field("cache_capacity", &self.cache_capacity)
             .field("client_quota_shots", &self.client_quota_shots)
+            .field(
+                "client_quota_shots_per_sec",
+                &self.client_quota_shots_per_sec,
+            )
+            .field("metrics", &self.metrics.as_ref().map(|_| "..."))
             .field("disk", &self.disk)
             .field("trace_sink", &self.trace_sink.as_ref().map(|_| "..."))
             .finish()
@@ -315,9 +338,80 @@ struct ClientTally {
     completed: u64,
     coalesced: u64,
     rejected_quota: u64,
+    rejected_rate: u64,
     /// Shots of this client's jobs currently queued or executing —
     /// the quantity the quota bounds.
     inflight_shots: u64,
+    /// Token-bucket state for the shots-per-second quota: tokens left
+    /// at `bucket_at` (a fresh client starts with a full bucket).
+    bucket_tokens: f64,
+    bucket_at: Option<Instant>,
+}
+
+impl ClientTally {
+    /// Refills the token bucket to `now` (capacity = `rate`, i.e. a
+    /// one-second burst) and returns the balance.
+    fn refill(&mut self, rate: u64, now: Instant) -> f64 {
+        let cap = rate as f64;
+        let tokens = match self.bucket_at {
+            None => cap,
+            Some(at) => {
+                let elapsed = now.saturating_duration_since(at).as_secs_f64();
+                (self.bucket_tokens + elapsed * cap).min(cap)
+            }
+        };
+        self.bucket_tokens = tokens;
+        self.bucket_at = Some(now);
+        tokens
+    }
+}
+
+/// Resolved observability handles (see [`SchedulerConfig::metrics`]).
+/// Handle resolution locks the registry once at construction;
+/// recording afterwards is lock-free.
+struct SchedObs {
+    parse: obs::Histo,
+    admission: obs::Histo,
+    cache_lookup: obs::Histo,
+    compile: obs::Histo,
+    merge: obs::Histo,
+    cache_hits: obs::Counter,
+    cache_misses: obs::Counter,
+    cache_evictions: obs::Counter,
+    admitted: obs::Counter,
+    completed: obs::Counter,
+    coalesced: obs::Counter,
+    rejected_busy: obs::Counter,
+    rejected_quota: obs::Counter,
+    rejected_rate: obs::Counter,
+    errors: obs::Counter,
+    slow: obs::SlowLog,
+    /// Evictions already mirrored from the cache's monotone counter.
+    published_evictions: u64,
+}
+
+impl SchedObs {
+    fn resolve(registry: &obs::Registry) -> SchedObs {
+        SchedObs {
+            parse: registry.histo("stage.parse"),
+            admission: registry.histo("stage.admission"),
+            cache_lookup: registry.histo("stage.cache_lookup"),
+            compile: registry.histo("stage.compile"),
+            merge: registry.histo("stage.merge"),
+            cache_hits: registry.counter("cache.hits"),
+            cache_misses: registry.counter("cache.misses"),
+            cache_evictions: registry.counter("cache.evictions"),
+            admitted: registry.counter("sched.admitted"),
+            completed: registry.counter("sched.completed"),
+            coalesced: registry.counter("sched.coalesced"),
+            rejected_busy: registry.counter("sched.rejected_busy"),
+            rejected_quota: registry.counter("sched.rejected_quota"),
+            rejected_rate: registry.counter("sched.rejected_rate"),
+            errors: registry.counter("sched.errors"),
+            slow: registry.slow().clone(),
+            published_evictions: 0,
+        }
+    }
 }
 
 struct Job {
@@ -334,6 +428,13 @@ struct Job {
     outstanding: usize,
     partial: Counts,
     waiters: Vec<Waiter>,
+    /// When the job was admitted, plus the stage nanoseconds measured
+    /// so far — the raw material of its slow-request trace. Telemetry
+    /// only; never touches the response.
+    admitted_at: Instant,
+    parse_ns: u64,
+    compile_ns: u64,
+    merge_ns: u64,
 }
 
 struct Inner {
@@ -348,6 +449,7 @@ struct Inner {
     jobs: HashMap<CacheKey, Job>,
     cache: ResultCache,
     stats: ServiceStats,
+    obs: Option<SchedObs>,
     shutdown: bool,
 }
 
@@ -357,6 +459,11 @@ impl Inner {
         // unstable; clients are few and the map is hot in cache.
         self.client_stats.entry(client.to_string()).or_default()
     }
+}
+
+/// Nanoseconds since `start`, saturated to `u64` (584 years).
+fn elapsed_ns(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
 /// How [`Scheduler::try_attach`] settled (or didn't).
@@ -385,6 +492,7 @@ impl Scheduler {
             Some(disk) => ResultCache::with_disk(config.cache_capacity, disk),
             None => ResultCache::new(config.cache_capacity),
         };
+        let obs = config.metrics.as_ref().map(SchedObs::resolve);
         Scheduler {
             shared: Arc::new((
                 Mutex::new(Inner {
@@ -395,6 +503,7 @@ impl Scheduler {
                     jobs: HashMap::new(),
                     cache,
                     stats: ServiceStats::default(),
+                    obs,
                     shutdown: false,
                 }),
                 Condvar::new(),
@@ -448,12 +557,19 @@ impl Scheduler {
         // (backend parse, QASM parse, serving limits, shot-range
         // arithmetic, canonical fingerprint) is shared with the shard
         // coordinator in [`crate::admission`].
-        let admitted = match admit(run) {
+        let parse_started = Instant::now();
+        let admitted = admit(run);
+        let parse_ns = elapsed_ns(parse_started);
+        let admitted = match admitted {
             Ok(admitted) => admitted,
             Err(error) => {
                 let mut inner = self.lock();
                 inner.stats.received += 1;
                 inner.stats.errors += 1;
+                if let Some(obs) = &inner.obs {
+                    obs.parse.record(parse_ns);
+                    obs.errors.inc();
+                }
                 return Some(Response::Error { id, error });
             }
         };
@@ -463,6 +579,9 @@ impl Scheduler {
         {
             let mut inner = self.lock();
             inner.stats.received += 1;
+            if let Some(obs) = &inner.obs {
+                obs.parse.record(parse_ns);
+            }
             match self.try_attach(&mut inner, &key, id.clone(), &client, responder) {
                 Attach::Hit(response) => return Some(response),
                 Attach::Joined => return None,
@@ -470,18 +589,27 @@ impl Scheduler {
             }
             if inner.shutdown {
                 inner.stats.errors += 1;
+                if let Some(obs) = &inner.obs {
+                    obs.errors.inc();
+                }
                 return Some(Response::Error {
                     id,
                     error: "server is shutting down".to_string(),
                 });
             }
-            if let Some(response) = Self::check_admission(&mut inner, &key, &client, id.clone()) {
+            if let Some(response) =
+                Self::check_admission(&mut inner, &key, &client, id.clone(), false)
+            {
                 return Some(response);
             }
             if run.shots == 0 {
                 // Trivially complete; nothing to queue or cache.
                 inner.stats.cache_misses += 1;
                 inner.stats.completed += 1;
+                if let Some(obs) = &inner.obs {
+                    obs.cache_misses.inc();
+                    obs.completed.inc();
+                }
                 return Some(Response::Ok {
                     id,
                     backend: key.backend.to_string(),
@@ -496,16 +624,23 @@ impl Scheduler {
         // Compile outside the lock (statevector kernel fusion and
         // density evolution can be slow), then re-check: an identical
         // request may have been admitted meanwhile.
-        let prepared = match PreparedJob::prepare(
+        let compile_started = Instant::now();
+        let prepared = PreparedJob::prepare(
             &admitted.circuit,
             admitted.requested,
             admitted.shot_end(),
             run.root_seed,
-        ) {
+        );
+        let compile_ns = elapsed_ns(compile_started);
+        let prepared = match prepared {
             Ok((_resolved, job)) => Arc::new(job),
             Err(err) => {
                 let mut inner = self.lock();
                 inner.stats.errors += 1;
+                if let Some(obs) = &inner.obs {
+                    obs.compile.record(compile_ns);
+                    obs.errors.inc();
+                }
                 return Some(Response::Error {
                     id,
                     error: err.to_string(),
@@ -513,6 +648,9 @@ impl Scheduler {
             }
         };
         let mut inner = self.lock();
+        if let Some(obs) = &inner.obs {
+            obs.compile.record(compile_ns);
+        }
         match self.try_attach(&mut inner, &key, id.clone(), &client, responder) {
             Attach::Hit(response) => return Some(response),
             Attach::Joined => return None,
@@ -522,15 +660,22 @@ impl Scheduler {
             // Shutdown raced the compile: with the workers gone, a
             // queued job would strand its waiter forever.
             inner.stats.errors += 1;
+            if let Some(obs) = &inner.obs {
+                obs.errors.inc();
+            }
             return Some(Response::Error {
                 id,
                 error: "server is shutting down".to_string(),
             });
         }
-        if let Some(response) = Self::check_admission(&mut inner, &key, &client, id.clone()) {
+        if let Some(response) = Self::check_admission(&mut inner, &key, &client, id.clone(), true) {
             return Some(response);
         }
         inner.stats.cache_misses += 1;
+        if let Some(obs) = &inner.obs {
+            obs.cache_misses.inc();
+            obs.admitted.inc();
+        }
         {
             let tally = inner.tally(&client);
             tally.admitted += 1;
@@ -550,6 +695,10 @@ impl Scheduler {
                     id,
                     coalesced: false,
                 }],
+                admitted_at: Instant::now(),
+                parse_ns,
+                compile_ns,
+                merge_ns: 0,
             },
         );
         let fresh_client = !inner.client_queues.contains_key(&client);
@@ -566,18 +715,41 @@ impl Scheduler {
     }
 
     /// Capacity and quota gates, under the lock. `Some` is a `busy`
-    /// rejection.
+    /// rejection. The gates run twice per admission (before and after
+    /// the compile); only the final pass (`charge = true`) deducts
+    /// from the client's rate-limit token bucket, so a job is charged
+    /// exactly once, when it is actually admitted. Gate latency feeds
+    /// the `stage.admission` histogram.
     fn check_admission(
         inner: &mut Inner,
         key: &CacheKey,
         client: &str,
         id: Option<String>,
+        charge: bool,
+    ) -> Option<Response> {
+        let started = Instant::now();
+        let response = Self::check_admission_inner(inner, key, client, id, charge);
+        if let Some(obs) = &inner.obs {
+            obs.admission.record(elapsed_ns(started));
+        }
+        response
+    }
+
+    fn check_admission_inner(
+        inner: &mut Inner,
+        key: &CacheKey,
+        client: &str,
+        id: Option<String>,
+        charge: bool,
     ) -> Option<Response> {
         let in_flight = inner.jobs.len() as u64;
         // Crude hint: assume each in-flight job takes ~25 ms.
         let retry_after_ms = 25 * in_flight.max(1);
         if inner.jobs.len() >= inner.config.queue_capacity {
             inner.stats.rejected_busy += 1;
+            if let Some(obs) = &inner.obs {
+                obs.rejected_busy.inc();
+            }
             return Some(Response::Busy {
                 id,
                 in_flight,
@@ -588,11 +760,35 @@ impl Scheduler {
         if key.shots > 0 && inner.tally(client).inflight_shots.saturating_add(key.shots) > quota {
             inner.stats.rejected_quota += 1;
             inner.tally(client).rejected_quota += 1;
+            if let Some(obs) = &inner.obs {
+                obs.rejected_quota.inc();
+            }
             return Some(Response::Busy {
                 id,
                 in_flight,
                 retry_after_ms,
             });
+        }
+        let rate = inner.config.client_quota_shots_per_sec;
+        if rate != u64::MAX && key.shots > 0 {
+            let now = Instant::now();
+            let tally = inner.tally(client);
+            let tokens = tally.refill(rate, now);
+            if (key.shots as f64) > tokens {
+                tally.rejected_rate += 1;
+                inner.stats.rejected_rate += 1;
+                if let Some(obs) = &inner.obs {
+                    obs.rejected_rate.inc();
+                }
+                return Some(Response::Busy {
+                    id,
+                    in_flight,
+                    retry_after_ms,
+                });
+            }
+            if charge {
+                tally.bucket_tokens = tokens - key.shots as f64;
+            }
         }
         None
     }
@@ -606,8 +802,16 @@ impl Scheduler {
         client: &str,
         responder: &mut Option<Responder>,
     ) -> Attach {
-        if let Some(tallies) = inner.cache.get(key) {
+        let lookup_started = Instant::now();
+        let hit = inner.cache.get(key);
+        if let Some(obs) = &inner.obs {
+            obs.cache_lookup.record(elapsed_ns(lookup_started));
+        }
+        if let Some(tallies) = hit {
             inner.stats.cache_hits += 1;
+            if let Some(obs) = &inner.obs {
+                obs.cache_hits.inc();
+            }
             return Attach::Hit(Response::Ok {
                 id,
                 backend: key.backend.to_string(),
@@ -619,6 +823,9 @@ impl Scheduler {
         }
         if inner.jobs.contains_key(key) {
             inner.stats.coalesced += 1;
+            if let Some(obs) = &inner.obs {
+                obs.coalesced.inc();
+            }
             // Coalescing is free — the work runs once regardless — so
             // it is never charged against the client's quota.
             inner.tally(client).coalesced += 1;
@@ -703,14 +910,38 @@ impl Scheduler {
         let Some(job) = inner.jobs.get_mut(key) else {
             return;
         };
+        let merge_started = Instant::now();
         for (outcome, n) in counts {
             *job.partial.entry(outcome).or_insert(0) += n;
         }
         job.outstanding -= 1;
+        job.merge_ns += elapsed_ns(merge_started);
+        if let Some(obs) = &inner.obs {
+            obs.merge.record(elapsed_ns(merge_started));
+        }
+        let job = inner.jobs.get_mut(key).expect("job still present");
         if job.next_shot >= job.end && job.outstanding == 0 {
+            // Reborrow through the guard once so the field borrows
+            // below are disjoint.
+            let inner = &mut *inner;
             let job = inner.jobs.remove(key).expect("job present");
             inner.cache.insert(key.clone(), job.partial.clone());
             inner.stats.completed += 1;
+            if let Some(obs) = &mut inner.obs {
+                obs.completed.inc();
+                let evictions = inner.cache.evictions();
+                obs.cache_evictions.add(evictions - obs.published_evictions);
+                obs.published_evictions = evictions;
+                obs.slow.record(obs::SlowTrace {
+                    label: format!("{} shots={}", key.backend, key.shots),
+                    total_ns: elapsed_ns(job.admitted_at),
+                    stages: vec![
+                        ("parse".to_string(), job.parse_ns),
+                        ("compile".to_string(), job.compile_ns),
+                        ("merge".to_string(), job.merge_ns),
+                    ],
+                });
+            }
             {
                 let tally = inner.tally(&job.client);
                 tally.completed += 1;
@@ -736,6 +967,9 @@ impl Scheduler {
         let mut inner = self.lock();
         inner.stats.received += 1;
         inner.stats.errors += 1;
+        if let Some(obs) = &inner.obs {
+            obs.errors.inc();
+        }
     }
 
     /// Counter snapshot (gauges filled at read time; the reactor's
@@ -762,6 +996,7 @@ impl Scheduler {
                 completed: tally.completed,
                 coalesced: tally.coalesced,
                 rejected_quota: tally.rejected_quota,
+                rejected_rate: tally.rejected_rate,
                 inflight_shots: tally.inflight_shots,
             })
             .collect();

@@ -86,6 +86,19 @@ pub struct ServiceConfig {
     /// [`SchedulerConfig::client_quota_shots`]); `u64::MAX` disables
     /// the quota.
     pub client_quota_shots: u64,
+    /// Sustained shots-per-second each client identity may submit
+    /// (token bucket; see
+    /// [`SchedulerConfig::client_quota_shots_per_sec`]); `u64::MAX`
+    /// disables rate limiting.
+    pub client_quota_shots_per_sec: u64,
+    /// Optional observability registry. When set, every layer records
+    /// into it — the reactor's connection gauges and write timings,
+    /// the scheduler's per-stage histograms and cache counters, the
+    /// worker pool's `stage.execute` timings, the submitters'
+    /// `stage.encode` timings — and the wire `metrics` op answers with
+    /// its snapshot. Served bytes are unchanged (differential-tested);
+    /// `None` costs nothing.
+    pub metrics: Option<obs::Registry>,
     /// Close connections idle longer than this.
     pub idle_timeout: Duration,
     /// Most simultaneous connections the reactor serves.
@@ -114,6 +127,8 @@ impl Default for ServiceConfig {
             cache_disk_bytes: 64 * 1024 * 1024,
             slice_shots: scheduler.slice_shots,
             client_quota_shots: scheduler.client_quota_shots,
+            client_quota_shots_per_sec: scheduler.client_quota_shots_per_sec,
+            metrics: None,
             idle_timeout: reactor.idle_timeout,
             max_connections: reactor.max_connections,
             engine: Engine::sequential(),
@@ -134,6 +149,11 @@ impl std::fmt::Debug for ServiceConfig {
             .field("cache_disk_bytes", &self.cache_disk_bytes)
             .field("slice_shots", &self.slice_shots)
             .field("client_quota_shots", &self.client_quota_shots)
+            .field(
+                "client_quota_shots_per_sec",
+                &self.client_quota_shots_per_sec,
+            )
+            .field("metrics", &self.metrics.as_ref().map(|_| "..."))
             .field("idle_timeout", &self.idle_timeout)
             .field("max_connections", &self.max_connections)
             .field("engine", &self.engine)
@@ -158,6 +178,9 @@ struct Handler {
     /// Owned by the handler alone: when the reactor loop exits and
     /// drops it, the submitter pool sees a closed channel and exits.
     submit: mpsc::Sender<SubmitTask>,
+    /// The registry behind the `metrics` op (`None` answers with an
+    /// empty snapshot).
+    metrics: Option<obs::Registry>,
 }
 
 impl LineHandler for Handler {
@@ -182,6 +205,18 @@ impl LineHandler for Handler {
             }
             Ok(Request { id, op: Op::Stats }) => {
                 let response = stats_response(id, &self.scheduler, &self.ctl);
+                completion.send(response.to_line().into_bytes());
+            }
+            Ok(Request {
+                id,
+                op: Op::Metrics,
+            }) => {
+                let snapshot = self
+                    .metrics
+                    .as_ref()
+                    .map(obs::Registry::snapshot)
+                    .unwrap_or_default();
+                let response = Response::Metrics { id, snapshot };
                 completion.send(response.to_line().into_bytes());
             }
             Ok(Request {
@@ -251,6 +286,8 @@ impl Service {
             slice_shots: config.slice_shots,
             cache_capacity: config.cache_capacity,
             client_quota_shots: config.client_quota_shots,
+            client_quota_shots_per_sec: config.client_quota_shots_per_sec,
+            metrics: config.metrics.clone(),
             disk: config.cache_dir.clone().map(|dir| DiskCacheConfig {
                 dir,
                 max_bytes: config.cache_disk_bytes,
@@ -258,7 +295,19 @@ impl Service {
             trace_sink: config.trace_sink.clone(),
         });
 
-        let workers = spawn_workers("service-worker", config.workers, &scheduler, &config.engine);
+        // With a registry, the engine times its shot chunks and amp
+        // kernels into it.
+        let engine = match &config.metrics {
+            Some(registry) => config.engine.clone().with_metrics(registry),
+            None => config.engine.clone(),
+        };
+        let workers = spawn_workers(
+            "service-worker",
+            config.workers,
+            &scheduler,
+            &engine,
+            config.metrics.as_ref(),
+        );
 
         let (submit_tx, submit_rx) = mpsc::channel::<SubmitTask>();
         let submitters = spawn_submitters(
@@ -266,20 +315,24 @@ impl Service {
             config.submitters.max(1),
             &scheduler,
             submit_rx,
+            config.metrics.as_ref(),
         );
 
         let reactor_config = ReactorConfig {
             max_line_bytes: MAX_LINE_BYTES,
             idle_timeout: config.idle_timeout,
             max_connections: config.max_connections,
+            metrics: config.metrics.clone(),
             ..ReactorConfig::default()
         };
         let handler_scheduler = scheduler.clone();
+        let handler_metrics = config.metrics.clone();
         let reactor = Reactor::spawn(listener, reactor_config, move |ctl| {
             Arc::new(Handler {
                 scheduler: handler_scheduler,
                 ctl,
                 submit: submit_tx,
+                metrics: handler_metrics,
             })
         })?;
 
@@ -288,25 +341,31 @@ impl Service {
             reactor,
             submitters,
             workers,
+            metrics: config.metrics,
         })
     }
 }
 
-/// Spawns the execution worker pool.
+/// Spawns the execution worker pool. With a registry, each slice's
+/// execution is timed into `stage.execute`.
 fn spawn_workers(
     name: &str,
     count: usize,
     scheduler: &Scheduler,
     engine: &Engine,
+    metrics: Option<&obs::Registry>,
 ) -> Vec<JoinHandle<()>> {
+    let execute = metrics.map(|registry| registry.histo("stage.execute"));
     (0..count)
         .map(|i| {
             let scheduler = scheduler.clone();
             let engine = engine.clone();
+            let execute = execute.clone();
             std::thread::Builder::new()
                 .name(format!("{name}-{i}"))
                 .spawn(move || {
                     while let Some(task) = scheduler.next_slice() {
+                        let span = execute.as_ref().map(obs::Span::enter);
                         let counts = match &task.sink {
                             Some(sink) => task.prepared.run_range_traced(
                                 &engine,
@@ -315,6 +374,7 @@ fn spawn_workers(
                             ),
                             None => task.prepared.run_range(&engine, task.range.clone()),
                         };
+                        drop(span);
                         scheduler.complete_slice(&task.key, counts);
                     }
                 })
@@ -331,12 +391,15 @@ fn spawn_submitters(
     count: usize,
     scheduler: &Scheduler,
     rx: mpsc::Receiver<SubmitTask>,
+    metrics: Option<&obs::Registry>,
 ) -> Vec<JoinHandle<()>> {
+    let encode = metrics.map(|registry| registry.histo("stage.encode"));
     let rx = Arc::new(Mutex::new(rx));
     (0..count)
         .map(|i| {
             let rx = rx.clone();
             let scheduler = scheduler.clone();
+            let encode = encode.clone();
             std::thread::Builder::new()
                 .name(format!("{name}-{i}"))
                 .spawn(move || loop {
@@ -346,8 +409,12 @@ fn spawn_submitters(
                     let task = rx.lock().expect("submit queue").recv();
                     let Ok(task) = task else { break };
                     let completion = task.completion;
+                    let encode = encode.clone();
                     let responder = Responder::Callback(Box::new(move |response: Response| {
-                        completion.send(response.to_line().into_bytes());
+                        let span = encode.as_ref().map(obs::Span::enter);
+                        let bytes = response.to_line().into_bytes();
+                        drop(span);
+                        completion.send(bytes);
                     }));
                     scheduler.submit_async(task.id, &task.run, responder);
                 })
@@ -362,6 +429,7 @@ pub struct ServiceHandle {
     reactor: ReactorHandle,
     submitters: Vec<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    metrics: Option<obs::Registry>,
 }
 
 impl ServiceHandle {
@@ -385,6 +453,16 @@ impl ServiceHandle {
     /// The reactor's raw connection gauges.
     pub fn gauges(&self) -> reactor::ReactorGauges {
         self.reactor.gauges()
+    }
+
+    /// A snapshot of the observability registry, read directly (the
+    /// same data the wire `metrics` op serves). Empty when the service
+    /// was spawned without [`ServiceConfig::metrics`].
+    pub fn metrics_snapshot(&self) -> obs::Snapshot {
+        self.metrics
+            .as_ref()
+            .map(obs::Registry::snapshot)
+            .unwrap_or_default()
     }
 
     /// Per-client quota rows, read directly (same data the wire

@@ -1,0 +1,296 @@
+//! The observability guarantees, end to end:
+//!
+//! * **Instrumentation never changes served bytes** — the same request
+//!   sequence against an instrumented and an uninstrumented server
+//!   yields byte-identical response lines (differential test).
+//! * The `metrics` wire op serves per-stage latency histograms,
+//!   cache/admission counters, connection gauges, and slow traces from
+//!   a standalone server, in the stable jsonlite schema.
+//! * `--quota-shots-per-sec` admission is deterministic where it can
+//!   be: a job larger than the one-second burst capacity is always
+//!   rejected, and the rejection is visible in `stats`, per-client
+//!   rows, and the registry.
+
+use circuit::circuit::Circuit;
+use circuit::qasm::to_qasm3;
+use engine::Engine;
+use service::{
+    Op, Request, Response, RunRequest, Scheduler, SchedulerConfig, Service, ServiceConfig,
+    Submission,
+};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+
+fn bell_qasm() -> String {
+    let mut c = Circuit::new(2, 2);
+    c.h(0).cx(0, 1).measure(0, 0).measure(1, 1);
+    to_qasm3(&c)
+}
+
+fn ghz_qasm(n: usize) -> String {
+    let mut c = Circuit::new(n, n);
+    c.h(0);
+    for q in 1..n {
+        c.cx(q - 1, q);
+    }
+    for q in 0..n {
+        c.measure(q, q);
+    }
+    to_qasm3(&c)
+}
+
+/// One wire round trip on a fresh connection; returns the raw line.
+fn request_line(addr: SocketAddr, request: &Request) -> String {
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+    writer
+        .write_all(request.to_line().as_bytes())
+        .expect("send");
+    let mut line = String::new();
+    assert!(reader.read_line(&mut line).expect("recv") > 0);
+    line
+}
+
+#[test]
+fn instrumentation_never_changes_served_bytes() {
+    let spawn = |metrics: Option<obs::Registry>| {
+        Service::spawn(ServiceConfig {
+            workers: 2,
+            slice_shots: 64,
+            metrics,
+            ..ServiceConfig::default()
+        })
+        .expect("spawn")
+    };
+    let plain = spawn(None);
+    let instrumented = spawn(Some(obs::Registry::default()));
+
+    let requests: Vec<Request> = vec![
+        Request::run(
+            Some("a".into()),
+            RunRequest::new(bell_qasm(), 500, 7, "auto"),
+        ),
+        Request::run(
+            Some("b".into()),
+            RunRequest::new(ghz_qasm(5), 300, 3, "auto"),
+        ),
+        // Repeat of "a": a cache hit on both servers.
+        Request::run(
+            Some("a".into()),
+            RunRequest::new(bell_qasm(), 500, 7, "auto"),
+        ),
+        // A parse error errors identically.
+        Request::run(Some("e".into()), RunRequest::new("not qasm", 10, 1, "auto")),
+    ];
+    for request in &requests {
+        let without = request_line(plain.addr(), request);
+        let with = request_line(instrumented.addr(), request);
+        assert_eq!(without, with, "instrumentation changed served bytes");
+    }
+
+    // And the instrumented server did actually observe the traffic.
+    let snapshot = instrumented.metrics_snapshot();
+    assert!(snapshot.histo("stage.parse").is_some_and(|h| h.count > 0));
+    assert!(snapshot.counter("cache.hits") >= Some(1));
+    plain.shutdown();
+    instrumented.shutdown();
+}
+
+#[test]
+fn metrics_op_serves_stage_histograms_from_a_standalone_server() {
+    let handle = Service::spawn(ServiceConfig {
+        workers: 2,
+        slice_shots: 64,
+        metrics: Some(obs::Registry::default()),
+        ..ServiceConfig::default()
+    })
+    .expect("spawn");
+
+    let run = Request::run(None, RunRequest::new(bell_qasm(), 700, 11, "auto"));
+    match Response::from_line(&request_line(handle.addr(), &run)).expect("parse") {
+        Response::Ok { shots, .. } => assert_eq!(shots, 700),
+        other => panic!("expected ok, got {other:?}"),
+    }
+
+    let line = request_line(
+        handle.addr(),
+        &Request {
+            id: Some("m".into()),
+            op: Op::Metrics,
+        },
+    );
+    let Response::Metrics { id, snapshot } = Response::from_line(&line).expect("parse") else {
+        panic!("expected metrics response: {line}");
+    };
+    assert_eq!(id.as_deref(), Some("m"));
+    // Every stage the standalone path crosses shows up with at least
+    // one observation; 700 shots over 64-shot slices is 11 executes.
+    for stage in [
+        "stage.parse",
+        "stage.admission",
+        "stage.cache_lookup",
+        "stage.compile",
+        "stage.execute",
+        "stage.merge",
+        "stage.encode",
+    ] {
+        let histo = snapshot
+            .histo(stage)
+            .unwrap_or_else(|| panic!("{stage} missing from snapshot"));
+        assert!(histo.count > 0, "{stage} recorded nothing");
+    }
+    assert!(snapshot.histo("stage.execute").unwrap().count >= 11);
+    assert_eq!(snapshot.counter("sched.completed"), Some(1));
+    assert_eq!(snapshot.counter("cache.misses"), Some(1));
+    assert!(snapshot.gauge("reactor.open").is_some());
+    assert!(!snapshot.slow.is_empty(), "completion retains a slow trace");
+    // The snapshot exposes the Prometheus text form, too.
+    let text = snapshot.to_prometheus("compas");
+    assert!(text.contains("# TYPE compas_stage_execute histogram"));
+    handle.shutdown();
+}
+
+fn run_request(shots: u64, seed: u64) -> RunRequest {
+    RunRequest::new(bell_qasm(), shots, seed, "auto")
+}
+
+#[test]
+fn rate_quota_rejects_jobs_larger_than_burst_capacity() {
+    let registry = obs::Registry::default();
+    let sched = Scheduler::new(SchedulerConfig {
+        client_quota_shots_per_sec: 100,
+        metrics: Some(registry.clone()),
+        ..SchedulerConfig::default()
+    });
+    // 200 shots can never fit a 100-token bucket: rejected no matter
+    // how much time passes, so this assertion is timing-independent.
+    match sched.submit(
+        Some("big".into()),
+        &run_request(200, 1).with_client("tenant-a"),
+    ) {
+        Submission::Immediate(Response::Busy { id, .. }) => {
+            assert_eq!(id.as_deref(), Some("big"));
+        }
+        Submission::Immediate(other) => panic!("expected busy, got {other:?}"),
+        Submission::Pending(_) => panic!("over-capacity job was admitted"),
+    }
+    assert_eq!(sched.stats().rejected_rate, 1);
+    let rows = sched.client_rows();
+    let a = rows.iter().find(|r| r.client == "tenant-a").unwrap();
+    assert_eq!(a.rejected_rate, 1);
+    assert_eq!(
+        registry.snapshot().counter("sched.rejected_rate"),
+        Some(1),
+        "the registry mirrors the rejection"
+    );
+
+    // A job within capacity is admitted, and other clients have their
+    // own buckets.
+    let engine = Engine::sequential();
+    for (id, client, seed) in [("ok-a", "tenant-a", 2), ("ok-b", "tenant-b", 3)] {
+        let Submission::Pending(rx) =
+            sched.submit(Some(id.into()), &run_request(50, seed).with_client(client))
+        else {
+            panic!("{id} should admit");
+        };
+        while sched.stats().in_flight > 0 {
+            let task = sched.next_slice().expect("work pending");
+            let counts = task.prepared.run_range(&engine, task.range.clone());
+            sched.complete_slice(&task.key, counts);
+        }
+        assert!(matches!(rx.recv().unwrap(), Response::Ok { .. }));
+    }
+    assert_eq!(sched.stats().rejected_rate, 1, "no further rejections");
+}
+
+#[test]
+fn rate_quota_depletes_within_a_burst_window() {
+    // Large numbers make the refill between two in-process calls
+    // negligible: the second 900k-shot job would need 0.8 s of refill
+    // to fit, which back-to-back submissions never see.
+    let sched = Scheduler::new(SchedulerConfig {
+        client_quota_shots_per_sec: 1_000_000,
+        ..SchedulerConfig::default()
+    });
+    let first = sched.submit(
+        Some("first".into()),
+        &run_request(900_000, 1).with_client("t"),
+    );
+    assert!(
+        matches!(first, Submission::Pending(_)),
+        "a full bucket admits 900k of 1M"
+    );
+    match sched.submit(
+        Some("second".into()),
+        &run_request(900_000, 2).with_client("t"),
+    ) {
+        Submission::Immediate(Response::Busy { .. }) => {}
+        Submission::Immediate(other) => panic!("expected busy (bucket depleted), got {other:?}"),
+        Submission::Pending(_) => panic!("depleted bucket admitted a 900k job"),
+    }
+    assert_eq!(sched.stats().rejected_rate, 1);
+    // Identical-job coalescing is not charged against the bucket.
+    let joined = sched.submit(
+        Some("joined".into()),
+        &run_request(900_000, 1).with_client("t"),
+    );
+    assert!(
+        matches!(joined, Submission::Pending(_)),
+        "waiters ride free"
+    );
+}
+
+#[test]
+fn scheduler_registry_records_stages_and_counters() {
+    let registry = obs::Registry::default();
+    let sched = Scheduler::new(SchedulerConfig {
+        slice_shots: 50,
+        metrics: Some(registry.clone()),
+        ..SchedulerConfig::default()
+    });
+    let engine = Engine::sequential();
+    let Submission::Pending(rx) = sched.submit(Some("j".into()), &run_request(100, 5)) else {
+        panic!("job should admit");
+    };
+    while sched.stats().in_flight > 0 {
+        let task = sched.next_slice().expect("work pending");
+        let counts = task.prepared.run_range(&engine, task.range.clone());
+        sched.complete_slice(&task.key, counts);
+    }
+    assert!(matches!(rx.recv().unwrap(), Response::Ok { .. }));
+    // A cache hit and a parse error, for the counter surfaces.
+    assert!(matches!(
+        sched.submit(Some("hit".into()), &run_request(100, 5)),
+        Submission::Immediate(Response::Ok { cached: true, .. })
+    ));
+    assert!(matches!(
+        sched.submit(
+            Some("bad".into()),
+            &RunRequest::new("not qasm", 1, 1, "auto")
+        ),
+        Submission::Immediate(Response::Error { .. })
+    ));
+
+    let snapshot = registry.snapshot();
+    for stage in [
+        "stage.parse",
+        "stage.admission",
+        "stage.cache_lookup",
+        "stage.compile",
+        "stage.merge",
+    ] {
+        assert!(
+            snapshot.histo(stage).is_some_and(|h| h.count > 0),
+            "{stage} recorded nothing"
+        );
+    }
+    assert_eq!(snapshot.counter("sched.admitted"), Some(1));
+    assert_eq!(snapshot.counter("sched.completed"), Some(1));
+    assert_eq!(snapshot.counter("cache.hits"), Some(1));
+    assert_eq!(snapshot.counter("cache.misses"), Some(1));
+    assert_eq!(snapshot.counter("sched.errors"), Some(1));
+    let trace = snapshot.slow.last().expect("slow trace retained");
+    assert!(trace.stages.iter().any(|(s, _)| s == "parse"));
+    assert!(trace.total_ns > 0);
+}

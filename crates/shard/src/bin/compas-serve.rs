@@ -31,8 +31,15 @@
 //! `--cache-dir DIR` spills the result cache to disk: a restarted
 //! server pointed at the same directory answers previously-computed
 //! requests without re-executing. `--quota-shots N` bounds each client
-//! identity's in-flight shots (fair-share admission; standalone/worker
-//! roles only).
+//! identity's in-flight shots and `--quota-shots-per-sec N` its
+//! sustained admission rate (token bucket with a one-second burst;
+//! both standalone/worker roles only).
+//!
+//! Every role serves the `{"op": "metrics"}` wire operation from an
+//! always-on observability registry (`obs`): per-stage latency
+//! histograms, cache/admission counters, and connection gauges — a
+//! coordinator's answer merges in a fresh snapshot from every live
+//! worker. Instrumentation never changes served bytes.
 
 use engine::Engine;
 use service::{Service, ServiceConfig};
@@ -44,7 +51,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: compas-serve [--worker] [--addr HOST:PORT] [--workers N] [--queue N] \
          [--cache N] [--cache-dir DIR] [--cache-disk-bytes N] [--quota-shots N] \
-         [--idle-timeout-ms N] [--slice N] [--engine-env]\n\
+         [--quota-shots-per-sec N] [--idle-timeout-ms N] [--slice N] [--engine-env]\n\
          \x20      compas-serve --coordinator --shards A,B,... [--addr HOST:PORT] [--queue N] \
          [--cache N] [--cache-dir DIR] [--cache-disk-bytes N] [--idle-timeout-ms N] \
          [--heartbeat-ms N] [--io-timeout-ms N] [--retries N]"
@@ -55,10 +62,12 @@ fn usage() -> ! {
 fn main() {
     let mut config = ServiceConfig {
         addr: "127.0.0.1:7878".to_string(),
+        metrics: Some(obs::Registry::default()),
         ..ServiceConfig::default()
     };
     let mut coordinator = CoordinatorConfig {
         propagate_shutdown: true,
+        metrics: Some(obs::Registry::default()),
         ..CoordinatorConfig::default()
     };
     let mut role_coordinator = false;
@@ -121,6 +130,10 @@ fn main() {
             }
             "--quota-shots" => {
                 config.client_quota_shots = number(&args, i);
+                i += 2;
+            }
+            "--quota-shots-per-sec" => {
+                config.client_quota_shots_per_sec = number(&args, i);
                 i += 2;
             }
             "--idle-timeout-ms" => {

@@ -90,6 +90,14 @@ pub struct CoordinatorConfig {
     /// can keep their workers; the `compas-serve --coordinator` binary
     /// turns it on.
     pub propagate_shutdown: bool,
+    /// Observability registry. When set, the coordinator times its own
+    /// stages (`stage.parse`, `stage.merge`), the worker pool times
+    /// dispatch round trips (`shard.dispatch`,
+    /// `shard.worker.<addr>.dispatch`, `shard.redispatches`), the
+    /// reactor publishes its connection gauges, and the wire `metrics`
+    /// op answers with the coordinator's snapshot merged with a fresh
+    /// snapshot from every live worker — the topology-wide view.
+    pub metrics: Option<obs::Registry>,
 }
 
 impl Default for CoordinatorConfig {
@@ -109,6 +117,7 @@ impl Default for CoordinatorConfig {
             idle_timeout: reactor.idle_timeout,
             max_connections: reactor.max_connections,
             propagate_shutdown: false,
+            metrics: None,
         }
     }
 }
@@ -188,6 +197,30 @@ impl LineHandler for Handler {
             }
             Ok(Request {
                 id,
+                op: Op::Metrics,
+            }) => {
+                // Gathering worker snapshots is N network round trips,
+                // which must not run on the reactor's I/O thread.
+                let shared = self.shared.clone();
+                completion.set_abandoned_reply(
+                    Response::Error {
+                        id: id.clone(),
+                        error: "coordinator shut down before the metrics gather completed"
+                            .to_string(),
+                    }
+                    .to_line()
+                    .into_bytes(),
+                );
+                let _ = std::thread::Builder::new()
+                    .name("shard-metrics".to_string())
+                    .spawn(move || {
+                        let snapshot = shared.metrics_snapshot();
+                        let response = Response::Metrics { id, snapshot };
+                        completion.send(response.to_line().into_bytes());
+                    });
+            }
+            Ok(Request {
+                id,
                 op: Op::Shutdown,
             }) => {
                 completion.send_close(Response::Bye { id }.to_line().into_bytes());
@@ -233,6 +266,7 @@ impl Coordinator {
             PoolConfig {
                 io_timeout: config.io_timeout,
                 max_inflight: config.max_inflight_per_worker,
+                metrics: config.metrics.clone(),
                 ..PoolConfig::default()
             },
         );
@@ -306,6 +340,7 @@ impl Coordinator {
             max_line_bytes: MAX_LINE_BYTES,
             idle_timeout: shared.config.idle_timeout,
             max_connections: shared.config.max_connections,
+            metrics: shared.config.metrics.clone(),
             ..ReactorConfig::default()
         };
         let handler_shared = shared.clone();
@@ -357,6 +392,13 @@ impl CoordinatorHandle {
         self.shared.pool.rows()
     }
 
+    /// The topology-wide metrics snapshot: the coordinator's own
+    /// registry merged with a fresh `metrics` round trip to every live
+    /// worker. Empty when the coordinator runs without a registry.
+    pub fn metrics_snapshot(&self) -> obs::Snapshot {
+        self.shared.metrics_snapshot()
+    }
+
     /// Initiates shutdown and waits for the coordinator's threads.
     pub fn shutdown(self) {
         self.shared.begin_shutdown();
@@ -392,6 +434,21 @@ impl Shared {
         stats.in_flight = inner.jobs.len() as u64;
         stats.cache_entries = inner.cache.len() as u64;
         stats
+    }
+
+    /// The coordinator's own snapshot merged with every live worker's
+    /// (one wire round trip per worker — callers run off the reactor).
+    fn metrics_snapshot(&self) -> obs::Snapshot {
+        let mut snapshot = self
+            .config
+            .metrics
+            .as_ref()
+            .map(obs::Registry::snapshot)
+            .unwrap_or_default();
+        for worker in self.pool.fetch_metrics() {
+            snapshot.merge(&worker);
+        }
+        snapshot
     }
 
     /// Initiates shutdown: fails pending waiters, stops the heartbeat,
@@ -436,12 +493,19 @@ impl Shared {
         // rejecting unexecutable circuits *here* means any `error` a
         // worker later answers is evidence of worker failure, so the
         // re-dispatch loop can treat it as such.
-        let admitted = match admit(run).and_then(|a| {
+        let parse_started = std::time::Instant::now();
+        let admitted = admit(run).and_then(|a| {
             a.resolved
                 .supports(&a.circuit)
                 .map_err(|e| e.to_string())
                 .map(|()| a)
-        }) {
+        });
+        if let Some(registry) = &self.config.metrics {
+            registry
+                .histo("stage.parse")
+                .record_duration(parse_started.elapsed());
+        }
+        let admitted = match admitted {
             Ok(admitted) => admitted,
             Err(error) => {
                 let mut inner = self.lock();
@@ -555,9 +619,15 @@ impl Shared {
                 .map(|h| h.join().expect("range thread"))
                 .collect()
         });
+        let merge_started = std::time::Instant::now();
         let mut merged = Counts::new();
         for result in results {
             merge_counts(&mut merged, result?);
+        }
+        if let Some(registry) = &self.config.metrics {
+            registry
+                .histo("stage.merge")
+                .record_duration(merge_started.elapsed());
         }
         Ok(merged)
     }

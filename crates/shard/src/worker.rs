@@ -38,6 +38,11 @@ pub struct PoolConfig {
     /// Most concurrently dispatched ranges per worker; dispatch picks
     /// the least-loaded live worker below this bound.
     pub max_inflight: usize,
+    /// Observability registry. When set, every dispatch round trip is
+    /// timed into the `shard.dispatch` histogram (and a per-worker
+    /// `shard.worker.<addr>.dispatch` twin), and lost ranges bump the
+    /// `shard.redispatches` counter.
+    pub metrics: Option<obs::Registry>,
 }
 
 impl Default for PoolConfig {
@@ -46,6 +51,7 @@ impl Default for PoolConfig {
             io_timeout: Duration::from_secs(30),
             probe_timeout: Duration::from_secs(1),
             max_inflight: 8,
+            metrics: None,
         }
     }
 }
@@ -204,6 +210,10 @@ impl WorkerPool {
         let mut workers = self.lock();
         workers[idx].redispatched += 1;
         workers[idx].alive = false;
+        drop(workers);
+        if let Some(registry) = &self.config.metrics {
+            registry.counter("shard.redispatches").inc();
+        }
     }
 
     /// Sends one ranged `run` request to worker `idx` and waits for its
@@ -214,6 +224,20 @@ impl WorkerPool {
     /// `io_timeout` regardless — a hung worker costs one timeout, not
     /// a stuck coordinator.
     pub fn dispatch(&self, idx: usize, request: &Request) -> Dispatch {
+        let started = Instant::now();
+        let outcome = self.dispatch_inner(idx, request);
+        if let Some(registry) = &self.config.metrics {
+            let elapsed = started.elapsed();
+            registry.histo("shard.dispatch").record_duration(elapsed);
+            let addr = self.lock()[idx].addr.clone();
+            registry
+                .histo(&format!("shard.worker.{addr}.dispatch"))
+                .record_duration(elapsed);
+        }
+        outcome
+    }
+
+    fn dispatch_inner(&self, idx: usize, request: &Request) -> Dispatch {
         let addr = self.lock()[idx].addr.clone();
         let Some(stream) = connect(&addr, self.config.probe_timeout) else {
             return Dispatch::Failed(format!("worker {addr}: connect failed"));
@@ -271,6 +295,44 @@ impl WorkerPool {
             }
             Ok(other) => Dispatch::Failed(format!("worker {addr}: unexpected response {other:?}")),
             Err(e) => Dispatch::Failed(format!("worker {addr}: unparseable response: {e}")),
+        }
+    }
+
+    /// One `metrics` round trip per live worker, yielding the
+    /// snapshots that answered. A worker that fails the round trip is
+    /// simply skipped — health bookkeeping stays with the heartbeat.
+    pub fn fetch_metrics(&self) -> Vec<obs::Snapshot> {
+        let addrs: Vec<String> = self
+            .lock()
+            .iter()
+            .filter(|w| w.alive)
+            .map(|w| w.addr.clone())
+            .collect();
+        addrs
+            .iter()
+            .filter_map(|addr| self.fetch_metrics_one(addr))
+            .collect()
+    }
+
+    fn fetch_metrics_one(&self, addr: &str) -> Option<obs::Snapshot> {
+        let timeout = self.config.probe_timeout;
+        let stream = connect(addr, timeout)?;
+        let _ = stream.set_read_timeout(Some(timeout));
+        let _ = stream.set_write_timeout(Some(timeout));
+        let request = Request {
+            id: None,
+            op: Op::Metrics,
+        };
+        let mut writer = stream.try_clone().ok()?;
+        writer.write_all(request.to_line().as_bytes()).ok()?;
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        match reader.read_line(&mut line) {
+            Ok(n) if n > 0 => match Response::from_line(&line) {
+                Ok(Response::Metrics { snapshot, .. }) => Some(snapshot),
+                _ => None,
+            },
+            _ => None,
         }
     }
 

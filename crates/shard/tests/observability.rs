@@ -1,0 +1,139 @@
+//! Topology-wide observability: the coordinator's `metrics` wire op
+//! answers with its own registry merged with a fresh snapshot from
+//! every live worker, so one round trip yields per-stage histograms
+//! covering the whole topology — including stages (like
+//! `stage.execute`) that only ever run on workers.
+
+use circuit::circuit::Circuit;
+use circuit::qasm::to_qasm3;
+use service::{Op, Request, Response, RunRequest, Service, ServiceConfig, ServiceHandle};
+use shard::{Coordinator, CoordinatorConfig, CoordinatorHandle};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+
+fn bell_qasm() -> String {
+    let mut c = Circuit::new(2, 2);
+    c.h(0).cx(0, 1).measure(0, 0).measure(1, 1);
+    to_qasm3(&c)
+}
+
+fn request_once(addr: SocketAddr, request: &Request) -> Response {
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+    writer
+        .write_all(request.to_line().as_bytes())
+        .expect("send");
+    let mut line = String::new();
+    assert!(reader.read_line(&mut line).expect("recv") > 0);
+    Response::from_line(&line).unwrap_or_else(|e| panic!("{e}: {line}"))
+}
+
+fn spawn_instrumented_workers(n: usize) -> (Vec<ServiceHandle>, Vec<String>) {
+    let handles: Vec<ServiceHandle> = (0..n)
+        .map(|_| {
+            Service::spawn(ServiceConfig {
+                workers: 2,
+                slice_shots: 64,
+                metrics: Some(obs::Registry::default()),
+                ..ServiceConfig::default()
+            })
+            .expect("spawn worker")
+        })
+        .collect();
+    let addrs = handles.iter().map(|h| h.addr().to_string()).collect();
+    (handles, addrs)
+}
+
+fn spawn_coordinator(workers: Vec<String>) -> CoordinatorHandle {
+    Coordinator::spawn(CoordinatorConfig {
+        workers,
+        metrics: Some(obs::Registry::default()),
+        ..CoordinatorConfig::default()
+    })
+    .expect("spawn coordinator")
+}
+
+#[test]
+fn coordinator_metrics_merge_worker_snapshots_topology_wide() {
+    let (workers, addrs) = spawn_instrumented_workers(2);
+    let coord = spawn_coordinator(addrs);
+
+    // One sharded job: the coordinator scatters sub-ranges, so each
+    // worker executes and the dispatch histograms fill in.
+    let run = Request::run(None, RunRequest::new(bell_qasm(), 1_000, 9, "auto"));
+    match request_once(coord.addr(), &run) {
+        Response::Ok { shots, .. } => assert_eq!(shots, 1_000),
+        other => panic!("expected ok, got {other:?}"),
+    }
+
+    // A worker's own metrics op serves its local snapshot (the second
+    // topology of three; standalone is covered in the service tests).
+    let worker_metrics = request_once(
+        workers[0].addr(),
+        &Request {
+            id: None,
+            op: Op::Metrics,
+        },
+    );
+    let Response::Metrics { snapshot, .. } = worker_metrics else {
+        panic!("expected metrics from worker, got {worker_metrics:?}");
+    };
+    assert!(
+        snapshot.histo("stage.parse").is_some_and(|h| h.count > 0),
+        "worker parsed its sub-request"
+    );
+
+    // The coordinator's answer is the merged, topology-wide view.
+    let response = request_once(
+        coord.addr(),
+        &Request {
+            id: Some("m".into()),
+            op: Op::Metrics,
+        },
+    );
+    let Response::Metrics { id, snapshot } = response else {
+        panic!("expected metrics from coordinator, got {response:?}");
+    };
+    assert_eq!(id.as_deref(), Some("m"));
+
+    // stage.execute only ever runs on workers: its presence proves the
+    // worker snapshots were fetched and merged. 1000 shots over two
+    // workers in 64-shot slices is at least 15 slice executions.
+    let execute = snapshot
+        .histo("stage.execute")
+        .expect("worker stage.execute merged into the coordinator snapshot");
+    assert!(execute.count >= 15, "got {}", execute.count);
+    // Both workers ran, so the merged parse count exceeds any single
+    // process's: coordinator (1 admission) + 2 workers (1 sub-range
+    // each).
+    let parse = snapshot.histo("stage.parse").expect("stage.parse");
+    assert!(parse.count >= 3, "got {}", parse.count);
+    // The coordinator's own shard-layer surfaces.
+    let dispatch = snapshot.histo("shard.dispatch").expect("shard.dispatch");
+    assert!(dispatch.count >= 2, "one dispatch per sub-range");
+    // Sub-range scheduling may land both ranges on one worker if the
+    // first completes before the second acquires, so only the lower
+    // bound is deterministic.
+    let per_worker = snapshot
+        .histos
+        .iter()
+        .filter(|(name, _)| name.starts_with("shard.worker."))
+        .count();
+    assert!(
+        (1..=2).contains(&per_worker),
+        "per-worker dispatch histograms: {per_worker}"
+    );
+    assert!(snapshot.histo("stage.merge").is_some_and(|h| h.count > 0));
+    // Workers each completed a sub-range; their counters add.
+    assert!(snapshot.counter("sched.completed") >= Some(2));
+
+    // The direct (non-wire) accessor agrees on the merged shape.
+    let direct = coord.metrics_snapshot();
+    assert!(direct.histo("stage.execute").is_some());
+
+    coord.shutdown();
+    for worker in workers {
+        worker.shutdown();
+    }
+}
